@@ -1,0 +1,156 @@
+// Ablation study over this implementation's design knobs (not a paper
+// figure; DESIGN.md calls these out). Each sweep varies one knob on the L8
+// scenario and reports normalized STP / ANTT reduction for our policy:
+//
+//   * reservation headroom on top of predicted footprints,
+//   * the executor-count boost over Spark dynamic allocation (Section 4.3),
+//   * coordinator profiling slots (how parallel profiling runs are),
+//   * calibration probe sizes (accuracy vs profiling cost),
+//   * the confidence fallback (Section 4.1),
+//   * Quasar's resource-class granularity (comparator sensitivity).
+#include <functional>
+#include <iostream>
+
+#include "common/table.h"
+#include "sched/experiment.h"
+#include "sched/policies_learned.h"
+
+using namespace smoe;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2017;
+constexpr std::size_t kMixes = 5;
+
+sched::SchemeScenarioResult evaluate(const wl::FeatureModel& features, sim::SimConfig cfg,
+                                     sim::SchedulingPolicy& policy) {
+  sched::ExperimentRunner runner(cfg, features, kMixes, Rng::derive(kSeed, "ablation"));
+  return runner.run_scenario(wl::scenario_by_label("L8"), {&policy}).front();
+}
+
+void emit(TextTable& table, const std::string& setting,
+          const sched::SchemeScenarioResult& r) {
+  table.add_row({setting, TextTable::num(r.stp_geomean, 2) + "x",
+                 TextTable::pct(r.antt_red_mean, 1),
+                 TextTable::num(r.mean_makespan / 60.0, 1), std::to_string(r.oom_total)});
+}
+
+}  // namespace
+
+int main() {
+  const wl::FeatureModel features(kSeed);
+  std::cout << "Ablations on scenario L8 (" << kMixes << " mixes, seed " << kSeed
+            << "); our policy unless noted\n";
+
+  {
+    TextTable t({"reservation headroom", "norm. STP", "ANTT red.", "makespan (min)", "OOMs"});
+    for (const double headroom : {0.0, 0.05, 0.15, 0.30}) {
+      sim::SimConfig cfg;
+      cfg.seed = kSeed;
+      cfg.spark.reservation_headroom = headroom;
+      sched::MoePolicy ours(features, kSeed);
+      emit(t, TextTable::pct(headroom, 0), evaluate(features, cfg, ours));
+    }
+    std::cout << "\n[1] Reservation headroom: none risks OOMs from the ~4% prediction "
+                 "error; too much wastes co-location slots.\n";
+    t.render(std::cout);
+  }
+
+  {
+    TextTable t({"executor boost", "norm. STP", "ANTT red.", "makespan (min)", "OOMs"});
+    for (const double boost : {1.0, 1.5, 2.0, 3.0}) {
+      sim::SimConfig cfg;
+      cfg.seed = kSeed;
+      cfg.spark.executor_boost = boost;
+      sched::MoePolicy ours(features, kSeed);
+      emit(t, TextTable::num(boost, 1) + "x", evaluate(features, cfg, ours));
+    }
+    std::cout << "\n[2] Executor boost beyond Spark dynamic allocation (Section 4.3's "
+                 "'additional executors on spare servers').\n";
+    t.render(std::cout);
+  }
+
+  {
+    TextTable t({"profiling slots", "norm. STP", "ANTT red.", "makespan (min)", "OOMs"});
+    for (const std::size_t slots : {std::size_t{1}, std::size_t{4}, std::size_t{8},
+                                    std::size_t{32}}) {
+      sim::SimConfig cfg;
+      cfg.seed = kSeed;
+      cfg.spark.profiling_slots = slots;
+      sched::MoePolicy ours(features, kSeed);
+      emit(t, std::to_string(slots), evaluate(features, cfg, ours));
+    }
+    std::cout << "\n[3] Coordinator profiling slots: serialized profiling delays "
+                 "application starts.\n";
+    t.render(std::cout);
+  }
+
+  {
+    TextTable t({"probe caps (items)", "norm. STP", "ANTT red.", "makespan (min)", "OOMs"});
+    for (const auto& [x1, x2] : std::vector<std::pair<double, double>>{
+             {128, 384}, {512, 1536}, {2048, 6144}}) {
+      sim::SimConfig cfg;
+      cfg.seed = kSeed;
+      sched::MoeOptions opts;
+      opts.probe_x1_cap = x1;
+      opts.probe_x2_cap = x2;
+      sched::MoePolicy ours(features, kSeed, opts);
+      emit(t, TextTable::num(x1, 0) + "/" + TextTable::num(x2, 0),
+           evaluate(features, cfg, ours));
+    }
+    std::cout << "\n[4] Calibration probe sizes: bigger probes calibrate better but "
+                 "cost profiling time.\n";
+    t.render(std::cout);
+  }
+
+  {
+    TextTable t({"confidence fallback", "norm. STP", "ANTT red.", "makespan (min)", "OOMs"});
+    for (const bool on : {false, true}) {
+      sim::SimConfig cfg;
+      cfg.seed = kSeed;
+      sched::MoeOptions opts;
+      opts.conservative_fallback = on;
+      opts.confidence_distance = 0.35;  // tight enough to trigger sometimes
+      sched::MoePolicy ours(features, kSeed, opts);
+      const auto r = evaluate(features, cfg, ours);
+      emit(t, on ? "on (d>0.35 -> +25% pad)" : "off", r);
+      if (on) std::cout << "(fallback engaged for " << ours.fallback_count() << " apps)\n";
+    }
+    std::cout << "\n[5] Section 4.1's confidence fallback for applications far from "
+                 "every training program.\n";
+    t.render(std::cout);
+  }
+
+  {
+    TextTable t({"queue order", "norm. STP", "ANTT red.", "makespan (min)", "OOMs"});
+    for (const auto order : {sim::QueueOrder::kFcfs, sim::QueueOrder::kShortestJobFirst}) {
+      sim::SimConfig cfg;
+      cfg.seed = kSeed;
+      cfg.spark.queue_order = order;
+      sched::MoePolicy ours(features, kSeed);
+      emit(t, order == sim::QueueOrder::kFcfs ? "FCFS (paper)" : "shortest-job-first",
+           evaluate(features, cfg, ours));
+    }
+    std::cout << "\n[6] Queue discipline: the paper evaluates FCFS but the framework "
+                 "works with any order (Section 5.2). Note: metrics are normalized\n"
+                 "against an isolated baseline running under the SAME discipline, and\n"
+                 "SJF helps a serial baseline far more than it helps co-location — so\n"
+                 "the normalized numbers drop even though absolute makespan is similar.\n";
+    t.render(std::cout);
+  }
+
+  {
+    TextTable t({"Quasar resource class", "norm. STP", "ANTT red.", "makespan (min)", "OOMs"});
+    for (const double klass : {2.0, 4.0, 8.0, 16.0}) {
+      sim::SimConfig cfg;
+      cfg.seed = kSeed;
+      sched::QuasarPolicy quasar(features, kSeed, klass);
+      emit(t, TextTable::num(klass, 0) + " GiB", evaluate(features, cfg, quasar));
+    }
+    std::cout << "\n[7] Comparator sensitivity: Quasar's discrete resource classes "
+                 "(coarser = more over/under-provisioning).\n";
+    t.render(std::cout);
+  }
+
+  return 0;
+}

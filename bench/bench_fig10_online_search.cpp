@@ -1,0 +1,57 @@
+// Figure 10: our approach vs descent-gradient online search, which finds the
+// right chunk size by repeated trial runs at dispatch time (paper: ours is
+// 2.4x / 2.6x better on STP / ANTT because the probing overhead dominates).
+#include <iostream>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sched/experiment.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+
+using namespace smoe;
+
+int main(int argc, char** argv) {
+  constexpr std::uint64_t kSeed = 2017;
+  const std::size_t n_mixes = argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 100;
+
+  const wl::FeatureModel features(kSeed);
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig10"));
+
+  sched::OnlineSearchPolicy online;
+  sched::MoePolicy ours(features, kSeed);
+  const std::vector<sim::SchedulingPolicy*> policies = {&online, &ours};
+
+  TextTable stp({"scenario", "Online Search", "Ours (MoE)"});
+  TextTable antt({"scenario", "Online Search", "Ours (MoE)"});
+  std::vector<double> s_online, s_ours, a_online, a_ours;
+
+  std::cout << "Figure 10: online search vs ours (seed " << kSeed << ", " << n_mixes
+            << " mixes per scenario)\n";
+  for (const auto& scenario : wl::scenarios()) {
+    const auto results = runner.run_scenario(scenario, policies);
+    stp.add_row({scenario.label, TextTable::num(results[0].stp_geomean, 2) + "x",
+                 TextTable::num(results[1].stp_geomean, 2) + "x"});
+    antt.add_row({scenario.label, TextTable::pct(results[0].antt_red_mean, 1),
+                  TextTable::pct(results[1].antt_red_mean, 1)});
+    s_online.push_back(results[0].stp_geomean);
+    s_ours.push_back(results[1].stp_geomean);
+    a_online.push_back(results[0].antt_red_mean);
+    a_ours.push_back(results[1].antt_red_mean);
+  }
+  stp.add_row({"Geomean", TextTable::num(geomean(s_online), 2) + "x",
+               TextTable::num(geomean(s_ours), 2) + "x"});
+  antt.add_row({"Mean", TextTable::pct(mean(a_online), 1), TextTable::pct(mean(a_ours), 1)});
+
+  std::cout << "\n(a) Normalized STP\n";
+  stp.render(std::cout);
+  std::cout << "\n(b) ANTT reduction\n";
+  antt.render(std::cout);
+  std::cout << "\nours vs online search (STP):  "
+            << TextTable::num(geomean(s_ours) / geomean(s_online), 2)
+            << "x   (paper: 2.4x)\n";
+  return 0;
+}

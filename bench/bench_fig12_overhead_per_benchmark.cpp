@@ -1,0 +1,35 @@
+// Figure 12: per-benchmark profiling time vs total runtime for the 16
+// HiBench / BigDataBench programs at ~280 GB input.
+#include <iostream>
+
+#include "common/table.h"
+#include "sched/experiment.h"
+#include "sched/policies_learned.h"
+
+using namespace smoe;
+
+int main() {
+  constexpr std::uint64_t kSeed = 2017;
+  const wl::FeatureModel features(kSeed);
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  sim::ClusterSim sim(cfg, features);
+  sched::MoePolicy ours(features, kSeed);
+
+  const Items k280GB = items_from_gib(280.0);
+  std::cout << "Figure 12: profiling vs total runtime per benchmark (~280 GB input, seed "
+            << kSeed << ")\n";
+  TextTable table({"benchmark", "feature extr. (min)", "calibration (min)",
+                   "total execution (min)", "profiling share"});
+  for (const auto& bench : wl::training_benchmarks()) {
+    const sim::SimResult r = sim.run({{bench.name, k280GB}}, ours);
+    const auto& app = r.apps.front();
+    const double total = app.feature_time + app.calibration_time + app.exec_time();
+    table.add_row({bench.name, TextTable::num(app.feature_time / 60.0, 2),
+                   TextTable::num(app.calibration_time / 60.0, 2),
+                   TextTable::num(total / 60.0, 1),
+                   TextTable::pct((app.feature_time + app.calibration_time) / total, 1)});
+  }
+  table.render(std::cout);
+  return 0;
+}

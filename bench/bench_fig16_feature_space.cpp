@@ -1,0 +1,121 @@
+// Figure 16: all 44 benchmarks projected onto the top-2 principal components
+// of the program feature space. Programs must fall into three clusters, one
+// per memory-function family, and members must correlate almost perfectly
+// with their cluster center (paper: Pearson > 0.9999 for most programs).
+#include <iostream>
+#include <map>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "ml/kmeans.h"
+#include "sched/training_data.h"
+#include "workloads/features.h"
+
+using namespace smoe;
+
+int main() {
+  constexpr std::uint64_t kSeed = 2017;
+  const wl::FeatureModel features(kSeed);
+
+  // Transform learned on the 16 training programs, applied to all 44.
+  const auto examples = sched::make_training_set(features, kSeed);
+  std::vector<ml::Vector> rows;
+  for (const auto& ex : examples) rows.push_back(ex.raw_features);
+  ml::MinMaxScaler scaler;
+  scaler.fit(ml::Matrix::from_rows(rows));
+  ml::Pca pca;
+  pca.fit(scaler.transform(ml::Matrix::from_rows(rows)), 0.95, 2);
+
+  struct Point {
+    std::string name;
+    int family;
+    ml::Vector pc;
+    ml::Vector raw;
+  };
+  std::vector<Point> points;
+  for (const auto& bench : wl::all_spark_benchmarks()) {
+    Rng rng(Rng::derive(kSeed, "fig16:" + bench.name));
+    const ml::Vector raw = features.sample(bench, rng);
+    points.push_back({bench.name, bench.family_label(),
+                      pca.transform(scaler.transform(raw)), raw});
+  }
+
+  std::cout << "Figure 16: program feature space (top-2 PCs, seed " << kSeed << ")\n";
+  TextTable table({"benchmark", "family", "PC1", "PC2"});
+  const char* family_names[] = {"Linear(Power)", "Exponential", "NapierianLog"};
+  for (const auto& p : points)
+    table.add_row({p.name, family_names[p.family], TextTable::num(p.pc[0], 3),
+                   TextTable::num(p.pc.size() > 1 ? p.pc[1] : 0.0, 3)});
+  table.render(std::cout);
+
+  // Cluster centers (mean raw-feature vector per family) and the Pearson
+  // correlation of each member to its center (computed on raw counter
+  // vectors, as the paper does).
+  std::map<int, ml::Vector> centers;
+  std::map<int, int> counts;
+  for (const auto& p : points) {
+    auto& c = centers[p.family];
+    if (c.empty()) c.assign(p.raw.size(), 0.0);
+    for (std::size_t i = 0; i < p.raw.size(); ++i) c[i] += p.raw[i];
+    ++counts[p.family];
+  }
+  for (auto& [family, c] : centers)
+    for (auto& v : c) v /= counts[family];
+
+  std::vector<double> correlations;
+  for (const auto& p : points) correlations.push_back(pearson(p.raw, centers[p.family]));
+
+  // Cluster separation check: every member is nearer its own center than any
+  // other center in PC space.
+  std::map<int, ml::Vector> pc_centers;
+  for (const auto& p : points) {
+    auto& c = pc_centers[p.family];
+    if (c.empty()) c.assign(p.pc.size(), 0.0);
+    for (std::size_t i = 0; i < p.pc.size(); ++i) c[i] += p.pc[i];
+  }
+  for (auto& [family, c] : pc_centers)
+    for (auto& v : c) v /= counts[family];
+  int pure = 0;
+  for (const auto& p : points) {
+    int best = -1;
+    double best_d = 1e18;
+    for (const auto& [family, c] : pc_centers) {
+      const double d = ml::euclidean_distance(p.pc, c);
+      if (d < best_d) {
+        best_d = d;
+        best = family;
+      }
+    }
+    if (best == p.family) ++pure;
+  }
+
+  // Unsupervised check: does k-means on the PC coordinates rediscover the
+  // three family clusters without being told the labels?
+  ml::Matrix pc_matrix(points.size(), points.front().pc.size());
+  for (std::size_t r = 0; r < points.size(); ++r)
+    for (std::size_t c = 0; c < points[r].pc.size(); ++c) pc_matrix(r, c) = points[r].pc[c];
+  const ml::KMeansResult km = ml::kmeans(pc_matrix, 3, kSeed);
+  std::map<std::size_t, std::map<int, int>> votes;
+  for (std::size_t r = 0; r < points.size(); ++r) ++votes[km.assignment[r]][points[r].family];
+  std::map<std::size_t, int> majority;
+  for (const auto& [cluster, families] : votes) {
+    int best_family = -1, best_count = -1;
+    for (const auto& [family, count] : families)
+      if (count > best_count) {
+        best_count = count;
+        best_family = family;
+      }
+    majority[cluster] = best_family;
+  }
+  int agree = 0;
+  for (std::size_t r = 0; r < points.size(); ++r)
+    if (majority[km.assignment[r]] == points[r].family) ++agree;
+
+  std::cout << "\nk-means (k=3, unsupervised) rediscovers the family clusters for " << agree
+            << "/44 benchmarks\n"
+            << "cluster purity: " << pure << "/44 benchmarks nearest their own family's center\n"
+            << "Pearson to cluster center: min " << TextTable::num(min_of(correlations), 4)
+            << ", median " << TextTable::num(median(correlations), 4)
+            << "  (paper: > 0.9999 for most programs)\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 17: predicted vs measured memory footprints for the 16 HiBench /
+// BigDataBench programs at ~280 GB input, under leave-one-out cross
+// validation (paper: error < 5% in most cases; a few benchmarks over-
+// provision by 8-12%).
+#include <cmath>
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sched/policies_learned.h"
+#include "sched/training_data.h"
+#include "sparksim/app_probe.h"
+#include "workloads/features.h"
+
+using namespace smoe;
+
+int main() {
+  constexpr std::uint64_t kSeed = 2017;
+  const wl::FeatureModel features(kSeed);
+  sched::SelectorCache cache(features, kSeed);
+
+  const Items x = items_from_gib(280.0);
+  std::cout << "Figure 17: predicted vs measured footprint at ~280 GB "
+               "(leave-one-out cross-validation, seed "
+            << kSeed << ")\n";
+  TextTable table({"benchmark", "expert selected", "predicted (GB)", "measured (GB)",
+                   "signed error"});
+  std::vector<double> errors;
+  for (const auto& bench : wl::training_benchmarks()) {
+    const auto& entry = cache.for_test_benchmark(bench.name);
+    const core::MoePredictor predictor(entry.pool, entry.selector);
+    sim::AppProbe probe(bench, features, x, Rng::derive(kSeed, "fig17:" + bench.name));
+    const core::Selection sel = predictor.select(probe.raw_features());
+    const core::MemoryModel model =
+        predictor.calibrate(sel, sched::take_calibration_probes(probe));
+    const double predicted = model.footprint(x);
+    const double measured = probe.measure_footprint(x);
+    const double err = (predicted - measured) / measured;
+    errors.push_back(std::abs(err));
+    table.add_row({bench.name, predictor.pool().at(sel.expert_index).name(),
+                   TextTable::num(predicted, 1), TextTable::num(measured, 1),
+                   (err >= 0 ? "+" : "") + TextTable::pct(err, 1)});
+  }
+  table.render(std::cout);
+  std::cout << "mean absolute error: " << TextTable::pct(mean(errors), 1)
+            << "  (paper: ~5% average, <5% in most cases)\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 18: predicted vs measured memory-footprint curves for the 16
+// HiBench / BigDataBench programs, swept from ~30 MB to ~280 GB input, using
+// the leave-one-out-trained expert selector plus runtime calibration.
+#include <cmath>
+#include <iostream>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sched/policies_learned.h"
+#include "sched/training_data.h"
+#include "sparksim/app_probe.h"
+#include "workloads/features.h"
+
+using namespace smoe;
+
+int main() {
+  constexpr std::uint64_t kSeed = 2017;
+  const wl::FeatureModel features(kSeed);
+  sched::SelectorCache cache(features, kSeed);
+
+  const std::vector<double> sweep_gb = {0.03, 0.3, 3.0, 10.0, 30.0, 100.0, 280.0};
+  std::cout << "Figure 18: predicted vs measured footprint curves "
+               "(leave-one-out cross-validation, seed "
+            << kSeed << ")\n";
+
+  std::vector<double> errors;
+  for (const auto& bench : wl::training_benchmarks()) {
+    const auto& entry = cache.for_test_benchmark(bench.name);
+    const core::MoePredictor predictor(entry.pool, entry.selector);
+    sim::AppProbe probe(bench, features, items_from_gib(280.0),
+                        Rng::derive(kSeed, "fig18:" + bench.name));
+    const core::Selection sel = predictor.select(probe.raw_features());
+    const core::MemoryModel model =
+        predictor.calibrate(sel, sched::take_calibration_probes(probe));
+
+    std::cout << "\n" << bench.name << " -> " << predictor.pool().at(sel.expert_index).name()
+              << " (nearest training program: " << sel.nearest_program << ")\n";
+    TextTable table({"input (GB)", "measured (GB)", "predicted (GB)", "error"});
+    for (const double gb : sweep_gb) {
+      const Items x = items_from_gib(gb);
+      const double measured = probe.measure_footprint(x);
+      const double predicted = model.footprint(x);
+      errors.push_back(std::abs(predicted - measured) / measured);
+      table.add_row({TextTable::num(gb, 2), TextTable::num(measured, 2),
+                     TextTable::num(predicted, 2),
+                     TextTable::pct(std::abs(predicted - measured) / measured, 1)});
+    }
+    table.render(std::cout);
+  }
+  std::cout << "\nmean absolute error across all curves: " << TextTable::pct(mean(errors), 1)
+            << "  (paper: the memory functions 'precisely capture' the footprints)\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 3 + Table 1: observed vs predicted memory footprints for HB.Sort
+// (exponential expert) and HB.PageRank (Napierian-log expert), swept across
+// input sizes, using the offline-fitted memory functions.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/expert_pool.h"
+#include "sched/training_data.h"
+#include "workloads/features.h"
+#include "workloads/suites.h"
+
+using namespace smoe;
+
+int main() {
+  constexpr std::uint64_t kSeed = 2017;
+  std::cout << "== Table 1: memory functions (experts) ==\n";
+  const core::ExpertPool pool = core::ExpertPool::paper_default();
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    std::cout << "  " << pool.at(static_cast<int>(i)).name() << ": "
+              << pool.at(static_cast<int>(i)).formula() << "\n";
+
+  const wl::FeatureModel features(kSeed);
+  std::cout << "\n== Figure 3: observed vs predicted footprints (seed " << kSeed << ") ==\n";
+  for (const char* name : {"HB.Sort", "HB.PageRank"}) {
+    const auto& bench = wl::find_benchmark(name);
+    const core::TrainingExample profile =
+        sched::make_training_example(bench, features, kSeed);
+    const core::ExpertPool::BestFit best =
+        pool.best_fit(profile.profile_items, profile.profile_footprints);
+
+    std::cout << "\n" << name << " -> " << pool.at(best.index).name() << " (m="
+              << TextTable::num(best.fit.params.m, 3) << ", b="
+              << TextTable::num(best.fit.params.b, 6) << " per item, R^2="
+              << TextTable::num(best.fit.r2, 4) << ")\n";
+    TextTable table({"input", "observed (GB)", "predicted (GB)", "error"});
+    for (std::size_t i = 0; i < profile.profile_items.size(); ++i) {
+      const double x = profile.profile_items[i];
+      const double obs = profile.profile_footprints[i];
+      const double pred = pool.at(best.index).eval(best.fit.params, x);
+      table.add_row({TextTable::num(gib_from_items(x), 2) + " GB", TextTable::num(obs, 2),
+                     TextTable::num(pred, 2),
+                     TextTable::pct(std::abs(pred - obs) / obs, 1)});
+    }
+    table.render(std::cout);
+  }
+  return 0;
+}

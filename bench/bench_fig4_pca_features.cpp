@@ -1,0 +1,58 @@
+// Figure 4 + Table 2: PCA variance concentration over the 22 raw runtime
+// features (a), and the Varimax-rotated per-feature importance ranking (b).
+#include <iostream>
+
+#include "common/table.h"
+#include "ml/varimax.h"
+#include "sched/training_data.h"
+#include "workloads/features.h"
+
+using namespace smoe;
+
+int main() {
+  constexpr std::uint64_t kSeed = 2017;
+  const wl::FeatureModel features(kSeed);
+  const auto examples = sched::make_training_set(features, kSeed);
+
+  std::vector<ml::Vector> rows;
+  for (const auto& ex : examples) rows.push_back(ex.raw_features);
+  const ml::Matrix raw = ml::Matrix::from_rows(rows);
+
+  ml::MinMaxScaler scaler;
+  scaler.fit(raw);
+  ml::Pca pca;
+  pca.fit(scaler.transform(raw), 0.95, 5);
+
+  std::cout << "Figure 4a: principal-component variance (paper: PC1 71%, PC2 10%, "
+               "PC3 7%, PC4 4%, PC5 3%, rest 5%)\n";
+  TextTable pcs({"component", "% of variance"});
+  double covered = 0;
+  for (std::size_t i = 0; i < pca.n_components(); ++i) {
+    covered += pca.explained_variance_ratio()[i];
+    pcs.add_row({"PC" + std::to_string(i + 1),
+                 TextTable::pct(pca.explained_variance_ratio()[i], 1)});
+  }
+  pcs.add_row({"rest", TextTable::pct(1.0 - covered, 1)});
+  pcs.render(std::cout);
+  std::cout << "components kept for >=95% variance: " << pca.n_components() << "\n\n";
+
+  const ml::Matrix rotated = ml::varimax_rotate(pca.components());
+  const ml::Vector contrib =
+      ml::feature_contributions(rotated, pca.explained_variance_ratio());
+
+  std::vector<std::size_t> order(contrib.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return contrib[a] > contrib[b]; });
+
+  std::cout << "Figure 4b / Table 2: raw features by Varimax contribution "
+               "(paper's top 5: L1_TCM, L1_DCM, vcache, L1_STM, bo)\n";
+  TextTable table({"rank", "feature", "% of contrib. to variance", "description"});
+  const auto info = wl::raw_feature_table();
+  for (std::size_t r = 0; r < order.size(); ++r) {
+    table.add_row({std::to_string(r + 1), info[order[r]].abbr,
+                   TextTable::pct(contrib[order[r]], 1), info[order[r]].desc});
+  }
+  table.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 6 + Section 6.1/6.2 headline numbers: normalized STP and ANTT
+// reduction for Pairwise, Quasar, Ours (MoE) and Oracle across the ten
+// runtime scenarios of Table 3, normalized against one-by-one isolated
+// execution. Also prints the paper's summary ratios (ours vs Quasar, ours as
+// a fraction of Oracle).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "common/csv.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "sched/experiment.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+
+using namespace smoe;
+
+int main(int argc, char** argv) {
+  constexpr std::uint64_t kSeed = 2017;
+  // The paper replays ~100 mixes per scenario; same default here.
+  const std::size_t n_mixes = argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 100;
+
+  const wl::FeatureModel features(kSeed);
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig6"));
+
+  sched::PairwisePolicy pairwise;
+  sched::QuasarPolicy quasar(features, kSeed);
+  sched::MoePolicy ours(features, kSeed);
+  sched::OraclePolicy oracle;
+  const std::vector<sim::SchedulingPolicy*> policies = {&pairwise, &quasar, &ours, &oracle};
+
+  TextTable stp({"scenario", "Pairwise", "Quasar", "Ours (MoE)", "Oracle"});
+  TextTable antt({"scenario", "Pairwise", "Quasar", "Ours (MoE)", "Oracle"});
+  std::vector<std::vector<double>> stp_by_policy(policies.size());
+  std::vector<std::vector<double>> antt_by_policy(policies.size());
+
+  std::cout << "Figure 6: normalized STP / ANTT reduction (seed " << kSeed << ", " << n_mixes
+            << " mixes per scenario)\n";
+  std::ofstream csv_file("fig6_results.csv");
+  CsvWriter csv(csv_file, {"scenario", "scheme", "stp_geomean", "stp_min", "stp_max",
+                           "antt_reduction_mean"});
+  for (const auto& scenario : wl::scenarios()) {
+    const auto results = runner.run_scenario(scenario, policies);
+    std::vector<std::string> stp_row = {scenario.label};
+    std::vector<std::string> antt_row = {scenario.label};
+    for (std::size_t p = 0; p < results.size(); ++p) {
+      stp_row.push_back(TextTable::num(results[p].stp_geomean, 2) + "x [" +
+                        TextTable::num(results[p].stp_min, 2) + "," +
+                        TextTable::num(results[p].stp_max, 2) + "]");
+      antt_row.push_back(TextTable::pct(results[p].antt_red_mean, 1));
+      stp_by_policy[p].push_back(results[p].stp_geomean);
+      antt_by_policy[p].push_back(results[p].antt_red_mean);
+      csv.add_row({scenario.label, results[p].scheme, TextTable::num(results[p].stp_geomean, 4),
+                   TextTable::num(results[p].stp_min, 4), TextTable::num(results[p].stp_max, 4),
+                   TextTable::num(results[p].antt_red_mean, 4)});
+    }
+    stp.add_row(stp_row);
+    antt.add_row(antt_row);
+  }
+
+  std::vector<std::string> stp_geo = {"Geomean"};
+  std::vector<std::string> antt_mean = {"Mean"};
+  std::vector<double> stp_summary, antt_summary;
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    stp_summary.push_back(geomean(stp_by_policy[p]));
+    antt_summary.push_back(mean(antt_by_policy[p]));
+    stp_geo.push_back(TextTable::num(stp_summary.back(), 2) + "x");
+    antt_mean.push_back(TextTable::pct(antt_summary.back(), 1));
+  }
+  stp.add_row(stp_geo);
+  antt.add_row(antt_mean);
+
+  std::cout << "\n(a) Normalized STP (higher is better; paper: ours 8.69x, Quasar 6.6x)\n";
+  stp.render(std::cout);
+  std::cout << "\n(b) ANTT reduction (higher is better; paper: ours 49% mean)\n";
+  antt.render(std::cout);
+
+  std::cout << "\n== Section 6.2 summary ==\n"
+            << "ours vs Quasar (STP):        " << TextTable::num(stp_summary[2] / stp_summary[1], 2)
+            << "x   (paper: 1.28x)\n"
+            << "ours / Oracle (STP):         " << TextTable::pct(stp_summary[2] / stp_summary[3], 1)
+            << "   (paper: 83.9%)\n"
+            << "ours vs Pairwise (STP):      " << TextTable::num(stp_summary[2] / stp_summary[0], 2)
+            << "x\n"
+            << "ours ANTT reduction:         " << TextTable::pct(antt_summary[2], 1)
+            << "   (paper: 49%)\n"
+            << "ours / Oracle (ANTT red.):   " << TextTable::pct(antt_summary[2] / antt_summary[3], 1)
+            << "   (paper: 93.4%)\n";
+  return 0;
+}

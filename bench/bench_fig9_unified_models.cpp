@@ -1,0 +1,62 @@
+// Figure 9: the mixture-of-experts against unified single-model predictors —
+// one regression family for everything (linear/power, exponential, Napierian
+// log) and a single ANN — across the ten runtime scenarios.
+#include <iostream>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sched/experiment.h"
+#include "sched/policies_learned.h"
+
+using namespace smoe;
+
+int main(int argc, char** argv) {
+  constexpr std::uint64_t kSeed = 2017;
+  const std::size_t n_mixes = argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 100;
+
+  const wl::FeatureModel features(kSeed);
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig9"));
+
+  sched::UnifiedCurvePolicy linear(ml::CurveKind::kPowerLaw, features, kSeed);
+  sched::UnifiedCurvePolicy exponential(ml::CurveKind::kExponential, features, kSeed);
+  sched::UnifiedCurvePolicy napierian(ml::CurveKind::kNapierianLog, features, kSeed);
+  sched::UnifiedAnnPolicy ann(features, kSeed);
+  sched::MoePolicy ours(features, kSeed);
+  const std::vector<sim::SchedulingPolicy*> policies = {&linear, &exponential, &napierian,
+                                                        &ann, &ours};
+
+  TextTable stp({"scenario", "LinearReg", "ExpReg", "NapLogReg", "ANN", "Ours (MoE)"});
+  TextTable antt({"scenario", "LinearReg", "ExpReg", "NapLogReg", "ANN", "Ours (MoE)"});
+  std::vector<std::vector<double>> stps(policies.size()), antts(policies.size());
+
+  std::cout << "Figure 9: unified single-model predictors vs the mixture of experts\n"
+            << "(seed " << kSeed << ", " << n_mixes << " mixes per scenario)\n";
+  for (const auto& scenario : wl::scenarios()) {
+    const auto results = runner.run_scenario(scenario, policies);
+    std::vector<std::string> srow = {scenario.label}, arow = {scenario.label};
+    for (std::size_t p = 0; p < results.size(); ++p) {
+      srow.push_back(TextTable::num(results[p].stp_geomean, 2) + "x");
+      arow.push_back(TextTable::pct(results[p].antt_red_mean, 1));
+      stps[p].push_back(results[p].stp_geomean);
+      antts[p].push_back(results[p].antt_red_mean);
+    }
+    stp.add_row(srow);
+    antt.add_row(arow);
+  }
+  std::vector<std::string> srow = {"Geomean"}, arow = {"Mean"};
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    srow.push_back(TextTable::num(geomean(stps[p]), 2) + "x");
+    arow.push_back(TextTable::pct(mean(antts[p]), 1));
+  }
+  stp.add_row(srow);
+  antt.add_row(arow);
+
+  std::cout << "\n(a) Normalized STP — paper: ANN is the best unified model, ours beats all\n";
+  stp.render(std::cout);
+  std::cout << "\n(b) ANTT reduction\n";
+  antt.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the runtime
+// prediction pipeline and the cluster simulator. The paper's scheme is
+// "low-overhead" (Section 6.1); these benches quantify the CPU cost of each
+// prediction step in this implementation.
+#include <benchmark/benchmark.h>
+
+#include "sched/experiment.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sched/training_data.h"
+#include "workloads/features.h"
+
+namespace {
+
+using namespace smoe;
+
+const wl::FeatureModel& shared_features() {
+  static const wl::FeatureModel features(2017);
+  return features;
+}
+
+const sched::SelectorCache::Entry& shared_entry() {
+  static sched::SelectorCache cache(shared_features(), 2017);
+  static const auto& entry = cache.for_test_benchmark("SP.Gmm");
+  return entry;
+}
+
+void BM_FeatureSample(benchmark::State& state) {
+  const auto& bench = wl::find_benchmark("SP.Gmm");
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(shared_features().sample(bench, rng));
+}
+BENCHMARK(BM_FeatureSample);
+
+void BM_ScaleAndProject(benchmark::State& state) {
+  const auto& entry = shared_entry();
+  Rng rng(2);
+  const ml::Vector raw = shared_features().sample(wl::find_benchmark("SP.Gmm"), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(entry.selector.project(raw));
+}
+BENCHMARK(BM_ScaleAndProject);
+
+void BM_ExpertSelection(benchmark::State& state) {
+  const auto& entry = shared_entry();
+  const core::MoePredictor predictor(entry.pool, entry.selector);
+  Rng rng(3);
+  const ml::Vector raw = shared_features().sample(wl::find_benchmark("SP.Gmm"), rng);
+  for (auto _ : state) benchmark::DoNotOptimize(predictor.select(raw));
+}
+BENCHMARK(BM_ExpertSelection);
+
+void BM_TwoPointCalibration(benchmark::State& state) {
+  const auto& entry = shared_entry();
+  const core::MoePredictor predictor(entry.pool, entry.selector);
+  core::Selection sel;
+  sel.expert_index = static_cast<int>(ml::CurveKind::kExponential);
+  const core::CalibrationProbes probes{512, 5.2, 2048, 5.7};
+  for (auto _ : state) benchmark::DoNotOptimize(predictor.calibrate(sel, probes));
+}
+BENCHMARK(BM_TwoPointCalibration);
+
+void BM_OfflineTraining(benchmark::State& state) {
+  const auto examples = sched::make_training_set(shared_features(), 5);
+  for (auto _ : state) {
+    core::ExpertPool pool = core::ExpertPool::paper_default();
+    benchmark::DoNotOptimize(core::train_selector(pool, examples));
+  }
+}
+BENCHMARK(BM_OfflineTraining);
+
+void BM_FullProfilePath(benchmark::State& state) {
+  sched::MoePolicy moe(shared_features(), 2017);
+  const auto& bench = wl::find_benchmark("SP.Gmm");
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    sim::AppProbe probe(bench, shared_features(), 1048576, ++seed);
+    sim::MemoryEstimate est;
+    benchmark::DoNotOptimize(moe.profile(probe, est));
+  }
+}
+BENCHMARK(BM_FullProfilePath);
+
+void BM_ClusterSimTable4Mix(benchmark::State& state) {
+  sim::SimConfig cfg;
+  cfg.seed = 2017;
+  sim::ClusterSim sim(cfg, shared_features());
+  sched::OraclePolicy oracle;
+  const auto mix = wl::table4_mix();
+  for (auto _ : state) benchmark::DoNotOptimize(sim.run(mix, oracle));
+}
+BENCHMARK(BM_ClusterSimTable4Mix)->Unit(benchmark::kMillisecond);
+
+void BM_IsolatedExecTime(benchmark::State& state) {
+  sim::SimConfig cfg;
+  cfg.seed = 2017;
+  sim::ClusterSim sim(cfg, shared_features());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim.isolated_exec_time({"HB.TeraSort", 1048576.0}));
+}
+BENCHMARK(BM_IsolatedExecTime);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Table 5: expert-selection accuracy of alternative classification
+// techniques (leave-one-out cross-validation over profiling runs of all 44
+// benchmarks). The paper reports: Naive Bayes 92.5, MLP 94.1, SVM 95.4,
+// Random Forests 95.5, Decision Tree 96.8, ANN 96.9, KNN 97.4 — KNN is
+// chosen because it needs no retraining when a new memory function is added.
+#include <iostream>
+
+#include "common/table.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+#include "sched/training_data.h"
+#include "workloads/features.h"
+
+using namespace smoe;
+
+int main() {
+  constexpr std::uint64_t kSeed = 2017;
+  const wl::FeatureModel features(kSeed);
+
+  // Feature transform learned on the training programs (as deployed).
+  const auto examples = sched::make_training_set(features, kSeed);
+  std::vector<ml::Vector> rows;
+  for (const auto& ex : examples) rows.push_back(ex.raw_features);
+  ml::MinMaxScaler scaler;
+  scaler.fit(ml::Matrix::from_rows(rows));
+  ml::Pca pca;
+  pca.fit(scaler.transform(ml::Matrix::from_rows(rows)), 0.95, 5);
+
+  // Dataset: several profiling runs of every benchmark, labeled with the
+  // memory-function family, in PCA space.
+  // The paper evaluates accuracy "averaged across benchmarks and inputs":
+  // characterization runs at odd input sizes measure the counters less
+  // cleanly, so the per-run noise here is scaled well above a standard
+  // ~100 MB run.
+  constexpr int kRunsPerBenchmark = 8;
+  constexpr double kShortRunNoise = 14.0;
+  ml::Dataset ds;
+  std::vector<ml::Vector> x_rows;
+  for (const auto& bench : wl::all_spark_benchmarks()) {
+    Rng rng(Rng::derive(kSeed, "table5:" + bench.name));
+    for (int run = 0; run < kRunsPerBenchmark; ++run) {
+      x_rows.push_back(
+          pca.transform(scaler.transform(features.sample(bench, rng, kShortRunNoise))));
+      ds.labels.push_back(bench.family_label());
+    }
+  }
+  ds.x = ml::Matrix::from_rows(x_rows);
+
+  struct Entry {
+    std::string name;
+    ml::ClassifierFactory make;
+    double paper;
+  };
+  const std::vector<Entry> classifiers = {
+      {"Naive Bayes", [] { return std::make_unique<ml::GaussianNaiveBayes>(); }, 92.5},
+      {"MLP",
+       [] { return std::make_unique<ml::MlpClassifier>(ml::MlpParams{{10}, 150, 0.05, 1e-5}, 5); },
+       94.1},
+      {"SVM", [] { return std::make_unique<ml::LinearSvm>(ml::SvmParams{1e-3, 80, 1.0}, 4); },
+       95.4},
+      {"Random Forests",
+       [] { return std::make_unique<ml::RandomForest>(ml::ForestParams{30, {}}, 3); }, 95.5},
+      {"Decision Tree", [] { return std::make_unique<ml::DecisionTree>(); }, 96.8},
+      {"ANN",
+       [] {
+         return std::make_unique<ml::MlpClassifier>(ml::MlpParams{{12, 8}, 150, 0.05, 1e-5}, 6,
+                                                    "ANN");
+       },
+       96.9},
+      {"KNN", [] { return std::make_unique<ml::KnnClassifier>(1); }, 97.4},
+  };
+
+  std::cout << "Table 5: expert-selector accuracy per classifier (LOOCV over "
+            << ds.size() << " profiling runs, seed " << kSeed << ")\n";
+  TextTable table({"classifier", "accuracy (measured)", "accuracy (paper)"});
+  for (const auto& c : classifiers) {
+    const double acc = ml::loocv_accuracy(ds, c.make);
+    table.add_row({c.name, TextTable::pct(acc, 1), TextTable::num(c.paper, 1) + "%"});
+  }
+  table.render(std::cout);
+  std::cout << "(KNN is chosen because its accuracy is comparable but it needs no\n"
+               " retraining when a new memory function is added — Section 6.9)\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// The extensibility story (Section 3.1): plug a brand-new memory-function
+// family into the expert pool without retraining anything. We register a
+// square-root law y = m*sqrt(x) + b — say, for an application whose state
+// grows with the sample standard error — and show that (a) offline training
+// labels a matching program with the new expert, and (b) the KNN selector
+// needs no retraining because experts are just class labels.
+//
+//   ./build/examples/custom_expert
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "common/stats.h"
+#include "core/predictor.h"
+#include "sched/training_data.h"
+#include "workloads/features.h"
+
+using namespace smoe;
+
+namespace {
+
+class SqrtLawExpert final : public core::MemoryExpert {
+ public:
+  std::string name() const override { return "SqrtLaw"; }
+  std::string formula() const override { return "y = m * sqrt(x) + b"; }
+
+  GiB eval(core::Params p, Items x) const override { return p.m * std::sqrt(x) + p.b; }
+
+  Items inverse(core::Params p, GiB budget) const override {
+    if (p.m <= 0) return budget >= p.b ? std::numeric_limits<double>::infinity() : 0.0;
+    if (budget <= p.b) return 0.0;
+    const double r = (budget - p.b) / p.m;
+    return r * r;
+  }
+
+  core::FitResult fit(std::span<const double> xs, std::span<const double> ys) const override {
+    std::vector<double> sx(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) sx[i] = std::sqrt(xs[i]);
+    const ml::LinearFit lf = ml::ols(sx, ys);
+    core::FitResult out;
+    out.params = {lf.slope, lf.intercept};
+    std::vector<double> pred(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) pred[i] = eval(out.params, xs[i]);
+    out.r2 = r_squared(ys, pred);
+    return out;
+  }
+
+  core::Params calibrate(Items x1, GiB y1, Items x2, GiB y2) const override {
+    const double m = (y2 - y1) / (std::sqrt(x2) - std::sqrt(x1));
+    return {m, y1 - m * std::sqrt(x1)};
+  }
+};
+
+}  // namespace
+
+int main() {
+  // 1. Extend the paper's pool with the new family. Existing labels (0..2)
+  //    are untouched; the new expert becomes label 3.
+  core::ExpertPool pool = core::ExpertPool::paper_default();
+  const int sqrt_label = pool.add(std::make_unique<SqrtLawExpert>());
+  std::cout << "registered expert " << sqrt_label << ": " << pool.at(sqrt_label).formula()
+            << "\n";
+
+  // 2. Offline training against the extended pool: a program whose profile
+  //    follows a sqrt law is now labeled with the new expert automatically.
+  const wl::FeatureModel features(1);
+  auto examples = sched::make_training_set(features, 2);
+  core::TrainingExample sqrt_app;
+  sqrt_app.name = "User.StdError";
+  Rng rng(3);
+  sqrt_app.raw_features = examples.front().raw_features;  // any plausible vector
+  for (double x = 300; x < 1.1e6; x *= 3.2) {
+    sqrt_app.profile_items.push_back(x);
+    sqrt_app.profile_footprints.push_back((0.04 * std::sqrt(x) + 3.0) * rng.normal(1.0, 0.003));
+  }
+  examples.push_back(sqrt_app);
+
+  const core::SelectorModel selector = core::train_selector(pool, examples);
+  for (const auto& p : selector.programs)
+    if (p.name == "User.StdError")
+      std::cout << p.name << " labeled with expert: " << pool.at(p.expert_index).name()
+                << " (R^2 = " << p.fit.r2 << ")\n";
+
+  // 3. Runtime: calibrate the new family from two probes and size a chunk.
+  const core::MoePredictor predictor(pool, selector);
+  core::CalibrationProbes probes;
+  probes.x1 = 1000;
+  probes.y1 = 0.04 * std::sqrt(1000.0) + 3.0;
+  probes.x2 = 4000;
+  probes.y2 = 0.04 * std::sqrt(4000.0) + 3.0;
+  core::Selection sel;
+  sel.expert_index = sqrt_label;
+  const core::MemoryModel model = predictor.calibrate(sel, probes);
+  std::cout << "calibrated " << model.expert().formula() << " with m=" << model.params().m
+            << ", b=" << model.params().b << "\n"
+            << "footprint(250k items) = " << model.footprint(250000) << " GiB\n"
+            << "items fitting 16 GiB  = " << model.items_for_budget(16.0) << "\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Quickstart: train the mixture-of-experts memory predictor, predict the
+// footprint of an unseen Spark application, and size a co-located executor.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <iostream>
+
+#include "core/predictor.h"
+#include "sched/training_data.h"
+#include "sparksim/app_probe.h"
+#include "workloads/features.h"
+#include "workloads/suites.h"
+
+using namespace smoe;
+
+int main() {
+  // 1. Offline: profile the 16 HiBench/BigDataBench training programs and
+  //    train the expert selector (a one-off cost).
+  const wl::FeatureModel features(/*seed=*/1);
+  core::ExpertPool pool = core::ExpertPool::paper_default();
+  const core::SelectorModel selector =
+      core::train_selector(pool, sched::make_training_set(features, /*seed=*/2,
+                                                          {"SP.Gmm"}));
+  const core::MoePredictor predictor(pool, selector);
+
+  // 2. Runtime: an unseen application (SP.Gmm, ~30 GB input) arrives. Run it
+  //    on ~100 MB of input to collect features, select the expert...
+  const auto& app = wl::find_benchmark("SP.Gmm");
+  sim::AppProbe probe(app, features, wl::items_for_input_class(wl::InputClass::kMedium),
+                      /*seed=*/3);
+  const core::Selection sel = predictor.select(probe.raw_features());
+  std::cout << "selected expert : " << predictor.pool().at(sel.expert_index).name() << "\n"
+            << "nearest program : " << sel.nearest_program << " (distance "
+            << sel.distance << ", " << (predictor.confident(sel) ? "confident" : "fallback")
+            << ")\n";
+
+  // 3. ...calibrate its two parameters from the 5% / 10% profiling runs...
+  core::CalibrationProbes probes;
+  probes.x1 = 0.05 * probe.input_items();
+  probes.x2 = 0.10 * probe.input_items();
+  probes.y1 = probe.measure_footprint(probes.x1);
+  probes.y2 = probe.measure_footprint(probes.x2);
+  const core::MemoryModel model = predictor.calibrate(sel, probes);
+  std::cout << "calibrated      : " << model.expert().formula() << "  (m="
+            << model.params().m << ", b=" << model.params().b << ")\n";
+
+  // 4. ...and use the model to co-locate: how much memory does the whole
+  //    input need, and how many items fit a 16 GiB spare-memory budget?
+  const Items input = probe.input_items();
+  std::cout << "footprint(" << gib_from_items(input) << " GB input) = "
+            << model.footprint(input) << " GiB (true "
+            << app.footprint(input) << " GiB)\n"
+            << "items fitting a 16 GiB budget: " << model.items_for_budget(16.0) << "\n";
+  return 0;
+}

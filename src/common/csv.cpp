@@ -1,0 +1,38 @@
+#include "common/csv.h"
+
+#include "common/error.h"
+
+namespace smoe {
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> header)
+    : os_(os), width_(header.size()) {
+  SMOE_REQUIRE(!header.empty(), "csv: empty header");
+  emit(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  SMOE_REQUIRE(cells.size() == width_, "csv: row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  emit(cells);
+  ++rows_;
+}
+
+}  // namespace smoe

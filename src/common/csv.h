@@ -1,0 +1,32 @@
+// Minimal RFC-4180-style CSV emission, so bench results can be consumed by
+// plotting scripts as well as read from the terminal.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smoe {
+
+class CsvWriter {
+ public:
+  /// Writes the header immediately. The stream must outlive the writer.
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  /// Write one row; must match the header's width.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Quote a cell per RFC 4180 when it contains commas, quotes or newlines.
+  static std::string escape(const std::string& cell);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+
+  void emit(const std::vector<std::string>& cells);
+};
+
+}  // namespace smoe

@@ -1,0 +1,47 @@
+// Error handling primitives shared by all sparkmoe modules.
+//
+// Policy (per C++ Core Guidelines E.2/E.3): exceptions report violations of
+// preconditions and unrecoverable configuration errors; they are not used for
+// control flow. SMOE_REQUIRE is for precondition checks on public APIs,
+// SMOE_CHECK for internal invariants.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace smoe {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant does not hold (a sparkmoe bug).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + expr +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+[[noreturn]] inline void throw_invariant(const char* expr, const std::string& msg) {
+  throw InvariantError(std::string("invariant failed: ") + expr +
+                       (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace smoe
+
+#define SMOE_REQUIRE(expr, msg)                          \
+  do {                                                   \
+    if (!(expr)) ::smoe::detail::throw_precondition(#expr, (msg)); \
+  } while (0)
+
+#define SMOE_CHECK(expr, msg)                            \
+  do {                                                   \
+    if (!(expr)) ::smoe::detail::throw_invariant(#expr, (msg)); \
+  } while (0)

@@ -1,0 +1,54 @@
+#include "common/rng.h"
+
+#include "common/error.h"
+
+namespace smoe {
+
+std::uint64_t Rng::derive(std::uint64_t seed, std::string_view name) {
+  // FNV-1a over the name, mixed with the parent seed via splitmix64 finalizer.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL + h;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform(double lo, double hi) {
+  SMOE_REQUIRE(lo <= hi, "uniform bounds");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SMOE_REQUIRE(lo <= hi, "uniform_int bounds");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  SMOE_REQUIRE(stddev >= 0.0, "stddev must be non-negative");
+  if (stddev == 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double Rng::lognormal_median(double median, double sigma) {
+  SMOE_REQUIRE(median > 0.0, "median must be positive");
+  return std::lognormal_distribution<double>(std::log(median), sigma)(engine_);
+}
+
+bool Rng::chance(double p) {
+  SMOE_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  shuffle(idx);
+  if (k < n) idx.resize(k);
+  return idx;
+}
+
+}  // namespace smoe

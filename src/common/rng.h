@@ -1,0 +1,54 @@
+// Deterministic random number utilities.
+//
+// Every stochastic component in sparkmoe draws from an Rng seeded explicitly
+// by the caller; there is no global RNG and no wall-clock seeding, so every
+// experiment is reproducible bit-for-bit given its printed seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace smoe {
+
+/// Thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive a named child seed, so subsystems get decorrelated streams that
+  /// are still a pure function of the parent seed.
+  static std::uint64_t derive(std::uint64_t seed, std::string_view name);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Log-normal such that the *median* of the distribution is `median`.
+  double lognormal_median(double median, double sigma);
+  /// Bernoulli draw.
+  bool chance(double p);
+
+  /// Sample `k` distinct indices from [0, n). k may exceed n, in which case
+  /// all indices are returned (shuffled).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace smoe

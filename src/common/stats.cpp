@@ -1,0 +1,130 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace smoe {
+
+double mean(std::span<const double> xs) {
+  SMOE_REQUIRE(!xs.empty(), "mean of empty span");
+  double s = 0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  SMOE_REQUIRE(xs.size() >= 2, "variance needs >= 2 samples");
+  const double m = mean(xs);
+  double s = 0;
+  for (const double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double geomean(std::span<const double> xs) {
+  SMOE_REQUIRE(!xs.empty(), "geomean of empty span");
+  double s = 0;
+  for (const double x : xs) {
+    SMOE_REQUIRE(x > 0.0, "geomean requires positive values");
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double min_of(std::span<const double> xs) {
+  SMOE_REQUIRE(!xs.empty(), "min of empty span");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  SMOE_REQUIRE(!xs.empty(), "max of empty span");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double percentile(std::span<const double> xs, double p) {
+  SMOE_REQUIRE(!xs.empty(), "percentile of empty span");
+  SMOE_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  SMOE_REQUIRE(xs.size() == ys.size(), "pearson: size mismatch");
+  SMOE_REQUIRE(xs.size() >= 2, "pearson needs >= 2 samples");
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double r_squared(std::span<const double> observed, std::span<const double> predicted) {
+  SMOE_REQUIRE(observed.size() == predicted.size(), "r_squared: size mismatch");
+  SMOE_REQUIRE(observed.size() >= 2, "r_squared needs >= 2 samples");
+  const double m = mean(observed);
+  double ss_res = 0, ss_tot = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    ss_res += (observed[i] - predicted[i]) * (observed[i] - predicted[i]);
+    ss_tot += (observed[i] - m) * (observed[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double ci_half_width(std::span<const double> xs, double confidence) {
+  SMOE_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence out of range");
+  if (xs.size() < 2) return 0.0;
+  // z-values for the common confidence levels; default normal approximation.
+  double z = 1.96;
+  if (confidence >= 0.995) z = 2.807;
+  else if (confidence >= 0.99) z = 2.576;
+  else if (confidence >= 0.95) z = 1.96;
+  else if (confidence >= 0.90) z = 1.645;
+  else z = 1.282;
+  return z * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+ViolinSummary violin_summary(std::span<const double> xs) {
+  ViolinSummary v;
+  v.min = min_of(xs);
+  v.p25 = percentile(xs, 25.0);
+  v.median = median(xs);
+  v.p75 = percentile(xs, 75.0);
+  v.max = max_of(xs);
+  v.mean = mean(xs);
+  return v;
+}
+
+Histogram histogram(std::span<const double> xs, double lo, double hi, std::size_t bins) {
+  SMOE_REQUIRE(hi > lo, "histogram bounds");
+  SMOE_REQUIRE(bins > 0, "histogram needs >= 1 bin");
+  Histogram h;
+  h.lo = lo;
+  h.hi = hi;
+  h.counts.assign(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double x : xs) {
+    auto b = static_cast<std::int64_t>((x - lo) / width);
+    b = std::clamp<std::int64_t>(b, 0, static_cast<std::int64_t>(bins) - 1);
+    ++h.counts[static_cast<std::size_t>(b)];
+  }
+  return h;
+}
+
+}  // namespace smoe

@@ -1,0 +1,53 @@
+// Descriptive statistics used by the experiment harnesses: means, geometric
+// means, percentiles, Pearson correlation, confidence intervals, histograms
+// and five-number ("violin") summaries matching the plots in the paper.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace smoe {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  ///< Sample (n-1) variance.
+double stddev(std::span<const double> xs);
+
+/// Geometric mean; requires all xs > 0.
+double geomean(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+double median(std::span<const double> xs);
+
+/// Pearson correlation coefficient of two equal-length series.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Coefficient of determination of predictions vs observations.
+double r_squared(std::span<const double> observed, std::span<const double> predicted);
+
+/// Half-width of the two-sided confidence interval of the mean, using the
+/// normal approximation (the paper replays runs until the 95% CI width is
+/// below 5% of the mean).
+double ci_half_width(std::span<const double> xs, double confidence = 0.95);
+
+/// Summary used to describe a slowdown distribution (the paper's violin
+/// plots): min, p25, median, p75, max and mean.
+struct ViolinSummary {
+  double min = 0, p25 = 0, median = 0, p75 = 0, max = 0, mean = 0;
+};
+ViolinSummary violin_summary(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first/last bucket.
+struct Histogram {
+  double lo = 0, hi = 0;
+  std::vector<std::size_t> counts;
+};
+Histogram histogram(std::span<const double> xs, double lo, double hi, std::size_t bins);
+
+}  // namespace smoe

@@ -1,0 +1,63 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace smoe {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  SMOE_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SMOE_REQUIRE(cells.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+void TextTable::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << " " << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+    os << "\n";
+  };
+  auto emit_rule = [&] {
+    os << "+";
+    for (const auto w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+}
+
+char heat_char(double v01) {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  const double v = std::clamp(v01, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(v * 9.999);
+  return kRamp[idx];
+}
+
+}  // namespace smoe

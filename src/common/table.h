@@ -1,0 +1,34 @@
+// ASCII table emitter used by the bench harnesses to print the paper's
+// tables/figure series in a stable, diffable format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smoe {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendered with a header rule, suitable for terminals.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string pct(double fraction, int precision = 1);  ///< 0.49 -> "49.0%"
+
+  void render(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Simple down-sampled ASCII heat strip for utilization traces: maps a value
+/// in [0,1] to a density character.
+char heat_char(double v01);
+
+}  // namespace smoe

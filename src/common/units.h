@@ -1,0 +1,35 @@
+// Units and strong-ish types used across the simulator.
+//
+// All memory quantities are in gibibytes (double), all times in seconds
+// (double), and Spark input sizes are counted in "RDD items" — the paper
+// models memory footprint as a function of the number of RDD objects.
+// One item corresponds to roughly 1 MiB of on-disk input, so the paper's
+// 100 MB profiling slice is ~100 items and a 1 TB input is ~1e6 items.
+#pragma once
+
+#include <cstdint>
+
+namespace smoe {
+
+/// Gibibytes of memory.
+using GiB = double;
+/// Simulated wall-clock seconds.
+using Seconds = double;
+/// Count of RDD data items (the x-axis of every memory function).
+using Items = double;
+
+/// Approximate bytes of raw input represented by one RDD item.
+inline constexpr double kBytesPerItem = 1024.0 * 1024.0;
+
+/// Convert a raw input size in GiB to RDD items.
+constexpr Items items_from_gib(double gib) { return gib * 1024.0; }
+/// Convert RDD items back to the raw input size in GiB.
+constexpr double gib_from_items(Items items) { return items / 1024.0; }
+
+/// Identifier types. Plain integers with distinct aliases; -1 means "none".
+using NodeId = std::int32_t;
+using AppId = std::int32_t;
+using ExecutorId = std::int32_t;
+inline constexpr std::int32_t kNoId = -1;
+
+}  // namespace smoe

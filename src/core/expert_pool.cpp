@@ -1,0 +1,41 @@
+#include "core/expert_pool.h"
+
+#include "common/error.h"
+
+namespace smoe::core {
+
+ExpertPool ExpertPool::paper_default() {
+  ExpertPool pool;
+  pool.add(make_builtin_expert(ml::CurveKind::kPowerLaw));
+  pool.add(make_builtin_expert(ml::CurveKind::kExponential));
+  pool.add(make_builtin_expert(ml::CurveKind::kNapierianLog));
+  return pool;
+}
+
+int ExpertPool::add(std::unique_ptr<MemoryExpert> expert) {
+  SMOE_REQUIRE(expert != nullptr, "null expert");
+  experts_.push_back(std::move(expert));
+  return static_cast<int>(experts_.size()) - 1;
+}
+
+const MemoryExpert& ExpertPool::at(int index) const {
+  SMOE_REQUIRE(index >= 0 && static_cast<std::size_t>(index) < experts_.size(),
+               "expert index out of range");
+  return *experts_[static_cast<std::size_t>(index)];
+}
+
+ExpertPool::BestFit ExpertPool::best_fit(std::span<const double> xs,
+                                         std::span<const double> ys) const {
+  SMOE_REQUIRE(!experts_.empty(), "empty expert pool");
+  BestFit best;
+  for (std::size_t i = 0; i < experts_.size(); ++i) {
+    const FitResult fit = experts_[i]->fit(xs, ys);
+    if (best.index < 0 || fit.r2 > best.fit.r2) {
+      best.index = static_cast<int>(i);
+      best.fit = fit;
+    }
+  }
+  return best;
+}
+
+}  // namespace smoe::core

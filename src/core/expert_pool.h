@@ -1,0 +1,42 @@
+// The extensible registry of memory-function experts. Expert indices are the
+// class labels of the expert selector; adding a new expert does not disturb
+// existing labels (one of the advantages of KNN the paper highlights: no
+// retraining is needed when a function is added).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/memory_expert.h"
+
+namespace smoe::core {
+
+class ExpertPool {
+ public:
+  ExpertPool() = default;
+  ExpertPool(ExpertPool&&) = default;
+  ExpertPool& operator=(ExpertPool&&) = default;
+
+  /// The paper's Table 1 pool: power law, exponential, Napierian log — with
+  /// indices matching ml::CurveKind's enumerators.
+  static ExpertPool paper_default();
+
+  /// Register an expert; returns its index (= selector class label).
+  int add(std::unique_ptr<MemoryExpert> expert);
+
+  const MemoryExpert& at(int index) const;
+  std::size_t size() const { return experts_.size(); }
+
+  /// Fit every expert to an offline profile and return the index of the best
+  /// (highest R²) together with its fit.
+  struct BestFit {
+    int index = -1;
+    FitResult fit;
+  };
+  BestFit best_fit(std::span<const double> xs, std::span<const double> ys) const;
+
+ private:
+  std::vector<std::unique_ptr<MemoryExpert>> experts_;
+};
+
+}  // namespace smoe::core

@@ -1,0 +1,64 @@
+#include "core/memory_expert.h"
+
+#include "common/error.h"
+
+namespace smoe::core {
+
+namespace {
+
+class BuiltinExpert final : public MemoryExpert {
+ public:
+  explicit BuiltinExpert(ml::CurveKind kind) : kind_(kind) {}
+
+  std::string name() const override { return ml::to_string(kind_); }
+
+  std::string formula() const override {
+    switch (kind_) {
+      case ml::CurveKind::kPowerLaw: return "y = m * x^b";
+      case ml::CurveKind::kExponential: return "y = m * (1 - e^(-b*x))";
+      case ml::CurveKind::kNapierianLog: return "y = m + b * ln(x)";
+    }
+    return "?";
+  }
+
+  GiB eval(Params p, Items x) const override { return ml::curve_eval(kind_, p, x); }
+
+  Items inverse(Params p, GiB budget) const override {
+    return ml::curve_inverse(kind_, p, budget);
+  }
+
+  FitResult fit(std::span<const double> xs, std::span<const double> ys) const override {
+    const ml::CurveFit f = ml::fit_curve(kind_, xs, ys);
+    return {f.params, f.r2, f.rmse};
+  }
+
+  Params calibrate(Items x1, GiB y1, Items x2, GiB y2) const override {
+    return ml::calibrate_two_point(kind_, x1, y1, x2, y2);
+  }
+
+ private:
+  ml::CurveKind kind_;
+};
+
+}  // namespace
+
+std::unique_ptr<MemoryExpert> make_builtin_expert(ml::CurveKind kind) {
+  return std::make_unique<BuiltinExpert>(kind);
+}
+
+GiB MemoryModel::footprint(Items x) const {
+  SMOE_REQUIRE(valid(), "memory model not calibrated");
+  return expert_->eval(params_, x);
+}
+
+Items MemoryModel::items_for_budget(GiB budget) const {
+  SMOE_REQUIRE(valid(), "memory model not calibrated");
+  return expert_->inverse(params_, budget);
+}
+
+const MemoryExpert& MemoryModel::expert() const {
+  SMOE_REQUIRE(valid(), "memory model not calibrated");
+  return *expert_;
+}
+
+}  // namespace smoe::core

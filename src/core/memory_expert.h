@@ -1,0 +1,75 @@
+// The "expert" abstraction of the mixture-of-experts framework (Section 3).
+//
+// An expert is a two-parameter memory-function family y = f_{m,b}(x) mapping
+// input size (RDD items) to an executor's memory footprint (GiB). Experts
+// support:
+//   * eval/inverse        — used by the job dispatcher at runtime,
+//   * fit                 — full least-squares fit, used in offline training,
+//   * calibrate           — exact two-point solve, used at runtime with the
+//                           5%/10% profiling measurements.
+//
+// The paper ships three families (Table 1); the framework's headline design
+// property is that *new* families can be plugged in without retraining the
+// KNN selector (examples/custom_expert.cpp demonstrates this).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/units.h"
+#include "ml/regression.h"
+
+namespace smoe::core {
+
+/// Two calibratable parameters, shared by every family in the paper.
+using Params = ml::CurveParams;
+
+struct FitResult {
+  Params params;
+  double r2 = 0.0;
+  double rmse = 0.0;
+};
+
+class MemoryExpert {
+ public:
+  virtual ~MemoryExpert() = default;
+
+  virtual std::string name() const = 0;
+  /// Human-readable formula, e.g. "y = m * (1 - e^(-b*x))".
+  virtual std::string formula() const = 0;
+
+  /// Footprint (GiB) for `x` items under parameters `p`.
+  virtual GiB eval(Params p, Items x) const = 0;
+  /// Largest item count whose footprint fits in `budget`; may be +inf for
+  /// saturating families, or 0 when nothing fits.
+  virtual Items inverse(Params p, GiB budget) const = 0;
+
+  /// Least-squares fit against a full offline profile.
+  virtual FitResult fit(std::span<const double> xs, std::span<const double> ys) const = 0;
+  /// Exact two-point calibration from runtime profiling measurements.
+  virtual Params calibrate(Items x1, GiB y1, Items x2, GiB y2) const = 0;
+};
+
+/// Built-in expert wrapping one of the Table 1 regression families.
+std::unique_ptr<MemoryExpert> make_builtin_expert(ml::CurveKind kind);
+
+/// A calibrated memory model: the selected expert plus instantiated
+/// parameters. This is what the runtime scheduler consumes.
+class MemoryModel {
+ public:
+  MemoryModel() = default;
+  MemoryModel(const MemoryExpert* expert, Params params) : expert_(expert), params_(params) {}
+
+  bool valid() const { return expert_ != nullptr; }
+  GiB footprint(Items x) const;
+  Items items_for_budget(GiB budget) const;
+  const MemoryExpert& expert() const;
+  Params params() const { return params_; }
+
+ private:
+  const MemoryExpert* expert_ = nullptr;  // non-owning; pool outlives models
+  Params params_;
+};
+
+}  // namespace smoe::core

@@ -1,0 +1,36 @@
+#include "core/predictor.h"
+
+#include "common/error.h"
+
+namespace smoe::core {
+
+MoePredictor::MoePredictor(const ExpertPool& pool, const SelectorModel& selector,
+                           double confidence_distance)
+    : pool_(pool), selector_(selector), confidence_distance_(confidence_distance) {
+  SMOE_REQUIRE(confidence_distance > 0.0, "confidence distance must be positive");
+}
+
+Selection MoePredictor::select(std::span<const double> raw_features) const {
+  const ml::Vector pcs = selector_.project(raw_features);
+  const auto nn = selector_.knn.neighbours(pcs);
+  SMOE_CHECK(!nn.empty(), "selector has no training data");
+  Selection sel;
+  sel.expert_index = selector_.knn.predict(pcs);
+  sel.distance = nn.front().distance;
+  sel.nearest_program = selector_.programs[nn.front().index].name;
+  return sel;
+}
+
+MemoryModel MoePredictor::calibrate(const Selection& sel, const CalibrationProbes& probes) const {
+  SMOE_REQUIRE(sel.expert_index >= 0, "calibrate: invalid selection");
+  const MemoryExpert& expert = pool_.at(sel.expert_index);
+  const Params p = expert.calibrate(probes.x1, probes.y1, probes.x2, probes.y2);
+  return MemoryModel(&expert, p);
+}
+
+MemoryModel MoePredictor::predict(std::span<const double> raw_features,
+                                  const CalibrationProbes& probes) const {
+  return calibrate(select(raw_features), probes);
+}
+
+}  // namespace smoe::core

@@ -1,0 +1,58 @@
+// Runtime prediction (Section 4.1): select the memory function for an unseen
+// application from its profiling features, then calibrate the function's
+// parameters from two small profiling measurements. The KNN distance doubles
+// as a confidence signal — applications far from every training program can
+// be routed to a conservative fallback policy.
+#pragma once
+
+#include "core/trainer.h"
+
+namespace smoe::core {
+
+struct Selection {
+  int expert_index = -1;
+  /// Euclidean distance in PCA space to the nearest training program.
+  double distance = 0.0;
+  /// Name of that nearest training program (diagnostics / Fig. 16 analysis).
+  std::string nearest_program;
+};
+
+/// Two runtime footprint measurements (the 5% and 10% profiling runs).
+struct CalibrationProbes {
+  Items x1 = 0;
+  GiB y1 = 0;
+  Items x2 = 0;
+  GiB y2 = 0;
+};
+
+class MoePredictor {
+ public:
+  /// Both the pool and the selector must outlive the predictor and any
+  /// MemoryModel it produces.
+  MoePredictor(const ExpertPool& pool, const SelectorModel& selector,
+               double confidence_distance = 1.0);
+
+  /// Pick the expert for an application from its raw profiling features.
+  Selection select(std::span<const double> raw_features) const;
+
+  /// True when the selection is close enough to the training set to trust
+  /// (Section 4.1's soundness guarantee).
+  bool confident(const Selection& sel) const { return sel.distance <= confidence_distance_; }
+
+  /// Instantiate the selected expert's parameters from the probe runs.
+  MemoryModel calibrate(const Selection& sel, const CalibrationProbes& probes) const;
+
+  /// Convenience: select + calibrate in one step.
+  MemoryModel predict(std::span<const double> raw_features,
+                      const CalibrationProbes& probes) const;
+
+  const ExpertPool& pool() const { return pool_; }
+  const SelectorModel& selector() const { return selector_; }
+
+ private:
+  const ExpertPool& pool_;
+  const SelectorModel& selector_;
+  double confidence_distance_;
+};
+
+}  // namespace smoe::core

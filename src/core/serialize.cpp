@@ -1,0 +1,160 @@
+#include "core/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace smoe::core {
+
+namespace {
+
+constexpr const char* kMagic = "sparkmoe-selector";
+constexpr int kVersion = 1;
+
+void write_vector(std::ostream& os, const ml::Vector& v) {
+  os << v.size();
+  for (const double x : v) os << ' ' << x;
+  os << '\n';
+}
+
+ml::Vector read_vector(std::istream& is, const char* what) {
+  std::size_t n = 0;
+  if (!(is >> n)) throw SerializationError(std::string("expected size of ") + what);
+  ml::Vector v(n);
+  for (auto& x : v)
+    if (!(is >> x)) throw SerializationError(std::string("truncated ") + what);
+  return v;
+}
+
+void expect_token(std::istream& is, const std::string& expected) {
+  std::string token;
+  if (!(is >> token) || token != expected)
+    throw SerializationError("expected token '" + expected + "', got '" + token + "'");
+}
+
+}  // namespace
+
+void save_selector(const SelectorModel& model, std::ostream& os) {
+  SMOE_REQUIRE(model.scaler.fitted() && model.pca.fitted(), "save: model not trained");
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << kMagic << ' ' << kVersion << '\n';
+
+  os << "scaler ";
+  write_vector(os, model.scaler.mins());
+  os << "       ";
+  write_vector(os, model.scaler.maxs());
+
+  os << "pca-mean ";
+  write_vector(os, model.pca.mean());
+  const ml::Matrix& comp = model.pca.components();
+  os << "pca-components " << comp.rows() << ' ' << comp.cols() << '\n';
+  for (std::size_t r = 0; r < comp.rows(); ++r) {
+    for (std::size_t c = 0; c < comp.cols(); ++c) os << comp(r, c) << ' ';
+    os << '\n';
+  }
+  os << "pca-ratios ";
+  {
+    ml::Vector ratios = model.pca.explained_variance_ratio();
+    write_vector(os, ratios);
+  }
+
+  const ml::Dataset& knn = model.knn.training_data();
+  os << "knn " << model.knn.k() << ' ' << knn.size() << ' ' << knn.n_features() << '\n';
+  for (std::size_t i = 0; i < knn.size(); ++i) {
+    os << knn.labels[i];
+    for (std::size_t c = 0; c < knn.n_features(); ++c) os << ' ' << knn.x(i, c);
+    os << '\n';
+  }
+
+  os << "programs " << model.programs.size() << '\n';
+  for (const auto& p : model.programs) {
+    SMOE_REQUIRE(p.name.find_first_of(" \t\n") == std::string::npos,
+                 "save: program name contains whitespace");
+    os << p.name << ' ' << p.expert_index << ' ' << p.fit.r2 << ' ' << p.fit.rmse << ' '
+       << p.fit.params.m << ' ' << p.fit.params.b << ' ';
+    write_vector(os, p.pc_features);
+  }
+  if (!os) throw SerializationError("stream failure while saving selector");
+}
+
+SelectorModel load_selector(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != kMagic)
+    throw SerializationError("not a sparkmoe selector file");
+  if (version != kVersion)
+    throw SerializationError("unsupported selector version " + std::to_string(version));
+
+  SelectorModel model;
+
+  expect_token(is, "scaler");
+  ml::Vector mins = read_vector(is, "scaler mins");
+  ml::Vector maxs = read_vector(is, "scaler maxs");
+  if (mins.size() != maxs.size()) throw SerializationError("scaler extrema size mismatch");
+  model.scaler = ml::MinMaxScaler::from_parts(std::move(mins), std::move(maxs));
+
+  expect_token(is, "pca-mean");
+  ml::Vector mean = read_vector(is, "pca mean");
+  expect_token(is, "pca-components");
+  std::size_t rows = 0, cols = 0;
+  if (!(is >> rows >> cols) || rows == 0 || cols == 0)
+    throw SerializationError("bad pca component dimensions");
+  ml::Matrix comp(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      if (!(is >> comp(r, c))) throw SerializationError("truncated pca components");
+  expect_token(is, "pca-ratios");
+  ml::Vector ratios = read_vector(is, "pca ratios");
+  try {
+    model.pca = ml::Pca::from_parts(std::move(mean), std::move(comp), std::move(ratios));
+  } catch (const PreconditionError& e) {
+    throw SerializationError(std::string("inconsistent pca parts: ") + e.what());
+  }
+
+  expect_token(is, "knn");
+  std::size_t k = 0, n = 0, dims = 0;
+  if (!(is >> k >> n >> dims) || k == 0 || n == 0 || dims == 0)
+    throw SerializationError("bad knn header");
+  ml::Dataset ds;
+  ds.x = ml::Matrix(n, dims);
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(is >> ds.labels[i])) throw SerializationError("truncated knn labels");
+    if (ds.labels[i] < 0) throw SerializationError("negative knn label");
+    for (std::size_t c = 0; c < dims; ++c)
+      if (!(is >> ds.x(i, c))) throw SerializationError("truncated knn features");
+  }
+  model.knn = ml::KnnClassifier(k);
+  model.knn.fit(ds);
+
+  expect_token(is, "programs");
+  std::size_t n_programs = 0;
+  if (!(is >> n_programs)) throw SerializationError("bad program count");
+  model.programs.resize(n_programs);
+  for (auto& p : model.programs) {
+    if (!(is >> p.name >> p.expert_index >> p.fit.r2 >> p.fit.rmse >> p.fit.params.m >>
+          p.fit.params.b))
+      throw SerializationError("truncated program record");
+    p.pc_features = read_vector(is, "program pc features");
+  }
+  if (model.programs.size() != n)
+    throw SerializationError("program/knn sample count mismatch");
+  return model;
+}
+
+void save_selector_file(const SelectorModel& model, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw SerializationError("cannot open for writing: " + path);
+  save_selector(model, os);
+}
+
+SelectorModel load_selector_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw SerializationError("cannot open for reading: " + path);
+  return load_selector(is);
+}
+
+}  // namespace smoe::core

@@ -1,0 +1,36 @@
+// Persistence for trained selector models. The offline training of Section 3
+// is a one-off cost; a deployment trains once, saves the model, and every
+// scheduler instance loads it at startup. The format is a versioned,
+// line-oriented text format — diffable, and stable across platforms with
+// round-trippable doubles (max_digits10).
+//
+// Note: only the selector (scaler + PCA + KNN data + program records) is
+// persisted. The expert pool is code, not data — a loaded model must be used
+// with a pool whose expert indices match the one it was trained against
+// (the built-in Table 1 pool, plus any custom experts in registration order).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/trainer.h"
+
+namespace smoe::core {
+
+/// Thrown when parsing a persisted model fails.
+class SerializationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Write the selector to a stream.
+void save_selector(const SelectorModel& model, std::ostream& os);
+
+/// Read a selector back. Throws SerializationError on malformed input.
+SelectorModel load_selector(std::istream& is);
+
+/// Convenience file wrappers. Throw SerializationError on I/O failure.
+void save_selector_file(const SelectorModel& model, const std::string& path);
+SelectorModel load_selector_file(const std::string& path);
+
+}  // namespace smoe::core

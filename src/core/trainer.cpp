@@ -1,0 +1,56 @@
+#include "core/trainer.h"
+
+#include "common/error.h"
+
+namespace smoe::core {
+
+ml::Vector SelectorModel::project(std::span<const double> raw_features) const {
+  return pca.transform(scaler.transform(raw_features));
+}
+
+SelectorModel train_selector(const ExpertPool& pool,
+                             const std::vector<TrainingExample>& examples,
+                             const TrainerOptions& options) {
+  SMOE_REQUIRE(pool.size() >= 1, "trainer: empty expert pool");
+  SMOE_REQUIRE(examples.size() >= 2, "trainer: need >= 2 training programs");
+
+  SelectorModel model;
+
+  // 1. Label each program with its best-fitting expert.
+  std::vector<int> labels;
+  labels.reserve(examples.size());
+  std::vector<ml::Vector> raw_rows;
+  raw_rows.reserve(examples.size());
+  for (const auto& ex : examples) {
+    SMOE_REQUIRE(!ex.raw_features.empty(), "trainer: example without features: " + ex.name);
+    const ExpertPool::BestFit best = pool.best_fit(ex.profile_items, ex.profile_footprints);
+    SelectorModel::ProgramRecord rec;
+    rec.name = ex.name;
+    rec.expert_index = best.index;
+    rec.fit = best.fit;
+    model.programs.push_back(std::move(rec));
+    labels.push_back(best.index);
+    raw_rows.push_back(ex.raw_features);
+  }
+
+  // 2. Scale + PCA over the raw feature matrix.
+  const ml::Matrix raw = ml::Matrix::from_rows(raw_rows);
+  model.scaler.fit(raw);
+  const ml::Matrix scaled = model.scaler.transform(raw);
+  model.pca.fit(scaled, options.pca_variance_target, options.pca_max_components);
+  const ml::Matrix pcs = model.pca.transform(scaled);
+
+  // 3. Train the KNN selector on PC features.
+  ml::Dataset ds;
+  ds.x = pcs;
+  ds.labels = labels;
+  model.knn = ml::KnnClassifier(options.knn_k);
+  model.knn.fit(ds);
+
+  for (std::size_t i = 0; i < model.programs.size(); ++i) {
+    model.programs[i].pc_features.assign(pcs.row(i).begin(), pcs.row(i).end());
+  }
+  return model;
+}
+
+}  // namespace smoe::core

@@ -1,0 +1,64 @@
+// Offline training (Section 3.1/3.3, Figure 2):
+//   1. for every training program, fit each expert to the program's offline
+//      memory profile and label the program with the best-fitting expert;
+//   2. min-max scale the raw feature vectors and fit PCA keeping the top
+//      components (>= 95% variance, capped at 5 like the paper);
+//   3. train the KNN expert selector on (PC features -> expert label).
+//
+// Training is a one-off cost; the resulting SelectorModel is reused by every
+// runtime prediction.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/expert_pool.h"
+#include "ml/dataset.h"
+#include "ml/knn.h"
+#include "ml/pca.h"
+#include "ml/scaling.h"
+
+namespace smoe::core {
+
+/// Everything the trainer needs to know about one training program.
+struct TrainingExample {
+  std::string name;
+  /// Raw 22-feature vector from the ~100 MB characterization run.
+  ml::Vector raw_features;
+  /// Offline profile: footprint (GiB) observed at each input size (items).
+  std::vector<double> profile_items;
+  std::vector<double> profile_footprints;
+};
+
+/// The trained expert selector plus the bookkeeping the benches inspect.
+struct SelectorModel {
+  ml::MinMaxScaler scaler;
+  ml::Pca pca;
+  ml::KnnClassifier knn;
+
+  /// Per-training-program outcome, aligned with the input examples.
+  struct ProgramRecord {
+    std::string name;
+    int expert_index = -1;
+    FitResult fit;            ///< Offline least-squares fit of the chosen expert.
+    ml::Vector pc_features;   ///< The program's position in PCA space.
+  };
+  std::vector<ProgramRecord> programs;
+
+  /// Project a raw feature vector into the selector's PCA space.
+  ml::Vector project(std::span<const double> raw_features) const;
+};
+
+struct TrainerOptions {
+  double pca_variance_target = 0.95;
+  std::size_t pca_max_components = 5;  ///< The paper keeps the top 5 PCs.
+  std::size_t knn_k = 1;               ///< Nearest-neighbour selection (Section 4.1).
+};
+
+/// Train the selector against an expert pool. The pool must outlive any
+/// MemoryModel later produced from this selector.
+SelectorModel train_selector(const ExpertPool& pool,
+                             const std::vector<TrainingExample>& examples,
+                             const TrainerOptions& options = {});
+
+}  // namespace smoe::core

@@ -1,0 +1,57 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace smoe::ml {
+
+int Dataset::n_classes() const {
+  int maxl = -1;
+  for (const int l : labels) maxl = std::max(maxl, l);
+  return maxl + 1;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  SMOE_REQUIRE(!indices.empty(), "subset: empty index list");
+  Dataset out;
+  out.x = Matrix(indices.size(), x.cols());
+  out.labels.reserve(indices.size());
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    SMOE_REQUIRE(indices[r] < size(), "subset: index out of range");
+    for (std::size_t c = 0; c < x.cols(); ++c) out.x(r, c) = x(indices[r], c);
+    out.labels.push_back(labels[indices[r]]);
+  }
+  return out;
+}
+
+Dataset Dataset::without(std::size_t holdout) const {
+  SMOE_REQUIRE(holdout < size(), "without: index out of range");
+  SMOE_REQUIRE(size() >= 2, "without: dataset too small");
+  std::vector<std::size_t> keep;
+  keep.reserve(size() - 1);
+  for (std::size_t i = 0; i < size(); ++i)
+    if (i != holdout) keep.push_back(i);
+  return subset(keep);
+}
+
+void Dataset::validate() const {
+  SMOE_REQUIRE(x.rows() == labels.size(), "dataset: rows/labels mismatch");
+  SMOE_REQUIRE(!labels.empty(), "dataset: empty");
+  for (const int l : labels) SMOE_REQUIRE(l >= 0, "dataset: negative label");
+}
+
+double loocv_accuracy(const Dataset& ds, const ClassifierFactory& make) {
+  ds.validate();
+  SMOE_REQUIRE(ds.size() >= 2, "loocv: need >= 2 samples");
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const Dataset train = ds.without(i);
+    auto clf = make();
+    clf->fit(train);
+    if (clf->predict(ds.x.row(i)) == ds.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(ds.size());
+}
+
+}  // namespace smoe::ml

@@ -1,0 +1,48 @@
+// Labeled datasets and cross-validation helpers for the expert selector.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace smoe::ml {
+
+/// A classification dataset: one row of `x` per sample, integer class labels
+/// in [0, n_classes).
+struct Dataset {
+  Matrix x;
+  std::vector<int> labels;
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t n_features() const { return x.cols(); }
+  int n_classes() const;
+
+  /// Subset by sample indices (used by cross-validation and bagging).
+  Dataset subset(std::span<const std::size_t> indices) const;
+  /// All samples except the one at `holdout` (leave-one-out split).
+  Dataset without(std::size_t holdout) const;
+
+  void validate() const;  ///< Throws if rows/labels disagree or labels < 0.
+};
+
+/// Interface implemented by every classifier in the substrate.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  virtual void fit(const Dataset& ds) = 0;
+  virtual int predict(std::span<const double> features) const = 0;
+  virtual std::string name() const = 0;
+};
+
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+/// Leave-one-out cross-validation accuracy: for each sample, train a fresh
+/// classifier on the rest and test on the held-out sample. This mirrors the
+/// paper's evaluation methodology (Section 5.2).
+double loocv_accuracy(const Dataset& ds, const ClassifierFactory& make);
+
+}  // namespace smoe::ml

@@ -1,0 +1,151 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace smoe::ml {
+
+namespace {
+
+int majority_label(const Dataset& ds, const std::vector<std::size_t>& idx) {
+  std::map<int, std::size_t> counts;
+  for (const auto i : idx) ++counts[ds.labels[i]];
+  int best = ds.labels[idx.front()];
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : counts)
+    if (count > best_count) {
+      best = label;
+      best_count = count;
+    }
+  return best;
+}
+
+double gini(const std::map<int, std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (const auto& [label, count] : counts) {
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+bool all_same_label(const Dataset& ds, const std::vector<std::size_t>& idx) {
+  for (const auto i : idx)
+    if (ds.labels[i] != ds.labels[idx.front()]) return false;
+  return true;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(TreeParams params, std::uint64_t seed) : params_(params), rng_(seed) {
+  SMOE_REQUIRE(params.max_depth >= 1, "tree: max_depth >= 1");
+  SMOE_REQUIRE(params.min_samples_split >= 2, "tree: min_samples_split >= 2");
+}
+
+void DecisionTree::fit(const Dataset& ds) {
+  ds.validate();
+  nodes_.clear();
+  std::vector<std::size_t> idx(ds.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  root_ = build(ds, idx, 0);
+}
+
+std::int32_t DecisionTree::build(const Dataset& ds, std::vector<std::size_t>& idx,
+                                 std::size_t depth) {
+  SMOE_CHECK(!idx.empty(), "tree: empty node");
+  const auto make_leaf = [&] {
+    Node leaf;
+    leaf.label = majority_label(ds, idx);
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  if (depth >= params_.max_depth || idx.size() < params_.min_samples_split ||
+      all_same_label(ds, idx))
+    return make_leaf();
+
+  // Candidate features: all, or a random subset for forests.
+  std::vector<std::size_t> features;
+  if (params_.max_features > 0 && params_.max_features < ds.n_features()) {
+    features = rng_.sample_without_replacement(ds.n_features(), params_.max_features);
+  } else {
+    features.resize(ds.n_features());
+    for (std::size_t f = 0; f < features.size(); ++f) features[f] = f;
+  }
+
+  // Exhaustive best split by Gini gain over midpoints of sorted unique values.
+  double best_gini = 2.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  std::vector<std::pair<double, int>> vals(idx.size());
+
+  for (const auto f : features) {
+    for (std::size_t i = 0; i < idx.size(); ++i) vals[i] = {ds.x(idx[i], f), ds.labels[idx[i]]};
+    std::sort(vals.begin(), vals.end());
+
+    std::map<int, std::size_t> left_counts, right_counts;
+    for (const auto& [v, l] : vals) ++right_counts[l];
+
+    for (std::size_t i = 0; i + 1 < vals.size(); ++i) {
+      ++left_counts[vals[i].second];
+      if (--right_counts[vals[i].second] == 0) right_counts.erase(vals[i].second);
+      if (vals[i].first == vals[i + 1].first) continue;
+      const std::size_t nl = i + 1, nr = vals.size() - nl;
+      const double g = (static_cast<double>(nl) * gini(left_counts, nl) +
+                        static_cast<double>(nr) * gini(right_counts, nr)) /
+                       static_cast<double>(vals.size());
+      if (g < best_gini) {
+        best_gini = g;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (vals[i].first + vals[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return make_leaf();
+
+  std::vector<std::size_t> left_idx, right_idx;
+  for (const auto i : idx) {
+    if (ds.x(i, static_cast<std::size_t>(best_feature)) <= best_threshold)
+      left_idx.push_back(i);
+    else
+      right_idx.push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return make_leaf();
+
+  const std::int32_t left = build(ds, left_idx, depth + 1);
+  const std::int32_t right = build(ds, right_idx, depth + 1);
+  Node inner;
+  inner.feature = best_feature;
+  inner.threshold = best_threshold;
+  inner.left = left;
+  inner.right = right;
+  nodes_.push_back(inner);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+int DecisionTree::predict(std::span<const double> features) const {
+  SMOE_REQUIRE(root_ >= 0, "tree: predict before fit");
+  std::int32_t cur = root_;
+  while (true) {
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    if (n.feature < 0) return n.label;
+    SMOE_REQUIRE(static_cast<std::size_t>(n.feature) < features.size(),
+                 "tree: feature count mismatch");
+    cur = features[static_cast<std::size_t>(n.feature)] <= n.threshold ? n.left : n.right;
+  }
+}
+
+std::size_t DecisionTree::depth_of(std::int32_t node) const {
+  if (node < 0) return 0;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.feature < 0) return 1;
+  return 1 + std::max(depth_of(n.left), depth_of(n.right));
+}
+
+std::size_t DecisionTree::depth() const { return depth_of(root_); }
+
+}  // namespace smoe::ml

@@ -1,0 +1,50 @@
+// CART-style decision tree with Gini impurity — a Table 5 comparator and the
+// base learner for the random forest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace smoe::ml {
+
+struct TreeParams {
+  std::size_t max_depth = 16;
+  std::size_t min_samples_split = 2;
+  /// When set, each split considers only this many randomly chosen features
+  /// (used by the random forest); 0 means consider all features.
+  std::size_t max_features = 0;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(TreeParams params = {}, std::uint64_t seed = 0);
+
+  void fit(const Dataset& ds) override;
+  int predict(std::span<const double> features) const override;
+  std::string name() const override { return "Decision Tree"; }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t depth() const;
+
+ private:
+  struct Node {
+    // Leaf iff feature < 0.
+    int feature = -1;
+    double threshold = 0.0;
+    int label = 0;
+    std::int32_t left = -1, right = -1;
+  };
+
+  std::int32_t build(const Dataset& ds, std::vector<std::size_t>& idx, std::size_t depth);
+  std::size_t depth_of(std::int32_t node) const;
+
+  TreeParams params_;
+  Rng rng_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+};
+
+}  // namespace smoe::ml

@@ -1,0 +1,73 @@
+#include "ml/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace smoe::ml {
+
+EigenDecomposition eigen_symmetric(const Matrix& m, double tol, int max_sweeps) {
+  SMOE_REQUIRE(m.rows() == m.cols(), "eigen: matrix must be square");
+  const std::size_t n = m.rows();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      SMOE_REQUIRE(std::abs(m(i, j) - m(j, i)) < 1e-8 * (1.0 + std::abs(m(i, j))),
+                   "eigen: matrix must be symmetric");
+
+  Matrix a = m;
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Sum of squares of off-diagonal elements; stop when negligible.
+    double off = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) off += a(i, j) * a(i, j);
+    if (off < tol) break;
+
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a(p, q)) < 1e-300) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double t = std::copysign(1.0, theta) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p), akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k), aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort by eigenvalue, descending.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t i, std::size_t j) { return a(i, i) > a(j, j); });
+
+  EigenDecomposition out;
+  out.values.resize(n);
+  out.vectors = Matrix(n, n);
+  for (std::size_t c = 0; c < n; ++c) {
+    out.values[c] = a(order[c], order[c]);
+    for (std::size_t r = 0; r < n; ++r) out.vectors(r, c) = v(r, order[c]);
+  }
+  return out;
+}
+
+}  // namespace smoe::ml

@@ -1,0 +1,20 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+// Sufficient for PCA over the 22-feature covariance matrices used here.
+#pragma once
+
+#include "ml/matrix.h"
+
+namespace smoe::ml {
+
+struct EigenDecomposition {
+  /// Eigenvalues sorted descending.
+  Vector values;
+  /// Eigenvectors as columns, in the same order as `values`.
+  Matrix vectors;
+};
+
+/// Decompose a symmetric matrix. Throws PreconditionError if `m` is not
+/// square or not symmetric (within a small tolerance).
+EigenDecomposition eigen_symmetric(const Matrix& m, double tol = 1e-18, int max_sweeps = 100);
+
+}  // namespace smoe::ml

@@ -1,0 +1,106 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace smoe::ml {
+
+namespace {
+
+double sq_distance(std::span<const double> a, std::span<const double> b) {
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return s;
+}
+
+// k-means++: pick each next centroid with probability proportional to the
+// squared distance from the nearest already-chosen one.
+std::vector<std::size_t> seed_centroids(const Matrix& x, std::size_t k, Rng& rng) {
+  std::vector<std::size_t> chosen;
+  chosen.push_back(static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(x.rows()) - 1)));
+  std::vector<double> d2(x.rows(), std::numeric_limits<double>::infinity());
+  while (chosen.size() < k) {
+    double total = 0;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      d2[r] = std::min(d2[r], sq_distance(x.row(r), x.row(chosen.back())));
+      total += d2[r];
+    }
+    if (total <= 0) {
+      // All remaining points coincide with a centroid; pick arbitrarily.
+      chosen.push_back(chosen.back());
+      continue;
+    }
+    double pick = rng.uniform(0.0, total);
+    std::size_t next = x.rows() - 1;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      pick -= d2[r];
+      if (pick <= 0) {
+        next = r;
+        break;
+      }
+    }
+    chosen.push_back(next);
+  }
+  return chosen;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& x, std::size_t k, std::uint64_t seed,
+                    std::size_t max_iterations) {
+  SMOE_REQUIRE(k >= 1, "kmeans: k must be >= 1");
+  SMOE_REQUIRE(x.rows() >= k, "kmeans: need at least k rows");
+
+  Rng rng(seed);
+  const auto seeds = seed_centroids(x, k, rng);
+  KMeansResult out;
+  out.centroids = Matrix(k, x.cols());
+  for (std::size_t c = 0; c < k; ++c)
+    for (std::size_t f = 0; f < x.cols(); ++f) out.centroids(c, f) = x(seeds[c], f);
+
+  out.assignment.assign(x.rows(), 0);
+  for (out.iterations = 0; out.iterations < max_iterations; ++out.iterations) {
+    // Assignment step.
+    bool moved = false;
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      std::size_t best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < k; ++c) {
+        const double d = sq_distance(x.row(r), out.centroids.row(c));
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (out.assignment[r] != best) {
+        out.assignment[r] = best;
+        moved = true;
+      }
+    }
+    if (!moved && out.iterations > 0) break;
+
+    // Update step; an emptied cluster keeps its previous centroid.
+    Matrix sums(k, x.cols());
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      ++counts[out.assignment[r]];
+      for (std::size_t f = 0; f < x.cols(); ++f) sums(out.assignment[r], f) += x(r, f);
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t f = 0; f < x.cols(); ++f)
+        out.centroids(c, f) = sums(c, f) / static_cast<double>(counts[c]);
+    }
+  }
+
+  out.inertia = 0;
+  for (std::size_t r = 0; r < x.rows(); ++r)
+    out.inertia += sq_distance(x.row(r), out.centroids.row(out.assignment[r]));
+  return out;
+}
+
+}  // namespace smoe::ml

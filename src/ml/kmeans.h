@@ -1,0 +1,23 @@
+// Lloyd's k-means with k-means++ seeding. Used by the Figure 16 analysis to
+// *discover* the program clusters instead of assuming them, and generally
+// useful for workload characterization.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/matrix.h"
+
+namespace smoe::ml {
+
+struct KMeansResult {
+  Matrix centroids;                    ///< k x features
+  std::vector<std::size_t> assignment; ///< cluster index per input row
+  double inertia = 0.0;                ///< sum of squared distances to centroids
+  std::size_t iterations = 0;
+};
+
+/// Cluster the rows of `x` into `k` groups. Deterministic given `seed`.
+KMeansResult kmeans(const Matrix& x, std::size_t k, std::uint64_t seed,
+                    std::size_t max_iterations = 100);
+
+}  // namespace smoe::ml

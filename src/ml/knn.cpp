@@ -1,0 +1,56 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace smoe::ml {
+
+KnnClassifier::KnnClassifier(std::size_t k) : k_(k) {
+  SMOE_REQUIRE(k >= 1, "knn: k must be >= 1");
+}
+
+void KnnClassifier::fit(const Dataset& ds) {
+  ds.validate();
+  train_ = ds;
+  fitted_ = true;
+}
+
+std::vector<KnnClassifier::Neighbour> KnnClassifier::neighbours(
+    std::span<const double> features) const {
+  SMOE_REQUIRE(fitted_, "knn: predict before fit");
+  std::vector<Neighbour> all;
+  all.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i)
+    all.push_back({i, euclidean_distance(features, train_.x.row(i)), train_.labels[i]});
+  const std::size_t k = std::min(k_, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k), all.end(),
+                    [](const Neighbour& a, const Neighbour& b) { return a.distance < b.distance; });
+  all.resize(k);
+  return all;
+}
+
+int KnnClassifier::predict(std::span<const double> features) const {
+  const auto nn = neighbours(features);
+  SMOE_CHECK(!nn.empty(), "knn: no neighbours");
+  // Majority vote; ties broken by the closest member of the tied classes.
+  std::map<int, std::size_t> votes;
+  for (const auto& n : nn) ++votes[n.label];
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : votes) best_count = std::max(best_count, count);
+  for (const auto& n : nn)
+    if (votes[n.label] == best_count) return n.label;
+  return nn.front().label;
+}
+
+double KnnClassifier::nearest_distance(std::span<const double> features) const {
+  return neighbours(features).front().distance;
+}
+
+const Dataset& KnnClassifier::training_data() const {
+  SMOE_REQUIRE(fitted_, "knn: no training data before fit");
+  return train_;
+}
+
+}  // namespace smoe::ml

@@ -1,0 +1,41 @@
+// K-nearest-neighbour classifier — the paper's expert selector (Section 3).
+// Beyond the plain class vote, it exposes the distance to the nearest
+// neighbour, which the paper uses as a prediction-confidence signal (an
+// application "too far from any training program" falls back to conservative
+// scheduling, Section 4.1 / 6.9).
+#pragma once
+
+#include "ml/dataset.h"
+
+namespace smoe::ml {
+
+class KnnClassifier final : public Classifier {
+ public:
+  explicit KnnClassifier(std::size_t k = 1);
+
+  void fit(const Dataset& ds) override;
+  int predict(std::span<const double> features) const override;
+  std::string name() const override { return "KNN"; }
+
+  struct Neighbour {
+    std::size_t index = 0;  ///< Training-sample index.
+    double distance = 0.0;  ///< Euclidean distance in the (PCA) feature space.
+    int label = 0;
+  };
+
+  /// The k nearest training samples, closest first.
+  std::vector<Neighbour> neighbours(std::span<const double> features) const;
+  /// Distance to the single nearest neighbour (confidence signal).
+  double nearest_distance(std::span<const double> features) const;
+
+  std::size_t k() const { return k_; }
+  /// The training data this classifier was fit on (for serialization).
+  const Dataset& training_data() const;
+
+ private:
+  std::size_t k_;
+  Dataset train_;
+  bool fitted_ = false;
+};
+
+}  // namespace smoe::ml

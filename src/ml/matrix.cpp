@@ -1,0 +1,99 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace smoe::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  SMOE_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+Matrix Matrix::from_rows(const std::vector<Vector>& rows) {
+  SMOE_REQUIRE(!rows.empty(), "from_rows: no rows");
+  const std::size_t cols = rows.front().size();
+  Matrix m(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    SMOE_REQUIRE(rows[r].size() == cols, "from_rows: ragged rows");
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  SMOE_REQUIRE(cols_ == rhs.rows_, "matrix multiply shape mismatch");
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) out(i, j) += a * rhs(k, j);
+    }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  SMOE_REQUIRE(cols_ == v.size(), "matrix-vector shape mismatch");
+  Vector out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = dot(row(i), v);
+  return out;
+}
+
+Vector Matrix::col_means() const {
+  Vector m(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) m[c] += (*this)(r, c);
+  for (auto& x : m) x /= static_cast<double>(rows_);
+  return m;
+}
+
+Matrix Matrix::covariance() const {
+  SMOE_REQUIRE(rows_ >= 2, "covariance needs >= 2 rows");
+  const Vector mu = col_means();
+  Matrix cov(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double di = (*this)(r, i) - mu[i];
+      for (std::size_t j = i; j < cols_; ++j) cov(i, j) += di * ((*this)(r, j) - mu[j]);
+    }
+  const double denom = static_cast<double>(rows_ - 1);
+  for (std::size_t i = 0; i < cols_; ++i)
+    for (std::size_t j = i; j < cols_; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  return cov;
+}
+
+double euclidean_distance(std::span<const double> a, std::span<const double> b) {
+  SMOE_REQUIRE(a.size() == b.size(), "distance: size mismatch");
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(s);
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  SMOE_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace smoe::ml

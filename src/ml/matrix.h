@@ -1,0 +1,57 @@
+// Minimal dense linear algebra for the ML substrate: a row-major matrix of
+// doubles plus the handful of operations PCA/Varimax/regression need. Not a
+// general-purpose BLAS; sized for feature matrices of tens of rows/columns.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace smoe::ml {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Build from nested initializer-style data; every row must be equally wide.
+  static Matrix from_rows(const std::vector<Vector>& rows);
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const { return {data_.data() + r * cols_, cols_}; }
+
+  Matrix transposed() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Vector operator*(const Vector& v) const;
+
+  /// Column means of the matrix, one per column.
+  Vector col_means() const;
+  /// Sample covariance matrix of the rows (n-1 normalization).
+  Matrix covariance() const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean distance between two equal-length vectors.
+double euclidean_distance(std::span<const double> a, std::span<const double> b);
+/// Dot product of two equal-length vectors.
+double dot(std::span<const double> a, std::span<const double> b);
+/// L2 norm.
+double norm(std::span<const double> a);
+
+}  // namespace smoe::ml

@@ -1,0 +1,140 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace smoe::ml {
+
+NeuralNet::NeuralNet(std::size_t n_in, std::vector<std::size_t> hidden, std::size_t n_out,
+                     std::uint64_t seed) {
+  SMOE_REQUIRE(n_in >= 1 && n_out >= 1, "net: bad dimensions");
+  sizes_.push_back(n_in);
+  for (const auto h : hidden) {
+    SMOE_REQUIRE(h >= 1, "net: empty hidden layer");
+    sizes_.push_back(h);
+  }
+  sizes_.push_back(n_out);
+
+  Rng rng(seed);
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    Layer layer;
+    layer.w = Matrix(sizes_[l + 1], sizes_[l]);
+    layer.b.assign(sizes_[l + 1], 0.0);
+    // Xavier-style init keeps tanh activations in their linear regime.
+    const double scale = std::sqrt(1.0 / static_cast<double>(sizes_[l]));
+    for (std::size_t r = 0; r < layer.w.rows(); ++r)
+      for (std::size_t c = 0; c < layer.w.cols(); ++c)
+        layer.w(r, c) = rng.uniform(-scale, scale);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<Vector> NeuralNet::forward_all(std::span<const double> x) const {
+  SMOE_REQUIRE(x.size() == sizes_.front(), "net: input size mismatch");
+  std::vector<Vector> acts;
+  acts.emplace_back(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Vector z = layers_[l].w * acts.back();
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] += layers_[l].b[i];
+    if (l + 1 < layers_.size())  // hidden: tanh, output: linear
+      for (auto& v : z) v = std::tanh(v);
+    acts.push_back(std::move(z));
+  }
+  return acts;
+}
+
+Vector NeuralNet::forward(std::span<const double> x) const { return forward_all(x).back(); }
+
+double NeuralNet::train_step(std::span<const double> x, std::span<const double> target,
+                             double lr, double l2) {
+  SMOE_REQUIRE(target.size() == sizes_.back(), "net: target size mismatch");
+  const std::vector<Vector> acts = forward_all(x);
+
+  // Output delta for squared error with linear output.
+  Vector delta(target.size());
+  double loss = 0;
+  for (std::size_t i = 0; i < target.size(); ++i) {
+    delta[i] = acts.back()[i] - target[i];
+    loss += 0.5 * delta[i] * delta[i];
+  }
+
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const Vector& input = acts[l];
+    Vector next_delta(input.size(), 0.0);
+    for (std::size_t r = 0; r < layers_[l].w.rows(); ++r) {
+      for (std::size_t c = 0; c < layers_[l].w.cols(); ++c) {
+        next_delta[c] += layers_[l].w(r, c) * delta[r];
+        layers_[l].w(r, c) -= lr * (delta[r] * input[c] + l2 * layers_[l].w(r, c));
+      }
+      layers_[l].b[r] -= lr * delta[r];
+    }
+    if (l > 0) {
+      // Through the tanh of the previous hidden layer: act = acts[l].
+      for (std::size_t c = 0; c < next_delta.size(); ++c)
+        next_delta[c] *= 1.0 - acts[l][c] * acts[l][c];
+      delta = std::move(next_delta);
+    }
+  }
+  return loss;
+}
+
+MlpClassifier::MlpClassifier(MlpParams params, std::uint64_t seed, std::string display_name)
+    : params_(std::move(params)), seed_(seed), display_name_(std::move(display_name)) {}
+
+void MlpClassifier::fit(const Dataset& ds) {
+  ds.validate();
+  const int nc = ds.n_classes();
+  SMOE_REQUIRE(nc >= 2, "mlp: need >= 2 classes");
+  net_ = std::make_unique<NeuralNet>(ds.n_features(), params_.hidden,
+                                     static_cast<std::size_t>(nc), seed_);
+  Rng rng(Rng::derive(seed_, "order"));
+  std::vector<std::size_t> order(ds.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  Vector target(static_cast<std::size_t>(nc));
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (const auto i : order) {
+      std::fill(target.begin(), target.end(), 0.0);
+      target[static_cast<std::size_t>(ds.labels[i])] = 1.0;
+      net_->train_step(ds.x.row(i), target, params_.lr, params_.l2);
+    }
+  }
+}
+
+int MlpClassifier::predict(std::span<const double> features) const {
+  SMOE_REQUIRE(net_ != nullptr, "mlp: predict before fit");
+  const Vector out = net_->forward(features);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < out.size(); ++i)
+    if (out[i] > out[best]) best = i;
+  return static_cast<int>(best);
+}
+
+AnnRegressor::AnnRegressor(MlpParams params, std::uint64_t seed)
+    : params_(std::move(params)), seed_(seed) {}
+
+void AnnRegressor::fit(const Matrix& x, std::span<const double> y) {
+  SMOE_REQUIRE(x.rows() == y.size(), "ann: rows/targets mismatch");
+  SMOE_REQUIRE(x.rows() >= 1, "ann: empty training set");
+  net_ = std::make_unique<NeuralNet>(x.cols(), params_.hidden, 1, seed_);
+  Rng rng(Rng::derive(seed_, "order"));
+  std::vector<std::size_t> order(x.rows());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (const auto i : order) {
+      const double t[1] = {y[i]};
+      net_->train_step(x.row(i), t, params_.lr, params_.l2);
+    }
+  }
+}
+
+double AnnRegressor::predict(std::span<const double> features) const {
+  SMOE_REQUIRE(net_ != nullptr, "ann: predict before fit");
+  return net_->forward(features)[0];
+}
+
+}  // namespace smoe::ml

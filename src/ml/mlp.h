@@ -1,0 +1,82 @@
+// Fully connected feed-forward networks trained with backpropagation.
+//
+// Two uses in the paper:
+//  * MLP / "ANN" classifiers as Table 5 comparators for the expert selector
+//    (the MLP has one hidden layer, the ANN mirrors the paper's 3-layer net);
+//  * an ANN *regressor* as the unified single-model memory predictor the
+//    mixture-of-experts is compared against in Figure 9.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/dataset.h"
+
+namespace smoe::ml {
+
+struct MlpParams {
+  std::vector<std::size_t> hidden = {16};  ///< Hidden layer widths.
+  std::size_t epochs = 400;
+  double lr = 0.05;
+  double l2 = 1e-5;
+};
+
+/// Core network: tanh hidden activations, linear output layer.
+class NeuralNet {
+ public:
+  NeuralNet(std::size_t n_in, std::vector<std::size_t> hidden, std::size_t n_out,
+            std::uint64_t seed);
+
+  Vector forward(std::span<const double> x) const;
+
+  /// One SGD step on 1/2 * ||out - target||^2 with L2 decay; returns loss.
+  double train_step(std::span<const double> x, std::span<const double> target, double lr,
+                    double l2);
+
+  std::size_t n_in() const { return sizes_.front(); }
+  std::size_t n_out() const { return sizes_.back(); }
+
+ private:
+  struct Layer {
+    Matrix w;  // out x in
+    Vector b;
+  };
+  std::vector<std::size_t> sizes_;
+  std::vector<Layer> layers_;
+
+  // Forward pass that keeps per-layer activations for backprop.
+  std::vector<Vector> forward_all(std::span<const double> x) const;
+};
+
+/// Classifier head: one-hot targets, argmax prediction.
+class MlpClassifier final : public Classifier {
+ public:
+  explicit MlpClassifier(MlpParams params = {}, std::uint64_t seed = 3,
+                         std::string display_name = "MLP");
+
+  void fit(const Dataset& ds) override;
+  int predict(std::span<const double> features) const override;
+  std::string name() const override { return display_name_; }
+
+ private:
+  MlpParams params_;
+  std::uint64_t seed_;
+  std::string display_name_;
+  std::unique_ptr<NeuralNet> net_;
+};
+
+/// Scalar regressor used as the Figure 9 unified ANN memory model.
+class AnnRegressor {
+ public:
+  explicit AnnRegressor(MlpParams params = {}, std::uint64_t seed = 4);
+
+  /// Fit y ~ f(x) on rows of `x`.
+  void fit(const Matrix& x, std::span<const double> y);
+  double predict(std::span<const double> features) const;
+
+ private:
+  MlpParams params_;
+  std::uint64_t seed_;
+  std::unique_ptr<NeuralNet> net_;
+};
+
+}  // namespace smoe::ml

@@ -1,0 +1,71 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace smoe::ml {
+
+GaussianNaiveBayes::GaussianNaiveBayes(double var_smoothing) : var_smoothing_(var_smoothing) {
+  SMOE_REQUIRE(var_smoothing > 0.0, "nb: smoothing must be positive");
+}
+
+void GaussianNaiveBayes::fit(const Dataset& ds) {
+  ds.validate();
+  const int nc = ds.n_classes();
+  SMOE_REQUIRE(nc >= 2, "nb: need >= 2 classes");
+  const std::size_t nf = ds.n_features();
+
+  priors_.assign(static_cast<std::size_t>(nc), 0.0);
+  means_.assign(static_cast<std::size_t>(nc), Vector(nf, 0.0));
+  variances_.assign(static_cast<std::size_t>(nc), Vector(nf, 0.0));
+  std::vector<std::size_t> counts(static_cast<std::size_t>(nc), 0);
+
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(ds.labels[i]);
+    ++counts[cls];
+    for (std::size_t f = 0; f < nf; ++f) means_[cls][f] += ds.x(i, f);
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(nc); ++c) {
+    if (counts[c] == 0) continue;
+    for (auto& m : means_[c]) m /= static_cast<double>(counts[c]);
+  }
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto cls = static_cast<std::size_t>(ds.labels[i]);
+    for (std::size_t f = 0; f < nf; ++f) {
+      const double d = ds.x(i, f) - means_[cls][f];
+      variances_[cls][f] += d * d;
+    }
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(nc); ++c) {
+    if (counts[c] == 0) {
+      priors_[c] = -std::numeric_limits<double>::infinity();
+      continue;
+    }
+    priors_[c] = std::log(static_cast<double>(counts[c]) / static_cast<double>(ds.size()));
+    for (auto& v : variances_[c]) v = v / static_cast<double>(counts[c]) + var_smoothing_;
+  }
+}
+
+int GaussianNaiveBayes::predict(std::span<const double> features) const {
+  SMOE_REQUIRE(!priors_.empty(), "nb: predict before fit");
+  SMOE_REQUIRE(features.size() == means_.front().size(), "nb: feature count mismatch");
+  int best = 0;
+  double best_ll = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < priors_.size(); ++c) {
+    if (!std::isfinite(priors_[c])) continue;
+    double ll = priors_[c];
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      const double d = features[f] - means_[c][f];
+      ll += -0.5 * (std::log(2.0 * M_PI * variances_[c][f]) + d * d / variances_[c][f]);
+    }
+    if (ll > best_ll) {
+      best_ll = ll;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace smoe::ml

@@ -1,0 +1,26 @@
+// Gaussian Naive Bayes classifier — one of the alternatives the paper
+// compares the KNN expert selector against (Table 5).
+#pragma once
+
+#include "ml/dataset.h"
+
+namespace smoe::ml {
+
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  /// `var_smoothing` is added to every per-class variance to keep the
+  /// likelihood well-defined for (near-)constant features.
+  explicit GaussianNaiveBayes(double var_smoothing = 1e-6);
+
+  void fit(const Dataset& ds) override;
+  int predict(std::span<const double> features) const override;
+  std::string name() const override { return "Naive Bayes"; }
+
+ private:
+  double var_smoothing_;
+  std::vector<double> priors_;        // log prior per class
+  std::vector<Vector> means_;         // per class
+  std::vector<Vector> variances_;     // per class
+};
+
+}  // namespace smoe::ml

@@ -1,0 +1,74 @@
+#include "ml/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "ml/eigen.h"
+
+namespace smoe::ml {
+
+void Pca::fit(const Matrix& x, double variance_target, std::size_t max_components) {
+  SMOE_REQUIRE(x.rows() >= 2, "pca: need >= 2 samples");
+  SMOE_REQUIRE(variance_target > 0.0 && variance_target <= 1.0, "pca: variance target");
+
+  mean_ = x.col_means();
+  const EigenDecomposition eig = eigen_symmetric(x.covariance());
+
+  double total = 0;
+  for (const double v : eig.values) total += std::max(v, 0.0);
+  SMOE_REQUIRE(total > 0.0, "pca: zero total variance");
+
+  std::size_t keep = 0;
+  double acc = 0;
+  for (std::size_t i = 0; i < eig.values.size(); ++i) {
+    acc += std::max(eig.values[i], 0.0) / total;
+    ++keep;
+    if (acc >= variance_target) break;
+  }
+  if (max_components > 0) keep = std::min(keep, max_components);
+  keep = std::max<std::size_t>(keep, 1);
+
+  components_ = Matrix(x.cols(), keep);
+  explained_ratio_.assign(keep, 0.0);
+  for (std::size_t c = 0; c < keep; ++c) {
+    explained_ratio_[c] = std::max(eig.values[c], 0.0) / total;
+    for (std::size_t r = 0; r < x.cols(); ++r) components_(r, c) = eig.vectors(r, c);
+  }
+}
+
+Pca Pca::from_parts(Vector mean, Matrix components, Vector explained_ratio) {
+  SMOE_REQUIRE(!mean.empty(), "pca: empty mean");
+  SMOE_REQUIRE(components.rows() == mean.size(), "pca: components/mean mismatch");
+  SMOE_REQUIRE(components.cols() == explained_ratio.size(), "pca: components/ratio mismatch");
+  Pca p;
+  p.mean_ = std::move(mean);
+  p.components_ = std::move(components);
+  p.explained_ratio_ = std::move(explained_ratio);
+  return p;
+}
+
+Vector Pca::transform(std::span<const double> features) const {
+  SMOE_REQUIRE(fitted(), "pca: transform before fit");
+  SMOE_REQUIRE(features.size() == mean_.size(), "pca: feature count mismatch");
+  Vector centered(features.size());
+  for (std::size_t i = 0; i < features.size(); ++i) centered[i] = features[i] - mean_[i];
+  Vector out(n_components(), 0.0);
+  for (std::size_t c = 0; c < n_components(); ++c) {
+    double s = 0;
+    for (std::size_t r = 0; r < centered.size(); ++r) s += centered[r] * components_(r, c);
+    out[c] = s;
+  }
+  return out;
+}
+
+Matrix Pca::transform(const Matrix& x) const {
+  Matrix out(x.rows(), n_components());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const Vector t = transform(x.row(r));
+    for (std::size_t c = 0; c < t.size(); ++c) out(r, c) = t[c];
+  }
+  return out;
+}
+
+}  // namespace smoe::ml

@@ -1,0 +1,43 @@
+// Principal Component Analysis (Section 3.2 "Feature Reduction"): the paper
+// projects the 22 scaled raw features onto the top principal components that
+// together explain >= 95% of the training-set variance (5 PCs in the paper),
+// and reuses the stored transformation at deployment time.
+#pragma once
+
+#include "ml/matrix.h"
+
+namespace smoe::ml {
+
+class Pca {
+ public:
+  /// Fit on a (samples x features) matrix, keeping enough components to
+  /// explain `variance_target` of total variance (capped at max_components,
+  /// 0 = no cap).
+  void fit(const Matrix& x, double variance_target = 0.95, std::size_t max_components = 0);
+
+  /// Project one (already scaled) feature vector onto the retained PCs.
+  Vector transform(std::span<const double> features) const;
+  Matrix transform(const Matrix& x) const;
+
+  std::size_t n_components() const { return components_.rows() ? components_.cols() : 0; }
+  std::size_t n_features() const { return mean_.size(); }
+
+  /// Fraction of total variance explained by each retained component.
+  const Vector& explained_variance_ratio() const { return explained_ratio_; }
+  /// Loadings: (features x components) matrix of eigenvectors.
+  const Matrix& components() const { return components_; }
+  /// Column means subtracted before projection.
+  const Vector& mean() const { return mean_; }
+
+  /// Rebuild a projection from stored parts (deserialization).
+  static Pca from_parts(Vector mean, Matrix components, Vector explained_ratio);
+
+  bool fitted() const { return !mean_.empty(); }
+
+ private:
+  Vector mean_;
+  Matrix components_;      // features x kept-components
+  Vector explained_ratio_; // kept components only
+};
+
+}  // namespace smoe::ml

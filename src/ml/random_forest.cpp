@@ -1,0 +1,54 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/error.h"
+
+namespace smoe::ml {
+
+RandomForest::RandomForest(ForestParams params, std::uint64_t seed)
+    : params_(params), seed_(seed) {
+  SMOE_REQUIRE(params.n_trees >= 1, "forest: need >= 1 tree");
+}
+
+void RandomForest::fit(const Dataset& ds) {
+  ds.validate();
+  trees_.clear();
+  trees_.reserve(params_.n_trees);
+
+  TreeParams tp = params_.tree;
+  if (tp.max_features == 0) {
+    // sqrt(d) features per split, the usual forest default.
+    tp.max_features = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::sqrt(static_cast<double>(ds.n_features()))));
+  }
+
+  Rng rng(seed_);
+  for (std::size_t t = 0; t < params_.n_trees; ++t) {
+    // Bootstrap sample of the training set.
+    std::vector<std::size_t> boot(ds.size());
+    for (auto& b : boot)
+      b = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(ds.size()) - 1));
+    const Dataset bag = ds.subset(boot);
+    auto tree = std::make_unique<DecisionTree>(tp, Rng::derive(seed_, "tree" + std::to_string(t)));
+    tree->fit(bag);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int RandomForest::predict(std::span<const double> features) const {
+  SMOE_REQUIRE(!trees_.empty(), "forest: predict before fit");
+  std::map<int, std::size_t> votes;
+  for (const auto& tree : trees_) ++votes[tree->predict(features)];
+  int best = 0;
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : votes)
+    if (count > best_count) {
+      best = label;
+      best_count = count;
+    }
+  return best;
+}
+
+}  // namespace smoe::ml

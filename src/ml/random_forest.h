@@ -1,0 +1,32 @@
+// Random forest (bagged CART trees with random feature subsets) — a Table 5
+// comparator for the expert selector.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+
+namespace smoe::ml {
+
+struct ForestParams {
+  std::size_t n_trees = 50;
+  TreeParams tree;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(ForestParams params = {}, std::uint64_t seed = 1);
+
+  void fit(const Dataset& ds) override;
+  int predict(std::span<const double> features) const override;
+  std::string name() const override { return "Random Forests"; }
+
+ private:
+  ForestParams params_;
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+}  // namespace smoe::ml

@@ -1,0 +1,272 @@
+#include "ml/regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace smoe::ml {
+
+namespace {
+
+void check_fit_inputs(std::span<const double> xs, std::span<const double> ys) {
+  SMOE_REQUIRE(xs.size() == ys.size(), "fit: xs/ys size mismatch");
+  SMOE_REQUIRE(xs.size() >= 2, "fit: need >= 2 points");
+  bool distinct = false;
+  for (const double x : xs) {
+    SMOE_REQUIRE(x > 0.0, "fit: xs must be positive");
+    if (x != xs.front()) distinct = true;
+  }
+  SMOE_REQUIRE(distinct, "fit: xs must contain >= 2 distinct values");
+}
+
+double sse_for(CurveKind kind, CurveParams p, std::span<const double> xs,
+               std::span<const double> ys) {
+  double s = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double d = curve_eval(kind, p, xs[i]) - ys[i];
+    s += d * d;
+  }
+  return s;
+}
+
+CurveFit finalize(CurveKind kind, CurveParams p, std::span<const double> xs,
+                  std::span<const double> ys) {
+  CurveFit fit;
+  fit.kind = kind;
+  fit.params = p;
+  std::vector<double> pred(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) pred[i] = curve_eval(kind, p, xs[i]);
+  fit.r2 = smoe::r_squared(ys, pred);
+  fit.rmse = std::sqrt(sse_for(kind, p, xs, ys) / static_cast<double>(xs.size()));
+  return fit;
+}
+
+// For a fixed exponential rate b, the amplitude m that minimizes SSE has a
+// closed form: m = sum(y*g) / sum(g^2), g = 1 - e^(-b*x).
+double best_exp_amplitude(double b, std::span<const double> xs, std::span<const double> ys) {
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double g = 1.0 - std::exp(-b * xs[i]);
+    num += ys[i] * g;
+    den += g * g;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace
+
+std::string to_string(CurveKind kind) {
+  switch (kind) {
+    case CurveKind::kPowerLaw: return "PowerLaw";
+    case CurveKind::kExponential: return "Exponential";
+    case CurveKind::kNapierianLog: return "NapierianLog";
+  }
+  return "?";
+}
+
+double curve_eval(CurveKind kind, CurveParams p, double x) {
+  switch (kind) {
+    case CurveKind::kPowerLaw:
+      SMOE_REQUIRE(x >= 0.0, "power law needs x >= 0");
+      return p.m * std::pow(x, p.b);
+    case CurveKind::kExponential:
+      return p.m * (1.0 - std::exp(-p.b * x));
+    case CurveKind::kNapierianLog:
+      SMOE_REQUIRE(x > 0.0, "log curve needs x > 0");
+      return p.m + p.b * std::log(x);
+  }
+  SMOE_CHECK(false, "unreachable curve kind");
+  return 0.0;
+}
+
+double curve_inverse(CurveKind kind, CurveParams p, double y) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  switch (kind) {
+    case CurveKind::kPowerLaw: {
+      if (p.m <= 0.0 || p.b <= 0.0) return y > 0.0 ? kInf : 0.0;
+      if (y <= 0.0) return 0.0;
+      return std::pow(y / p.m, 1.0 / p.b);
+    }
+    case CurveKind::kExponential: {
+      if (p.m <= 0.0 || p.b <= 0.0) return y > 0.0 ? kInf : 0.0;
+      if (y <= 0.0) return 0.0;
+      if (y >= p.m) return kInf;  // curve saturates below the budget
+      return -std::log(1.0 - y / p.m) / p.b;
+    }
+    case CurveKind::kNapierianLog: {
+      if (p.b <= 0.0) return y >= p.m ? kInf : 0.0;
+      return std::exp((y - p.m) / p.b);
+    }
+  }
+  SMOE_CHECK(false, "unreachable curve kind");
+  return 0.0;
+}
+
+LinearFit ols(std::span<const double> xs, std::span<const double> ys) {
+  SMOE_REQUIRE(xs.size() == ys.size(), "ols: size mismatch");
+  SMOE_REQUIRE(xs.size() >= 2, "ols: need >= 2 points");
+  const double mx = smoe::mean(xs), my = smoe::mean(ys);
+  double sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  SMOE_REQUIRE(sxx > 0.0, "ols: xs are all equal");
+  LinearFit f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  return f;
+}
+
+CurveFit fit_curve(CurveKind kind, std::span<const double> xs, std::span<const double> ys) {
+  check_fit_inputs(xs, ys);
+  switch (kind) {
+    case CurveKind::kPowerLaw: {
+      // Log-log least squares gives the initial exponent; a golden-section
+      // refinement then minimizes the *linear-space* SSE (with the closed
+      // form m = sum(y*x^b)/sum(x^2b) for a fixed b), so the fit competes
+      // fairly with the other families' linear-space fits.
+      std::vector<double> lx, ly;
+      for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (ys[i] <= 0.0) continue;
+        lx.push_back(std::log(xs[i]));
+        ly.push_back(std::log(ys[i]));
+      }
+      SMOE_REQUIRE(lx.size() >= 2, "power fit: need >= 2 positive ys");
+      const LinearFit lf = ols(lx, ly);
+      auto best_m = [&](double b) {
+        double num = 0, den = 0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          const double g = std::pow(xs[i], b);
+          num += ys[i] * g;
+          den += g * g;
+        }
+        return den > 0.0 ? num / den : 0.0;
+      };
+      double lo = lf.slope - 0.25, hi = lf.slope + 0.25;
+      constexpr double kPhi = 0.6180339887498949;
+      for (int it = 0; it < 60; ++it) {
+        const double x1 = hi - kPhi * (hi - lo);
+        const double x2 = lo + kPhi * (hi - lo);
+        const double f1 = sse_for(kind, {best_m(x1), x1}, xs, ys);
+        const double f2 = sse_for(kind, {best_m(x2), x2}, xs, ys);
+        if (f1 < f2)
+          hi = x2;
+        else
+          lo = x1;
+      }
+      const double b = 0.5 * (lo + hi);
+      return finalize(kind, {best_m(b), b}, xs, ys);
+    }
+    case CurveKind::kNapierianLog: {
+      std::vector<double> lx(xs.size());
+      for (std::size_t i = 0; i < xs.size(); ++i) lx[i] = std::log(xs[i]);
+      const LinearFit lf = ols(lx, ys);
+      return finalize(kind, {lf.intercept, lf.slope}, xs, ys);
+    }
+    case CurveKind::kExponential: {
+      // 1-D search over the rate b (log-spaced coarse grid, then golden
+      // section refinement); amplitude m is closed-form given b.
+      const double xmax = *std::max_element(xs.begin(), xs.end());
+      const double xmin = *std::min_element(xs.begin(), xs.end());
+      const double blo = 1e-4 / xmax, bhi = 50.0 / std::max(xmin, 1e-12);
+      double best_b = blo, best_sse = std::numeric_limits<double>::infinity();
+      constexpr int kGrid = 200;
+      for (int i = 0; i <= kGrid; ++i) {
+        const double b = blo * std::pow(bhi / blo, static_cast<double>(i) / kGrid);
+        const double m = best_exp_amplitude(b, xs, ys);
+        const double sse = sse_for(kind, {m, b}, xs, ys);
+        if (sse < best_sse) {
+          best_sse = sse;
+          best_b = b;
+        }
+      }
+      // Golden-section refinement around the best grid cell (in log space).
+      double lo = best_b / std::pow(bhi / blo, 1.0 / kGrid);
+      double hi = best_b * std::pow(bhi / blo, 1.0 / kGrid);
+      constexpr double kPhi = 0.6180339887498949;
+      for (int it = 0; it < 80; ++it) {
+        const double la = std::log(lo), lb = std::log(hi);
+        const double x1 = std::exp(lb - kPhi * (lb - la));
+        const double x2 = std::exp(la + kPhi * (lb - la));
+        const double f1 = sse_for(kind, {best_exp_amplitude(x1, xs, ys), x1}, xs, ys);
+        const double f2 = sse_for(kind, {best_exp_amplitude(x2, xs, ys), x2}, xs, ys);
+        if (f1 < f2)
+          hi = x2;
+        else
+          lo = x1;
+      }
+      const double b = std::sqrt(lo * hi);
+      return finalize(kind, {best_exp_amplitude(b, xs, ys), b}, xs, ys);
+    }
+  }
+  SMOE_CHECK(false, "unreachable curve kind");
+  return {};
+}
+
+CurveFit best_fit(std::span<const double> xs, std::span<const double> ys) {
+  CurveFit best;
+  bool first = true;
+  for (const CurveKind kind :
+       {CurveKind::kPowerLaw, CurveKind::kExponential, CurveKind::kNapierianLog}) {
+    const CurveFit fit = fit_curve(kind, xs, ys);
+    if (first || fit.r2 > best.r2) {
+      best = fit;
+      first = false;
+    }
+  }
+  return best;
+}
+
+CurveParams calibrate_two_point(CurveKind kind, double x1, double y1, double x2, double y2) {
+  SMOE_REQUIRE(x1 > 0.0 && x2 > x1, "calibrate: need 0 < x1 < x2");
+  SMOE_REQUIRE(y1 > 0.0 && y2 > 0.0, "calibrate: footprints must be positive");
+  switch (kind) {
+    case CurveKind::kPowerLaw: {
+      const double b = std::log(y2 / y1) / std::log(x2 / x1);
+      const double m = y1 / std::pow(x1, b);
+      return {m, b};
+    }
+    case CurveKind::kNapierianLog: {
+      const double b = (y2 - y1) / std::log(x2 / x1);
+      const double m = y1 - b * std::log(x1);
+      return {m, b};
+    }
+    case CurveKind::kExponential: {
+      // Solve r(b) = (1 - e^(-b*x2)) / (1 - e^(-b*x1)) = y2/y1 by bisection.
+      // r decreases monotonically from x2/x1 (b -> 0) to 1 (b -> inf), so a
+      // solution exists iff 1 < y2/y1 < x2/x1; otherwise clamp to the nearest
+      // meaningful regime (near-linear or fully saturated).
+      const double target = y2 / y1;
+      const double ratio_lo_b = x2 / x1;
+      auto ratio = [&](double b) {
+        return (1.0 - std::exp(-b * x2)) / (1.0 - std::exp(-b * x1));
+      };
+      double b;
+      if (target >= ratio_lo_b) {
+        b = 1e-9 / x2;  // effectively linear regime
+      } else if (target <= 1.0) {
+        b = 50.0 / x1;  // fully saturated at both probes
+      } else {
+        double lo = 1e-9 / x2, hi = 50.0 / x1;
+        for (int it = 0; it < 200; ++it) {
+          const double mid = std::sqrt(lo * hi);
+          if (ratio(mid) > target)
+            lo = mid;
+          else
+            hi = mid;
+        }
+        b = std::sqrt(lo * hi);
+      }
+      const double m = y1 / (1.0 - std::exp(-b * x1));
+      return {m, b};
+    }
+  }
+  SMOE_CHECK(false, "unreachable curve kind");
+  return {};
+}
+
+}  // namespace smoe::ml

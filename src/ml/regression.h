@@ -1,0 +1,61 @@
+// Curve fitting for the paper's memory-function families (Table 1):
+//
+//   power law     y = m * x^b          (the paper's "(piecewise) linear")
+//   exponential   y = m * (1 - e^(-b*x))
+//   napierian log y = m + b * ln(x)
+//
+// plus ordinary least squares. Each family supports full least-squares
+// fitting (offline training), exact two-point calibration (the runtime 5%/10%
+// profiling runs) and inversion (items that fit in a memory budget).
+#pragma once
+
+#include <limits>
+#include <span>
+#include <string>
+
+namespace smoe::ml {
+
+enum class CurveKind { kPowerLaw, kExponential, kNapierianLog };
+
+std::string to_string(CurveKind kind);
+
+struct CurveParams {
+  double m = 0.0;
+  double b = 0.0;
+};
+
+/// Evaluate y = f(x) for the family. Requires x > 0 for the log family.
+double curve_eval(CurveKind kind, CurveParams p, double x);
+
+/// Invert the curve: the largest x with f(x) <= y. Returns +inf when the
+/// curve saturates below y (exponential with y >= m), and 0 when even x -> 0
+/// exceeds the budget.
+double curve_inverse(CurveKind kind, CurveParams p, double y);
+
+struct CurveFit {
+  CurveKind kind = CurveKind::kPowerLaw;
+  CurveParams params;
+  double r2 = 0.0;        ///< Coefficient of determination on the fit data.
+  double rmse = 0.0;
+};
+
+/// Least-squares fit of one family to (xs, ys). All xs must be positive and
+/// there must be at least two distinct xs.
+CurveFit fit_curve(CurveKind kind, std::span<const double> xs, std::span<const double> ys);
+
+/// Fit every family and return the one with the highest R².
+CurveFit best_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Exact two-point calibration: solve f(x1) = y1, f(x2) = y2 for (m, b).
+/// This is the runtime step the paper performs with the 5% / 10% profiling
+/// runs. Requires 0 < x1 < x2 and y1, y2 > 0 (footprints are positive).
+CurveParams calibrate_two_point(CurveKind kind, double x1, double y1, double x2, double y2);
+
+/// Ordinary least squares y = a + b*x. Returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+LinearFit ols(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace smoe::ml

@@ -1,0 +1,52 @@
+#include "ml/scaling.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace smoe::ml {
+
+void MinMaxScaler::fit(const Matrix& x) {
+  SMOE_REQUIRE(x.rows() >= 1, "scaler: empty training matrix");
+  mins_.assign(x.cols(), 0.0);
+  maxs_.assign(x.cols(), 0.0);
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    double lo = x(0, c), hi = x(0, c);
+    for (std::size_t r = 1; r < x.rows(); ++r) {
+      lo = std::min(lo, x(r, c));
+      hi = std::max(hi, x(r, c));
+    }
+    mins_[c] = lo;
+    maxs_[c] = hi;
+  }
+}
+
+MinMaxScaler MinMaxScaler::from_parts(Vector mins, Vector maxs) {
+  SMOE_REQUIRE(!mins.empty() && mins.size() == maxs.size(), "scaler: bad parts");
+  MinMaxScaler s;
+  s.mins_ = std::move(mins);
+  s.maxs_ = std::move(maxs);
+  return s;
+}
+
+Vector MinMaxScaler::transform(std::span<const double> raw) const {
+  SMOE_REQUIRE(fitted(), "scaler: transform before fit");
+  SMOE_REQUIRE(raw.size() == mins_.size(), "scaler: feature count mismatch");
+  Vector out(raw.size());
+  for (std::size_t c = 0; c < raw.size(); ++c) {
+    const double range = maxs_[c] - mins_[c];
+    out[c] = range > 0.0 ? std::clamp((raw[c] - mins_[c]) / range, 0.0, 1.0) : 0.0;
+  }
+  return out;
+}
+
+Matrix MinMaxScaler::transform(const Matrix& x) const {
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const Vector row = transform(x.row(r));
+    for (std::size_t c = 0; c < x.cols(); ++c) out(r, c) = row[c];
+  }
+  return out;
+}
+
+}  // namespace smoe::ml

@@ -1,0 +1,32 @@
+// Min-max feature scaling (Section 3.2 "Feature Scaling"): each feature is
+// mapped to [0, 1] using the extrema observed on the training set; the same
+// extrema are reapplied to features of new applications at deployment time.
+#pragma once
+
+#include "ml/matrix.h"
+
+namespace smoe::ml {
+
+class MinMaxScaler {
+ public:
+  /// Learn per-column minima/maxima from the training matrix.
+  void fit(const Matrix& x);
+
+  /// Scale one feature vector using the learned extrema; constant columns map
+  /// to 0. Values outside the training range are clamped to [0, 1] — at
+  /// deployment a new application may exceed what training saw.
+  Vector transform(std::span<const double> raw) const;
+  Matrix transform(const Matrix& x) const;
+
+  /// Rebuild a scaler from stored extrema (deserialization).
+  static MinMaxScaler from_parts(Vector mins, Vector maxs);
+
+  bool fitted() const { return !mins_.empty(); }
+  const Vector& mins() const { return mins_; }
+  const Vector& maxs() const { return maxs_; }
+
+ private:
+  Vector mins_, maxs_;
+};
+
+}  // namespace smoe::ml

@@ -1,0 +1,71 @@
+#include "ml/svm.h"
+
+#include <limits>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace smoe::ml {
+
+LinearSvm::LinearSvm(SvmParams params, std::uint64_t seed) : params_(params), seed_(seed) {
+  SMOE_REQUIRE(params.lambda > 0.0, "svm: lambda must be positive");
+  SMOE_REQUIRE(params.epochs >= 1, "svm: epochs >= 1");
+}
+
+void LinearSvm::fit(const Dataset& ds) {
+  ds.validate();
+  const int nc = ds.n_classes();
+  SMOE_REQUIRE(nc >= 2, "svm: need >= 2 classes");
+  const std::size_t nf = ds.n_features();
+
+  weights_.assign(static_cast<std::size_t>(nc), Vector(nf, 0.0));
+  biases_.assign(static_cast<std::size_t>(nc), 0.0);
+
+  Rng rng(seed_);
+  std::vector<std::size_t> order(ds.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  // Pegasos-style SGD, one binary head per class.
+  for (std::size_t c = 0; c < static_cast<std::size_t>(nc); ++c) {
+    Vector& w = weights_[c];
+    double& b = biases_[c];
+    std::size_t t = 1;
+    for (std::size_t epoch = 0; epoch < params_.epochs; ++epoch) {
+      rng.shuffle(order);
+      for (const auto i : order) {
+        const double y = ds.labels[i] == static_cast<int>(c) ? 1.0 : -1.0;
+        const double eta = params_.lr0 / (1.0 + params_.lambda * static_cast<double>(t));
+        const double margin = y * (dot(w, ds.x.row(i)) + b);
+        for (std::size_t f = 0; f < nf; ++f) w[f] *= (1.0 - eta * params_.lambda);
+        if (margin < 1.0) {
+          for (std::size_t f = 0; f < nf; ++f) w[f] += eta * y * ds.x(i, f);
+          b += eta * y;
+        }
+        ++t;
+      }
+    }
+  }
+}
+
+double LinearSvm::decision_value(int cls, std::span<const double> features) const {
+  SMOE_REQUIRE(!weights_.empty(), "svm: predict before fit");
+  SMOE_REQUIRE(cls >= 0 && static_cast<std::size_t>(cls) < weights_.size(), "svm: bad class");
+  return dot(weights_[static_cast<std::size_t>(cls)], features) +
+         biases_[static_cast<std::size_t>(cls)];
+}
+
+int LinearSvm::predict(std::span<const double> features) const {
+  SMOE_REQUIRE(!weights_.empty(), "svm: predict before fit");
+  int best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    const double s = decision_value(static_cast<int>(c), features);
+    if (s > best_score) {
+      best_score = s;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace smoe::ml

@@ -1,0 +1,35 @@
+// Linear soft-margin SVM trained with SGD on the hinge loss, extended to
+// multi-class via one-vs-rest — a Table 5 comparator.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/dataset.h"
+
+namespace smoe::ml {
+
+struct SvmParams {
+  double lambda = 1e-3;   ///< L2 regularization strength.
+  std::size_t epochs = 200;
+  double lr0 = 1.0;       ///< Initial learning rate (decays as lr0/(1+t*lambda)).
+};
+
+class LinearSvm final : public Classifier {
+ public:
+  explicit LinearSvm(SvmParams params = {}, std::uint64_t seed = 2);
+
+  void fit(const Dataset& ds) override;
+  int predict(std::span<const double> features) const override;
+  std::string name() const override { return "SVM"; }
+
+  /// Raw decision value of one one-vs-rest head.
+  double decision_value(int cls, std::span<const double> features) const;
+
+ private:
+  SvmParams params_;
+  std::uint64_t seed_;
+  std::vector<Vector> weights_;  // one weight vector per class
+  Vector biases_;
+};
+
+}  // namespace smoe::ml

@@ -1,0 +1,71 @@
+#include "ml/varimax.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace smoe::ml {
+
+namespace {
+
+// One pairwise Varimax rotation between components p and q; returns the
+// criterion improvement achieved.
+double rotate_pair(Matrix& l, std::size_t p, std::size_t q) {
+  const std::size_t n = l.rows();
+  double u_sum = 0, v_sum = 0, u2v2 = 0, uv = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = l(i, p) * l(i, p) - l(i, q) * l(i, q);
+    const double v = 2.0 * l(i, p) * l(i, q);
+    u_sum += u;
+    v_sum += v;
+    u2v2 += u * u - v * v;
+    uv += u * v;
+  }
+  const double num = 2.0 * (uv - u_sum * v_sum / static_cast<double>(n));
+  const double den = u2v2 - (u_sum * u_sum - v_sum * v_sum) / static_cast<double>(n);
+  if (std::abs(num) < 1e-15 && std::abs(den) < 1e-15) return 0.0;
+  const double phi = 0.25 * std::atan2(num, den);
+  if (std::abs(phi) < 1e-12) return 0.0;
+  const double c = std::cos(phi), s = std::sin(phi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = l(i, p), b = l(i, q);
+    l(i, p) = c * a + s * b;
+    l(i, q) = -s * a + c * b;
+  }
+  return std::abs(phi);
+}
+
+}  // namespace
+
+Matrix varimax_rotate(const Matrix& loadings, int max_iter, double tol) {
+  SMOE_REQUIRE(loadings.rows() >= 1 && loadings.cols() >= 1, "varimax: empty loadings");
+  Matrix l = loadings;
+  if (l.cols() == 1) return l;  // nothing to rotate
+  for (int it = 0; it < max_iter; ++it) {
+    double moved = 0;
+    for (std::size_t p = 0; p + 1 < l.cols(); ++p)
+      for (std::size_t q = p + 1; q < l.cols(); ++q) moved += rotate_pair(l, p, q);
+    if (moved < tol) break;
+  }
+  return l;
+}
+
+Vector feature_contributions(const Matrix& rotated_loadings,
+                             const Vector& explained_variance_ratio) {
+  SMOE_REQUIRE(rotated_loadings.cols() == explained_variance_ratio.size(),
+               "varimax: components/variance mismatch");
+  Vector contrib(rotated_loadings.rows(), 0.0);
+  double total = 0;
+  for (std::size_t f = 0; f < rotated_loadings.rows(); ++f) {
+    double s = 0;
+    for (std::size_t c = 0; c < rotated_loadings.cols(); ++c)
+      s += rotated_loadings(f, c) * rotated_loadings(f, c) * explained_variance_ratio[c];
+    contrib[f] = s;
+    total += s;
+  }
+  SMOE_CHECK(total > 0.0, "varimax: degenerate loadings");
+  for (auto& c : contrib) c /= total;
+  return contrib;
+}
+
+}  // namespace smoe::ml

@@ -1,0 +1,21 @@
+// Varimax rotation (Section 3.2 "Feature Analysis"): rotates the PCA loading
+// matrix to maximize the variance of squared loadings, which concentrates
+// each raw feature's contribution onto few components and lets us rank raw
+// features by importance (the paper's Figure 4b / Table 2 ordering).
+#pragma once
+
+#include "ml/matrix.h"
+
+namespace smoe::ml {
+
+/// Rotate a (features x components) loading matrix with the Varimax
+/// criterion. Returns the rotated loadings.
+Matrix varimax_rotate(const Matrix& loadings, int max_iter = 100, double tol = 1e-8);
+
+/// Per-feature importance: for each raw feature, the sum of squared rotated
+/// loadings weighted by each component's explained-variance share. Result is
+/// normalized to sum to 1 (so entries read as "% contribution to variance").
+Vector feature_contributions(const Matrix& rotated_loadings,
+                             const Vector& explained_variance_ratio);
+
+}  // namespace smoe::ml

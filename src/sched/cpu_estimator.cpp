@@ -1,0 +1,54 @@
+#include "sched/cpu_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "sparksim/app_probe.h"
+
+namespace smoe::sched {
+
+CpuLoadEstimator::CpuLoadEstimator(const wl::FeatureModel& features, std::uint64_t seed,
+                                   std::size_t k)
+    : k_(k) {
+  SMOE_REQUIRE(k >= 1, "cpu estimator: k must be >= 1");
+
+  std::vector<ml::Vector> rows;
+  for (const auto& bench : wl::training_benchmarks()) {
+    Rng rng(Rng::derive(seed, "cpu-train:" + bench.name));
+    rows.push_back(features.sample(bench, rng));
+    // The training-time load measurement comes from the same profiling
+    // machinery the runtime uses.
+    sim::AppProbe probe(bench, features, 30720, Rng::derive(seed, "cpu-probe:" + bench.name));
+    cpu_.push_back(probe.measure_cpu_load());
+  }
+  const ml::Matrix raw = ml::Matrix::from_rows(rows);
+  scaler_.fit(raw);
+  pca_.fit(scaler_.transform(raw), 0.95, 5);
+  for (const auto& row : rows) pcs_.push_back(pca_.transform(scaler_.transform(row)));
+}
+
+double CpuLoadEstimator::estimate(std::span<const double> raw_features) const {
+  const ml::Vector pcs = pca_.transform(scaler_.transform(raw_features));
+  // Gather distances to every training program, keep the k closest.
+  std::vector<std::pair<double, double>> by_distance;  // (distance, cpu)
+  by_distance.reserve(pcs_.size());
+  for (std::size_t i = 0; i < pcs_.size(); ++i)
+    by_distance.emplace_back(ml::euclidean_distance(pcs, pcs_[i]), cpu_[i]);
+  const std::size_t k = std::min(k_, by_distance.size());
+  std::partial_sort(by_distance.begin(), by_distance.begin() + static_cast<std::ptrdiff_t>(k),
+                    by_distance.end());
+
+  // Inverse-distance weighting; an exact hit wins outright.
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& [d, cpu] = by_distance[i];
+    if (d < 1e-12) return cpu;
+    const double w = 1.0 / d;
+    num += w * cpu;
+    den += w;
+  }
+  return std::clamp(num / den, 0.01, 1.0);
+}
+
+}  // namespace smoe::sched

@@ -1,0 +1,39 @@
+// Section 3.4 extension: the mixture-of-experts framework "can be extended
+// to model other metrics, e.g. CPU contention". This estimator predicts an
+// application's average CPU load from the same 22 runtime features the
+// memory-expert selector uses — a K-nearest-neighbour regression over the
+// training programs' measured loads — so a scheduler can make CPU-aware
+// placement decisions even before a reliable /proc sample is available.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/knn.h"
+#include "ml/pca.h"
+#include "ml/scaling.h"
+#include "workloads/features.h"
+#include "workloads/suites.h"
+
+namespace smoe::sched {
+
+class CpuLoadEstimator {
+ public:
+  /// Trains on the 16 HiBench/BigDataBench programs' characterization runs
+  /// and their measured isolation-mode CPU loads.
+  CpuLoadEstimator(const wl::FeatureModel& features, std::uint64_t seed, std::size_t k = 3);
+
+  /// Distance-weighted KNN estimate of the CPU load (fraction of one node).
+  double estimate(std::span<const double> raw_features) const;
+
+  std::size_t k() const { return k_; }
+
+ private:
+  std::size_t k_;
+  ml::MinMaxScaler scaler_;
+  ml::Pca pca_;
+  std::vector<ml::Vector> pcs_;   // training-program positions
+  std::vector<double> cpu_;       // measured training loads
+};
+
+}  // namespace smoe::sched

@@ -1,0 +1,99 @@
+#include "sched/experiment.h"
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace smoe::sched {
+
+ExperimentRunner::ExperimentRunner(sim::SimConfig config, const wl::FeatureModel& features,
+                                   std::size_t n_mixes, std::uint64_t mix_seed)
+    : features_(features), sim_(config, features), iso_(sim_), n_mixes_(n_mixes),
+      mix_seed_(mix_seed) {
+  SMOE_REQUIRE(n_mixes >= 1, "need >= 1 mix");
+}
+
+ReplicatedMetrics ExperimentRunner::run_mix_replicated(const wl::TaskMix& mix,
+                                                       sim::SchedulingPolicy& policy,
+                                                       std::size_t max_replays,
+                                                       double target_rel_ci) {
+  SMOE_REQUIRE(max_replays >= 2, "replication needs >= 2 replays");
+  SMOE_REQUIRE(target_rel_ci > 0.0, "replication: bad CI target");
+
+  const MixMetrics baseline = compute_metrics(sim_.run(mix, baseline_policy_), iso_);
+  std::vector<double> stps, antt_reds;
+  ReplicatedMetrics out;
+  for (std::size_t r = 0; r < max_replays; ++r) {
+    sim::SimConfig cfg = sim_.config();
+    cfg.seed = Rng::derive(cfg.seed, "replay:" + std::to_string(r));
+    sim::ClusterSim replay_sim(cfg, features_);
+    const NormalizedMetrics norm =
+        normalize(compute_metrics(replay_sim.run(mix, policy), iso_), baseline);
+    stps.push_back(norm.norm_stp);
+    antt_reds.push_back(norm.antt_reduction);
+    out.replays = r + 1;
+    if (stps.size() >= 2) {
+      out.stp_mean = mean(stps);
+      out.stp_ci_half = ci_half_width(stps);
+      if (2.0 * out.stp_ci_half < target_rel_ci * out.stp_mean) {
+        out.converged = true;
+        break;
+      }
+    }
+  }
+  out.stp_mean = mean(stps);
+  out.stp_ci_half = ci_half_width(stps);
+  out.antt_reduction_mean = mean(antt_reds);
+  return out;
+}
+
+ExperimentRunner::SingleMix ExperimentRunner::run_mix(const wl::TaskMix& mix,
+                                                      sim::SchedulingPolicy& policy) {
+  SingleMix out;
+  out.result = sim_.run(mix, policy);
+  out.metrics = compute_metrics(out.result, iso_);
+  const sim::SimResult base = sim_.run(mix, baseline_policy_);
+  out.normalized = normalize(out.metrics, compute_metrics(base, iso_));
+  return out;
+}
+
+std::vector<SchemeScenarioResult> ExperimentRunner::run_scenario(
+    const wl::Scenario& scenario, const std::vector<sim::SchedulingPolicy*>& policies) {
+  SMOE_REQUIRE(!policies.empty(), "no policies");
+  const std::vector<wl::TaskMix> mixes = wl::scenario_mixes(scenario, n_mixes_, mix_seed_);
+
+  // Baseline metrics once per mix, shared by every scheme.
+  std::vector<MixMetrics> baselines;
+  baselines.reserve(mixes.size());
+  for (const auto& mix : mixes)
+    baselines.push_back(compute_metrics(sim_.run(mix, baseline_policy_), iso_));
+
+  std::vector<SchemeScenarioResult> out;
+  for (sim::SchedulingPolicy* policy : policies) {
+    SMOE_REQUIRE(policy != nullptr, "null policy");
+    std::vector<double> stps, antt_reds, makespans;
+    std::size_t oom = 0;
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+      const sim::SimResult result = sim_.run(mixes[m], *policy);
+      const NormalizedMetrics norm = normalize(compute_metrics(result, iso_), baselines[m]);
+      stps.push_back(norm.norm_stp);
+      antt_reds.push_back(norm.antt_reduction);
+      makespans.push_back(result.makespan);
+      oom += result.oom_total;
+    }
+    SchemeScenarioResult r;
+    r.scheme = policy->name();
+    r.scenario = scenario.label;
+    r.stp_geomean = geomean(stps);
+    r.stp_min = min_of(stps);
+    r.stp_max = max_of(stps);
+    r.antt_red_mean = mean(antt_reds);
+    r.antt_red_min = min_of(antt_reds);
+    r.antt_red_max = max_of(antt_reds);
+    r.mean_makespan = mean(makespans);
+    r.oom_total = oom;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace smoe::sched

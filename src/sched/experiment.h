@@ -1,0 +1,78 @@
+// The experiment runner behind Figures 6, 9 and 10: for each runtime
+// scenario (Table 3) it simulates a batch of random task mixes under every
+// scheme, normalizes against the one-by-one isolated baseline, and reports
+// geometric-mean / min / max normalized STP and mean ANTT reduction, the way
+// the paper reports them (Section 5.2's "geometric mean performance across
+// all configurations" with min-max bars).
+#pragma once
+
+#include <vector>
+
+#include "sched/metrics.h"
+#include "sched/policies_basic.h"
+#include "sparksim/engine.h"
+#include "workloads/mixes.h"
+
+namespace smoe::sched {
+
+struct SchemeScenarioResult {
+  std::string scheme;
+  std::string scenario;
+  double stp_geomean = 0, stp_min = 0, stp_max = 0;
+  double antt_red_mean = 0, antt_red_min = 0, antt_red_max = 0;
+  double mean_makespan = 0;
+  std::size_t oom_total = 0;
+};
+
+/// Section 5.2: "we replay the schedule decisions for each test case multiple
+/// times, until the difference between the upper and lower confidence bounds
+/// under a 95% confidence interval setting is smaller than 5%". Each replay
+/// re-simulates the mix with a fresh measurement-noise seed.
+struct ReplicatedMetrics {
+  double stp_mean = 0;            ///< mean normalized STP over replays
+  double stp_ci_half = 0;         ///< 95% CI half-width of that mean
+  double antt_reduction_mean = 0;
+  std::size_t replays = 0;
+  bool converged = false;         ///< CI target reached before max_replays
+};
+
+class ExperimentRunner {
+ public:
+  /// `n_mixes` random mixes are evaluated per scenario (the paper uses ~100;
+  /// the benches default to fewer to keep runtimes friendly — the seed is
+  /// printed so any batch size is reproducible).
+  ExperimentRunner(sim::SimConfig config, const wl::FeatureModel& features,
+                   std::size_t n_mixes, std::uint64_t mix_seed);
+
+  /// Evaluate the policies on one scenario. Policies are borrowed and may be
+  /// reused across calls (they carry only training caches).
+  std::vector<SchemeScenarioResult> run_scenario(
+      const wl::Scenario& scenario, const std::vector<sim::SchedulingPolicy*>& policies);
+
+  /// Normalized metrics of one specific mix under one policy (Fig. 7/8).
+  struct SingleMix {
+    MixMetrics metrics;
+    NormalizedMetrics normalized;
+    sim::SimResult result;
+  };
+  SingleMix run_mix(const wl::TaskMix& mix, sim::SchedulingPolicy& policy);
+
+  /// Replay one mix with fresh noise seeds until the 95% CI of the mean
+  /// normalized STP is below `target_rel_ci` of the mean (Section 5.2), or
+  /// `max_replays` is reached.
+  ReplicatedMetrics run_mix_replicated(const wl::TaskMix& mix, sim::SchedulingPolicy& policy,
+                                       std::size_t max_replays = 10,
+                                       double target_rel_ci = 0.05);
+
+  sim::ClusterSim& cluster() { return sim_; }
+
+ private:
+  const wl::FeatureModel& features_;
+  sim::ClusterSim sim_;
+  IsolatedTimes iso_;
+  IsolatedPolicy baseline_policy_;
+  std::size_t n_mixes_;
+  std::uint64_t mix_seed_;
+};
+
+}  // namespace smoe::sched

@@ -1,0 +1,44 @@
+#include "sched/metrics.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace smoe::sched {
+
+Seconds IsolatedTimes::get(const std::string& benchmark, Items input_items) {
+  const auto key = std::make_pair(benchmark, static_cast<long long>(std::llround(input_items)));
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    const Seconds t = sim_.isolated_exec_time({benchmark, input_items});
+    SMOE_CHECK(t > 0, "isolated execution time must be positive");
+    it = cache_.emplace(key, t).first;
+  }
+  return it->second;
+}
+
+MixMetrics compute_metrics(const sim::SimResult& result, IsolatedTimes& iso) {
+  SMOE_REQUIRE(!result.apps.empty(), "metrics: empty result");
+  MixMetrics m;
+  for (const auto& app : result.apps) {
+    SMOE_REQUIRE(app.finish >= 0, "metrics: unfinished application " + app.benchmark);
+    const Seconds c_is = iso.get(app.benchmark, app.input_items);
+    const Seconds c_cl = app.turnaround();
+    SMOE_CHECK(c_cl > 0, "metrics: non-positive turnaround");
+    m.stp += c_is / c_cl;
+    m.antt += c_cl / c_is;
+  }
+  m.antt /= static_cast<double>(result.apps.size());
+  m.makespan = result.makespan;
+  return m;
+}
+
+NormalizedMetrics normalize(const MixMetrics& scheme, const MixMetrics& baseline) {
+  SMOE_REQUIRE(baseline.stp > 0 && baseline.antt > 0, "normalize: bad baseline");
+  NormalizedMetrics n;
+  n.norm_stp = scheme.stp / baseline.stp;
+  n.antt_reduction = 1.0 - scheme.antt / baseline.antt;
+  return n;
+}
+
+}  // namespace smoe::sched

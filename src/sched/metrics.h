@@ -1,0 +1,51 @@
+// The paper's evaluation metrics (Section 5.3, definitions from Eyerman &
+// Eeckhout):
+//
+//   STP  = sum_i C^is_i / C^cl_i            (higher is better)
+//   ANTT = (1/n) sum_i C^cl_i / C^is_i      (lower is better)
+//
+// where C^is_i is application i's execution time alone on the idle cluster
+// and C^cl_i its time under the evaluated schedule (all applications are
+// submitted together, so C^cl is the turnaround from creation to completion,
+// "indicating the average user-perceived delay").
+//
+// Section 6 reports both normalized to the one-by-one isolated baseline:
+// normalized STP = STP / STP_baseline, and the ANTT *reduction*
+// 1 - ANTT/ANTT_baseline (shown as a percentage).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sparksim/engine.h"
+
+namespace smoe::sched {
+
+/// Memoized isolated execution times C^is per (benchmark, input size).
+class IsolatedTimes {
+ public:
+  explicit IsolatedTimes(sim::ClusterSim& sim) : sim_(sim) {}
+
+  Seconds get(const std::string& benchmark, Items input_items);
+
+ private:
+  sim::ClusterSim& sim_;
+  std::map<std::pair<std::string, long long>, Seconds> cache_;
+};
+
+struct MixMetrics {
+  double stp = 0;        ///< Eq. (1)
+  double antt = 0;       ///< Eq. (2)
+  Seconds makespan = 0;  ///< Wall-clock to drain the whole mix (Fig. 8b).
+};
+
+MixMetrics compute_metrics(const sim::SimResult& result, IsolatedTimes& iso);
+
+struct NormalizedMetrics {
+  double norm_stp = 0;        ///< STP / STP_baseline
+  double antt_reduction = 0;  ///< 1 - ANTT/ANTT_baseline (fraction)
+};
+
+NormalizedMetrics normalize(const MixMetrics& scheme, const MixMetrics& baseline);
+
+}  // namespace smoe::sched

@@ -1,0 +1,54 @@
+#include "sched/policies_basic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "workloads/suites.h"
+
+namespace smoe::sched {
+
+sim::ProfilingCost OraclePolicy::profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) {
+  // The Oracle is defined to know the true memory function with no profiling
+  // cost (Section 5.4) — the one policy allowed to look at the ground truth.
+  const wl::BenchmarkSpec& spec = wl::find_benchmark(probe.name());
+  estimate.footprint = [&spec](Items x) { return spec.footprint(x); };
+  estimate.items_for_budget = [&spec](GiB budget) { return spec.items_for_budget(budget); };
+  estimate.cpu_load = spec.cpu_load_iso;
+  return {};
+}
+
+OnlineSearchPolicy::OnlineSearchPolicy(double search_overhead)
+    : search_overhead_(search_overhead) {
+  SMOE_REQUIRE(search_overhead >= 0.0, "negative search overhead");
+}
+
+sim::ProfilingCost OnlineSearchPolicy::profile(sim::AppProbe& probe,
+                                               sim::MemoryEstimate& estimate) {
+  // Every estimate is answered by *measuring* trial sizes at dispatch time —
+  // accurate, but the repeated trials cost spawn_search_overhead() per
+  // executor. The probe outlives the estimate (engine guarantee), so
+  // capturing it by reference is safe.
+  estimate.footprint = [&probe](Items x) { return probe.measure_footprint(x); };
+  estimate.items_for_budget = [&probe](GiB budget) {
+    // Doubling search followed by bisection on measured footprints.
+    Items lo = 1.0, hi = 1.0;
+    while (probe.measure_footprint(hi) < budget) {
+      lo = hi;
+      hi *= 2.0;
+      if (hi >= probe.input_items() * 4.0) return hi;  // saturates under budget
+    }
+    for (int it = 0; it < 24; ++it) {
+      const Items mid = 0.5 * (lo + hi);
+      if (probe.measure_footprint(mid) < budget)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return lo;
+  };
+  estimate.cpu_load = probe.measure_cpu_load();
+  return {};  // no up-front profiling; all cost is paid per spawn
+}
+
+}  // namespace smoe::sched

@@ -1,0 +1,56 @@
+// Non-learned scheduling policies: the isolated baseline, the Pairwise
+// comparator, the Oracle upper bound, and the online-search scheme
+// (Sections 5.4 and 6.5).
+#pragma once
+
+#include <cstdint>
+
+#include "sparksim/policy.h"
+
+namespace smoe::sched {
+
+/// The normalization baseline: applications one by one, exclusive memory.
+class IsolatedPolicy final : public sim::SchedulingPolicy {
+ public:
+  std::string name() const override { return "Isolated"; }
+  sim::DispatchMode mode() const override { return sim::DispatchMode::kIsolated; }
+  sim::ProfilingCost profile(sim::AppProbe&, sim::MemoryEstimate&) override { return {}; }
+};
+
+/// Pairwise co-location: at most one extra task per host, heap set to all
+/// free memory, Spark-default chunking (Section 5.4).
+class PairwisePolicy final : public sim::SchedulingPolicy {
+ public:
+  std::string name() const override { return "Pairwise"; }
+  sim::DispatchMode mode() const override { return sim::DispatchMode::kPairwise; }
+  sim::ProfilingCost profile(sim::AppProbe&, sim::MemoryEstimate&) override { return {}; }
+};
+
+/// Perfect memory predictor with zero profiling overhead; defines the upper
+/// bound our approach is measured against (83.9% / 93.4% of Oracle).
+class OraclePolicy final : public sim::SchedulingPolicy {
+ public:
+  std::string name() const override { return "Oracle"; }
+  sim::DispatchMode mode() const override { return sim::DispatchMode::kPredictive; }
+  sim::ProfilingCost profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) override;
+};
+
+/// Descent-gradient online search (Section 6.5): no model — the right chunk
+/// size for a budget is found by repeated trial runs at dispatch time, which
+/// is accurate but pays a large per-spawn probing overhead.
+class OnlineSearchPolicy final : public sim::SchedulingPolicy {
+ public:
+  /// `search_overhead` is the probing cost as a fraction of each chunk's
+  /// processing time.
+  explicit OnlineSearchPolicy(double search_overhead = 1.25);
+
+  std::string name() const override { return "OnlineSearch"; }
+  sim::DispatchMode mode() const override { return sim::DispatchMode::kPredictive; }
+  double spawn_search_overhead() const override { return search_overhead_; }
+  sim::ProfilingCost profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) override;
+
+ private:
+  double search_overhead_;
+};
+
+}  // namespace smoe::sched

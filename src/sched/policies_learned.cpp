@@ -1,0 +1,325 @@
+#include "sched/policies_learned.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace smoe::sched {
+
+namespace {
+
+/// Generic monotone inverse for model-based estimators without a closed-form
+/// inverse (doubling + bisection on the predicted footprint).
+Items inverse_by_search(const std::function<GiB(Items)>& footprint, GiB budget,
+                        Items max_items) {
+  Items lo = 1.0, hi = 1.0;
+  while (footprint(hi) < budget) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi >= max_items) return hi;
+  }
+  for (int it = 0; it < 40; ++it) {
+    const Items mid = 0.5 * (lo + hi);
+    if (footprint(mid) < budget)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+/// Clamp a learned model's output to a sane footprint.
+GiB sane_footprint(GiB value) {
+  if (!std::isfinite(value)) return 1e6;  // absurd prediction -> never fits
+  return std::max(0.05, value);
+}
+
+}  // namespace
+
+Items calibration_probe_items(Items input_items, Items x1_cap, Items x2_cap) {
+  const Items x1 = std::clamp(0.05 * input_items, 16.0, x1_cap);
+  const Items x2 = std::clamp(0.10 * input_items, 2.0 * x1, std::max(x2_cap, 2.0 * x1));
+  return x1 + x2;
+}
+
+core::CalibrationProbes take_calibration_probes(sim::AppProbe& probe, Items x1_cap,
+                                                Items x2_cap) {
+  core::CalibrationProbes probes;
+  probes.x1 = std::clamp(0.05 * probe.input_items(), 16.0, x1_cap);
+  probes.x2 =
+      std::clamp(0.10 * probe.input_items(), 2.0 * probes.x1, std::max(x2_cap, 2.0 * probes.x1));
+  probes.y1 = probe.measure_footprint(probes.x1);
+  probes.y2 = probe.measure_footprint(probes.x2);
+  return probes;
+}
+
+// ---------------------------------------------------------------- MoE ----
+
+MoePolicy::MoePolicy(const wl::FeatureModel& features, std::uint64_t seed, MoeOptions options)
+    : cache_(features, seed), options_(options) {}
+
+sim::ProfilingCost MoePolicy::profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) {
+  const SelectorCache::Entry& entry = cache_.for_test_benchmark(probe.name());
+  const core::MoePredictor predictor(entry.pool, entry.selector, options_.confidence_distance);
+
+  const ml::Vector features = probe.raw_features();
+  const core::Selection sel = predictor.select(features);
+  const core::CalibrationProbes probes =
+      take_calibration_probes(probe, options_.probe_x1_cap, options_.probe_x2_cap);
+  const core::MemoryModel model = predictor.calibrate(sel, probes);
+  ++selection_counts_[sel.expert_index];
+
+  // Section 4.1: an application too far from every training program gets a
+  // conservative treatment — here, padded reservations — instead of blind
+  // trust in the selected expert.
+  double inflation = 1.0;
+  if (options_.conservative_fallback && !predictor.confident(sel)) {
+    inflation += options_.fallback_inflation;
+    ++fallback_count_;
+  }
+
+  estimate.footprint = [model, inflation](Items x) {
+    return sane_footprint(inflation * model.footprint(x));
+  };
+  estimate.items_for_budget = [model, inflation](GiB budget) {
+    return model.items_for_budget(budget / inflation);
+  };
+  estimate.cpu_load = probe.measure_cpu_load();
+
+  sim::ProfilingCost cost;
+  cost.feature_items = kFeatureRunItems;
+  cost.calibration_items = probes.x1 + probes.x2;
+  return cost;
+}
+
+// ------------------------------------------------------------- Quasar ----
+
+struct QuasarPolicy::Entry {
+  ml::MinMaxScaler scaler;
+  ml::Pca pca;
+  std::vector<ml::Vector> pcs;          // training-program positions
+  std::vector<ml::CurveFit> power_fit;  // the single monolithic model, per program
+};
+
+QuasarPolicy::QuasarPolicy(const wl::FeatureModel& features, std::uint64_t seed,
+                           GiB resource_class)
+    : features_(features), seed_(seed), resource_class_(resource_class) {
+  SMOE_REQUIRE(resource_class > 0.0, "quasar: resource class must be positive");
+}
+
+QuasarPolicy::~QuasarPolicy() = default;
+
+const QuasarPolicy::Entry& QuasarPolicy::entry_for(const std::string& benchmark_name) {
+  std::vector<std::string> excluded = wl::excluded_from_training(benchmark_name);
+  std::sort(excluded.begin(), excluded.end());
+  std::string key;
+  for (const auto& name : excluded) key += name + "|";
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return *it->second;
+
+  const auto examples = make_training_set(features_, seed_, excluded);
+  auto entry = std::make_unique<Entry>();
+  std::vector<ml::Vector> rows;
+  for (const auto& ex : examples) rows.push_back(ex.raw_features);
+  const ml::Matrix raw = ml::Matrix::from_rows(rows);
+  entry->scaler.fit(raw);
+  entry->pca.fit(entry->scaler.transform(raw), 0.95, 5);
+  for (const auto& ex : examples) {
+    entry->pcs.push_back(entry->pca.transform(entry->scaler.transform(ex.raw_features)));
+    // Quasar's one-size-fits-all resource model: a power-law fit regardless
+    // of the program's actual memory behaviour.
+    entry->power_fit.push_back(
+        ml::fit_curve(ml::CurveKind::kPowerLaw, ex.profile_items, ex.profile_footprints));
+  }
+  return *cache_.emplace(key, std::move(entry)).first->second;
+}
+
+sim::ProfilingCost QuasarPolicy::profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) {
+  const Entry& entry = entry_for(probe.name());
+  const ml::Vector pcs = entry.pca.transform(entry.scaler.transform(probe.raw_features()));
+
+  // Classify: nearest training program in feature space.
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < entry.pcs.size(); ++i) {
+    const double d = ml::euclidean_distance(pcs, entry.pcs[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  const ml::CurveFit fit = entry.power_fit[best];
+
+  // Quasar characterizes applications with short profiling runs at a small
+  // reference size and transfers the classified program's (single-family)
+  // curve, rescaled at that point. The long extrapolation from a small probe
+  // through a one-size-fits-all function is exactly the weakness the paper's
+  // per-family two-point calibration removes.
+  const Items x_probe = std::clamp(0.05 * probe.input_items(), 16.0, 768.0);
+  const GiB y_probe = probe.measure_footprint(x_probe);
+  const double predicted_at_probe = ml::curve_eval(fit.kind, fit.params, x_probe);
+  const double scale =
+      predicted_at_probe > 0 ? std::clamp(y_probe / predicted_at_probe, 0.33, 3.0) : 1.0;
+
+  // Quasar allocates from coarse resource classes (discrete resource
+  // vectors): the estimate snaps to the nearest class. Snapping down
+  // under-provisions and causes the memory contention the paper observes for
+  // Quasar (Section 6.2); snapping up wastes co-location headroom.
+  const GiB klass = resource_class_;
+  estimate.footprint = [fit, scale, klass](Items x) {
+    const GiB raw = sane_footprint(scale * ml::curve_eval(fit.kind, fit.params, x));
+    return std::max(klass, std::round(raw / klass) * klass);
+  };
+  estimate.items_for_budget = [fit, scale](GiB budget) {
+    return ml::curve_inverse(fit.kind, fit.params, budget / scale);
+  };
+  estimate.cpu_load = probe.measure_cpu_load();
+
+  sim::ProfilingCost cost;
+  cost.feature_items = kFeatureRunItems;
+  cost.calibration_items = x_probe;
+  return cost;
+}
+
+// ------------------------------------------------------ unified curves ----
+
+UnifiedCurvePolicy::UnifiedCurvePolicy(ml::CurveKind kind, const wl::FeatureModel& features,
+                                       std::uint64_t seed)
+    : kind_(kind), features_(features), seed_(seed) {}
+
+const ml::CurveFit& UnifiedCurvePolicy::fit_for(const std::string& benchmark_name) {
+  std::vector<std::string> excluded = wl::excluded_from_training(benchmark_name);
+  std::sort(excluded.begin(), excluded.end());
+  std::string key;
+  for (const auto& name : excluded) key += name + "|";
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  // One curve for everything: pool every training program's profile points.
+  std::vector<double> xs, ys;
+  for (const auto& ex : make_training_set(features_, seed_, excluded)) {
+    xs.insert(xs.end(), ex.profile_items.begin(), ex.profile_items.end());
+    ys.insert(ys.end(), ex.profile_footprints.begin(), ex.profile_footprints.end());
+  }
+  return cache_.emplace(key, ml::fit_curve(kind_, xs, ys)).first->second;
+}
+
+std::string UnifiedCurvePolicy::name() const {
+  switch (kind_) {
+    case ml::CurveKind::kPowerLaw: return "Linear Regression";
+    case ml::CurveKind::kExponential: return "Exponential Regression";
+    case ml::CurveKind::kNapierianLog: return "Napierian Log. Regression";
+  }
+  return "?";
+}
+
+sim::ProfilingCost UnifiedCurvePolicy::profile(sim::AppProbe& probe,
+                                               sim::MemoryEstimate& estimate) {
+  const ml::CurveFit fit = fit_for(probe.name());
+
+  // The single model's level is adjusted to the application with one probe;
+  // its shape is whatever the unified family learned offline.
+  const Items x_probe = std::clamp(0.05 * probe.input_items(), 16.0, 768.0);
+  const GiB y_probe = probe.measure_footprint(x_probe);
+  const double at_probe = ml::curve_eval(fit.kind, fit.params, x_probe);
+  const double scale = at_probe > 0 ? std::clamp(y_probe / at_probe, 0.2, 5.0) : 1.0;
+
+  estimate.footprint = [fit, scale](Items x) {
+    return sane_footprint(scale * ml::curve_eval(fit.kind, fit.params, x));
+  };
+  estimate.items_for_budget = [fit, scale](GiB budget) {
+    return ml::curve_inverse(fit.kind, fit.params, budget / scale);
+  };
+  estimate.cpu_load = probe.measure_cpu_load();
+
+  sim::ProfilingCost cost;
+  cost.calibration_items = x_probe;
+  return cost;
+}
+
+// --------------------------------------------------------- unified ANN ----
+
+namespace {
+constexpr double kAnnTargetScale = 32.0;  // GiB; keeps targets near tanh range
+double ann_size_input(Items x) { return std::log10(std::max(1.0, x)) / 6.0; }
+}  // namespace
+
+struct UnifiedAnnPolicy::Entry {
+  ml::MinMaxScaler scaler;
+  ml::Pca pca;
+  ml::AnnRegressor ann{ml::MlpParams{{12, 8}, 600, 0.02, 1e-6}, 0xA99};
+};
+
+UnifiedAnnPolicy::UnifiedAnnPolicy(const wl::FeatureModel& features, std::uint64_t seed)
+    : features_(features), seed_(seed) {}
+
+UnifiedAnnPolicy::~UnifiedAnnPolicy() = default;
+
+const UnifiedAnnPolicy::Entry& UnifiedAnnPolicy::entry_for(const std::string& benchmark_name) {
+  std::vector<std::string> excluded = wl::excluded_from_training(benchmark_name);
+  std::sort(excluded.begin(), excluded.end());
+  std::string key;
+  for (const auto& name : excluded) key += name + "|";
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return *it->second;
+
+  const auto examples = make_training_set(features_, seed_, excluded);
+  auto entry = std::make_unique<Entry>();
+  std::vector<ml::Vector> rows;
+  for (const auto& ex : examples) rows.push_back(ex.raw_features);
+  const ml::Matrix raw = ml::Matrix::from_rows(rows);
+  entry->scaler.fit(raw);
+  entry->pca.fit(entry->scaler.transform(raw), 0.95, 5);
+
+  // One row per (program, sweep point): [pc features..., log size] -> y.
+  std::vector<ml::Vector> x_rows;
+  std::vector<double> targets;
+  for (const auto& ex : examples) {
+    const ml::Vector pcs = entry->pca.transform(entry->scaler.transform(ex.raw_features));
+    for (std::size_t i = 0; i < ex.profile_items.size(); ++i) {
+      ml::Vector row = pcs;
+      row.push_back(ann_size_input(ex.profile_items[i]));
+      x_rows.push_back(std::move(row));
+      targets.push_back(ex.profile_footprints[i] / kAnnTargetScale);
+    }
+  }
+  entry->ann.fit(ml::Matrix::from_rows(x_rows), targets);
+  return *cache_.emplace(key, std::move(entry)).first->second;
+}
+
+sim::ProfilingCost UnifiedAnnPolicy::profile(sim::AppProbe& probe,
+                                             sim::MemoryEstimate& estimate) {
+  const Entry& entry = entry_for(probe.name());
+  const ml::Vector pcs = entry.pca.transform(entry.scaler.transform(probe.raw_features()));
+
+  auto raw_predict = [&entry, pcs](Items x) {
+    ml::Vector row = pcs;
+    row.push_back(ann_size_input(x));
+    return entry.ann.predict(row) * kAnnTargetScale;
+  };
+
+  // A single probe rescales the network to the target application.
+  const Items x_probe = std::clamp(0.10 * probe.input_items(), 32.0, 4096.0);
+  const GiB y_probe = probe.measure_footprint(x_probe);
+  const double at_probe = raw_predict(x_probe);
+  const double scale = at_probe > 0.05 ? std::clamp(y_probe / at_probe, 0.2, 5.0) : 1.0;
+
+  const Items max_items = probe.input_items() * 4.0;
+  auto footprint = [raw_predict, scale](Items x) {
+    return sane_footprint(scale * raw_predict(x));
+  };
+  estimate.footprint = footprint;
+  estimate.items_for_budget = [footprint, max_items](GiB budget) {
+    return inverse_by_search(footprint, budget, max_items);
+  };
+  estimate.cpu_load = probe.measure_cpu_load();
+
+  sim::ProfilingCost cost;
+  cost.feature_items = kFeatureRunItems;
+  cost.calibration_items = x_probe;
+  return cost;
+}
+
+}  // namespace smoe::sched

@@ -1,0 +1,73 @@
+#include "sched/training_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace smoe::sched {
+
+core::TrainingExample make_training_example(const wl::BenchmarkSpec& bench,
+                                            const wl::FeatureModel& features,
+                                            std::uint64_t seed, const ProfileOptions& opt) {
+  SMOE_REQUIRE(opt.sweep_points >= 2, "profile: need >= 2 sweep points");
+  SMOE_REQUIRE(opt.sweep_max > opt.sweep_min && opt.sweep_min > 0, "profile: bad sweep range");
+
+  core::TrainingExample ex;
+  ex.name = bench.name;
+  Rng rng(Rng::derive(seed, "profile:" + bench.name));
+  ex.raw_features = features.sample(bench, rng);
+
+  for (std::size_t i = 0; i < opt.sweep_points; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(opt.sweep_points - 1);
+    const Items x = opt.sweep_min * std::pow(opt.sweep_max / opt.sweep_min, frac);
+    const GiB y = bench.footprint(x) * std::max(0.5, rng.normal(1.0, opt.measurement_noise));
+    ex.profile_items.push_back(x);
+    ex.profile_footprints.push_back(y);
+  }
+  return ex;
+}
+
+std::vector<core::TrainingExample> make_training_set(const wl::FeatureModel& features,
+                                                     std::uint64_t seed,
+                                                     const std::vector<std::string>& excluded,
+                                                     const ProfileOptions& opt) {
+  std::vector<core::TrainingExample> out;
+  for (const auto& bench : wl::training_benchmarks()) {
+    if (std::find(excluded.begin(), excluded.end(), bench.name) != excluded.end()) continue;
+    out.push_back(make_training_example(bench, features, seed, opt));
+  }
+  SMOE_CHECK(out.size() >= 2, "training set too small after exclusions");
+  return out;
+}
+
+SelectorCache::SelectorCache(const wl::FeatureModel& features, std::uint64_t seed,
+                             core::TrainerOptions trainer_options,
+                             ProfileOptions profile_options)
+    : features_(features),
+      seed_(seed),
+      trainer_options_(trainer_options),
+      profile_options_(profile_options) {}
+
+const SelectorCache::Entry& SelectorCache::for_test_benchmark(
+    const std::string& benchmark_name) {
+  std::vector<std::string> excluded = wl::excluded_from_training(benchmark_name);
+  std::sort(excluded.begin(), excluded.end());
+  std::string key;
+  for (const auto& name : excluded) {
+    key += name;
+    key += '|';
+  }
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    auto entry = std::make_unique<Entry>();
+    entry->pool = core::ExpertPool::paper_default();
+    entry->selector = core::train_selector(
+        entry->pool, make_training_set(features_, seed_, excluded, profile_options_),
+        trainer_options_);
+    it = cache_.emplace(key, std::move(entry)).first;
+  }
+  return *it->second;
+}
+
+}  // namespace smoe::sched

@@ -1,0 +1,62 @@
+// Offline training-data generation (Section 3.3): profile each training
+// program in isolation — one ~100 MB feature-extraction run plus a sweep of
+// input sizes from ~300 MB to ~1 TB whose memory footprints are recorded —
+// and assemble core::TrainingExample records. Also provides the per-test-app
+// selector cache implementing the leave-one-out rule of Section 5.2.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "workloads/features.h"
+#include "workloads/suites.h"
+
+namespace smoe::sched {
+
+struct ProfileOptions {
+  std::size_t sweep_points = 10;         ///< log-spaced input sizes
+  Items sweep_min = 300;                 ///< ~300 MB
+  Items sweep_max = 1024 * 1024;         ///< ~1 TB
+  double measurement_noise = 0.003;      ///< relative footprint jitter (averaged runs)
+  Items feature_run_items = 100;         ///< ~100 MB characterization run
+};
+
+/// Profile one benchmark offline (isolated host, noisy measurements).
+core::TrainingExample make_training_example(const wl::BenchmarkSpec& bench,
+                                            const wl::FeatureModel& features,
+                                            std::uint64_t seed,
+                                            const ProfileOptions& opt = {});
+
+/// Profile the 16 HiBench+BigDataBench programs, minus `excluded` names.
+std::vector<core::TrainingExample> make_training_set(
+    const wl::FeatureModel& features, std::uint64_t seed,
+    const std::vector<std::string>& excluded = {}, const ProfileOptions& opt = {});
+
+/// Trained selectors keyed by the test benchmark's exclusion set, so that
+/// evaluating HB.Sort never trains on HB.Sort or its BDB twin. Entries stay
+/// alive for the cache's lifetime (MemoryModels point into their pools).
+class SelectorCache {
+ public:
+  SelectorCache(const wl::FeatureModel& features, std::uint64_t seed,
+                core::TrainerOptions trainer_options = {}, ProfileOptions profile_options = {});
+
+  struct Entry {
+    core::ExpertPool pool;
+    core::SelectorModel selector;
+  };
+
+  /// Selector trained with the Section 5.2 exclusions for this benchmark.
+  const Entry& for_test_benchmark(const std::string& benchmark_name);
+
+ private:
+  const wl::FeatureModel& features_;
+  std::uint64_t seed_;
+  core::TrainerOptions trainer_options_;
+  ProfileOptions profile_options_;
+  std::map<std::string, std::unique_ptr<Entry>> cache_;
+};
+
+}  // namespace smoe::sched

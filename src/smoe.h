@@ -1,0 +1,40 @@
+// Umbrella header: the public API of sparkmoe.
+//
+//   #include "smoe.h"
+//
+// pulls in the mixture-of-experts predictor (core), the workload and feature
+// models, the cluster simulator, and the scheduling policies. Fine-grained
+// headers remain available for targeted includes.
+#pragma once
+
+// Common substrate: errors, units, RNG, statistics.
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+// The paper's contribution: experts, pool, trainer, runtime predictor.
+#include "core/expert_pool.h"
+#include "core/memory_expert.h"
+#include "core/predictor.h"
+#include "core/serialize.h"
+#include "core/trainer.h"
+
+// Workloads: the 44 benchmarks, feature model, task mixes.
+#include "workloads/benchmark.h"
+#include "workloads/features.h"
+#include "workloads/mixes.h"
+#include "workloads/suites.h"
+
+// Cluster simulation.
+#include "sparksim/config.h"
+#include "sparksim/engine.h"
+#include "sparksim/policy.h"
+
+// Scheduling policies, metrics and the experiment runner.
+#include "sched/cpu_estimator.h"
+#include "sched/experiment.h"
+#include "sched/metrics.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sched/training_data.h"

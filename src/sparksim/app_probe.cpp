@@ -1,0 +1,30 @@
+#include "sparksim/app_probe.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace smoe::sim {
+
+AppProbe::AppProbe(const wl::BenchmarkSpec& spec, const wl::FeatureModel& features,
+                   Items input_items, std::uint64_t seed, double noise)
+    : spec_(spec), features_(features), input_items_(input_items), rng_(seed), noise_(noise) {
+  SMOE_REQUIRE(input_items > 0.0, "probe: empty input");
+  SMOE_REQUIRE(noise >= 0.0, "probe: negative noise");
+}
+
+ml::Vector AppProbe::raw_features() { return features_.sample(spec_, rng_); }
+
+GiB AppProbe::measure_footprint(Items items) {
+  SMOE_REQUIRE(items > 0.0, "probe: items must be positive");
+  const GiB truth = spec_.footprint(items);
+  const double jitter = rng_.normal(1.0, noise_);
+  return std::max(0.05, truth * jitter);
+}
+
+double AppProbe::measure_cpu_load() {
+  const double jitter = rng_.normal(1.0, noise_);
+  return std::clamp(spec_.cpu_load_iso * jitter, 0.01, 1.0);
+}
+
+}  // namespace smoe::sim

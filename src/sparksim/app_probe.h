@@ -1,0 +1,43 @@
+// The measurement interface scheduling policies get for a submitted
+// application. Policies never see the BenchmarkSpec's ground-truth memory
+// function — they can only observe what a real system could observe:
+// profiling-run feature vectors, measured footprints of probe runs (with
+// measurement noise), and the measured CPU load.
+#pragma once
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "ml/matrix.h"
+#include "workloads/benchmark.h"
+#include "workloads/features.h"
+
+namespace smoe::sim {
+
+class AppProbe {
+ public:
+  /// `noise` is the relative std-dev of footprint measurements (a real RSS
+  /// sample jitters with GC and OS caching).
+  AppProbe(const wl::BenchmarkSpec& spec, const wl::FeatureModel& features, Items input_items,
+           std::uint64_t seed, double noise = 0.010);
+
+  const std::string& name() const { return spec_.name; }
+  Items input_items() const { return input_items_; }
+
+  /// Raw 22-feature vector from the ~100 MB characterization run.
+  ml::Vector raw_features();
+
+  /// Measured footprint of an executor caching `items` items (noisy truth).
+  GiB measure_footprint(Items items);
+
+  /// Measured average CPU load during profiling (noisy truth).
+  double measure_cpu_load();
+
+ private:
+  const wl::BenchmarkSpec& spec_;
+  const wl::FeatureModel& features_;
+  Items input_items_;
+  Rng rng_;
+  double noise_;
+};
+
+}  // namespace smoe::sim

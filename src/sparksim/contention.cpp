@@ -1,0 +1,35 @@
+#include "sparksim/contention.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace smoe::sim {
+
+double cpu_factor(double total_cpu_demand) {
+  SMOE_REQUIRE(total_cpu_demand >= 0.0, "negative CPU demand");
+  return total_cpu_demand <= 1.0 ? 1.0 : 1.0 / total_cpu_demand;
+}
+
+double interference_factor(double sensitivity, double corunner_cpu, double scale) {
+  SMOE_REQUIRE(sensitivity >= 0.0 && corunner_cpu >= 0.0, "negative load");
+  return 1.0 / (1.0 + scale * sensitivity * corunner_cpu);
+}
+
+double paging_factor(GiB resident, GiB ram, double penalty) {
+  SMOE_REQUIRE(ram > 0.0, "ram must be positive");
+  const double overflow = std::max(0.0, resident - ram);
+  return 1.0 / (1.0 + penalty * overflow / ram);
+}
+
+bool is_oom(GiB resident, GiB ram, GiB swap) { return resident > ram + swap; }
+
+double speed_factor(double own_cpu, double own_sensitivity, const NodeLoad& node,
+                    const ClusterConfig& cluster, const ContentionConfig& contention) {
+  const double others = std::max(0.0, node.total_cpu - own_cpu);
+  return cpu_factor(node.total_cpu) *
+         interference_factor(own_sensitivity, others, contention.interference_scale) *
+         paging_factor(node.resident, cluster.node_ram, contention.paging_penalty);
+}
+
+}  // namespace smoe::sim

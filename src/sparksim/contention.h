@@ -1,0 +1,43 @@
+// The node-level contention model, shared by the cluster engine and the
+// single-host interference benches (Figures 14 and 15).
+//
+// Three multiplicative effects slow an executor down relative to isolated
+// execution on the same node:
+//   * CPU over-subscription: when the aggregate CPU demand U of co-running
+//     tasks exceeds the node (U > 1), everyone runs at 1/U.
+//   * cache/bandwidth interference: co-runners hurt each other even below
+//     full CPU; a task's slowdown scales with its sensitivity times the
+//     co-runners' aggregate CPU demand (bounded — Fig. 14 stays under ~25%).
+//   * paging: when resident memory exceeds node RAM, the spillover to swap
+//     multiplies everyone's time sharply; exceeding RAM+swap is an OOM.
+#pragma once
+
+#include <span>
+
+#include "common/units.h"
+#include "sparksim/config.h"
+
+namespace smoe::sim {
+
+/// Aggregate-CPU speed factor in (0, 1].
+double cpu_factor(double total_cpu_demand);
+
+/// Interference speed factor in (0, 1] for a task with `sensitivity`, given
+/// the summed CPU demand of its co-runners on the node.
+double interference_factor(double sensitivity, double corunner_cpu, double scale = 1.0);
+
+/// Paging speed factor in (0, 1]; 1.0 while resident memory fits in RAM.
+double paging_factor(GiB resident, GiB ram, double penalty);
+
+/// True when resident memory exceeds RAM + swap (an executor must die).
+bool is_oom(GiB resident, GiB ram, GiB swap);
+
+/// Combined speed factor for one task on a node.
+struct NodeLoad {
+  double total_cpu = 0.0;   ///< Sum of all co-running tasks' CPU demands.
+  GiB resident = 0.0;       ///< Sum of all co-running tasks' resident memory.
+};
+double speed_factor(double own_cpu, double own_sensitivity, const NodeLoad& node,
+                    const ClusterConfig& cluster, const ContentionConfig& contention);
+
+}  // namespace smoe::sim

@@ -1,0 +1,585 @@
+#include "sparksim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "common/error.h"
+#include "sparksim/contention.h"
+#include "sparksim/monitor.h"
+#include "workloads/suites.h"
+
+namespace smoe::sim {
+
+namespace {
+
+constexpr double kEps = 1e-6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// A predictive executor survives overshooting its heap by up to 25%
+/// (GC-thrashing); beyond that it dies with an OOM.
+constexpr double kOomOvershoot = 1.25;
+constexpr double kThrashPenalty = 9.0;  ///< predictive heap overshoot slowdown
+constexpr double kSpillPenalty = 1.5;   ///< default-heap spill slowdown
+
+enum class Phase { kProfiling, kReady, kDone };
+
+struct ExecState {
+  bool active = false;
+  int app = -1;
+  NodeId node = kNoId;
+  Items chunk = 0;
+  Items remaining = 0;
+  Items processed = 0;
+  Items fail_after = kInf;  ///< OOM once this many items were processed.
+  GiB reserved = 0;
+  GiB resident = 0;
+  Seconds search_delay = 0;  ///< online-search probing; no progress meanwhile.
+  double degrade = 1.0;      ///< spill/thrash factor from heap overshoot.
+  double rate = 0;           ///< cached items/s for the current step.
+  double planned_cpu = 0;    ///< CPU-load share booked on the node at spawn.
+};
+
+struct AppState {
+  const wl::BenchmarkSpec* spec = nullptr;
+  std::unique_ptr<AppProbe> probe;
+  MemoryEstimate est;
+  Phase phase = Phase::kProfiling;
+  Items unassigned = 0;
+  std::size_t executors = 0;
+  std::size_t dyn_alloc = 1;  ///< Spark dynamic-allocation executor count.
+  std::size_t max_pred_executors = 1;  ///< co-location boost cap (Section 4.3).
+  Items default_chunk = 0;    ///< Spark default even split.
+  Items pred_chunk_cap = 0;   ///< per-executor split in predictive mode.
+  std::vector<Items> rerun_chunks;  ///< OOM re-runs pending (Section 2.3).
+  /// Set after an OOM: the model is clearly wrong for this application, so
+  /// the dispatcher falls back to the conservative default-heap scheme
+  /// (Section 4.1's confidence fallback / re-train path).
+  bool model_distrusted = false;
+  AppResult res;
+};
+
+struct NodeState {
+  GiB reserved = 0;
+  double planned_cpu = 0;
+  std::vector<int> execs;
+
+  bool empty() const { return execs.empty(); }
+};
+
+class NullIsolatedPolicy final : public SchedulingPolicy {
+ public:
+  std::string name() const override { return "internal-isolated"; }
+  DispatchMode mode() const override { return DispatchMode::kIsolated; }
+  ProfilingCost profile(AppProbe&, MemoryEstimate&) override { return {}; }
+};
+
+struct Sim {
+  const SimConfig& cfg;
+  const wl::FeatureModel& features;
+  SchedulingPolicy& policy;
+
+  Seconds now = 0;
+  std::vector<AppState> apps;
+  std::vector<std::size_t> queue;  ///< dispatch order (Section 5.2's policy)
+  std::vector<NodeState> nodes;
+  std::vector<ExecState> execs;
+  ResourceMonitor monitor;
+  UtilizationTrace trace;
+  Seconds next_report;
+  std::size_t oom_total = 0;
+  std::size_t executors_spawned = 0;
+  std::size_t executors_degraded = 0;
+  std::size_t peak_node_occupancy = 0;
+  double reserved_gib_seconds = 0;
+  double used_gib_seconds = 0;
+
+  Sim(const SimConfig& c, const wl::FeatureModel& f, SchedulingPolicy& p)
+      : cfg(c),
+        features(f),
+        policy(p),
+        nodes(c.cluster.n_nodes),
+        monitor(c.cluster.n_nodes, c.spark.monitor_window),
+        trace(c.cluster.n_nodes),
+        next_report(c.spark.monitor_period) {}
+
+  // ---- setup ---------------------------------------------------------
+  void submit(const wl::TaskMix& mix) {
+    SMOE_REQUIRE(!mix.empty(), "sim: empty task mix");
+    apps.reserve(mix.size());
+    // Profiling runs share the coordinating node's limited slots, FIFO.
+    std::vector<Seconds> slot_free(std::max<std::size_t>(1, cfg.spark.profiling_slots), 0.0);
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      const auto& inst = mix[i];
+      AppState app;
+      app.spec = &wl::find_benchmark(inst.benchmark);
+      SMOE_REQUIRE(inst.input_items >= 2.0 * cfg.spark.min_chunk,
+                   "sim: input too small: " + inst.benchmark);
+      const std::uint64_t seed =
+          Rng::derive(cfg.seed, "app:" + std::to_string(i) + ":" + inst.benchmark);
+      app.probe = std::make_unique<AppProbe>(*app.spec, features, inst.input_items, seed);
+
+      const ProfilingCost cost = policy.profile(*app.probe, app.est);
+      Items consumed = cost.feature_items + cost.calibration_items;
+      consumed = std::min(consumed, inst.input_items * 0.5);
+      app.unassigned = inst.input_items - consumed;
+
+      app.dyn_alloc = static_cast<std::size_t>(std::clamp<double>(
+          std::ceil(inst.input_items / cfg.spark.dyn_alloc_items_per_executor), 1.0,
+          static_cast<double>(cfg.spark.dyn_alloc_max_executors)));
+      app.default_chunk = std::ceil(inst.input_items / static_cast<double>(app.dyn_alloc));
+      // The paper's dispatcher spawns executors beyond the (imperfect) Spark
+      // dynamic allocation when spare resources exist (Section 4.3), bounded
+      // by the cluster size.
+      app.max_pred_executors = std::min<std::size_t>(
+          static_cast<std::size_t>(std::ceil(cfg.spark.executor_boost *
+                                             static_cast<double>(app.dyn_alloc))),
+          cfg.cluster.n_nodes);
+      app.max_pred_executors = std::max<std::size_t>(app.max_pred_executors, 1);
+      app.pred_chunk_cap = std::max<Items>(
+          cfg.spark.min_chunk,
+          std::ceil(inst.input_items / static_cast<double>(app.max_pred_executors)));
+
+      app.res.benchmark = inst.benchmark;
+      app.res.input_items = inst.input_items;
+      app.res.feature_time = cost.feature_items / app.spec->items_per_second;
+      app.res.calibration_time = cost.calibration_items / app.spec->items_per_second;
+      const Seconds duration = app.res.feature_time + app.res.calibration_time;
+      if (duration > 0) {
+        auto slot = std::min_element(slot_free.begin(), slot_free.end());
+        app.res.profile_end = *slot + duration;
+        *slot = app.res.profile_end;
+        app.phase = Phase::kProfiling;
+      } else {
+        app.res.profile_end = 0;
+        app.phase = Phase::kReady;
+      }
+      apps.push_back(std::move(app));
+    }
+    queue.resize(apps.size());
+    for (std::size_t i = 0; i < queue.size(); ++i) queue[i] = i;
+    if (cfg.spark.queue_order == QueueOrder::kShortestJobFirst) {
+      std::stable_sort(queue.begin(), queue.end(), [&](std::size_t a, std::size_t b) {
+        return apps[a].res.input_items < apps[b].res.input_items;
+      });
+    }
+  }
+
+  // ---- helpers -------------------------------------------------------
+  GiB free_mem(const NodeState& n) const { return cfg.cluster.node_ram - n.reserved; }
+
+  double effective_cpu(NodeId node) const {
+    return std::max(nodes[static_cast<std::size_t>(node)].planned_cpu,
+                    monitor.reported_cpu(node));
+  }
+
+  bool app_on_node(int app, const NodeState& n) const {
+    for (const int e : n.execs)
+      if (execs[static_cast<std::size_t>(e)].app == app) return true;
+    return false;
+  }
+
+  int alloc_exec_slot() {
+    for (std::size_t i = 0; i < execs.size(); ++i)
+      if (!execs[i].active) return static_cast<int>(i);
+    execs.emplace_back();
+    return static_cast<int>(execs.size()) - 1;
+  }
+
+  void spawn(int app_idx, NodeId node_id, Items chunk, GiB reserved, bool predictive,
+             bool isolated_rerun) {
+    AppState& app = apps[static_cast<std::size_t>(app_idx)];
+    NodeState& node = nodes[static_cast<std::size_t>(node_id)];
+    SMOE_CHECK(chunk > 0, "spawn: empty chunk");
+    SMOE_CHECK(reserved > 0 && node.reserved + reserved <= cfg.cluster.node_ram + kEps,
+               "spawn: reservation over-commits node");
+
+    const int slot = alloc_exec_slot();
+    ExecState& e = execs[static_cast<std::size_t>(slot)];
+    e = ExecState{};
+    e.active = true;
+    e.app = app_idx;
+    e.node = node_id;
+    e.chunk = chunk;
+    e.remaining = chunk;
+    e.reserved = reserved;
+
+    const GiB truth = app.spec->footprint(chunk);
+    e.resident = std::min(truth, reserved);
+    if (truth > reserved + kEps) {
+      const double ratio = (truth - reserved) / reserved;
+      if (predictive && truth > reserved * kOomOvershoot) {
+        // Will die once the cached working set overshoots heap + tolerance.
+        e.fail_after =
+            std::clamp<Items>(app.spec->items_for_budget(reserved * kOomOvershoot), 1.0, chunk);
+        e.degrade = 1.0 / (1.0 + kThrashPenalty * (kOomOvershoot - 1.0));
+      } else {
+        const double penalty = predictive ? kThrashPenalty : kSpillPenalty;
+        e.degrade = 1.0 / (1.0 + penalty * ratio);
+      }
+    }
+    e.search_delay =
+        policy.spawn_search_overhead() * chunk / app.spec->items_per_second;
+
+    node.reserved += reserved;
+    e.planned_cpu = predictive ? app.est.cpu_load : app.spec->cpu_load_iso;
+    node.planned_cpu += e.planned_cpu;
+    node.execs.push_back(slot);
+    ++executors_spawned;
+    ++app.res.executors_used;
+    peak_node_occupancy = std::max(peak_node_occupancy, node.execs.size());
+    if (e.degrade < 1.0) ++executors_degraded;
+
+    if (!isolated_rerun) {
+      SMOE_CHECK(app.unassigned + kEps >= chunk, "spawn: chunk exceeds remaining work");
+      app.unassigned -= chunk;
+      if (app.unassigned < kEps) app.unassigned = 0;
+    }
+    ++app.executors;
+    if (app.res.start < 0) app.res.start = now;
+  }
+
+  void release(int slot) {
+    ExecState& e = execs[static_cast<std::size_t>(slot)];
+    NodeState& node = nodes[static_cast<std::size_t>(e.node)];
+    node.reserved -= e.reserved;
+    if (node.reserved < kEps) node.reserved = 0;
+    AppState& app = apps[static_cast<std::size_t>(e.app)];
+    node.planned_cpu -= e.planned_cpu;
+    if (node.planned_cpu < kEps) node.planned_cpu = 0;
+    std::erase(node.execs, slot);
+    --app.executors;
+    e.active = false;
+  }
+
+  bool app_done(const AppState& app) const {
+    return app.unassigned <= 0 && app.rerun_chunks.empty() && app.executors == 0 &&
+           app.phase == Phase::kReady;
+  }
+
+  // ---- dispatch ------------------------------------------------------
+  void dispatch() {
+    switch (policy.mode()) {
+      case DispatchMode::kIsolated: dispatch_isolated(); return;
+      case DispatchMode::kPairwise: dispatch_pairwise(); return;
+      case DispatchMode::kPredictive: dispatch_predictive(); return;
+    }
+  }
+
+  int find_empty_node() const {
+    for (std::size_t n = 0; n < nodes.size(); ++n)
+      if (nodes[n].empty() && nodes[n].reserved <= kEps) return static_cast<int>(n);
+    return kNoId;
+  }
+
+  // One application at a time, whole-node reservations — the paper's
+  // baseline ("each application exclusively using all the memory of each
+  // allocated computing node", Section 6).
+  void dispatch_isolated() {
+    for (const std::size_t idx : queue) {
+      AppState& app = apps[idx];
+      if (app.phase == Phase::kDone) continue;
+      if (app.phase != Phase::kReady) return;  // strictly one by one
+      while (app.unassigned > 0 && app.executors < app.dyn_alloc) {
+        const NodeId node = find_empty_node();
+        if (node == kNoId) return;
+        const Items chunk = std::min(app.unassigned, app.default_chunk);
+        spawn(static_cast<int>(idx), node, chunk, cfg.cluster.node_ram,
+              /*predictive=*/false, /*isolated_rerun=*/false);
+      }
+      return;  // only the head-of-queue application runs
+    }
+  }
+
+  // FCFS; at most two executors per node; a co-located executor's heap is
+  // set to all free memory (Section 5.4's Pairwise comparator).
+  void dispatch_pairwise() {
+    for (const std::size_t a : queue) {
+      AppState& app = apps[a];
+      if (app.phase != Phase::kReady || app.unassigned <= 0) continue;
+      while (app.unassigned > 0 && app.executors < app.dyn_alloc) {
+        // Prefer an empty node; otherwise co-locate on the singly-occupied
+        // node with the most free memory.
+        NodeId target = find_empty_node();
+        GiB reserve = cfg.cluster.node_ram * cfg.spark.default_heap_fraction;
+        if (target == kNoId) {
+          GiB best_free = 1.0;  // require at least 1 GiB to co-locate
+          for (std::size_t n = 0; n < nodes.size(); ++n) {
+            if (nodes[n].execs.size() >= 2 || app_on_node(static_cast<int>(a), nodes[n]))
+              continue;
+            if (free_mem(nodes[n]) > best_free) {
+              best_free = free_mem(nodes[n]);
+              target = static_cast<int>(n);
+            }
+          }
+          if (target == kNoId) break;
+          reserve = free_mem(nodes[static_cast<std::size_t>(target)]);
+        }
+        const Items chunk = std::min(app.unassigned, app.default_chunk);
+        spawn(static_cast<int>(a), target, chunk, reserve, /*predictive=*/false,
+              /*isolated_rerun=*/false);
+      }
+    }
+  }
+
+  // Memory-aware packing (Section 4.3): spawn executors wherever predicted
+  // footprint fits and the aggregate CPU stays under 100%; chunk sizes come
+  // from the inverse memory function under the node's spare-memory budget.
+  void dispatch_predictive() {
+    for (const std::size_t a : queue) {
+      AppState& app = apps[a];
+      if (app.phase != Phase::kReady) continue;
+
+      // OOM fallback: re-run failed chunks alone on a whole node.
+      while (!app.rerun_chunks.empty()) {
+        const NodeId node = find_empty_node();
+        if (node == kNoId) break;
+        spawn(static_cast<int>(a), node, app.rerun_chunks.back(), cfg.cluster.node_ram,
+              /*predictive=*/false, /*isolated_rerun=*/true);
+        app.rerun_chunks.pop_back();
+      }
+
+      if (!app.est.footprint || !app.est.items_for_budget) continue;
+
+      if (app.model_distrusted) {
+        // Conservative fallback after an OOM: default heaps, default chunks,
+        // spill-safe executors, Spark-default parallelism.
+        while (app.unassigned > 0 && app.executors < app.dyn_alloc) {
+          const GiB heap = cfg.cluster.node_ram * cfg.spark.default_heap_fraction;
+          NodeId target = kNoId;
+          GiB best = heap;
+          for (std::size_t n = 0; n < nodes.size(); ++n) {
+            if (app_on_node(static_cast<int>(a), nodes[n])) continue;
+            if (free_mem(nodes[n]) >= best) {
+              best = free_mem(nodes[n]);
+              target = static_cast<int>(n);
+            }
+          }
+          if (target == kNoId) break;
+          spawn(static_cast<int>(a), target, std::min(app.unassigned, app.default_chunk),
+                heap, /*predictive=*/false, /*isolated_rerun=*/false);
+        }
+        continue;
+      }
+
+      while (app.unassigned > 0 && app.executors < app.max_pred_executors) {
+        // Best node: most free memory among those passing the CPU check.
+        NodeId target = kNoId;
+        GiB best_free = 2.0;  // minimum useful budget
+        for (std::size_t n = 0; n < nodes.size(); ++n) {
+          if (app_on_node(static_cast<int>(a), nodes[n])) continue;
+          if (policy.cpu_check() &&
+              effective_cpu(static_cast<int>(n)) + app.est.cpu_load > 1.0 + kEps)
+            continue;
+          if (free_mem(nodes[n]) > best_free) {
+            best_free = free_mem(nodes[n]);
+            target = static_cast<int>(n);
+          }
+        }
+        if (target == kNoId) break;
+
+        const GiB budget = best_free / (1.0 + cfg.spark.reservation_headroom);
+        Items chunk = app.est.items_for_budget(budget);
+        if (!std::isfinite(chunk)) chunk = app.unassigned;
+        chunk = std::min({app.unassigned, app.pred_chunk_cap, chunk});
+        GiB reserve = 0;
+        if (chunk >= cfg.spark.min_chunk) {
+          reserve = std::min(best_free,
+                             app.est.footprint(chunk) * (1.0 + cfg.spark.reservation_headroom));
+        }
+        if (chunk < cfg.spark.min_chunk || reserve <= 0 || !std::isfinite(reserve)) {
+          // Not enough memory for a useful chunk (or a degenerate model); on
+          // an idle node fall back to the conservative default-heap scheme
+          // (the Section 4.1 fallback), otherwise try again later.
+          if (best_free >= cfg.cluster.node_ram - kEps) {
+            const Items fallback = std::min(app.unassigned, app.default_chunk);
+            spawn(static_cast<int>(a), target, fallback,
+                  cfg.cluster.node_ram * cfg.spark.default_heap_fraction,
+                  /*predictive=*/false, /*isolated_rerun=*/false);
+            continue;
+          }
+          break;
+        }
+        spawn(static_cast<int>(a), target, chunk, reserve, /*predictive=*/true,
+              /*isolated_rerun=*/false);
+      }
+    }
+  }
+
+  // ---- time stepping --------------------------------------------------
+  void refresh_rates() {
+    for (auto& node : nodes) {
+      double total_cpu = 0;
+      for (const int e : node.execs)
+        total_cpu += apps[static_cast<std::size_t>(execs[static_cast<std::size_t>(e)].app)]
+                         .spec->cpu_load_iso;
+      for (const int ei : node.execs) {
+        ExecState& e = execs[static_cast<std::size_t>(ei)];
+        const auto& spec = *apps[static_cast<std::size_t>(e.app)].spec;
+        const double others = std::max(0.0, total_cpu - spec.cpu_load_iso);
+        const double factor =
+            cpu_factor(total_cpu) *
+            interference_factor(spec.interference_sensitivity, others,
+                                cfg.contention.interference_scale) *
+            e.degrade;
+        e.rate = spec.items_per_second * factor;
+      }
+    }
+  }
+
+  double node_utilization(const NodeState& node) const {
+    double total_cpu = 0;
+    for (const int e : node.execs)
+      total_cpu += apps[static_cast<std::size_t>(execs[static_cast<std::size_t>(e)].app)]
+                       .spec->cpu_load_iso;
+    return std::min(1.0, total_cpu);
+  }
+
+  Seconds next_event_dt() const {
+    double dt = kInf;
+    for (const auto& app : apps)
+      if (app.phase == Phase::kProfiling) dt = std::min(dt, app.res.profile_end - now);
+    dt = std::min(dt, next_report - now);
+    for (const auto& e : execs) {
+      if (!e.active) continue;
+      double t = e.search_delay;
+      SMOE_CHECK(e.rate > 0, "executor with zero rate");
+      const double to_finish = e.remaining / e.rate;
+      const double to_fail =
+          std::isfinite(e.fail_after) ? (e.fail_after - e.processed) / e.rate : kInf;
+      t += std::min(to_finish, to_fail);
+      dt = std::min(dt, t);
+    }
+    return dt;
+  }
+
+  void advance(Seconds dt) {
+    for (std::size_t n = 0; n < nodes.size(); ++n)
+      trace.accumulate(static_cast<int>(n), now, now + dt, node_utilization(nodes[n]));
+    for (auto& e : execs) {
+      if (!e.active) continue;
+      reserved_gib_seconds += e.reserved * dt;
+      used_gib_seconds += e.resident * dt;
+      double budget = dt;
+      if (e.search_delay > 0) {
+        const double used = std::min(e.search_delay, budget);
+        e.search_delay -= used;
+        budget -= used;
+        if (e.search_delay < kEps) e.search_delay = 0;
+      }
+      if (budget <= 0) continue;
+      const double done = e.rate * budget;
+      e.processed += done;
+      e.remaining -= done;
+    }
+    now += dt;
+  }
+
+  void handle_completions() {
+    for (std::size_t i = 0; i < execs.size(); ++i) {
+      ExecState& e = execs[i];
+      if (!e.active) continue;
+      if (std::isfinite(e.fail_after) && e.processed >= e.fail_after - kEps) {
+        // OOM: the chunk is lost and must re-run in isolation (Section 2.3).
+        AppState& app = apps[static_cast<std::size_t>(e.app)];
+#ifdef SMOE_DEBUG_OOM
+        if (oom_total < 12)
+          fprintf(stderr, "OOM t=%.0f app=%s chunk=%.0f fail_after=%.0f reserved=%.1f iso_q=%zu unassigned=%.0f\n",
+                  now, app.spec->name.c_str(), e.chunk, e.fail_after, e.reserved,
+                  app.rerun_chunks.size(), app.unassigned);
+#endif
+        app.rerun_chunks.push_back(e.chunk);
+        app.model_distrusted = true;
+        ++app.res.oom_events;
+        ++oom_total;
+        release(static_cast<int>(i));
+        continue;
+      }
+      if (e.remaining <= kEps * std::max(1.0, e.chunk)) {
+        release(static_cast<int>(i));
+      }
+    }
+    for (auto& app : apps) {
+      if (app.phase == Phase::kReady && app_done(app) && app.res.finish < 0) {
+        app.res.finish = now;
+        app.phase = Phase::kDone;
+      }
+    }
+  }
+
+  void maybe_report() {
+    if (now + kEps < next_report) return;
+    std::vector<double> cpu(nodes.size()), mem(nodes.size());
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      cpu[n] = node_utilization(nodes[n]);
+      double resident = 0;
+      for (const int e : nodes[n].execs) resident += execs[static_cast<std::size_t>(e)].resident;
+      mem[n] = resident;
+    }
+    monitor.record(cpu, mem);
+    next_report += cfg.spark.monitor_period;
+  }
+
+  SimResult run(const wl::TaskMix& mix) {
+    submit(mix);
+    std::size_t guard = 0;
+    while (true) {
+      // Promote applications whose profiling window has elapsed.
+      for (auto& app : apps)
+        if (app.phase == Phase::kProfiling && app.res.profile_end <= now + kEps)
+          app.phase = Phase::kReady;
+
+      bool all_done = true;
+      for (const auto& app : apps)
+        if (app.phase != Phase::kDone) all_done = false;
+      if (all_done) break;
+
+      dispatch();
+      refresh_rates();
+
+      const double dt = next_event_dt();
+      if (!std::isfinite(dt)) {
+        SMOE_CHECK(false, "simulation stalled: no executors, no pending events");
+      }
+      advance(std::max(dt, 0.0));
+      handle_completions();
+      maybe_report();
+
+      SMOE_CHECK(++guard < 5'000'000, "simulation exceeded event budget");
+    }
+
+    SimResult result;
+    result.trace = std::move(trace);
+    result.oom_total = oom_total;
+    result.executors_spawned = executors_spawned;
+    result.executors_degraded = executors_degraded;
+    result.peak_node_occupancy = peak_node_occupancy;
+    result.reserved_gib_hours = reserved_gib_seconds / 3600.0;
+    result.used_gib_hours = used_gib_seconds / 3600.0;
+    for (auto& app : apps) {
+      result.makespan = std::max(result.makespan, app.res.finish);
+      result.apps.push_back(app.res);
+    }
+    return result;
+  }
+};
+
+}  // namespace
+
+ClusterSim::ClusterSim(SimConfig config, const wl::FeatureModel& features)
+    : cfg_(config), features_(features) {
+  SMOE_REQUIRE(cfg_.cluster.n_nodes > 0, "cluster needs nodes");
+}
+
+SimResult ClusterSim::run(const wl::TaskMix& mix, SchedulingPolicy& policy) {
+  Sim sim(cfg_, features_, policy);
+  return sim.run(mix);
+}
+
+Seconds ClusterSim::isolated_exec_time(const wl::AppInstance& app) {
+  NullIsolatedPolicy policy;
+  const SimResult result = run({app}, policy);
+  return result.apps.front().exec_time();
+}
+
+}  // namespace smoe::sim

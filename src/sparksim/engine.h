@@ -1,0 +1,75 @@
+// The discrete-event cluster simulator.
+//
+// A simulation run takes a task mix (applications + input sizes) and a
+// scheduling policy and plays the cluster forward: profiling runs, executor
+// dispatch under the policy's rules, contention-dependent progress, executor
+// completions, OOM kills with isolated re-runs (Section 2.3), and resource
+// monitor reports. Everything is deterministic given SimConfig::seed.
+//
+// Executor memory semantics: an executor's resident set is bounded by its
+// reservation (a Spark executor cannot exceed its JVM heap). If the chunk's
+// true working set exceeds the reservation, the executor degrades:
+//   * non-predictive executors (Isolated/Pairwise heaps) spill to disk — a
+//     mild slowdown, like Spark's default RDD cache eviction;
+//   * predictive executors (heap sized to a prediction) GC-thrash, and die
+//     with an OOM once the working set overshoots the heap by >25%; the
+//     paper's fallback then re-runs the chunk in isolation.
+#pragma once
+
+#include <vector>
+
+#include "sparksim/config.h"
+#include "sparksim/policy.h"
+#include "sparksim/trace.h"
+#include "workloads/mixes.h"
+
+namespace smoe::sim {
+
+struct AppResult {
+  std::string benchmark;
+  Items input_items = 0;
+  Seconds submit = 0;            ///< All apps are submitted at t = 0.
+  Seconds profile_end = 0;       ///< When profiling finished (== submit if none).
+  Seconds start = -1;            ///< First executor spawn.
+  Seconds finish = -1;           ///< Last item processed.
+  Seconds feature_time = 0;      ///< Feature-extraction profiling time.
+  Seconds calibration_time = 0;  ///< Calibration profiling time.
+  std::size_t oom_events = 0;
+  std::size_t executors_used = 0;  ///< Executors spawned for this application.
+
+  Seconds exec_time() const { return finish - start; }
+  Seconds turnaround() const { return finish - submit; }
+};
+
+struct SimResult {
+  std::vector<AppResult> apps;   ///< Same order as the input mix.
+  Seconds makespan = 0;
+  UtilizationTrace trace{1};
+  std::size_t oom_total = 0;
+  std::size_t executors_spawned = 0;
+  std::size_t executors_degraded = 0;  ///< spilled or thrashed (heap overshoot)
+  std::size_t peak_node_occupancy = 0; ///< max executors co-located on one node
+  GiB reserved_gib_hours = 0;          ///< integral of reservations over time
+  GiB used_gib_hours = 0;              ///< integral of resident memory over time
+};
+
+class ClusterSim {
+ public:
+  ClusterSim(SimConfig config, const wl::FeatureModel& features);
+
+  /// Simulate the mix under the policy. Policies are stateless across apps,
+  /// so one policy instance can be reused across runs.
+  SimResult run(const wl::TaskMix& mix, SchedulingPolicy& policy);
+
+  /// Execution time of one application run alone on the idle cluster with
+  /// exclusive memory — the C^is_i term of the STP/ANTT metrics (Section 5.3).
+  Seconds isolated_exec_time(const wl::AppInstance& app);
+
+  const SimConfig& config() const { return cfg_; }
+
+ private:
+  SimConfig cfg_;
+  const wl::FeatureModel& features_;
+};
+
+}  // namespace smoe::sim

@@ -1,0 +1,45 @@
+#include "sparksim/monitor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace smoe::sim {
+
+ResourceMonitor::ResourceMonitor(std::size_t n_nodes, std::size_t window) : window_(window) {
+  SMOE_REQUIRE(n_nodes > 0, "monitor: no nodes");
+  SMOE_REQUIRE(window > 0, "monitor: window must be >= 1");
+  cpu_ring_.assign(window, std::vector<double>(n_nodes, 0.0));
+  mem_ring_.assign(window, std::vector<double>(n_nodes, 0.0));
+}
+
+void ResourceMonitor::record(std::span<const double> cpu_now, std::span<const double> mem_now) {
+  SMOE_REQUIRE(cpu_now.size() == cpu_ring_.front().size(), "monitor: node count mismatch");
+  SMOE_REQUIRE(mem_now.size() == cpu_now.size(), "monitor: node count mismatch");
+  const std::size_t slot = reports_ % window_;
+  std::copy(cpu_now.begin(), cpu_now.end(), cpu_ring_[slot].begin());
+  std::copy(mem_now.begin(), mem_now.end(), mem_ring_[slot].begin());
+  ++reports_;
+}
+
+double ResourceMonitor::reported_cpu(NodeId node) const {
+  const auto n = static_cast<std::size_t>(node);
+  SMOE_REQUIRE(n < cpu_ring_.front().size(), "monitor: bad node id");
+  const std::size_t filled = std::min(reports_, window_);
+  if (filled == 0) return 0.0;
+  double s = 0;
+  for (std::size_t i = 0; i < filled; ++i) s += cpu_ring_[i][n];
+  return s / static_cast<double>(filled);
+}
+
+GiB ResourceMonitor::reported_mem(NodeId node) const {
+  const auto n = static_cast<std::size_t>(node);
+  SMOE_REQUIRE(n < mem_ring_.front().size(), "monitor: bad node id");
+  const std::size_t filled = std::min(reports_, window_);
+  if (filled == 0) return 0.0;
+  double s = 0;
+  for (std::size_t i = 0; i < filled; ++i) s += mem_ring_[i][n];
+  return s / static_cast<double>(filled);
+}
+
+}  // namespace smoe::sim

@@ -1,0 +1,37 @@
+// The per-node resource monitor (Section 4.2): every computing node reports
+// its CPU load and memory usage periodically; the job dispatcher consumes a
+// windowed average (the paper uses a 5-minute window), so scheduling sees
+// slightly stale, smoothed values — exactly like the real system.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace smoe::sim {
+
+class ResourceMonitor {
+ public:
+  ResourceMonitor(std::size_t n_nodes, std::size_t window);
+
+  /// Ingest one reporting tick: instantaneous CPU utilization (0..1) and
+  /// memory in use (GiB) per node.
+  void record(std::span<const double> cpu_now, std::span<const double> mem_now);
+
+  /// Windowed average CPU utilization of a node; 0 before the first report.
+  double reported_cpu(NodeId node) const;
+  /// Windowed average memory usage of a node; 0 before the first report.
+  GiB reported_mem(NodeId node) const;
+
+  std::size_t reports_seen() const { return reports_; }
+
+ private:
+  std::size_t window_;
+  std::size_t reports_ = 0;
+  // Ring buffers, one row per report slot.
+  std::vector<std::vector<double>> cpu_ring_, mem_ring_;
+};
+
+}  // namespace smoe::sim

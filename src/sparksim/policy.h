@@ -1,0 +1,64 @@
+// The interface scheduling policies implement. The engine owns the cluster
+// mechanics (queueing, dispatch, contention, completion); a policy decides
+// how an application's memory demand is estimated and which dispatch rules
+// apply. Concrete policies (Isolated, Pairwise, Quasar, Online-search, MoE,
+// Oracle) live in src/sched.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/units.h"
+#include "sparksim/app_probe.h"
+
+namespace smoe::sim {
+
+/// How the dispatcher places executors for this policy.
+enum class DispatchMode {
+  kIsolated,    ///< One application at a time, whole nodes, no co-location.
+  kPairwise,    ///< At most two executors per node; co-located one gets all free memory.
+  kPredictive,  ///< Memory-aware packing using the policy's estimate.
+};
+
+/// A policy's memory model for one application, produced at profiling time.
+/// The callables must stay valid for the simulation's lifetime (the engine
+/// keeps the AppProbe alive, so capturing it by reference is safe).
+struct MemoryEstimate {
+  /// Predicted executor footprint (GiB) when caching `items`.
+  std::function<GiB(Items)> footprint;
+  /// Largest item count predicted to fit a memory budget.
+  std::function<Items(GiB)> items_for_budget;
+  /// Measured/estimated average CPU load of the application.
+  double cpu_load = 0.3;
+};
+
+/// Input items consumed by profiling; the engine converts them to time using
+/// the application's processing rate, and deducts them from the remaining
+/// work (profiling runs contribute to the final output, Section 4.1).
+struct ProfilingCost {
+  Items feature_items = 0;
+  Items calibration_items = 0;
+};
+
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  virtual std::string name() const = 0;
+  virtual DispatchMode mode() const = 0;
+
+  /// Predictive policies respect the aggregate-CPU cap (Section 4.3).
+  virtual bool cpu_check() const { return mode() == DispatchMode::kPredictive; }
+
+  /// Extra per-spawn latency as a fraction of the chunk's processing time;
+  /// models the probing of online-search schemes (Section 6.5). The time is
+  /// pure overhead: the executor holds its resources but makes no progress.
+  virtual double spawn_search_overhead() const { return 0.0; }
+
+  /// Characterize one application. Fill `estimate` (for kPredictive mode)
+  /// and return the profiling cost. Called once per application at submit
+  /// time; `probe` outlives the returned estimate.
+  virtual ProfilingCost profile(AppProbe& probe, MemoryEstimate& estimate) = 0;
+};
+
+}  // namespace smoe::sim

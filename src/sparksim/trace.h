@@ -1,0 +1,38 @@
+// Time-binned per-node utilization traces: the data behind the paper's
+// Figure 7 heatmaps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.h"
+
+namespace smoe::sim {
+
+class UtilizationTrace {
+ public:
+  explicit UtilizationTrace(std::size_t n_nodes, Seconds bin_width = 60.0);
+
+  /// Accumulate a constant utilization `util01` on `node` over [t0, t1).
+  void accumulate(NodeId node, Seconds t0, Seconds t1, double util01);
+
+  std::size_t n_nodes() const { return n_nodes_; }
+  Seconds bin_width() const { return bin_width_; }
+  /// Number of bins with any recorded time.
+  std::size_t n_bins() const;
+
+  /// Mean utilization of `node` during bin `b` (0 when nothing recorded).
+  double value(NodeId node, std::size_t bin) const;
+  /// Mean utilization across all nodes and the trace duration.
+  double overall_mean() const;
+
+ private:
+  std::size_t n_nodes_;
+  Seconds bin_width_;
+  // Per node: sum of util*dt and sum of dt per bin.
+  std::vector<std::vector<double>> weighted_, duration_;
+
+  void ensure_bins(std::size_t bins);
+};
+
+}  // namespace smoe::sim

@@ -1,0 +1,27 @@
+#include "workloads/benchmark.h"
+
+#include "common/error.h"
+
+namespace smoe::wl {
+
+std::string to_string(Suite suite) {
+  switch (suite) {
+    case Suite::kHiBench: return "HiBench";
+    case Suite::kBigDataBench: return "BigDataBench";
+    case Suite::kSparkPerf: return "Spark-Perf";
+    case Suite::kSparkBench: return "Spark-Bench";
+    case Suite::kParsec: return "PARSEC";
+  }
+  return "?";
+}
+
+GiB BenchmarkSpec::footprint(Items items) const {
+  SMOE_REQUIRE(items > 0.0, "footprint: items must be positive");
+  return ml::curve_eval(true_kind, true_params, items);
+}
+
+Items BenchmarkSpec::items_for_budget(GiB budget) const {
+  return ml::curve_inverse(true_kind, true_params, budget);
+}
+
+}  // namespace smoe::wl

@@ -1,0 +1,67 @@
+// Benchmark specifications: the synthetic stand-ins for the paper's 44 Spark
+// applications (HiBench, BigDataBench, Spark-Perf, Spark-Bench) and the 12
+// PARSEC co-runners used in the interference study (Fig. 15).
+//
+// Each Spark benchmark carries a ground-truth per-executor memory function
+// drawn from the paper's three families (Table 1), an isolation-mode CPU load
+// (Fig. 13), a processing rate and an interference sensitivity. The predictor
+// under test never sees the ground truth — it only observes footprints
+// through (noisy) profiling runs, exactly like the real system observed a
+// Spark executor's RSS.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "ml/regression.h"
+
+namespace smoe::wl {
+
+enum class Suite { kHiBench, kBigDataBench, kSparkPerf, kSparkBench, kParsec };
+
+std::string to_string(Suite suite);
+
+struct BenchmarkSpec {
+  std::string name;  ///< e.g. "HB.Sort"; unique across suites.
+  Suite suite = Suite::kHiBench;
+
+  /// Ground-truth memory behaviour of one executor: footprint in GiB as a
+  /// function of the number of RDD items the executor caches.
+  ml::CurveKind true_kind = ml::CurveKind::kPowerLaw;
+  ml::CurveParams true_params;
+
+  /// Average CPU load (fraction of one node) when running in isolation.
+  double cpu_load_iso = 0.3;
+  /// Items one executor processes per second on an uncontended node.
+  double items_per_second = 80.0;
+  /// Sensitivity to co-runner interference (cache/bandwidth); the slowdown of
+  /// this benchmark is roughly `sensitivity * sum(co-runner CPU loads)`.
+  double interference_sensitivity = 0.2;
+
+  /// Latent "program characteristics" coordinates driving the synthetic
+  /// feature model; benchmarks of the same memory-function family cluster
+  /// together (the structure of Fig. 16).
+  double latent1 = 0.0, latent2 = 0.0;
+
+  /// True memory footprint (GiB) of an executor caching `items` items.
+  GiB footprint(Items items) const;
+  /// Largest number of items whose footprint fits in `budget` GiB.
+  Items items_for_budget(GiB budget) const;
+
+  /// Label used for expert-selection datasets: the index of the true family.
+  int family_label() const { return static_cast<int>(true_kind); }
+};
+
+/// A PARSEC-style compute-bound co-runner (Fig. 15): high CPU demand, small
+/// fixed memory, fixed standalone runtime.
+struct ParsecSpec {
+  std::string name;
+  double cpu_load = 0.9;
+  GiB memory = 2.0;
+  Seconds runtime_iso = 600.0;
+  double interference_sensitivity = 0.25;
+};
+
+}  // namespace smoe::wl

@@ -1,0 +1,98 @@
+#include "workloads/features.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace smoe::wl {
+
+namespace {
+
+// Table 2 of the paper, in importance order.
+constexpr std::array<RawFeatureInfo, kNumRawFeatures> kRawFeatures = {{
+    {"L1_TCM", "L1 total cache miss rate"},
+    {"L1_DCM", "L1 data cache miss rate"},
+    {"vcache", "% of memory used as cache"},
+    {"L1_STM", "L1 cache store miss rate"},
+    {"bo", "# blocks sent (/s)"},
+    {"L2_TCM", "L2 total cache miss rate"},
+    {"L3_TCM", "L3 total cache miss rate"},
+    {"cs", "# context switches / s"},
+    {"FLOPs", "# floating point operations / s"},
+    {"in", "# interrupts / s"},
+    {"L2_DCM", "L2 data cache miss rate"},
+    {"L2_LDM", "L2 cache load miss rate"},
+    {"L1_ICM", "L1 instr. cache miss rate"},
+    {"swpd", "% of virtual memory used"},
+    {"L2_STM", "L2 cache store miss rate"},
+    {"IPC", "instructions per cycle"},
+    {"L1_LDM", "L1 cache load miss rate"},
+    {"L2_ICM", "L2 instr. cache miss rate"},
+    {"ID", "% of idle time"},
+    {"WA", "% of time on IO waiting"},
+    {"US", "% spent on user time"},
+    {"SY", "% spent on kernel time"},
+}};
+
+// Plausible magnitudes so raw vectors read like real counter output; the
+// min-max scaler normalizes these away before learning.
+constexpr std::array<double, kNumRawFeatures> kBase = {
+    0.08, 0.06, 32.0, 0.03, 1800.0, 0.05,  0.04, 5200.0, 2.1e9, 900.0, 0.03,
+    0.02, 0.01, 4.0,  0.015, 1.1,   0.025, 0.008, 55.0,  3.0,   38.0,  7.0};
+constexpr std::array<double, kNumRawFeatures> kScale = {
+    0.05, 0.04, 14.0, 0.02, 900.0, 0.03,  0.025, 2400.0, 1.2e9, 420.0, 0.02,
+    0.012, 0.006, 2.5, 0.009, 0.4, 0.014, 0.005, 18.0,   1.6,   12.0,  3.0};
+
+// Standard deviations of the per-benchmark latent traits z3..z5 (z1/z2 come
+// from the cluster geometry in suites.cpp). Kept well below the
+// cluster-center separation so programs sharing a memory function stay
+// tightly correlated (Section 6.9's Pearson > 0.9999 within clusters).
+constexpr double kLatentSigma[kNumLatents] = {0.0, 0.0, 0.12, 0.10, 0.08};
+
+}  // namespace
+
+std::span<const RawFeatureInfo, kNumRawFeatures> raw_feature_table() { return kRawFeatures; }
+
+FeatureModel::FeatureModel(std::uint64_t seed) : seed_(seed) {
+  base_ = kBase;
+  scale_ = kScale;
+  // Mixing profile per importance rank r: alignment with the dominant latent
+  // z1 decays with rank; z2..z5 peak at successively later ranks, so
+  // lower-ranked features draw their (smaller) variance from the
+  // lower-variance latent traits. This reproduces both the PCA variance
+  // concentration (Fig. 4a) and the Varimax importance ordering (Fig. 4b).
+  for (std::size_t r = 0; r < kNumRawFeatures; ++r) {
+    const double fr = static_cast<double>(r);
+    mix_[r][0] = std::exp(-fr / 5.5);
+    mix_[r][1] = 1.00 * std::exp(-std::abs(fr - 3.5) / 3.5);
+    mix_[r][2] = 0.42 * std::exp(-std::abs(fr - 10.0) / 4.5);
+    mix_[r][3] = 0.38 * std::exp(-std::abs(fr - 15.0) / 4.5);
+    mix_[r][4] = 0.36 * std::exp(-std::abs(fr - 20.0) / 4.5);
+  }
+}
+
+std::array<double, kNumLatents> FeatureModel::latent(const BenchmarkSpec& bench) const {
+  std::array<double, kNumLatents> z{};
+  z[0] = bench.latent1;
+  z[1] = bench.latent2;
+  // Per-benchmark traits are a pure function of (model seed, benchmark name).
+  Rng trait_rng(Rng::derive(seed_, "traits:" + bench.name));
+  for (std::size_t d = 2; d < kNumLatents; ++d) z[d] = trait_rng.normal(0.0, kLatentSigma[d]);
+  return z;
+}
+
+ml::Vector FeatureModel::sample(const BenchmarkSpec& bench, Rng& run_rng,
+                                double noise_scale) const {
+  SMOE_REQUIRE(noise_scale >= 0.0, "noise scale must be non-negative");
+  const auto z = latent(bench);
+  ml::Vector raw(kNumRawFeatures);
+  for (std::size_t f = 0; f < kNumRawFeatures; ++f) {
+    double signal = 0;
+    for (std::size_t d = 0; d < kNumLatents; ++d) signal += mix_[f][d] * z[d];
+    signal += run_rng.normal(0.0, run_noise_ * noise_scale);
+    raw[f] = base_[f] + scale_[f] * signal;
+  }
+  return raw;
+}
+
+}  // namespace smoe::wl

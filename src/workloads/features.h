@@ -1,0 +1,68 @@
+// The synthetic runtime-feature model standing in for vmstat / perf / PAPI.
+//
+// The paper characterizes an application by 22 raw features captured while
+// the program processes a ~100 MB slice of its input (Table 2). We reproduce
+// the *statistical structure* of those measurements with a generative model:
+//
+//   raw[f] = base[f] + scale[f] * ( M[f] . z  +  eps_f )
+//
+// where z is a 5-dimensional latent "program characteristics" vector whose
+// first two coordinates carry the memory-function cluster structure of
+// Fig. 16 (set per benchmark in suites.cpp), the remaining three are smaller
+// per-benchmark traits, eps is per-run measurement noise, and the mixing
+// matrix M gives features their Table 2 importance ordering: top-ranked
+// features (L1_TCM, L1_DCM, vcache, ...) align with the high-variance latent
+// dimensions, low-ranked ones (US, SY) mostly with the small ones.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/rng.h"
+#include "ml/matrix.h"
+#include "workloads/benchmark.h"
+
+namespace smoe::wl {
+
+inline constexpr std::size_t kNumRawFeatures = 22;
+inline constexpr std::size_t kNumLatents = 5;
+
+struct RawFeatureInfo {
+  const char* abbr;
+  const char* desc;
+};
+
+/// The 22 raw features in the paper's importance order (Table 2).
+std::span<const RawFeatureInfo, kNumRawFeatures> raw_feature_table();
+
+class FeatureModel {
+ public:
+  explicit FeatureModel(std::uint64_t seed = 0x5eed);
+
+  /// One profiling run's raw feature vector for a benchmark. `run_rng` drives
+  /// the per-run measurement noise; the benchmark's identity contributes a
+  /// deterministic latent position, so repeated runs of the same program
+  /// cluster tightly (the paper's Pearson > 0.9999 within clusters).
+  /// `noise_scale` multiplies the per-run noise — short or unusually-sized
+  /// characterization runs measure the counters less cleanly.
+  ml::Vector sample(const BenchmarkSpec& bench, Rng& run_rng, double noise_scale = 1.0) const;
+
+  /// The noise-free latent position of a benchmark (used by analysis benches).
+  std::array<double, kNumLatents> latent(const BenchmarkSpec& bench) const;
+
+  /// Per-run measurement noise scale (std-dev in latent units).
+  double run_noise() const { return run_noise_; }
+
+ private:
+  std::uint64_t seed_;
+  double run_noise_ = 0.012;
+  // M[f][d]: feature-by-latent mixing weights; base/scale map latent space to
+  // plausible counter magnitudes.
+  std::array<std::array<double, kNumLatents>, kNumRawFeatures> mix_{};
+  std::array<double, kNumRawFeatures> base_{};
+  std::array<double, kNumRawFeatures> scale_{};
+};
+
+}  // namespace smoe::wl

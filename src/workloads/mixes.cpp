@@ -1,0 +1,106 @@
+#include "workloads/mixes.h"
+
+#include <array>
+
+#include "common/error.h"
+
+namespace smoe::wl {
+
+namespace {
+
+constexpr std::array<Scenario, 10> kScenarios = {{
+    {"L1", 2}, {"L2", 6}, {"L3", 7}, {"L4", 9}, {"L5", 11},
+    {"L6", 13}, {"L7", 19}, {"L8", 23}, {"L9", 26}, {"L10", 30},
+}};
+
+Items random_input(Rng& rng) {
+  // Small inputs are rare in the evaluation mixes (Table 4 has one); weight
+  // toward the medium and large classes the paper emphasises.
+  const double p = rng.uniform(0.0, 1.0);
+  if (p < 0.10) return items_for_input_class(InputClass::kSmall);
+  if (p < 0.55) return items_for_input_class(InputClass::kMedium);
+  return items_for_input_class(InputClass::kLarge);
+}
+
+}  // namespace
+
+std::span<const Scenario> scenarios() { return kScenarios; }
+
+const Scenario& scenario_by_label(const std::string& label) {
+  for (const auto& sc : kScenarios)
+    if (sc.label == label) return sc;
+  SMOE_REQUIRE(false, "unknown scenario: " + label);
+  return kScenarios.front();  // unreachable
+}
+
+TaskMix random_mix(std::size_t n_apps, Rng& rng) {
+  SMOE_REQUIRE(n_apps >= 1, "mix needs >= 1 app");
+  const auto& all = all_spark_benchmarks();
+  TaskMix mix;
+  mix.reserve(n_apps);
+  const auto idx = rng.sample_without_replacement(all.size(), n_apps);
+  for (std::size_t i = 0; i < n_apps; ++i) {
+    // When n_apps exceeds the suite size, wrap around with repeats.
+    const auto& bench = all[idx[i % idx.size()]];
+    mix.push_back({bench.name, random_input(rng)});
+  }
+  return mix;
+}
+
+std::vector<TaskMix> scenario_mixes(const Scenario& sc, std::size_t n_mixes,
+                                    std::uint64_t seed) {
+  SMOE_REQUIRE(n_mixes >= 1, "need >= 1 mix");
+  const auto& all = all_spark_benchmarks();
+  Rng rng(Rng::derive(seed, "mixes:" + sc.label));
+
+  // Deal benchmarks from reshuffled decks so every benchmark shows up across
+  // the scenario's batch of mixes.
+  std::vector<std::size_t> deck;
+  auto refill = [&] {
+    deck.resize(all.size());
+    for (std::size_t i = 0; i < deck.size(); ++i) deck[i] = i;
+    rng.shuffle(deck);
+  };
+  refill();
+
+  std::vector<TaskMix> out;
+  out.reserve(n_mixes);
+  for (std::size_t m = 0; m < n_mixes; ++m) {
+    TaskMix mix;
+    mix.reserve(sc.n_apps);
+    for (std::size_t a = 0; a < sc.n_apps; ++a) {
+      if (deck.empty()) refill();
+      const auto& bench = all[deck.back()];
+      deck.pop_back();
+      mix.push_back({bench.name, random_input(rng)});
+    }
+    out.push_back(std::move(mix));
+  }
+  return out;
+}
+
+TaskMix table4_mix() {
+  const Items kSmall = items_for_input_class(InputClass::kSmall);
+  const Items k30GB = items_for_input_class(InputClass::kMedium);
+  const Items k1TB = items_for_input_class(InputClass::kLarge);
+  // Table 4 of the paper, in submission order 1..30.
+  return {
+      {"BDB.WordCount", k30GB},        {"SP.Kmeans", k1TB},
+      {"SP.glm-classification", k1TB}, {"SP.glm-regression", k1TB},
+      {"SP.Pca", k30GB},               {"SB.SVD++", k1TB},
+      {"HB.Scan", k30GB},              {"HB.TeraSort", k1TB},
+      {"SB.Hive", k1TB},               {"SP.NaiveBayes", k1TB},
+      {"BDB.PageRank", k1TB},          {"HB.PageRank", k30GB},
+      {"SP.DecisionTree", k30GB},      {"SP.Spearman", k1TB},
+      {"SB.MatrixFact", k1TB},         {"BDB.Grep", k1TB},
+      {"SB.LogRegre", k1TB},           {"BDB.NaiveBayes", k30GB},
+      {"BDB.Kmeans", k30GB},           {"HB.Sort", k1TB},
+      {"SP.CoreRDD", kSmall},          {"SP.Gmm", k1TB},
+      {"HB.Join", k1TB},               {"SP.Sum.Statis", k30GB},
+      {"SP.B.MatrixMult", k1TB},       {"BDB.Sort", k30GB},
+      {"SB.RDDRelation", k1TB},        {"SP.Pearson", k1TB},
+      {"SP.Chi-sq", k30GB},            {"HB.Kmeans", k1TB},
+  };
+}
+
+}  // namespace smoe::wl

@@ -1,0 +1,49 @@
+// Runtime scenarios: the task-mix generator behind Table 3 (scenarios L1-L10
+// with 2-30 randomly selected applications, ~100 mixes per scenario, every
+// benchmark covered) and the fixed 30-application mix of Table 4 that drives
+// Figures 7 and 8.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "workloads/suites.h"
+
+namespace smoe::wl {
+
+/// One application submission: which benchmark, and how many RDD items.
+struct AppInstance {
+  std::string benchmark;
+  Items input_items = 0;
+};
+
+using TaskMix = std::vector<AppInstance>;
+
+struct Scenario {
+  std::string label;    ///< "L1" .. "L10"
+  std::size_t n_apps;   ///< Table 3 application count.
+};
+
+/// Table 3: the ten runtime scenarios.
+std::span<const Scenario> scenarios();
+const Scenario& scenario_by_label(const std::string& label);
+
+/// One random mix of `n_apps` applications with input sizes drawn from the
+/// paper's small/medium/large classes.
+TaskMix random_mix(std::size_t n_apps, Rng& rng);
+
+/// A batch of mixes for a scenario. Benchmarks are dealt round-robin from
+/// shuffled decks so that across the batch every one of the 44 benchmarks
+/// appears (the paper: "make sure all benchmarks are included in each
+/// scenario").
+std::vector<TaskMix> scenario_mixes(const Scenario& sc, std::size_t n_mixes,
+                                    std::uint64_t seed);
+
+/// The fixed 30-application mix of Table 4 (Figures 7 and 8), in submission
+/// order.
+TaskMix table4_mix();
+
+}  // namespace smoe::wl

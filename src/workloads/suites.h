@@ -1,0 +1,37 @@
+// The benchmark registry: 44 Spark applications across four suites (the
+// paper's Section 5.1 workloads) and 12 PARSEC co-runners, plus the standard
+// input-size classes and the training/testing split rules of Section 5.2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "workloads/benchmark.h"
+
+namespace smoe::wl {
+
+/// All 44 Spark benchmarks. Stable order; index is a stable benchmark id.
+const std::vector<BenchmarkSpec>& all_spark_benchmarks();
+
+/// The 16 HiBench + BigDataBench programs used to train the memory models.
+std::vector<BenchmarkSpec> training_benchmarks();
+
+/// The 12 PARSEC v3.0 compute-bound applications of Fig. 15.
+const std::vector<ParsecSpec>& parsec_benchmarks();
+
+/// Lookup by unique name; throws PreconditionError when unknown.
+const BenchmarkSpec& find_benchmark(const std::string& name);
+
+/// Names of training programs that must be excluded when testing `name`,
+/// implementing Section 5.2's leave-one-out rule: the benchmark itself plus
+/// any equivalent implementation in another suite (e.g. testing HB.Sort
+/// excludes BDB.Sort).
+std::vector<std::string> excluded_from_training(const std::string& name);
+
+/// The paper's input-size classes (Section 5.2): small ~300 MB, medium
+/// ~30 GB, large ~1 TB, expressed in RDD items.
+enum class InputClass { kSmall, kMedium, kLarge };
+Items items_for_input_class(InputClass cls);
+std::string to_string(InputClass cls);
+
+}  // namespace smoe::wl

@@ -1,0 +1,193 @@
+// Parameterized tests over every classifier in the substrate (the Table 5
+// lineup): each must separate well-separated Gaussian blobs, be deterministic
+// given its seed, and respect the Classifier contract.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+#include "ml/svm.h"
+
+namespace {
+
+using namespace smoe;
+using ml::Dataset;
+
+Dataset gaussian_blobs(std::uint64_t seed, std::size_t per_class, double separation) {
+  Rng rng(seed);
+  const std::vector<std::pair<double, double>> centers = {{0, 0}, {separation, 0},
+                                                          {0, separation}};
+  Dataset ds;
+  std::vector<ml::Vector> rows;
+  for (int cls = 0; cls < 3; ++cls)
+    for (std::size_t i = 0; i < per_class; ++i) {
+      rows.push_back({centers[static_cast<std::size_t>(cls)].first + rng.normal(0, 0.3),
+                      centers[static_cast<std::size_t>(cls)].second + rng.normal(0, 0.3),
+                      rng.normal(0, 1.0)});  // a pure-noise feature
+      ds.labels.push_back(cls);
+    }
+  ds.x = ml::Matrix::from_rows(rows);
+  return ds;
+}
+
+struct Case {
+  std::string name;
+  ml::ClassifierFactory make;
+};
+
+std::vector<Case> all_classifiers() {
+  return {
+      {"knn1", [] { return std::make_unique<ml::KnnClassifier>(1); }},
+      {"knn3", [] { return std::make_unique<ml::KnnClassifier>(3); }},
+      {"naive_bayes", [] { return std::make_unique<ml::GaussianNaiveBayes>(); }},
+      {"decision_tree", [] { return std::make_unique<ml::DecisionTree>(); }},
+      {"random_forest",
+       [] { return std::make_unique<ml::RandomForest>(ml::ForestParams{20, {}}, 3); }},
+      {"svm", [] { return std::make_unique<ml::LinearSvm>(ml::SvmParams{1e-3, 60, 1.0}, 4); }},
+      {"mlp",
+       [] { return std::make_unique<ml::MlpClassifier>(ml::MlpParams{{8}, 120, 0.05, 1e-5}, 5); }},
+      {"ann",
+       [] {
+         return std::make_unique<ml::MlpClassifier>(ml::MlpParams{{10, 6}, 120, 0.05, 1e-5}, 6,
+                                                    "ANN");
+       }},
+  };
+}
+
+class EveryClassifier : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EveryClassifier, SeparatesGaussianBlobs) {
+  const Dataset train = gaussian_blobs(1, 30, 4.0);
+  const Dataset test = gaussian_blobs(2, 20, 4.0);
+  auto clf = GetParam().make();
+  clf->fit(train);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i)
+    if (clf->predict(test.x.row(i)) == test.labels[i]) ++correct;
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(test.size()), 0.9)
+      << GetParam().name;
+}
+
+TEST_P(EveryClassifier, DeterministicAcrossInstances) {
+  const Dataset train = gaussian_blobs(3, 20, 4.0);
+  const Dataset test = gaussian_blobs(4, 10, 4.0);
+  auto a = GetParam().make();
+  auto b = GetParam().make();
+  a->fit(train);
+  b->fit(train);
+  for (std::size_t i = 0; i < test.size(); ++i)
+    EXPECT_EQ(a->predict(test.x.row(i)), b->predict(test.x.row(i))) << GetParam().name;
+}
+
+TEST_P(EveryClassifier, PredictBeforeFitThrows) {
+  auto clf = GetParam().make();
+  const std::vector<double> x = {0, 0, 0};
+  EXPECT_THROW(clf->predict(x), PreconditionError) << GetParam().name;
+}
+
+TEST_P(EveryClassifier, LoocvAccuracyHighOnSeparableData) {
+  const Dataset ds = gaussian_blobs(5, 12, 5.0);
+  EXPECT_GE(ml::loocv_accuracy(ds, GetParam().make), 0.85) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table5Lineup, EveryClassifier, ::testing::ValuesIn(all_classifiers()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           return info.param.name;
+                         });
+
+// ---- classifier-specific behaviour ----
+
+TEST(Knn, NeighboursSortedByDistance) {
+  Dataset ds;
+  ds.x = ml::Matrix::from_rows({{0.0}, {1.0}, {5.0}});
+  ds.labels = {0, 1, 1};
+  ml::KnnClassifier knn(3);
+  knn.fit(ds);
+  const auto nn = knn.neighbours(std::vector<double>{0.9});
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0].index, 1u);
+  EXPECT_LE(nn[0].distance, nn[1].distance);
+  EXPECT_LE(nn[1].distance, nn[2].distance);
+  EXPECT_NEAR(knn.nearest_distance(std::vector<double>{0.9}), 0.1, 1e-12);
+}
+
+TEST(Knn, MajorityVoteWithK3) {
+  Dataset ds;
+  ds.x = ml::Matrix::from_rows({{0.0}, {0.2}, {0.4}, {10.0}});
+  ds.labels = {1, 1, 0, 0};
+  ml::KnnClassifier knn(3);
+  knn.fit(ds);
+  EXPECT_EQ(knn.predict(std::vector<double>{0.1}), 1);
+}
+
+TEST(Knn, KZeroRejected) { EXPECT_THROW(ml::KnnClassifier(0), PreconditionError); }
+
+TEST(DecisionTree, PerfectlySeparableDataGetsPureLeaves) {
+  Dataset ds;
+  ds.x = ml::Matrix::from_rows({{0.0}, {1.0}, {2.0}, {10.0}, {11.0}, {12.0}});
+  ds.labels = {0, 0, 0, 1, 1, 1};
+  ml::DecisionTree tree;
+  tree.fit(ds);
+  for (std::size_t i = 0; i < ds.size(); ++i)
+    EXPECT_EQ(tree.predict(ds.x.row(i)), ds.labels[i]);
+  EXPECT_LE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  const Dataset ds = gaussian_blobs(7, 40, 1.0);  // overlapping blobs
+  ml::DecisionTree stump(ml::TreeParams{1, 2, 0});
+  stump.fit(ds);
+  EXPECT_LE(stump.depth(), 2u);  // root + leaves
+}
+
+TEST(Svm, DecisionValueSignMatchesClass) {
+  Dataset ds;
+  ds.x = ml::Matrix::from_rows({{-2.0}, {-1.5}, {1.5}, {2.0}});
+  ds.labels = {0, 0, 1, 1};
+  ml::LinearSvm svm;
+  svm.fit(ds);
+  EXPECT_GT(svm.decision_value(1, std::vector<double>{2.0}),
+            svm.decision_value(1, std::vector<double>{-2.0}));
+  EXPECT_EQ(svm.predict(std::vector<double>{-1.8}), 0);
+  EXPECT_EQ(svm.predict(std::vector<double>{1.8}), 1);
+}
+
+TEST(NaiveBayes, UsesPriorsWhenFeaturesUninformative) {
+  Dataset ds;
+  // Identical feature values, 4:1 class imbalance.
+  ds.x = ml::Matrix::from_rows({{1.0}, {1.0}, {1.0}, {1.0}, {1.0}});
+  ds.labels = {0, 0, 0, 0, 1};
+  ml::GaussianNaiveBayes nb;
+  nb.fit(ds);
+  EXPECT_EQ(nb.predict(std::vector<double>{1.0}), 0);
+}
+
+TEST(Dataset, SubsetAndWithout) {
+  Dataset ds;
+  ds.x = ml::Matrix::from_rows({{1.0}, {2.0}, {3.0}});
+  ds.labels = {0, 1, 2};
+  const std::vector<std::size_t> keep = {2, 0};
+  const Dataset sub = ds.subset(keep);
+  EXPECT_EQ(sub.labels, (std::vector<int>{2, 0}));
+  EXPECT_DOUBLE_EQ(sub.x(0, 0), 3.0);
+  const Dataset rest = ds.without(1);
+  EXPECT_EQ(rest.labels, (std::vector<int>{0, 2}));
+}
+
+TEST(Dataset, ValidationErrors) {
+  Dataset ds;
+  ds.x = ml::Matrix::from_rows({{1.0}});
+  ds.labels = {0, 1};
+  EXPECT_THROW(ds.validate(), PreconditionError);
+  ds.labels = {-1};
+  EXPECT_THROW(ds.validate(), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+// Tests for the mixture-of-experts core: experts, pool, trainer, predictor,
+// and the extensibility story (registering a custom expert).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "core/predictor.h"
+#include "sched/policies_learned.h"
+#include "sched/training_data.h"
+#include "sparksim/app_probe.h"
+#include "workloads/features.h"
+#include "workloads/suites.h"
+
+namespace {
+
+using namespace smoe;
+
+TEST(Experts, BuiltinNamesAndFormulas) {
+  const auto power = core::make_builtin_expert(ml::CurveKind::kPowerLaw);
+  EXPECT_EQ(power->name(), "PowerLaw");
+  EXPECT_NE(power->formula().find("x^b"), std::string::npos);
+  const auto log = core::make_builtin_expert(ml::CurveKind::kNapierianLog);
+  EXPECT_NE(log->formula().find("ln(x)"), std::string::npos);
+}
+
+TEST(Experts, EvalCalibrateInverseAgreeWithRegression) {
+  const auto expert = core::make_builtin_expert(ml::CurveKind::kExponential);
+  const core::Params truth = {6.0, 0.002};
+  const double y1 = expert->eval(truth, 500);
+  const double y2 = expert->eval(truth, 2000);
+  const core::Params cal = expert->calibrate(500, y1, 2000, y2);
+  EXPECT_NEAR(expert->eval(cal, 50000), expert->eval(truth, 50000), 1e-3);
+  EXPECT_NEAR(expert->inverse(truth, y1), 500, 1.0);
+}
+
+TEST(ExpertPool, PaperDefaultHasThreeExpertsInCurveKindOrder) {
+  const core::ExpertPool pool = core::ExpertPool::paper_default();
+  ASSERT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.at(static_cast<int>(ml::CurveKind::kPowerLaw)).name(), "PowerLaw");
+  EXPECT_EQ(pool.at(static_cast<int>(ml::CurveKind::kExponential)).name(), "Exponential");
+  EXPECT_EQ(pool.at(static_cast<int>(ml::CurveKind::kNapierianLog)).name(), "NapierianLog");
+  EXPECT_THROW(pool.at(3), PreconditionError);
+  EXPECT_THROW(pool.at(-1), PreconditionError);
+}
+
+TEST(ExpertPool, BestFitPicksTrueFamily) {
+  const core::ExpertPool pool = core::ExpertPool::paper_default();
+  std::vector<double> xs, ys;
+  for (double x = 300; x < 1e6; x *= 3) {
+    xs.push_back(x);
+    ys.push_back(ml::curve_eval(ml::CurveKind::kNapierianLog, {5.0, 1.8}, x));
+  }
+  const auto best = pool.best_fit(xs, ys);
+  EXPECT_EQ(best.index, static_cast<int>(ml::CurveKind::kNapierianLog));
+  EXPECT_GT(best.fit.r2, 0.999);
+}
+
+// The paper's extensibility claim: a new expert can be plugged in without
+// touching the existing ones. A square-root law y = m * sqrt(x) + b.
+class SqrtLawExpert final : public core::MemoryExpert {
+ public:
+  std::string name() const override { return "SqrtLaw"; }
+  std::string formula() const override { return "y = m * sqrt(x) + b"; }
+  GiB eval(core::Params p, Items x) const override { return p.m * std::sqrt(x) + p.b; }
+  Items inverse(core::Params p, GiB budget) const override {
+    if (p.m <= 0) return budget >= p.b ? std::numeric_limits<double>::infinity() : 0.0;
+    if (budget <= p.b) return 0.0;
+    const double r = (budget - p.b) / p.m;
+    return r * r;
+  }
+  core::FitResult fit(std::span<const double> xs, std::span<const double> ys) const override {
+    // Linear least squares in sqrt(x).
+    std::vector<double> sx(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) sx[i] = std::sqrt(xs[i]);
+    const ml::LinearFit lf = ml::ols(sx, ys);
+    core::FitResult out;
+    out.params = {lf.slope, lf.intercept};
+    std::vector<double> pred(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) pred[i] = eval(out.params, xs[i]);
+    out.r2 = smoe::r_squared(ys, pred);
+    return out;
+  }
+  core::Params calibrate(Items x1, GiB y1, Items x2, GiB y2) const override {
+    const double m = (y2 - y1) / (std::sqrt(x2) - std::sqrt(x1));
+    return {m, y1 - m * std::sqrt(x1)};
+  }
+};
+
+TEST(ExpertPool, CustomExpertWinsOnItsOwnCurve) {
+  core::ExpertPool pool = core::ExpertPool::paper_default();
+  const int idx = pool.add(std::make_unique<SqrtLawExpert>());
+  EXPECT_EQ(idx, 3);
+  std::vector<double> xs, ys;
+  for (double x = 300; x < 1e6; x *= 2.5) {
+    xs.push_back(x);
+    ys.push_back(0.05 * std::sqrt(x) + 2.0);
+  }
+  const auto best = pool.best_fit(xs, ys);
+  EXPECT_EQ(best.index, idx);
+  EXPECT_NEAR(best.fit.params.m, 0.05, 1e-6);
+  EXPECT_NEAR(best.fit.params.b, 2.0, 1e-4);
+}
+
+TEST(MemoryModel, UncalibratedModelThrows) {
+  core::MemoryModel model;
+  EXPECT_FALSE(model.valid());
+  EXPECT_THROW(model.footprint(100), PreconditionError);
+  EXPECT_THROW(model.items_for_budget(10), PreconditionError);
+  EXPECT_THROW(model.expert(), PreconditionError);
+}
+
+// ---- trainer ----
+
+TEST(Trainer, LabelsEveryTrainingProgramWithItsTrueFamily) {
+  const wl::FeatureModel features(1);
+  const auto examples = sched::make_training_set(features, 2);
+  core::ExpertPool pool = core::ExpertPool::paper_default();
+  const core::SelectorModel model = core::train_selector(pool, examples);
+  ASSERT_EQ(model.programs.size(), 16u);
+  for (const auto& p : model.programs) {
+    EXPECT_EQ(p.expert_index, wl::find_benchmark(p.name).family_label()) << p.name;
+    EXPECT_GT(p.fit.r2, 0.99) << p.name;
+    EXPECT_FALSE(p.pc_features.empty());
+  }
+}
+
+TEST(Trainer, PcaKeepsAtMostFiveComponentsCovering95Percent) {
+  const wl::FeatureModel features(1);
+  const auto examples = sched::make_training_set(features, 2);
+  core::ExpertPool pool = core::ExpertPool::paper_default();
+  const core::SelectorModel model = core::train_selector(pool, examples);
+  EXPECT_LE(model.pca.n_components(), 5u);
+  double total = 0;
+  for (const double v : model.pca.explained_variance_ratio()) total += v;
+  EXPECT_GE(total, 0.90);
+}
+
+TEST(Trainer, RejectsDegenerateInputs) {
+  core::ExpertPool pool = core::ExpertPool::paper_default();
+  EXPECT_THROW(core::train_selector(pool, {}), PreconditionError);
+  core::ExpertPool empty;
+  const wl::FeatureModel features(1);
+  const auto examples = sched::make_training_set(features, 2);
+  EXPECT_THROW(core::train_selector(empty, examples), PreconditionError);
+}
+
+// ---- predictor ----
+
+TEST(Predictor, SelectsAndCalibratesUnseenApplication) {
+  const wl::FeatureModel features(1);
+  sched::SelectorCache cache(features, 2);
+  const auto& entry = cache.for_test_benchmark("SB.TriangleCount");
+  const core::MoePredictor predictor(entry.pool, entry.selector);
+
+  const auto& bench = wl::find_benchmark("SB.TriangleCount");
+  sim::AppProbe probe(bench, features, 286720, 3);
+  const core::Selection sel = predictor.select(probe.raw_features());
+  EXPECT_EQ(sel.expert_index, bench.family_label());
+  EXPECT_FALSE(sel.nearest_program.empty());
+  EXPECT_GT(sel.distance, 0.0);
+
+  const core::CalibrationProbes probes = sched::take_calibration_probes(probe);
+  const core::MemoryModel model = predictor.calibrate(sel, probes);
+  const double predicted = model.footprint(286720);
+  const double truth = bench.footprint(286720);
+  EXPECT_NEAR(predicted, truth, 0.12 * truth);  // paper: ~5% average error
+}
+
+TEST(Predictor, ConfidenceThresholdGatesFarApplications) {
+  const wl::FeatureModel features(1);
+  sched::SelectorCache cache(features, 2);
+  const auto& entry = cache.for_test_benchmark("SP.Gmm");
+  const core::MoePredictor strict(entry.pool, entry.selector, /*confidence_distance=*/1e-9);
+  const core::MoePredictor lax(entry.pool, entry.selector, /*confidence_distance=*/100.0);
+  const auto& bench = wl::find_benchmark("SP.Gmm");
+  sim::AppProbe probe(bench, features, 30720, 4);
+  const auto raw = probe.raw_features();
+  EXPECT_FALSE(strict.confident(strict.select(raw)));
+  EXPECT_TRUE(lax.confident(lax.select(raw)));
+}
+
+TEST(Predictor, InvalidSelectionRejected) {
+  const wl::FeatureModel features(1);
+  sched::SelectorCache cache(features, 2);
+  const auto& entry = cache.for_test_benchmark("SP.Gmm");
+  const core::MoePredictor predictor(entry.pool, entry.selector);
+  core::Selection bad;
+  EXPECT_THROW(predictor.calibrate(bad, {1, 1, 2, 2}), PreconditionError);
+  EXPECT_THROW(core::MoePredictor(entry.pool, entry.selector, 0.0), PreconditionError);
+}
+
+TEST(SelectorCache, HonoursLeaveOneOutExclusions) {
+  const wl::FeatureModel features(1);
+  sched::SelectorCache cache(features, 2);
+  const auto& entry = cache.for_test_benchmark("HB.Sort");
+  for (const auto& p : entry.selector.programs) {
+    EXPECT_NE(p.name, "HB.Sort");
+    EXPECT_NE(p.name, "BDB.Sort");  // equivalent implementation
+  }
+  EXPECT_EQ(entry.selector.programs.size(), 14u);
+  // A benchmark with no twins trains on all 16.
+  EXPECT_EQ(cache.for_test_benchmark("SP.Gmm").selector.programs.size(), 16u);
+}
+
+TEST(SelectorCache, RepeatedLookupsReturnTheSameEntry) {
+  const wl::FeatureModel features(1);
+  sched::SelectorCache cache(features, 2);
+  const auto& a = cache.for_test_benchmark("SP.Gmm");
+  const auto& b = cache.for_test_benchmark("SP.Gmm");
+  EXPECT_EQ(&a, &b);
+  // Distinct exclusion sets get distinct selectors.
+  const auto& c = cache.for_test_benchmark("HB.Sort");
+  EXPECT_NE(&a, &c);
+}
+
+}  // namespace

@@ -1,0 +1,63 @@
+// Tests for the Section 3.4 extension: CPU load modeled from the same
+// runtime features as the memory experts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "sched/cpu_estimator.h"
+
+namespace {
+
+using namespace smoe;
+
+TEST(CpuEstimator, RecoversTrainingProgramLoads) {
+  const wl::FeatureModel features(1);
+  const sched::CpuLoadEstimator est(features, 2);
+  // A fresh characterization run of a training program lands essentially on
+  // top of its training point, so the estimate matches its measured load.
+  for (const char* name : {"HB.Aggregation", "HB.Scan", "BDB.PageRank"}) {
+    const auto& bench = wl::find_benchmark(name);
+    Rng rng(Rng::derive(3, name));
+    const double got = est.estimate(features.sample(bench, rng));
+    EXPECT_NEAR(got, bench.cpu_load_iso, 0.12) << name;
+  }
+}
+
+TEST(CpuEstimator, GeneralizesToUnseenApplications) {
+  const wl::FeatureModel features(1);
+  const sched::CpuLoadEstimator est(features, 2);
+  std::vector<double> errors;
+  for (const auto& bench : wl::all_spark_benchmarks()) {
+    if (bench.suite == wl::Suite::kHiBench || bench.suite == wl::Suite::kBigDataBench)
+      continue;  // unseen Spark-Perf / Spark-Bench programs only
+    Rng rng(Rng::derive(4, bench.name));
+    errors.push_back(std::abs(est.estimate(features.sample(bench, rng)) - bench.cpu_load_iso));
+  }
+  // Feature-space neighbours share memory behaviour, not exact CPU levels,
+  // so this is a coarse estimate — but good enough for the <=100% dispatch
+  // check (the paper's use of the CPU signal).
+  EXPECT_LT(mean(errors), 0.12);
+  EXPECT_LT(max_of(errors), 0.35);
+}
+
+TEST(CpuEstimator, EstimatesStayInValidRange) {
+  const wl::FeatureModel features(1);
+  const sched::CpuLoadEstimator est(features, 2, 5);
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    ml::Vector junk(wl::kNumRawFeatures);
+    for (auto& v : junk) v = rng.uniform(-1e3, 1e9);
+    const double got = est.estimate(junk);
+    EXPECT_GE(got, 0.01);
+    EXPECT_LE(got, 1.0);
+  }
+}
+
+TEST(CpuEstimator, KZeroRejected) {
+  const wl::FeatureModel features(1);
+  EXPECT_THROW(sched::CpuLoadEstimator(features, 2, 0), PreconditionError);
+}
+
+}  // namespace

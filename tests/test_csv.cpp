@@ -1,0 +1,43 @@
+// Tests for the CSV emitter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/error.h"
+
+namespace {
+
+using namespace smoe;
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  csv.add_row({"1", "2"});
+  csv.add_row({"3", "4"});
+  EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("has,comma"), "\"has,comma\"");
+  EXPECT_EQ(CsvWriter::escape("has\"quote"), "\"has\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("has\nnewline"), "\"has\nnewline\"");
+}
+
+TEST(Csv, EscapedCellsRoundThroughARow) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"x"});
+  csv.add_row({"v1,v2"});
+  EXPECT_EQ(os.str(), "x\n\"v1,v2\"\n");
+}
+
+TEST(Csv, WidthMismatchRejected) {
+  std::ostringstream os;
+  CsvWriter csv(os, {"a", "b"});
+  EXPECT_THROW(csv.add_row({"only"}), PreconditionError);
+  EXPECT_THROW(CsvWriter(os, {}), PreconditionError);
+}
+
+}  // namespace

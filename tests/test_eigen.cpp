@@ -1,0 +1,91 @@
+// Tests for the Jacobi symmetric eigensolver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ml/eigen.h"
+
+namespace {
+
+using namespace smoe;
+using ml::Matrix;
+
+TEST(Eigen, DiagonalMatrix) {
+  Matrix m(3, 3);
+  m(0, 0) = 1;
+  m(1, 1) = 5;
+  m(2, 2) = 3;
+  const auto eig = ml::eigen_symmetric(m);
+  EXPECT_NEAR(eig.values[0], 5, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3, 1e-10);
+  EXPECT_NEAR(eig.values[2], 1, 1e-10);
+}
+
+TEST(Eigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  const Matrix m = Matrix::from_rows({{2, 1}, {1, 2}});
+  const auto eig = ml::eigen_symmetric(m);
+  EXPECT_NEAR(eig.values[0], 3, 1e-10);
+  EXPECT_NEAR(eig.values[1], 1, 1e-10);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), 1 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::abs(eig.vectors(1, 0)), 1 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(Eigen, RejectsNonSquareAndNonSymmetric) {
+  EXPECT_THROW(ml::eigen_symmetric(Matrix(2, 3)), PreconditionError);
+  const Matrix m = Matrix::from_rows({{1, 2}, {0, 1}});
+  EXPECT_THROW(ml::eigen_symmetric(m), PreconditionError);
+}
+
+// Property sweep over random symmetric matrices: A v = lambda v, orthonormal
+// eigenvectors, and trace preservation.
+class EigenProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EigenProperty, ReconstructionAndOrthonormality) {
+  Rng rng(GetParam());
+  const std::size_t n = 6;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      m(i, j) = rng.uniform(-2, 2);
+      m(j, i) = m(i, j);
+    }
+
+  const auto eig = ml::eigen_symmetric(m);
+
+  // Trace == sum of eigenvalues.
+  double trace = 0, sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace += m(i, i);
+    sum += eig.values[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-8);
+
+  // Sorted descending.
+  for (std::size_t i = 0; i + 1 < n; ++i) EXPECT_GE(eig.values[i], eig.values[i + 1] - 1e-12);
+
+  // A v_k = lambda_k v_k.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t r = 0; r < n; ++r) {
+      double av = 0;
+      for (std::size_t c = 0; c < n; ++c) av += m(r, c) * eig.vectors(c, k);
+      EXPECT_NEAR(av, eig.values[k] * eig.vectors(r, k), 1e-6);
+    }
+  }
+
+  // Orthonormal columns.
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = 0; b < n; ++b) {
+      double d = 0;
+      for (std::size_t r = 0; r < n; ++r) d += eig.vectors(r, a) * eig.vectors(r, b);
+      EXPECT_NEAR(d, a == b ? 1.0 : 0.0, 1e-8);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EigenProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace

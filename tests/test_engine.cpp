@@ -1,0 +1,244 @@
+// Integration tests for the discrete-event cluster engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sparksim/engine.h"
+#include "workloads/features.h"
+
+namespace {
+
+using namespace smoe;
+
+sim::SimConfig small_config() {
+  sim::SimConfig cfg;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(Engine, IsolatedSingleAppMatchesAnalyticTime) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  // A medium app fits one dynamic-allocation executor: exec time is simply
+  // items / rate with no contention.
+  const auto& bench = wl::find_benchmark("HB.Scan");
+  const Items input = 30 * 1024;
+  const Seconds t = sim.isolated_exec_time({bench.name, input});
+  EXPECT_NEAR(t, input / bench.items_per_second, 1.0);
+}
+
+TEST(Engine, IsolatedLargeAppUsesDynamicAllocationParallelism) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  const auto& bench = wl::find_benchmark("HB.Scan");
+  const Seconds large = sim.isolated_exec_time({bench.name, 1048576.0});
+  const Seconds medium = sim.isolated_exec_time({bench.name, 30.0 * 1024});
+  // 1 TB on ~12 executors must be far faster than 34x the 30 GB time.
+  EXPECT_LT(large, 34.0 * medium);
+  EXPECT_GT(large, medium);
+}
+
+TEST(Engine, IsolatedModeRunsAppsSequentially) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  sched::IsolatedPolicy isolated;
+  const wl::TaskMix mix = {{"HB.Scan", 30720.0}, {"HB.Scan", 30720.0}};
+  const sim::SimResult r = sim.run(mix, isolated);
+  // Second app starts only after the first finishes.
+  EXPECT_GE(r.apps[1].start, r.apps[0].finish - 1.0);
+  EXPECT_NEAR(r.apps[1].turnaround(), 2.0 * r.apps[0].turnaround(), 2.0);
+}
+
+TEST(Engine, PredictiveCoLocationOverlapsApps) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  sched::OraclePolicy oracle;
+  const wl::TaskMix mix = {{"HB.Scan", 30720.0}, {"HB.Scan", 30720.0}};
+  const sim::SimResult r = sim.run(mix, oracle);
+  // With 40 idle nodes both apps run concurrently.
+  EXPECT_LT(r.makespan, 1.5 * sim.isolated_exec_time({"HB.Scan", 30720.0}));
+}
+
+TEST(Engine, AllWorkConservedAcrossPolicies) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  sched::PairwisePolicy pairwise;
+  sched::OraclePolicy oracle;
+  sched::MoePolicy moe(features, 5);
+  const wl::TaskMix mix = {{"HB.TeraSort", 1048576.0},
+                           {"SP.Gmm", 30720.0},
+                           {"SB.SVM", 30720.0},
+                           {"BDB.Grep", 300.0}};
+  for (sim::SchedulingPolicy* p :
+       std::vector<sim::SchedulingPolicy*>{&pairwise, &oracle, &moe}) {
+    const sim::SimResult r = sim.run(mix, *p);
+    ASSERT_EQ(r.apps.size(), 4u) << p->name();
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      EXPECT_EQ(r.apps[i].benchmark, mix[i].benchmark);
+      EXPECT_GE(r.apps[i].finish, r.apps[i].start) << p->name();
+      EXPECT_GE(r.apps[i].start, 0.0) << p->name();
+      EXPECT_LE(r.apps[i].finish, r.makespan + 1e-6) << p->name();
+    }
+  }
+}
+
+TEST(Engine, MakespanIsMaxFinish) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  sched::OraclePolicy oracle;
+  Rng rng(8);
+  const auto mix = wl::random_mix(6, rng);
+  const sim::SimResult r = sim.run(mix, oracle);
+  double max_finish = 0;
+  for (const auto& a : r.apps) max_finish = std::max(max_finish, a.finish);
+  EXPECT_DOUBLE_EQ(r.makespan, max_finish);
+}
+
+TEST(Engine, UtilizationTraceBounded) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  sched::OraclePolicy oracle;
+  const sim::SimResult r = sim.run(wl::table4_mix(), oracle);
+  EXPECT_GT(r.trace.overall_mean(), 0.05);
+  EXPECT_LE(r.trace.overall_mean(), 1.0);
+  for (std::size_t n = 0; n < r.trace.n_nodes(); ++n)
+    for (std::size_t b = 0; b < r.trace.n_bins(); b += 7) {
+      EXPECT_GE(r.trace.value(static_cast<int>(n), b), 0.0);
+      EXPECT_LE(r.trace.value(static_cast<int>(n), b), 1.0);
+    }
+}
+
+TEST(Engine, ProfilingConsumesInputAndIsAccounted) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  sched::MoePolicy moe(features, 5);
+  const wl::TaskMix mix = {{"SP.Gmm", 30720.0}};
+  const sim::SimResult r = sim.run(mix, moe);
+  EXPECT_GT(r.apps[0].feature_time, 0.0);
+  EXPECT_GT(r.apps[0].calibration_time, 0.0);
+  EXPECT_NEAR(r.apps[0].profile_end, r.apps[0].feature_time + r.apps[0].calibration_time, 1e-6);
+  // The profiling overhead stays modest (Fig. 11: ~13% of total).
+  EXPECT_LT(r.apps[0].profile_end, 0.35 * r.apps[0].turnaround());
+}
+
+TEST(Engine, ProfilingSlotsSerializeLargeMixes) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg = small_config();
+  cfg.spark.profiling_slots = 1;
+  sim::ClusterSim sim(cfg, features);
+  sched::MoePolicy moe(features, 5);
+  const wl::TaskMix mix = {{"SP.Gmm", 30720.0}, {"SP.ALS", 30720.0}, {"SP.LDA", 30720.0}};
+  const sim::SimResult r = sim.run(mix, moe);
+  // With one slot the profiling windows cannot overlap.
+  std::vector<Seconds> ends = {r.apps[0].profile_end, r.apps[1].profile_end,
+                               r.apps[2].profile_end};
+  std::sort(ends.begin(), ends.end());
+  EXPECT_GT(ends[1], ends[0]);
+  EXPECT_GT(ends[2], ends[1]);
+}
+
+TEST(Engine, TinyInputRejected) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  sched::OraclePolicy oracle;
+  const wl::TaskMix mix = {{"HB.Sort", 10.0}};
+  EXPECT_THROW(sim.run(mix, oracle), PreconditionError);
+}
+
+TEST(Engine, EmptyMixRejected) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  sched::OraclePolicy oracle;
+  EXPECT_THROW(sim.run({}, oracle), PreconditionError);
+}
+
+TEST(Engine, DeterministicGivenSeed) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  sched::MoePolicy moe(features, 5);
+  Rng rng(10);
+  const auto mix = wl::random_mix(5, rng);
+  const sim::SimResult a = sim.run(mix, moe);
+  const sim::SimResult b = sim.run(mix, moe);
+  ASSERT_EQ(a.apps.size(), b.apps.size());
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.apps[i].finish, b.apps[i].finish);
+    EXPECT_DOUBLE_EQ(a.apps[i].start, b.apps[i].start);
+  }
+}
+
+// A deliberately terrible policy: claims every application needs almost no
+// memory. The engine must survive via OOM -> isolated re-run -> distrust.
+class DelusionalPolicy final : public sim::SchedulingPolicy {
+ public:
+  std::string name() const override { return "Delusional"; }
+  sim::DispatchMode mode() const override { return sim::DispatchMode::kPredictive; }
+  sim::ProfilingCost profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) override {
+    estimate.footprint = [](Items) { return 0.5; };  // 512 MiB for anything
+    estimate.items_for_budget = [&probe](GiB) { return probe.input_items(); };
+    estimate.cpu_load = 0.2;
+    return {};
+  }
+};
+
+TEST(Engine, SurvivesPathologicalUnderPrediction) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  DelusionalPolicy bad;
+  const wl::TaskMix mix = {{"SP.Gmm", 30720.0}, {"HB.PageRank", 30720.0}};
+  const sim::SimResult r = sim.run(mix, bad);
+  EXPECT_GT(r.oom_total, 0u);                     // the lie is detected...
+  EXPECT_LE(r.oom_total, 2u * mix.size() + 4u);   // ...without an OOM storm
+  for (const auto& a : r.apps) EXPECT_GE(a.finish, 0.0);  // and work completes
+}
+
+// A policy that over-reserves massively: everything still completes, just
+// with less co-location.
+class ParanoidPolicy final : public sim::SchedulingPolicy {
+ public:
+  std::string name() const override { return "Paranoid"; }
+  sim::DispatchMode mode() const override { return sim::DispatchMode::kPredictive; }
+  sim::ProfilingCost profile(sim::AppProbe&, sim::MemoryEstimate& estimate) override {
+    estimate.footprint = [](Items) { return 60.0; };
+    estimate.items_for_budget = [](GiB budget) { return budget >= 60.0 ? 1e9 : 0.0; };
+    estimate.cpu_load = 0.2;
+    return {};
+  }
+};
+
+TEST(Engine, OverReservationCompletesWithoutOom) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  ParanoidPolicy paranoid;
+  const wl::TaskMix mix = {{"HB.Scan", 30720.0}, {"HB.Scan", 30720.0}};
+  const sim::SimResult r = sim.run(mix, paranoid);
+  EXPECT_EQ(r.oom_total, 0u);
+  for (const auto& a : r.apps) EXPECT_GE(a.finish, 0.0);
+}
+
+TEST(Engine, OnlineSearchOverheadSlowsExecution) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  sched::OnlineSearchPolicy online(0.5);
+  sched::OraclePolicy oracle;
+  const wl::TaskMix mix = {{"HB.Scan", 30720.0}};
+  const Seconds t_online = sim.run(mix, online).apps[0].exec_time();
+  const Seconds t_oracle = sim.run(mix, oracle).apps[0].exec_time();
+  EXPECT_GT(t_online, 1.3 * t_oracle);
+}
+
+TEST(Engine, PairwiseSlowerThanOracleOnCrowdedCluster) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim sim(small_config(), features);
+  sched::PairwisePolicy pairwise;
+  sched::OraclePolicy oracle;
+  const auto mix = wl::table4_mix();
+  const Seconds mk_pair = sim.run(mix, pairwise).makespan;
+  const Seconds mk_oracle = sim.run(mix, oracle).makespan;
+  EXPECT_GT(mk_pair, 1.3 * mk_oracle);
+}
+
+}  // namespace

@@ -1,0 +1,104 @@
+// Cross-policy engine invariants, parameterized over every scheduling policy:
+// executor accounting is conserved, node occupancy respects each mode's
+// rules, and timing fields are consistent.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sparksim/engine.h"
+#include "workloads/features.h"
+
+namespace {
+
+using namespace smoe;
+
+const wl::FeatureModel& features() {
+  static const wl::FeatureModel f(2017);
+  return f;
+}
+
+struct PolicyCase {
+  std::string name;
+  std::function<std::unique_ptr<sim::SchedulingPolicy>()> make;
+  std::size_t max_per_node;  // 0 = unbounded
+};
+
+std::vector<PolicyCase> policy_cases() {
+  return {
+      {"isolated", [] { return std::make_unique<sched::IsolatedPolicy>(); }, 1},
+      {"pairwise", [] { return std::make_unique<sched::PairwisePolicy>(); }, 2},
+      {"oracle", [] { return std::make_unique<sched::OraclePolicy>(); }, 0},
+      {"online", [] { return std::make_unique<sched::OnlineSearchPolicy>(); }, 0},
+      {"moe", [] { return std::make_unique<sched::MoePolicy>(features(), 2017); }, 0},
+      {"quasar", [] { return std::make_unique<sched::QuasarPolicy>(features(), 2017); }, 0},
+  };
+}
+
+class EveryPolicy : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(EveryPolicy, ExecutorAccountingConserved) {
+  sim::SimConfig cfg;
+  cfg.seed = 31;
+  sim::ClusterSim sim(cfg, features());
+  auto policy = GetParam().make();
+  Rng rng(32);
+  const auto mix = wl::random_mix(7, rng);
+  const sim::SimResult r = sim.run(mix, *policy);
+  std::size_t per_app_total = 0;
+  for (const auto& app : r.apps) {
+    EXPECT_GE(app.executors_used, 1u) << app.benchmark;
+    per_app_total += app.executors_used;
+  }
+  EXPECT_EQ(per_app_total, r.executors_spawned);
+}
+
+TEST_P(EveryPolicy, NodeOccupancyRespectsMode) {
+  const std::size_t cap = GetParam().max_per_node;
+  if (cap == 0) GTEST_SKIP() << "unbounded mode";
+  sim::SimConfig cfg;
+  cfg.seed = 33;
+  sim::ClusterSim sim(cfg, features());
+  auto policy = GetParam().make();
+  const sim::SimResult r = sim.run(wl::table4_mix(), *policy);
+  EXPECT_LE(r.peak_node_occupancy, cap);
+}
+
+TEST_P(EveryPolicy, TimingFieldsConsistent) {
+  sim::SimConfig cfg;
+  cfg.seed = 34;
+  sim::ClusterSim sim(cfg, features());
+  auto policy = GetParam().make();
+  Rng rng(35);
+  const auto mix = wl::random_mix(5, rng);
+  const sim::SimResult r = sim.run(mix, *policy);
+  for (const auto& app : r.apps) {
+    EXPECT_GE(app.start, app.profile_end - 1e-6) << app.benchmark;
+    EXPECT_GE(app.finish, app.start) << app.benchmark;
+    EXPECT_GE(app.turnaround(), app.exec_time() - 1e-6) << app.benchmark;
+    EXPECT_LE(app.finish, r.makespan + 1e-6) << app.benchmark;
+  }
+}
+
+TEST_P(EveryPolicy, MemoryAccountingNonNegativeAndOrdered) {
+  sim::SimConfig cfg;
+  cfg.seed = 36;
+  sim::ClusterSim sim(cfg, features());
+  auto policy = GetParam().make();
+  Rng rng(37);
+  const auto mix = wl::random_mix(6, rng);
+  const sim::SimResult r = sim.run(mix, *policy);
+  EXPECT_GE(r.reserved_gib_hours, 0.0);
+  EXPECT_GT(r.used_gib_hours, 0.0);
+  // Residency is capped by reservation per executor, so the integrals order.
+  EXPECT_GE(r.reserved_gib_hours, r.used_gib_hours - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, EveryPolicy, ::testing::ValuesIn(policy_cases()),
+                         [](const ::testing::TestParamInfo<PolicyCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace

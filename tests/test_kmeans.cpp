@@ -1,0 +1,87 @@
+// Tests for the k-means substrate.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ml/kmeans.h"
+
+namespace {
+
+using namespace smoe;
+using ml::Matrix;
+
+Matrix three_blobs(std::uint64_t seed, std::size_t per_blob = 30) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Matrix x(3 * per_blob, 2);
+  for (std::size_t b = 0; b < 3; ++b)
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      x(b * per_blob + i, 0) = centers[b][0] + rng.normal(0, 0.5);
+      x(b * per_blob + i, 1) = centers[b][1] + rng.normal(0, 0.5);
+    }
+  return x;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  const Matrix x = three_blobs(1);
+  const ml::KMeansResult r = ml::kmeans(x, 3, 7);
+  // Each ground-truth blob maps to exactly one discovered cluster.
+  for (std::size_t b = 0; b < 3; ++b) {
+    std::set<std::size_t> labels;
+    for (std::size_t i = 0; i < 30; ++i) labels.insert(r.assignment[b * 30 + i]);
+    EXPECT_EQ(labels.size(), 1u) << "blob " << b;
+  }
+  // The three clusters are distinct.
+  const std::set<std::size_t> all(r.assignment.begin(), r.assignment.end());
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(KMeans, InertiaDecreasesWithK) {
+  const Matrix x = three_blobs(2);
+  const double i1 = ml::kmeans(x, 1, 7).inertia;
+  const double i2 = ml::kmeans(x, 2, 7).inertia;
+  const double i3 = ml::kmeans(x, 3, 7).inertia;
+  EXPECT_GT(i1, i2);
+  EXPECT_GT(i2, i3);
+  // k = 3 on 3 tight blobs leaves only within-blob noise.
+  EXPECT_LT(i3, 0.05 * i1);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  const Matrix x = three_blobs(3);
+  const auto a = ml::kmeans(x, 3, 11);
+  const auto b = ml::kmeans(x, 3, 11);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, KEqualsRowsGivesZeroInertia) {
+  const Matrix x = Matrix::from_rows({{0.0, 0.0}, {5.0, 5.0}, {9.0, 1.0}});
+  const auto r = ml::kmeans(x, 3, 1);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-18);
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean) {
+  const Matrix x = Matrix::from_rows({{0.0, 2.0}, {4.0, 6.0}});
+  const auto r = ml::kmeans(x, 1, 1);
+  EXPECT_NEAR(r.centroids(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(r.centroids(0, 1), 4.0, 1e-12);
+}
+
+TEST(KMeans, Validation) {
+  const Matrix x = Matrix::from_rows({{1.0}, {2.0}});
+  EXPECT_THROW(ml::kmeans(x, 0, 1), PreconditionError);
+  EXPECT_THROW(ml::kmeans(x, 3, 1), PreconditionError);
+}
+
+TEST(KMeans, DuplicatePointsHandled) {
+  const Matrix x = Matrix::from_rows({{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}, {9.0, 9.0}});
+  const auto r = ml::kmeans(x, 2, 5);
+  EXPECT_EQ(r.assignment[0], r.assignment[1]);
+  EXPECT_EQ(r.assignment[1], r.assignment[2]);
+  EXPECT_NE(r.assignment[0], r.assignment[3]);
+}
+
+}  // namespace

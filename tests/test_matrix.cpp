@@ -1,0 +1,112 @@
+// Unit tests for the dense matrix substrate.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ml/matrix.h"
+
+namespace {
+
+using namespace smoe;
+using ml::Matrix;
+using ml::Vector;
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -4;
+  EXPECT_DOUBLE_EQ(m(0, 1), -4);
+}
+
+TEST(Matrix, ZeroDimensionThrows) {
+  EXPECT_THROW(Matrix(0, 3), PreconditionError);
+  EXPECT_THROW(Matrix(3, 0), PreconditionError);
+}
+
+TEST(Matrix, FromRowsAndRaggedRejected) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), PreconditionError);
+  EXPECT_THROW(Matrix::from_rows({}), PreconditionError);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+}
+
+TEST(Matrix, Multiply) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a * b, PreconditionError);
+}
+
+TEST(Matrix, MatrixVector) {
+  const Matrix a = Matrix::from_rows({{1, 0, 2}, {0, 3, 0}});
+  const Vector v = {1, 2, 3};
+  const Vector out = a * v;
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 7);
+  EXPECT_DOUBLE_EQ(out[1], 6);
+}
+
+TEST(Matrix, ColMeans) {
+  const Matrix m = Matrix::from_rows({{1, 10}, {3, 30}});
+  const Vector mu = m.col_means();
+  EXPECT_DOUBLE_EQ(mu[0], 2);
+  EXPECT_DOUBLE_EQ(mu[1], 20);
+}
+
+TEST(Matrix, CovarianceMatchesHandComputation) {
+  const Matrix m = Matrix::from_rows({{1, 2}, {3, 6}, {5, 10}});
+  const Matrix cov = m.covariance();
+  EXPECT_NEAR(cov(0, 0), 4.0, 1e-12);
+  EXPECT_NEAR(cov(1, 1), 16.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), 8.0, 1e-12);
+  EXPECT_NEAR(cov(0, 1), cov(1, 0), 1e-12);
+}
+
+TEST(Matrix, CovarianceIsSymmetricPsdOnRandomData) {
+  Rng rng(5);
+  Matrix m(30, 6);
+  for (std::size_t r = 0; r < 30; ++r)
+    for (std::size_t c = 0; c < 6; ++c) m(r, c) = rng.normal(0, 1 + static_cast<double>(c));
+  const Matrix cov = m.covariance();
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_GE(cov(i, i), 0.0);
+    for (std::size_t j = 0; j < 6; ++j) EXPECT_NEAR(cov(i, j), cov(j, i), 1e-12);
+  }
+}
+
+TEST(VectorOps, DistanceDotNorm) {
+  const Vector a = {3, 4};
+  const Vector b = {0, 0};
+  EXPECT_DOUBLE_EQ(ml::euclidean_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(ml::dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(ml::norm(a), 5.0);
+  const Vector c = {1};
+  EXPECT_THROW(ml::dot(a, c), PreconditionError);
+}
+
+}  // namespace

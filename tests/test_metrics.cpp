@@ -1,0 +1,125 @@
+// Tests for the STP/ANTT metrics and the experiment runner.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sched/experiment.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "workloads/features.h"
+
+namespace {
+
+using namespace smoe;
+
+sim::SimResult synthetic_result() {
+  sim::SimResult r;
+  sim::AppResult a;
+  a.benchmark = "HB.Scan";
+  a.input_items = 30720;
+  a.submit = 0;
+  a.start = 0;
+  a.finish = 400;
+  sim::AppResult b = a;
+  b.finish = 800;
+  r.apps = {a, b};
+  r.makespan = 800;
+  return r;
+}
+
+TEST(Metrics, StpAndAnttFormulas) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  sim::ClusterSim sim(cfg, features);
+  sched::IsolatedTimes iso(sim);
+  const Seconds c_is = iso.get("HB.Scan", 30720);
+
+  const sched::MixMetrics m = sched::compute_metrics(synthetic_result(), iso);
+  EXPECT_NEAR(m.stp, c_is / 400.0 + c_is / 800.0, 1e-9);
+  EXPECT_NEAR(m.antt, 0.5 * (400.0 / c_is + 800.0 / c_is), 1e-9);
+  EXPECT_DOUBLE_EQ(m.makespan, 800.0);
+}
+
+TEST(Metrics, IsolatedTimesAreCachedAndPositive) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  sim::ClusterSim sim(cfg, features);
+  sched::IsolatedTimes iso(sim);
+  const Seconds a = iso.get("HB.Sort", 30720);
+  const Seconds b = iso.get("HB.Sort", 30720);
+  EXPECT_GT(a, 0.0);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_NE(iso.get("HB.Sort", 300), a);
+}
+
+TEST(Metrics, NormalizeAgainstBaseline) {
+  sched::MixMetrics baseline;
+  baseline.stp = 2.0;
+  baseline.antt = 10.0;
+  sched::MixMetrics scheme;
+  scheme.stp = 8.0;
+  scheme.antt = 5.0;
+  const sched::NormalizedMetrics n = sched::normalize(scheme, baseline);
+  EXPECT_DOUBLE_EQ(n.norm_stp, 4.0);
+  EXPECT_DOUBLE_EQ(n.antt_reduction, 0.5);
+  sched::MixMetrics bad;
+  EXPECT_THROW(sched::normalize(scheme, bad), PreconditionError);
+}
+
+TEST(Metrics, UnfinishedAppRejected) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  sim::ClusterSim sim(cfg, features);
+  sched::IsolatedTimes iso(sim);
+  sim::SimResult r = synthetic_result();
+  r.apps[1].finish = -1;
+  EXPECT_THROW(sched::compute_metrics(r, iso), PreconditionError);
+}
+
+TEST(Experiment, BaselineNormalizesToUnity) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = 3;
+  sched::ExperimentRunner runner(cfg, features, 1, 5);
+  sched::IsolatedPolicy isolated;
+  Rng rng(6);
+  const auto mix = wl::random_mix(3, rng);
+  const auto single = runner.run_mix(mix, isolated);
+  EXPECT_NEAR(single.normalized.norm_stp, 1.0, 1e-9);
+  EXPECT_NEAR(single.normalized.antt_reduction, 0.0, 1e-9);
+}
+
+TEST(Experiment, ScenarioAggregatesAreConsistent) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = 3;
+  sched::ExperimentRunner runner(cfg, features, 3, 5);
+  sched::OraclePolicy oracle;
+  sched::PairwisePolicy pairwise;
+  const auto results = runner.run_scenario(wl::scenario_by_label("L2"), {&oracle, &pairwise});
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_LE(r.stp_min, r.stp_geomean + 1e-9) << r.scheme;
+    EXPECT_GE(r.stp_max, r.stp_geomean - 1e-9) << r.scheme;
+    EXPECT_LE(r.antt_red_min, r.antt_red_mean + 1e-9) << r.scheme;
+    EXPECT_GE(r.antt_red_max, r.antt_red_mean - 1e-9) << r.scheme;
+    EXPECT_GT(r.mean_makespan, 0.0) << r.scheme;
+    EXPECT_EQ(r.scenario, "L2");
+  }
+  // Headline ordering: Oracle co-location beats Pairwise.
+  EXPECT_GT(results[0].stp_geomean, results[1].stp_geomean);
+}
+
+TEST(Experiment, ThroughputGrowsWithTaskGroupSize) {
+  // Fig. 6a's dominant trend: more waiting applications -> more co-location
+  // opportunity -> higher normalized STP.
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = 3;
+  sched::ExperimentRunner runner(cfg, features, 3, 5);
+  sched::OraclePolicy oracle;
+  const auto small = runner.run_scenario(wl::scenario_by_label("L1"), {&oracle});
+  const auto large = runner.run_scenario(wl::scenario_by_label("L8"), {&oracle});
+  EXPECT_GT(large[0].stp_geomean, 1.5 * small[0].stp_geomean);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Tests for the configurable knobs: MoeOptions, Quasar's resource class, the
+// engine's executor boost, and the profiling-slot configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sparksim/engine.h"
+#include "workloads/features.h"
+
+namespace {
+
+using namespace smoe;
+
+TEST(MoeOptions, ProbeCapsBoundCalibrationCost) {
+  const wl::FeatureModel features(1);
+  sched::MoeOptions small_probes;
+  small_probes.probe_x1_cap = 64;
+  small_probes.probe_x2_cap = 128;
+  sched::MoePolicy moe(features, 2, small_probes);
+  sim::AppProbe probe(wl::find_benchmark("SP.Gmm"), features, 1048576, 3);
+  sim::MemoryEstimate est;
+  const sim::ProfilingCost cost = moe.profile(probe, est);
+  EXPECT_LE(cost.calibration_items, 64.0 + 128.0);
+}
+
+TEST(MoeOptions, ProbeHelperKeepsOrdering) {
+  for (const double input : {300.0, 30720.0, 1048576.0}) {
+    const Items total = sched::calibration_probe_items(input, 512, 1536);
+    EXPECT_GT(total, 0.0);
+    EXPECT_LE(total, 0.15 * input + 2048.0);
+  }
+  // Degenerate caps still give x2 > x1.
+  const auto probes_total = sched::calibration_probe_items(1048576.0, 2048, 64);
+  EXPECT_GT(probes_total, 2048.0);
+}
+
+TEST(MoeOptions, TightConfidenceTriggersConservativeFallback) {
+  const wl::FeatureModel features(1);
+  sched::MoeOptions strict;
+  strict.confidence_distance = 1e-9;  // nothing is ever confident
+  strict.fallback_inflation = 0.5;
+  sched::MoePolicy guarded(features, 2, strict);
+  sched::MoePolicy plain(features, 2);
+
+  sim::AppProbe p1(wl::find_benchmark("SP.Gmm"), features, 30720, 4);
+  sim::AppProbe p2(wl::find_benchmark("SP.Gmm"), features, 30720, 4);
+  sim::MemoryEstimate e1, e2;
+  guarded.profile(p1, e1);
+  plain.profile(p2, e2);
+  EXPECT_EQ(guarded.fallback_count(), 1u);
+  EXPECT_EQ(plain.fallback_count(), 0u);
+  // The guarded estimate reserves 1.5x the plain one.
+  EXPECT_NEAR(e1.footprint(20000), 1.5 * e2.footprint(20000), 1e-6);
+  // And fits fewer items into the same budget.
+  EXPECT_LT(e1.items_for_budget(30.0), e2.items_for_budget(30.0));
+}
+
+TEST(MoeOptions, FallbackCanBeDisabled) {
+  const wl::FeatureModel features(1);
+  sched::MoeOptions opts;
+  opts.confidence_distance = 1e-9;
+  opts.conservative_fallback = false;
+  sched::MoePolicy moe(features, 2, opts);
+  sim::AppProbe probe(wl::find_benchmark("SP.Gmm"), features, 30720, 4);
+  sim::MemoryEstimate est;
+  moe.profile(probe, est);
+  EXPECT_EQ(moe.fallback_count(), 0u);
+}
+
+TEST(QuasarOptions, ResourceClassGranularityHonoured) {
+  const wl::FeatureModel features(1);
+  sched::QuasarPolicy coarse(features, 2, 16.0);
+  sim::AppProbe probe(wl::find_benchmark("SP.Gmm"), features, 286720, 5);
+  sim::MemoryEstimate est;
+  coarse.profile(probe, est);
+  for (const double x : {2000.0, 50000.0}) {
+    const double v = est.footprint(x);
+    EXPECT_GE(v, 16.0);
+    EXPECT_NEAR(std::fmod(v, 16.0), 0.0, 1e-9);
+  }
+  EXPECT_THROW(sched::QuasarPolicy(features, 2, 0.0), PreconditionError);
+}
+
+TEST(EngineOptions, ExecutorBoostSpeedsUpLoneLargeApp) {
+  const wl::FeatureModel features(1);
+  sched::OraclePolicy oracle;
+  auto run_with_boost = [&](double boost) {
+    sim::SimConfig cfg;
+    cfg.seed = 6;
+    cfg.spark.executor_boost = boost;
+    sim::ClusterSim sim(cfg, features);
+    return sim.run({{"HB.TeraSort", 1048576.0}}, oracle).makespan;
+  };
+  const Seconds none = run_with_boost(1.0);
+  const Seconds twice = run_with_boost(2.0);
+  const Seconds triple = run_with_boost(3.0);
+  EXPECT_GT(none, 1.5 * twice);
+  EXPECT_GE(twice, triple - 1e-9);
+}
+
+TEST(EngineOptions, BoostNeverExceedsClusterSize) {
+  const wl::FeatureModel features(1);
+  sched::OraclePolicy oracle;
+  sim::SimConfig cfg;
+  cfg.seed = 6;
+  cfg.cluster.n_nodes = 4;
+  cfg.spark.executor_boost = 100.0;
+  sim::ClusterSim sim(cfg, features);
+  const sim::SimResult r = sim.run({{"HB.TeraSort", 1048576.0}}, oracle);
+  EXPECT_GE(r.makespan, 1048576.0 / 4.0 / wl::find_benchmark("HB.TeraSort").items_per_second -
+                            1.0);
+}
+
+}  // namespace

@@ -1,0 +1,139 @@
+// End-to-end regression guards for the paper's headline claims (Section 6.1).
+// These pin the qualitative *shape* of the reproduction: who wins, by
+// roughly what factor, and that the predictor's accuracy/overhead stay in
+// the paper's envelope. Thresholds are deliberately looser than the paper's
+// point estimates so legitimate refactors don't trip them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "sched/experiment.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "workloads/features.h"
+
+namespace {
+
+using namespace smoe;
+
+struct Fixture {
+  wl::FeatureModel features{2017};
+  sim::SimConfig cfg;
+  Fixture() { cfg.seed = 2017; }
+};
+
+Fixture& fx() {
+  static Fixture f;
+  return f;
+}
+
+TEST(PaperClaims, SchedulerOrderingOnMediumScenario) {
+  auto& f = fx();
+  sched::ExperimentRunner runner(f.cfg, f.features, 3, 11);
+  sched::PairwisePolicy pairwise;
+  sched::QuasarPolicy quasar(f.features, 2017);
+  sched::MoePolicy ours(f.features, 2017);
+  sched::OraclePolicy oracle;
+  const auto r = runner.run_scenario(wl::scenario_by_label("L8"),
+                                     {&pairwise, &quasar, &ours, &oracle});
+  // Fig. 6 ordering: Oracle >= Ours > Quasar > Pairwise on STP.
+  EXPECT_GT(r[3].stp_geomean, 0.95 * r[2].stp_geomean);  // Oracle ~ top
+  EXPECT_GT(r[2].stp_geomean, r[1].stp_geomean);         // ours beats Quasar
+  EXPECT_GT(r[1].stp_geomean, r[0].stp_geomean);         // Quasar beats Pairwise
+  // §6.1: ours achieves a large multiple of isolated execution...
+  EXPECT_GT(r[2].stp_geomean, 4.0);
+  // ...and a large fraction of the Oracle (paper: 83.9%).
+  EXPECT_GT(r[2].stp_geomean / r[3].stp_geomean, 0.70);
+  // ANTT: co-location shortens turnarounds dramatically vs one-by-one.
+  EXPECT_GT(r[2].antt_red_mean, 0.5);
+}
+
+TEST(PaperClaims, OnlineSearchLosesByALargeFactor) {
+  auto& f = fx();
+  sched::ExperimentRunner runner(f.cfg, f.features, 3, 13);
+  sched::OnlineSearchPolicy online;
+  sched::MoePolicy ours(f.features, 2017);
+  const auto r = runner.run_scenario(wl::scenario_by_label("L6"), {&online, &ours});
+  // Fig. 10: ours is much better (paper: 2.4x on STP).
+  EXPECT_GT(r[1].stp_geomean / r[0].stp_geomean, 1.4);
+}
+
+TEST(PaperClaims, PredictionErrorEnvelope) {
+  // §6.9: ~5% average error; worst cases ~12% over-provisioning.
+  auto& f = fx();
+  sched::MoePolicy ours(f.features, 2017);
+  std::vector<double> errors;
+  for (const auto& bench : wl::all_spark_benchmarks()) {
+    sim::AppProbe probe(bench, f.features, 1048576, Rng::derive(23, bench.name));
+    sim::MemoryEstimate est;
+    ours.profile(probe, est);
+    const double truth = bench.footprint(43690);
+    errors.push_back(std::abs(est.footprint(43690) - truth) / truth);
+  }
+  EXPECT_LT(mean(errors), 0.08);
+  EXPECT_LT(percentile(errors, 90), 0.15);
+}
+
+TEST(PaperClaims, ProfilingOverheadEnvelope) {
+  // Fig. 11/12: feature extraction + calibration stay a modest share of the
+  // total execution time, and the profiled items count toward the output.
+  auto& f = fx();
+  sim::ClusterSim sim(f.cfg, f.features);
+  sched::MoePolicy ours(f.features, 2017);
+  for (const char* name : {"HB.Sort", "BDB.PageRank", "SP.Gmm"}) {
+    const auto r = sim.run({{name, items_from_gib(280.0)}}, ours);
+    const auto& app = r.apps.front();
+    const double share = (app.feature_time + app.calibration_time) /
+                         (app.feature_time + app.calibration_time + app.exec_time());
+    EXPECT_LT(share, 0.15) << name;
+    EXPECT_GT(share, 0.0) << name;
+  }
+}
+
+TEST(PaperClaims, CoLocationInterferenceEnvelope) {
+  // Fig. 14: co-locating one extra task slows the target by < 25%.
+  auto& f = fx();
+  sim::SimConfig cfg = f.cfg;
+  cfg.cluster.n_nodes = 1;
+  sim::ClusterSim sim(cfg, f.features);
+  sched::MoePolicy ours(f.features, 2017);
+  const Items big = items_from_gib(280.0);
+  for (const char* target : {"HB.Sort", "HB.Aggregation"}) {
+    const Seconds alone = sim.run({{target, big}}, ours).apps[0].exec_time();
+    for (const char* other : {"HB.Scan", "SP.Gmm", "SB.SVM"}) {
+      const auto r = sim.run({{target, big}, {other, big}}, ours);
+      const double slowdown = r.apps[0].exec_time() / alone - 1.0;
+      EXPECT_LT(slowdown, 0.25) << target << " + " << other;
+      EXPECT_GT(slowdown, -0.05) << target << " + " << other;
+    }
+  }
+}
+
+TEST(PaperClaims, CoLocationPacksMultipleAppsPerNode) {
+  // The point of accurate footprints: more than pairwise packing (§6.2's
+  // "Pairwise does not scale up beyond pairwise co-location").
+  auto& f = fx();
+  sim::ClusterSim sim(f.cfg, f.features);
+  sched::MoePolicy ours(f.features, 2017);
+  sched::PairwisePolicy pairwise;
+  const auto mix = wl::table4_mix();
+  EXPECT_GE(sim.run(mix, ours).peak_node_occupancy, 3u);
+  EXPECT_LE(sim.run(mix, pairwise).peak_node_occupancy, 2u);
+}
+
+TEST(PaperClaims, UtilizationRankingMatchesFig7) {
+  auto& f = fx();
+  sim::ClusterSim sim(f.cfg, f.features);
+  sched::MoePolicy ours(f.features, 2017);
+  sched::PairwisePolicy pairwise;
+  const auto mix = wl::table4_mix();
+  const auto r_ours = sim.run(mix, ours);
+  const auto r_pair = sim.run(mix, pairwise);
+  // "Our approach leads to the highest server utilization and quickest
+  // turnaround time."
+  EXPECT_GT(r_ours.trace.overall_mean(), r_pair.trace.overall_mean());
+  EXPECT_LT(r_ours.makespan, r_pair.makespan);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+// Tests for min-max scaling, PCA and Varimax rotation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ml/pca.h"
+#include "ml/scaling.h"
+#include "ml/varimax.h"
+
+namespace {
+
+using namespace smoe;
+using ml::Matrix;
+using ml::Vector;
+
+TEST(Scaler, MapsTrainingExtremaToUnitRange) {
+  ml::MinMaxScaler scaler;
+  scaler.fit(Matrix::from_rows({{0, 100}, {10, 300}}));
+  const Vector lo = scaler.transform(std::vector<double>{0, 100});
+  const Vector hi = scaler.transform(std::vector<double>{10, 300});
+  EXPECT_DOUBLE_EQ(lo[0], 0);
+  EXPECT_DOUBLE_EQ(lo[1], 0);
+  EXPECT_DOUBLE_EQ(hi[0], 1);
+  EXPECT_DOUBLE_EQ(hi[1], 1);
+  const Vector mid = scaler.transform(std::vector<double>{5, 200});
+  EXPECT_DOUBLE_EQ(mid[0], 0.5);
+  EXPECT_DOUBLE_EQ(mid[1], 0.5);
+}
+
+TEST(Scaler, ClampsOutOfRangeDeploymentValues) {
+  ml::MinMaxScaler scaler;
+  scaler.fit(Matrix::from_rows({{0.0}, {1.0}}));
+  EXPECT_DOUBLE_EQ(scaler.transform(std::vector<double>{5.0})[0], 1.0);
+  EXPECT_DOUBLE_EQ(scaler.transform(std::vector<double>{-5.0})[0], 0.0);
+}
+
+TEST(Scaler, ConstantColumnMapsToZero) {
+  ml::MinMaxScaler scaler;
+  scaler.fit(Matrix::from_rows({{7.0}, {7.0}}));
+  EXPECT_DOUBLE_EQ(scaler.transform(std::vector<double>{7.0})[0], 0.0);
+}
+
+TEST(Scaler, UsageErrors) {
+  ml::MinMaxScaler scaler;
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0}), PreconditionError);
+  scaler.fit(Matrix::from_rows({{1.0, 2.0}}));
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0}), PreconditionError);
+}
+
+// Build a data set with known variance structure: 2 strong latent directions
+// embedded in 8 dims plus tiny noise.
+Matrix low_rank_data(std::uint64_t seed, std::size_t n = 200) {
+  Rng rng(seed);
+  Matrix x(n, 8);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double z1 = rng.normal(0, 3), z2 = rng.normal(0, 1);
+    for (std::size_t c = 0; c < 8; ++c) {
+      const double w1 = std::cos(0.3 * static_cast<double>(c));
+      const double w2 = std::sin(0.7 * static_cast<double>(c));
+      x(r, c) = w1 * z1 + w2 * z2 + rng.normal(0, 0.01);
+    }
+  }
+  return x;
+}
+
+TEST(Pca, CapturesLowRankStructure) {
+  ml::Pca pca;
+  pca.fit(low_rank_data(1), 0.999, 0);
+  EXPECT_EQ(pca.n_components(), 2u);
+  const auto& ratios = pca.explained_variance_ratio();
+  EXPECT_GT(ratios[0], ratios[1]);
+  EXPECT_GT(ratios[0] + ratios[1], 0.999);
+}
+
+TEST(Pca, MaxComponentsCapRespected) {
+  ml::Pca pca;
+  pca.fit(low_rank_data(2), 0.9999999, 1);
+  EXPECT_EQ(pca.n_components(), 1u);
+}
+
+TEST(Pca, TransformIsCenteredProjection) {
+  const Matrix x = low_rank_data(3);
+  ml::Pca pca;
+  pca.fit(x, 0.95, 0);
+  // The projection of the column mean must be the origin.
+  const Vector at_mean = pca.transform(x.col_means());
+  for (const double v : at_mean) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Pca, ProjectionPreservesPairwiseDistanceOnLowRankData) {
+  const Matrix x = low_rank_data(4, 50);
+  ml::Pca pca;
+  pca.fit(x, 0.95, 0);
+  const Matrix p = pca.transform(x);
+  // With 2 real dimensions + epsilon noise, distances survive projection.
+  for (std::size_t i = 0; i < 10; ++i)
+    for (std::size_t j = i + 1; j < 10; ++j) {
+      const double d_full = ml::euclidean_distance(x.row(i), x.row(j));
+      const double d_proj = ml::euclidean_distance(p.row(i), p.row(j));
+      EXPECT_NEAR(d_proj, d_full, 0.05 * d_full + 0.05);
+    }
+}
+
+TEST(Pca, UsageErrors) {
+  ml::Pca pca;
+  EXPECT_THROW(pca.transform(std::vector<double>{1.0}), PreconditionError);
+  EXPECT_THROW(pca.fit(Matrix(1, 3)), PreconditionError);
+  pca.fit(low_rank_data(5), 0.95, 0);
+  EXPECT_THROW(pca.transform(std::vector<double>{1.0}), PreconditionError);
+}
+
+TEST(Varimax, RotationPreservesColumnEnergyTotal) {
+  const Matrix x = low_rank_data(6);
+  ml::Pca pca;
+  pca.fit(x, 0.95, 0);
+  const Matrix rotated = ml::varimax_rotate(pca.components());
+  // Per-row (communalities) sums of squares are rotation-invariant.
+  for (std::size_t r = 0; r < rotated.rows(); ++r) {
+    double before = 0, after = 0;
+    for (std::size_t c = 0; c < rotated.cols(); ++c) {
+      before += pca.components()(r, c) * pca.components()(r, c);
+      after += rotated(r, c) * rotated(r, c);
+    }
+    EXPECT_NEAR(before, after, 1e-9);
+  }
+}
+
+TEST(Varimax, SingleComponentIsNoOp) {
+  const Matrix loadings = Matrix::from_rows({{0.5}, {0.8}});
+  const Matrix rotated = ml::varimax_rotate(loadings);
+  EXPECT_DOUBLE_EQ(rotated(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(rotated(1, 0), 0.8);
+}
+
+TEST(Varimax, ContributionsSumToOne) {
+  const Matrix x = low_rank_data(7);
+  ml::Pca pca;
+  pca.fit(x, 0.95, 0);
+  const Matrix rotated = ml::varimax_rotate(pca.components());
+  const Vector contrib = ml::feature_contributions(rotated, pca.explained_variance_ratio());
+  double sum = 0;
+  for (const double c : contrib) {
+    EXPECT_GE(c, 0.0);
+    sum += c;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Varimax, MismatchedVarianceVectorThrows) {
+  const Matrix loadings(4, 2);
+  EXPECT_THROW(ml::feature_contributions(loadings, {0.5}), PreconditionError);
+}
+
+}  // namespace

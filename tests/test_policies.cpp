@@ -1,0 +1,176 @@
+// Tests for the scheduling policies' estimates and profiling costs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "workloads/features.h"
+
+namespace {
+
+using namespace smoe;
+
+sim::AppProbe make_probe(const wl::FeatureModel& features, const std::string& name,
+                         Items input, std::uint64_t seed) {
+  return sim::AppProbe(wl::find_benchmark(name), features, input, seed);
+}
+
+TEST(OraclePolicy, ExactFootprintZeroCost) {
+  const wl::FeatureModel features(1);
+  sched::OraclePolicy oracle;
+  auto probe = make_probe(features, "HB.PageRank", 286720, 1);
+  sim::MemoryEstimate est;
+  const sim::ProfilingCost cost = oracle.profile(probe, est);
+  EXPECT_EQ(cost.feature_items, 0.0);
+  EXPECT_EQ(cost.calibration_items, 0.0);
+  const auto& bench = wl::find_benchmark("HB.PageRank");
+  EXPECT_DOUBLE_EQ(est.footprint(50000), bench.footprint(50000));
+  EXPECT_DOUBLE_EQ(est.cpu_load, bench.cpu_load_iso);
+}
+
+TEST(MoePolicy, AccurateEstimateWithPaperLikeOverhead) {
+  const wl::FeatureModel features(1);
+  sched::MoePolicy moe(features, 2);
+  auto probe = make_probe(features, "SB.ShortestPath", 286720, 2);
+  sim::MemoryEstimate est;
+  const sim::ProfilingCost cost = moe.profile(probe, est);
+  EXPECT_EQ(cost.feature_items, sched::kFeatureRunItems);
+  EXPECT_GT(cost.calibration_items, 0.0);
+  EXPECT_LE(cost.calibration_items, 0.15 * probe.input_items());
+  const auto& bench = wl::find_benchmark("SB.ShortestPath");
+  const double truth = bench.footprint(40000);
+  EXPECT_NEAR(est.footprint(40000), truth, 0.12 * truth);
+  EXPECT_NEAR(est.cpu_load, bench.cpu_load_iso, 0.05);
+  EXPECT_FALSE(moe.selection_counts().empty());
+}
+
+TEST(MoePolicy, MeanErrorAcrossAllBenchmarksMatchesPaper) {
+  // Section 6.9: "average prediction error of 5%". Allow some slack.
+  const wl::FeatureModel features(1);
+  sched::MoePolicy moe(features, 2);
+  double total_err = 0;
+  int n = 0;
+  for (const auto& bench : wl::all_spark_benchmarks()) {
+    auto probe = sim::AppProbe(bench, features, 1048576, Rng::derive(7, bench.name));
+    sim::MemoryEstimate est;
+    moe.profile(probe, est);
+    const double truth = bench.footprint(43690);
+    total_err += std::abs(est.footprint(43690) - truth) / truth;
+    ++n;
+  }
+  EXPECT_LT(total_err / n, 0.10);
+}
+
+TEST(QuasarPolicy, EstimatesSnapToResourceClasses) {
+  const wl::FeatureModel features(1);
+  sched::QuasarPolicy quasar(features, 2);
+  auto probe = make_probe(features, "SP.Gmm", 286720, 3);
+  sim::MemoryEstimate est;
+  quasar.profile(probe, est);
+  for (const double x : {2000.0, 20000.0, 200000.0}) {
+    const double v = est.footprint(x);
+    EXPECT_GE(v, 8.0);
+    EXPECT_NEAR(std::fmod(v, 8.0), 0.0, 1e-9) << x;
+  }
+}
+
+TEST(QuasarPolicy, LessAccurateThanMoeOnAverage) {
+  const wl::FeatureModel features(1);
+  sched::MoePolicy moe(features, 2);
+  sched::QuasarPolicy quasar(features, 2);
+  double err_moe = 0, err_quasar = 0;
+  for (const auto& bench : wl::all_spark_benchmarks()) {
+    sim::AppProbe p1(bench, features, 1048576, Rng::derive(9, bench.name));
+    sim::AppProbe p2(bench, features, 1048576, Rng::derive(9, bench.name));
+    sim::MemoryEstimate e1, e2;
+    moe.profile(p1, e1);
+    quasar.profile(p2, e2);
+    const double truth = bench.footprint(43690);
+    err_moe += std::abs(e1.footprint(43690) - truth) / truth;
+    err_quasar += std::abs(e2.footprint(43690) - truth) / truth;
+  }
+  EXPECT_LT(err_moe, 0.5 * err_quasar);
+}
+
+TEST(UnifiedCurvePolicy, UnifiedExponentialUnderPredictsGrowingApps) {
+  // A single exponential fit to the pooled training data saturates, so it
+  // must under-predict a power-law app at scale — the Figure 9 failure mode.
+  const wl::FeatureModel features(1);
+  sched::UnifiedCurvePolicy exp_only(ml::CurveKind::kExponential, features, 2);
+  auto probe = make_probe(features, "SB.MatrixFact", 1048576, 4);
+  sim::MemoryEstimate est;
+  exp_only.profile(probe, est);
+  const double truth = wl::find_benchmark("SB.MatrixFact").footprint(500000);
+  EXPECT_LT(est.footprint(500000), 0.85 * truth);
+}
+
+TEST(UnifiedCurvePolicy, LessAccurateThanMoeOnAverage) {
+  const wl::FeatureModel features(1);
+  sched::MoePolicy moe(features, 2);
+  sched::UnifiedCurvePolicy unified(ml::CurveKind::kPowerLaw, features, 2);
+  double err_moe = 0, err_unified = 0;
+  for (const auto& bench : wl::all_spark_benchmarks()) {
+    sim::AppProbe p1(bench, features, 1048576, Rng::derive(19, bench.name));
+    sim::AppProbe p2(bench, features, 1048576, Rng::derive(19, bench.name));
+    sim::MemoryEstimate e1, e2;
+    moe.profile(p1, e1);
+    unified.profile(p2, e2);
+    const double truth = bench.footprint(43690);
+    err_moe += std::abs(e1.footprint(43690) - truth) / truth;
+    err_unified += std::abs(e2.footprint(43690) - truth) / truth;
+  }
+  EXPECT_LT(err_moe, 0.6 * err_unified);
+}
+
+TEST(UnifiedCurvePolicy, Names) {
+  const wl::FeatureModel features(1);
+  EXPECT_EQ(sched::UnifiedCurvePolicy(ml::CurveKind::kPowerLaw, features, 2).name(),
+            "Linear Regression");
+  EXPECT_EQ(sched::UnifiedCurvePolicy(ml::CurveKind::kExponential, features, 2).name(),
+            "Exponential Regression");
+}
+
+TEST(UnifiedAnnPolicy, ProducesBoundedMonotoneEstimates) {
+  const wl::FeatureModel features(1);
+  sched::UnifiedAnnPolicy ann(features, 2);
+  auto probe = make_probe(features, "HB.PageRank", 286720, 6);
+  sim::MemoryEstimate est;
+  ann.profile(probe, est);
+  const double small = est.footprint(2000);
+  const double large = est.footprint(200000);
+  EXPECT_GT(small, 0.0);
+  EXPECT_LT(large, 200.0);
+  const double truth = wl::find_benchmark("HB.PageRank").footprint(40000);
+  EXPECT_NEAR(est.footprint(40000), truth, 0.5 * truth);
+}
+
+TEST(OnlineSearchPolicy, InverseSearchFindsBudgetBoundary) {
+  const wl::FeatureModel features(1);
+  sched::OnlineSearchPolicy online;
+  auto probe = make_probe(features, "SP.Gmm", 286720, 7);
+  sim::MemoryEstimate est;
+  const sim::ProfilingCost cost = online.profile(probe, est);
+  EXPECT_EQ(cost.feature_items + cost.calibration_items, 0.0);  // cost is per spawn
+  EXPECT_GT(online.spawn_search_overhead(), 0.0);
+  const auto& bench = wl::find_benchmark("SP.Gmm");
+  const double budget = 30.0;
+  const Items found = est.items_for_budget(budget);
+  const Items truth = bench.items_for_budget(budget);
+  EXPECT_NEAR(found, truth, 0.2 * truth);
+}
+
+TEST(PolicyTraits, ModesAndChecks) {
+  sched::IsolatedPolicy isolated;
+  sched::PairwisePolicy pairwise;
+  sched::OraclePolicy oracle;
+  EXPECT_EQ(isolated.mode(), sim::DispatchMode::kIsolated);
+  EXPECT_EQ(pairwise.mode(), sim::DispatchMode::kPairwise);
+  EXPECT_EQ(oracle.mode(), sim::DispatchMode::kPredictive);
+  EXPECT_FALSE(isolated.cpu_check());
+  EXPECT_FALSE(pairwise.cpu_check());
+  EXPECT_TRUE(oracle.cpu_check());
+  EXPECT_DOUBLE_EQ(oracle.spawn_search_overhead(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Property sweep across all 44 benchmarks: with clean measurements, the full
+// select-then-calibrate pipeline reproduces each application's true memory
+// curve whenever the selector picks the right family — and the selector picks
+// the right family for the overwhelming majority of applications.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/policies_learned.h"
+#include "sched/training_data.h"
+#include "sparksim/app_probe.h"
+#include "workloads/features.h"
+
+namespace {
+
+using namespace smoe;
+
+struct Shared {
+  wl::FeatureModel features{2017};
+  sched::SelectorCache cache{features, 2017};
+};
+
+Shared& shared() {
+  static Shared s;
+  return s;
+}
+
+class EveryBenchmark : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryBenchmark, CleanPipelineTracksTrueCurve) {
+  auto& s = shared();
+  const auto& bench = wl::find_benchmark(GetParam());
+  const auto& entry = s.cache.for_test_benchmark(bench.name);
+  const core::MoePredictor predictor(entry.pool, entry.selector);
+
+  // Noise-free probe isolates model error from measurement error.
+  sim::AppProbe probe(bench, s.features, 1048576, Rng::derive(5, bench.name), /*noise=*/0.0);
+  const core::Selection sel = predictor.select(probe.raw_features());
+  if (sel.expert_index != bench.family_label()) {
+    GTEST_SKIP() << "selector picked a different family (allowed for ~2% of apps)";
+  }
+  const core::MemoryModel model =
+      predictor.calibrate(sel, sched::take_calibration_probes(probe));
+  for (const double x : {5000.0, 43690.0, 262144.0}) {
+    const double truth = bench.footprint(x);
+    EXPECT_NEAR(model.footprint(x), truth, 0.02 * truth) << bench.name << " at " << x;
+  }
+}
+
+TEST_P(EveryBenchmark, InverseNeverOverflowsBudget) {
+  auto& s = shared();
+  const auto& bench = wl::find_benchmark(GetParam());
+  const auto& entry = s.cache.for_test_benchmark(bench.name);
+  const core::MoePredictor predictor(entry.pool, entry.selector);
+  sim::AppProbe probe(bench, s.features, 1048576, Rng::derive(6, bench.name), 0.0);
+  const core::Selection sel = predictor.select(probe.raw_features());
+  const core::MemoryModel model =
+      predictor.calibrate(sel, sched::take_calibration_probes(probe));
+  // Whatever the model believes: items_for_budget(y) must stay within the
+  // budget according to the model itself (self-consistency).
+  for (const double budget : {8.0, 24.0, 61.0}) {
+    const Items x = model.items_for_budget(budget);
+    if (std::isfinite(x) && x >= 1.0) {
+      EXPECT_LE(model.footprint(x), budget * 1.001) << bench.name << " budget " << budget;
+    }
+  }
+}
+
+std::vector<std::string> all_names() {
+  std::vector<std::string> names;
+  for (const auto& b : wl::all_spark_benchmarks()) names.push_back(b.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All44, EveryBenchmark, ::testing::ValuesIn(all_names()),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           std::string name = info.param;
+                           for (char& c : name)
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return name;
+                         });
+
+TEST(SelectorQuality, AtMostTwoBenchmarksMisrouted) {
+  // The paper's selector is 97.4% accurate; across our 44 benchmarks with a
+  // clean characterization run, at most a couple may be misrouted.
+  auto& s = shared();
+  int misses = 0;
+  for (const auto& bench : wl::all_spark_benchmarks()) {
+    const auto& entry = s.cache.for_test_benchmark(bench.name);
+    const core::MoePredictor predictor(entry.pool, entry.selector);
+    sim::AppProbe probe(bench, s.features, 30720, Rng::derive(7, bench.name), 0.0);
+    if (predictor.select(probe.raw_features()).expert_index != bench.family_label()) ++misses;
+  }
+  EXPECT_LE(misses, 2);
+}
+
+}  // namespace

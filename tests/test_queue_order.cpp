@@ -1,0 +1,87 @@
+// Tests for the dispatcher queue discipline (Section 5.2: the co-location
+// technique applies to any scheduling policy, FCFS being the evaluated one).
+#include <gtest/gtest.h>
+
+#include "sched/metrics.h"
+#include "sched/policies_basic.h"
+#include "sparksim/engine.h"
+#include "workloads/features.h"
+
+namespace {
+
+using namespace smoe;
+
+wl::TaskMix big_then_small() {
+  return {{"HB.TeraSort", 1048576.0},  // large job submitted first
+          {"HB.Scan", 300.0},          // tiny jobs stuck behind it under FCFS
+          {"BDB.Grep", 300.0}};
+}
+
+TEST(QueueOrder, FcfsRunsInSubmissionOrderWhenIsolated) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = 3;
+  sim::ClusterSim sim(cfg, features);
+  sched::IsolatedPolicy isolated;
+  const sim::SimResult r = sim.run(big_then_small(), isolated);
+  EXPECT_LT(r.apps[0].finish, r.apps[1].finish);
+  EXPECT_LT(r.apps[1].finish, r.apps[2].finish);
+}
+
+TEST(QueueOrder, ShortestJobFirstReordersIsolatedExecution) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = 3;
+  cfg.spark.queue_order = sim::QueueOrder::kShortestJobFirst;
+  sim::ClusterSim sim(cfg, features);
+  sched::IsolatedPolicy isolated;
+  const sim::SimResult r = sim.run(big_then_small(), isolated);
+  // The tiny jobs finish before the 1 TB job even though it was first.
+  EXPECT_LT(r.apps[1].finish, r.apps[0].finish);
+  EXPECT_LT(r.apps[2].finish, r.apps[0].finish);
+}
+
+TEST(QueueOrder, SjfImprovesAnttOnSkewedIsolatedMix) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig fcfs_cfg;
+  fcfs_cfg.seed = 3;
+  sim::SimConfig sjf_cfg = fcfs_cfg;
+  sjf_cfg.spark.queue_order = sim::QueueOrder::kShortestJobFirst;
+
+  sched::IsolatedPolicy isolated;
+  sim::ClusterSim fcfs(fcfs_cfg, features);
+  sim::ClusterSim sjf(sjf_cfg, features);
+  sched::IsolatedTimes iso(fcfs);
+
+  const auto mix = big_then_small();
+  const double antt_fcfs = sched::compute_metrics(fcfs.run(mix, isolated), iso).antt;
+  const double antt_sjf = sched::compute_metrics(sjf.run(mix, isolated), iso).antt;
+  EXPECT_LT(antt_sjf, antt_fcfs);  // the classic SJF result
+}
+
+TEST(QueueOrder, SjfKeepsWorkConservedUnderCoLocation) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = 4;
+  cfg.spark.queue_order = sim::QueueOrder::kShortestJobFirst;
+  sim::ClusterSim sim(cfg, features);
+  sched::OraclePolicy oracle;
+  const sim::SimResult r = sim.run(wl::table4_mix(), oracle);
+  ASSERT_EQ(r.apps.size(), 30u);
+  for (const auto& app : r.apps) EXPECT_GE(app.finish, 0.0) << app.benchmark;
+}
+
+TEST(QueueOrder, StableForEqualSizes) {
+  // Equal-size jobs keep submission order under SJF (stable sort).
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = 5;
+  cfg.spark.queue_order = sim::QueueOrder::kShortestJobFirst;
+  sim::ClusterSim sim(cfg, features);
+  sched::IsolatedPolicy isolated;
+  const wl::TaskMix mix = {{"HB.Scan", 30720.0}, {"BDB.Grep", 30720.0}};
+  const sim::SimResult r = sim.run(mix, isolated);
+  EXPECT_LT(r.apps[0].finish, r.apps[1].finish);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Tests for the memory-function regression substrate (Table 1 families):
+// exact parameter recovery, two-point calibration, inversion round-trips and
+// family discrimination.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ml/regression.h"
+
+namespace {
+
+using namespace smoe;
+using ml::CurveKind;
+using ml::CurveParams;
+
+std::vector<double> log_spaced(double lo, double hi, std::size_t n) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i)
+    xs[i] = lo * std::pow(hi / lo, static_cast<double>(i) / static_cast<double>(n - 1));
+  return xs;
+}
+
+struct FamilyCase {
+  CurveKind kind;
+  CurveParams params;
+  std::string name;
+};
+
+std::vector<FamilyCase> family_cases() {
+  return {
+      {CurveKind::kPowerLaw, {0.002, 0.9}, "power"},
+      {CurveKind::kPowerLaw, {0.05, 0.75}, "power_sublinear"},
+      {CurveKind::kExponential, {5.768, 4.479 / 1024.0}, "exp_hbsort"},
+      {CurveKind::kExponential, {3.2, 0.002}, "exp_small"},
+      {CurveKind::kNapierianLog, {4.0, 1.79}, "log_pagerank"},
+      {CurveKind::kNapierianLog, {7.0, 2.4}, "log_steep"},
+  };
+}
+
+class EveryFamily : public ::testing::TestWithParam<FamilyCase> {};
+
+TEST_P(EveryFamily, NoiselessFitRecoversParameters) {
+  const auto& c = GetParam();
+  const auto xs = log_spaced(300, 1e6, 10);
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(ml::curve_eval(c.kind, c.params, x));
+  const ml::CurveFit fit = ml::fit_curve(c.kind, xs, ys);
+  EXPECT_NEAR(fit.params.m, c.params.m, 0.02 * std::abs(c.params.m) + 1e-6) << c.name;
+  EXPECT_NEAR(fit.params.b, c.params.b, 0.02 * std::abs(c.params.b) + 1e-6) << c.name;
+  EXPECT_GT(fit.r2, 0.999) << c.name;
+}
+
+TEST_P(EveryFamily, BestFitSelectsTrueFamilyUnderMildNoise) {
+  const auto& c = GetParam();
+  Rng rng(11);
+  const auto xs = log_spaced(300, 1e6, 10);
+  std::vector<double> ys;
+  for (const double x : xs)
+    ys.push_back(ml::curve_eval(c.kind, c.params, x) * rng.normal(1.0, 0.002));
+  EXPECT_EQ(ml::best_fit(xs, ys).kind, c.kind) << c.name;
+}
+
+TEST_P(EveryFamily, TwoPointCalibrationIsExact) {
+  const auto& c = GetParam();
+  const double x1 = 700, x2 = 3000;
+  const double y1 = ml::curve_eval(c.kind, c.params, x1);
+  const double y2 = ml::curve_eval(c.kind, c.params, x2);
+  const CurveParams cal = ml::calibrate_two_point(c.kind, x1, y1, x2, y2);
+  // The calibrated curve must pass through both probes...
+  EXPECT_NEAR(ml::curve_eval(c.kind, cal, x1), y1, 1e-6 * y1) << c.name;
+  EXPECT_NEAR(ml::curve_eval(c.kind, cal, x2), y2, 1e-6 * y2) << c.name;
+  // ...and extrapolate like the generating curve.
+  const double far = 5e5;
+  EXPECT_NEAR(ml::curve_eval(c.kind, cal, far), ml::curve_eval(c.kind, c.params, far),
+              0.02 * ml::curve_eval(c.kind, c.params, far))
+      << c.name;
+}
+
+TEST_P(EveryFamily, InverseRoundTrip) {
+  const auto& c = GetParam();
+  for (const double x : {500.0, 5000.0, 50000.0}) {
+    const double y = ml::curve_eval(c.kind, c.params, x);
+    const double back = ml::curve_inverse(c.kind, c.params, y);
+    if (std::isfinite(back)) {
+      EXPECT_NEAR(back, x, 1e-6 * x) << c.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, EveryFamily, ::testing::ValuesIn(family_cases()),
+                         [](const ::testing::TestParamInfo<FamilyCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(CurveEval, ExponentialSaturatesAtM) {
+  const CurveParams p = {6.0, 0.01};
+  EXPECT_LT(ml::curve_eval(CurveKind::kExponential, p, 1e9), 6.0 + 1e-9);
+  EXPECT_NEAR(ml::curve_eval(CurveKind::kExponential, p, 1e9), 6.0, 1e-6);
+}
+
+TEST(CurveInverse, ExponentialBudgetAboveSaturationIsInfinite) {
+  const CurveParams p = {6.0, 0.01};
+  EXPECT_TRUE(std::isinf(ml::curve_inverse(CurveKind::kExponential, p, 7.0)));
+  EXPECT_TRUE(std::isinf(ml::curve_inverse(CurveKind::kExponential, p, 6.0)));
+}
+
+TEST(CurveInverse, NonPositiveBudgetGivesZero) {
+  EXPECT_DOUBLE_EQ(ml::curve_inverse(CurveKind::kPowerLaw, {1.0, 1.0}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ml::curve_inverse(CurveKind::kExponential, {1.0, 1.0}, -1.0), 0.0);
+}
+
+TEST(CurveInverse, DegenerateParamsHandled) {
+  // Non-increasing curves: everything or nothing fits.
+  EXPECT_TRUE(std::isinf(ml::curve_inverse(CurveKind::kPowerLaw, {-1.0, 1.0}, 5.0)));
+  EXPECT_TRUE(std::isinf(ml::curve_inverse(CurveKind::kNapierianLog, {2.0, -0.5}, 5.0)));
+  EXPECT_DOUBLE_EQ(ml::curve_inverse(CurveKind::kNapierianLog, {9.0, -0.5}, 5.0), 0.0);
+}
+
+TEST(CurveEval, LogRejectsNonPositiveX) {
+  EXPECT_THROW(ml::curve_eval(CurveKind::kNapierianLog, {1.0, 1.0}, 0.0), PreconditionError);
+}
+
+TEST(Calibrate, RejectsBadProbes) {
+  EXPECT_THROW(ml::calibrate_two_point(CurveKind::kPowerLaw, 10, 1, 5, 2), PreconditionError);
+  EXPECT_THROW(ml::calibrate_two_point(CurveKind::kPowerLaw, 0, 1, 5, 2), PreconditionError);
+  EXPECT_THROW(ml::calibrate_two_point(CurveKind::kPowerLaw, 1, -1, 5, 2), PreconditionError);
+}
+
+TEST(Calibrate, ExponentialSaturatedProbesClampGracefully) {
+  // y2 <= y1 means both probes sit on the plateau; m should be ~y1.
+  const CurveParams p = ml::calibrate_two_point(CurveKind::kExponential, 1000, 5.0, 2000, 4.99);
+  EXPECT_NEAR(p.m, 5.0, 0.05);
+  // And the curve stays ~flat beyond the probes.
+  EXPECT_NEAR(ml::curve_eval(CurveKind::kExponential, p, 1e6), 5.0, 0.1);
+}
+
+TEST(Calibrate, ExponentialLinearRegimeProbes) {
+  // y2/y1 == x2/x1 implies the curve still looks linear: a tiny rate.
+  const CurveParams p = ml::calibrate_two_point(CurveKind::kExponential, 100, 1.0, 400, 4.0);
+  EXPECT_NEAR(ml::curve_eval(CurveKind::kExponential, p, 100), 1.0, 0.05);
+  EXPECT_NEAR(ml::curve_eval(CurveKind::kExponential, p, 400), 4.0, 0.2);
+}
+
+TEST(Ols, RecoversLine) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {3, 5, 7, 9};  // y = 1 + 2x
+  const ml::LinearFit f = ml::ols(xs, ys);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+}
+
+TEST(Ols, DegenerateXsThrow) {
+  const std::vector<double> xs = {2, 2};
+  const std::vector<double> ys = {1, 2};
+  EXPECT_THROW(ml::ols(xs, ys), PreconditionError);
+}
+
+TEST(FitCurve, InputValidation) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(ml::fit_curve(CurveKind::kPowerLaw, one, one), PreconditionError);
+  const std::vector<double> same = {5.0, 5.0};
+  const std::vector<double> ys = {1.0, 2.0};
+  EXPECT_THROW(ml::fit_curve(CurveKind::kPowerLaw, same, ys), PreconditionError);
+  const std::vector<double> neg = {-1.0, 2.0};
+  EXPECT_THROW(ml::fit_curve(CurveKind::kPowerLaw, neg, ys), PreconditionError);
+}
+
+TEST(FitCurve, PowerFitMinimizesLinearSpaceError) {
+  // A log curve sampled over a wide range: the dedicated log family must win
+  // even though a power law can chase it in log-log space.
+  const CurveParams truth = {7.0, 1.5};
+  const auto xs = log_spaced(300, 1e6, 12);
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(ml::curve_eval(CurveKind::kNapierianLog, truth, x));
+  const ml::CurveFit log_fit = ml::fit_curve(CurveKind::kNapierianLog, xs, ys);
+  const ml::CurveFit pow_fit = ml::fit_curve(CurveKind::kPowerLaw, xs, ys);
+  EXPECT_GT(log_fit.r2, pow_fit.r2);
+}
+
+}  // namespace

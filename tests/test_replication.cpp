@@ -1,0 +1,75 @@
+// Tests for the Section 5.2 replay-until-confidence methodology.
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sched/experiment.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "workloads/features.h"
+
+namespace {
+
+using namespace smoe;
+
+TEST(Replication, ConvergesForDeterministicPolicy) {
+  // Oracle has zero measurement noise, so every replay of the same mix gives
+  // the same STP and the CI closes immediately.
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = 7;
+  sched::ExperimentRunner runner(cfg, features, 1, 9);
+  sched::OraclePolicy oracle;
+  Rng rng(10);
+  const auto mix = wl::random_mix(4, rng);
+  const auto r = runner.run_mix_replicated(mix, oracle, 10, 0.05);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.replays, 2u);
+  EXPECT_NEAR(r.stp_ci_half, 0.0, 1e-9);
+  EXPECT_GT(r.stp_mean, 1.0);
+}
+
+TEST(Replication, NoisyPolicyReportsHonestConfidence) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = 7;
+  sched::ExperimentRunner runner(cfg, features, 1, 9);
+  sched::MoePolicy moe(features, 2017);
+  Rng rng(11);
+  const auto mix = wl::random_mix(5, rng);
+  const auto r = runner.run_mix_replicated(mix, moe, 8, 0.05);
+  EXPECT_GE(r.replays, 2u);
+  EXPECT_LE(r.replays, 8u);
+  EXPECT_GT(r.stp_mean, 0.5);
+  if (r.converged) {
+    EXPECT_LT(2.0 * r.stp_ci_half, 0.05 * r.stp_mean + 1e-12);
+  } else {
+    EXPECT_EQ(r.replays, 8u);
+  }
+  EXPECT_GE(r.stp_ci_half, 0.0);
+}
+
+TEST(Replication, TighterTargetNeedsAtLeastAsManyReplays) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = 7;
+  sched::ExperimentRunner runner(cfg, features, 1, 9);
+  sched::MoePolicy moe(features, 2017);
+  Rng rng(12);
+  const auto mix = wl::random_mix(5, rng);
+  const auto loose = runner.run_mix_replicated(mix, moe, 10, 0.20);
+  const auto tight = runner.run_mix_replicated(mix, moe, 10, 0.01);
+  EXPECT_LE(loose.replays, tight.replays);
+}
+
+TEST(Replication, Validation) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  sched::ExperimentRunner runner(cfg, features, 1, 9);
+  sched::OraclePolicy oracle;
+  Rng rng(13);
+  const auto mix = wl::random_mix(2, rng);
+  EXPECT_THROW(runner.run_mix_replicated(mix, oracle, 1, 0.05), PreconditionError);
+  EXPECT_THROW(runner.run_mix_replicated(mix, oracle, 5, 0.0), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Determinism and distribution sanity for the seeded RNG wrapper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace {
+
+using namespace smoe;
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, DeriveIsDeterministicAndNameSensitive) {
+  EXPECT_EQ(Rng::derive(7, "alpha"), Rng::derive(7, "alpha"));
+  EXPECT_NE(Rng::derive(7, "alpha"), Rng::derive(7, "beta"));
+  EXPECT_NE(Rng::derive(7, "alpha"), Rng::derive(8, "alpha"));
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntBoundsInclusive) {
+  Rng rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(1, 6));
+  EXPECT_EQ(*seen.begin(), 1);
+  EXPECT_EQ(*seen.rbegin(), 6);
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Rng, BadBoundsThrow) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform(1, 0), PreconditionError);
+  EXPECT_THROW(rng.uniform_int(3, 2), PreconditionError);
+  EXPECT_THROW(rng.normal(0, -1), PreconditionError);
+  EXPECT_THROW(rng.chance(1.5), PreconditionError);
+  EXPECT_THROW(rng.lognormal_median(0, 1), PreconditionError);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.normal(5, 2));
+  EXPECT_NEAR(mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, NormalWithZeroStddevIsConstant) {
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(rng.normal(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.lognormal_median(4.0, 0.6));
+  EXPECT_NEAR(median(xs), 4.0, 0.15);
+  for (const double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(8);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(10);
+  const auto idx = rng.sample_without_replacement(20, 5);
+  ASSERT_EQ(idx.size(), 5u);
+  const std::set<std::size_t> unique(idx.begin(), idx.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (const auto i : idx) EXPECT_LT(i, 20u);
+}
+
+TEST(Rng, SampleMoreThanPopulationReturnsAll) {
+  Rng rng(11);
+  const auto idx = rng.sample_without_replacement(3, 10);
+  EXPECT_EQ(idx.size(), 3u);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Round-trip and failure-injection tests for selector persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "core/serialize.h"
+#include "sched/training_data.h"
+#include "sparksim/app_probe.h"
+#include "workloads/features.h"
+
+namespace {
+
+using namespace smoe;
+
+core::SelectorModel trained_model(const wl::FeatureModel& features, core::ExpertPool& pool) {
+  return core::train_selector(pool, sched::make_training_set(features, 2));
+}
+
+TEST(Serialize, RoundTripPreservesPredictions) {
+  const wl::FeatureModel features(1);
+  core::ExpertPool pool = core::ExpertPool::paper_default();
+  const core::SelectorModel original = trained_model(features, pool);
+
+  std::stringstream buffer;
+  core::save_selector(original, buffer);
+  const core::SelectorModel loaded = core::load_selector(buffer);
+
+  EXPECT_EQ(loaded.programs.size(), original.programs.size());
+  EXPECT_EQ(loaded.pca.n_components(), original.pca.n_components());
+
+  const core::MoePredictor a(pool, original);
+  const core::MoePredictor b(pool, loaded);
+  for (const auto& bench : wl::all_spark_benchmarks()) {
+    Rng rng(Rng::derive(3, bench.name));
+    const ml::Vector raw = features.sample(bench, rng);
+    const core::Selection sa = a.select(raw);
+    const core::Selection sb = b.select(raw);
+    EXPECT_EQ(sa.expert_index, sb.expert_index) << bench.name;
+    EXPECT_EQ(sa.nearest_program, sb.nearest_program) << bench.name;
+    EXPECT_DOUBLE_EQ(sa.distance, sb.distance) << bench.name;
+  }
+}
+
+TEST(Serialize, RoundTripPreservesProgramRecords) {
+  const wl::FeatureModel features(1);
+  core::ExpertPool pool = core::ExpertPool::paper_default();
+  const core::SelectorModel original = trained_model(features, pool);
+  std::stringstream buffer;
+  core::save_selector(original, buffer);
+  const core::SelectorModel loaded = core::load_selector(buffer);
+  for (std::size_t i = 0; i < original.programs.size(); ++i) {
+    EXPECT_EQ(loaded.programs[i].name, original.programs[i].name);
+    EXPECT_EQ(loaded.programs[i].expert_index, original.programs[i].expert_index);
+    EXPECT_DOUBLE_EQ(loaded.programs[i].fit.params.m, original.programs[i].fit.params.m);
+    EXPECT_DOUBLE_EQ(loaded.programs[i].fit.params.b, original.programs[i].fit.params.b);
+    EXPECT_EQ(loaded.programs[i].pc_features, original.programs[i].pc_features);
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const wl::FeatureModel features(1);
+  core::ExpertPool pool = core::ExpertPool::paper_default();
+  const core::SelectorModel original = trained_model(features, pool);
+  const std::string path = ::testing::TempDir() + "/sparkmoe_selector_test.txt";
+  core::save_selector_file(original, path);
+  const core::SelectorModel loaded = core::load_selector_file(path);
+  EXPECT_EQ(loaded.programs.size(), original.programs.size());
+}
+
+TEST(Serialize, RejectsGarbageAndWrongVersion) {
+  {
+    std::stringstream buffer("not-a-model 1");
+    EXPECT_THROW(core::load_selector(buffer), core::SerializationError);
+  }
+  {
+    std::stringstream buffer("sparkmoe-selector 99\n");
+    EXPECT_THROW(core::load_selector(buffer), core::SerializationError);
+  }
+  EXPECT_THROW(core::load_selector_file("/no/such/dir/model.txt"),
+               core::SerializationError);
+}
+
+TEST(Serialize, RejectsTruncatedPayload) {
+  const wl::FeatureModel features(1);
+  core::ExpertPool pool = core::ExpertPool::paper_default();
+  const core::SelectorModel original = trained_model(features, pool);
+  std::stringstream buffer;
+  core::save_selector(original, buffer);
+  const std::string full = buffer.str();
+  // Chop the payload at several points; every prefix must be rejected, never
+  // silently produce a half-loaded model.
+  for (const double frac : {0.2, 0.5, 0.8, 0.95}) {
+    std::stringstream cut(full.substr(0, static_cast<std::size_t>(frac * full.size())));
+    EXPECT_THROW(core::load_selector(cut), core::SerializationError) << frac;
+  }
+}
+
+TEST(Serialize, UntrainedModelRejectedOnSave) {
+  core::SelectorModel empty;
+  std::stringstream buffer;
+  EXPECT_THROW(core::save_selector(empty, buffer), PreconditionError);
+}
+
+}  // namespace

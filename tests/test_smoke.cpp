@@ -1,0 +1,80 @@
+// End-to-end smoke test: train the selector, predict a footprint, and run a
+// small mix through every scheduling policy.
+#include <gtest/gtest.h>
+
+#include "sched/experiment.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sched/training_data.h"
+#include "workloads/features.h"
+#include "workloads/mixes.h"
+
+namespace {
+
+using namespace smoe;
+
+TEST(Smoke, TrainSelectAndCalibrate) {
+  const wl::FeatureModel features(1);
+  sched::SelectorCache cache(features, 2);
+  const auto& entry = cache.for_test_benchmark("SP.Gmm");
+  ASSERT_EQ(entry.pool.size(), 3u);
+  EXPECT_EQ(entry.selector.programs.size(), 16u);
+
+  // The selector should route the vast majority of unseen applications to
+  // the expert matching their true memory-function family (paper: 97.4%).
+  std::size_t correct = 0, total = 0;
+  for (const auto& bench : wl::all_spark_benchmarks()) {
+    const auto& e = cache.for_test_benchmark(bench.name);
+    const core::MoePredictor predictor(e.pool, e.selector);
+    Rng rng(Rng::derive(3, bench.name));
+    for (int run = 0; run < 3; ++run) {
+      ++total;
+      if (predictor.select(features.sample(bench, rng)).expert_index == bench.family_label())
+        ++correct;
+    }
+  }
+  EXPECT_GE(static_cast<double>(correct) / static_cast<double>(total), 0.9);
+}
+
+TEST(Smoke, AllPoliciesCompleteAMix) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = 99;
+  sim::ClusterSim sim(cfg, features);
+
+  Rng rng(7);
+  const wl::TaskMix mix = wl::random_mix(5, rng);
+
+  sched::IsolatedPolicy isolated;
+  sched::PairwisePolicy pairwise;
+  sched::OraclePolicy oracle;
+  sched::OnlineSearchPolicy online;
+  sched::MoePolicy moe(features, 2);
+  sched::QuasarPolicy quasar(features, 2);
+
+  for (sim::SchedulingPolicy* p :
+       std::vector<sim::SchedulingPolicy*>{&isolated, &pairwise, &oracle, &online, &moe, &quasar}) {
+    const sim::SimResult result = sim.run(mix, *p);
+    ASSERT_EQ(result.apps.size(), mix.size()) << p->name();
+    for (const auto& app : result.apps) {
+      EXPECT_GE(app.finish, 0.0) << p->name() << " " << app.benchmark;
+      EXPECT_GT(app.turnaround(), 0.0) << p->name() << " " << app.benchmark;
+    }
+  }
+}
+
+TEST(Smoke, OracleBeatsIsolatedOnThroughput) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = 5;
+  sched::ExperimentRunner runner(cfg, features, /*n_mixes=*/2, /*mix_seed=*/11);
+
+  sched::OraclePolicy oracle;
+  sched::PairwisePolicy pairwise;
+  const auto results = runner.run_scenario(wl::scenario_by_label("L5"), {&oracle, &pairwise});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[0].stp_geomean, 1.0);           // co-location helps
+  EXPECT_GT(results[0].stp_geomean, results[1].stp_geomean);  // Oracle > Pairwise
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Tests for the cluster-simulator substrate: contention model, resource
+// monitor, utilization traces and the measurement probe.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "sparksim/app_probe.h"
+#include "sparksim/contention.h"
+#include "sparksim/monitor.h"
+#include "sparksim/trace.h"
+#include "workloads/suites.h"
+
+namespace {
+
+using namespace smoe;
+
+// ---- contention ----
+
+TEST(Contention, CpuFactor) {
+  EXPECT_DOUBLE_EQ(sim::cpu_factor(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::cpu_factor(0.99), 1.0);
+  EXPECT_DOUBLE_EQ(sim::cpu_factor(2.0), 0.5);
+  EXPECT_THROW(sim::cpu_factor(-0.1), PreconditionError);
+}
+
+TEST(Contention, InterferenceBoundedLikeFig14) {
+  // A typical benchmark (sensitivity ~0.3) against a typical co-runner load
+  // (~0.3 CPU) slows by well under 25%, matching Fig. 14's envelope.
+  const double f = sim::interference_factor(0.3, 0.3);
+  EXPECT_GT(f, 0.9);
+  EXPECT_LE(f, 1.0);
+  // Even the most sensitive benchmark against two heavy co-runners stays
+  // under ~25%.
+  EXPECT_GT(sim::interference_factor(0.45, 0.7), 0.75);
+  EXPECT_DOUBLE_EQ(sim::interference_factor(0.3, 0.0), 1.0);
+}
+
+TEST(Contention, PagingFactor) {
+  EXPECT_DOUBLE_EQ(sim::paging_factor(32, 64, 8.0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::paging_factor(64, 64, 8.0), 1.0);
+  const double f = sim::paging_factor(72, 64, 8.0);  // 8 GiB over
+  EXPECT_NEAR(f, 1.0 / 2.0, 1e-12);
+  EXPECT_THROW(sim::paging_factor(1, 0, 8.0), PreconditionError);
+}
+
+TEST(Contention, OomThreshold) {
+  EXPECT_FALSE(sim::is_oom(79.9, 64, 16));
+  EXPECT_TRUE(sim::is_oom(80.1, 64, 16));
+}
+
+TEST(Contention, CombinedSpeedFactorComposes) {
+  sim::ClusterConfig cluster;
+  sim::ContentionConfig contention;
+  sim::NodeLoad node;
+  node.total_cpu = 1.5;
+  node.resident = 68.0;
+  const double f = sim::speed_factor(0.5, 0.3, node, cluster, contention);
+  const double expected = sim::cpu_factor(1.5) * sim::interference_factor(0.3, 1.0) *
+                          sim::paging_factor(68.0, cluster.node_ram, contention.paging_penalty);
+  EXPECT_DOUBLE_EQ(f, expected);
+  EXPECT_LT(f, 0.67);
+}
+
+// ---- resource monitor ----
+
+TEST(Monitor, ZeroBeforeFirstReport) {
+  sim::ResourceMonitor monitor(3, 5);
+  EXPECT_DOUBLE_EQ(monitor.reported_cpu(0), 0.0);
+  EXPECT_DOUBLE_EQ(monitor.reported_mem(2), 0.0);
+}
+
+TEST(Monitor, WindowedAverage) {
+  sim::ResourceMonitor monitor(2, 3);
+  const std::vector<double> mem = {10, 20};
+  monitor.record(std::vector<double>{0.2, 0.4}, mem);
+  monitor.record(std::vector<double>{0.4, 0.4}, mem);
+  EXPECT_NEAR(monitor.reported_cpu(0), 0.3, 1e-12);
+  EXPECT_NEAR(monitor.reported_cpu(1), 0.4, 1e-12);
+  EXPECT_NEAR(monitor.reported_mem(0), 10.0, 1e-12);
+}
+
+TEST(Monitor, OldReportsAgeOutOfTheWindow) {
+  sim::ResourceMonitor monitor(1, 2);
+  const std::vector<double> mem = {0};
+  monitor.record(std::vector<double>{1.0}, mem);
+  monitor.record(std::vector<double>{0.0}, mem);
+  monitor.record(std::vector<double>{0.0}, mem);  // evicts the 1.0 sample
+  EXPECT_DOUBLE_EQ(monitor.reported_cpu(0), 0.0);
+}
+
+TEST(Monitor, Validation) {
+  sim::ResourceMonitor monitor(2, 3);
+  EXPECT_THROW(monitor.record(std::vector<double>{0.1}, std::vector<double>{0.1, 0.2}),
+               PreconditionError);
+  EXPECT_THROW(monitor.reported_cpu(5), PreconditionError);
+  EXPECT_THROW(sim::ResourceMonitor(0, 3), PreconditionError);
+  EXPECT_THROW(sim::ResourceMonitor(2, 0), PreconditionError);
+}
+
+// ---- utilization trace ----
+
+TEST(Trace, AccumulatesTimeWeightedValues) {
+  sim::UtilizationTrace trace(1, 10.0);
+  trace.accumulate(0, 0.0, 5.0, 1.0);   // half of bin 0 at 100%
+  trace.accumulate(0, 5.0, 10.0, 0.0);  // other half idle
+  EXPECT_NEAR(trace.value(0, 0), 0.5, 1e-12);
+}
+
+TEST(Trace, SpansMultipleBins) {
+  sim::UtilizationTrace trace(1, 10.0);
+  trace.accumulate(0, 0.0, 30.0, 0.8);
+  EXPECT_EQ(trace.n_bins(), 3u);
+  for (std::size_t b = 0; b < 3; ++b) EXPECT_NEAR(trace.value(0, b), 0.8, 1e-12);
+  EXPECT_NEAR(trace.overall_mean(), 0.8, 1e-12);
+}
+
+TEST(Trace, UnrecordedBinsAreZero) {
+  sim::UtilizationTrace trace(2, 10.0);
+  trace.accumulate(0, 0.0, 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(trace.value(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(trace.value(0, 7), 0.0);
+}
+
+TEST(Trace, Validation) {
+  sim::UtilizationTrace trace(1, 10.0);
+  EXPECT_THROW(trace.accumulate(5, 0, 1, 0.5), PreconditionError);
+  EXPECT_THROW(trace.accumulate(0, 5, 1, 0.5), PreconditionError);
+  EXPECT_THROW(sim::UtilizationTrace(0), PreconditionError);
+}
+
+// ---- app probe ----
+
+TEST(Probe, MeasurementsAreNoisyTruth) {
+  const wl::FeatureModel features(1);
+  const auto& bench = wl::find_benchmark("HB.PageRank");
+  sim::AppProbe probe(bench, features, 100000, 42, 0.02);
+  std::vector<double> measurements;
+  for (int i = 0; i < 200; ++i) measurements.push_back(probe.measure_footprint(5000));
+  const double truth = bench.footprint(5000);
+  EXPECT_NEAR(mean(measurements), truth, 0.02 * truth);
+  EXPECT_NEAR(stddev(measurements) / truth, 0.02, 0.008);
+}
+
+TEST(Probe, ZeroNoiseIsExact) {
+  const wl::FeatureModel features(1);
+  const auto& bench = wl::find_benchmark("HB.Sort");
+  sim::AppProbe probe(bench, features, 1000, 1, 0.0);
+  EXPECT_DOUBLE_EQ(probe.measure_footprint(500), bench.footprint(500));
+}
+
+TEST(Probe, DeterministicGivenSeed) {
+  const wl::FeatureModel features(1);
+  const auto& bench = wl::find_benchmark("HB.Sort");
+  sim::AppProbe a(bench, features, 1000, 9);
+  sim::AppProbe b(bench, features, 1000, 9);
+  EXPECT_EQ(a.raw_features(), b.raw_features());
+  EXPECT_DOUBLE_EQ(a.measure_footprint(100), b.measure_footprint(100));
+  EXPECT_DOUBLE_EQ(a.measure_cpu_load(), b.measure_cpu_load());
+}
+
+TEST(Probe, CpuLoadNearTruth) {
+  const wl::FeatureModel features(1);
+  const auto& bench = wl::find_benchmark("SP.Gmm");
+  sim::AppProbe probe(bench, features, 1000, 3);
+  std::vector<double> loads;
+  for (int i = 0; i < 100; ++i) loads.push_back(probe.measure_cpu_load());
+  EXPECT_NEAR(mean(loads), bench.cpu_load_iso, 0.02);
+}
+
+TEST(Probe, Validation) {
+  const wl::FeatureModel features(1);
+  const auto& bench = wl::find_benchmark("HB.Sort");
+  EXPECT_THROW(sim::AppProbe(bench, features, 0, 1), PreconditionError);
+  sim::AppProbe probe(bench, features, 1000, 1);
+  EXPECT_THROW(probe.measure_footprint(0), PreconditionError);
+}
+
+}  // namespace

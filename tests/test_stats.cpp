@@ -1,0 +1,149 @@
+// Unit and property tests for common/stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace {
+
+using namespace smoe;
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 2.5);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(2.5));
+}
+
+TEST(Stats, MeanOfSingleElement) {
+  const std::vector<double> xs = {42.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 42.0);
+}
+
+TEST(Stats, EmptyInputsThrow) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), PreconditionError);
+  EXPECT_THROW(geomean(empty), PreconditionError);
+  EXPECT_THROW(min_of(empty), PreconditionError);
+  EXPECT_THROW(percentile(empty, 50), PreconditionError);
+}
+
+TEST(Stats, VarianceNeedsTwoSamples) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(variance(xs), PreconditionError);
+}
+
+TEST(Stats, Geomean) {
+  const std::vector<double> xs = {1, 10, 100};
+  EXPECT_NEAR(geomean(xs), 10.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::vector<double> xs = {1.0, 0.0};
+  EXPECT_THROW(geomean(xs), PreconditionError);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40);
+  EXPECT_DOUBLE_EQ(median(xs), 25);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25);
+}
+
+TEST(Stats, PercentileOutOfRangeThrows) {
+  const std::vector<double> xs = {1, 2};
+  EXPECT_THROW(percentile(xs, -1), PreconditionError);
+  EXPECT_THROW(percentile(xs, 101), PreconditionError);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSeriesIsZero) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> ys = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, RSquaredPerfectAndBaseline) {
+  const std::vector<double> obs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(r_squared(obs, obs), 1.0);
+  const std::vector<double> pred_mean = {2.5, 2.5, 2.5, 2.5};
+  EXPECT_NEAR(r_squared(obs, pred_mean), 0.0, 1e-12);
+}
+
+TEST(Stats, CiHalfWidthShrinksWithSamples) {
+  Rng rng(1);
+  std::vector<double> small, large;
+  for (int i = 0; i < 10; ++i) small.push_back(rng.normal(10, 2));
+  for (int i = 0; i < 1000; ++i) large.push_back(rng.normal(10, 2));
+  EXPECT_GT(ci_half_width(small), ci_half_width(large));
+  EXPECT_GT(ci_half_width(large, 0.99), ci_half_width(large, 0.95));
+}
+
+TEST(Stats, CiHalfWidthOfSingletonIsZero) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_DOUBLE_EQ(ci_half_width(xs), 0.0);
+}
+
+TEST(Stats, ViolinSummaryOrdering) {
+  Rng rng(2);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.lognormal_median(5.0, 0.5));
+  const ViolinSummary v = violin_summary(xs);
+  EXPECT_LE(v.min, v.p25);
+  EXPECT_LE(v.p25, v.median);
+  EXPECT_LE(v.median, v.p75);
+  EXPECT_LE(v.p75, v.max);
+  EXPECT_NEAR(v.median, 5.0, 0.5);   // lognormal median
+  EXPECT_GT(v.mean, v.median - 0.2); // right-skewed
+}
+
+TEST(Stats, HistogramCountsAndClamping) {
+  const std::vector<double> xs = {-5, 0.5, 1.5, 2.5, 99};
+  const Histogram h = histogram(xs, 0, 3, 3);
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[0], 2u);  // -5 clamps into the first bucket
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 2u);  // 99 clamps into the last bucket
+}
+
+TEST(Stats, HistogramBadBoundsThrow) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(histogram(xs, 3, 0, 3), PreconditionError);
+  EXPECT_THROW(histogram(xs, 0, 3, 0), PreconditionError);
+}
+
+// Property sweep: percentile is monotone in p for random data.
+class PercentileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileMonotone, MonotoneInP) {
+  Rng rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.uniform(-50, 50));
+  double prev = percentile(xs, 0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double cur = percentile(xs, p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace

@@ -1,0 +1,64 @@
+// Tests for the ASCII table emitter used by the bench harnesses.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace smoe;
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "23456"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 23456 |"), std::string::npos);
+  // Header rule + bottom rule + separator = 3 '+--' rule lines.
+  std::size_t rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos; ++pos) ++rules;
+  EXPECT_GE(rules, 3u);
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), PreconditionError);
+}
+
+TEST(TextTable, RowWidthMustMatchHeader) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TextTable, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.14159, 0), "3");
+  EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, PctFormatsFraction) {
+  EXPECT_EQ(TextTable::pct(0.491, 1), "49.1%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+TEST(HeatChar, MonotoneRampAndClamping) {
+  EXPECT_EQ(heat_char(0.0), ' ');
+  EXPECT_EQ(heat_char(1.0), '@');
+  EXPECT_EQ(heat_char(-5.0), ' ');
+  EXPECT_EQ(heat_char(7.0), '@');
+  // Monotone density.
+  const std::string ramp = " .:-=+*#%@";
+  char prev = heat_char(0.0);
+  for (double v = 0.1; v <= 1.0; v += 0.1) {
+    const char cur = heat_char(v);
+    EXPECT_GE(ramp.find(cur), ramp.find(prev));
+    prev = cur;
+  }
+}
+
+}  // namespace

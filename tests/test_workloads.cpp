@@ -1,0 +1,248 @@
+// Tests for the benchmark registry, the feature model and the mix generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "common/stats.h"
+#include "workloads/features.h"
+#include "workloads/mixes.h"
+#include "workloads/suites.h"
+
+namespace {
+
+using namespace smoe;
+
+TEST(Suites, Exactly44SparkBenchmarksWithUniqueNames) {
+  const auto& all = wl::all_spark_benchmarks();
+  EXPECT_EQ(all.size(), 44u);
+  std::set<std::string> names;
+  for (const auto& b : all) names.insert(b.name);
+  EXPECT_EQ(names.size(), 44u);
+}
+
+TEST(Suites, SuiteCountsMatchPaper) {
+  std::map<wl::Suite, int> counts;
+  for (const auto& b : wl::all_spark_benchmarks()) ++counts[b.suite];
+  EXPECT_EQ(counts[wl::Suite::kHiBench], 9);
+  EXPECT_EQ(counts[wl::Suite::kBigDataBench], 7);
+  EXPECT_EQ(counts[wl::Suite::kHiBench] + counts[wl::Suite::kBigDataBench], 16);
+  EXPECT_EQ(counts[wl::Suite::kSparkPerf] + counts[wl::Suite::kSparkBench], 28);
+}
+
+TEST(Suites, TrainingSetIsHiBenchPlusBigDataBench) {
+  const auto training = wl::training_benchmarks();
+  EXPECT_EQ(training.size(), 16u);
+  for (const auto& b : training)
+    EXPECT_TRUE(b.suite == wl::Suite::kHiBench || b.suite == wl::Suite::kBigDataBench);
+}
+
+TEST(Suites, AllThreeFamiliesRepresentedInTraining) {
+  std::set<int> families;
+  for (const auto& b : wl::training_benchmarks()) families.insert(b.family_label());
+  EXPECT_EQ(families.size(), 3u);
+}
+
+TEST(Suites, FindBenchmarkByName) {
+  EXPECT_EQ(wl::find_benchmark("HB.Sort").suite, wl::Suite::kHiBench);
+  EXPECT_THROW(wl::find_benchmark("No.Such"), PreconditionError);
+}
+
+TEST(Suites, PaperExactFitsPreserved) {
+  // HB.Sort and HB.PageRank keep the exact fits reported in Section 3.1.
+  const auto& sort = wl::find_benchmark("HB.Sort");
+  EXPECT_EQ(sort.true_kind, ml::CurveKind::kExponential);
+  EXPECT_NEAR(sort.true_params.m, 5.768, 1e-9);
+  const auto& pr = wl::find_benchmark("HB.PageRank");
+  EXPECT_EQ(pr.true_kind, ml::CurveKind::kNapierianLog);
+  EXPECT_NEAR(pr.true_params.b, 1.79, 1e-9);
+  // y(100 GB) ~ 16.333 + 1.79*ln(100) ~ 24.6 GB, matching Fig. 3b.
+  EXPECT_NEAR(pr.footprint(items_from_gib(100)), 16.333 + 1.79 * std::log(100.0), 1e-6);
+}
+
+TEST(Suites, FootprintMonotoneForEveryBenchmark) {
+  for (const auto& b : wl::all_spark_benchmarks()) {
+    double prev = 0;
+    for (const double x : {300.0, 3000.0, 30000.0, 300000.0, 1048576.0}) {
+      const double y = b.footprint(x);
+      // Non-decreasing everywhere (exponential curves saturate flat)...
+      EXPECT_GE(y, prev) << b.name << " at " << x;
+      prev = y;
+    }
+    // Footprints stay within a node's RAM+swap at per-executor chunk sizes
+    // (the engine never assigns more than ~90k items to one executor).
+    EXPECT_LT(b.footprint(90000.0), 120.0) << b.name;
+    // ...and strictly growing where every family is still climbing.
+    EXPECT_GT(b.footprint(900.0), b.footprint(300.0)) << b.name;
+  }
+}
+
+TEST(Suites, ItemsForBudgetRoundTrips) {
+  for (const auto& b : wl::all_spark_benchmarks()) {
+    const double y = b.footprint(20000.0);
+    const double x = b.items_for_budget(y);
+    if (std::isfinite(x)) {
+      EXPECT_NEAR(x, 20000.0, 1.0) << b.name;
+    }
+  }
+}
+
+TEST(Suites, CpuLoadsMatchFig13Shape) {
+  std::vector<double> loads;
+  for (const auto& b : wl::all_spark_benchmarks()) loads.push_back(b.cpu_load_iso);
+  // "The CPU load for most of the 44 benchmarks is under 40%."
+  std::size_t under40 = 0;
+  for (const double l : loads) {
+    EXPECT_GT(l, 0.0);
+    EXPECT_LT(l, 0.65);
+    if (l < 0.40) ++under40;
+  }
+  EXPECT_GE(under40, 30u);
+  EXPECT_LT(mean(loads), 0.40);
+}
+
+TEST(Suites, ExclusionRulesCoverEquivalentImplementations) {
+  const auto ex = wl::excluded_from_training("HB.Sort");
+  EXPECT_NE(std::find(ex.begin(), ex.end(), "HB.Sort"), ex.end());
+  EXPECT_NE(std::find(ex.begin(), ex.end(), "BDB.Sort"), ex.end());
+  const auto km = wl::excluded_from_training("SP.Kmeans");
+  EXPECT_NE(std::find(km.begin(), km.end(), "HB.Kmeans"), km.end());
+  EXPECT_NE(std::find(km.begin(), km.end(), "BDB.Kmeans"), km.end());
+  // A benchmark with no twins excludes only itself.
+  EXPECT_EQ(wl::excluded_from_training("SP.Gmm").size(), 1u);
+}
+
+TEST(Suites, ParsecRegistry) {
+  const auto& parsec = wl::parsec_benchmarks();
+  EXPECT_EQ(parsec.size(), 12u);
+  for (const auto& p : parsec) {
+    EXPECT_GT(p.cpu_load, 0.5);  // compute-bound
+    EXPECT_LT(p.memory, 5.0);    // small footprints
+    EXPECT_GT(p.runtime_iso, 0.0);
+  }
+}
+
+TEST(Suites, InputClasses) {
+  EXPECT_LT(wl::items_for_input_class(wl::InputClass::kSmall),
+            wl::items_for_input_class(wl::InputClass::kMedium));
+  EXPECT_LT(wl::items_for_input_class(wl::InputClass::kMedium),
+            wl::items_for_input_class(wl::InputClass::kLarge));
+  EXPECT_NEAR(gib_from_items(wl::items_for_input_class(wl::InputClass::kLarge)), 1024.0, 1.0);
+}
+
+// ---- feature model ----
+
+TEST(Features, TableHas22EntriesInPaperOrder) {
+  const auto table = wl::raw_feature_table();
+  EXPECT_EQ(table.size(), wl::kNumRawFeatures);
+  EXPECT_STREQ(table[0].abbr, "L1_TCM");
+  EXPECT_STREQ(table[1].abbr, "L1_DCM");
+  EXPECT_STREQ(table[2].abbr, "vcache");
+  EXPECT_STREQ(table[21].abbr, "SY");
+}
+
+TEST(Features, SampleHasCorrectDimensionAndIsFinite) {
+  const wl::FeatureModel model(1);
+  Rng rng(2);
+  const auto v = model.sample(wl::find_benchmark("HB.Sort"), rng);
+  ASSERT_EQ(v.size(), wl::kNumRawFeatures);
+  for (const double x : v) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(Features, LatentIsDeterministicPerBenchmark) {
+  const wl::FeatureModel model(1);
+  const auto a = model.latent(wl::find_benchmark("SP.Gmm"));
+  const auto b = model.latent(wl::find_benchmark("SP.Gmm"));
+  EXPECT_EQ(a, b);
+  const auto c = model.latent(wl::find_benchmark("SP.ALS"));
+  EXPECT_NE(a, c);
+}
+
+TEST(Features, RepeatedRunsClusterTightly) {
+  // The paper reports Pearson > 0.9999 within clusters; repeated profiling
+  // runs of one program must be nearly identical relative to cross-cluster
+  // differences.
+  const wl::FeatureModel model(1);
+  Rng rng(3);
+  const auto& a = wl::find_benchmark("HB.Sort");        // exponential cluster
+  const auto& b = wl::find_benchmark("HB.PageRank");    // log cluster
+  const auto run1 = model.sample(a, rng);
+  const auto run2 = model.sample(a, rng);
+  const auto other = model.sample(b, rng);
+  const double within = ml::euclidean_distance(run1, run2);
+  const double between = ml::euclidean_distance(run1, other);
+  EXPECT_LT(within * 3.0, between);
+}
+
+TEST(Features, SameFamilyClustersCloserThanCrossFamily) {
+  const wl::FeatureModel model(1);
+  const auto za = model.latent(wl::find_benchmark("HB.Sort"));
+  const auto zb = model.latent(wl::find_benchmark("BDB.Grep"));      // same family
+  const auto zc = model.latent(wl::find_benchmark("BDB.PageRank"));  // different family
+  auto dist2 = [](const auto& x, const auto& y) {
+    return std::hypot(x[0] - y[0], x[1] - y[1]);
+  };
+  EXPECT_LT(dist2(za, zb), dist2(za, zc));
+}
+
+// ---- mixes ----
+
+TEST(Mixes, ScenarioTableMatchesTable3) {
+  const auto sc = wl::scenarios();
+  ASSERT_EQ(sc.size(), 10u);
+  EXPECT_EQ(sc[0].label, "L1");
+  EXPECT_EQ(sc[0].n_apps, 2u);
+  EXPECT_EQ(sc[9].label, "L10");
+  EXPECT_EQ(sc[9].n_apps, 30u);
+  const std::vector<std::size_t> expected = {2, 6, 7, 9, 11, 13, 19, 23, 26, 30};
+  for (std::size_t i = 0; i < sc.size(); ++i) EXPECT_EQ(sc[i].n_apps, expected[i]);
+  EXPECT_EQ(wl::scenario_by_label("L7").n_apps, 19u);
+  EXPECT_THROW(wl::scenario_by_label("L11"), PreconditionError);
+}
+
+TEST(Mixes, RandomMixSizesAndValidNames) {
+  Rng rng(4);
+  const auto mix = wl::random_mix(9, rng);
+  EXPECT_EQ(mix.size(), 9u);
+  for (const auto& a : mix) {
+    EXPECT_NO_THROW(wl::find_benchmark(a.benchmark));
+    EXPECT_GT(a.input_items, 0.0);
+  }
+}
+
+TEST(Mixes, ScenarioBatchCoversAllBenchmarks) {
+  const auto mixes = wl::scenario_mixes(wl::scenario_by_label("L5"), 20, 99);
+  ASSERT_EQ(mixes.size(), 20u);
+  std::set<std::string> seen;
+  for (const auto& mix : mixes) {
+    EXPECT_EQ(mix.size(), 11u);
+    for (const auto& a : mix) seen.insert(a.benchmark);
+  }
+  EXPECT_EQ(seen.size(), 44u);  // "all benchmarks are included in each scenario"
+}
+
+TEST(Mixes, BatchesAreDeterministicInSeed) {
+  const auto a = wl::scenario_mixes(wl::scenario_by_label("L3"), 5, 7);
+  const auto b = wl::scenario_mixes(wl::scenario_by_label("L3"), 5, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t m = 0; m < a.size(); ++m)
+    for (std::size_t i = 0; i < a[m].size(); ++i) {
+      EXPECT_EQ(a[m][i].benchmark, b[m][i].benchmark);
+      EXPECT_EQ(a[m][i].input_items, b[m][i].input_items);
+    }
+}
+
+TEST(Mixes, Table4MixMatchesPaper) {
+  const auto mix = wl::table4_mix();
+  ASSERT_EQ(mix.size(), 30u);
+  EXPECT_EQ(mix[0].benchmark, "BDB.WordCount");
+  EXPECT_EQ(mix[7].benchmark, "HB.TeraSort");
+  EXPECT_EQ(mix[20].benchmark, "SP.CoreRDD");
+  EXPECT_EQ(mix[29].benchmark, "HB.Kmeans");
+  EXPECT_EQ(mix[20].input_items, wl::items_for_input_class(wl::InputClass::kSmall));
+  EXPECT_EQ(mix[7].input_items, wl::items_for_input_class(wl::InputClass::kLarge));
+  for (const auto& a : mix) EXPECT_NO_THROW(wl::find_benchmark(a.benchmark));
+}
+
+}  // namespace
