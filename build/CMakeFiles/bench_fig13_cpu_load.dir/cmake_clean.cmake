@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_cpu_load.dir/bench/bench_fig13_cpu_load.cpp.o"
+  "CMakeFiles/bench_fig13_cpu_load.dir/bench/bench_fig13_cpu_load.cpp.o.d"
+  "bench/bench_fig13_cpu_load"
+  "bench/bench_fig13_cpu_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_cpu_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_colocation_interference.dir/bench/bench_fig14_colocation_interference.cpp.o"
+  "CMakeFiles/bench_fig14_colocation_interference.dir/bench/bench_fig14_colocation_interference.cpp.o.d"
+  "bench/bench_fig14_colocation_interference"
+  "bench/bench_fig14_colocation_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_colocation_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_feature_space.dir/bench/bench_fig16_feature_space.cpp.o"
+  "CMakeFiles/bench_fig16_feature_space.dir/bench/bench_fig16_feature_space.cpp.o.d"
+  "bench/bench_fig16_feature_space"
+  "bench/bench_fig16_feature_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_feature_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

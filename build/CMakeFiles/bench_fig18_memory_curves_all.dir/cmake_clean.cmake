@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_memory_curves_all.dir/bench/bench_fig18_memory_curves_all.cpp.o"
+  "CMakeFiles/bench_fig18_memory_curves_all.dir/bench/bench_fig18_memory_curves_all.cpp.o.d"
+  "bench/bench_fig18_memory_curves_all"
+  "bench/bench_fig18_memory_curves_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_memory_curves_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

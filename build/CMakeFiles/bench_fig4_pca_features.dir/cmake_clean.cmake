@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_pca_features.dir/bench/bench_fig4_pca_features.cpp.o"
+  "CMakeFiles/bench_fig4_pca_features.dir/bench/bench_fig4_pca_features.cpp.o.d"
+  "bench/bench_fig4_pca_features"
+  "bench/bench_fig4_pca_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_pca_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

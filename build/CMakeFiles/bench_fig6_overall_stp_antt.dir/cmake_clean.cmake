@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_overall_stp_antt.dir/bench/bench_fig6_overall_stp_antt.cpp.o"
+  "CMakeFiles/bench_fig6_overall_stp_antt.dir/bench/bench_fig6_overall_stp_antt.cpp.o.d"
+  "bench/bench_fig6_overall_stp_antt"
+  "bench/bench_fig6_overall_stp_antt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_overall_stp_antt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

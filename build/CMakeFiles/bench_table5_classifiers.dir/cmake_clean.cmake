@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_classifiers.dir/bench/bench_table5_classifiers.cpp.o"
+  "CMakeFiles/bench_table5_classifiers.dir/bench/bench_table5_classifiers.cpp.o.d"
+  "bench/bench_table5_classifiers"
+  "bench/bench_table5_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

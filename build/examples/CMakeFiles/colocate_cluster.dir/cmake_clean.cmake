@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocate_cluster.dir/colocate_cluster.cpp.o"
+  "CMakeFiles/colocate_cluster.dir/colocate_cluster.cpp.o.d"
+  "colocate_cluster"
+  "colocate_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocate_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

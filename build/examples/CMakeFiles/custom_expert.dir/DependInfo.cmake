@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_expert.cpp" "examples/CMakeFiles/custom_expert.dir/custom_expert.cpp.o" "gcc" "examples/CMakeFiles/custom_expert.dir/custom_expert.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smoe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/smoe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/smoe_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/smoe_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smoe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/smoe_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_scheduling.dir/whatif_scheduling.cpp.o"
+  "CMakeFiles/whatif_scheduling.dir/whatif_scheduling.cpp.o.d"
+  "whatif_scheduling"
+  "whatif_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoe_common.dir/csv.cpp.o"
+  "CMakeFiles/smoe_common.dir/csv.cpp.o.d"
+  "CMakeFiles/smoe_common.dir/rng.cpp.o"
+  "CMakeFiles/smoe_common.dir/rng.cpp.o.d"
+  "CMakeFiles/smoe_common.dir/stats.cpp.o"
+  "CMakeFiles/smoe_common.dir/stats.cpp.o.d"
+  "CMakeFiles/smoe_common.dir/table.cpp.o"
+  "CMakeFiles/smoe_common.dir/table.cpp.o.d"
+  "libsmoe_common.a"
+  "libsmoe_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoe_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/expert_pool.cpp" "src/core/CMakeFiles/smoe_core.dir/expert_pool.cpp.o" "gcc" "src/core/CMakeFiles/smoe_core.dir/expert_pool.cpp.o.d"
+  "/root/repo/src/core/memory_expert.cpp" "src/core/CMakeFiles/smoe_core.dir/memory_expert.cpp.o" "gcc" "src/core/CMakeFiles/smoe_core.dir/memory_expert.cpp.o.d"
+  "/root/repo/src/core/predictor.cpp" "src/core/CMakeFiles/smoe_core.dir/predictor.cpp.o" "gcc" "src/core/CMakeFiles/smoe_core.dir/predictor.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/smoe_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/smoe_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/smoe_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/smoe_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smoe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/smoe_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoe_core.dir/expert_pool.cpp.o"
+  "CMakeFiles/smoe_core.dir/expert_pool.cpp.o.d"
+  "CMakeFiles/smoe_core.dir/memory_expert.cpp.o"
+  "CMakeFiles/smoe_core.dir/memory_expert.cpp.o.d"
+  "CMakeFiles/smoe_core.dir/predictor.cpp.o"
+  "CMakeFiles/smoe_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/smoe_core.dir/serialize.cpp.o"
+  "CMakeFiles/smoe_core.dir/serialize.cpp.o.d"
+  "CMakeFiles/smoe_core.dir/trainer.cpp.o"
+  "CMakeFiles/smoe_core.dir/trainer.cpp.o.d"
+  "libsmoe_core.a"
+  "libsmoe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/smoe_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/smoe_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/eigen.cpp" "src/ml/CMakeFiles/smoe_ml.dir/eigen.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/eigen.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/smoe_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/smoe_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/matrix.cpp" "src/ml/CMakeFiles/smoe_ml.dir/matrix.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/matrix.cpp.o.d"
+  "/root/repo/src/ml/mlp.cpp" "src/ml/CMakeFiles/smoe_ml.dir/mlp.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/mlp.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/smoe_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/pca.cpp" "src/ml/CMakeFiles/smoe_ml.dir/pca.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/pca.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/smoe_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/regression.cpp" "src/ml/CMakeFiles/smoe_ml.dir/regression.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/regression.cpp.o.d"
+  "/root/repo/src/ml/scaling.cpp" "src/ml/CMakeFiles/smoe_ml.dir/scaling.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/scaling.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/smoe_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/svm.cpp.o.d"
+  "/root/repo/src/ml/varimax.cpp" "src/ml/CMakeFiles/smoe_ml.dir/varimax.cpp.o" "gcc" "src/ml/CMakeFiles/smoe_ml.dir/varimax.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smoe_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

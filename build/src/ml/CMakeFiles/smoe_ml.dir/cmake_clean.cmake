@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoe_ml.dir/dataset.cpp.o"
+  "CMakeFiles/smoe_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/smoe_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/eigen.cpp.o"
+  "CMakeFiles/smoe_ml.dir/eigen.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/smoe_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/knn.cpp.o"
+  "CMakeFiles/smoe_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/matrix.cpp.o"
+  "CMakeFiles/smoe_ml.dir/matrix.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/mlp.cpp.o"
+  "CMakeFiles/smoe_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/smoe_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/pca.cpp.o"
+  "CMakeFiles/smoe_ml.dir/pca.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/smoe_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/regression.cpp.o"
+  "CMakeFiles/smoe_ml.dir/regression.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/scaling.cpp.o"
+  "CMakeFiles/smoe_ml.dir/scaling.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/svm.cpp.o"
+  "CMakeFiles/smoe_ml.dir/svm.cpp.o.d"
+  "CMakeFiles/smoe_ml.dir/varimax.cpp.o"
+  "CMakeFiles/smoe_ml.dir/varimax.cpp.o.d"
+  "libsmoe_ml.a"
+  "libsmoe_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoe_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

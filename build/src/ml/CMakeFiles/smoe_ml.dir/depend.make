@@ -1,0 +1,2 @@
+# Empty dependencies file for smoe_ml.
+# This may be replaced when dependencies are built.

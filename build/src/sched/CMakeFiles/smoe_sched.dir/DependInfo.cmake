@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cpu_estimator.cpp" "src/sched/CMakeFiles/smoe_sched.dir/cpu_estimator.cpp.o" "gcc" "src/sched/CMakeFiles/smoe_sched.dir/cpu_estimator.cpp.o.d"
+  "/root/repo/src/sched/experiment.cpp" "src/sched/CMakeFiles/smoe_sched.dir/experiment.cpp.o" "gcc" "src/sched/CMakeFiles/smoe_sched.dir/experiment.cpp.o.d"
+  "/root/repo/src/sched/metrics.cpp" "src/sched/CMakeFiles/smoe_sched.dir/metrics.cpp.o" "gcc" "src/sched/CMakeFiles/smoe_sched.dir/metrics.cpp.o.d"
+  "/root/repo/src/sched/policies_basic.cpp" "src/sched/CMakeFiles/smoe_sched.dir/policies_basic.cpp.o" "gcc" "src/sched/CMakeFiles/smoe_sched.dir/policies_basic.cpp.o.d"
+  "/root/repo/src/sched/policies_learned.cpp" "src/sched/CMakeFiles/smoe_sched.dir/policies_learned.cpp.o" "gcc" "src/sched/CMakeFiles/smoe_sched.dir/policies_learned.cpp.o.d"
+  "/root/repo/src/sched/training_data.cpp" "src/sched/CMakeFiles/smoe_sched.dir/training_data.cpp.o" "gcc" "src/sched/CMakeFiles/smoe_sched.dir/training_data.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smoe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/smoe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/smoe_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/smoe_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smoe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoe_sched.dir/cpu_estimator.cpp.o"
+  "CMakeFiles/smoe_sched.dir/cpu_estimator.cpp.o.d"
+  "CMakeFiles/smoe_sched.dir/experiment.cpp.o"
+  "CMakeFiles/smoe_sched.dir/experiment.cpp.o.d"
+  "CMakeFiles/smoe_sched.dir/metrics.cpp.o"
+  "CMakeFiles/smoe_sched.dir/metrics.cpp.o.d"
+  "CMakeFiles/smoe_sched.dir/policies_basic.cpp.o"
+  "CMakeFiles/smoe_sched.dir/policies_basic.cpp.o.d"
+  "CMakeFiles/smoe_sched.dir/policies_learned.cpp.o"
+  "CMakeFiles/smoe_sched.dir/policies_learned.cpp.o.d"
+  "CMakeFiles/smoe_sched.dir/training_data.cpp.o"
+  "CMakeFiles/smoe_sched.dir/training_data.cpp.o.d"
+  "libsmoe_sched.a"
+  "libsmoe_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoe_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

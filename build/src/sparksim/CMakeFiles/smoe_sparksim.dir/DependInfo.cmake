@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparksim/app_probe.cpp" "src/sparksim/CMakeFiles/smoe_sparksim.dir/app_probe.cpp.o" "gcc" "src/sparksim/CMakeFiles/smoe_sparksim.dir/app_probe.cpp.o.d"
+  "/root/repo/src/sparksim/contention.cpp" "src/sparksim/CMakeFiles/smoe_sparksim.dir/contention.cpp.o" "gcc" "src/sparksim/CMakeFiles/smoe_sparksim.dir/contention.cpp.o.d"
+  "/root/repo/src/sparksim/engine.cpp" "src/sparksim/CMakeFiles/smoe_sparksim.dir/engine.cpp.o" "gcc" "src/sparksim/CMakeFiles/smoe_sparksim.dir/engine.cpp.o.d"
+  "/root/repo/src/sparksim/monitor.cpp" "src/sparksim/CMakeFiles/smoe_sparksim.dir/monitor.cpp.o" "gcc" "src/sparksim/CMakeFiles/smoe_sparksim.dir/monitor.cpp.o.d"
+  "/root/repo/src/sparksim/trace.cpp" "src/sparksim/CMakeFiles/smoe_sparksim.dir/trace.cpp.o" "gcc" "src/sparksim/CMakeFiles/smoe_sparksim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smoe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/smoe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/smoe_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

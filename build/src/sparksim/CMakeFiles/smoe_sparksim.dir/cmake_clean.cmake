@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoe_sparksim.dir/app_probe.cpp.o"
+  "CMakeFiles/smoe_sparksim.dir/app_probe.cpp.o.d"
+  "CMakeFiles/smoe_sparksim.dir/contention.cpp.o"
+  "CMakeFiles/smoe_sparksim.dir/contention.cpp.o.d"
+  "CMakeFiles/smoe_sparksim.dir/engine.cpp.o"
+  "CMakeFiles/smoe_sparksim.dir/engine.cpp.o.d"
+  "CMakeFiles/smoe_sparksim.dir/monitor.cpp.o"
+  "CMakeFiles/smoe_sparksim.dir/monitor.cpp.o.d"
+  "CMakeFiles/smoe_sparksim.dir/trace.cpp.o"
+  "CMakeFiles/smoe_sparksim.dir/trace.cpp.o.d"
+  "libsmoe_sparksim.a"
+  "libsmoe_sparksim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoe_sparksim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

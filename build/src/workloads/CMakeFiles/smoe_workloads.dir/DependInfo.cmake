@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/benchmark.cpp" "src/workloads/CMakeFiles/smoe_workloads.dir/benchmark.cpp.o" "gcc" "src/workloads/CMakeFiles/smoe_workloads.dir/benchmark.cpp.o.d"
+  "/root/repo/src/workloads/features.cpp" "src/workloads/CMakeFiles/smoe_workloads.dir/features.cpp.o" "gcc" "src/workloads/CMakeFiles/smoe_workloads.dir/features.cpp.o.d"
+  "/root/repo/src/workloads/mixes.cpp" "src/workloads/CMakeFiles/smoe_workloads.dir/mixes.cpp.o" "gcc" "src/workloads/CMakeFiles/smoe_workloads.dir/mixes.cpp.o.d"
+  "/root/repo/src/workloads/suites.cpp" "src/workloads/CMakeFiles/smoe_workloads.dir/suites.cpp.o" "gcc" "src/workloads/CMakeFiles/smoe_workloads.dir/suites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/smoe_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/smoe_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smoe_workloads.dir/benchmark.cpp.o"
+  "CMakeFiles/smoe_workloads.dir/benchmark.cpp.o.d"
+  "CMakeFiles/smoe_workloads.dir/features.cpp.o"
+  "CMakeFiles/smoe_workloads.dir/features.cpp.o.d"
+  "CMakeFiles/smoe_workloads.dir/mixes.cpp.o"
+  "CMakeFiles/smoe_workloads.dir/mixes.cpp.o.d"
+  "CMakeFiles/smoe_workloads.dir/suites.cpp.o"
+  "CMakeFiles/smoe_workloads.dir/suites.cpp.o.d"
+  "libsmoe_workloads.a"
+  "libsmoe_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smoe_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

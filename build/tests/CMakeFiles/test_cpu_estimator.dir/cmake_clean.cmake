@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_estimator.dir/test_cpu_estimator.cpp.o"
+  "CMakeFiles/test_cpu_estimator.dir/test_cpu_estimator.cpp.o.d"
+  "test_cpu_estimator"
+  "test_cpu_estimator.pdb"
+  "test_cpu_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

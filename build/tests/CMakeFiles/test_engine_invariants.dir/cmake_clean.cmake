@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine_invariants.dir/test_engine_invariants.cpp.o"
+  "CMakeFiles/test_engine_invariants.dir/test_engine_invariants.cpp.o.d"
+  "test_engine_invariants"
+  "test_engine_invariants.pdb"
+  "test_engine_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

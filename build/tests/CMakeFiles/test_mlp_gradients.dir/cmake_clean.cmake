@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlp_gradients.dir/test_mlp_gradients.cpp.o"
+  "CMakeFiles/test_mlp_gradients.dir/test_mlp_gradients.cpp.o.d"
+  "test_mlp_gradients"
+  "test_mlp_gradients.pdb"
+  "test_mlp_gradients[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlp_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pca_scaling.dir/test_pca_scaling.cpp.o"
+  "CMakeFiles/test_pca_scaling.dir/test_pca_scaling.cpp.o.d"
+  "test_pca_scaling"
+  "test_pca_scaling.pdb"
+  "test_pca_scaling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pca_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prediction_properties.dir/test_prediction_properties.cpp.o"
+  "CMakeFiles/test_prediction_properties.dir/test_prediction_properties.cpp.o.d"
+  "test_prediction_properties"
+  "test_prediction_properties.pdb"
+  "test_prediction_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prediction_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

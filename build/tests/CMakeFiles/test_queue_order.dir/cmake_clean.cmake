@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_queue_order.dir/test_queue_order.cpp.o"
+  "CMakeFiles/test_queue_order.dir/test_queue_order.cpp.o.d"
+  "test_queue_order"
+  "test_queue_order.pdb"
+  "test_queue_order[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_queue_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparksim.dir/test_sparksim.cpp.o"
+  "CMakeFiles/test_sparksim.dir/test_sparksim.cpp.o.d"
+  "test_sparksim"
+  "test_sparksim.pdb"
+  "test_sparksim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparksim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

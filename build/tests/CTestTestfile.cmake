@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_eigen[1]_include.cmake")
+include("/root/repo/build/tests/test_pca_scaling[1]_include.cmake")
+include("/root/repo/build/tests/test_classifiers[1]_include.cmake")
+include("/root/repo/build/tests/test_regression[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_sparksim[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_table[1]_include.cmake")
+include("/root/repo/build/tests/test_prediction_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_options[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_estimator[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_claims[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_kmeans[1]_include.cmake")
+include("/root/repo/build/tests/test_queue_order[1]_include.cmake")
+include("/root/repo/build/tests/test_mlp_gradients[1]_include.cmake")
+include("/root/repo/build/tests/test_csv[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_invariants[1]_include.cmake")
+include("/root/repo/build/tests/test_replication[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
