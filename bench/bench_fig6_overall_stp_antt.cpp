@@ -12,6 +12,7 @@
 #include "common/csv.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/cli.h"
 #include "sched/experiment.h"
 #include "sched/policies_basic.h"
 #include "sched/policies_learned.h"
@@ -19,6 +20,9 @@
 using namespace smoe;
 
 int main(int argc, char** argv) {
+  // --trace/--chrome-trace capture every policy schedule of the figure for
+  // debugging; the baseline normalization runs are never traced.
+  obs::TraceCli trace_cli(argc, argv);
   constexpr std::uint64_t kSeed = 2017;
   // The paper replays ~100 mixes per scenario; same default here.
   const std::size_t n_mixes = argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 100;
@@ -26,6 +30,7 @@ int main(int argc, char** argv) {
   const wl::FeatureModel features(kSeed);
   sim::SimConfig cfg;
   cfg.seed = kSeed;
+  cfg.sink = &trace_cli.sink();
   sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig6"));
 
   sched::PairwisePolicy pairwise;

@@ -2,8 +2,12 @@
 // when scheduling the fixed 30-application mix under Pairwise, Quasar and
 // our approach, plus the resulting STP and wall-clock turnaround.
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "common/table.h"
+#include "obs/cli.h"
+#include "obs/report.h"
 #include "sched/experiment.h"
 #include "sched/policies_basic.h"
 #include "sched/policies_learned.h"
@@ -35,11 +39,15 @@ void render_heatmap(const sim::UtilizationTrace& trace, Seconds makespan) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace/--chrome-trace capture the three scheduled runs (Pairwise,
+  // Quasar, Ours) behind the heatmaps for debugging.
+  obs::TraceCli trace_cli(argc, argv);
   constexpr std::uint64_t kSeed = 2017;
   const wl::FeatureModel features(kSeed);
   sim::SimConfig cfg;
   cfg.seed = kSeed;
+  cfg.sink = &trace_cli.sink();
   sched::ExperimentRunner runner(cfg, features, 1, 1);
 
   const wl::TaskMix mix = wl::table4_mix();
@@ -54,6 +62,8 @@ int main() {
   sched::QuasarPolicy quasar(features, kSeed);
   sched::MoePolicy ours(features, kSeed);
 
+  const bool want_report = argc > 1 && std::string(argv[1]) == "--report";
+  std::vector<obs::RunReport> reports;
   TextTable fig8({"scheme", "STP (norm.)", "turnaround (min)", "mean utilization"});
   for (sim::SchedulingPolicy* p :
        std::vector<sim::SchedulingPolicy*>{&pairwise, &quasar, &ours}) {
@@ -64,11 +74,16 @@ int main() {
     fig8.add_row({p->name(), TextTable::num(run.normalized.norm_stp, 2) + "x",
                   TextTable::num(run.result.makespan / 60.0, 0),
                   TextTable::pct(run.result.trace.overall_mean(), 1)});
+    if (want_report) reports.push_back(sched::make_run_report(run, p->name()));
   }
 
   std::cout << "\nFigure 8: STP and wall-clock turnaround for this mix\n"
             << "(paper: ours 1.81x/1.39x higher STP and 1.46x/1.28x faster than "
                "Pairwise/Quasar)\n";
   fig8.render(std::cout);
+  for (const auto& report : reports) {
+    std::cout << "\n";
+    obs::render_text(report, std::cout);
+  }
   return 0;
 }

@@ -2,21 +2,29 @@
 // Spark applications on a 40-node cluster, scheduled with the mixture-of-
 // experts memory predictor, and compare against running them one by one.
 //
-//   ./build/examples/colocate_cluster
+//   ./build/examples/colocate_cluster [--trace out.jsonl] [--chrome-trace out.trace]
+//                                     [--report]
 #include <iostream>
+#include <string>
 
 #include "common/table.h"
+#include "obs/cli.h"
+#include "obs/report.h"
 #include "sched/experiment.h"
 #include "sched/policies_basic.h"
 #include "sched/policies_learned.h"
 
 using namespace smoe;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::TraceCli trace_cli(argc, argv);
+  const bool want_report = argc > 1 && std::string(argv[1]) == "--report";
+
   constexpr std::uint64_t kSeed = 7;
   const wl::FeatureModel features(kSeed);
   sim::SimConfig cfg;
   cfg.seed = kSeed;
+  cfg.sink = &trace_cli.sink();
   sched::ExperimentRunner runner(cfg, features, 1, 1);
 
   const wl::TaskMix mix = wl::table4_mix();
@@ -48,5 +56,10 @@ int main() {
             << "memory reserved/used : " << TextTable::num(run.result.reserved_gib_hours, 0)
             << " / " << TextTable::num(run.result.used_gib_hours, 0)
             << " GiB-hours (tight reservations = more co-location)\n";
+
+  if (want_report) {
+    std::cout << "\n";
+    obs::render_text(sched::make_run_report(run, "Table 4 mix / Ours (MoE)"), std::cout);
+  }
   return 0;
 }

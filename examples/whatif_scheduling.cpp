@@ -3,11 +3,13 @@
 // reduction against the isolated baseline.
 //
 //   ./build/examples/whatif_scheduling [scenario] [n_mixes] [seed]
+//                                      [--trace out.jsonl] [--chrome-trace out.trace]
 //   e.g. ./build/examples/whatif_scheduling L7 10 42
 #include <iostream>
 #include <string>
 
 #include "common/table.h"
+#include "obs/cli.h"
 #include "sched/experiment.h"
 #include "sched/policies_basic.h"
 #include "sched/policies_learned.h"
@@ -15,6 +17,7 @@
 using namespace smoe;
 
 int main(int argc, char** argv) {
+  obs::TraceCli trace_cli(argc, argv);
   const std::string label = argc > 1 ? argv[1] : "L5";
   const std::size_t n_mixes = argc > 2 ? std::stoul(argv[2]) : 5;
   const std::uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 7;
@@ -26,6 +29,7 @@ int main(int argc, char** argv) {
   const wl::FeatureModel features(seed);
   sim::SimConfig cfg;
   cfg.seed = seed;
+  cfg.sink = &trace_cli.sink();
   sched::ExperimentRunner runner(cfg, features, n_mixes, seed);
 
   sched::PairwisePolicy pairwise;

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification + sanitizer pass.
+#
+#   scripts/check.sh          # configure, build, run the full test suite
+#   scripts/check.sh --asan   # additionally build an ASan/UBSan tree
+#                             # (-DSMOE_SANITIZE=ON) and run the obs tests
+#                             # under it (fast; extend TESTS_ASAN as needed)
+#
+# Exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+TESTS_ASAN="${TESTS_ASAN:-test_obs|test_sparksim|test_engine}"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"${JOBS}"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+if [[ "${1:-}" == "--asan" ]]; then
+  echo "== sanitizers: ASan/UBSan build (-DSMOE_SANITIZE=ON) =="
+  cmake -B build-asan -S . -DSMOE_SANITIZE=ON \
+    -DSPARKMOE_BUILD_BENCH=OFF -DSPARKMOE_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan -j"${JOBS}"
+  echo "== sanitizers: ctest (${TESTS_ASAN}) =="
+  ctest --test-dir build-asan --output-on-failure -j"${JOBS}" -R "${TESTS_ASAN}"
+fi
+
+echo "OK"

@@ -1,0 +1,68 @@
+#include "obs/cli.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/error.h"
+
+namespace smoe::obs {
+
+namespace {
+
+/// If argv[i] matches `--flag FILE` or `--flag=FILE`, returns the FILE and
+/// the number of argv slots consumed (1 or 2); otherwise consumed is 0.
+std::string match_flag(const char* flag, int argc, char** argv, int i, int& consumed) {
+  consumed = 0;
+  const std::size_t flag_len = std::strlen(flag);
+  if (std::strncmp(argv[i], flag, flag_len) != 0) return {};
+  const char* rest = argv[i] + flag_len;
+  if (rest[0] == '=') {
+    consumed = 1;
+    return rest + 1;
+  }
+  if (rest[0] != '\0') return {};  // e.g. --trace-foo
+  SMOE_REQUIRE(i + 1 < argc, std::string(flag) + " requires a file argument");
+  consumed = 2;
+  return argv[i + 1];
+}
+
+std::unique_ptr<std::ofstream> open_trace_file(const std::string& path) {
+  auto os = std::make_unique<std::ofstream>(path);
+  SMOE_REQUIRE(os->is_open(), "cannot open trace file: " + path);
+  return os;
+}
+
+}  // namespace
+
+TraceCli::TraceCli(int& argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < argc;) {
+    int consumed = 0;
+    std::string file = match_flag("--trace", argc, argv, i, consumed);
+    if (consumed > 0) {
+      jsonl_os_ = open_trace_file(file);
+      jsonl_ = std::make_unique<JsonlSink>(*jsonl_os_);
+      i += consumed;
+      continue;
+    }
+    file = match_flag("--chrome-trace", argc, argv, i, consumed);
+    if (consumed > 0) {
+      chrome_os_ = open_trace_file(file);
+      chrome_ = std::make_unique<ChromeTraceSink>(*chrome_os_);
+      i += consumed;
+      continue;
+    }
+    argv[out++] = argv[i++];
+  }
+  argc = out;
+  if (jsonl_ && chrome_) tee_ = std::make_unique<TeeSink>(*jsonl_, *chrome_);
+}
+
+EventSink& TraceCli::sink() {
+  if (tee_) return *tee_;
+  if (jsonl_) return *jsonl_;
+  if (chrome_) return *chrome_;
+  return null_sink();
+}
+
+}  // namespace smoe::obs

@@ -1,0 +1,44 @@
+// Shared command-line plumbing so every example and bench can capture a
+// trace without bespoke flag parsing:
+//
+//   ./build/examples/colocate_cluster --trace run.jsonl
+//   ./build/bench/bench_fig7_server_utilization --chrome-trace run.trace
+//
+// TraceCli strips the flags it recognizes from argv (so positional-argument
+// handling in the binaries is untouched) and owns the output files and sinks
+// for the program's lifetime.
+#pragma once
+
+#include <fstream>
+#include <memory>
+
+#include "obs/sink.h"
+
+namespace smoe::obs {
+
+class TraceCli {
+ public:
+  /// Recognized (and removed from argv):
+  ///   --trace FILE | --trace=FILE                JSONL event trace
+  ///   --chrome-trace FILE | --chrome-trace=FILE  Chrome trace_event JSON
+  /// Throws PreconditionError when a flag is given without a file or the
+  /// file cannot be opened.
+  TraceCli(int& argc, char** argv);
+
+  /// The sink to hand to SimConfig::sink: the requested file sink(s), or
+  /// null_sink() when no flag was given. Valid for this object's lifetime.
+  EventSink& sink();
+
+  bool active() const { return jsonl_ != nullptr || chrome_ != nullptr; }
+
+  /// One-line usage string for the binaries' help output.
+  static const char* usage() {
+    return "[--trace FILE] [--chrome-trace FILE]";
+  }
+
+ private:
+  std::unique_ptr<std::ofstream> jsonl_os_, chrome_os_;
+  std::unique_ptr<EventSink> jsonl_, chrome_, tee_;
+};
+
+}  // namespace smoe::obs

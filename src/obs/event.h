@@ -1,0 +1,87 @@
+// Structured simulator events: the typed vocabulary every EventSink consumes.
+//
+// An Event is a (sim-time, type, fields) triple. Timestamps are *simulated*
+// seconds — never wall-clock — so a trace is a pure function of the run's
+// inputs and SimConfig::seed, and two identically-seeded runs produce
+// byte-identical traces (tests/test_obs.cpp asserts this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/units.h"
+
+namespace smoe::obs {
+
+/// Everything the cluster simulator can report. One enumerator per state
+/// transition; sinks may filter on type.
+enum class EventType : std::uint8_t {
+  kRunStart,        ///< simulation begins (config summary)
+  kAppSubmit,       ///< application enters the system at t = 0
+  kProfilingStart,  ///< feature/calibration profiling begins on the coordinator
+  kProfilingEnd,    ///< profiling window elapsed; application is dispatchable
+  kDispatch,        ///< dispatcher decision: chosen node, reservation, and the
+                    ///< monitor's (stale) view that justified it
+  kExecutorSpawn,   ///< executor starts processing its chunk
+  kExecutorSpill,   ///< default-heap executor exceeds its heap and spills
+  kExecutorThrash,  ///< predictive executor overshoots its heap and GC-thrashes
+  kExecutorOom,     ///< predictive executor dies; chunk lost (Section 2.3)
+  kExecutorFinish,  ///< executor drained its chunk and released its node share
+  kIsolatedRerun,   ///< an OOM'd chunk re-runs alone on a whole node
+  kMonitorReport,   ///< periodic resource-monitor tick (Section 4.2)
+  kAppFinish,       ///< last item of an application processed
+  kRunEnd,          ///< simulation drained; totals attached
+};
+
+inline constexpr std::size_t kEventTypeCount = 14;
+
+/// Stable lower-snake-case name used in JSONL/Chrome traces.
+std::string_view to_string(EventType type);
+
+struct Event {
+  /// One typed key/value attribute. Keys are expected to be string literals
+  /// (they are not copied); values are copied into the event.
+  struct Field {
+    std::string_view key;
+    std::variant<std::int64_t, double, std::string> value;
+  };
+
+  Seconds t = 0;
+  EventType type = EventType::kRunStart;
+  std::vector<Field> fields;
+
+  Event(Seconds time, EventType event_type) : t(time), type(event_type) {}
+
+  /// Fluent attribute builders; `with("node", 3).with("reserved", 12.5)`.
+  Event& with(std::string_view key, std::int64_t v) {
+    fields.push_back({key, v});
+    return *this;
+  }
+  Event& with(std::string_view key, int v) { return with(key, static_cast<std::int64_t>(v)); }
+  Event& with(std::string_view key, std::size_t v) {
+    return with(key, static_cast<std::int64_t>(v));
+  }
+  Event& with(std::string_view key, bool v) { return with(key, static_cast<std::int64_t>(v)); }
+  Event& with(std::string_view key, double v) {
+    fields.push_back({key, v});
+    return *this;
+  }
+  Event& with(std::string_view key, std::string v) {
+    fields.push_back({key, std::move(v)});
+    return *this;
+  }
+  Event& with(std::string_view key, std::string_view v) { return with(key, std::string(v)); }
+  Event& with(std::string_view key, const char* v) { return with(key, std::string(v)); }
+
+  /// Value of a field, or nullptr if absent (test/diagnostic helper).
+  const Field* find(std::string_view key) const {
+    for (const Field& f : fields)
+      if (f.key == key) return &f;
+    return nullptr;
+  }
+};
+
+}  // namespace smoe::obs

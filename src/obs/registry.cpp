@@ -1,0 +1,67 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace smoe::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  SMOE_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be sorted");
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    SMOE_REQUIRE(it->second.bounds() == bounds,
+                 "histogram re-registered with different buckets: " + std::string(name));
+    return it->second;
+  }
+  return histograms_.emplace(std::string(name), Histogram(std::move(bounds))).first->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters.emplace(name, c.value());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace(name, g.value());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.bounds = h.bounds();
+    data.buckets = h.buckets();
+    data.count = h.count();
+    data.sum = h.sum();
+    data.min = h.min();
+    data.max = h.max();
+    snap.histograms.emplace(name, std::move(data));
+  }
+  return snap;
+}
+
+}  // namespace smoe::obs

@@ -1,0 +1,112 @@
+// The metrics registry: named counters, gauges, and fixed-bucket histograms
+// that the engine and policies update during a run, snapshotted into
+// SimResult at the end.
+//
+// Design notes:
+//   * Instruments are owned by the Registry and handed out by reference;
+//     references stay valid for the registry's lifetime (node-based map), so
+//     hot paths resolve a name once and keep the reference.
+//   * Everything is deterministic: snapshots iterate names in sorted order.
+//   * No locking — the simulator is single-threaded; a run owns its registry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smoe::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value; `track_max` keeps a running maximum instead.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void track_max(double v) {
+    if (v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
+/// N buckets; an implicit +inf bucket catches the rest. Also tracks count,
+/// sum, min and max so means and ranges survive coarse buckets.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Plain-data copy of a registry's state at one instant. Comparable so tests
+/// can assert "the null sink changes metrics by exactly nothing".
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+
+    double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+    bool operator==(const HistogramData&) const = default;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  bool empty() const { return counters.empty() && gauges.empty() && histograms.empty(); }
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+class Registry {
+ public:
+  /// Find-or-create by name. For histograms, `bounds` applies on first
+  /// creation only (later calls must not disagree on the bucket layout).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  // std::map: node-based, so instrument references are stable, and iteration
+  // is name-sorted, so snapshots are deterministic.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace smoe::obs

@@ -1,0 +1,105 @@
+#include "obs/report.h"
+
+#include "common/table.h"
+#include "obs/sink.h"
+
+namespace smoe::obs {
+
+namespace {
+
+std::string format_bucket_label(const std::vector<double>& bounds, std::size_t i) {
+  if (i == bounds.size()) return "> " + TextTable::num(bounds.back(), 2);
+  return "<= " + TextTable::num(bounds[i], 2);
+}
+
+}  // namespace
+
+void render_text(const RunReport& report, std::ostream& os) {
+  if (!report.title.empty()) os << "== " << report.title << " ==\n";
+  for (const auto& [key, value] : report.summary) os << key << ": " << value << "\n";
+
+  const MetricsSnapshot& m = report.metrics;
+  if (!m.counters.empty() || !m.gauges.empty()) {
+    TextTable table({"metric", "value"});
+    for (const auto& [name, v] : m.counters) table.add_row({name, std::to_string(v)});
+    for (const auto& [name, v] : m.gauges) table.add_row({name, TextTable::num(v, 2)});
+    os << "\n";
+    table.render(os);
+  }
+  for (const auto& [name, h] : m.histograms) {
+    os << "\n" << name << ": count " << h.count << ", mean " << TextTable::num(h.mean(), 3)
+       << ", min " << TextTable::num(h.min, 3) << ", max " << TextTable::num(h.max, 3) << "\n";
+    if (h.count == 0 || h.bounds.empty()) continue;
+    TextTable table({"bucket", "count"});
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      table.add_row({format_bucket_label(h.bounds, i), std::to_string(h.buckets[i])});
+    }
+    table.render(os);
+  }
+}
+
+void render_json(const RunReport& report, std::ostream& os) {
+  using detail::append_json_number;
+  using detail::append_json_string;
+  std::string out;
+  out += "{\"title\":";
+  append_json_string(out, report.title);
+  out += ",\"summary\":{";
+  bool first = true;
+  for (const auto& [key, value] : report.summary) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, key);
+    out += ':';
+    append_json_string(out, value);
+  }
+  out += "},\"counters\":{";
+  first = true;
+  for (const auto& [name, v] : report.metrics.counters) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    append_json_number(out, static_cast<std::int64_t>(v));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : report.metrics.gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    append_json_number(out, v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : report.metrics.histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ',';
+      append_json_number(out, h.bounds[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ',';
+      append_json_number(out, static_cast<std::int64_t>(h.buckets[i]));
+    }
+    out += "],\"count\":";
+    append_json_number(out, static_cast<std::int64_t>(h.count));
+    out += ",\"sum\":";
+    append_json_number(out, h.sum);
+    out += ",\"min\":";
+    append_json_number(out, h.min);
+    out += ",\"max\":";
+    append_json_number(out, h.max);
+    out += '}';
+  }
+  out += "}}\n";
+  os << out;
+}
+
+}  // namespace smoe::obs

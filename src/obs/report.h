@@ -1,0 +1,37 @@
+// The post-run reporter: renders one run's summary rows + metrics snapshot
+// as a human-readable text block (ASCII tables) and as machine-readable
+// JSON. The report is deliberately generic — ordered (key, value) summary
+// rows plus a MetricsSnapshot — so obs stays below the simulator in the
+// layering; sched::make_run_report() fills one from a SimResult.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace smoe::obs {
+
+struct RunReport {
+  std::string title;
+  /// Ordered headline rows, e.g. {"makespan (min)", "84.3"}.
+  std::vector<std::pair<std::string, std::string>> summary;
+  MetricsSnapshot metrics;
+
+  RunReport& add(std::string key, std::string value) {
+    summary.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+};
+
+/// Human-readable: a summary table followed by counters/gauges/histograms.
+void render_text(const RunReport& report, std::ostream& os);
+
+/// Machine-readable JSON object:
+///   {"title":...,"summary":{...},"counters":{...},"gauges":{...},
+///    "histograms":{name:{"bounds":[...],"buckets":[...],"count":N,...}}}
+void render_json(const RunReport& report, std::ostream& os);
+
+}  // namespace smoe::obs

@@ -1,0 +1,176 @@
+#include "obs/sink.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace smoe::obs {
+
+std::string_view to_string(EventType type) {
+  switch (type) {
+    case EventType::kRunStart: return "run_start";
+    case EventType::kAppSubmit: return "app_submit";
+    case EventType::kProfilingStart: return "profiling_start";
+    case EventType::kProfilingEnd: return "profiling_end";
+    case EventType::kDispatch: return "dispatch";
+    case EventType::kExecutorSpawn: return "executor_spawn";
+    case EventType::kExecutorSpill: return "executor_spill";
+    case EventType::kExecutorThrash: return "executor_thrash";
+    case EventType::kExecutorOom: return "executor_oom";
+    case EventType::kExecutorFinish: return "executor_finish";
+    case EventType::kIsolatedRerun: return "isolated_rerun";
+    case EventType::kMonitorReport: return "monitor_report";
+    case EventType::kAppFinish: return "app_finish";
+    case EventType::kRunEnd: return "run_end";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_json_number(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+namespace {
+
+void append_field_value(std::string& out, const Event::Field& f) {
+  if (const auto* i = std::get_if<std::int64_t>(&f.value)) {
+    append_json_number(out, *i);
+  } else if (const auto* d = std::get_if<double>(&f.value)) {
+    append_json_number(out, *d);
+  } else {
+    append_json_string(out, std::get<std::string>(f.value));
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
+NullSink& null_sink() {
+  static NullSink sink;
+  return sink;
+}
+
+void CountingSink::emit(const Event& event) {
+  ++counts_[static_cast<std::size_t>(event.type)];
+  ++total_;
+}
+
+std::size_t CountingSink::distinct_types() const {
+  std::size_t n = 0;
+  for (const std::uint64_t c : counts_)
+    if (c > 0) ++n;
+  return n;
+}
+
+void JsonlSink::emit(const Event& event) {
+  std::string line;
+  line.reserve(64 + event.fields.size() * 24);
+  line += "{\"t\":";
+  detail::append_json_number(line, event.t);
+  line += ",\"type\":";
+  detail::append_json_string(line, to_string(event.type));
+  for (const Event::Field& f : event.fields) {
+    line += ',';
+    detail::append_json_string(line, f.key);
+    line += ':';
+    detail::append_field_value(line, f);
+  }
+  line += "}\n";
+  os_ << line;
+}
+
+void ChromeTraceSink::begin_record() {
+  if (!first_) os_ << ",\n";
+  first_ = false;
+}
+
+void ChromeTraceSink::emit(const Event& event) {
+  // Executor spawn/finish/OOM become duration slices ("B"/"E") on the node's
+  // track; everything else is a process-scoped instant event.
+  const char* ph = "i";
+  switch (event.type) {
+    case EventType::kExecutorSpawn: ph = "B"; break;
+    case EventType::kExecutorFinish:
+    case EventType::kExecutorOom: ph = "E"; break;
+    default: break;
+  }
+
+  std::int64_t tid = -1;
+  if (const Event::Field* node = event.find("node"))
+    if (const auto* i = std::get_if<std::int64_t>(&node->value)) tid = *i;
+
+  // Slice begin/end names must match for the viewer to pair them, so the
+  // executor lifecycle events all share the "executor:<benchmark>" name.
+  std::string name(ph[0] == 'i' ? to_string(event.type) : std::string_view("executor"));
+  if (const Event::Field* bench = event.find("benchmark"))
+    if (const auto* s = std::get_if<std::string>(&bench->value)) name += ":" + *s;
+
+  std::string rec;
+  rec += "{\"name\":";
+  detail::append_json_string(rec, name);
+  rec += ",\"ph\":\"";
+  rec += ph;
+  rec += "\",\"ts\":";
+  detail::append_json_number(rec, event.t * 1e6);  // trace_event ts is in us
+  rec += ",\"pid\":0,\"tid\":";
+  detail::append_json_number(rec, tid);
+  if (ph[0] == 'i') rec += ",\"s\":\"p\"";
+  rec += ",\"args\":{";
+  bool first_arg = true;
+  for (const Event::Field& f : event.fields) {
+    if (!first_arg) rec += ',';
+    first_arg = false;
+    detail::append_json_string(rec, f.key);
+    rec += ':';
+    detail::append_field_value(rec, f);
+  }
+  rec += "}}";
+
+  begin_record();
+  os_ << rec;
+}
+
+void ChromeTraceSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  os_ << "\n]\n";
+  os_.flush();
+}
+
+}  // namespace smoe::obs

@@ -1,0 +1,132 @@
+// Event sinks: where the simulator's structured events go.
+//
+//   NullSink        — discards everything; `enabled()` is false so emitters
+//                     can skip building events entirely (zero-cost-when-off).
+//   CountingSink    — per-type counters; cheap always-on production telemetry.
+//   JsonlSink       — one JSON object per line, deterministic formatting.
+//   ChromeTraceSink — Chrome/Perfetto trace_event JSON array; executors are
+//                     rendered as duration slices per node track, everything
+//                     else as instant events. Load via chrome://tracing or
+//                     https://ui.perfetto.dev.
+//   TeeSink         — fan out to two sinks (e.g. count and write a file).
+//
+// Sinks are passive observers: emitting to any sink (including none) must not
+// change simulation results.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "obs/event.h"
+
+namespace smoe::obs {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// False when emissions are discarded unseen; emitters may use this to
+  /// skip constructing Event objects altogether.
+  virtual bool enabled() const { return true; }
+
+  virtual void emit(const Event& event) = 0;
+
+  /// Finish any buffered output (closing brackets, stream flush). Safe to
+  /// call more than once; called by the destructor of buffering sinks.
+  virtual void close() {}
+};
+
+/// The do-nothing sink. `null_sink()` returns a shared instance so callers
+/// can hold an `EventSink&` unconditionally.
+class NullSink final : public EventSink {
+ public:
+  bool enabled() const override { return false; }
+  void emit(const Event&) override {}
+};
+
+NullSink& null_sink();
+
+/// Counts emissions per event type.
+class CountingSink final : public EventSink {
+ public:
+  void emit(const Event& event) override;
+
+  std::uint64_t count(EventType type) const {
+    return counts_[static_cast<std::size_t>(type)];
+  }
+  std::uint64_t total() const { return total_; }
+  /// Number of event types seen at least once.
+  std::size_t distinct_types() const;
+
+ private:
+  std::array<std::uint64_t, kEventTypeCount> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+/// One JSON object per line: {"t":12.5,"type":"executor_spawn","node":3,...}.
+/// Numbers are formatted with std::to_chars (shortest round-trip), strings
+/// are JSON-escaped; output is byte-deterministic for a deterministic run.
+class JsonlSink final : public EventSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(os) {}
+  ~JsonlSink() override { close(); }
+
+  void emit(const Event& event) override;
+  void close() override { os_.flush(); }
+
+ private:
+  std::ostream& os_;
+};
+
+/// Chrome trace_event format: a JSON array of {"name","ph","ts","pid","tid"}
+/// objects. `ts` is microseconds of sim-time; `pid` 0 is the cluster, `tid`
+/// is the node id (or -1 for cluster-scoped events). kExecutorSpawn opens a
+/// "B" slice on the node's track which the matching finish/OOM closes.
+class ChromeTraceSink final : public EventSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& os) : os_(os) { os_ << "[\n"; }
+  ~ChromeTraceSink() override { close(); }
+
+  void emit(const Event& event) override;
+  void close() override;
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+  bool closed_ = false;
+
+  void begin_record();
+};
+
+/// Forwards every event to both sinks. Enabled if either is.
+class TeeSink final : public EventSink {
+ public:
+  TeeSink(EventSink& a, EventSink& b) : a_(a), b_(b) {}
+
+  bool enabled() const override { return a_.enabled() || b_.enabled(); }
+  void emit(const Event& event) override {
+    a_.emit(event);
+    b_.emit(event);
+  }
+  void close() override {
+    a_.close();
+    b_.close();
+  }
+
+ private:
+  EventSink& a_;
+  EventSink& b_;
+};
+
+namespace detail {
+/// Append a JSON-escaped string (including the surrounding quotes).
+void append_json_string(std::string& out, std::string_view s);
+/// Append a double with shortest round-trip formatting ("1e+300" style kept
+/// valid JSON; NaN/Inf — which valid events never carry — become null).
+void append_json_number(std::string& out, double v);
+void append_json_number(std::string& out, std::int64_t v);
+}  // namespace detail
+
+}  // namespace smoe::obs

@@ -2,6 +2,7 @@
 
 #include "common/error.h"
 #include "common/stats.h"
+#include "common/table.h"
 
 namespace smoe::sched {
 
@@ -19,7 +20,8 @@ ReplicatedMetrics ExperimentRunner::run_mix_replicated(const wl::TaskMix& mix,
   SMOE_REQUIRE(max_replays >= 2, "replication needs >= 2 replays");
   SMOE_REQUIRE(target_rel_ci > 0.0, "replication: bad CI target");
 
-  const MixMetrics baseline = compute_metrics(sim_.run(mix, baseline_policy_), iso_);
+  const MixMetrics baseline =
+      compute_metrics(sim_.run(mix, baseline_policy_, nullptr), iso_);
   std::vector<double> stps, antt_reds;
   ReplicatedMetrics out;
   for (std::size_t r = 0; r < max_replays; ++r) {
@@ -51,7 +53,7 @@ ExperimentRunner::SingleMix ExperimentRunner::run_mix(const wl::TaskMix& mix,
   SingleMix out;
   out.result = sim_.run(mix, policy);
   out.metrics = compute_metrics(out.result, iso_);
-  const sim::SimResult base = sim_.run(mix, baseline_policy_);
+  const sim::SimResult base = sim_.run(mix, baseline_policy_, nullptr);
   out.normalized = normalize(out.metrics, compute_metrics(base, iso_));
   return out;
 }
@@ -65,7 +67,7 @@ std::vector<SchemeScenarioResult> ExperimentRunner::run_scenario(
   std::vector<MixMetrics> baselines;
   baselines.reserve(mixes.size());
   for (const auto& mix : mixes)
-    baselines.push_back(compute_metrics(sim_.run(mix, baseline_policy_), iso_));
+    baselines.push_back(compute_metrics(sim_.run(mix, baseline_policy_, nullptr), iso_));
 
   std::vector<SchemeScenarioResult> out;
   for (sim::SchedulingPolicy* policy : policies) {
@@ -94,6 +96,25 @@ std::vector<SchemeScenarioResult> ExperimentRunner::run_scenario(
     out.push_back(std::move(r));
   }
   return out;
+}
+
+obs::RunReport make_run_report(const ExperimentRunner::SingleMix& run, std::string title) {
+  obs::RunReport report;
+  report.title = std::move(title);
+  const sim::SimResult& r = run.result;
+  report.add("applications", std::to_string(r.apps.size()))
+      .add("makespan (min)", TextTable::num(r.makespan / 60.0, 1))
+      .add("normalized STP", TextTable::num(run.normalized.norm_stp, 2) + "x")
+      .add("ANTT reduction", TextTable::pct(run.normalized.antt_reduction, 1))
+      .add("mean node utilization", TextTable::pct(r.trace.overall_mean(), 1))
+      .add("executors spawned", std::to_string(r.executors_spawned))
+      .add("executors degraded", std::to_string(r.executors_degraded))
+      .add("OOM kills", std::to_string(r.oom_total))
+      .add("peak node occupancy", std::to_string(r.peak_node_occupancy))
+      .add("GiB-hours reserved/used", TextTable::num(r.reserved_gib_hours, 0) + " / " +
+                                          TextTable::num(r.used_gib_hours, 0));
+  report.metrics = r.metrics;
+  return report;
 }
 
 }  // namespace smoe::sched

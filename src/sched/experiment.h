@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "obs/report.h"
 #include "sched/metrics.h"
 #include "sched/policies_basic.h"
 #include "sparksim/engine.h"
@@ -66,6 +67,10 @@ class ExperimentRunner {
 
   sim::ClusterSim& cluster() { return sim_; }
 
+  /// Baseline and isolated-time measurement runs are never traced: only the
+  /// evaluated policy's own schedule reaches SimConfig::sink, so a captured
+  /// trace is exactly one schedule per run_mix call.
+
  private:
   const wl::FeatureModel& features_;
   sim::ClusterSim sim_;
@@ -74,5 +79,10 @@ class ExperimentRunner {
   std::size_t n_mixes_;
   std::uint64_t mix_seed_;
 };
+
+/// Post-run reporting: headline rows (makespan, STP, ANTT, executor and
+/// memory totals) + the engine's metrics snapshot, ready for
+/// obs::render_text / obs::render_json.
+obs::RunReport make_run_report(const ExperimentRunner::SingleMix& run, std::string title);
 
 }  // namespace smoe::sched

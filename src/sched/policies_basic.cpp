@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/registry.h"
 #include "workloads/suites.h"
 
 namespace smoe::sched {
@@ -28,19 +29,28 @@ sim::ProfilingCost OnlineSearchPolicy::profile(sim::AppProbe& probe,
   // Every estimate is answered by *measuring* trial sizes at dispatch time —
   // accurate, but the repeated trials cost spawn_search_overhead() per
   // executor. The probe outlives the estimate (engine guarantee), so
-  // capturing it by reference is safe.
-  estimate.footprint = [&probe](Items x) { return probe.measure_footprint(x); };
-  estimate.items_for_budget = [&probe](GiB budget) {
+  // capturing it by reference is safe. The registry pointer is the engine's
+  // per-run binding; it outlives the estimates for the same reason.
+  obs::Registry* reg = metrics();
+  estimate.footprint = [&probe, reg](Items x) {
+    if (reg) reg->counter("online_search_trials_total").inc();
+    return probe.measure_footprint(x);
+  };
+  estimate.items_for_budget = [&probe, reg](GiB budget) {
     // Doubling search followed by bisection on measured footprints.
+    const auto measure = [&probe, reg](Items x) {
+      if (reg) reg->counter("online_search_trials_total").inc();
+      return probe.measure_footprint(x);
+    };
     Items lo = 1.0, hi = 1.0;
-    while (probe.measure_footprint(hi) < budget) {
+    while (measure(hi) < budget) {
       lo = hi;
       hi *= 2.0;
       if (hi >= probe.input_items() * 4.0) return hi;  // saturates under budget
     }
     for (int it = 0; it < 24; ++it) {
       const Items mid = 0.5 * (lo + hi);
-      if (probe.measure_footprint(mid) < budget)
+      if (measure(mid) < budget)
         lo = mid;
       else
         hi = mid;

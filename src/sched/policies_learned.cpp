@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/registry.h"
 
 namespace smoe::sched {
 
@@ -70,6 +71,11 @@ sim::ProfilingCost MoePolicy::profile(sim::AppProbe& probe, sim::MemoryEstimate&
       take_calibration_probes(probe, options_.probe_x1_cap, options_.probe_x2_cap);
   const core::MemoryModel model = predictor.calibrate(sel, probes);
   ++selection_counts_[sel.expert_index];
+  if (obs::Registry* reg = metrics()) {
+    reg->counter("moe_profiles_total").inc();
+    reg->histogram("moe_selector_distance", {0.125, 0.25, 0.5, 1.0, 2.0, 4.0})
+        .observe(sel.distance);
+  }
 
   // Section 4.1: an application too far from every training program gets a
   // conservative treatment — here, padded reservations — instead of blind
@@ -78,6 +84,7 @@ sim::ProfilingCost MoePolicy::profile(sim::AppProbe& probe, sim::MemoryEstimate&
   if (options_.conservative_fallback && !predictor.confident(sel)) {
     inflation += options_.fallback_inflation;
     ++fallback_count_;
+    if (obs::Registry* reg = metrics()) reg->counter("moe_fallback_total").inc();
   }
 
   estimate.footprint = [model, inflation](Items x) {
@@ -176,6 +183,11 @@ sim::ProfilingCost QuasarPolicy::profile(sim::AppProbe& probe, sim::MemoryEstima
     return ml::curve_inverse(fit.kind, fit.params, budget / scale);
   };
   estimate.cpu_load = probe.measure_cpu_load();
+  if (obs::Registry* reg = metrics()) {
+    reg->counter("quasar_profiles_total").inc();
+    reg->histogram("quasar_classify_distance", {0.125, 0.25, 0.5, 1.0, 2.0, 4.0})
+        .observe(best_dist);
+  }
 
   sim::ProfilingCost cost;
   cost.feature_items = kFeatureRunItems;

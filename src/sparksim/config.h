@@ -7,6 +7,10 @@
 
 #include "common/units.h"
 
+namespace smoe::obs {
+class EventSink;
+}
+
 namespace smoe::sim {
 
 struct ClusterConfig {
@@ -71,6 +75,11 @@ struct SimConfig {
   SparkConfig spark;
   /// Master seed for measurement noise in this simulation run.
   std::uint64_t seed = 42;
+  /// Structured-event sink (src/obs) the engine emits into; non-owning,
+  /// null means off. Sinks are passive: any sink (or none) yields the same
+  /// SimResult. Events carry sim-time, so traces are byte-identical across
+  /// identically-seeded runs.
+  obs::EventSink* sink = nullptr;
 };
 
 }  // namespace smoe::sim

@@ -6,6 +6,8 @@
 #include <memory>
 
 #include "common/error.h"
+#include "obs/registry.h"
+#include "obs/sink.h"
 #include "sparksim/contention.h"
 #include "sparksim/monitor.h"
 #include "workloads/suites.h"
@@ -38,6 +40,8 @@ struct ExecState {
   double degrade = 1.0;      ///< spill/thrash factor from heap overshoot.
   double rate = 0;           ///< cached items/s for the current step.
   double planned_cpu = 0;    ///< CPU-load share booked on the node at spawn.
+  Seconds spawned_at = 0;
+  bool predictive = false;
 };
 
 struct AppState {
@@ -74,10 +78,25 @@ class NullIsolatedPolicy final : public SchedulingPolicy {
   ProfilingCost profile(AppProbe&, MemoryEstimate&) override { return {}; }
 };
 
+/// Binds/unbinds a policy's telemetry registry around one run (exception
+/// safe: a throwing run must not leave the policy pointing at a dead
+/// registry).
+struct MetricsBinding {
+  SchedulingPolicy& policy;
+  MetricsBinding(SchedulingPolicy& p, obs::Registry* registry) : policy(p) {
+    policy.bind_metrics(registry);
+  }
+  ~MetricsBinding() { policy.bind_metrics(nullptr); }
+};
+
 struct Sim {
   const SimConfig& cfg;
   const wl::FeatureModel& features;
   SchedulingPolicy& policy;
+  obs::EventSink& sink;
+  /// Cached sink.enabled(): emitters skip building Event objects entirely
+  /// when tracing is off, keeping the no-sink path allocation-free.
+  const bool tracing;
 
   Seconds now = 0;
   std::vector<AppState> apps;
@@ -94,10 +113,31 @@ struct Sim {
   double reserved_gib_seconds = 0;
   double used_gib_seconds = 0;
 
-  Sim(const SimConfig& c, const wl::FeatureModel& f, SchedulingPolicy& p)
+  // Metrics registry + instruments resolved once (the registry is passive:
+  // it is updated identically whether or not any sink is attached).
+  obs::Registry metrics;
+  obs::Counter& m_spawned = metrics.counter("executors_spawned");
+  obs::Counter& m_spills = metrics.counter("executor_spills_total");
+  obs::Counter& m_thrashes = metrics.counter("executor_thrashes_total");
+  obs::Counter& m_oom = metrics.counter("oom_total");
+  obs::Counter& m_reruns = metrics.counter("isolated_reruns_total");
+  obs::Counter& m_reports = metrics.counter("monitor_reports_total");
+  obs::Counter& m_apps_done = metrics.counter("apps_completed");
+  obs::Histogram& h_lifetime = metrics.histogram(
+      "executor_lifetime_seconds", {30, 60, 120, 300, 600, 1200, 3600, 7200});
+  obs::Histogram& h_queue_wait = metrics.histogram(
+      "dispatch_queue_wait_seconds", {1, 10, 30, 60, 300, 900, 3600});
+  obs::Histogram& h_pred_err = metrics.histogram(
+      "prediction_abs_error_gib", {0.25, 0.5, 1, 2, 4, 8, 16, 32});
+  obs::Histogram& h_chunk = metrics.histogram(
+      "executor_chunk_items", {256, 1024, 4096, 16384, 65536, 262144});
+
+  Sim(const SimConfig& c, const wl::FeatureModel& f, SchedulingPolicy& p, obs::EventSink& s)
       : cfg(c),
         features(f),
         policy(p),
+        sink(s),
+        tracing(s.enabled()),
         nodes(c.cluster.n_nodes),
         monitor(c.cluster.n_nodes, c.spark.monitor_window),
         trace(c.cluster.n_nodes),
@@ -106,6 +146,13 @@ struct Sim {
   // ---- setup ---------------------------------------------------------
   void submit(const wl::TaskMix& mix) {
     SMOE_REQUIRE(!mix.empty(), "sim: empty task mix");
+    if (tracing)
+      sink.emit(obs::Event(now, obs::EventType::kRunStart)
+                    .with("policy", policy.name())
+                    .with("n_apps", mix.size())
+                    .with("n_nodes", cfg.cluster.n_nodes)
+                    .with("node_ram_gib", cfg.cluster.node_ram)
+                    .with("seed", static_cast<std::int64_t>(cfg.seed)));
     apps.reserve(mix.size());
     // Profiling runs share the coordinating node's limited slots, FIFO.
     std::vector<Seconds> slot_free(std::max<std::size_t>(1, cfg.spark.profiling_slots), 0.0);
@@ -154,6 +201,22 @@ struct Sim {
         app.res.profile_end = 0;
         app.phase = Phase::kReady;
       }
+      if (tracing) {
+        sink.emit(obs::Event(now, obs::EventType::kAppSubmit)
+                      .with("app", i)
+                      .with("benchmark", inst.benchmark)
+                      .with("input_items", inst.input_items)
+                      .with("dyn_alloc", app.dyn_alloc)
+                      .with("max_pred_executors", app.max_pred_executors));
+        if (duration > 0)
+          sink.emit(obs::Event(now, obs::EventType::kProfilingStart)
+                        .with("app", i)
+                        .with("benchmark", inst.benchmark)
+                        .with("slot_start", app.res.profile_end - duration)
+                        .with("planned_end", app.res.profile_end)
+                        .with("feature_items", cost.feature_items)
+                        .with("calibration_items", cost.calibration_items));
+      }
       apps.push_back(std::move(app));
     }
     queue.resize(apps.size());
@@ -186,13 +249,17 @@ struct Sim {
     return static_cast<int>(execs.size()) - 1;
   }
 
+  /// `predicted` is the policy's predicted footprint for this chunk (GiB),
+  /// or a negative value when the spawn is not prediction-sized; it feeds
+  /// the dispatch event and the prediction_abs_error_gib histogram.
   void spawn(int app_idx, NodeId node_id, Items chunk, GiB reserved, bool predictive,
-             bool isolated_rerun) {
+             bool isolated_rerun, GiB predicted = -1.0) {
     AppState& app = apps[static_cast<std::size_t>(app_idx)];
     NodeState& node = nodes[static_cast<std::size_t>(node_id)];
     SMOE_CHECK(chunk > 0, "spawn: empty chunk");
     SMOE_CHECK(reserved > 0 && node.reserved + reserved <= cfg.cluster.node_ram + kEps,
                "spawn: reservation over-commits node");
+    const GiB free_before = free_mem(node);
 
     const int slot = alloc_exec_slot();
     ExecState& e = execs[static_cast<std::size_t>(slot)];
@@ -203,6 +270,8 @@ struct Sim {
     e.chunk = chunk;
     e.remaining = chunk;
     e.reserved = reserved;
+    e.spawned_at = now;
+    e.predictive = predictive;
 
     const GiB truth = app.spec->footprint(chunk);
     e.resident = std::min(truth, reserved);
@@ -236,7 +305,61 @@ struct Sim {
       if (app.unassigned < kEps) app.unassigned = 0;
     }
     ++app.executors;
-    if (app.res.start < 0) app.res.start = now;
+    if (app.res.start < 0) {
+      h_queue_wait.observe(now - app.res.profile_end);
+      app.res.start = now;
+    }
+
+    m_spawned.inc();
+    h_chunk.observe(chunk);
+    if (predicted >= 0) h_pred_err.observe(std::abs(predicted - truth));
+    if (e.degrade < 1.0) (predictive ? m_thrashes : m_spills).inc();
+    if (isolated_rerun) m_reruns.inc();
+
+    if (tracing) {
+      const ResourceMonitor::NodeView view = monitor.view(node_id);
+      obs::Event decision(now, obs::EventType::kDispatch);
+      decision.with("app", app_idx)
+          .with("benchmark", app.spec->name)
+          .with("node", node_id)
+          .with("chunk_items", chunk)
+          .with("reserved_gib", reserved)
+          .with("predictive", predictive)
+          .with("isolated_rerun", isolated_rerun)
+          .with("free_gib_before", free_before)
+          .with("planned_cpu", e.planned_cpu)
+          .with("monitor_cpu", view.cpu)
+          .with("monitor_mem_gib", view.mem)
+          .with("monitor_reports", view.reports_seen);
+      if (predicted >= 0) decision.with("predicted_gib", predicted);
+      sink.emit(decision);
+      sink.emit(obs::Event(now, obs::EventType::kExecutorSpawn)
+                    .with("exec", slot)
+                    .with("app", app_idx)
+                    .with("benchmark", app.spec->name)
+                    .with("node", node_id)
+                    .with("chunk_items", chunk)
+                    .with("reserved_gib", reserved)
+                    .with("resident_gib", e.resident)
+                    .with("degrade", e.degrade));
+      if (isolated_rerun)
+        sink.emit(obs::Event(now, obs::EventType::kIsolatedRerun)
+                      .with("exec", slot)
+                      .with("app", app_idx)
+                      .with("benchmark", app.spec->name)
+                      .with("node", node_id)
+                      .with("chunk_items", chunk));
+      if (e.degrade < 1.0)
+        sink.emit(obs::Event(now, predictive ? obs::EventType::kExecutorThrash
+                                             : obs::EventType::kExecutorSpill)
+                      .with("exec", slot)
+                      .with("app", app_idx)
+                      .with("benchmark", app.spec->name)
+                      .with("node", node_id)
+                      .with("reserved_gib", reserved)
+                      .with("working_set_gib", truth)
+                      .with("degrade", e.degrade));
+    }
   }
 
   void release(int slot) {
@@ -383,9 +506,10 @@ struct Sim {
         if (!std::isfinite(chunk)) chunk = app.unassigned;
         chunk = std::min({app.unassigned, app.pred_chunk_cap, chunk});
         GiB reserve = 0;
+        GiB predicted = -1.0;
         if (chunk >= cfg.spark.min_chunk) {
-          reserve = std::min(best_free,
-                             app.est.footprint(chunk) * (1.0 + cfg.spark.reservation_headroom));
+          predicted = app.est.footprint(chunk);
+          reserve = std::min(best_free, predicted * (1.0 + cfg.spark.reservation_headroom));
         }
         if (chunk < cfg.spark.min_chunk || reserve <= 0 || !std::isfinite(reserve)) {
           // Not enough memory for a useful chunk (or a degenerate model); on
@@ -401,7 +525,7 @@ struct Sim {
           break;
         }
         spawn(static_cast<int>(a), target, chunk, reserve, /*predictive=*/true,
-              /*isolated_rerun=*/false);
+              /*isolated_rerun=*/false, predicted);
       }
     }
   }
@@ -482,12 +606,20 @@ struct Sim {
       if (std::isfinite(e.fail_after) && e.processed >= e.fail_after - kEps) {
         // OOM: the chunk is lost and must re-run in isolation (Section 2.3).
         AppState& app = apps[static_cast<std::size_t>(e.app)];
-#ifdef SMOE_DEBUG_OOM
-        if (oom_total < 12)
-          fprintf(stderr, "OOM t=%.0f app=%s chunk=%.0f fail_after=%.0f reserved=%.1f iso_q=%zu unassigned=%.0f\n",
-                  now, app.spec->name.c_str(), e.chunk, e.fail_after, e.reserved,
-                  app.rerun_chunks.size(), app.unassigned);
-#endif
+        if (tracing)
+          sink.emit(obs::Event(now, obs::EventType::kExecutorOom)
+                        .with("exec", i)
+                        .with("app", e.app)
+                        .with("benchmark", app.spec->name)
+                        .with("node", e.node)
+                        .with("chunk_items", e.chunk)
+                        .with("processed_items", e.processed)
+                        .with("fail_after_items", e.fail_after)
+                        .with("reserved_gib", e.reserved)
+                        .with("rerun_queue", app.rerun_chunks.size())
+                        .with("lifetime_s", now - e.spawned_at));
+        m_oom.inc();
+        h_lifetime.observe(now - e.spawned_at);
         app.rerun_chunks.push_back(e.chunk);
         app.model_distrusted = true;
         ++app.res.oom_events;
@@ -496,13 +628,32 @@ struct Sim {
         continue;
       }
       if (e.remaining <= kEps * std::max(1.0, e.chunk)) {
+        if (tracing)
+          sink.emit(obs::Event(now, obs::EventType::kExecutorFinish)
+                        .with("exec", i)
+                        .with("app", e.app)
+                        .with("benchmark", apps[static_cast<std::size_t>(e.app)].spec->name)
+                        .with("node", e.node)
+                        .with("chunk_items", e.chunk)
+                        .with("lifetime_s", now - e.spawned_at));
+        h_lifetime.observe(now - e.spawned_at);
         release(static_cast<int>(i));
       }
     }
-    for (auto& app : apps) {
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      AppState& app = apps[a];
       if (app.phase == Phase::kReady && app_done(app) && app.res.finish < 0) {
         app.res.finish = now;
         app.phase = Phase::kDone;
+        m_apps_done.inc();
+        if (tracing)
+          sink.emit(obs::Event(now, obs::EventType::kAppFinish)
+                        .with("app", a)
+                        .with("benchmark", app.spec->name)
+                        .with("turnaround_s", app.res.turnaround())
+                        .with("exec_time_s", app.res.exec_time())
+                        .with("executors_used", app.res.executors_used)
+                        .with("oom_events", app.res.oom_events));
       }
     }
   }
@@ -518,16 +669,37 @@ struct Sim {
     }
     monitor.record(cpu, mem);
     next_report += cfg.spark.monitor_period;
+    m_reports.inc();
+    if (tracing) {
+      std::size_t active = 0;
+      for (const auto& e : execs)
+        if (e.active) ++active;
+      sink.emit(obs::Event(now, obs::EventType::kMonitorReport)
+                    .with("report", monitor.reports_seen())
+                    .with("mean_cpu", monitor.last_mean_cpu())
+                    .with("mean_mem_gib", monitor.last_mean_mem())
+                    .with("active_executors", active));
+    }
   }
 
   SimResult run(const wl::TaskMix& mix) {
+    const MetricsBinding binding(policy, &metrics);
     submit(mix);
     std::size_t guard = 0;
     while (true) {
       // Promote applications whose profiling window has elapsed.
-      for (auto& app : apps)
-        if (app.phase == Phase::kProfiling && app.res.profile_end <= now + kEps)
+      for (std::size_t a = 0; a < apps.size(); ++a) {
+        AppState& app = apps[a];
+        if (app.phase == Phase::kProfiling && app.res.profile_end <= now + kEps) {
           app.phase = Phase::kReady;
+          if (tracing)
+            sink.emit(obs::Event(now, obs::EventType::kProfilingEnd)
+                          .with("app", a)
+                          .with("benchmark", app.spec->name)
+                          .with("feature_time_s", app.res.feature_time)
+                          .with("calibration_time_s", app.res.calibration_time));
+        }
+      }
 
       bool all_done = true;
       for (const auto& app : apps)
@@ -560,6 +732,21 @@ struct Sim {
       result.makespan = std::max(result.makespan, app.res.finish);
       result.apps.push_back(app.res);
     }
+
+    metrics.gauge("makespan_seconds").set(result.makespan);
+    metrics.gauge("peak_node_occupancy").set(static_cast<double>(peak_node_occupancy));
+    metrics.gauge("reserved_gib_hours").set(result.reserved_gib_hours);
+    metrics.gauge("used_gib_hours").set(result.used_gib_hours);
+    result.metrics = metrics.snapshot();
+    if (tracing)
+      sink.emit(obs::Event(now, obs::EventType::kRunEnd)
+                    .with("makespan_s", result.makespan)
+                    .with("executors_spawned", executors_spawned)
+                    .with("executors_degraded", executors_degraded)
+                    .with("oom_total", oom_total)
+                    .with("peak_node_occupancy", peak_node_occupancy)
+                    .with("reserved_gib_hours", result.reserved_gib_hours)
+                    .with("used_gib_hours", result.used_gib_hours));
     return result;
   }
 };
@@ -572,13 +759,20 @@ ClusterSim::ClusterSim(SimConfig config, const wl::FeatureModel& features)
 }
 
 SimResult ClusterSim::run(const wl::TaskMix& mix, SchedulingPolicy& policy) {
-  Sim sim(cfg_, features_, policy);
+  return run(mix, policy, cfg_.sink);
+}
+
+SimResult ClusterSim::run(const wl::TaskMix& mix, SchedulingPolicy& policy,
+                          obs::EventSink* sink) {
+  Sim sim(cfg_, features_, policy, sink != nullptr ? *sink : obs::null_sink());
   return sim.run(mix);
 }
 
 Seconds ClusterSim::isolated_exec_time(const wl::AppInstance& app) {
   NullIsolatedPolicy policy;
-  const SimResult result = run({app}, policy);
+  // An internal measurement run, not part of the user's schedule — never
+  // traced, whatever SimConfig::sink says.
+  const SimResult result = run({app}, policy, nullptr);
   return result.apps.front().exec_time();
 }
 

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "obs/registry.h"
 #include "sparksim/config.h"
 #include "sparksim/policy.h"
 #include "sparksim/trace.h"
@@ -51,6 +52,10 @@ struct SimResult {
   std::size_t peak_node_occupancy = 0; ///< max executors co-located on one node
   GiB reserved_gib_hours = 0;          ///< integral of reservations over time
   GiB used_gib_hours = 0;              ///< integral of resident memory over time
+  /// End-of-run snapshot of the engine's metrics registry (executor
+  /// lifetimes, queue waits, prediction errors, ...). Always populated,
+  /// independent of whether an event sink was attached.
+  obs::MetricsSnapshot metrics;
 };
 
 class ClusterSim {
@@ -58,8 +63,14 @@ class ClusterSim {
   ClusterSim(SimConfig config, const wl::FeatureModel& features);
 
   /// Simulate the mix under the policy. Policies are stateless across apps,
-  /// so one policy instance can be reused across runs.
+  /// so one policy instance can be reused across runs. Structured events go
+  /// to SimConfig::sink (none when null).
   SimResult run(const wl::TaskMix& mix, SchedulingPolicy& policy);
+
+  /// Same, but with an explicit sink overriding SimConfig::sink for this run
+  /// — pass nullptr to silence internal/baseline measurement runs without
+  /// touching the config.
+  SimResult run(const wl::TaskMix& mix, SchedulingPolicy& policy, obs::EventSink* sink);
 
   /// Execution time of one application run alone on the idle cluster with
   /// exclusive memory — the C^is_i term of the STP/ANTT metrics (Section 5.3).

@@ -42,4 +42,24 @@ GiB ResourceMonitor::reported_mem(NodeId node) const {
   return s / static_cast<double>(filled);
 }
 
+namespace {
+
+double mean_of(const std::vector<double>& v) {
+  double s = 0;
+  for (const double x : v) s += x;
+  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+}
+
+}  // namespace
+
+double ResourceMonitor::last_mean_cpu() const {
+  if (reports_ == 0) return 0.0;
+  return mean_of(cpu_ring_[(reports_ - 1) % window_]);
+}
+
+GiB ResourceMonitor::last_mean_mem() const {
+  if (reports_ == 0) return 0.0;
+  return mean_of(mem_ring_[(reports_ - 1) % window_]);
+}
+
 }  // namespace smoe::sim

@@ -25,7 +25,23 @@ class ResourceMonitor {
   /// Windowed average memory usage of a node; 0 before the first report.
   GiB reported_mem(NodeId node) const;
 
+  /// The dispatcher-visible (stale, smoothed) view of one node, bundled so
+  /// observability events can record exactly what a decision was based on.
+  struct NodeView {
+    double cpu = 0;                ///< windowed average CPU utilization (0..1)
+    GiB mem = 0;                   ///< windowed average memory in use
+    std::size_t reports_seen = 0;  ///< reports ingested cluster-wide so far
+  };
+  NodeView view(NodeId node) const {
+    return {reported_cpu(node), reported_mem(node), reports_};
+  }
+
   std::size_t reports_seen() const { return reports_; }
+
+  /// Cluster-wide means of the *latest* report (not the window) — what a
+  /// monitoring dashboard would chart per tick; 0 before the first report.
+  double last_mean_cpu() const;
+  GiB last_mean_mem() const;
 
  private:
   std::size_t window_;

@@ -11,6 +11,10 @@
 #include "common/units.h"
 #include "sparksim/app_probe.h"
 
+namespace smoe::obs {
+class Registry;
+}
+
 namespace smoe::sim {
 
 /// How the dispatcher places executors for this policy.
@@ -59,6 +63,17 @@ class SchedulingPolicy {
   /// and return the profiling cost. Called once per application at submit
   /// time; `probe` outlives the returned estimate.
   virtual ProfilingCost profile(AppProbe& probe, MemoryEstimate& estimate) = 0;
+
+  /// Observability: the engine binds its metrics registry for the duration
+  /// of a run (and unbinds it afterwards); profile() implementations may
+  /// record policy-level telemetry through metrics() when it is non-null.
+  void bind_metrics(obs::Registry* registry) { metrics_ = registry; }
+
+ protected:
+  obs::Registry* metrics() const { return metrics_; }
+
+ private:
+  obs::Registry* metrics_ = nullptr;
 };
 
 }  // namespace smoe::sim
