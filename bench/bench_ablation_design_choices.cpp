@@ -11,6 +11,7 @@
 #include <functional>
 #include <iostream>
 
+#include "common/bench_cli.h"
 #include "common/table.h"
 #include "sched/experiment.h"
 #include "sched/policies_learned.h"
@@ -20,11 +21,13 @@ using namespace smoe;
 namespace {
 
 constexpr std::uint64_t kSeed = 2017;
-constexpr std::size_t kMixes = 5;
+std::size_t g_mixes = 5;
+std::size_t g_threads = 0;
 
 sched::SchemeScenarioResult evaluate(const wl::FeatureModel& features, sim::SimConfig cfg,
                                      sim::SchedulingPolicy& policy) {
-  sched::ExperimentRunner runner(cfg, features, kMixes, Rng::derive(kSeed, "ablation"));
+  sched::ExperimentRunner runner(cfg, features, g_mixes, Rng::derive(kSeed, "ablation"),
+                                 g_threads);
   return runner.run_scenario(wl::scenario_by_label("L8"), {&policy}).front();
 }
 
@@ -37,9 +40,12 @@ void emit(TextTable& table, const std::string& setting,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_bench_options(argc, argv, 5);
+  g_mixes = opt.n_mixes;
+  g_threads = opt.threads;
   const wl::FeatureModel features(kSeed);
-  std::cout << "Ablations on scenario L8 (" << kMixes << " mixes, seed " << kSeed
+  std::cout << "Ablations on scenario L8 (" << g_mixes << " mixes, seed " << kSeed
             << "); our policy unless noted\n";
 
   {

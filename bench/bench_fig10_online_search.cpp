@@ -4,6 +4,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common/bench_cli.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "sched/experiment.h"
@@ -14,12 +15,13 @@ using namespace smoe;
 
 int main(int argc, char** argv) {
   constexpr std::uint64_t kSeed = 2017;
-  const std::size_t n_mixes = argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 100;
+  const BenchOptions opt = parse_bench_options(argc, argv, 100);
+  const std::size_t n_mixes = opt.n_mixes;
 
   const wl::FeatureModel features(kSeed);
   sim::SimConfig cfg;
   cfg.seed = kSeed;
-  sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig10"));
+  sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig10"), opt.threads);
 
   sched::OnlineSearchPolicy online;
   sched::MoePolicy ours(features, kSeed);
@@ -30,7 +32,7 @@ int main(int argc, char** argv) {
   std::vector<double> s_online, s_ours, a_online, a_ours;
 
   std::cout << "Figure 10: online search vs ours (seed " << kSeed << ", " << n_mixes
-            << " mixes per scenario)\n";
+            << " mixes per scenario, " << runner.threads() << " threads)\n";
   for (const auto& scenario : wl::scenarios()) {
     const auto results = runner.run_scenario(scenario, policies);
     stp.add_row({scenario.label, TextTable::num(results[0].stp_geomean, 2) + "x",

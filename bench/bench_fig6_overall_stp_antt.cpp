@@ -9,6 +9,7 @@
 
 #include <fstream>
 
+#include "common/bench_cli.h"
 #include "common/csv.h"
 #include "common/stats.h"
 #include "common/table.h"
@@ -25,13 +26,14 @@ int main(int argc, char** argv) {
   obs::TraceCli trace_cli(argc, argv);
   constexpr std::uint64_t kSeed = 2017;
   // The paper replays ~100 mixes per scenario; same default here.
-  const std::size_t n_mixes = argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 100;
+  const BenchOptions opt = parse_bench_options(argc, argv, 100);
+  const std::size_t n_mixes = opt.n_mixes;
 
   const wl::FeatureModel features(kSeed);
   sim::SimConfig cfg;
   cfg.seed = kSeed;
   cfg.sink = &trace_cli.sink();
-  sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig6"));
+  sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig6"), opt.threads);
 
   sched::PairwisePolicy pairwise;
   sched::QuasarPolicy quasar(features, kSeed);
@@ -45,7 +47,7 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> antt_by_policy(policies.size());
 
   std::cout << "Figure 6: normalized STP / ANTT reduction (seed " << kSeed << ", " << n_mixes
-            << " mixes per scenario)\n";
+            << " mixes per scenario, " << runner.threads() << " threads)\n";
   std::ofstream csv_file("fig6_results.csv");
   CsvWriter csv(csv_file, {"scenario", "scheme", "stp_geomean", "stp_min", "stp_max",
                            "antt_reduction_mean"});

@@ -4,6 +4,7 @@
 #include <iostream>
 #include <vector>
 
+#include "common/bench_cli.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "sched/experiment.h"
@@ -13,12 +14,13 @@ using namespace smoe;
 
 int main(int argc, char** argv) {
   constexpr std::uint64_t kSeed = 2017;
-  const std::size_t n_mixes = argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 100;
+  const BenchOptions opt = parse_bench_options(argc, argv, 100);
+  const std::size_t n_mixes = opt.n_mixes;
 
   const wl::FeatureModel features(kSeed);
   sim::SimConfig cfg;
   cfg.seed = kSeed;
-  sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig9"));
+  sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig9"), opt.threads);
 
   sched::UnifiedCurvePolicy linear(ml::CurveKind::kPowerLaw, features, kSeed);
   sched::UnifiedCurvePolicy exponential(ml::CurveKind::kExponential, features, kSeed);
@@ -33,7 +35,7 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> stps(policies.size()), antts(policies.size());
 
   std::cout << "Figure 9: unified single-model predictors vs the mixture of experts\n"
-            << "(seed " << kSeed << ", " << n_mixes << " mixes per scenario)\n";
+            << "(seed " << kSeed << ", " << n_mixes << " mixes per scenario, " << runner.threads() << " threads)\n";
   for (const auto& scenario : wl::scenarios()) {
     const auto results = runner.run_scenario(scenario, policies);
     std::vector<std::string> srow = {scenario.label}, arow = {scenario.label};

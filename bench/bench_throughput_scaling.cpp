@@ -1,0 +1,140 @@
+// Throughput scaling of the parallel experiment runner: simulations per
+// second for a Figure-6-style policy panel at 1/2/4/N worker threads, plus a
+// byte-identity check that the parallel results match the sequential run.
+// Emits BENCH_throughput.json next to the text report.
+//
+//   ./build/bench/bench_throughput_scaling [n_mixes] [--threads N]
+//
+// `--threads N` adds N to the sweep (useful to probe a specific count); the
+// sweep always contains 1, 2, 4 and the hardware thread count.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common/bench_cli.h"
+#include "common/table.h"
+#include "sched/experiment.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+
+using namespace smoe;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2017;
+
+bool same_results(const std::vector<sched::SchemeScenarioResult>& a,
+                  const std::vector<sched::SchemeScenarioResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a[i];
+    const auto& y = b[i];
+    if (x.scheme != y.scheme || x.scenario != y.scenario) return false;
+    // Exact double equality on purpose: any thread count must reproduce the
+    // sequential run bit for bit, not merely approximately.
+    if (x.stp_geomean != y.stp_geomean || x.stp_min != y.stp_min || x.stp_max != y.stp_max)
+      return false;
+    if (x.antt_red_mean != y.antt_red_mean || x.antt_red_min != y.antt_red_min ||
+        x.antt_red_max != y.antt_red_max)
+      return false;
+    if (x.mean_makespan != y.mean_makespan || x.oom_total != y.oom_total) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_bench_options(argc, argv, 10);
+  const std::size_t n_mixes = opt.n_mixes;
+
+  std::vector<std::size_t> sweep = {1, 2, 4};
+  const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  sweep.push_back(hw);
+  if (opt.threads > 0) sweep.push_back(opt.threads);
+  std::sort(sweep.begin(), sweep.end());
+  sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+
+  const wl::FeatureModel features(kSeed);
+  const wl::Scenario& scenario = wl::scenario_by_label("L8");
+
+  std::cout << "Throughput scaling on scenario " << scenario.label << " (" << n_mixes
+            << " mixes, seed " << kSeed << ", " << hw << " hardware threads)\n";
+
+  // One simulation per (policy, mix) cell plus one baseline run per mix, the
+  // same panel Figure 6 sweeps. Isolated-time warmup runs are excluded from
+  // the timed region (and from sims/sec) by doing a throwaway warmup pass.
+  struct Point {
+    std::size_t threads = 0;
+    double seconds = 0;
+    double sims_per_sec = 0;
+    double speedup = 1.0;
+    bool identical = true;
+  };
+  std::vector<Point> points;
+  std::vector<sched::SchemeScenarioResult> reference;
+
+  for (const std::size_t n_threads : sweep) {
+    sim::SimConfig cfg;
+    cfg.seed = kSeed;
+    sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "throughput"),
+                                   n_threads);
+    sched::PairwisePolicy pairwise;
+    sched::QuasarPolicy quasar(features, kSeed);
+    sched::MoePolicy ours(features, kSeed);
+    sched::OraclePolicy oracle;
+    const std::vector<sim::SchedulingPolicy*> policies = {&pairwise, &quasar, &ours, &oracle};
+
+    // Warmup: trains the learned policies' models and fills the
+    // isolated-time cache, so the timed pass measures simulation throughput,
+    // not one-off training cost.
+    (void)runner.run_scenario(scenario, policies);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = runner.run_scenario(scenario, policies);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Point pt;
+    pt.threads = runner.threads();
+    pt.seconds = std::chrono::duration<double>(t1 - t0).count();
+    const double sims = static_cast<double>(policies.size() * n_mixes + n_mixes);
+    pt.sims_per_sec = sims / pt.seconds;
+    if (reference.empty()) {
+      reference = results;
+    } else {
+      pt.identical = same_results(reference, results);
+      pt.speedup = pt.sims_per_sec / points.front().sims_per_sec;
+    }
+    points.push_back(pt);
+    if (!pt.identical) {
+      std::cerr << "FAIL: results at " << pt.threads
+                << " threads differ from the sequential run\n";
+      return 1;
+    }
+  }
+
+  TextTable table({"threads", "seconds", "sims/sec", "speedup", "identical"});
+  for (const auto& pt : points)
+    table.add_row({std::to_string(pt.threads), TextTable::num(pt.seconds, 3),
+                   TextTable::num(pt.sims_per_sec, 1), TextTable::num(pt.speedup, 2) + "x",
+                   pt.identical ? "yes" : "NO"});
+  table.render(std::cout);
+
+  std::ofstream json("BENCH_throughput.json");
+  json << "{\n  \"scenario\": \"" << scenario.label << "\",\n  \"n_mixes\": " << n_mixes
+       << ",\n  \"seed\": " << kSeed << ",\n  \"hardware_threads\": " << hw
+       << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& pt = points[i];
+    json << "    {\"threads\": " << pt.threads << ", \"seconds\": " << pt.seconds
+         << ", \"sims_per_sec\": " << pt.sims_per_sec << ", \"speedup\": " << pt.speedup
+         << ", \"identical\": " << (pt.identical ? "true" : "false") << "}"
+         << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote BENCH_throughput.json\n";
+  return 0;
+}

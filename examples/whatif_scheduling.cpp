@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/bench_cli.h"
 #include "common/table.h"
 #include "obs/cli.h"
 #include "sched/experiment.h"
@@ -19,8 +20,26 @@ using namespace smoe;
 int main(int argc, char** argv) {
   obs::TraceCli trace_cli(argc, argv);
   const std::string label = argc > 1 ? argv[1] : "L5";
-  const std::size_t n_mixes = argc > 2 ? std::stoul(argv[2]) : 5;
-  const std::uint64_t seed = argc > 3 ? std::stoull(argv[3]) : 7;
+  std::size_t n_mixes = 5;
+  std::uint64_t seed = 7;
+  if (argc > 2) {
+    const auto parsed = parse_size(argv[2]);
+    if (!parsed || *parsed == 0) {
+      std::cerr << "whatif_scheduling: n_mixes must be a positive integer, got '" << argv[2]
+                << "'\nusage: whatif_scheduling [scenario] [n_mixes] [seed]\n";
+      return 2;
+    }
+    n_mixes = *parsed;
+  }
+  if (argc > 3) {
+    const auto parsed = parse_size(argv[3]);
+    if (!parsed) {
+      std::cerr << "whatif_scheduling: seed must be a non-negative integer, got '" << argv[3]
+                << "'\nusage: whatif_scheduling [scenario] [n_mixes] [seed]\n";
+      return 2;
+    }
+    seed = *parsed;
+  }
 
   const wl::Scenario& scenario = wl::scenario_by_label(label);
   std::cout << "scenario " << scenario.label << ": " << scenario.n_apps

@@ -5,6 +5,9 @@
 #   scripts/check.sh --asan   # additionally build an ASan/UBSan tree
 #                             # (-DSMOE_SANITIZE=ON) and run the obs tests
 #                             # under it (fast; extend TESTS_ASAN as needed)
+#   scripts/check.sh --tsan   # additionally build a ThreadSanitizer tree
+#                             # (-DSMOE_SANITIZE=thread) and run the
+#                             # concurrency tests under it (TESTS_TSAN)
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -12,7 +15,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
-TESTS_ASAN="${TESTS_ASAN:-test_obs|test_sparksim|test_engine}"
+# ctest regexes over gtest *suite* names (gtest_discover_tests registers
+# Suite.Case, not binary names).
+TESTS_ASAN="${TESTS_ASAN:-^Obs|^Trace|^Sink|^Registry|^Engine|^Sim|^Sparksim|^Contention}"
+TESTS_TSAN="${TESTS_TSAN:-^ThreadPool|^ParallelRunner|^Replication}"
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -28,6 +34,15 @@ if [[ "${1:-}" == "--asan" ]]; then
   cmake --build build-asan -j"${JOBS}"
   echo "== sanitizers: ctest (${TESTS_ASAN}) =="
   ctest --test-dir build-asan --output-on-failure -j"${JOBS}" -R "${TESTS_ASAN}"
+fi
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  echo "== sanitizers: TSan build (-DSMOE_SANITIZE=thread) =="
+  cmake -B build-tsan -S . -DSMOE_SANITIZE=thread \
+    -DSPARKMOE_BUILD_BENCH=OFF -DSPARKMOE_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan -j"${JOBS}"
+  echo "== sanitizers: ctest (${TESTS_TSAN}) =="
+  ctest --test-dir build-tsan --output-on-failure -j"${JOBS}" -R "${TESTS_TSAN}"
 fi
 
 echo "OK"

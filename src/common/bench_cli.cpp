@@ -1,0 +1,72 @@
+#include "common/bench_cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace smoe {
+
+std::optional<std::size_t> parse_size(std::string_view text) {
+  if (text.empty() || text.size() > 18) return std::nullopt;
+  std::size_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return value;
+}
+
+namespace {
+
+[[noreturn]] void usage(const char* prog, std::size_t default_mixes, int status) {
+  std::fprintf(stderr,
+               "usage: %s [n_mixes] [--threads N]\n"
+               "  n_mixes      mixes per scenario (positive integer, default %zu)\n"
+               "  --threads N  worker threads for the experiment runner\n"
+               "               (default: SMOE_THREADS env, else all hardware threads)\n",
+               prog, default_mixes);
+  std::exit(status);
+}
+
+}  // namespace
+
+BenchOptions parse_bench_options(int argc, char** argv, std::size_t default_mixes) {
+  BenchOptions opt;
+  opt.n_mixes = default_mixes;
+  const char* prog = argc > 0 ? argv[0] : "bench";
+  bool saw_mixes = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage(prog, default_mixes, 0);
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --threads needs a value\n", prog);
+        usage(prog, default_mixes, 2);
+      }
+      const auto threads = parse_size(argv[++i]);
+      if (!threads || *threads == 0) {
+        std::fprintf(stderr, "%s: bad --threads value '%s' (want a positive integer)\n",
+                     prog, argv[i]);
+        usage(prog, default_mixes, 2);
+      }
+      opt.threads = *threads;
+      continue;
+    }
+    if (!saw_mixes) {
+      const auto mixes = parse_size(arg);
+      if (!mixes || *mixes == 0) {
+        std::fprintf(stderr, "%s: bad mix count '%s' (want a positive integer)\n", prog,
+                     argv[i]);
+        usage(prog, default_mixes, 2);
+      }
+      opt.n_mixes = *mixes;
+      saw_mixes = true;
+      continue;
+    }
+    std::fprintf(stderr, "%s: unexpected argument '%s'\n", prog, argv[i]);
+    usage(prog, default_mixes, 2);
+  }
+  return opt;
+}
+
+}  // namespace smoe

@@ -1,0 +1,28 @@
+// Checked command-line parsing shared by the figure benches, replacing the
+// raw std::stoul(argv[1]) calls that died with an uncaught
+// std::invalid_argument on junk input.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string_view>
+
+namespace smoe {
+
+/// Strict base-10 parse of a non-negative integer: the *whole* string must be
+/// digits (no signs, spaces, or trailing junk). nullopt on anything else.
+std::optional<std::size_t> parse_size(std::string_view text);
+
+/// Options shared by the experiment benches: an optional positional mix count
+/// and `--threads N` for the parallel experiment runner.
+struct BenchOptions {
+  std::size_t n_mixes = 0;
+  std::size_t threads = 0;  ///< 0 = auto (SMOE_THREADS env, else hardware).
+};
+
+/// Parse `[n_mixes] [--threads N]` from argv (argv[0] is the program name).
+/// Prints usage and calls std::exit: status 0 for --help, 2 for junk input —
+/// callers never see a malformed option. Run after any TraceCli stripping.
+BenchOptions parse_bench_options(int argc, char** argv, std::size_t default_mixes);
+
+}  // namespace smoe

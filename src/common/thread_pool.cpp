@@ -1,0 +1,135 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common/error.h"
+
+namespace smoe {
+
+namespace {
+
+/// Parse a positive integer; 0 on junk (so junk falls back to hardware).
+std::size_t parse_env_threads(const char* s) {
+  if (s == nullptr || *s == '\0') return 0;
+  std::size_t value = 0;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return 0;
+    value = value * 10 + static_cast<std::size_t>(*p - '0');
+    if (value > 4096) return 4096;  // sanity cap
+  }
+  return value;
+}
+
+}  // namespace
+
+std::size_t ThreadPool::default_threads() {
+  if (const std::size_t env = parse_env_threads(std::getenv("SMOE_THREADS")); env > 0)
+    return env;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) n_threads = default_threads();
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SMOE_CHECK(!stop_, "thread pool: submit after shutdown");
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::run_one_pending() {
+  std::function<void()> job;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    job = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  job();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::parallel_for_each(std::size_t n,
+                                   const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex error_mutex;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto shared = std::make_shared<Shared>();
+
+  // Every participant (helpers and the caller) claims indices until none are
+  // left. Helpers that start after the range is exhausted exit immediately
+  // without touching `fn`, which only outlives this call frame while at least
+  // one claimed index is unfinished (and the caller waits for those below).
+  const auto drain = [shared, &fn, n] {
+    while (true) {
+      const std::size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(shared->error_mutex);
+        if (i < shared->error_index) {
+          shared->error_index = i;
+          shared->error = std::current_exception();
+        }
+      }
+      if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+        { const std::lock_guard<std::mutex> lock(shared->done_mutex); }
+        shared->done_cv.notify_all();
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(size(), n);
+  for (std::size_t h = 0; h < helpers; ++h) enqueue(drain);
+  drain();  // the caller works too — progress is guaranteed even when nested
+
+  {
+    std::unique_lock<std::mutex> lock(shared->done_mutex);
+    shared->done_cv.wait(lock, [&] { return shared->done.load() == n; });
+  }
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace smoe

@@ -1,0 +1,86 @@
+// A fixed-size worker pool for fan-out over independent, deterministic jobs
+// (the experiment runner dispatches one simulation per job).
+//
+// Design notes:
+//   * `parallel_for_each` is the deadlock-free primitive: the calling thread
+//     participates in executing indices, so it makes progress even when every
+//     worker is busy (including when called from inside a pool task).
+//   * `submit` returns a future. Waiting on a future from inside a pool task
+//     can starve a saturated pool; use `wait(...)`, which runs pending jobs
+//     while waiting, to make nested submit-and-wait safe at any pool size.
+//   * The worker count is fixed at construction: `SMOE_THREADS` (environment)
+//     overrides, else std::thread::hardware_concurrency(). Pass an explicit
+//     count to ignore both.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace smoe {
+
+class ThreadPool {
+ public:
+  /// `n_threads == 0` means default_threads(). The pool always has >= 1
+  /// worker; a size-1 pool still runs parallel_for_each correctly (the caller
+  /// executes everything inline).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// `SMOE_THREADS` when set to a positive integer, else
+  /// hardware_concurrency(), else 1.
+  static std::size_t default_threads();
+
+  /// Run `fn(i)` for every i in [0, n). Blocks until all indices finished.
+  /// The calling thread executes jobs too. If any invocation throws, the
+  /// exception thrown by the *lowest* failing index is rethrown here (every
+  /// index is still attempted), so error reporting is deterministic.
+  void parallel_for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Schedule one job; the returned future carries its result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Wait for a future while helping the pool drain its queue — safe to call
+  /// from inside a pool task even when every worker is blocked in wait().
+  template <typename T>
+  T wait(std::future<T> future) {
+    while (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+      if (!run_one_pending()) future.wait_for(std::chrono::microseconds(100));
+    }
+    return future.get();
+  }
+
+ private:
+  void enqueue(std::function<void()> job);
+  /// Pop and run one queued job on the calling thread; false when idle.
+  bool run_one_pending();
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace smoe

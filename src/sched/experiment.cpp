@@ -1,16 +1,25 @@
 #include "sched/experiment.h"
 
+#include <memory>
+
 #include "common/error.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/sink.h"
 
 namespace smoe::sched {
 
 ExperimentRunner::ExperimentRunner(sim::SimConfig config, const wl::FeatureModel& features,
-                                   std::size_t n_mixes, std::uint64_t mix_seed)
+                                   std::size_t n_mixes, std::uint64_t mix_seed,
+                                   std::size_t n_threads)
     : features_(features), sim_(config, features), iso_(sim_), n_mixes_(n_mixes),
-      mix_seed_(mix_seed) {
+      mix_seed_(mix_seed), pool_(n_threads) {
   SMOE_REQUIRE(n_mixes >= 1, "need >= 1 mix");
+}
+
+bool ExperimentRunner::tracing() const {
+  const obs::EventSink* sink = sim_.config().sink;
+  return sink != nullptr && sink->enabled();
 }
 
 ReplicatedMetrics ExperimentRunner::run_mix_replicated(const wl::TaskMix& mix,
@@ -20,25 +29,48 @@ ReplicatedMetrics ExperimentRunner::run_mix_replicated(const wl::TaskMix& mix,
   SMOE_REQUIRE(max_replays >= 2, "replication needs >= 2 replays");
   SMOE_REQUIRE(target_rel_ci > 0.0, "replication: bad CI target");
 
+  iso_.warm({mix}, pool_);
   const MixMetrics baseline =
       compute_metrics(sim_.run(mix, baseline_policy_, nullptr), iso_);
-  std::vector<double> stps, antt_reds;
-  ReplicatedMetrics out;
-  for (std::size_t r = 0; r < max_replays; ++r) {
+
+  // All replay simulations up-front, in pool-sized waves. Each replay owns a
+  // ClusterSim and (when fanned out) a policy clone; replay r always uses the
+  // seed derived from r, so the sequence of results is the same at any wave
+  // size. A non-cloneable policy (or an attached trace sink) degrades to
+  // wave size 1 == the plain sequential loop.
+  const std::size_t wave =
+      tracing() ? 1 : std::min(std::max<std::size_t>(pool_.size(), 1), max_replays);
+  std::vector<NormalizedMetrics> replay(max_replays);
+  auto run_replay = [&](std::size_t r, sim::SchedulingPolicy& p) {
     sim::SimConfig cfg = sim_.config();
     cfg.seed = Rng::derive(cfg.seed, "replay:" + std::to_string(r));
     sim::ClusterSim replay_sim(cfg, features_);
-    const NormalizedMetrics norm =
-        normalize(compute_metrics(replay_sim.run(mix, policy), iso_), baseline);
-    stps.push_back(norm.norm_stp);
-    antt_reds.push_back(norm.antt_reduction);
-    out.replays = r + 1;
-    if (stps.size() >= 2) {
-      out.stp_mean = mean(stps);
-      out.stp_ci_half = ci_half_width(stps);
-      if (2.0 * out.stp_ci_half < target_rel_ci * out.stp_mean) {
-        out.converged = true;
-        break;
+    replay[r] = normalize(compute_metrics(replay_sim.run(mix, p), iso_), baseline);
+  };
+
+  std::vector<double> stps, antt_reds;
+  ReplicatedMetrics out;
+  for (std::size_t start = 0; start < max_replays && !out.converged; start += wave) {
+    const std::size_t count = std::min(wave, max_replays - start);
+    if (count > 1 && policy.clone() != nullptr) {
+      pool_.parallel_for_each(count, [&](std::size_t i) {
+        const auto local = policy.clone();
+        run_replay(start + i, *local);
+      });
+    } else {
+      for (std::size_t i = 0; i < count; ++i) run_replay(start + i, policy);
+    }
+    // The Section 5.2 early stop, evaluated strictly in replay order; surplus
+    // replays computed by the wave are discarded, matching a sequential run.
+    for (std::size_t i = 0; i < count && !out.converged; ++i) {
+      const std::size_t r = start + i;
+      stps.push_back(replay[r].norm_stp);
+      antt_reds.push_back(replay[r].antt_reduction);
+      out.replays = r + 1;
+      if (stps.size() >= 2) {
+        out.stp_mean = mean(stps);
+        out.stp_ci_half = ci_half_width(stps);
+        if (2.0 * out.stp_ci_half < target_rel_ci * out.stp_mean) out.converged = true;
       }
     }
   }
@@ -61,29 +93,90 @@ ExperimentRunner::SingleMix ExperimentRunner::run_mix(const wl::TaskMix& mix,
 std::vector<SchemeScenarioResult> ExperimentRunner::run_scenario(
     const wl::Scenario& scenario, const std::vector<sim::SchedulingPolicy*>& policies) {
   SMOE_REQUIRE(!policies.empty(), "no policies");
+  for (sim::SchedulingPolicy* policy : policies) SMOE_REQUIRE(policy != nullptr, "null policy");
   const std::vector<wl::TaskMix> mixes = wl::scenario_mixes(scenario, n_mixes_, mix_seed_);
 
-  // Baseline metrics once per mix, shared by every scheme.
-  std::vector<MixMetrics> baselines;
-  baselines.reserve(mixes.size());
-  for (const auto& mix : mixes)
-    baselines.push_back(compute_metrics(sim_.run(mix, baseline_policy_, nullptr), iso_));
+  // Pre-warm the isolated-time cache so the fan-out below only reads it.
+  iso_.warm(mixes, pool_);
 
+  // With a live trace sink everything stays on this thread: events from
+  // concurrent runs would interleave in the sink. Results are identical
+  // either way; only the wall clock differs.
+  const bool parallel = pool_.size() > 1 && !tracing();
+
+  // Baseline metrics once per mix, shared by every scheme. Each job uses a
+  // local baseline policy instance so metrics bindings never cross threads.
+  std::vector<MixMetrics> baselines(mixes.size());
+  auto run_baseline = [&](std::size_t m, sim::SchedulingPolicy& p) {
+    baselines[m] = compute_metrics(sim_.run(mixes[m], p, nullptr), iso_);
+  };
+  if (parallel) {
+    pool_.parallel_for_each(mixes.size(), [&](std::size_t m) {
+      IsolatedPolicy baseline;
+      run_baseline(m, baseline);
+    });
+  } else {
+    for (std::size_t m = 0; m < mixes.size(); ++m) run_baseline(m, baseline_policy_);
+  }
+
+  // One cell per (policy, mix), written into pre-sized slots so the
+  // aggregation below consumes them in the exact sequential order no matter
+  // which worker finished first.
+  struct Cell {
+    NormalizedMetrics norm;
+    double makespan = 0;
+    std::size_t oom = 0;
+  };
+  std::vector<Cell> cells(policies.size() * mixes.size());
+  auto run_cell = [&](std::size_t p, std::size_t m, sim::SchedulingPolicy& policy) {
+    const sim::SimResult result = sim_.run(mixes[m], policy);
+    Cell& cell = cells[p * mixes.size() + m];
+    cell.norm = normalize(compute_metrics(result, iso_), baselines[m]);
+    cell.makespan = result.makespan;
+    cell.oom = result.oom_total;
+  };
+
+  if (parallel) {
+    // Cloneable policies fan every cell out; the rest run here. Learned
+    // policies build their training caches on first use — profile() already
+    // serializes cache misses internally, so cold-start jobs are safe.
+    std::vector<std::size_t> sequential_policies;
+    std::vector<std::pair<std::size_t, std::size_t>> jobs;
+    jobs.reserve(policies.size() * mixes.size());
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      if (policies[p]->clone() == nullptr) {
+        sequential_policies.push_back(p);
+        continue;
+      }
+      for (std::size_t m = 0; m < mixes.size(); ++m) jobs.emplace_back(p, m);
+    }
+    pool_.parallel_for_each(jobs.size(), [&](std::size_t j) {
+      const auto [p, m] = jobs[j];
+      const std::unique_ptr<sim::SchedulingPolicy> local = policies[p]->clone();
+      run_cell(p, m, *local);
+    });
+    for (const std::size_t p : sequential_policies)
+      for (std::size_t m = 0; m < mixes.size(); ++m) run_cell(p, m, *policies[p]);
+  } else {
+    for (std::size_t p = 0; p < policies.size(); ++p)
+      for (std::size_t m = 0; m < mixes.size(); ++m) run_cell(p, m, *policies[p]);
+  }
+
+  // Aggregation in sequential order — byte-identical at any thread count.
   std::vector<SchemeScenarioResult> out;
-  for (sim::SchedulingPolicy* policy : policies) {
-    SMOE_REQUIRE(policy != nullptr, "null policy");
+  out.reserve(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
     std::vector<double> stps, antt_reds, makespans;
     std::size_t oom = 0;
     for (std::size_t m = 0; m < mixes.size(); ++m) {
-      const sim::SimResult result = sim_.run(mixes[m], *policy);
-      const NormalizedMetrics norm = normalize(compute_metrics(result, iso_), baselines[m]);
-      stps.push_back(norm.norm_stp);
-      antt_reds.push_back(norm.antt_reduction);
-      makespans.push_back(result.makespan);
-      oom += result.oom_total;
+      const Cell& cell = cells[p * mixes.size() + m];
+      stps.push_back(cell.norm.norm_stp);
+      antt_reds.push_back(cell.norm.antt_reduction);
+      makespans.push_back(cell.makespan);
+      oom += cell.oom;
     }
     SchemeScenarioResult r;
-    r.scheme = policy->name();
+    r.scheme = policies[p]->name();
     r.scenario = scenario.label;
     r.stp_geomean = geomean(stps);
     r.stp_min = min_of(stps);

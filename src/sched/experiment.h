@@ -4,10 +4,22 @@
 // geometric-mean / min / max normalized STP and mean ANTT reduction, the way
 // the paper reports them (Section 5.2's "geometric mean performance across
 // all configurations" with min-max bars).
+//
+// Parallel execution: every (policy, mix) simulation and every baseline run
+// is independent and seed-deterministic, so run_scenario fans them out over
+// a fixed-size thread pool (--threads / SMOE_THREADS; defaults to all
+// hardware threads). Results land in pre-sized slots and are aggregated in
+// the same order as a sequential run, so the output is byte-identical at any
+// thread count. Policies are cloned per job (SchedulingPolicy::clone shares
+// trained caches); a policy that cannot be cloned simply runs its cells on
+// the calling thread. When an event sink is attached the runner also stays
+// sequential, so traces remain well-ordered.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "obs/report.h"
 #include "sched/metrics.h"
 #include "sched/policies_basic.h"
@@ -41,12 +53,20 @@ class ExperimentRunner {
  public:
   /// `n_mixes` random mixes are evaluated per scenario (the paper uses ~100;
   /// the benches default to fewer to keep runtimes friendly — the seed is
-  /// printed so any batch size is reproducible).
+  /// printed so any batch size is reproducible). `n_threads` sizes the worker
+  /// pool: 0 means SMOE_THREADS (environment) or else all hardware threads;
+  /// 1 forces sequential execution. Any thread count produces byte-identical
+  /// results.
   ExperimentRunner(sim::SimConfig config, const wl::FeatureModel& features,
-                   std::size_t n_mixes, std::uint64_t mix_seed);
+                   std::size_t n_mixes, std::uint64_t mix_seed, std::size_t n_threads = 0);
+
+  /// Worker threads actually in the pool.
+  std::size_t threads() const { return pool_.size(); }
 
   /// Evaluate the policies on one scenario. Policies are borrowed and may be
-  /// reused across calls (they carry only training caches).
+  /// reused across calls (they carry only training caches). Cloneable
+  /// policies run their simulations across the pool; the originals still
+  /// observe shared diagnostics (clone() contracts).
   std::vector<SchemeScenarioResult> run_scenario(
       const wl::Scenario& scenario, const std::vector<sim::SchedulingPolicy*>& policies);
 
@@ -60,7 +80,9 @@ class ExperimentRunner {
 
   /// Replay one mix with fresh noise seeds until the 95% CI of the mean
   /// normalized STP is below `target_rel_ci` of the mean (Section 5.2), or
-  /// `max_replays` is reached.
+  /// `max_replays` is reached. Replays fan out in pool-sized waves; the CI
+  /// early-stop is evaluated in replay order, so the outcome is identical to
+  /// a sequential run (surplus replays of the final wave are discarded).
   ReplicatedMetrics run_mix_replicated(const wl::TaskMix& mix, sim::SchedulingPolicy& policy,
                                        std::size_t max_replays = 10,
                                        double target_rel_ci = 0.05);
@@ -72,12 +94,15 @@ class ExperimentRunner {
   /// trace is exactly one schedule per run_mix call.
 
  private:
+  bool tracing() const;
+
   const wl::FeatureModel& features_;
   sim::ClusterSim sim_;
   IsolatedTimes iso_;
   IsolatedPolicy baseline_policy_;
   std::size_t n_mixes_;
   std::uint64_t mix_seed_;
+  ThreadPool pool_;
 };
 
 /// Post-run reporting: headline rows (makespan, STP, ANTT, executor and

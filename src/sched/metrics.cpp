@@ -1,20 +1,57 @@
 #include "sched/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace smoe::sched {
 
+IsolatedTimes::Key IsolatedTimes::make_key(const std::string& benchmark, Items input_items) {
+  return {benchmark, static_cast<long long>(std::llround(input_items))};
+}
+
 Seconds IsolatedTimes::get(const std::string& benchmark, Items input_items) {
-  const auto key = std::make_pair(benchmark, static_cast<long long>(std::llround(input_items)));
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    const Seconds t = sim_.isolated_exec_time({benchmark, input_items});
-    SMOE_CHECK(t > 0, "isolated execution time must be positive");
-    it = cache_.emplace(key, t).first;
+  const Key key = make_key(benchmark, input_items);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
   }
-  return it->second;
+  // Measure outside the lock: ClusterSim::run builds per-run state, so
+  // concurrent measurement runs are independent. A racing thread may compute
+  // the same key; both arrive at the identical (deterministic) value.
+  const Seconds t = sim_.isolated_exec_time({benchmark, input_items});
+  SMOE_CHECK(t > 0, "isolated execution time must be positive");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.emplace(key, t).first->second;
+}
+
+void IsolatedTimes::warm(const std::vector<wl::TaskMix>& mixes, ThreadPool& pool) {
+  // Deterministic, deduplicated work list of keys not yet cached.
+  std::vector<std::pair<Key, Items>> missing;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& mix : mixes) {
+      for (const auto& app : mix) {
+        const Key key = make_key(app.benchmark, app.input_items);
+        if (cache_.contains(key)) continue;
+        if (std::any_of(missing.begin(), missing.end(),
+                        [&](const auto& m) { return m.first == key; }))
+          continue;
+        missing.emplace_back(key, app.input_items);
+      }
+    }
+  }
+  if (missing.empty()) return;
+  std::vector<Seconds> times(missing.size());
+  pool.parallel_for_each(missing.size(), [&](std::size_t i) {
+    times[i] = sim_.isolated_exec_time({missing[i].first.first, missing[i].second});
+    SMOE_CHECK(times[i] > 0, "isolated execution time must be positive");
+  });
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < missing.size(); ++i) cache_.emplace(missing[i].first, times[i]);
 }
 
 MixMetrics compute_metrics(const sim::SimResult& result, IsolatedTimes& iso) {

@@ -14,23 +14,49 @@
 // 1 - ANTT/ANTT_baseline (shown as a percentage).
 #pragma once
 
-#include <map>
+#include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "sparksim/engine.h"
+
+namespace smoe {
+class ThreadPool;
+}
 
 namespace smoe::sched {
 
 /// Memoized isolated execution times C^is per (benchmark, input size).
+/// Thread-safe: concurrent get() calls may duplicate a measurement for a
+/// missing key (the simulation is deterministic, so both compute the same
+/// value) but never corrupt the cache. warm() pre-computes every key a batch
+/// of mixes will need — in parallel — so that the experiment fan-out only
+/// ever reads.
 class IsolatedTimes {
  public:
   explicit IsolatedTimes(sim::ClusterSim& sim) : sim_(sim) {}
 
   Seconds get(const std::string& benchmark, Items input_items);
 
+  /// Measure every (benchmark, input size) appearing in `mixes` that is not
+  /// cached yet, fanning the measurement runs out on `pool`.
+  void warm(const std::vector<wl::TaskMix>& mixes, ThreadPool& pool);
+
  private:
+  using Key = std::pair<std::string, long long>;
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::string>{}(k.first) ^
+             (std::hash<long long>{}(k.second) * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  static Key make_key(const std::string& benchmark, Items input_items);
+
   sim::ClusterSim& sim_;
-  std::map<std::pair<std::string, long long>, Seconds> cache_;
+  std::mutex mutex_;
+  std::unordered_map<Key, Seconds, KeyHash> cache_;
 };
 
 struct MixMetrics {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "sparksim/policy.h"
 
@@ -15,6 +16,9 @@ class IsolatedPolicy final : public sim::SchedulingPolicy {
   std::string name() const override { return "Isolated"; }
   sim::DispatchMode mode() const override { return sim::DispatchMode::kIsolated; }
   sim::ProfilingCost profile(sim::AppProbe&, sim::MemoryEstimate&) override { return {}; }
+  std::unique_ptr<sim::SchedulingPolicy> clone() const override {
+    return std::make_unique<IsolatedPolicy>(*this);
+  }
 };
 
 /// Pairwise co-location: at most one extra task per host, heap set to all
@@ -24,6 +28,9 @@ class PairwisePolicy final : public sim::SchedulingPolicy {
   std::string name() const override { return "Pairwise"; }
   sim::DispatchMode mode() const override { return sim::DispatchMode::kPairwise; }
   sim::ProfilingCost profile(sim::AppProbe&, sim::MemoryEstimate&) override { return {}; }
+  std::unique_ptr<sim::SchedulingPolicy> clone() const override {
+    return std::make_unique<PairwisePolicy>(*this);
+  }
 };
 
 /// Perfect memory predictor with zero profiling overhead; defines the upper
@@ -33,6 +40,9 @@ class OraclePolicy final : public sim::SchedulingPolicy {
   std::string name() const override { return "Oracle"; }
   sim::DispatchMode mode() const override { return sim::DispatchMode::kPredictive; }
   sim::ProfilingCost profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) override;
+  std::unique_ptr<sim::SchedulingPolicy> clone() const override {
+    return std::make_unique<OraclePolicy>(*this);
+  }
 };
 
 /// Descent-gradient online search (Section 6.5): no model — the right chunk
@@ -48,6 +58,9 @@ class OnlineSearchPolicy final : public sim::SchedulingPolicy {
   sim::DispatchMode mode() const override { return sim::DispatchMode::kPredictive; }
   double spawn_search_overhead() const override { return search_overhead_; }
   sim::ProfilingCost profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) override;
+  std::unique_ptr<sim::SchedulingPolicy> clone() const override {
+    return std::make_unique<OnlineSearchPolicy>(*this);
+  }
 
  private:
   double search_overhead_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 
 #include "common/error.h"
 #include "obs/registry.h"
@@ -59,10 +60,30 @@ core::CalibrationProbes take_calibration_probes(sim::AppProbe& probe, Items x1_c
 // ---------------------------------------------------------------- MoE ----
 
 MoePolicy::MoePolicy(const wl::FeatureModel& features, std::uint64_t seed, MoeOptions options)
-    : cache_(features, seed), options_(options) {}
+    : cache_(std::make_shared<SelectorCache>(features, seed)), options_(options),
+      diagnostics_(std::make_shared<Diagnostics>()) {}
+
+MoePolicy::MoePolicy(std::shared_ptr<SelectorCache> cache, MoeOptions options,
+                     std::shared_ptr<Diagnostics> diagnostics)
+    : cache_(std::move(cache)), options_(options), diagnostics_(std::move(diagnostics)) {}
+
+std::unique_ptr<sim::SchedulingPolicy> MoePolicy::clone() const {
+  return std::unique_ptr<sim::SchedulingPolicy>(
+      new MoePolicy(cache_, options_, diagnostics_));
+}
+
+std::map<int, std::size_t> MoePolicy::selection_counts() const {
+  const std::lock_guard<std::mutex> lock(diagnostics_->mutex);
+  return diagnostics_->selection_counts;
+}
+
+std::size_t MoePolicy::fallback_count() const {
+  const std::lock_guard<std::mutex> lock(diagnostics_->mutex);
+  return diagnostics_->fallback_count;
+}
 
 sim::ProfilingCost MoePolicy::profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) {
-  const SelectorCache::Entry& entry = cache_.for_test_benchmark(probe.name());
+  const SelectorCache::Entry& entry = cache_->for_test_benchmark(probe.name());
   const core::MoePredictor predictor(entry.pool, entry.selector, options_.confidence_distance);
 
   const ml::Vector features = probe.raw_features();
@@ -70,7 +91,10 @@ sim::ProfilingCost MoePolicy::profile(sim::AppProbe& probe, sim::MemoryEstimate&
   const core::CalibrationProbes probes =
       take_calibration_probes(probe, options_.probe_x1_cap, options_.probe_x2_cap);
   const core::MemoryModel model = predictor.calibrate(sel, probes);
-  ++selection_counts_[sel.expert_index];
+  {
+    const std::lock_guard<std::mutex> lock(diagnostics_->mutex);
+    ++diagnostics_->selection_counts[sel.expert_index];
+  }
   if (obs::Registry* reg = metrics()) {
     reg->counter("moe_profiles_total").inc();
     reg->histogram("moe_selector_distance", {0.125, 0.25, 0.5, 1.0, 2.0, 4.0})
@@ -83,7 +107,10 @@ sim::ProfilingCost MoePolicy::profile(sim::AppProbe& probe, sim::MemoryEstimate&
   double inflation = 1.0;
   if (options_.conservative_fallback && !predictor.confident(sel)) {
     inflation += options_.fallback_inflation;
-    ++fallback_count_;
+    {
+      const std::lock_guard<std::mutex> lock(diagnostics_->mutex);
+      ++diagnostics_->fallback_count;
+    }
     if (obs::Registry* reg = metrics()) reg->counter("moe_fallback_total").inc();
   }
 
@@ -112,19 +139,28 @@ struct QuasarPolicy::Entry {
 
 QuasarPolicy::QuasarPolicy(const wl::FeatureModel& features, std::uint64_t seed,
                            GiB resource_class)
-    : features_(features), seed_(seed), resource_class_(resource_class) {
+    : features_(features), seed_(seed), resource_class_(resource_class),
+      cache_(std::make_shared<Cache>()) {
   SMOE_REQUIRE(resource_class > 0.0, "quasar: resource class must be positive");
 }
 
 QuasarPolicy::~QuasarPolicy() = default;
+
+std::unique_ptr<sim::SchedulingPolicy> QuasarPolicy::clone() const {
+  return std::unique_ptr<sim::SchedulingPolicy>(new QuasarPolicy(*this));
+}
 
 const QuasarPolicy::Entry& QuasarPolicy::entry_for(const std::string& benchmark_name) {
   std::vector<std::string> excluded = wl::excluded_from_training(benchmark_name);
   std::sort(excluded.begin(), excluded.end());
   std::string key;
   for (const auto& name : excluded) key += name + "|";
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return *it->second;
+  // First miss trains under the lock (deterministic in the seed; concurrent
+  // misses for the same key serialize). Entries are immutable once inserted
+  // and never erased, so the returned reference outlives the lock.
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  auto it = cache_->entries.find(key);
+  if (it != cache_->entries.end()) return *it->second;
 
   const auto examples = make_training_set(features_, seed_, excluded);
   auto entry = std::make_unique<Entry>();
@@ -140,7 +176,7 @@ const QuasarPolicy::Entry& QuasarPolicy::entry_for(const std::string& benchmark_
     entry->power_fit.push_back(
         ml::fit_curve(ml::CurveKind::kPowerLaw, ex.profile_items, ex.profile_footprints));
   }
-  return *cache_.emplace(key, std::move(entry)).first->second;
+  return *cache_->entries.emplace(key, std::move(entry)).first->second;
 }
 
 sim::ProfilingCost QuasarPolicy::profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) {
@@ -199,15 +235,21 @@ sim::ProfilingCost QuasarPolicy::profile(sim::AppProbe& probe, sim::MemoryEstima
 
 UnifiedCurvePolicy::UnifiedCurvePolicy(ml::CurveKind kind, const wl::FeatureModel& features,
                                        std::uint64_t seed)
-    : kind_(kind), features_(features), seed_(seed) {}
+    : kind_(kind), features_(features), seed_(seed), cache_(std::make_shared<Cache>()) {}
+
+std::unique_ptr<sim::SchedulingPolicy> UnifiedCurvePolicy::clone() const {
+  return std::unique_ptr<sim::SchedulingPolicy>(new UnifiedCurvePolicy(*this));
+}
 
 const ml::CurveFit& UnifiedCurvePolicy::fit_for(const std::string& benchmark_name) {
   std::vector<std::string> excluded = wl::excluded_from_training(benchmark_name);
   std::sort(excluded.begin(), excluded.end());
   std::string key;
   for (const auto& name : excluded) key += name + "|";
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  // std::map nodes are stable, so the reference outlives the lock.
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  auto it = cache_->fits.find(key);
+  if (it != cache_->fits.end()) return it->second;
 
   // One curve for everything: pool every training program's profile points.
   std::vector<double> xs, ys;
@@ -215,7 +257,7 @@ const ml::CurveFit& UnifiedCurvePolicy::fit_for(const std::string& benchmark_nam
     xs.insert(xs.end(), ex.profile_items.begin(), ex.profile_items.end());
     ys.insert(ys.end(), ex.profile_footprints.begin(), ex.profile_footprints.end());
   }
-  return cache_.emplace(key, ml::fit_curve(kind_, xs, ys)).first->second;
+  return cache_->fits.emplace(key, ml::fit_curve(kind_, xs, ys)).first->second;
 }
 
 std::string UnifiedCurvePolicy::name() const {
@@ -265,17 +307,22 @@ struct UnifiedAnnPolicy::Entry {
 };
 
 UnifiedAnnPolicy::UnifiedAnnPolicy(const wl::FeatureModel& features, std::uint64_t seed)
-    : features_(features), seed_(seed) {}
+    : features_(features), seed_(seed), cache_(std::make_shared<Cache>()) {}
 
 UnifiedAnnPolicy::~UnifiedAnnPolicy() = default;
+
+std::unique_ptr<sim::SchedulingPolicy> UnifiedAnnPolicy::clone() const {
+  return std::unique_ptr<sim::SchedulingPolicy>(new UnifiedAnnPolicy(*this));
+}
 
 const UnifiedAnnPolicy::Entry& UnifiedAnnPolicy::entry_for(const std::string& benchmark_name) {
   std::vector<std::string> excluded = wl::excluded_from_training(benchmark_name);
   std::sort(excluded.begin(), excluded.end());
   std::string key;
   for (const auto& name : excluded) key += name + "|";
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return *it->second;
+  const std::lock_guard<std::mutex> lock(cache_->mutex);
+  auto it = cache_->entries.find(key);
+  if (it != cache_->entries.end()) return *it->second;
 
   const auto examples = make_training_set(features_, seed_, excluded);
   auto entry = std::make_unique<Entry>();
@@ -298,7 +345,7 @@ const UnifiedAnnPolicy::Entry& UnifiedAnnPolicy::entry_for(const std::string& be
     }
   }
   entry->ann.fit(ml::Matrix::from_rows(x_rows), targets);
-  return *cache_.emplace(key, std::move(entry)).first->second;
+  return *cache_->entries.emplace(key, std::move(entry)).first->second;
 }
 
 sim::ProfilingCost UnifiedAnnPolicy::profile(sim::AppProbe& probe,

@@ -12,10 +12,18 @@
 // All learned policies honour the Section 5.2 leave-one-out rule: models
 // used for benchmark X are trained without X and without X's equivalent
 // implementations in other suites.
+//
+// Concurrency: every learned policy supports clone() for the parallel
+// experiment runner. Clones share the trained-model caches (mutex-protected;
+// entries are immutable once built, so concurrent readers need no lock after
+// lookup) and the diagnostic counters, while each instance keeps its own
+// metrics binding. Training is deterministic in the seed, so decisions do not
+// depend on which instance — or in what order — populated a cache.
 #pragma once
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "core/predictor.h"
 #include "ml/mlp.h"
@@ -56,17 +64,29 @@ class MoePolicy final : public sim::SchedulingPolicy {
   std::string name() const override { return "Ours (MoE)"; }
   sim::DispatchMode mode() const override { return sim::DispatchMode::kPredictive; }
   sim::ProfilingCost profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) override;
+  std::unique_ptr<sim::SchedulingPolicy> clone() const override;
 
-  /// Expert selections made so far, per expert index (diagnostics).
-  const std::map<int, std::size_t>& selection_counts() const { return selection_counts_; }
-  /// Applications routed to the conservative fallback so far.
-  std::size_t fallback_count() const { return fallback_count_; }
+  /// Expert selections made so far, per expert index (diagnostics). Shared
+  /// with clones: counts accumulate across every instance of this policy.
+  std::map<int, std::size_t> selection_counts() const;
+  /// Applications routed to the conservative fallback so far (clone-shared).
+  std::size_t fallback_count() const;
 
  private:
-  SelectorCache cache_;
+  /// Clone-shared diagnostics (commutative, so accumulation order across
+  /// threads cannot change what callers observe after a join).
+  struct Diagnostics {
+    mutable std::mutex mutex;
+    std::map<int, std::size_t> selection_counts;
+    std::size_t fallback_count = 0;
+  };
+
+  MoePolicy(std::shared_ptr<SelectorCache> cache, MoeOptions options,
+            std::shared_ptr<Diagnostics> diagnostics);
+
+  std::shared_ptr<SelectorCache> cache_;
   MoeOptions options_;
-  std::map<int, std::size_t> selection_counts_;
-  std::size_t fallback_count_ = 0;
+  std::shared_ptr<Diagnostics> diagnostics_;
 };
 
 class QuasarPolicy final : public sim::SchedulingPolicy {
@@ -80,15 +100,20 @@ class QuasarPolicy final : public sim::SchedulingPolicy {
   std::string name() const override { return "Quasar"; }
   sim::DispatchMode mode() const override { return sim::DispatchMode::kPredictive; }
   sim::ProfilingCost profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) override;
+  std::unique_ptr<sim::SchedulingPolicy> clone() const override;
 
  private:
   struct Entry;
+  struct Cache {
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Entry>> entries;
+  };
   const Entry& entry_for(const std::string& benchmark_name);
 
   const wl::FeatureModel& features_;
   std::uint64_t seed_;
   GiB resource_class_;
-  std::map<std::string, std::unique_ptr<Entry>> cache_;
+  std::shared_ptr<Cache> cache_;
 };
 
 /// One fixed Table 1 family for every application (Figure 9): a single curve
@@ -103,14 +128,19 @@ class UnifiedCurvePolicy final : public sim::SchedulingPolicy {
   std::string name() const override;
   sim::DispatchMode mode() const override { return sim::DispatchMode::kPredictive; }
   sim::ProfilingCost profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) override;
+  std::unique_ptr<sim::SchedulingPolicy> clone() const override;
 
  private:
+  struct Cache {
+    std::mutex mutex;
+    std::map<std::string, ml::CurveFit> fits;  // keyed by exclusion set
+  };
   const ml::CurveFit& fit_for(const std::string& benchmark_name);
 
   ml::CurveKind kind_;
   const wl::FeatureModel& features_;
   std::uint64_t seed_;
-  std::map<std::string, ml::CurveFit> cache_;  // keyed by exclusion set
+  std::shared_ptr<Cache> cache_;
 };
 
 /// A single 3-layer neural network trained on (PCA features, log input size)
@@ -123,14 +153,19 @@ class UnifiedAnnPolicy final : public sim::SchedulingPolicy {
   std::string name() const override { return "ANN"; }
   sim::DispatchMode mode() const override { return sim::DispatchMode::kPredictive; }
   sim::ProfilingCost profile(sim::AppProbe& probe, sim::MemoryEstimate& estimate) override;
+  std::unique_ptr<sim::SchedulingPolicy> clone() const override;
 
  private:
   struct Entry;
+  struct Cache {
+    std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Entry>> entries;
+  };
   const Entry& entry_for(const std::string& benchmark_name);
 
   const wl::FeatureModel& features_;
   std::uint64_t seed_;
-  std::map<std::string, std::unique_ptr<Entry>> cache_;
+  std::shared_ptr<Cache> cache_;
 };
 
 }  // namespace smoe::sched

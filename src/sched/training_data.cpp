@@ -58,6 +58,11 @@ const SelectorCache::Entry& SelectorCache::for_test_benchmark(
     key += name;
     key += '|';
   }
+  // First miss trains under the lock (deterministic in the seed; concurrent
+  // misses serialize). Entries are immutable once inserted and never erased,
+  // so the returned reference stays valid — and readable without the lock —
+  // for the cache's lifetime.
+  const std::lock_guard<std::mutex> lock(mutex_);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
     auto entry = std::make_unique<Entry>();

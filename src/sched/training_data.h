@@ -7,6 +7,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,8 @@ std::vector<core::TrainingExample> make_training_set(
 /// Trained selectors keyed by the test benchmark's exclusion set, so that
 /// evaluating HB.Sort never trains on HB.Sort or its BDB twin. Entries stay
 /// alive for the cache's lifetime (MemoryModels point into their pools).
+/// Thread-safe: lookups (and first-miss training) serialize on an internal
+/// mutex; returned entries are immutable and safe to read concurrently.
 class SelectorCache {
  public:
   SelectorCache(const wl::FeatureModel& features, std::uint64_t seed,
@@ -56,6 +59,7 @@ class SelectorCache {
   std::uint64_t seed_;
   core::TrainerOptions trainer_options_;
   ProfileOptions profile_options_;
+  std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Entry>> cache_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <memory>
 
@@ -66,6 +67,9 @@ struct AppState {
 struct NodeState {
   GiB reserved = 0;
   double planned_cpu = 0;
+  /// Sum of cpu_load_iso over resident executors, maintained incrementally on
+  /// spawn/release so refresh_rates/node_utilization need no per-event rescan.
+  double cpu_iso_sum = 0;
   std::vector<int> execs;
 
   bool empty() const { return execs.empty(); }
@@ -103,6 +107,14 @@ struct Sim {
   std::vector<std::size_t> queue;  ///< dispatch order (Section 5.2's policy)
   std::vector<NodeState> nodes;
   std::vector<ExecState> execs;
+  /// Free executor slots as a min-heap, so alloc_exec_slot picks the lowest
+  /// free index in O(log n) — the same slot the old linear scan returned, so
+  /// slot ids in traces are unchanged.
+  std::vector<int> free_slots;
+  /// Active slots in ascending order: the per-event loops (next_event_dt,
+  /// advance, handle_completions) iterate live executors only instead of
+  /// scanning every slot ever allocated.
+  std::vector<int> active_slots;
   ResourceMonitor monitor;
   UtilizationTrace trace;
   Seconds next_report;
@@ -243,10 +255,25 @@ struct Sim {
   }
 
   int alloc_exec_slot() {
-    for (std::size_t i = 0; i < execs.size(); ++i)
-      if (!execs[i].active) return static_cast<int>(i);
-    execs.emplace_back();
-    return static_cast<int>(execs.size()) - 1;
+    if (free_slots.empty()) {
+      execs.emplace_back();
+      return static_cast<int>(execs.size()) - 1;
+    }
+    std::pop_heap(free_slots.begin(), free_slots.end(), std::greater<int>());
+    const int slot = free_slots.back();
+    free_slots.pop_back();
+    return slot;
+  }
+
+  void mark_active(int slot) {
+    active_slots.insert(
+        std::lower_bound(active_slots.begin(), active_slots.end(), slot), slot);
+  }
+
+  void mark_inactive(int slot) {
+    active_slots.erase(std::lower_bound(active_slots.begin(), active_slots.end(), slot));
+    free_slots.push_back(slot);
+    std::push_heap(free_slots.begin(), free_slots.end(), std::greater<int>());
   }
 
   /// `predicted` is the policy's predicted footprint for this chunk (GiB),
@@ -293,7 +320,9 @@ struct Sim {
     node.reserved += reserved;
     e.planned_cpu = predictive ? app.est.cpu_load : app.spec->cpu_load_iso;
     node.planned_cpu += e.planned_cpu;
+    node.cpu_iso_sum += app.spec->cpu_load_iso;
     node.execs.push_back(slot);
+    mark_active(slot);
     ++executors_spawned;
     ++app.res.executors_used;
     peak_node_occupancy = std::max(peak_node_occupancy, node.execs.size());
@@ -370,7 +399,10 @@ struct Sim {
     AppState& app = apps[static_cast<std::size_t>(e.app)];
     node.planned_cpu -= e.planned_cpu;
     if (node.planned_cpu < kEps) node.planned_cpu = 0;
+    node.cpu_iso_sum -= app.spec->cpu_load_iso;
+    if (node.cpu_iso_sum < kEps) node.cpu_iso_sum = 0;
     std::erase(node.execs, slot);
+    mark_inactive(slot);
     --app.executors;
     e.active = false;
   }
@@ -533,10 +565,8 @@ struct Sim {
   // ---- time stepping --------------------------------------------------
   void refresh_rates() {
     for (auto& node : nodes) {
-      double total_cpu = 0;
-      for (const int e : node.execs)
-        total_cpu += apps[static_cast<std::size_t>(execs[static_cast<std::size_t>(e)].app)]
-                         .spec->cpu_load_iso;
+      if (node.execs.empty()) continue;
+      const double total_cpu = node.cpu_iso_sum;
       for (const int ei : node.execs) {
         ExecState& e = execs[static_cast<std::size_t>(ei)];
         const auto& spec = *apps[static_cast<std::size_t>(e.app)].spec;
@@ -552,36 +582,42 @@ struct Sim {
   }
 
   double node_utilization(const NodeState& node) const {
-    double total_cpu = 0;
-    for (const int e : node.execs)
-      total_cpu += apps[static_cast<std::size_t>(execs[static_cast<std::size_t>(e)].app)]
-                       .spec->cpu_load_iso;
-    return std::min(1.0, total_cpu);
+    return std::min(1.0, node.cpu_iso_sum);
   }
 
   Seconds next_event_dt() const {
-    double dt = kInf;
+    // Time to the next *work* event (profiling promotion, executor finish or
+    // OOM), kept separate from the monitor-report timer: when work remains it
+    // must be a finite, strictly positive step, or the schedule is stuck and
+    // the main loop would spin forever — fail loudly instead.
+    double dt_work = kInf;
+    bool has_work = !active_slots.empty();
     for (const auto& app : apps)
-      if (app.phase == Phase::kProfiling) dt = std::min(dt, app.res.profile_end - now);
-    dt = std::min(dt, next_report - now);
-    for (const auto& e : execs) {
-      if (!e.active) continue;
+      if (app.phase == Phase::kProfiling) {
+        has_work = true;
+        dt_work = std::min(dt_work, app.res.profile_end - now);
+      }
+    for (const int slot : active_slots) {
+      const ExecState& e = execs[static_cast<std::size_t>(slot)];
       double t = e.search_delay;
       SMOE_CHECK(e.rate > 0, "executor with zero rate");
       const double to_finish = e.remaining / e.rate;
       const double to_fail =
           std::isfinite(e.fail_after) ? (e.fail_after - e.processed) / e.rate : kInf;
       t += std::min(to_finish, to_fail);
-      dt = std::min(dt, t);
+      dt_work = std::min(dt_work, t);
     }
-    return dt;
+    if (has_work)
+      SMOE_CHECK(std::isfinite(dt_work) && dt_work > 0,
+                 "sim: stuck schedule — active work but a non-positive/non-finite step");
+    return std::min(dt_work, next_report - now);
   }
 
   void advance(Seconds dt) {
     for (std::size_t n = 0; n < nodes.size(); ++n)
       trace.accumulate(static_cast<int>(n), now, now + dt, node_utilization(nodes[n]));
-    for (auto& e : execs) {
-      if (!e.active) continue;
+    for (const int slot : active_slots) {
+      ExecState& e = execs[static_cast<std::size_t>(slot)];
       reserved_gib_seconds += e.reserved * dt;
       used_gib_seconds += e.resident * dt;
       double budget = dt;
@@ -600,7 +636,12 @@ struct Sim {
   }
 
   void handle_completions() {
-    for (std::size_t i = 0; i < execs.size(); ++i) {
+    // Snapshot: release() edits active_slots mid-loop. Ascending slot order
+    // matches the old full-scan ordering, so same-timestep OOM re-run queues
+    // build up identically.
+    const std::vector<int> snapshot = active_slots;
+    for (const int slot : snapshot) {
+      const std::size_t i = static_cast<std::size_t>(slot);
       ExecState& e = execs[i];
       if (!e.active) continue;
       if (std::isfinite(e.fail_after) && e.processed >= e.fail_after - kEps) {
@@ -671,9 +712,7 @@ struct Sim {
     next_report += cfg.spark.monitor_period;
     m_reports.inc();
     if (tracing) {
-      std::size_t active = 0;
-      for (const auto& e : execs)
-        if (e.active) ++active;
+      const std::size_t active = active_slots.size();
       sink.emit(obs::Event(now, obs::EventType::kMonitorReport)
                     .with("report", monitor.reports_seen())
                     .with("mean_cpu", monitor.last_mean_cpu())

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "common/units.h"
@@ -64,12 +65,25 @@ class SchedulingPolicy {
   /// time; `probe` outlives the returned estimate.
   virtual ProfilingCost profile(AppProbe& probe, MemoryEstimate& estimate) = 0;
 
+  /// An independent instance safe to drive a simulation on another thread.
+  /// A clone may share immutable or internally-synchronized training state
+  /// with the original (each instance carries its own metrics binding), and
+  /// must make the same decisions the original would. Returning nullptr means
+  /// "not cloneable": the experiment runner then keeps that policy's
+  /// simulations on one thread, borrowed-instance semantics unchanged.
+  virtual std::unique_ptr<SchedulingPolicy> clone() const { return nullptr; }
+
   /// Observability: the engine binds its metrics registry for the duration
   /// of a run (and unbinds it afterwards); profile() implementations may
   /// record policy-level telemetry through metrics() when it is non-null.
   void bind_metrics(obs::Registry* registry) { metrics_ = registry; }
 
  protected:
+  SchedulingPolicy() = default;
+  /// Copies (clones) start unbound: a metrics binding is per-run, per-instance.
+  SchedulingPolicy(const SchedulingPolicy&) {}
+  SchedulingPolicy& operator=(const SchedulingPolicy&) { return *this; }
+
   obs::Registry* metrics() const { return metrics_; }
 
  private:

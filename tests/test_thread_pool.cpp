@@ -1,0 +1,111 @@
+// ThreadPool unit tests: exception propagation, empty job sets, nested
+// submission, and the SMOE_THREADS override.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace {
+
+using namespace smoe;
+
+TEST(ThreadPool, SizeIsAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4u);
+}
+
+TEST(ThreadPool, ParallelForEachEmptyJobSetReturnsImmediately) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallel_for_each(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForEachVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for_each(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForEachWorksOnSizeOnePool) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for_each(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, LowestIndexExceptionWinsDeterministically) {
+  ThreadPool pool(4);
+  for (int repeat = 0; repeat < 20; ++repeat) {
+    std::atomic<int> attempted{0};
+    try {
+      pool.parallel_for_each(64, [&](std::size_t i) {
+        attempted.fetch_add(1);
+        if (i == 7 || i == 23 || i == 55)
+          throw std::runtime_error("job " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "job 7");
+    }
+    // Every index is still attempted even after a failure.
+    EXPECT_EQ(attempted.load(), 64);
+  }
+}
+
+TEST(ThreadPool, SubmitDeliversValueThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(pool.wait(std::move(future)), 42);
+}
+
+TEST(ThreadPool, SubmitDeliversExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::logic_error("boom"); });
+  EXPECT_THROW(pool.wait(std::move(future)), std::logic_error);
+}
+
+TEST(ThreadPool, NestedSubmitAndWaitDoesNotDeadlock) {
+  // Every outer job submits an inner job and waits for it. With 4 workers and
+  // 8 outer jobs a naive future.get() could leave all workers blocked; wait()
+  // helps drain the queue, so this must complete.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for_each(8, [&](std::size_t i) {
+    auto inner = pool.submit([i] { return static_cast<int>(i) + 1; });
+    total.fetch_add(pool.wait(std::move(inner)));
+  });
+  EXPECT_EQ(total.load(), 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8);
+}
+
+TEST(ThreadPool, NestedParallelForEachDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for_each(4, [&](std::size_t) {
+    pool.parallel_for_each(4, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, DefaultThreadsHonorsEnvironmentOverride) {
+  ::setenv("SMOE_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::default_threads(), 3u);
+  EXPECT_EQ(ThreadPool(0).size(), 3u);
+  ::setenv("SMOE_THREADS", "junk", 1);
+  EXPECT_GE(ThreadPool::default_threads(), 1u);  // junk falls back to hardware
+  ::unsetenv("SMOE_THREADS");
+  EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+}  // namespace
