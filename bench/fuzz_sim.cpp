@@ -1,0 +1,340 @@
+// Randomized differential fuzzing of the cluster simulator.
+//
+// Sweeps random task mixes x cluster configurations x all six scheduling
+// policies with audit::InvariantAuditor attached (the auditor replays the
+// event stream against an independent shadow model and throws on the first
+// violated invariant), plus metamorphic oracles the auditor cannot see from
+// one stream alone:
+//
+//   * same-seed determinism — two identically-seeded runs produce
+//     byte-identical JSONL traces (rotates through policies)
+//   * work conservation — makespan >= the post-profiling work of any app
+//     divided by its best-case parallel processing rate (all policies; the
+//     naive "makespan >= isolated time" is NOT sound for predictive policies,
+//     whose executor boost can beat the isolated baseline — see DESIGN.md)
+//   * isolated-policy ordering — one-at-a-time scheduling bounds makespan
+//     below by the sum of per-app work bounds, and adding nodes never makes
+//     the isolated makespan worse
+//   * thread equality — ExperimentRunner emits identical results at any
+//     --threads count (checked periodically; it is the expensive oracle)
+//
+// Usage:
+//   fuzz_sim [--iters N] [--seconds S] [--seed S] [--one I]
+//
+// --iters 0 with --seconds S fuzzes on a time budget (scripts/check.sh
+// --fuzz uses 30 s). --one I re-runs exactly iteration I — every failure
+// message embeds the `--seed S --one I` pair that reproduces it.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/approx.h"
+#include "common/bench_cli.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "obs/sink.h"
+#include "sched/experiment.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sparksim/audit/invariant_auditor.h"
+#include "sparksim/engine.h"
+#include "workloads/features.h"
+#include "workloads/mixes.h"
+#include "workloads/suites.h"
+
+namespace {
+
+using namespace smoe;
+
+struct FuzzOptions {
+  std::size_t iters = 200;  ///< 0 = unbounded (use --seconds)
+  std::size_t seconds = 0;  ///< 0 = no time budget
+  std::uint64_t seed = 2017;
+  std::int64_t one = -1;  ///< re-run exactly this iteration
+};
+
+[[noreturn]] void usage(int status) {
+  std::cerr << "usage: fuzz_sim [--iters N] [--seconds S] [--seed S] [--one I]\n"
+               "  --iters N    iteration budget (default 200; 0 = unbounded)\n"
+               "  --seconds S  wall-clock budget in seconds (default off)\n"
+               "  --seed S     master seed (default 2017)\n"
+               "  --one I      run only iteration I (failure reproduction)\n";
+  std::exit(status);
+}
+
+FuzzOptions parse_args(int argc, char** argv) {
+  FuzzOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> std::size_t {
+      if (i + 1 >= argc) usage(2);
+      const auto parsed = parse_size(argv[++i]);
+      if (!parsed) usage(2);
+      return *parsed;
+    };
+    if (arg == "--iters") {
+      opts.iters = value();
+    } else if (arg == "--seconds") {
+      opts.seconds = value();
+    } else if (arg == "--seed") {
+      opts.seed = value();
+    } else if (arg == "--one") {
+      opts.one = static_cast<std::int64_t>(value());
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "fuzz_sim: unknown argument '" << arg << "'\n";
+      usage(2);
+    }
+  }
+  if (opts.iters == 0 && opts.seconds == 0 && opts.one < 0) {
+    std::cerr << "fuzz_sim: --iters 0 needs a --seconds budget\n";
+    usage(2);
+  }
+  return opts;
+}
+
+/// One random cluster/Spark configuration cell, a pure function of the
+/// iteration seed.
+sim::SimConfig random_config(Rng& rng, std::uint64_t sim_seed) {
+  sim::SimConfig cfg;
+  cfg.seed = sim_seed;
+  cfg.cluster.n_nodes = static_cast<std::size_t>(rng.uniform_int(2, 12));
+  const double rams[] = {16.0, 32.0, 64.0, 128.0};
+  cfg.cluster.node_ram = rams[rng.uniform_int(0, 3)];
+  const double heaps[] = {0.3, 0.5, 0.7};
+  cfg.spark.default_heap_fraction = heaps[rng.uniform_int(0, 2)];
+  const double headrooms[] = {0.0, 0.05, 0.2};
+  cfg.spark.reservation_headroom = headrooms[rng.uniform_int(0, 2)];
+  const double boosts[] = {1.0, 2.0, 3.0};
+  cfg.spark.executor_boost = boosts[rng.uniform_int(0, 2)];
+  const double periods[] = {15.0, 60.0, 240.0};
+  cfg.spark.monitor_period = periods[rng.uniform_int(0, 2)];
+  cfg.spark.profiling_slots = static_cast<std::size_t>(rng.uniform_int(1, 8));
+  cfg.spark.queue_order =
+      rng.chance(0.5) ? sim::QueueOrder::kFcfs : sim::QueueOrder::kShortestJobFirst;
+  const double interference[] = {0.5, 1.0, 2.0};
+  cfg.contention.interference_scale = interference[rng.uniform_int(0, 2)];
+  return cfg;
+}
+
+std::string describe(const sim::SimConfig& cfg, std::size_t n_apps) {
+  std::ostringstream os;
+  os << "n_apps=" << n_apps << " n_nodes=" << cfg.cluster.n_nodes
+     << " node_ram=" << cfg.cluster.node_ram
+     << " heap_frac=" << cfg.spark.default_heap_fraction
+     << " headroom=" << cfg.spark.reservation_headroom
+     << " boost=" << cfg.spark.executor_boost
+     << " monitor_period=" << cfg.spark.monitor_period
+     << " profiling_slots=" << cfg.spark.profiling_slots
+     << " queue=" << (cfg.spark.queue_order == sim::QueueOrder::kFcfs ? "fcfs" : "sjf")
+     << " interference=" << cfg.contention.interference_scale
+     << " sim_seed=" << cfg.seed;
+  return os.str();
+}
+
+/// Lower bound on one app's contribution to the makespan: its post-profiling
+/// work over the best case — every allowed executor running at the full
+/// isolated rate with no contention, degradation, or queueing. Sound for
+/// every policy (unlike the app's measured isolated execution time, which
+/// predictive executor boosting can legitimately beat).
+double work_bound(const sim::AppResult& app, const sim::SimConfig& cfg) {
+  const wl::BenchmarkSpec& spec = wl::find_benchmark(app.benchmark);
+  // Upper bound on profiling consumption (feature/calibration items before
+  // the engine's half-the-input clip), so the bound stays a lower bound.
+  const double consumed =
+      std::min((app.feature_time + app.calibration_time) * spec.items_per_second,
+               0.5 * app.input_items);
+  const double dyn_alloc =
+      std::clamp(std::ceil(app.input_items / cfg.spark.dyn_alloc_items_per_executor), 1.0,
+                 static_cast<double>(cfg.spark.dyn_alloc_max_executors));
+  const double parallelism = std::min(static_cast<double>(cfg.cluster.n_nodes),
+                                      std::ceil(cfg.spark.executor_boost * dyn_alloc));
+  return (app.input_items - consumed) / (parallelism * spec.items_per_second);
+}
+
+struct Oracle {
+  std::string name;
+  std::string detail;
+};
+
+[[noreturn]] void report_failure(const FuzzOptions& opts, std::size_t iter,
+                                 const std::string& policy, const std::string& cell,
+                                 const std::string& what) {
+  std::cerr << "\nFUZZ FAILURE at iteration " << iter << " policy=" << policy << "\n"
+            << "  cell: " << cell << "\n"
+            << "  " << what << "\n"
+            << "  repro: fuzz_sim --seed " << opts.seed << " --one " << iter << "\n";
+  std::exit(1);
+}
+
+std::string jsonl_trace(const sim::SimConfig& cfg, const wl::FeatureModel& features,
+                        const wl::TaskMix& mix, sim::SchedulingPolicy& policy) {
+  std::ostringstream os;
+  obs::JsonlSink sink(os);
+  sim::SimConfig traced = cfg;
+  traced.sink = &sink;
+  sim::ClusterSim sim(traced, features);
+  sim.run(mix, policy);
+  return os.str();
+}
+
+/// ExperimentRunner must produce identical results at any thread count; run
+/// a small scenario at 1 and 3 threads and compare field by field.
+void check_thread_equality(const sim::SimConfig& cfg, const wl::FeatureModel& features,
+                           std::uint64_t mix_seed, std::vector<sim::SchedulingPolicy*> pols) {
+  const wl::Scenario scenario{"fuzz", 3};
+  sim::SimConfig clean = cfg;
+  clean.sink = nullptr;
+  sched::ExperimentRunner seq(clean, features, 2, mix_seed, 1);
+  sched::ExperimentRunner par(clean, features, 2, mix_seed, 3);
+  const auto a = seq.run_scenario(scenario, pols);
+  const auto b = par.run_scenario(scenario, pols);
+  SMOE_CHECK(a.size() == b.size(), "thread-equality: result row count differs");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SMOE_CHECK(a[i].scheme == b[i].scheme && a[i].stp_geomean == b[i].stp_geomean &&
+                   a[i].stp_min == b[i].stp_min && a[i].stp_max == b[i].stp_max &&
+                   a[i].antt_red_mean == b[i].antt_red_mean &&
+                   a[i].mean_makespan == b[i].mean_makespan &&
+                   a[i].oom_total == b[i].oom_total,
+               "thread-equality: --threads 1 and --threads 3 disagree on scheme " +
+                   a[i].scheme);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FuzzOptions opts = parse_args(argc, argv);
+  const wl::FeatureModel features(1);
+
+  struct NamedPolicy {
+    std::string name;
+    std::unique_ptr<sim::SchedulingPolicy> policy;
+  };
+  std::vector<NamedPolicy> policies;
+  policies.push_back({"isolated", std::make_unique<sched::IsolatedPolicy>()});
+  policies.push_back({"pairwise", std::make_unique<sched::PairwisePolicy>()});
+  policies.push_back({"oracle", std::make_unique<sched::OraclePolicy>()});
+  policies.push_back({"online", std::make_unique<sched::OnlineSearchPolicy>()});
+  policies.push_back({"moe", std::make_unique<sched::MoePolicy>(features, opts.seed)});
+  policies.push_back({"quasar", std::make_unique<sched::QuasarPolicy>(features, opts.seed)});
+
+  const auto started = std::chrono::steady_clock::now();
+  auto out_of_budget = [&] {
+    if (opts.seconds == 0) return false;
+    const auto elapsed = std::chrono::steady_clock::now() - started;
+    return elapsed >= std::chrono::seconds(opts.seconds);
+  };
+
+  std::size_t ran = 0;
+  for (std::size_t iter = 0;; ++iter) {
+    if (opts.one >= 0) {
+      iter = static_cast<std::size_t>(opts.one);
+    } else {
+      if (opts.iters > 0 && iter >= opts.iters) break;
+      if (out_of_budget()) break;
+    }
+
+    Rng rng(Rng::derive(opts.seed, "fuzz:" + std::to_string(iter)));
+    const sim::SimConfig cfg =
+        random_config(rng, Rng::derive(opts.seed, "cfg:" + std::to_string(iter)));
+    const std::size_t n_apps = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    const wl::TaskMix mix = wl::random_mix(n_apps, rng);
+    const std::string cell = describe(cfg, n_apps);
+    if (opts.one >= 0) std::cerr << "iteration " << iter << ": " << cell << "\n";
+
+    double isolated_makespan = -1;
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      NamedPolicy& np = policies[p];
+      sim::audit::InvariantAuditor::Options audit_opts;
+      audit_opts.context =
+          "fuzz_sim --seed " + std::to_string(opts.seed) + " --one " + std::to_string(iter);
+      sim::audit::InvariantAuditor auditor(audit_opts);
+      sim::SimConfig audited = cfg;
+      audited.sink = &auditor;
+      sim::ClusterSim sim(audited, features);
+      sim::SimResult result;
+      try {
+        result = sim.run(mix, *np.policy);
+      } catch (const std::exception& e) {
+        report_failure(opts, iter, np.name, cell, e.what());
+      }
+
+      // Work-conservation bound, sound for every policy.
+      for (const sim::AppResult& app : result.apps) {
+        const double bound = work_bound(app, cfg);
+        if (!approx_ge(result.makespan, bound, kSimRelEps))
+          report_failure(opts, iter, np.name, cell,
+                         "work-conservation violated: makespan " +
+                             std::to_string(result.makespan) + " < bound " +
+                             std::to_string(bound) + " for " + app.benchmark);
+        if (!approx_ge(app.finish, app.profile_end, kSimRelEps))
+          report_failure(opts, iter, np.name, cell,
+                         "app finished before its profiling ended: " + app.benchmark);
+      }
+
+      if (np.name == "isolated") {
+        isolated_makespan = result.makespan;
+        // One at a time: the whole-mix bound is the *sum* of per-app bounds.
+        double sum_bound = 0;
+        for (const sim::AppResult& app : result.apps) sum_bound += work_bound(app, cfg);
+        if (!approx_ge(result.makespan, sum_bound, kSimRelEps))
+          report_failure(opts, iter, np.name, cell,
+                         "isolated makespan " + std::to_string(result.makespan) +
+                             " beat the serial work bound " + std::to_string(sum_bound));
+      }
+
+      // Same-seed byte-identity of the full trace (rotates through policies;
+      // two extra runs per iteration).
+      if (p == iter % policies.size()) {
+        const std::string t1 = jsonl_trace(cfg, features, mix, *np.policy);
+        const std::string t2 = jsonl_trace(cfg, features, mix, *np.policy);
+        if (t1 != t2)
+          report_failure(opts, iter, np.name, cell,
+                         "same-seed traces differ (determinism broken)");
+      }
+    }
+
+    // Isolated scheduling is one-at-a-time with per-app node caps: growing
+    // the cluster can only shorten (or keep) each app's phase. Not sound for
+    // co-locating policies (Graham's scheduling anomalies), so isolated-only.
+    if (iter % 4 == 0 && isolated_makespan >= 0) {
+      sim::SimConfig bigger = cfg;
+      bigger.cluster.n_nodes += 4;
+      sim::ClusterSim sim_bigger(bigger, features);
+      const sim::SimResult grown = sim_bigger.run(mix, *policies[0].policy);
+      if (!approx_le(grown.makespan, isolated_makespan, kSimRelEps))
+        report_failure(opts, iter, "isolated", cell,
+                       "adding 4 nodes worsened the isolated makespan: " +
+                           std::to_string(isolated_makespan) + " -> " +
+                           std::to_string(grown.makespan));
+    }
+
+    // Thread-count equality through the experiment runner (expensive oracle).
+    if (opts.one >= 0 || iter % 32 == 31) {
+      try {
+        check_thread_equality(cfg, features,
+                              Rng::derive(opts.seed, "mixes:" + std::to_string(iter)),
+                              {policies[0].policy.get(), policies[4].policy.get()});
+      } catch (const std::exception& e) {
+        report_failure(opts, iter, "runner", cell, e.what());
+      }
+    }
+
+    ++ran;
+    if (opts.one >= 0) break;
+    if (ran % 100 == 0) std::cerr << "fuzz_sim: " << ran << " iterations clean...\n";
+  }
+
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(std::chrono::steady_clock::now() - started);
+  std::cout << "fuzz_sim: " << ran << " iteration(s) x " << policies.size()
+            << " policies clean in " << elapsed.count() / 1000.0 << " s (seed "
+            << opts.seed << ", 0 violations)\n";
+  return 0;
+}

@@ -8,6 +8,9 @@
 #   scripts/check.sh --tsan   # additionally build a ThreadSanitizer tree
 #                             # (-DSMOE_SANITIZE=thread) and run the
 #                             # concurrency tests under it (TESTS_TSAN)
+#   scripts/check.sh --fuzz   # additionally run the randomized differential
+#                             # fuzz harness (bench/fuzz_sim) on a
+#                             # FUZZ_SECONDS wall-clock budget (default 30 s)
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -19,6 +22,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # Suite.Case, not binary names).
 TESTS_ASAN="${TESTS_ASAN:-^Obs|^Trace|^Sink|^Registry|^Engine|^Sim|^Sparksim|^Contention}"
 TESTS_TSAN="${TESTS_TSAN:-^ThreadPool|^ParallelRunner|^Replication}"
+FUZZ_SECONDS="${FUZZ_SECONDS:-30}"
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -34,6 +38,11 @@ if [[ "${1:-}" == "--asan" ]]; then
   cmake --build build-asan -j"${JOBS}"
   echo "== sanitizers: ctest (${TESTS_ASAN}) =="
   ctest --test-dir build-asan --output-on-failure -j"${JOBS}" -R "${TESTS_ASAN}"
+fi
+
+if [[ "${1:-}" == "--fuzz" ]]; then
+  echo "== fuzz: invariant auditor + metamorphic oracles (${FUZZ_SECONDS}s budget) =="
+  ./build/bench/fuzz_sim --iters 0 --seconds "${FUZZ_SECONDS}"
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then

@@ -1,0 +1,51 @@
+// Relative-tolerance comparisons shared by the engine's accounting and the
+// invariant auditor (src/sparksim/audit).
+//
+// The simulator sums quantities spanning many orders of magnitude: GiB
+// reservations (~1e1), CPU shares (~1e-1), and RDD item counts (~1e6 and
+// beyond). A single absolute epsilon (the old `kEps = 1e-6`) is simultaneously
+// too loose for CPU shares and too tight for item counts, so every
+// work-accounting comparison goes through these helpers instead: the slack
+// scales with the magnitude of the operands (never below an absolute floor of
+// `rel`, so comparisons around zero stay sane).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace smoe {
+
+/// Default relative tolerance for exact bookkeeping sums (reservations, CPU
+/// shares, dispatched-item totals): these accumulate only a handful of
+/// floating-point rounding errors, so 1e-9 relative is generous.
+inline constexpr double kRelEps = 1e-9;
+
+/// Relative tolerance for integration-accumulated quantities (items processed
+/// as rate x dt over many steps, times derived from them). Matches the
+/// engine's historical `kEps * max(1, chunk)` completion threshold.
+inline constexpr double kSimRelEps = 1e-6;
+
+/// Absolute slack for comparisons at magnitude `scale`: rel * max(1, |scale|).
+inline double rel_slack(double scale, double rel) {
+  return rel * std::max(1.0, std::abs(scale));
+}
+
+/// a >= b, allowing a shortfall up to rel * max(1, |a|, |b|).
+inline bool approx_ge(double a, double b, double rel) {
+  return a >= b - rel_slack(std::max(std::abs(a), std::abs(b)), rel);
+}
+
+/// a <= b with the same symmetric slack.
+inline bool approx_le(double a, double b, double rel) { return approx_ge(b, a, rel); }
+
+/// |a - b| within rel * max(1, |a|, |b|).
+inline bool approx_eq(double a, double b, double rel) {
+  return std::abs(a - b) <= rel_slack(std::max(std::abs(a), std::abs(b)), rel);
+}
+
+/// |v| negligible at magnitude `scale`.
+inline bool approx_zero(double v, double scale, double rel) {
+  return std::abs(v) <= rel_slack(scale, rel);
+}
+
+}  // namespace smoe

@@ -27,6 +27,7 @@
 #include "workloads/suites.h"
 
 // Cluster simulation.
+#include "sparksim/audit/invariant_auditor.h"
 #include "sparksim/config.h"
 #include "sparksim/engine.h"
 #include "sparksim/policy.h"

@@ -1,0 +1,497 @@
+#include "sparksim/audit/invariant_auditor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/approx.h"
+#include "common/error.h"
+#include "obs/event.h"
+
+namespace smoe::sim::audit {
+
+namespace {
+
+/// Shortest round-trip number rendering (same formatter the JSONL sink uses),
+/// so repro strings paste back losslessly.
+std::string num(double v) {
+  std::string s;
+  obs::detail::append_json_number(s, v);
+  return s;
+}
+
+}  // namespace
+
+// ---- failure / field plumbing --------------------------------------------
+
+void InvariantAuditor::fail(const std::string& what, const obs::Event& event) const {
+  std::ostringstream msg;
+  msg << "audit: " << what << " [event #" << events_seen_ << " "
+      << obs::to_string(event.type) << " t=" << num(event.t) << "]";
+  msg << " | repro: ";
+  if (!opts_.context.empty()) msg << opts_.context << " ";
+  msg << (repro_.empty() ? "(before run_start)" : repro_);
+  throw InvariantError(msg.str());
+}
+
+double InvariantAuditor::f64(const obs::Event& event, std::string_view key) const {
+  const obs::Event::Field* f = event.find(key);
+  if (f == nullptr) fail("missing field '" + std::string(key) + "'", event);
+  if (const auto* d = std::get_if<double>(&f->value)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&f->value))
+    return static_cast<double>(*i);
+  fail("field '" + std::string(key) + "' is not numeric", event);
+}
+
+std::int64_t InvariantAuditor::i64(const obs::Event& event, std::string_view key) const {
+  const obs::Event::Field* f = event.find(key);
+  if (f == nullptr) fail("missing field '" + std::string(key) + "'", event);
+  if (const auto* i = std::get_if<std::int64_t>(&f->value)) return *i;
+  fail("field '" + std::string(key) + "' is not an integer", event);
+}
+
+std::string InvariantAuditor::str(const obs::Event& event, std::string_view key) const {
+  const obs::Event::Field* f = event.find(key);
+  if (f == nullptr) fail("missing field '" + std::string(key) + "'", event);
+  if (const auto* s = std::get_if<std::string>(&f->value)) return *s;
+  fail("field '" + std::string(key) + "' is not a string", event);
+}
+
+InvariantAuditor::ShadowApp& InvariantAuditor::app_at(const obs::Event& event,
+                                                      std::int64_t id) {
+  if (id < 0 || id >= static_cast<std::int64_t>(apps_.size()))
+    fail("app id " + std::to_string(id) + " out of range [0, " +
+             std::to_string(apps_.size()) + ")",
+         event);
+  ShadowApp& app = apps_[static_cast<std::size_t>(id)];
+  if (!app.submitted) fail("app " + std::to_string(id) + " was never submitted", event);
+  return app;
+}
+
+// ---- shadow vs engine node sums ------------------------------------------
+
+void InvariantAuditor::check_node_sums(const obs::Event& event, std::int64_t node) {
+  double reserved = 0, planned_cpu = 0, cpu_iso = 0;
+  std::size_t occupancy = 0;
+  for (const auto& [slot, e] : live_) {
+    if (e.node != node) continue;
+    reserved += e.reserved;
+    planned_cpu += e.planned_cpu;
+    cpu_iso += e.cpu_iso;
+    ++occupancy;
+  }
+  if (!approx_le(reserved, node_ram_, opts_.rel_tol))
+    fail("node " + std::to_string(node) + " over-committed: shadow reserved " +
+             num(reserved) + " GiB > node RAM " + num(node_ram_) + " GiB",
+         event);
+  // The engine's incrementally maintained sums must agree with the shadow
+  // model's recomputation from the executor lifecycle alone — this is the
+  // check that catches silent accounting drift.
+  const double eng_reserved = f64(event, "node_reserved_after");
+  const double eng_planned = f64(event, "node_planned_cpu_after");
+  const double eng_iso = f64(event, "node_cpu_iso_after");
+  if (!approx_eq(reserved, eng_reserved, opts_.rel_tol))
+    fail("node " + std::to_string(node) + " reserved drift: engine " + num(eng_reserved) +
+             " GiB vs shadow " + num(reserved) + " GiB",
+         event);
+  if (!approx_eq(planned_cpu, eng_planned, opts_.rel_tol))
+    fail("node " + std::to_string(node) + " planned_cpu drift: engine " +
+             num(eng_planned) + " vs shadow " + num(planned_cpu),
+         event);
+  if (!approx_eq(cpu_iso, eng_iso, opts_.rel_tol))
+    fail("node " + std::to_string(node) + " cpu_iso_sum drift: engine " + num(eng_iso) +
+             " vs shadow " + num(cpu_iso),
+         event);
+  if (mode_ == "isolated" && occupancy > 1)
+    fail("isolated mode co-located " + std::to_string(occupancy) +
+             " executors on node " + std::to_string(node),
+         event);
+  if (mode_ == "pairwise" && occupancy > 2)
+    fail("pairwise mode packed " + std::to_string(occupancy) + " executors on node " +
+             std::to_string(node),
+         event);
+  peak_occupancy_ = std::max(peak_occupancy_, occupancy);
+}
+
+// ---- event dispatch -------------------------------------------------------
+
+void InvariantAuditor::emit(const obs::Event& event) {
+  ++events_seen_;
+  if (!std::isfinite(event.t) || event.t < 0)
+    fail("non-finite or negative timestamp", event);
+  if (event.type == obs::EventType::kRunStart) {
+    on_run_start(event);
+    return;
+  }
+  if (!in_run_) fail("event outside a run_start..run_end span", event);
+  if (event.t < last_t_)
+    fail("time went backwards: " + num(event.t) + " after " + num(last_t_), event);
+  last_t_ = event.t;
+  if (pending_.armed && event.type != obs::EventType::kExecutorSpawn)
+    fail("dispatch decision not followed by its executor_spawn", event);
+
+  switch (event.type) {
+    case obs::EventType::kRunStart: return;  // handled above
+    case obs::EventType::kAppSubmit: on_app_submit(event); return;
+    case obs::EventType::kProfilingStart: on_profiling(event, /*end=*/false); return;
+    case obs::EventType::kProfilingEnd: on_profiling(event, /*end=*/true); return;
+    case obs::EventType::kDispatch: on_dispatch(event); return;
+    case obs::EventType::kExecutorSpawn: on_spawn(event); return;
+    case obs::EventType::kExecutorSpill: on_degrade(event, /*thrash=*/false); return;
+    case obs::EventType::kExecutorThrash: on_degrade(event, /*thrash=*/true); return;
+    case obs::EventType::kIsolatedRerun: on_isolated_rerun(event); return;
+    case obs::EventType::kExecutorOom: on_release(event, /*oom=*/true); return;
+    case obs::EventType::kExecutorFinish: on_release(event, /*oom=*/false); return;
+    case obs::EventType::kMonitorReport: on_monitor_report(event); return;
+    case obs::EventType::kAppFinish: on_app_finish(event); return;
+    case obs::EventType::kRunEnd: on_run_end(event); return;
+  }
+  fail("unknown event type", event);
+}
+
+void InvariantAuditor::reset() {
+  in_run_ = false;
+  policy_.clear();
+  mode_.clear();
+  n_apps_ = n_nodes_ = 0;
+  node_ram_ = last_t_ = 0;
+  apps_.clear();
+  live_.clear();
+  pending_ = {};
+  last_report_ = 0;
+  spawn_count_ = oom_count_ = degraded_count_ = finished_apps_ = peak_occupancy_ = 0;
+  max_finish_t_ = 0;
+}
+
+// ---- handlers -------------------------------------------------------------
+
+void InvariantAuditor::on_run_start(const obs::Event& event) {
+  if (in_run_) fail("run_start while a run is already in progress", event);
+  reset();
+  policy_ = str(event, "policy");
+  mode_ = str(event, "mode");
+  n_apps_ = i64(event, "n_apps");
+  n_nodes_ = i64(event, "n_nodes");
+  node_ram_ = f64(event, "node_ram_gib");
+  const std::int64_t seed = i64(event, "seed");
+  repro_ = "seed=" + std::to_string(seed) + " n_apps=" + std::to_string(n_apps_) +
+           " policy=" + policy_ + " n_nodes=" + std::to_string(n_nodes_) +
+           " node_ram_gib=" + num(node_ram_);
+  if (n_apps_ <= 0) fail("run with no applications", event);
+  if (n_nodes_ <= 0 || node_ram_ <= 0) fail("degenerate cluster shape", event);
+  apps_.assign(static_cast<std::size_t>(n_apps_), ShadowApp{});
+  in_run_ = true;
+  last_t_ = event.t;
+}
+
+void InvariantAuditor::on_app_submit(const obs::Event& event) {
+  const std::int64_t id = i64(event, "app");
+  if (id < 0 || id >= n_apps_) fail("submitted app id out of range", event);
+  ShadowApp& app = apps_[static_cast<std::size_t>(id)];
+  if (app.submitted) fail("app " + std::to_string(id) + " submitted twice", event);
+  app.submitted = true;
+  app.input = f64(event, "input_items");
+  app.consumed = f64(event, "profile_consumed_items");
+  app.profile_end = f64(event, "profile_end");
+  if (app.input <= 0) fail("app submitted with no input items", event);
+  if (app.consumed < 0 ||
+      !approx_le(app.consumed, 0.5 * app.input, opts_.items_rel_tol))
+    fail("profiling consumed " + num(app.consumed) + " of " + num(app.input) +
+             " input items (cap is half)",
+         event);
+  if (app.profile_end < 0) fail("negative profiling end time", event);
+}
+
+void InvariantAuditor::on_profiling(const obs::Event& event, bool end) {
+  const ShadowApp& app = app_at(event, i64(event, "app"));
+  if (!end) {
+    const double planned_end = f64(event, "planned_end");
+    if (!approx_eq(planned_end, app.profile_end, opts_.rel_tol))
+      fail("profiling planned_end " + num(planned_end) +
+               " disagrees with submit-time profile_end " + num(app.profile_end),
+           event);
+    if (planned_end < f64(event, "slot_start"))
+      fail("profiling ends before its slot starts", event);
+  } else {
+    // Promotion must not happen before the profiling window elapsed.
+    if (!approx_ge(event.t, app.profile_end, kSimRelEps))
+      fail("profiling_end at t=" + num(event.t) + " before profile_end " +
+               num(app.profile_end),
+           event);
+  }
+}
+
+void InvariantAuditor::on_dispatch(const obs::Event& event) {
+  // `pending_.armed` was rejected for every other event type in emit(), so a
+  // second dispatch in a row cannot reach here with an armed decision.
+  pending_.armed = true;
+  pending_.app = i64(event, "app");
+  pending_.node = i64(event, "node");
+  pending_.chunk = f64(event, "chunk_items");
+  pending_.reserved = f64(event, "reserved_gib");
+  pending_.predictive = i64(event, "predictive") != 0;
+  pending_.rerun = i64(event, "isolated_rerun") != 0;
+  if (pending_.node < 0 || pending_.node >= n_nodes_)
+    fail("dispatch to node out of range", event);
+  if (pending_.chunk <= 0) fail("dispatch with empty chunk", event);
+  if (pending_.reserved <= 0) fail("dispatch with empty reservation", event);
+  (void)app_at(event, pending_.app);
+  // The decision's view of free memory must match the shadow ledger.
+  double reserved = 0;
+  for (const auto& [slot, e] : live_)
+    if (e.node == pending_.node) reserved += e.reserved;
+  const double free_before = f64(event, "free_gib_before");
+  if (!approx_eq(free_before, node_ram_ - reserved, opts_.rel_tol))
+    fail("dispatch free_gib_before " + num(free_before) + " vs shadow free " +
+             num(node_ram_ - reserved),
+         event);
+}
+
+void InvariantAuditor::on_spawn(const obs::Event& event) {
+  if (!pending_.armed) fail("executor_spawn without a preceding dispatch", event);
+  pending_.armed = false;
+
+  const std::int64_t slot = i64(event, "exec");
+  if (slot < 0) fail("negative executor slot", event);
+  if (live_.count(slot) != 0)
+    fail("slot " + std::to_string(slot) + " spawned while still occupied", event);
+
+  ShadowExec e;
+  e.app = i64(event, "app");
+  e.node = i64(event, "node");
+  e.chunk = f64(event, "chunk_items");
+  e.reserved = f64(event, "reserved_gib");
+  e.planned_cpu = f64(event, "planned_cpu");
+  e.cpu_iso = f64(event, "cpu_load_iso");
+  e.degrade = f64(event, "degrade");
+  e.predictive = i64(event, "predictive") != 0;
+  e.rerun = i64(event, "isolated_rerun") != 0;
+  e.spawned_at = event.t;
+
+  if (e.app != pending_.app || e.node != pending_.node ||
+      !approx_eq(e.chunk, pending_.chunk, opts_.rel_tol) ||
+      !approx_eq(e.reserved, pending_.reserved, opts_.rel_tol) ||
+      e.predictive != pending_.predictive || e.rerun != pending_.rerun)
+    fail("executor_spawn disagrees with its dispatch decision", event);
+  if (e.node < 0 || e.node >= n_nodes_) fail("spawn on node out of range", event);
+  if (e.chunk <= 0) fail("spawn with empty chunk", event);
+  if (e.reserved <= 0 || !approx_le(e.reserved, node_ram_, opts_.rel_tol))
+    fail("reservation " + num(e.reserved) + " GiB outside (0, node RAM]", event);
+  const double resident = f64(event, "resident_gib");
+  if (resident < 0 || !approx_le(resident, e.reserved, opts_.rel_tol))
+    fail("resident set " + num(resident) + " GiB exceeds reservation " +
+             num(e.reserved) + " GiB",
+         event);
+  if (e.degrade <= 0 || e.degrade > 1.0) fail("degrade factor outside (0, 1]", event);
+  if (e.planned_cpu < 0 || e.cpu_iso < 0) fail("negative CPU share", event);
+
+  ShadowApp& app = app_at(event, e.app);
+  if (app.finished) fail("spawn for an already-finished app", event);
+  // Queue-wait >= 0: nothing runs before its profiling window closed.
+  if (!approx_ge(event.t, app.profile_end, kSimRelEps))
+    fail("executor spawned at t=" + num(event.t) + " before app " +
+             std::to_string(e.app) + "'s profiling end " + num(app.profile_end) +
+             " (negative queue wait)",
+         event);
+  for (const auto& [other_slot, other] : live_) {
+    if (other.app == e.app && other.node == e.node)
+      fail("two executors of app " + std::to_string(e.app) + " co-located on node " +
+               std::to_string(e.node),
+           event);
+    if (mode_ == "isolated" && other.app != e.app)
+      fail("isolated mode ran executors of two apps concurrently", event);
+  }
+
+  // Items conservation: regular chunks come out of (input - profiled); re-run
+  // chunks must match a previously OOM-lost chunk exactly once.
+  if (!e.rerun) {
+    app.dispatched_new += e.chunk;
+    if (!approx_le(app.dispatched_new, app.input - app.consumed, opts_.items_rel_tol))
+      fail("app " + std::to_string(e.app) + " over-dispatched: " +
+               num(app.dispatched_new) + " items handed out of " +
+               num(app.input - app.consumed) + " available",
+           event);
+  } else {
+    bool matched = false;
+    for (std::size_t i = 0; i < app.pending_rerun_chunks.size(); ++i) {
+      if (approx_eq(app.pending_rerun_chunks[i], e.chunk, opts_.items_rel_tol)) {
+        app.pending_rerun_chunks.erase(app.pending_rerun_chunks.begin() +
+                                       static_cast<std::ptrdiff_t>(i));
+        matched = true;
+        break;
+      }
+    }
+    if (!matched)
+      fail("isolated re-run of " + num(e.chunk) +
+               " items matches no OOM-lost chunk of app " + std::to_string(e.app),
+           event);
+    app.dispatched_rerun += e.chunk;
+  }
+
+  app.started = true;
+  ++app.live;
+  live_.emplace(slot, e);
+  ++spawn_count_;
+  check_node_sums(event, e.node);
+}
+
+void InvariantAuditor::on_degrade(const obs::Event& event, bool thrash) {
+  const std::int64_t slot = i64(event, "exec");
+  const auto it = live_.find(slot);
+  if (it == live_.end()) fail("degradation reported for a dead executor slot", event);
+  const ShadowExec& e = it->second;
+  if (thrash != e.predictive)
+    fail(std::string(thrash ? "thrash" : "spill") + " on a " +
+             (e.predictive ? "predictive" : "default-heap") + " executor", event);
+  const double degrade = f64(event, "degrade");
+  if (!(degrade < 1.0) || !approx_eq(degrade, e.degrade, opts_.rel_tol))
+    fail("degradation event factor " + num(degrade) +
+             " disagrees with spawn-time factor " + num(e.degrade),
+         event);
+  if (!approx_ge(f64(event, "working_set_gib"), f64(event, "reserved_gib"), opts_.rel_tol))
+    fail("degradation with working set within the reservation", event);
+  ++degraded_count_;
+}
+
+void InvariantAuditor::on_isolated_rerun(const obs::Event& event) {
+  const std::int64_t slot = i64(event, "exec");
+  const auto it = live_.find(slot);
+  if (it == live_.end()) fail("isolated_rerun for a dead executor slot", event);
+  if (!it->second.rerun)
+    fail("isolated_rerun event on a non-rerun executor", event);
+  if (!approx_eq(f64(event, "chunk_items"), it->second.chunk, opts_.rel_tol))
+    fail("isolated_rerun chunk disagrees with the executor's chunk", event);
+}
+
+void InvariantAuditor::on_release(const obs::Event& event, bool oom) {
+  const std::int64_t slot = i64(event, "exec");
+  const auto it = live_.find(slot);
+  if (it == live_.end())
+    fail(std::string(oom ? "oom" : "finish") + " of a dead executor slot " +
+             std::to_string(slot) + " (double release?)",
+         event);
+  const ShadowExec e = it->second;
+  if (i64(event, "app") != e.app || i64(event, "node") != e.node)
+    fail("release event app/node disagree with the spawn", event);
+  if (!approx_eq(f64(event, "chunk_items"), e.chunk, opts_.rel_tol))
+    fail("release chunk disagrees with the spawn-time chunk", event);
+  const double lifetime = f64(event, "lifetime_s");
+  if (lifetime < 0 || !approx_eq(lifetime, event.t - e.spawned_at, kSimRelEps))
+    fail("executor lifetime " + num(lifetime) + " disagrees with spawn time " +
+             num(e.spawned_at),
+         event);
+
+  ShadowApp& app = app_at(event, e.app);
+  if (oom) {
+    if (!e.predictive)
+      fail("OOM kill of a non-predictive executor (default heaps spill, never die)",
+           event);
+    const double fail_after = f64(event, "fail_after_items");
+    const double processed = f64(event, "processed_items");
+    if (!approx_le(fail_after, e.chunk, opts_.items_rel_tol))
+      fail("fail_after exceeds the chunk", event);
+    if (!approx_ge(processed, fail_after, kSimRelEps) ||
+        !approx_le(processed, e.chunk, opts_.items_rel_tol))
+      fail("OOM processed " + num(processed) + " items outside [fail_after=" +
+               num(fail_after) + ", chunk=" + num(e.chunk) + "]",
+           event);
+    app.lost_items += e.chunk;
+    app.pending_rerun_chunks.push_back(e.chunk);
+    ++app.ooms;
+    ++oom_count_;
+  } else {
+    app.finished_items += e.chunk;
+  }
+  if (app.live == 0) fail("app live-executor count underflow", event);
+  --app.live;
+  live_.erase(it);
+  check_node_sums(event, e.node);
+}
+
+void InvariantAuditor::on_monitor_report(const obs::Event& event) {
+  const std::int64_t report = i64(event, "report");
+  if (report != last_report_ + 1)
+    fail("monitor report #" + std::to_string(report) + " after #" +
+             std::to_string(last_report_) + " (not consecutive)",
+         event);
+  last_report_ = report;
+  const double cpu = f64(event, "mean_cpu");
+  const double mem = f64(event, "mean_mem_gib");
+  if (cpu < 0 || !approx_le(cpu, 1.0, opts_.rel_tol))
+    fail("monitor mean CPU " + num(cpu) + " outside [0, 1]", event);
+  if (mem < 0 || !approx_le(mem, node_ram_, opts_.rel_tol))
+    fail("monitor mean memory " + num(mem) + " GiB outside [0, node RAM]", event);
+  if (i64(event, "active_executors") != static_cast<std::int64_t>(live_.size()))
+    fail("monitor active-executor count disagrees with the shadow ledger", event);
+}
+
+void InvariantAuditor::on_app_finish(const obs::Event& event) {
+  const std::int64_t id = i64(event, "app");
+  ShadowApp& app = app_at(event, id);
+  if (app.finished) fail("app " + std::to_string(id) + " finished twice", event);
+  if (!app.started) fail("app finished without ever spawning an executor", event);
+  if (app.live != 0)
+    fail("app finished with " + std::to_string(app.live) + " executors still live",
+         event);
+  if (!app.pending_rerun_chunks.empty())
+    fail("app finished with " + std::to_string(app.pending_rerun_chunks.size()) +
+             " OOM-lost chunks never re-run",
+         event);
+  // Items conservation (Middleware '17 §2.3/§4.3): every input item is either
+  // profiled or dispatched exactly once, and every OOM-lost chunk re-ran.
+  if (!approx_eq(app.dispatched_new, app.input - app.consumed, opts_.items_rel_tol))
+    fail("items not conserved: dispatched " + num(app.dispatched_new) + " of input " +
+             num(app.input) + " minus profiled " + num(app.consumed),
+         event);
+  if (!approx_eq(app.dispatched_rerun, app.lost_items, opts_.items_rel_tol))
+    fail("re-run items " + num(app.dispatched_rerun) + " != OOM-lost items " +
+             num(app.lost_items),
+         event);
+  if (!approx_eq(app.finished_items,
+                 app.dispatched_new + app.dispatched_rerun - app.lost_items,
+                 opts_.items_rel_tol))
+    fail("finished items " + num(app.finished_items) +
+             " != dispatched - lost (reruns accounted)",
+         event);
+  const double turnaround = f64(event, "turnaround_s");
+  if (!approx_eq(turnaround, event.t, kSimRelEps))
+    fail("turnaround " + num(turnaround) + " disagrees with finish time " +
+             num(event.t) + " (all apps submit at t=0)",
+         event);
+  if (i64(event, "oom_events") != static_cast<std::int64_t>(app.ooms))
+    fail("app OOM count disagrees with observed OOM events", event);
+  app.finished = true;
+  ++finished_apps_;
+  max_finish_t_ = std::max(max_finish_t_, event.t);
+}
+
+void InvariantAuditor::on_run_end(const obs::Event& event) {
+  if (finished_apps_ != static_cast<std::size_t>(n_apps_))
+    fail("run ended with " + std::to_string(finished_apps_) + " of " +
+             std::to_string(n_apps_) + " apps finished",
+         event);
+  if (!live_.empty())
+    fail("run ended with " + std::to_string(live_.size()) + " executors still live",
+         event);
+  if (i64(event, "executors_spawned") != static_cast<std::int64_t>(spawn_count_))
+    fail("run-end executors_spawned disagrees with observed spawns", event);
+  if (i64(event, "oom_total") != static_cast<std::int64_t>(oom_count_))
+    fail("run-end oom_total disagrees with observed OOM events", event);
+  if (i64(event, "executors_degraded") != static_cast<std::int64_t>(degraded_count_))
+    fail("run-end executors_degraded disagrees with observed spills+thrashes", event);
+  if (i64(event, "peak_node_occupancy") != static_cast<std::int64_t>(peak_occupancy_))
+    fail("run-end peak_node_occupancy disagrees with the shadow ledger", event);
+  const double makespan = f64(event, "makespan_s");
+  if (!approx_eq(makespan, max_finish_t_, kSimRelEps))
+    fail("makespan " + num(makespan) + " != latest app finish " + num(max_finish_t_),
+         event);
+  const double reserved_h = f64(event, "reserved_gib_hours");
+  const double used_h = f64(event, "used_gib_hours");
+  if (reserved_h < 0 || used_h < 0 || !approx_ge(reserved_h, used_h, kSimRelEps))
+    fail("memory integrals disordered: reserved " + num(reserved_h) + " GiB·h < used " +
+             num(used_h) + " GiB·h",
+         event);
+  in_run_ = false;
+  ++runs_completed_;
+}
+
+}  // namespace smoe::sim::audit

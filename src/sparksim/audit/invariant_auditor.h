@@ -1,0 +1,171 @@
+// Continuous invariant auditing for the cluster simulator.
+//
+// InvariantAuditor is an obs::EventSink that replays the engine's structured
+// event stream against an *independent* shadow model of the cluster and
+// checks the simulator's conservation laws at every transition — not just at
+// run end, the way the fixed-seed tests do. Attach it like any sink (or tee
+// it with a user sink):
+//
+//   audit::InvariantAuditor auditor;
+//   obs::TeeSink tee(auditor, my_jsonl_sink);   // auditor + normal tracing
+//   cfg.sink = &auditor;                        // or audit alone
+//
+// The shadow model re-derives per-node memory/CPU sums from the executor
+// lifecycle events alone, so drift in the engine's incrementally-maintained
+// counters (`reserved`, `planned_cpu`, `cpu_iso_sum`) is caught the moment it
+// exceeds a relative tolerance — the engine emits its own incremental values
+// (`node_*_after` fields) precisely so the two bookkeeping paths can be
+// compared. Any violation throws smoe::InvariantError whose message embeds a
+// copy-pasteable repro (seed, n_apps, policy, cluster shape, plus any caller
+// context such as a fuzz-harness command line).
+//
+// Invariants checked (see DESIGN.md "Validation" for the full list):
+//   * monotone simulated time; events only inside a run_start..run_end span
+//   * per-node reserved memory never exceeds node RAM (relative tolerance)
+//   * shadow memory/CPU sums match the engine's incremental sums
+//   * executor slot lifecycle: dispatch->spawn->finish|oom, no double
+//     occupancy, no release of a dead slot, at most one executor per
+//     (app, node), mode-specific node occupancy caps (isolated=1, pairwise=2)
+//   * items conservation per app: dispatched = input - profiled, every
+//     OOM-lost chunk re-runs exactly once, finished = dispatched - lost
+//   * queue-wait >= 0: no executor spawns before its app's profiling ends
+//   * run-end totals agree with the event stream (spawns, OOMs, degradations,
+//     makespan, app count)
+//
+// The auditor is deliberately built only from event fields — it never touches
+// engine internals — so it doubles as a schema check on the trace itself.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/sink.h"
+
+namespace smoe::sim::audit {
+
+class InvariantAuditor final : public obs::EventSink {
+ public:
+  struct Options {
+    /// Relative tolerance for cross-checking the engine's incremental sums
+    /// against the shadow model's recomputed sums (exact bookkeeping).
+    double rel_tol = 1e-7;
+    /// Relative tolerance for item-count conservation (items are integrated
+    /// as rate x dt, so they carry more rounding than pure bookkeeping).
+    double items_rel_tol = 1e-6;
+    /// Extra text prepended to the repro of every failure message — e.g. the
+    /// fuzz harness passes its own command line here so a violation is
+    /// reproducible outside the harness too.
+    std::string context;
+  };
+
+  InvariantAuditor() = default;
+  explicit InvariantAuditor(Options opts) : opts_(std::move(opts)) {}
+
+  bool enabled() const override { return true; }
+
+  /// Replays one event into the shadow model; throws smoe::InvariantError
+  /// (message embeds the repro string) on the first violated invariant.
+  void emit(const obs::Event& event) override;
+
+  /// Drops any mid-run shadow state (e.g. after catching a violation) so the
+  /// auditor can observe a fresh run.
+  void reset();
+
+  std::size_t events_seen() const { return events_seen_; }
+  std::size_t runs_completed() const { return runs_completed_; }
+  bool run_in_progress() const { return in_run_; }
+  /// Repro string of the current (or last) run: context + seed, n_apps,
+  /// policy, cluster shape. Empty before the first run_start.
+  const std::string& repro() const { return repro_; }
+
+ private:
+  struct ShadowExec {
+    std::int64_t app = -1;
+    std::int64_t node = -1;
+    double chunk = 0;
+    double reserved = 0;
+    double planned_cpu = 0;
+    double cpu_iso = 0;
+    double degrade = 1.0;
+    double spawned_at = 0;
+    bool predictive = false;
+    bool rerun = false;
+  };
+
+  struct ShadowApp {
+    bool submitted = false;
+    bool started = false;   ///< first executor spawned
+    bool finished = false;
+    double input = 0;
+    double consumed = 0;     ///< items eaten by profiling
+    double profile_end = 0;
+    double dispatched_new = 0;    ///< non-rerun chunk items handed out
+    double dispatched_rerun = 0;  ///< isolated re-run chunk items
+    double finished_items = 0;    ///< chunk items of finished executors
+    double lost_items = 0;        ///< chunk items lost to OOM kills
+    std::vector<double> pending_rerun_chunks;  ///< lost, not yet re-run
+    std::size_t live = 0;
+    std::size_t ooms = 0;
+  };
+
+  /// One dispatch decision awaiting its executor_spawn twin.
+  struct PendingDispatch {
+    bool armed = false;
+    std::int64_t app = -1;
+    std::int64_t node = -1;
+    double chunk = 0;
+    double reserved = 0;
+    bool predictive = false;
+    bool rerun = false;
+  };
+
+  // --- failure / field plumbing (throw InvariantError with repro) ---------
+  [[noreturn]] void fail(const std::string& what, const obs::Event& event) const;
+  double f64(const obs::Event& event, std::string_view key) const;
+  std::int64_t i64(const obs::Event& event, std::string_view key) const;
+  std::string str(const obs::Event& event, std::string_view key) const;
+
+  // --- per-event handlers -------------------------------------------------
+  void on_run_start(const obs::Event& event);
+  void on_app_submit(const obs::Event& event);
+  void on_profiling(const obs::Event& event, bool end);
+  void on_dispatch(const obs::Event& event);
+  void on_spawn(const obs::Event& event);
+  void on_degrade(const obs::Event& event, bool thrash);
+  void on_isolated_rerun(const obs::Event& event);
+  void on_release(const obs::Event& event, bool oom);
+  void on_monitor_report(const obs::Event& event);
+  void on_app_finish(const obs::Event& event);
+  void on_run_end(const obs::Event& event);
+
+  ShadowApp& app_at(const obs::Event& event, std::int64_t id);
+  void check_node_sums(const obs::Event& event, std::int64_t node);
+
+  Options opts_;
+  std::size_t events_seen_ = 0;
+  std::size_t runs_completed_ = 0;
+  std::string repro_;
+
+  // --- shadow state for the run in progress -------------------------------
+  bool in_run_ = false;
+  std::string policy_;
+  std::string mode_;  ///< "isolated" / "pairwise" / "predictive"
+  std::int64_t n_apps_ = 0;
+  std::int64_t n_nodes_ = 0;
+  double node_ram_ = 0;
+  double last_t_ = 0;
+  std::vector<ShadowApp> apps_;
+  std::unordered_map<std::int64_t, ShadowExec> live_;  ///< slot -> executor
+  PendingDispatch pending_;
+  std::int64_t last_report_ = 0;
+  std::size_t spawn_count_ = 0;
+  std::size_t oom_count_ = 0;
+  std::size_t degraded_count_ = 0;
+  std::size_t finished_apps_ = 0;
+  std::size_t peak_occupancy_ = 0;
+  double max_finish_t_ = 0;
+};
+
+}  // namespace smoe::sim::audit

@@ -6,6 +6,7 @@
 #include <limits>
 #include <memory>
 
+#include "common/approx.h"
 #include "common/error.h"
 #include "obs/registry.h"
 #include "obs/sink.h"
@@ -81,6 +82,15 @@ class NullIsolatedPolicy final : public SchedulingPolicy {
   DispatchMode mode() const override { return DispatchMode::kIsolated; }
   ProfilingCost profile(AppProbe&, MemoryEstimate&) override { return {}; }
 };
+
+std::string_view mode_name(DispatchMode mode) {
+  switch (mode) {
+    case DispatchMode::kIsolated: return "isolated";
+    case DispatchMode::kPairwise: return "pairwise";
+    case DispatchMode::kPredictive: return "predictive";
+  }
+  return "unknown";
+}
 
 /// Binds/unbinds a policy's telemetry registry around one run (exception
 /// safe: a throwing run must not leave the policy pointing at a dead
@@ -161,6 +171,7 @@ struct Sim {
     if (tracing)
       sink.emit(obs::Event(now, obs::EventType::kRunStart)
                     .with("policy", policy.name())
+                    .with("mode", mode_name(policy.mode()))
                     .with("n_apps", mix.size())
                     .with("n_nodes", cfg.cluster.n_nodes)
                     .with("node_ram_gib", cfg.cluster.node_ram)
@@ -218,6 +229,8 @@ struct Sim {
                       .with("app", i)
                       .with("benchmark", inst.benchmark)
                       .with("input_items", inst.input_items)
+                      .with("profile_consumed_items", consumed)
+                      .with("profile_end", app.res.profile_end)
                       .with("dyn_alloc", app.dyn_alloc)
                       .with("max_pred_executors", app.max_pred_executors));
         if (duration > 0)
@@ -284,7 +297,8 @@ struct Sim {
     AppState& app = apps[static_cast<std::size_t>(app_idx)];
     NodeState& node = nodes[static_cast<std::size_t>(node_id)];
     SMOE_CHECK(chunk > 0, "spawn: empty chunk");
-    SMOE_CHECK(reserved > 0 && node.reserved + reserved <= cfg.cluster.node_ram + kEps,
+    SMOE_CHECK(reserved > 0 &&
+                   approx_le(node.reserved + reserved, cfg.cluster.node_ram, kRelEps),
                "spawn: reservation over-commits node");
     const GiB free_before = free_mem(node);
 
@@ -329,9 +343,10 @@ struct Sim {
     if (e.degrade < 1.0) ++executors_degraded;
 
     if (!isolated_rerun) {
-      SMOE_CHECK(app.unassigned + kEps >= chunk, "spawn: chunk exceeds remaining work");
+      SMOE_CHECK(approx_ge(app.unassigned, chunk, kRelEps),
+                 "spawn: chunk exceeds remaining work");
       app.unassigned -= chunk;
-      if (app.unassigned < kEps) app.unassigned = 0;
+      if (approx_zero(app.unassigned, app.res.input_items, kRelEps)) app.unassigned = 0;
     }
     ++app.executors;
     if (app.res.start < 0) {
@@ -362,6 +377,9 @@ struct Sim {
           .with("monitor_reports", view.reports_seen);
       if (predicted >= 0) decision.with("predicted_gib", predicted);
       sink.emit(decision);
+      // planned_cpu / cpu_load_iso and the node's post-spawn incremental sums
+      // let an auditing sink (audit::InvariantAuditor) cross-check the
+      // engine's accounting against an independent shadow model.
       sink.emit(obs::Event(now, obs::EventType::kExecutorSpawn)
                     .with("exec", slot)
                     .with("app", app_idx)
@@ -370,7 +388,14 @@ struct Sim {
                     .with("chunk_items", chunk)
                     .with("reserved_gib", reserved)
                     .with("resident_gib", e.resident)
-                    .with("degrade", e.degrade));
+                    .with("degrade", e.degrade)
+                    .with("predictive", predictive)
+                    .with("isolated_rerun", isolated_rerun)
+                    .with("planned_cpu", e.planned_cpu)
+                    .with("cpu_load_iso", app.spec->cpu_load_iso)
+                    .with("node_reserved_after", node.reserved)
+                    .with("node_planned_cpu_after", node.planned_cpu)
+                    .with("node_cpu_iso_after", node.cpu_iso_sum));
       if (isolated_rerun)
         sink.emit(obs::Event(now, obs::EventType::kIsolatedRerun)
                       .with("exec", slot)
@@ -394,13 +419,17 @@ struct Sim {
   void release(int slot) {
     ExecState& e = execs[static_cast<std::size_t>(slot)];
     NodeState& node = nodes[static_cast<std::size_t>(e.node)];
-    node.reserved -= e.reserved;
-    if (node.reserved < kEps) node.reserved = 0;
     AppState& app = apps[static_cast<std::size_t>(e.app)];
+    // Floating-point residue after the final release is clamped to exactly 0.
+    // Only *negative* values are clamped: zeroing anything below an epsilon
+    // (the old behaviour) also erased legitimately small positive loads and
+    // masked accounting drift the auditor is meant to flag.
+    node.reserved -= e.reserved;
+    if (node.reserved < 0) node.reserved = 0;
     node.planned_cpu -= e.planned_cpu;
-    if (node.planned_cpu < kEps) node.planned_cpu = 0;
+    if (node.planned_cpu < 0) node.planned_cpu = 0;
     node.cpu_iso_sum -= app.spec->cpu_load_iso;
-    if (node.cpu_iso_sum < kEps) node.cpu_iso_sum = 0;
+    if (node.cpu_iso_sum < 0) node.cpu_iso_sum = 0;
     std::erase(node.execs, slot);
     mark_inactive(slot);
     --app.executors;
@@ -501,12 +530,17 @@ struct Sim {
         // spill-safe executors, Spark-default parallelism.
         while (app.unassigned > 0 && app.executors < app.dyn_alloc) {
           const GiB heap = cfg.cluster.node_ram * cfg.spark.default_heap_fraction;
+          // Most free memory among nodes with room for a full default heap.
+          // Strict `>` picks the *first* node on ties, matching the
+          // predictive loop below (the old `>=` picked the last).
           NodeId target = kNoId;
-          GiB best = heap;
+          GiB best = 0;
           for (std::size_t n = 0; n < nodes.size(); ++n) {
             if (app_on_node(static_cast<int>(a), nodes[n])) continue;
-            if (free_mem(nodes[n]) >= best) {
-              best = free_mem(nodes[n]);
+            const GiB free = free_mem(nodes[n]);
+            if (free < heap) continue;
+            if (free > best) {
+              best = free;
               target = static_cast<int>(n);
             }
           }
@@ -644,10 +678,21 @@ struct Sim {
       const std::size_t i = static_cast<std::size_t>(slot);
       ExecState& e = execs[i];
       if (!e.active) continue;
-      if (std::isfinite(e.fail_after) && e.processed >= e.fail_after - kEps) {
+      if (std::isfinite(e.fail_after) && approx_ge(e.processed, e.fail_after, kSimRelEps)) {
         // OOM: the chunk is lost and must re-run in isolation (Section 2.3).
         AppState& app = apps[static_cast<std::size_t>(e.app)];
-        if (tracing)
+        m_oom.inc();
+        h_lifetime.observe(now - e.spawned_at);
+        app.rerun_chunks.push_back(e.chunk);
+        app.model_distrusted = true;
+        ++app.res.oom_events;
+        ++oom_total;
+        release(static_cast<int>(i));
+        // Emitted after release so the event carries the node's post-release
+        // incremental sums for shadow-model cross-checks; rerun_queue already
+        // includes the chunk just enqueued.
+        if (tracing) {
+          const NodeState& node = nodes[static_cast<std::size_t>(e.node)];
           sink.emit(obs::Event(now, obs::EventType::kExecutorOom)
                         .with("exec", i)
                         .with("app", e.app)
@@ -658,27 +703,29 @@ struct Sim {
                         .with("fail_after_items", e.fail_after)
                         .with("reserved_gib", e.reserved)
                         .with("rerun_queue", app.rerun_chunks.size())
-                        .with("lifetime_s", now - e.spawned_at));
-        m_oom.inc();
-        h_lifetime.observe(now - e.spawned_at);
-        app.rerun_chunks.push_back(e.chunk);
-        app.model_distrusted = true;
-        ++app.res.oom_events;
-        ++oom_total;
-        release(static_cast<int>(i));
+                        .with("lifetime_s", now - e.spawned_at)
+                        .with("node_reserved_after", node.reserved)
+                        .with("node_planned_cpu_after", node.planned_cpu)
+                        .with("node_cpu_iso_after", node.cpu_iso_sum));
+        }
         continue;
       }
-      if (e.remaining <= kEps * std::max(1.0, e.chunk)) {
-        if (tracing)
+      if (e.remaining <= rel_slack(e.chunk, kSimRelEps)) {
+        h_lifetime.observe(now - e.spawned_at);
+        release(static_cast<int>(i));
+        if (tracing) {
+          const NodeState& node = nodes[static_cast<std::size_t>(e.node)];
           sink.emit(obs::Event(now, obs::EventType::kExecutorFinish)
                         .with("exec", i)
                         .with("app", e.app)
                         .with("benchmark", apps[static_cast<std::size_t>(e.app)].spec->name)
                         .with("node", e.node)
                         .with("chunk_items", e.chunk)
-                        .with("lifetime_s", now - e.spawned_at));
-        h_lifetime.observe(now - e.spawned_at);
-        release(static_cast<int>(i));
+                        .with("lifetime_s", now - e.spawned_at)
+                        .with("node_reserved_after", node.reserved)
+                        .with("node_planned_cpu_after", node.planned_cpu)
+                        .with("node_cpu_iso_after", node.cpu_iso_sum));
+        }
       }
     }
     for (std::size_t a = 0; a < apps.size(); ++a) {

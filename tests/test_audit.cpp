@@ -1,0 +1,325 @@
+// Tests for audit::InvariantAuditor: clean runs under every policy pass, the
+// auditor is a passive observer (attaching it changes SimResult by nothing),
+// and corrupted event streams — including a replay of the historical
+// release() clamp bug — are rejected with a copy-pasteable repro.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "obs/sink.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sparksim/audit/invariant_auditor.h"
+#include "sparksim/engine.h"
+#include "workloads/features.h"
+#include "workloads/mixes.h"
+
+namespace {
+
+using namespace smoe;
+
+const wl::FeatureModel& features() {
+  static const wl::FeatureModel f(2017);
+  return f;
+}
+
+/// Busy mix: co-location, monitor reports, degradations, and (with MoE
+/// predictions) OOM kills + isolated re-runs — exercises every event type.
+const wl::TaskMix& busy_mix() {
+  static const wl::TaskMix mix = {{"HB.TeraSort", 262144.0}, {"SP.Gmm", 131072.0},
+                                  {"SP.ALS", 65536.0},       {"HB.Scan", 131072.0},
+                                  {"SP.LDA", 65536.0},       {"BDB.PageRank", 131072.0}};
+  return mix;
+}
+
+/// Captures the full event stream so tests can tamper with it and replay it
+/// into an auditor (the corrupted-stream harness).
+struct RecordingSink final : obs::EventSink {
+  std::vector<obs::Event> events;
+  void emit(const obs::Event& event) override { events.push_back(event); }
+};
+
+struct RecordedRun {
+  std::uint64_t seed = 0;
+  std::vector<obs::Event> events;
+};
+
+/// A recorded MoE trace that contains at least one OOM (scans seeds until one
+/// does, then caches it): the tamper tests need the full release/rerun
+/// vocabulary present in the stream.
+/// Predicts a twentieth of the measured footprint: every predictive executor
+/// overshoots its heap far past the OOM tolerance, so the recorded stream is
+/// guaranteed to contain the full OOM / isolated-rerun / distrusted-fallback
+/// vocabulary the tamper tests mutate.
+class UnderPredictingPolicy final : public sim::SchedulingPolicy {
+ public:
+  std::string name() const override { return "under-predict"; }
+  sim::DispatchMode mode() const override { return sim::DispatchMode::kPredictive; }
+  sim::ProfilingCost profile(sim::AppProbe& probe, sim::MemoryEstimate& est) override {
+    const double per_item = probe.measure_footprint(8192.0) / 8192.0;
+    est.footprint = [per_item](Items items) { return 0.05 * per_item * items; };
+    est.items_for_budget = [](GiB) { return 8192.0; };
+    est.cpu_load = 0.3;
+    return {};
+  }
+};
+
+const RecordedRun& recorded_oomy_run() {
+  static const RecordedRun run = [] {
+    RecordingSink rec;
+    sim::SimConfig cfg;
+    cfg.seed = 77;
+    // A small cluster forces co-location, so releases leave other executors'
+    // memory reserved on the node — the state the clamp-bug tamper needs.
+    cfg.cluster.n_nodes = 8;
+    cfg.sink = &rec;
+    sim::ClusterSim sim(cfg, features());
+    UnderPredictingPolicy policy;
+    if (sim.run(busy_mix(), policy).oom_total < 1)
+      throw std::runtime_error("under-predicting run produced no OOM");
+    return RecordedRun{cfg.seed, std::move(rec.events)};
+  }();
+  return run;
+}
+
+std::vector<obs::Event> record_moe_run() { return recorded_oomy_run().events; }
+
+void replay(const std::vector<obs::Event>& events, sim::audit::InvariantAuditor& auditor) {
+  for (const obs::Event& e : events) auditor.emit(e);
+}
+
+obs::Event::Field& field(obs::Event& event, std::string_view key) {
+  for (obs::Event::Field& f : event.fields)
+    if (f.key == key) return f;
+  throw std::runtime_error("tamper: no field " + std::string(key));
+}
+
+/// Index of the n-th (0-based) event of `type`, or npos.
+std::size_t nth_of(const std::vector<obs::Event>& events, obs::EventType type,
+                   std::size_t n = 0) {
+  for (std::size_t i = 0; i < events.size(); ++i)
+    if (events[i].type == type && n-- == 0) return i;
+  return std::string::npos;
+}
+
+// ---- clean runs pass ----
+
+TEST(Audit, CleanRunsPassUnderEveryPolicy) {
+  struct Case {
+    std::string name;
+    std::unique_ptr<sim::SchedulingPolicy> policy;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"isolated", std::make_unique<sched::IsolatedPolicy>()});
+  cases.push_back({"pairwise", std::make_unique<sched::PairwisePolicy>()});
+  cases.push_back({"oracle", std::make_unique<sched::OraclePolicy>()});
+  cases.push_back({"online", std::make_unique<sched::OnlineSearchPolicy>()});
+  cases.push_back({"moe", std::make_unique<sched::MoePolicy>(features(), 2017)});
+  cases.push_back({"quasar", std::make_unique<sched::QuasarPolicy>(features(), 2017)});
+
+  sim::audit::InvariantAuditor auditor;
+  for (Case& c : cases) {
+    sim::SimConfig cfg;
+    cfg.seed = 404;
+    cfg.sink = &auditor;
+    sim::ClusterSim sim(cfg, features());
+    EXPECT_NO_THROW(sim.run(busy_mix(), *c.policy)) << c.name;
+  }
+  EXPECT_EQ(auditor.runs_completed(), cases.size());
+  EXPECT_FALSE(auditor.run_in_progress());
+  EXPECT_GT(auditor.events_seen(), 0u);
+}
+
+TEST(Audit, CleanRandomMixesPass) {
+  sim::audit::InvariantAuditor auditor;
+  sched::MoePolicy moe(features(), 7);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    sim::SimConfig cfg;
+    cfg.seed = seed;
+    cfg.sink = &auditor;
+    sim::ClusterSim sim(cfg, features());
+    Rng rng(seed);
+    EXPECT_NO_THROW(sim.run(wl::random_mix(6, rng), moe)) << "seed " << seed;
+  }
+  EXPECT_EQ(auditor.runs_completed(), 8u);
+}
+
+// ---- passivity: attaching the auditor changes nothing ----
+
+TEST(Audit, AuditorIsPassiveObserver) {
+  auto run_with = [&](obs::EventSink* sink) {
+    sim::SimConfig cfg;
+    cfg.seed = 77;
+    cfg.sink = sink;
+    sim::ClusterSim sim(cfg, features());
+    sched::MoePolicy moe(features(), cfg.seed);
+    return sim.run(busy_mix(), moe);
+  };
+  const sim::SimResult bare = run_with(nullptr);
+  sim::audit::InvariantAuditor auditor;
+  const sim::SimResult audited = run_with(&auditor);
+
+  EXPECT_EQ(bare.makespan, audited.makespan);
+  EXPECT_EQ(bare.oom_total, audited.oom_total);
+  EXPECT_EQ(bare.executors_spawned, audited.executors_spawned);
+  EXPECT_EQ(bare.executors_degraded, audited.executors_degraded);
+  EXPECT_EQ(bare.peak_node_occupancy, audited.peak_node_occupancy);
+  EXPECT_EQ(bare.reserved_gib_hours, audited.reserved_gib_hours);
+  EXPECT_EQ(bare.used_gib_hours, audited.used_gib_hours);
+  ASSERT_EQ(bare.apps.size(), audited.apps.size());
+  for (std::size_t i = 0; i < bare.apps.size(); ++i) {
+    EXPECT_EQ(bare.apps[i].finish, audited.apps[i].finish);
+    EXPECT_EQ(bare.apps[i].oom_events, audited.apps[i].oom_events);
+  }
+  EXPECT_EQ(bare.metrics, audited.metrics);
+}
+
+TEST(Audit, TeesWithUserSinks) {
+  // Auditing must compose with normal tracing: same counts either way.
+  sim::audit::InvariantAuditor auditor;
+  obs::CountingSink counter;
+  obs::TeeSink tee(auditor, counter);
+  sim::SimConfig cfg;
+  cfg.seed = 77;
+  cfg.sink = &tee;
+  sim::ClusterSim sim(cfg, features());
+  sched::MoePolicy moe(features(), cfg.seed);
+  const sim::SimResult r = sim.run(busy_mix(), moe);
+  EXPECT_EQ(auditor.runs_completed(), 1u);
+  EXPECT_EQ(counter.count(obs::EventType::kExecutorSpawn), r.executors_spawned);
+  EXPECT_EQ(counter.total(), auditor.events_seen());
+}
+
+// ---- corrupted streams are rejected ----
+
+TEST(Audit, DetectsReleaseClampAccountingBug) {
+  // Replays the class of bug the release() fix removed: the engine zeroing a
+  // node's positive reserved-memory counter that the live executors still
+  // account for. The tampered stream says "reserved is 0 now" while the
+  // shadow model knows an executor still holds memory there.
+  std::vector<obs::Event> events = record_moe_run();
+  bool tampered = false;
+  for (obs::Event& e : events) {
+    if (e.type != obs::EventType::kExecutorFinish && e.type != obs::EventType::kExecutorOom)
+      continue;
+    obs::Event::Field& f = field(e, "node_reserved_after");
+    if (std::get<double>(f.value) > 1e-3) {
+      f.value = 0.0;  // the old clamp: positive load erased to zero
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered) << "no finish event left memory reserved; change the mix";
+
+  sim::audit::InvariantAuditor auditor;
+  try {
+    replay(events, auditor);
+    FAIL() << "auditor accepted a zeroed reserved-memory counter";
+  } catch (const InvariantError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("reserved drift"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("repro:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("seed=" + std::to_string(recorded_oomy_run().seed)), std::string::npos) << msg;
+  }
+}
+
+TEST(Audit, DetectsDoubleRelease) {
+  std::vector<obs::Event> events = record_moe_run();
+  const std::size_t i = nth_of(events, obs::EventType::kExecutorFinish);
+  ASSERT_NE(i, std::string::npos);
+  events.insert(events.begin() + static_cast<std::ptrdiff_t>(i) + 1, events[i]);
+  sim::audit::InvariantAuditor auditor;
+  EXPECT_THROW(replay(events, auditor), InvariantError);
+}
+
+TEST(Audit, DetectsDroppedRelease) {
+  // Losing a finish leaves a phantom executor in the shadow model; the stream
+  // becomes inconsistent at the latest by that app's finish event.
+  std::vector<obs::Event> events = record_moe_run();
+  const std::size_t i = nth_of(events, obs::EventType::kExecutorFinish);
+  ASSERT_NE(i, std::string::npos);
+  events.erase(events.begin() + static_cast<std::ptrdiff_t>(i));
+  sim::audit::InvariantAuditor auditor;
+  EXPECT_THROW(replay(events, auditor), InvariantError);
+}
+
+TEST(Audit, DetectsOverCommittedReservation) {
+  // Inflate one executor's reservation past node RAM in both the dispatch
+  // decision and the spawn (a consistent lie, as a buggy dispatcher would
+  // tell it).
+  std::vector<obs::Event> events = record_moe_run();
+  const std::size_t d = nth_of(events, obs::EventType::kDispatch);
+  const std::size_t s = nth_of(events, obs::EventType::kExecutorSpawn);
+  ASSERT_NE(d, std::string::npos);
+  ASSERT_NE(s, std::string::npos);
+  field(events[d], "reserved_gib").value = 1e6;
+  field(events[s], "reserved_gib").value = 1e6;
+  sim::audit::InvariantAuditor auditor;
+  EXPECT_THROW(replay(events, auditor), InvariantError);
+}
+
+TEST(Audit, DetectsItemsConservationViolation) {
+  // Shrink the declared input: the engine then appears to dispatch more
+  // items than the application ever had.
+  std::vector<obs::Event> events = record_moe_run();
+  const std::size_t i = nth_of(events, obs::EventType::kAppSubmit);
+  ASSERT_NE(i, std::string::npos);
+  obs::Event::Field& f = field(events[i], "input_items");
+  f.value = std::get<double>(f.value) * 0.5;
+  sim::audit::InvariantAuditor auditor;
+  EXPECT_THROW(replay(events, auditor), InvariantError);
+}
+
+TEST(Audit, DetectsTimeGoingBackwards) {
+  std::vector<obs::Event> events = record_moe_run();
+  const std::size_t i = nth_of(events, obs::EventType::kMonitorReport);
+  ASSERT_NE(i, std::string::npos);
+  events[static_cast<std::size_t>(i)].t = -1.0;
+  sim::audit::InvariantAuditor auditor;
+  EXPECT_THROW(replay(events, auditor), InvariantError);
+}
+
+// ---- failure diagnostics ----
+
+TEST(Audit, FailureEmbedsCallerContextAndRunParameters) {
+  std::vector<obs::Event> events = record_moe_run();
+  const std::size_t i = nth_of(events, obs::EventType::kExecutorFinish);
+  ASSERT_NE(i, std::string::npos);
+  events.insert(events.begin() + static_cast<std::ptrdiff_t>(i) + 1, events[i]);
+
+  sim::audit::InvariantAuditor::Options opts;
+  opts.context = "fuzz_sim --seed 99 --one 12345";
+  sim::audit::InvariantAuditor auditor(opts);
+  try {
+    replay(events, auditor);
+    FAIL() << "corrupted stream accepted";
+  } catch (const InvariantError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("repro: fuzz_sim --seed 99 --one 12345"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("seed=" + std::to_string(recorded_oomy_run().seed)), std::string::npos) << msg;
+    EXPECT_NE(msg.find("policy=under-predict"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("n_apps=6"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("n_nodes="), std::string::npos) << msg;
+  }
+}
+
+TEST(Audit, ResetAfterFailureAllowsReuse) {
+  std::vector<obs::Event> events = record_moe_run();
+  std::vector<obs::Event> bad = events;
+  const std::size_t i = nth_of(bad, obs::EventType::kExecutorFinish);
+  ASSERT_NE(i, std::string::npos);
+  bad.insert(bad.begin() + static_cast<std::ptrdiff_t>(i) + 1, bad[i]);
+
+  sim::audit::InvariantAuditor auditor;
+  EXPECT_THROW(replay(bad, auditor), InvariantError);
+  auditor.reset();
+  EXPECT_NO_THROW(replay(events, auditor));
+  EXPECT_EQ(auditor.runs_completed(), 1u);
+}
+
+}  // namespace

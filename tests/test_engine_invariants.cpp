@@ -1,6 +1,8 @@
 // Cross-policy engine invariants, parameterized over every scheduling policy:
 // executor accounting is conserved, node occupancy respects each mode's
-// rules, and timing fields are consistent.
+// rules, timing fields are consistent — and a 32-seed randomized sweep runs
+// every policy under audit::InvariantAuditor, which replays the event stream
+// against an independent shadow model and throws on the first violation.
 #include <gtest/gtest.h>
 
 #include <functional>
@@ -8,6 +10,7 @@
 
 #include "sched/policies_basic.h"
 #include "sched/policies_learned.h"
+#include "sparksim/audit/invariant_auditor.h"
 #include "sparksim/engine.h"
 #include "workloads/features.h"
 
@@ -96,9 +99,100 @@ TEST_P(EveryPolicy, MemoryAccountingNonNegativeAndOrdered) {
   EXPECT_GE(r.reserved_gib_hours, r.used_gib_hours - 1e-6);
 }
 
+// 32 random seeds per policy, each run replayed live through the invariant
+// auditor's shadow model (see src/sparksim/audit). The policy is constructed
+// once and reused across seeds — the same reuse the experiment runner does.
+// For the first seeds the run is repeated without any sink attached and must
+// produce the identical SimResult: auditing is a passive observer, and a
+// detached auditor costs exactly nothing.
+TEST_P(EveryPolicy, RandomSeedSweepUnderAudit) {
+  auto policy = GetParam().make();
+  sim::audit::InvariantAuditor auditor;
+  constexpr std::uint64_t kSeeds = 32;
+  constexpr std::uint64_t kCrossChecked = 4;  // also re-run un-audited
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    Rng rng(Rng::derive(seed, "invariant-sweep"));
+    const auto mix = wl::random_mix(2 + seed % 5, rng);
+    sim::SimConfig cfg;
+    cfg.seed = seed;
+    cfg.sink = &auditor;
+    sim::ClusterSim sim(cfg, features());
+    sim::SimResult audited;
+    ASSERT_NO_THROW(audited = sim.run(mix, *policy))
+        << GetParam().name << " seed " << seed;
+    if (seed > kCrossChecked) continue;
+    sim::SimConfig bare_cfg = cfg;
+    bare_cfg.sink = nullptr;
+    sim::ClusterSim bare(bare_cfg, features());
+    const sim::SimResult detached = bare.run(mix, *policy);
+    EXPECT_EQ(detached.makespan, audited.makespan) << GetParam().name << " seed " << seed;
+    EXPECT_EQ(detached.oom_total, audited.oom_total);
+    EXPECT_EQ(detached.executors_spawned, audited.executors_spawned);
+    EXPECT_EQ(detached.reserved_gib_hours, audited.reserved_gib_hours);
+    EXPECT_EQ(detached.metrics, audited.metrics);
+  }
+  EXPECT_EQ(auditor.runs_completed(), kSeeds);
+}
+
 INSTANTIATE_TEST_SUITE_P(Policies, EveryPolicy, ::testing::ValuesIn(policy_cases()),
                          [](const ::testing::TestParamInfo<PolicyCase>& info) {
                            return info.param.name;
                          });
+
+// ---- dispatch tie-breaking regression ----
+
+/// Predicts a twentieth of the measured footprint, so the first predictive
+/// executor overshoots its heap far past the OOM tolerance, dies, and flips
+/// the application into the distrusted default-heap fallback.
+class UnderPredictingPolicy final : public sim::SchedulingPolicy {
+ public:
+  std::string name() const override { return "under-predict"; }
+  sim::DispatchMode mode() const override { return sim::DispatchMode::kPredictive; }
+  sim::ProfilingCost profile(sim::AppProbe& probe, sim::MemoryEstimate& est) override {
+    const double per_item = probe.measure_footprint(8192.0) / 8192.0;
+    est.footprint = [per_item](Items items) { return 0.05 * per_item * items; };
+    // Small fixed chunks keep work unassigned after the OOM wave, so the run
+    // actually reaches the distrusted fallback this test pins down.
+    est.items_for_budget = [](GiB) { return 8192.0; };
+    est.cpu_load = 0.3;
+    return {};
+  }
+};
+
+/// Regression for the distrusted-fallback tie-break: with several equally
+/// free nodes the fallback must pick the *first* (strict `>`, matching the
+/// predictive loop) — the old `>=` comparison drifted to the last node.
+TEST(DispatchTieBreak, DistrustedFallbackPicksFirstFreeNodeOnTies) {
+  struct NodeRecorder final : obs::EventSink {
+    std::vector<obs::Event> events;
+    void emit(const obs::Event& event) override { events.push_back(event); }
+  };
+  NodeRecorder rec;
+  sim::SimConfig cfg;
+  cfg.seed = 5;
+  cfg.cluster.n_nodes = 4;
+  cfg.sink = &rec;
+  sim::ClusterSim sim(cfg, features());
+  UnderPredictingPolicy policy;
+  const sim::SimResult r = sim.run({{"HB.TeraSort", 262144.0}}, policy);
+  ASSERT_GE(r.oom_total, 1u) << "under-prediction no longer triggers an OOM";
+
+  // First non-rerun dispatch after the first OOM is the distrusted fallback
+  // choosing among all-idle (equally free) nodes: must be node 0.
+  bool seen_oom = false;
+  std::int64_t fallback_node = -1;
+  for (const obs::Event& e : rec.events) {
+    if (e.type == obs::EventType::kExecutorOom) seen_oom = true;
+    if (!seen_oom || e.type != obs::EventType::kDispatch) continue;
+    const auto rerun = std::get<std::int64_t>(e.find("isolated_rerun")->value);
+    const auto predictive = std::get<std::int64_t>(e.find("predictive")->value);
+    if (rerun == 0 && predictive == 0) {
+      fallback_node = std::get<std::int64_t>(e.find("node")->value);
+      break;
+    }
+  }
+  ASSERT_NE(fallback_node, -1) << "run never reached the distrusted fallback";
+  EXPECT_EQ(fallback_node, 0);
+}
 
 }  // namespace
