@@ -6,7 +6,18 @@
 //   ./build/bench/bench_throughput_scaling [n_mixes] [--threads N]
 //
 // `--threads N` adds N to the sweep (useful to probe a specific count); the
-// sweep always contains 1, 2, 4 and the hardware thread count.
+// sweep always contains 1, 2, 4 and the hardware thread count. Points that
+// request more workers than the machine has hardware threads are flagged in
+// the table and the JSON — their "speedup" measures oversubscription, not
+// scaling.
+//
+// Besides wall-clock sims/sec the bench reports events/sec: the number of
+// engine trace events in the measured panel (a deterministic, machine- and
+// mix-size-independent work measure) divided by the measured seconds. That is
+// the number the CI perf-smoke job compares across machines. A large-cluster
+// point (256 nodes, scenario L10) exercises the regime where the event
+// calendar's O(log n) scheduling beats the legacy per-event rescans
+// asymptotically, and a traced pass measures the sink overhead.
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -16,6 +27,7 @@
 
 #include "common/bench_cli.h"
 #include "common/table.h"
+#include "obs/sink.h"
 #include "sched/experiment.h"
 #include "sched/policies_basic.h"
 #include "sched/policies_learned.h"
@@ -45,6 +57,35 @@ bool same_results(const std::vector<sched::SchemeScenarioResult>& a,
   return true;
 }
 
+/// The Figure-6 policy panel. One instance per measurement context so each
+/// context trains and owns its own policy state.
+struct Panel {
+  sched::PairwisePolicy pairwise;
+  sched::QuasarPolicy quasar;
+  sched::MoePolicy ours;
+  sched::OraclePolicy oracle;
+
+  Panel(const wl::FeatureModel& features)
+      : quasar(features, kSeed), ours(features, kSeed) {}
+
+  std::vector<sim::SchedulingPolicy*> all() {
+    return {&pairwise, &quasar, &ours, &oracle};
+  }
+};
+
+/// Total engine trace events for one panel pass. The policies must already be
+/// trained (warmed up) so the counted schedules are the ones the timed passes
+/// replay; the count is deterministic, so one pass per scenario suffices.
+std::uint64_t count_events(sim::SimConfig cfg, const wl::FeatureModel& features,
+                           const wl::Scenario& scenario, std::size_t n_mixes,
+                           std::uint64_t mix_seed, Panel& panel) {
+  obs::CountingSink counter;
+  cfg.sink = &counter;
+  sched::ExperimentRunner runner(cfg, features, n_mixes, mix_seed, 1);
+  (void)runner.run_scenario(scenario, panel.all());
+  return counter.total();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,9 +101,27 @@ int main(int argc, char** argv) {
 
   const wl::FeatureModel features(kSeed);
   const wl::Scenario& scenario = wl::scenario_by_label("L8");
+  const std::uint64_t mix_seed = Rng::derive(kSeed, "throughput");
 
   std::cout << "Throughput scaling on scenario " << scenario.label << " (" << n_mixes
             << " mixes, seed " << kSeed << ", " << hw << " hardware threads)\n";
+  for (const std::size_t n : sweep)
+    if (n > hw)
+      std::cout << "WARNING: " << n << " requested threads exceed the " << hw
+                << " hardware thread(s); that point measures oversubscription, "
+                   "not scaling\n";
+
+  // The deterministic per-panel event count, used to convert every measured
+  // duration into events/sec.
+  std::uint64_t events_total = 0;
+  {
+    sim::SimConfig cfg;
+    cfg.seed = kSeed;
+    Panel panel(features);
+    sched::ExperimentRunner warm(cfg, features, n_mixes, mix_seed, 1);
+    (void)warm.run_scenario(scenario, panel.all());
+    events_total = count_events(cfg, features, scenario, n_mixes, mix_seed, panel);
+  }
 
   // One simulation per (policy, mix) cell plus one baseline run per mix, the
   // same panel Figure 6 sweeps. Isolated-time warmup runs are excluded from
@@ -71,8 +130,10 @@ int main(int argc, char** argv) {
     std::size_t threads = 0;
     double seconds = 0;
     double sims_per_sec = 0;
+    double events_per_sec = 0;
     double speedup = 1.0;
     bool identical = true;
+    bool exceeds_hardware = false;
   };
   std::vector<Point> points;
   std::vector<sched::SchemeScenarioResult> reference;
@@ -80,13 +141,9 @@ int main(int argc, char** argv) {
   for (const std::size_t n_threads : sweep) {
     sim::SimConfig cfg;
     cfg.seed = kSeed;
-    sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "throughput"),
-                                   n_threads);
-    sched::PairwisePolicy pairwise;
-    sched::QuasarPolicy quasar(features, kSeed);
-    sched::MoePolicy ours(features, kSeed);
-    sched::OraclePolicy oracle;
-    const std::vector<sim::SchedulingPolicy*> policies = {&pairwise, &quasar, &ours, &oracle};
+    sched::ExperimentRunner runner(cfg, features, n_mixes, mix_seed, n_threads);
+    Panel panel(features);
+    const auto policies = panel.all();
 
     // Warmup: trains the learned policies' models and fills the
     // isolated-time cache, so the timed pass measures simulation throughput,
@@ -99,9 +156,11 @@ int main(int argc, char** argv) {
 
     Point pt;
     pt.threads = runner.threads();
+    pt.exceeds_hardware = n_threads > hw;
     pt.seconds = std::chrono::duration<double>(t1 - t0).count();
     const double sims = static_cast<double>(policies.size() * n_mixes + n_mixes);
     pt.sims_per_sec = sims / pt.seconds;
+    pt.events_per_sec = static_cast<double>(events_total) / pt.seconds;
     if (reference.empty()) {
       reference = results;
     } else {
@@ -116,25 +175,96 @@ int main(int argc, char** argv) {
     }
   }
 
-  TextTable table({"threads", "seconds", "sims/sec", "speedup", "identical"});
+  TextTable table({"threads", "seconds", "sims/sec", "events/sec", "speedup", "identical"});
   for (const auto& pt : points)
-    table.add_row({std::to_string(pt.threads), TextTable::num(pt.seconds, 3),
-                   TextTable::num(pt.sims_per_sec, 1), TextTable::num(pt.speedup, 2) + "x",
-                   pt.identical ? "yes" : "NO"});
+    table.add_row({std::to_string(pt.threads) + (pt.exceeds_hardware ? " (>hw)" : ""),
+                   TextTable::num(pt.seconds, 3), TextTable::num(pt.sims_per_sec, 1),
+                   TextTable::num(pt.events_per_sec, 0),
+                   TextTable::num(pt.speedup, 2) + "x", pt.identical ? "yes" : "NO"});
   table.render(std::cout);
+
+  // Traced-run overhead: the same single-threaded panel with a JsonlSink
+  // attached (written to /dev/null), against the untraced threads=1 point.
+  double traced_seconds = 0;
+  double traced_overhead_pct = 0;
+  {
+    sim::SimConfig cfg;
+    cfg.seed = kSeed;
+    Panel panel(features);
+    {
+      sched::ExperimentRunner warm(cfg, features, n_mixes, mix_seed, 1);
+      (void)warm.run_scenario(scenario, panel.all());
+    }
+    std::ofstream devnull("/dev/null");
+    obs::JsonlSink jsonl(devnull);
+    cfg.sink = &jsonl;
+    sched::ExperimentRunner runner(cfg, features, n_mixes, mix_seed, 1);
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)runner.run_scenario(scenario, panel.all());
+    const auto t1 = std::chrono::steady_clock::now();
+    traced_seconds = std::chrono::duration<double>(t1 - t0).count();
+    const double base = points.front().seconds;
+    traced_overhead_pct = 100.0 * (traced_seconds - base) / base;
+    std::cout << "\ntraced run (JSONL to /dev/null, 1 thread): "
+              << TextTable::num(traced_seconds, 3) << " s, "
+              << TextTable::num(traced_overhead_pct, 1) << "% overhead vs untraced\n";
+  }
+
+  // Large-cluster point: 256 nodes on the heavy L10 mix, single-threaded.
+  // Per-event cost is where the legacy engine's O(nodes + executors + apps)
+  // rescans dominated, so this point shows the calendar's asymptotic win —
+  // events/sec here should be the same order as the small-cluster panel,
+  // not hundreds of times smaller.
+  constexpr std::size_t kBigNodes = 256;
+  const wl::Scenario& heavy = wl::scenario_by_label("L10");
+  const std::size_t n_big = std::max<std::size_t>(2, n_mixes / 5);
+  const std::uint64_t big_seed = Rng::derive(kSeed, "throughput-large");
+  double big_seconds = 0;
+  double big_sims_per_sec = 0;
+  double big_events_per_sec = 0;
+  std::uint64_t big_events = 0;
+  {
+    sim::SimConfig cfg;
+    cfg.seed = kSeed;
+    cfg.cluster.n_nodes = kBigNodes;
+    Panel panel(features);
+    sched::ExperimentRunner runner(cfg, features, n_big, big_seed, 1);
+    const auto policies = panel.all();
+    (void)runner.run_scenario(heavy, policies);
+    big_events = count_events(cfg, features, heavy, n_big, big_seed, panel);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)runner.run_scenario(heavy, policies);
+    const auto t1 = std::chrono::steady_clock::now();
+    big_seconds = std::chrono::duration<double>(t1 - t0).count();
+    const double sims = static_cast<double>(policies.size() * n_big + n_big);
+    big_sims_per_sec = sims / big_seconds;
+    big_events_per_sec = static_cast<double>(big_events) / big_seconds;
+    std::cout << "large cluster (" << kBigNodes << " nodes, " << heavy.label << ", " << n_big
+              << " mixes, 1 thread): " << TextTable::num(big_seconds, 3) << " s, "
+              << TextTable::num(big_sims_per_sec, 1) << " sims/sec, "
+              << TextTable::num(big_events_per_sec, 0) << " events/sec\n";
+  }
 
   std::ofstream json("BENCH_throughput.json");
   json << "{\n  \"scenario\": \"" << scenario.label << "\",\n  \"n_mixes\": " << n_mixes
        << ",\n  \"seed\": " << kSeed << ",\n  \"hardware_threads\": " << hw
-       << ",\n  \"points\": [\n";
+       << ",\n  \"events_total\": " << events_total << ",\n  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& pt = points[i];
     json << "    {\"threads\": " << pt.threads << ", \"seconds\": " << pt.seconds
-         << ", \"sims_per_sec\": " << pt.sims_per_sec << ", \"speedup\": " << pt.speedup
-         << ", \"identical\": " << (pt.identical ? "true" : "false") << "}"
+         << ", \"sims_per_sec\": " << pt.sims_per_sec
+         << ", \"events_per_sec\": " << pt.events_per_sec << ", \"speedup\": " << pt.speedup
+         << ", \"identical\": " << (pt.identical ? "true" : "false")
+         << ", \"exceeds_hardware\": " << (pt.exceeds_hardware ? "true" : "false") << "}"
          << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"traced\": {\"seconds\": " << traced_seconds
+       << ", \"overhead_pct\": " << traced_overhead_pct << "},\n  \"large_cluster\": {"
+       << "\"scenario\": \"" << heavy.label << "\", \"n_nodes\": " << kBigNodes
+       << ", \"n_mixes\": " << n_big << ", \"seconds\": " << big_seconds
+       << ", \"sims_per_sec\": " << big_sims_per_sec << ", \"events_total\": " << big_events
+       << ", \"events_per_sec\": " << big_events_per_sec << "}\n}\n";
   std::cout << "\nwrote BENCH_throughput.json\n";
   return 0;
 }

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Perf smoke: run bench_throughput_scaling and compare single-threaded
+# events/sec against the committed BENCH_throughput.json baseline.
+#
+# events/sec is the machine-robust metric: the event count for the panel is
+# deterministic, so the ratio current/baseline is a clean per-event-cost
+# comparison — but CI runners still vary wildly in absolute speed, so the
+# threshold is generous and the failure mode is WARN-only (exit 0). The job
+# exists to make large accidental regressions visible in the log, not to
+# gate merges on shared-runner noise.
+#
+#   scripts/perf_smoke.sh [threshold_pct]   (default: warn below 30% of baseline)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESHOLD_PCT="${1:-30}"
+BASELINE="BENCH_throughput.json"
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "perf-smoke: no committed $BASELINE baseline; nothing to compare" >&2
+  exit 0
+fi
+baseline_eps=$(python3 - "$BASELINE" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+pts = [p for p in doc.get("points", []) if p.get("threads") == 1]
+print(pts[0].get("events_per_sec", 0) if pts else 0)
+EOF
+)
+if [[ "$baseline_eps" == "0" ]]; then
+  echo "perf-smoke: baseline has no threads=1 events_per_sec; skipping" >&2
+  exit 0
+fi
+
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)" --target bench_throughput_scaling
+
+# Run in a scratch dir so the committed baseline JSON is not overwritten.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+(cd "$tmp" && "$OLDPWD/build/bench/bench_throughput_scaling" --threads 1)
+
+python3 - "$tmp/BENCH_throughput.json" "$baseline_eps" "$THRESHOLD_PCT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+baseline, threshold = float(sys.argv[2]), float(sys.argv[3])
+current = next(p["events_per_sec"] for p in doc["points"] if p["threads"] == 1)
+pct = 100.0 * current / baseline
+print(f"perf-smoke: {current:,.0f} events/sec vs baseline {baseline:,.0f} "
+      f"({pct:.0f}% of baseline, warn threshold {threshold:.0f}%)")
+if pct < threshold:
+    print(f"::warning::perf-smoke: events/sec fell to {pct:.0f}% of the committed "
+          f"baseline — possible throughput regression")
+EOF

@@ -1,11 +1,20 @@
 #include "ml/knn.h"
 
 #include <algorithm>
-#include <map>
 
 #include "common/error.h"
 
 namespace smoe::ml {
+
+namespace {
+
+/// Per-thread scratch for the distance sweep. The fitted classifier is shared
+/// (const) across runner threads by cloned MoE policies, so the reusable
+/// buffer cannot live in the classifier itself; one vector per thread keeps
+/// the sweep allocation-free in steady state without any locking.
+thread_local std::vector<KnnClassifier::Neighbour> t_scratch;
+
+}  // namespace
 
 KnnClassifier::KnnClassifier(std::size_t k) : k_(k) {
   SMOE_REQUIRE(k >= 1, "knn: k must be >= 1");
@@ -20,32 +29,44 @@ void KnnClassifier::fit(const Dataset& ds) {
 std::vector<KnnClassifier::Neighbour> KnnClassifier::neighbours(
     std::span<const double> features) const {
   SMOE_REQUIRE(fitted_, "knn: predict before fit");
-  std::vector<Neighbour> all;
+  std::vector<Neighbour>& all = t_scratch;
+  all.clear();
   all.reserve(train_.size());
   for (std::size_t i = 0; i < train_.size(); ++i)
     all.push_back({i, euclidean_distance(features, train_.x.row(i)), train_.labels[i]});
   const std::size_t k = std::min(k_, all.size());
   std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k), all.end(),
                     [](const Neighbour& a, const Neighbour& b) { return a.distance < b.distance; });
-  all.resize(k);
-  return all;
+  return {all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k)};
 }
 
 int KnnClassifier::predict(std::span<const double> features) const {
   const auto nn = neighbours(features);
   SMOE_CHECK(!nn.empty(), "knn: no neighbours");
   // Majority vote; ties broken by the closest member of the tied classes.
-  std::map<int, std::size_t> votes;
-  for (const auto& n : nn) ++votes[n.label];
+  // k is a handful, so the quadratic scan beats any associative container.
   std::size_t best_count = 0;
-  for (const auto& [label, count] : votes) best_count = std::max(best_count, count);
-  for (const auto& n : nn)
-    if (votes[n.label] == best_count) return n.label;
+  for (const auto& n : nn) {
+    std::size_t count = 0;
+    for (const auto& m : nn) count += static_cast<std::size_t>(m.label == n.label);
+    best_count = std::max(best_count, count);
+  }
+  for (const auto& n : nn) {
+    std::size_t count = 0;
+    for (const auto& m : nn) count += static_cast<std::size_t>(m.label == n.label);
+    if (count == best_count) return n.label;
+  }
   return nn.front().label;
 }
 
 double KnnClassifier::nearest_distance(std::span<const double> features) const {
-  return neighbours(features).front().distance;
+  SMOE_REQUIRE(fitted_, "knn: predict before fit");
+  SMOE_CHECK(train_.size() > 0, "knn: no neighbours");
+  // Confidence signal only needs the minimum — no sort, no allocation.
+  double best = euclidean_distance(features, train_.x.row(0));
+  for (std::size_t i = 1; i < train_.size(); ++i)
+    best = std::min(best, euclidean_distance(features, train_.x.row(i)));
+  return best;
 }
 
 const Dataset& KnnClassifier::training_data() const {

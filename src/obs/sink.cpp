@@ -99,25 +99,37 @@ std::size_t CountingSink::distinct_types() const {
 }
 
 void JsonlSink::emit(const Event& event) {
-  std::string line;
-  line.reserve(64 + event.fields.size() * 24);
-  line += "{\"t\":";
-  detail::append_json_number(line, event.t);
-  line += ",\"type\":";
-  detail::append_json_string(line, to_string(event.type));
+  buf_ += "{\"t\":";
+  detail::append_json_number(buf_, event.t);
+  buf_ += ",\"type\":";
+  detail::append_json_string(buf_, to_string(event.type));
   for (const Event::Field& f : event.fields) {
-    line += ',';
-    detail::append_json_string(line, f.key);
-    line += ':';
-    detail::append_field_value(line, f);
+    buf_ += ',';
+    detail::append_json_string(buf_, f.key);
+    buf_ += ':';
+    detail::append_field_value(buf_, f);
   }
-  line += "}\n";
-  os_ << line;
+  buf_ += "}\n";
+  // kRunEnd drains so the trace is complete at end-of-run, not end-of-sink:
+  // the fuzz harness and tests read the stream while the sink is still live.
+  if (buf_.size() >= kSinkBufferBytes || event.type == EventType::kRunEnd) flush();
+}
+
+void JsonlSink::flush() {
+  if (buf_.empty()) return;
+  os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  buf_.clear();
 }
 
 void ChromeTraceSink::begin_record() {
-  if (!first_) os_ << ",\n";
+  if (!first_) buf_ += ",\n";
   first_ = false;
+}
+
+void ChromeTraceSink::flush() {
+  if (buf_.empty()) return;
+  os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  buf_.clear();
 }
 
 void ChromeTraceSink::emit(const Event& event) {
@@ -163,13 +175,15 @@ void ChromeTraceSink::emit(const Event& event) {
   rec += "}}";
 
   begin_record();
-  os_ << rec;
+  buf_ += rec;
+  if (buf_.size() >= kSinkBufferBytes) flush();
 }
 
 void ChromeTraceSink::close() {
   if (closed_) return;
   closed_ = true;
-  os_ << "\n]\n";
+  buf_ += "\n]\n";
+  flush();
   os_.flush();
 }
 

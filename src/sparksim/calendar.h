@@ -1,0 +1,64 @@
+// The engine's event calendar: a min-heap of absolute executor event times
+// (finish or OOM) with lazy invalidation.
+//
+// Entries are never removed from the middle of the heap. Instead, every
+// executor slot carries a monotonically increasing version counter; pushing a
+// new wake-up for a slot bumps the version, and releasing a slot bumps it
+// again, so any older entry still sitting in the heap is recognised as stale
+// when it surfaces and is discarded in O(log n). This keeps every calendar
+// operation O(log n) in the number of *pending* entries with no indexed
+// decrease-key machinery, at the cost of a heap that can transiently hold one
+// stale entry per rate change — bounded by the number of pushes, i.e. by the
+// event count.
+//
+// Ties are broken by ascending slot id so the pop order (and therefore the
+// engine's completion order) is fully deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace smoe::sim {
+
+struct CalendarEntry {
+  Seconds t = 0;              ///< absolute sim-time of the wake-up
+  Seconds tol = 0;            ///< pop slack: due when t <= now + tol
+  int slot = -1;              ///< executor slot the wake-up belongs to
+  std::uint64_t version = 0;  ///< stale when != the slot's current version
+};
+
+class EventCalendar {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  const CalendarEntry& top() const { return heap_.front(); }
+
+  void push(Seconds t, Seconds tol, int slot, std::uint64_t version) {
+    heap_.push_back({t, tol, slot, version});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+
+  /// Discard the top entry (stale or consumed).
+  void discard_top() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+
+  void clear() { heap_.clear(); }
+
+ private:
+  /// Max-heap comparator inverted into a min-heap on (t, slot).
+  struct Later {
+    bool operator()(const CalendarEntry& a, const CalendarEntry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.slot > b.slot;
+    }
+  };
+  std::vector<CalendarEntry> heap_;
+};
+
+}  // namespace smoe::sim

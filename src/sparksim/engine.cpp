@@ -5,11 +5,13 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <utility>
 
 #include "common/approx.h"
 #include "common/error.h"
 #include "obs/registry.h"
 #include "obs/sink.h"
+#include "sparksim/calendar.h"
 #include "sparksim/contention.h"
 #include "sparksim/monitor.h"
 #include "workloads/suites.h"
@@ -40,9 +42,13 @@ struct ExecState {
   GiB resident = 0;
   Seconds search_delay = 0;  ///< online-search probing; no progress meanwhile.
   double degrade = 1.0;      ///< spill/thrash factor from heap overshoot.
-  double rate = 0;           ///< cached items/s for the current step.
+  double rate = 0;           ///< items/s since the last rate refresh.
   double planned_cpu = 0;    ///< CPU-load share booked on the node at spawn.
   Seconds spawned_at = 0;
+  /// Progress (processed/remaining/search_delay) is folded up to this
+  /// sim-time; between folds the executor is described exactly by
+  /// (rate, folded_at) and is never touched per event step.
+  Seconds folded_at = 0;
   bool predictive = false;
 };
 
@@ -71,6 +77,16 @@ struct NodeState {
   /// Sum of cpu_load_iso over resident executors, maintained incrementally on
   /// spawn/release so refresh_rates/node_utilization need no per-event rescan.
   double cpu_iso_sum = 0;
+  /// Sum of resident memory over resident executors, maintained incrementally
+  /// so monitor reports need no per-executor rescan.
+  GiB sum_resident = 0;
+  /// The utilization trace is folded up to this sim-time; between executor
+  /// arrivals/departures the node's utilization is constant, so the trace is
+  /// only touched when the executor set changes (and once at run end).
+  Seconds trace_from = 0;
+  /// Executor set (and therefore every executor rate on this node) changed
+  /// since the last rate refresh.
+  bool dirty = false;
   std::vector<int> execs;
 
   bool empty() const { return execs.empty(); }
@@ -121,10 +137,30 @@ struct Sim {
   /// free index in O(log n) — the same slot the old linear scan returned, so
   /// slot ids in traces are unchanged.
   std::vector<int> free_slots;
-  /// Active slots in ascending order: the per-event loops (next_event_dt,
-  /// advance, handle_completions) iterate live executors only instead of
-  /// scanning every slot ever allocated.
+  /// Active slots in ascending order, for completion snapshots and run-end
+  /// sanity; the per-event hot path never iterates it.
   std::vector<int> active_slots;
+  /// Calendar entry validity, one counter per slot: bumped on every reschedule
+  /// and on release, so stale heap entries self-identify when popped.
+  std::vector<std::uint64_t> versions;
+  /// Absolute executor finish/OOM times, lazily invalidated via `versions`.
+  EventCalendar calendar;
+  /// Nodes whose executor set changed since the last rate refresh.
+  std::vector<int> dirty_nodes;
+  /// Profiling windows as (profile_end, app), sorted ascending; promotion
+  /// consumes a prefix via `profile_cursor` instead of rescanning all apps.
+  std::vector<std::pair<Seconds, std::size_t>> profile_pending;
+  std::size_t profile_cursor = 0;
+  std::size_t apps_done = 0;
+  /// Cluster-wide incremental aggregates: advance() folds the memory-time
+  /// integrals in O(1) instead of walking every active executor.
+  GiB sum_reserved_all = 0;
+  GiB sum_resident_all = 0;
+  // Per-step scratch (cleared each iteration, never reallocated in steady
+  // state).
+  std::vector<int> due_slots;
+  std::vector<std::size_t> touched_apps;
+  std::vector<std::size_t> promo_scratch;
   ResourceMonitor monitor;
   UtilizationTrace trace;
   Seconds next_report;
@@ -220,6 +256,7 @@ struct Sim {
         app.res.profile_end = *slot + duration;
         *slot = app.res.profile_end;
         app.phase = Phase::kProfiling;
+        profile_pending.emplace_back(app.res.profile_end, i);
       } else {
         app.res.profile_end = 0;
         app.phase = Phase::kReady;
@@ -244,6 +281,7 @@ struct Sim {
       }
       apps.push_back(std::move(app));
     }
+    std::sort(profile_pending.begin(), profile_pending.end());
     queue.resize(apps.size());
     for (std::size_t i = 0; i < queue.size(); ++i) queue[i] = i;
     if (cfg.spark.queue_order == QueueOrder::kShortestJobFirst) {
@@ -270,6 +308,7 @@ struct Sim {
   int alloc_exec_slot() {
     if (free_slots.empty()) {
       execs.emplace_back();
+      versions.push_back(0);
       return static_cast<int>(execs.size()) - 1;
     }
     std::pop_heap(free_slots.begin(), free_slots.end(), std::greater<int>());
@@ -287,6 +326,61 @@ struct Sim {
     active_slots.erase(std::lower_bound(active_slots.begin(), active_slots.end(), slot));
     free_slots.push_back(slot);
     std::push_heap(free_slots.begin(), free_slots.end(), std::greater<int>());
+  }
+
+  void mark_dirty(NodeId node_id) {
+    NodeState& node = nodes[static_cast<std::size_t>(node_id)];
+    if (!node.dirty) {
+      node.dirty = true;
+      dirty_nodes.push_back(node_id);
+    }
+  }
+
+  /// Fold the node's constant utilization into the trace up to `now`. Must be
+  /// called before the node's executor set (and thus cpu_iso_sum) changes.
+  void flush_node_trace(NodeId node_id) {
+    NodeState& node = nodes[static_cast<std::size_t>(node_id)];
+    if (now > node.trace_from)
+      trace.accumulate(node_id, node.trace_from, now, node_utilization(node));
+    node.trace_from = now;
+  }
+
+  /// Bring an executor's lazily-folded progress up to `now` at its current
+  /// rate. Idempotent: a second fold at the same time is a no-op.
+  void fold(ExecState& e) {
+    double budget = now - e.folded_at;
+    if (budget <= 0) {
+      e.folded_at = now;
+      return;
+    }
+    e.folded_at = now;
+    if (e.search_delay > 0) {
+      const double used = std::min(e.search_delay, budget);
+      e.search_delay -= used;
+      budget -= used;
+      if (e.search_delay < kEps) e.search_delay = 0;
+    }
+    if (budget <= 0) return;
+    const double done = e.rate * budget;
+    e.processed += done;
+    e.remaining -= done;
+  }
+
+  /// (Re-)arm the executor's calendar wake-up at its next finish-or-OOM time.
+  /// Bumping the version orphans any entry already in the heap for this slot.
+  void schedule(int slot) {
+    ExecState& e = execs[static_cast<std::size_t>(slot)];
+    SMOE_CHECK(e.rate > 0, "executor with zero rate");
+    const double to_finish = e.remaining / e.rate;
+    const double to_fail =
+        std::isfinite(e.fail_after) ? (e.fail_after - e.processed) / e.rate : kInf;
+    const Seconds t = e.folded_at + e.search_delay + std::min(to_finish, to_fail);
+    // Pop slack mirrors the completion test (remaining within
+    // rel_slack(chunk) of zero), converted from items to seconds, so every
+    // executor the legacy full scan would have completed at a step is popped
+    // in the same step.
+    const Seconds tol = rel_slack(e.chunk, kSimRelEps) / e.rate;
+    calendar.push(t, tol, slot, ++versions[static_cast<std::size_t>(slot)]);
   }
 
   /// `predicted` is the policy's predicted footprint for this chunk (GiB),
@@ -312,6 +406,7 @@ struct Sim {
     e.remaining = chunk;
     e.reserved = reserved;
     e.spawned_at = now;
+    e.folded_at = now;
     e.predictive = predictive;
 
     const GiB truth = app.spec->footprint(chunk);
@@ -331,12 +426,17 @@ struct Sim {
     e.search_delay =
         policy.spawn_search_overhead() * chunk / app.spec->items_per_second;
 
+    flush_node_trace(node_id);  // utilization changes from `now` on
     node.reserved += reserved;
     e.planned_cpu = predictive ? app.est.cpu_load : app.spec->cpu_load_iso;
     node.planned_cpu += e.planned_cpu;
     node.cpu_iso_sum += app.spec->cpu_load_iso;
+    node.sum_resident += e.resident;
+    sum_reserved_all += reserved;
+    sum_resident_all += e.resident;
     node.execs.push_back(slot);
     mark_active(slot);
+    mark_dirty(node_id);
     ++executors_spawned;
     ++app.res.executors_used;
     peak_node_occupancy = std::max(peak_node_occupancy, node.execs.size());
@@ -420,6 +520,7 @@ struct Sim {
     ExecState& e = execs[static_cast<std::size_t>(slot)];
     NodeState& node = nodes[static_cast<std::size_t>(e.node)];
     AppState& app = apps[static_cast<std::size_t>(e.app)];
+    flush_node_trace(e.node);  // utilization changes from `now` on
     // Floating-point residue after the final release is clamped to exactly 0.
     // Only *negative* values are clamped: zeroing anything below an epsilon
     // (the old behaviour) also erased legitimately small positive loads and
@@ -430,8 +531,24 @@ struct Sim {
     if (node.planned_cpu < 0) node.planned_cpu = 0;
     node.cpu_iso_sum -= app.spec->cpu_load_iso;
     if (node.cpu_iso_sum < 0) node.cpu_iso_sum = 0;
+    node.sum_resident -= e.resident;
+    if (node.sum_resident < 0) node.sum_resident = 0;
+    sum_reserved_all -= e.reserved;
+    if (sum_reserved_all < 0) sum_reserved_all = 0;
+    sum_resident_all -= e.resident;
+    if (sum_resident_all < 0) sum_resident_all = 0;
     std::erase(node.execs, slot);
+    // An emptied node snaps its incremental resident sum to exactly zero so
+    // monitor reports match a from-scratch recomputation.
+    if (node.execs.empty()) node.sum_resident = 0;
     mark_inactive(slot);
+    if (active_slots.empty()) {
+      sum_reserved_all = 0;
+      sum_resident_all = 0;
+    }
+    mark_dirty(e.node);
+    touched_apps.push_back(static_cast<std::size_t>(e.app));
+    ++versions[static_cast<std::size_t>(slot)];  // orphan any calendar entry
     --app.executors;
     e.active = false;
   }
@@ -597,12 +714,20 @@ struct Sim {
   }
 
   // ---- time stepping --------------------------------------------------
+  /// Recompute executor rates on nodes whose executor set changed since the
+  /// last refresh. Each affected executor is folded up to `now` at its old
+  /// rate first (the new rate applies only from `now` on), then re-armed in
+  /// the calendar. Untouched nodes keep their rates and calendar entries.
   void refresh_rates() {
-    for (auto& node : nodes) {
-      if (node.execs.empty()) continue;
+    if (dirty_nodes.empty()) return;
+    std::sort(dirty_nodes.begin(), dirty_nodes.end());
+    for (const int n : dirty_nodes) {
+      NodeState& node = nodes[static_cast<std::size_t>(n)];
+      node.dirty = false;
       const double total_cpu = node.cpu_iso_sum;
       for (const int ei : node.execs) {
         ExecState& e = execs[static_cast<std::size_t>(ei)];
+        fold(e);
         const auto& spec = *apps[static_cast<std::size_t>(e.app)].spec;
         const double others = std::max(0.0, total_cpu - spec.cpu_load_iso);
         const double factor =
@@ -611,73 +736,109 @@ struct Sim {
                                 cfg.contention.interference_scale) *
             e.degrade;
         e.rate = spec.items_per_second * factor;
+        schedule(ei);
       }
     }
+    dirty_nodes.clear();
   }
 
   double node_utilization(const NodeState& node) const {
     return std::min(1.0, node.cpu_iso_sum);
   }
 
-  Seconds next_event_dt() const {
+  /// True when a calendar entry is the live wake-up for its slot (not an
+  /// orphan from a rate change or a release).
+  bool entry_live(const CalendarEntry& entry) const {
+    return execs[static_cast<std::size_t>(entry.slot)].active &&
+           versions[static_cast<std::size_t>(entry.slot)] == entry.version;
+  }
+
+  /// Absolute time of the next event: the earliest live executor wake-up,
+  /// profiling-window end, or monitor report. Stale calendar entries
+  /// encountered on the way are discarded. O(log n) amortized.
+  Seconds next_event_time() {
     // Time to the next *work* event (profiling promotion, executor finish or
     // OOM), kept separate from the monitor-report timer: when work remains it
     // must be a finite, strictly positive step, or the schedule is stuck and
     // the main loop would spin forever — fail loudly instead.
-    double dt_work = kInf;
+    double t_work = kInf;
     bool has_work = !active_slots.empty();
-    for (const auto& app : apps)
-      if (app.phase == Phase::kProfiling) {
-        has_work = true;
-        dt_work = std::min(dt_work, app.res.profile_end - now);
+    if (profile_cursor < profile_pending.size()) {
+      has_work = true;
+      t_work = profile_pending[profile_cursor].first;
+    }
+    while (!calendar.empty()) {
+      if (!entry_live(calendar.top())) {
+        calendar.discard_top();
+        continue;
       }
-    for (const int slot : active_slots) {
-      const ExecState& e = execs[static_cast<std::size_t>(slot)];
-      double t = e.search_delay;
-      SMOE_CHECK(e.rate > 0, "executor with zero rate");
-      const double to_finish = e.remaining / e.rate;
-      const double to_fail =
-          std::isfinite(e.fail_after) ? (e.fail_after - e.processed) / e.rate : kInf;
-      t += std::min(to_finish, to_fail);
-      dt_work = std::min(dt_work, t);
+      t_work = std::min(t_work, calendar.top().t);
+      break;
     }
     if (has_work)
-      SMOE_CHECK(std::isfinite(dt_work) && dt_work > 0,
+      SMOE_CHECK(std::isfinite(t_work) && t_work > now,
                  "sim: stuck schedule — active work but a non-positive/non-finite step");
-    return std::min(dt_work, next_report - now);
+    return std::min(t_work, next_report);
   }
 
-  void advance(Seconds dt) {
-    for (std::size_t n = 0; n < nodes.size(); ++n)
-      trace.accumulate(static_cast<int>(n), now, now + dt, node_utilization(nodes[n]));
-    for (const int slot : active_slots) {
-      ExecState& e = execs[static_cast<std::size_t>(slot)];
-      reserved_gib_seconds += e.reserved * dt;
-      used_gib_seconds += e.resident * dt;
-      double budget = dt;
-      if (e.search_delay > 0) {
-        const double used = std::min(e.search_delay, budget);
-        e.search_delay -= used;
-        budget -= used;
-        if (e.search_delay < kEps) e.search_delay = 0;
-      }
-      if (budget <= 0) continue;
-      const double done = e.rate * budget;
-      e.processed += done;
-      e.remaining -= done;
+  /// O(1) per step: the per-executor integrals are cluster-level incremental
+  /// sums, executor progress is folded lazily, and the utilization trace is
+  /// folded per node only when its executor set changes.
+  void advance_to(Seconds t) {
+    const double dt = t - now;
+    if (dt <= 0) return;
+    reserved_gib_seconds += sum_reserved_all * dt;
+    used_gib_seconds += sum_resident_all * dt;
+    now = t;
+  }
+
+  /// Promote applications whose profiling window has elapsed. Due windows are
+  /// a sorted prefix of profile_pending; ties are promoted in app order, as
+  /// the legacy all-apps scan did.
+  void promote_profiling() {
+    if (profile_cursor >= profile_pending.size()) return;
+    if (profile_pending[profile_cursor].first > now + kEps) return;
+    promo_scratch.clear();
+    while (profile_cursor < profile_pending.size() &&
+           profile_pending[profile_cursor].first <= now + kEps) {
+      promo_scratch.push_back(profile_pending[profile_cursor].second);
+      ++profile_cursor;
     }
-    now += dt;
+    std::sort(promo_scratch.begin(), promo_scratch.end());
+    for (const std::size_t a : promo_scratch) {
+      AppState& app = apps[a];
+      app.phase = Phase::kReady;
+      if (tracing)
+        sink.emit(obs::Event(now, obs::EventType::kProfilingEnd)
+                      .with("app", a)
+                      .with("benchmark", app.spec->name)
+                      .with("feature_time_s", app.res.feature_time)
+                      .with("calibration_time_s", app.res.calibration_time));
+    }
   }
 
   void handle_completions() {
-    // Snapshot: release() edits active_slots mid-loop. Ascending slot order
-    // matches the old full-scan ordering, so same-timestep OOM re-run queues
-    // build up identically.
-    const std::vector<int> snapshot = active_slots;
-    for (const int slot : snapshot) {
+    // Pop every live wake-up due at `now` (within its per-entry items-derived
+    // slack) and process them in ascending slot order — the same batch and
+    // ordering the legacy full scan produced, so same-timestep OOM re-run
+    // queues build up identically.
+    due_slots.clear();
+    while (!calendar.empty()) {
+      const CalendarEntry& top = calendar.top();
+      if (!entry_live(top)) {
+        calendar.discard_top();
+        continue;
+      }
+      if (top.t > now + top.tol) break;
+      due_slots.push_back(top.slot);
+      calendar.discard_top();
+    }
+    std::sort(due_slots.begin(), due_slots.end());
+    for (const int slot : due_slots) {
       const std::size_t i = static_cast<std::size_t>(slot);
       ExecState& e = execs[i];
       if (!e.active) continue;
+      fold(e);
       if (std::isfinite(e.fail_after) && approx_ge(e.processed, e.fail_after, kSimRelEps)) {
         // OOM: the chunk is lost and must re-run in isolation (Section 2.3).
         AppState& app = apps[static_cast<std::size_t>(e.app)];
@@ -726,13 +887,25 @@ struct Sim {
                         .with("node_planned_cpu_after", node.planned_cpu)
                         .with("node_cpu_iso_after", node.cpu_iso_sum));
         }
+        continue;
       }
+      // Spurious wake-up: the pop slack admitted the entry a hair early and
+      // the folded progress is still short of both thresholds. Re-arm; the
+      // new wake-up is strictly in the future, so the loop cannot spin.
+      schedule(slot);
     }
-    for (std::size_t a = 0; a < apps.size(); ++a) {
+    // Only applications that lost an executor this step can have newly
+    // finished; everything else kept its done-ness.
+    if (touched_apps.empty()) return;
+    std::sort(touched_apps.begin(), touched_apps.end());
+    touched_apps.erase(std::unique(touched_apps.begin(), touched_apps.end()),
+                       touched_apps.end());
+    for (const std::size_t a : touched_apps) {
       AppState& app = apps[a];
       if (app.phase == Phase::kReady && app_done(app) && app.res.finish < 0) {
         app.res.finish = now;
         app.phase = Phase::kDone;
+        ++apps_done;
         m_apps_done.inc();
         if (tracing)
           sink.emit(obs::Event(now, obs::EventType::kAppFinish)
@@ -744,6 +917,7 @@ struct Sim {
                         .with("oom_events", app.res.oom_events));
       }
     }
+    touched_apps.clear();
   }
 
   void maybe_report() {
@@ -751,9 +925,7 @@ struct Sim {
     std::vector<double> cpu(nodes.size()), mem(nodes.size());
     for (std::size_t n = 0; n < nodes.size(); ++n) {
       cpu[n] = node_utilization(nodes[n]);
-      double resident = 0;
-      for (const int e : nodes[n].execs) resident += execs[static_cast<std::size_t>(e)].resident;
-      mem[n] = resident;
+      mem[n] = nodes[n].sum_resident;
     }
     monitor.record(cpu, mem);
     next_report += cfg.spark.monitor_period;
@@ -773,38 +945,27 @@ struct Sim {
     submit(mix);
     std::size_t guard = 0;
     while (true) {
-      // Promote applications whose profiling window has elapsed.
-      for (std::size_t a = 0; a < apps.size(); ++a) {
-        AppState& app = apps[a];
-        if (app.phase == Phase::kProfiling && app.res.profile_end <= now + kEps) {
-          app.phase = Phase::kReady;
-          if (tracing)
-            sink.emit(obs::Event(now, obs::EventType::kProfilingEnd)
-                          .with("app", a)
-                          .with("benchmark", app.spec->name)
-                          .with("feature_time_s", app.res.feature_time)
-                          .with("calibration_time_s", app.res.calibration_time));
-        }
-      }
-
-      bool all_done = true;
-      for (const auto& app : apps)
-        if (app.phase != Phase::kDone) all_done = false;
-      if (all_done) break;
+      promote_profiling();
+      if (apps_done == apps.size()) break;
 
       dispatch();
       refresh_rates();
 
-      const double dt = next_event_dt();
-      if (!std::isfinite(dt)) {
+      const Seconds t = next_event_time();
+      if (!std::isfinite(t)) {
         SMOE_CHECK(false, "simulation stalled: no executors, no pending events");
       }
-      advance(std::max(dt, 0.0));
+      advance_to(t);
       handle_completions();
       maybe_report();
 
       SMOE_CHECK(++guard < 5'000'000, "simulation exceeded event budget");
     }
+    // Close out the lazily-folded utilization spans (idle nodes included: a
+    // node that never hosted an executor records zero utilization for the
+    // whole run, exactly as the legacy per-step accumulation did).
+    for (std::size_t n = 0; n < nodes.size(); ++n)
+      flush_node_trace(static_cast<int>(n));
 
     SimResult result;
     result.trace = std::move(trace);

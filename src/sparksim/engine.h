@@ -6,6 +6,14 @@
 // completions, OOM kills with isolated re-runs (Section 2.3), and resource
 // monitor reports. Everything is deterministic given SimConfig::seed.
 //
+// The core is event-driven, not step-scanned: executor finish/OOM times live
+// in a lazily-invalidated min-heap calendar (calendar.h), executor progress
+// is folded on touch from (rate, folded_at), rates are refreshed only on
+// nodes whose executor set changed, and the memory-time integrals ride on
+// incremental aggregates — per-event cost is O(log n) in pending events plus
+// the (unchanged) dispatch scan, independent of cluster size. DESIGN.md §10
+// has the complexity table and the determinism/drift contract.
+//
 // Executor memory semantics: an executor's resident set is bounded by its
 // reservation (a Spark executor cannot exceed its JVM heap). If the chunk's
 // true working set exceeds the reservation, the executor degrades:

@@ -1,0 +1,163 @@
+// Golden-trace regression pinning of the engine core.
+//
+// Replays a fixed (seed, mix, cluster) cell under all six scheduling policies
+// and byte-compares the full JSONL event stream plus a full-precision
+// SimResult rendering against recorded goldens in tests/golden/. Any engine
+// change that alters a scheduling decision, an event field, or a result
+// value — even in the last floating-point digit — shows up as a byte diff.
+//
+// Regenerate (after an *intentional*, documented engine change) with:
+//   SMOE_REGEN_GOLDEN=1 ./build/tests/test_golden_trace
+// and record the drift bound in DESIGN.md §10.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/sink.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sparksim/audit/invariant_auditor.h"
+#include "sparksim/engine.h"
+#include "workloads/features.h"
+#include "workloads/mixes.h"
+
+#ifndef SMOE_GOLDEN_DIR
+#error "SMOE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+using namespace smoe;
+
+constexpr std::uint64_t kSeed = 424242;
+
+/// Shortest-round-trip number rendering (the JSONL formatter), so the result
+/// files are exactly as sensitive as the traces.
+std::string num(double v) {
+  std::string s;
+  obs::detail::append_json_number(s, v);
+  return s;
+}
+
+sim::SimConfig golden_config() {
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  cfg.cluster.n_nodes = 6;
+  return cfg;
+}
+
+/// Small but eventful: mixes co-location, profiling queues and an OOM-prone
+/// benchmark spread, yet keeps each golden file a few tens of KiB.
+wl::TaskMix golden_mix() {
+  return {{"HB.TeraSort", 131072.0}, {"SP.Gmm", 30720.0},   {"SB.SVM", 30720.0},
+          {"BDB.Grep", 4096.0},      {"HB.Scan", 61440.0},  {"HB.PageRank", 30720.0}};
+}
+
+std::string render_result(const sim::SimResult& r) {
+  std::string out;
+  out += "makespan=" + num(r.makespan) + "\n";
+  out += "oom_total=" + std::to_string(r.oom_total) + "\n";
+  out += "executors_spawned=" + std::to_string(r.executors_spawned) + "\n";
+  out += "executors_degraded=" + std::to_string(r.executors_degraded) + "\n";
+  out += "peak_node_occupancy=" + std::to_string(r.peak_node_occupancy) + "\n";
+  out += "reserved_gib_hours=" + num(r.reserved_gib_hours) + "\n";
+  out += "used_gib_hours=" + num(r.used_gib_hours) + "\n";
+  out += "trace_overall_mean=" + num(r.trace.overall_mean()) + "\n";
+  for (const auto& a : r.apps) {
+    out += a.benchmark + " start=" + num(a.start) + " finish=" + num(a.finish) +
+           " profile_end=" + num(a.profile_end) + " oom=" + std::to_string(a.oom_events) +
+           " execs=" + std::to_string(a.executors_used) + "\n";
+  }
+  return out;
+}
+
+struct PolicyCell {
+  std::string name;
+  std::unique_ptr<sim::SchedulingPolicy> policy;
+};
+
+std::vector<PolicyCell> golden_policies(const wl::FeatureModel& features) {
+  std::vector<PolicyCell> cells;
+  cells.push_back({"isolated", std::make_unique<sched::IsolatedPolicy>()});
+  cells.push_back({"pairwise", std::make_unique<sched::PairwisePolicy>()});
+  cells.push_back({"oracle", std::make_unique<sched::OraclePolicy>()});
+  cells.push_back({"online", std::make_unique<sched::OnlineSearchPolicy>()});
+  cells.push_back({"moe", std::make_unique<sched::MoePolicy>(features, kSeed)});
+  cells.push_back({"quasar", std::make_unique<sched::QuasarPolicy>(features, kSeed)});
+  return cells;
+}
+
+std::string golden_path(const std::string& file) {
+  return std::string(SMOE_GOLDEN_DIR) + "/" + file;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool regen() { return std::getenv("SMOE_REGEN_GOLDEN") != nullptr; }
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  ASSERT_TRUE(out.is_open()) << "cannot write golden " << path;
+  out << content;
+}
+
+TEST(GoldenTrace, AllPoliciesByteIdentical) {
+  const wl::FeatureModel features(1);
+  auto cells = golden_policies(features);
+  for (auto& cell : cells) {
+    // The auditor rides along so a golden update can never smuggle in an
+    // invariant violation; it tees into the JSONL sink under test.
+    sim::audit::InvariantAuditor auditor;
+    std::ostringstream os;
+    obs::JsonlSink jsonl(os);
+    obs::TeeSink tee(jsonl, auditor);
+
+    sim::SimConfig cfg = golden_config();
+    cfg.sink = &tee;
+    sim::ClusterSim sim(cfg, features);
+    const sim::SimResult result = sim.run(golden_mix(), *cell.policy);
+    jsonl.close();
+
+    const std::string trace = os.str();
+    const std::string rendered = render_result(result);
+    ASSERT_FALSE(trace.empty()) << cell.name;
+
+    const std::string trace_file = golden_path("trace_" + cell.name + ".jsonl");
+    const std::string result_file = golden_path("result_" + cell.name + ".txt");
+    if (regen()) {
+      write_file(trace_file, trace);
+      write_file(result_file, rendered);
+      continue;
+    }
+    const std::string want_trace = read_file(trace_file);
+    const std::string want_result = read_file(result_file);
+    ASSERT_FALSE(want_trace.empty())
+        << "missing golden " << trace_file << " — run with SMOE_REGEN_GOLDEN=1";
+    // Byte-for-byte: find the first differing line for a readable failure.
+    if (trace != want_trace) {
+      std::istringstream got(trace), want(want_trace);
+      std::string g, w;
+      std::size_t line = 0;
+      while (std::getline(got, g) && std::getline(want, w)) {
+        ++line;
+        ASSERT_EQ(g, w) << cell.name << ": first trace divergence at line " << line;
+      }
+      FAIL() << cell.name << ": traces differ in length (" << trace.size() << " vs "
+             << want_trace.size() << " bytes)";
+    }
+    EXPECT_EQ(rendered, want_result) << cell.name << ": SimResult drifted";
+  }
+}
+
+}  // namespace

@@ -104,6 +104,7 @@ TEST(Sinks, JsonlEscapingAndLayout) {
                 .with("benchmark", "we\"ird\\name\n\tx\x01")
                 .with("items", std::int64_t{42})
                 .with("frac", 0.25));
+  sink.close();  // the sink buffers ~1 MiB; close() drains to the stream
   const std::string line = os.str();
   EXPECT_EQ(line,
             "{\"t\":1.5,\"type\":\"app_submit\","
