@@ -13,6 +13,7 @@
 
 #include "common/bench_cli.h"
 #include "common/table.h"
+#include "obs/cli.h"
 #include "sched/experiment.h"
 #include "sched/policies_learned.h"
 
@@ -23,11 +24,15 @@ namespace {
 constexpr std::uint64_t kSeed = 2017;
 std::size_t g_mixes = 5;
 std::size_t g_threads = 0;
+obs::EventSink* g_sink = nullptr;
+obs::SinkFactory* g_factory = nullptr;
 
 sched::SchemeScenarioResult evaluate(const wl::FeatureModel& features, sim::SimConfig cfg,
                                      sim::SchedulingPolicy& policy) {
+  cfg.sink = g_sink;
   sched::ExperimentRunner runner(cfg, features, g_mixes, Rng::derive(kSeed, "ablation"),
                                  g_threads);
+  runner.set_sink_factory(g_factory);
   return runner.run_scenario(wl::scenario_by_label("L8"), {&policy}).front();
 }
 
@@ -41,6 +46,9 @@ void emit(TextTable& table, const std::string& setting,
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::TraceCli trace_cli(argc, argv);
+  g_sink = &trace_cli.sink();
+  g_factory = trace_cli.sink_factory();
   const BenchOptions opt = parse_bench_options(argc, argv, 5);
   g_mixes = opt.n_mixes;
   g_threads = opt.threads;

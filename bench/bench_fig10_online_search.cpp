@@ -7,6 +7,7 @@
 #include "common/bench_cli.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/cli.h"
 #include "sched/experiment.h"
 #include "sched/policies_basic.h"
 #include "sched/policies_learned.h"
@@ -14,6 +15,7 @@
 using namespace smoe;
 
 int main(int argc, char** argv) {
+  obs::TraceCli trace_cli(argc, argv);
   constexpr std::uint64_t kSeed = 2017;
   const BenchOptions opt = parse_bench_options(argc, argv, 100);
   const std::size_t n_mixes = opt.n_mixes;
@@ -21,7 +23,9 @@ int main(int argc, char** argv) {
   const wl::FeatureModel features(kSeed);
   sim::SimConfig cfg;
   cfg.seed = kSeed;
+  cfg.sink = &trace_cli.sink();
   sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig10"), opt.threads);
+  runner.set_sink_factory(trace_cli.sink_factory());
 
   sched::OnlineSearchPolicy online;
   sched::MoePolicy ours(features, kSeed);

@@ -6,16 +6,19 @@
 
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/cli.h"
 #include "sched/experiment.h"
 #include "sched/policies_learned.h"
 
 using namespace smoe;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::TraceCli trace_cli(argc, argv);
   constexpr std::uint64_t kSeed = 2017;
   const wl::FeatureModel features(kSeed);
   sim::SimConfig cfg;
   cfg.seed = kSeed;
+  cfg.sink = &trace_cli.sink();
   sim::ClusterSim sim(cfg, features);
   sched::MoePolicy ours(features, kSeed);
 

@@ -6,18 +6,21 @@
 
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/cli.h"
 #include "sched/policies_learned.h"
 #include "sparksim/engine.h"
 #include "workloads/features.h"
 
 using namespace smoe;
 
-int main() {
+int main(int argc, char** argv) {
+  obs::TraceCli trace_cli(argc, argv);
   constexpr std::uint64_t kSeed = 2017;
   const wl::FeatureModel features(kSeed);
   sim::SimConfig cfg;
   cfg.seed = kSeed;
   cfg.cluster.n_nodes = 1;  // the paper runs this experiment on one host
+  cfg.sink = &trace_cli.sink();
   sim::ClusterSim sim(cfg, features);
   sched::MoePolicy ours(features, kSeed);
 

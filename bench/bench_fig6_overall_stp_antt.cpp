@@ -34,6 +34,9 @@ int main(int argc, char** argv) {
   cfg.seed = kSeed;
   cfg.sink = &trace_cli.sink();
   sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig6"), opt.threads);
+  // --trace-dir gives every (policy, mix) cell its own trace file and keeps
+  // the sweep parallel (a single shared --trace sink forces sequential runs).
+  runner.set_sink_factory(trace_cli.sink_factory());
 
   sched::PairwisePolicy pairwise;
   sched::QuasarPolicy quasar(features, kSeed);

@@ -7,12 +7,14 @@
 #include "common/bench_cli.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "obs/cli.h"
 #include "sched/experiment.h"
 #include "sched/policies_learned.h"
 
 using namespace smoe;
 
 int main(int argc, char** argv) {
+  obs::TraceCli trace_cli(argc, argv);
   constexpr std::uint64_t kSeed = 2017;
   const BenchOptions opt = parse_bench_options(argc, argv, 100);
   const std::size_t n_mixes = opt.n_mixes;
@@ -20,7 +22,9 @@ int main(int argc, char** argv) {
   const wl::FeatureModel features(kSeed);
   sim::SimConfig cfg;
   cfg.seed = kSeed;
+  cfg.sink = &trace_cli.sink();
   sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "fig9"), opt.threads);
+  runner.set_sink_factory(trace_cli.sink_factory());
 
   sched::UnifiedCurvePolicy linear(ml::CurveKind::kPowerLaw, features, kSeed);
   sched::UnifiedCurvePolicy exponential(ml::CurveKind::kExponential, features, kSeed);

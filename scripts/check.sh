@@ -20,7 +20,7 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 # ctest regexes over gtest *suite* names (gtest_discover_tests registers
 # Suite.Case, not binary names).
-TESTS_ASAN="${TESTS_ASAN:-^Obs|^Trace|^Sink|^Registry|^Engine|^Sim|^Sparksim|^Contention}"
+TESTS_ASAN="${TESTS_ASAN:-^Obs|^Trace|^Sink|^Registry|^Engine|^Sim|^Sparksim|^Contention|^Golden|^Audit}"
 TESTS_TSAN="${TESTS_TSAN:-^ThreadPool|^ParallelRunner|^Replication}"
 FUZZ_SECONDS="${FUZZ_SECONDS:-30}"
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Perf smoke: run bench_throughput_scaling and compare single-threaded
-# events/sec against the committed BENCH_throughput.json baseline.
+# events/sec — and the traced-run overhead — against the committed
+# BENCH_throughput.json baseline.
 #
 # events/sec is the machine-robust metric: the event count for the panel is
 # deterministic, so the ratio current/baseline is a clean per-event-cost
@@ -9,11 +10,19 @@
 # exists to make large accidental regressions visible in the log, not to
 # gate merges on shared-runner noise.
 #
-#   scripts/perf_smoke.sh [threshold_pct]   (default: warn below 30% of baseline)
+# traced.overhead_pct (traced vs untraced wall clock, same machine and run)
+# is already a ratio, so it gets an absolute slack instead: warn when it
+# exceeds the committed baseline by more than OVERHEAD_SLACK_PP percentage
+# points.
+#
+#   scripts/perf_smoke.sh [threshold_pct] [overhead_slack_pp]
+#   (defaults: warn below 30% of baseline events/sec, or when traced
+#    overhead grows by > 30 percentage points)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 THRESHOLD_PCT="${1:-30}"
+OVERHEAD_SLACK_PP="${2:-30}"
 BASELINE="BENCH_throughput.json"
 
 if [[ ! -f "$BASELINE" ]]; then
@@ -26,6 +35,13 @@ with open(sys.argv[1]) as f:
     doc = json.load(f)
 pts = [p for p in doc.get("points", []) if p.get("threads") == 1]
 print(pts[0].get("events_per_sec", 0) if pts else 0)
+EOF
+)
+baseline_overhead=$(python3 - "$BASELINE" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+print(doc.get("traced", {}).get("overhead_pct", "none"))
 EOF
 )
 if [[ "$baseline_eps" == "0" ]]; then
@@ -41,7 +57,8 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 (cd "$tmp" && "$OLDPWD/build/bench/bench_throughput_scaling" --threads 1)
 
-python3 - "$tmp/BENCH_throughput.json" "$baseline_eps" "$THRESHOLD_PCT" <<'EOF'
+python3 - "$tmp/BENCH_throughput.json" "$baseline_eps" "$THRESHOLD_PCT" \
+    "$baseline_overhead" "$OVERHEAD_SLACK_PP" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -53,4 +70,15 @@ print(f"perf-smoke: {current:,.0f} events/sec vs baseline {baseline:,.0f} "
 if pct < threshold:
     print(f"::warning::perf-smoke: events/sec fell to {pct:.0f}% of the committed "
           f"baseline — possible throughput regression")
+
+# Tracing overhead: a ratio of two runs on the same machine, so compared
+# with an absolute percentage-point slack rather than a machine-speed ratio.
+if sys.argv[4] != "none":
+    base_overhead, slack = float(sys.argv[4]), float(sys.argv[5])
+    overhead = float(doc["traced"]["overhead_pct"])
+    print(f"perf-smoke: traced overhead {overhead:.1f}% vs baseline "
+          f"{base_overhead:.1f}% (warn above baseline + {slack:.0f}pp)")
+    if overhead > base_overhead + slack:
+        print(f"::warning::perf-smoke: traced overhead rose to {overhead:.1f}% "
+              f"(baseline {base_overhead:.1f}%) — tracing hot path regressed")
 EOF

@@ -1,0 +1,56 @@
+#include "obs/async_writer.h"
+
+namespace smoe::obs {
+
+AsyncWriter::AsyncWriter(std::ostream& os, std::size_t recycle_reserve)
+    : os_(os), recycle_reserve_(recycle_reserve), thread_([this] { worker(); }) {}
+
+AsyncWriter::~AsyncWriter() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_one();
+  thread_.join();
+}
+
+std::string AsyncWriter::submit(std::string&& buf) {
+  std::string recycled;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(buf));
+    if (!free_.empty()) {
+      recycled = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  work_cv_.notify_one();
+  recycled.clear();
+  recycled.reserve(recycle_reserve_);
+  return recycled;
+}
+
+void AsyncWriter::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && !writing_; });
+}
+
+void AsyncWriter::worker() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return !queue_.empty() || stop_; });
+    if (queue_.empty() && stop_) return;
+    std::string buf = std::move(queue_.front());
+    queue_.pop_front();
+    writing_ = true;
+    lock.unlock();
+    os_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    buf.clear();
+    lock.lock();
+    writing_ = false;
+    free_.push_back(std::move(buf));
+    if (queue_.empty()) drain_cv_.notify_all();
+  }
+}
+
+}  // namespace smoe::obs

@@ -1,0 +1,57 @@
+// Background writer for buffering sinks: file I/O overlaps simulation.
+//
+// A sink hands full buffers to submit() and gets an empty (recycled) buffer
+// back; a single worker thread writes the queued buffers to the ostream in
+// FIFO order, so the byte stream is identical to the synchronous path. The
+// only observable difference is *when* bytes reach the stream — drain()
+// blocks until everything submitted so far has been written, which is what
+// close() uses to restore the "trace complete at end-of-run" guarantee.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace smoe::obs {
+
+class AsyncWriter {
+ public:
+  /// Spawns the worker thread. `recycle_reserve` is the capacity pre-reserved
+  /// on buffers handed back by submit() (typically the sink's buffer size).
+  explicit AsyncWriter(std::ostream& os, std::size_t recycle_reserve);
+  ~AsyncWriter();  ///< drains outstanding buffers and joins the worker
+
+  AsyncWriter(const AsyncWriter&) = delete;
+  AsyncWriter& operator=(const AsyncWriter&) = delete;
+
+  /// Enqueue `buf` for writing and return an empty buffer to refill (recycled
+  /// from an already-written one when available, so steady-state submission
+  /// allocates nothing).
+  std::string submit(std::string&& buf);
+
+  /// Block until every buffer submitted so far has been written to the
+  /// stream. Does not flush the ostream itself — that stays with the caller.
+  void drain();
+
+ private:
+  void worker();
+
+  std::ostream& os_;
+  const std::size_t recycle_reserve_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< worker waits for queue/stop
+  std::condition_variable drain_cv_;  ///< drain() waits for idle
+  std::deque<std::string> queue_;
+  std::vector<std::string> free_;
+  bool writing_ = false;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace smoe::obs

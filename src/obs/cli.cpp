@@ -35,26 +35,55 @@ std::unique_ptr<std::ofstream> open_trace_file(const std::string& path) {
 }  // namespace
 
 TraceCli::TraceCli(int& argc, char** argv) {
+  // Collect everything first: --trace-async applies to all requested sinks
+  // regardless of flag order, so sinks are constructed after the scan.
+  std::string jsonl_path, chrome_path, dir_path;
+  bool async = false;
   int out = 1;
   for (int i = 1; i < argc;) {
+    if (std::strcmp(argv[i], "--trace-async") == 0) {
+      async = true;
+      ++i;
+      continue;
+    }
     int consumed = 0;
     std::string file = match_flag("--trace", argc, argv, i, consumed);
     if (consumed > 0) {
-      jsonl_os_ = open_trace_file(file);
-      jsonl_ = std::make_unique<JsonlSink>(*jsonl_os_);
+      jsonl_path = file;
       i += consumed;
       continue;
     }
     file = match_flag("--chrome-trace", argc, argv, i, consumed);
     if (consumed > 0) {
-      chrome_os_ = open_trace_file(file);
-      chrome_ = std::make_unique<ChromeTraceSink>(*chrome_os_);
+      chrome_path = file;
+      i += consumed;
+      continue;
+    }
+    file = match_flag("--trace-dir", argc, argv, i, consumed);
+    if (consumed > 0) {
+      dir_path = file;
       i += consumed;
       continue;
     }
     argv[out++] = argv[i++];
   }
   argc = out;
+
+  SinkOptions opts;
+  opts.async_io = async;
+  if (!jsonl_path.empty()) {
+    jsonl_os_ = open_trace_file(jsonl_path);
+    jsonl_ = std::make_unique<JsonlSink>(*jsonl_os_, opts);
+  }
+  if (!chrome_path.empty()) {
+    chrome_os_ = open_trace_file(chrome_path);
+    chrome_ = std::make_unique<ChromeTraceSink>(*chrome_os_, opts);
+  }
+  if (!dir_path.empty()) {
+    FileSinkFactory::Options fopts;
+    fopts.sink = opts;
+    factory_ = std::make_unique<FileSinkFactory>(dir_path, fopts);
+  }
   if (jsonl_ && chrome_) tee_ = std::make_unique<TeeSink>(*jsonl_, *chrome_);
 }
 

@@ -3,6 +3,7 @@
 //
 //   ./build/examples/colocate_cluster --trace run.jsonl
 //   ./build/bench/bench_fig7_server_utilization --chrome-trace run.trace
+//   ./build/bench/bench_fig6_overall_stp_antt --trace-dir traces/
 //
 // TraceCli strips the flags it recognizes from argv (so positional-argument
 // handling in the binaries is untouched) and owns the output files and sinks
@@ -13,6 +14,7 @@
 #include <memory>
 
 #include "obs/sink.h"
+#include "obs/sink_factory.h"
 
 namespace smoe::obs {
 
@@ -21,24 +23,34 @@ class TraceCli {
   /// Recognized (and removed from argv):
   ///   --trace FILE | --trace=FILE                JSONL event trace
   ///   --chrome-trace FILE | --chrome-trace=FILE  Chrome trace_event JSON
-  /// Throws PreconditionError when a flag is given without a file or the
-  /// file cannot be opened.
+  ///   --trace-dir DIR | --trace-dir=DIR          per-cell JSONL traces in
+  ///                                              DIR (sink_factory()); keeps
+  ///                                              traced sweeps parallel
+  ///   --trace-async                              background writer thread
+  ///                                              for all of the above
+  /// Throws PreconditionError when a flag is given without its argument or
+  /// the file cannot be opened.
   TraceCli(int& argc, char** argv);
 
   /// The sink to hand to SimConfig::sink: the requested file sink(s), or
   /// null_sink() when no flag was given. Valid for this object's lifetime.
   EventSink& sink();
 
-  bool active() const { return jsonl_ != nullptr || chrome_ != nullptr; }
+  /// The per-cell factory to hand to ExperimentRunner::set_sink_factory, or
+  /// nullptr when --trace-dir was not given.
+  SinkFactory* sink_factory() { return factory_.get(); }
+
+  bool active() const { return jsonl_ != nullptr || chrome_ != nullptr || factory_ != nullptr; }
 
   /// One-line usage string for the binaries' help output.
   static const char* usage() {
-    return "[--trace FILE] [--chrome-trace FILE]";
+    return "[--trace FILE] [--chrome-trace FILE] [--trace-dir DIR] [--trace-async]";
   }
 
  private:
   std::unique_ptr<std::ofstream> jsonl_os_, chrome_os_;
   std::unique_ptr<EventSink> jsonl_, chrome_, tee_;
+  std::unique_ptr<FileSinkFactory> factory_;
 };
 
 }  // namespace smoe::obs

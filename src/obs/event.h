@@ -4,11 +4,25 @@
 // seconds — never wall-clock — so a trace is a pure function of the run's
 // inputs and SimConfig::seed, and two identically-seeded runs produce
 // byte-identical traces (tests/test_obs.cpp asserts this).
+//
+// Recording is allocation-free: fields live in a fixed-capacity inline array
+// and every value is a trivially-copyable scalar or a *non-owning*
+// std::string_view. Formatting (JSON escaping, number rendering) is deferred
+// to the sink — record now, format later.
+//
+// Lifetime contract for string values: a string_view stored via with() must
+// stay alive until the sink's emit() call consuming the event returns.
+// Building and emitting the event in one full expression satisfies this even
+// for temporaries (e.g. `sink.emit(Event(t, k).with("policy", p.name()))` —
+// the temporary string lives until the full expression ends). Sinks that
+// retain events past emit() must deep-copy them (see OwnedEvent).
 #pragma once
 
 #include <cstdint>
+#include <new>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -42,10 +56,85 @@ inline constexpr std::size_t kEventTypeCount = 14;
 std::string_view to_string(EventType type);
 
 struct Event {
-  /// One typed key/value attribute. Keys are expected to be string literals
-  /// (they are not copied); values are copied into the event.
+  /// One typed key/value attribute. Keys MUST be string literals (or other
+  /// storage whose address and content outlive the sink): sinks write them
+  /// verbatim (no JSON escaping — keys must not need any) and memoize
+  /// formatted fields by key pointer identity. String *values* are views —
+  /// see the lifetime contract in the file comment.
   struct Field {
     std::string_view key;
+    std::variant<std::int64_t, double, std::string_view> value;
+  };
+
+  /// Inline field capacity. The widest engine event (kExecutorSpawn) carries
+  /// 15 fields; with() silently drops fields past this limit
+  /// (tests/test_emission_alloc.cpp pins that behavior), so widen this when
+  /// adding a 17th field to any emission site.
+  static constexpr std::size_t kMaxFields = 16;
+
+  Seconds t = 0;
+  EventType type = EventType::kRunStart;
+
+  Event(Seconds time, EventType event_type) : t(time), type(event_type) {}
+
+  /// Fluent attribute builders; `with("node", 3).with("reserved", 12.5)`.
+  Event& with(std::string_view key, std::int64_t v) { return push(key, v); }
+  Event& with(std::string_view key, int v) { return with(key, static_cast<std::int64_t>(v)); }
+  Event& with(std::string_view key, std::size_t v) {
+    return with(key, static_cast<std::int64_t>(v));
+  }
+  Event& with(std::string_view key, bool v) { return with(key, static_cast<std::int64_t>(v)); }
+  Event& with(std::string_view key, double v) { return push(key, v); }
+  Event& with(std::string_view key, std::string_view v) { return push(key, v); }
+  Event& with(std::string_view key, const char* v) { return push(key, std::string_view(v)); }
+  /// Lvalue std::strings are viewed, not copied (the lifetime contract makes
+  /// this safe); rvalues are deleted — a temporary built *before* the Event
+  /// in a statement would dangle by emit time. Bind it to a local first.
+  Event& with(std::string_view key, const std::string& v) {
+    return push(key, std::string_view(v));
+  }
+  Event& with(std::string_view key, std::string&& v) = delete;
+
+  const Field* begin() const { return std::launder(reinterpret_cast<const Field*>(storage_)); }
+  const Field* end() const { return begin() + n_fields_; }
+  std::size_t size() const { return n_fields_; }
+
+  /// Value of a field, or nullptr if absent (test/diagnostic helper).
+  const Field* find(std::string_view key) const {
+    for (const Field& f : *this)
+      if (f.key == key) return &f;
+    return nullptr;
+  }
+
+ private:
+  template <class V>
+  Event& push(std::string_view key, V v) {
+    if (n_fields_ < kMaxFields)
+      ::new (static_cast<void*>(storage_ + n_fields_++ * sizeof(Field))) Field{key, v};
+    return *this;
+  }
+
+  // Fields live in raw storage, constructed by push() (the std::vector
+  // idiom): an Event is built on the hot path for every traced engine
+  // transition, and default-constructing kMaxFields variants would zero 384
+  // bytes per event only to overwrite them. Safe because Field is trivially
+  // copyable and trivially destructible — asserted below, since both are
+  // what lets the implicit copy/destructor treat storage_ as plain bytes.
+  alignas(Field) unsigned char storage_[kMaxFields * sizeof(Field)];
+  std::size_t n_fields_ = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<Event::Field> &&
+              std::is_trivially_destructible_v<Event::Field>);
+
+/// A deep copy of an Event for sinks that retain events past emit(): keys and
+/// string values are copied into owned std::strings. view() re-materialises a
+/// transient Event whose string_views point into this object's storage — the
+/// view is valid while the OwnedEvent is alive and its fields unmodified.
+class OwnedEvent {
+ public:
+  struct Field {
+    std::string key;
     std::variant<std::int64_t, double, std::string> value;
   };
 
@@ -53,34 +142,45 @@ struct Event {
   EventType type = EventType::kRunStart;
   std::vector<Field> fields;
 
-  Event(Seconds time, EventType event_type) : t(time), type(event_type) {}
+  OwnedEvent() = default;
+  explicit OwnedEvent(const Event& e) : t(e.t), type(e.type) {
+    fields.reserve(e.size());
+    for (const Event::Field& f : e) {
+      Field copy{std::string(f.key), std::int64_t{0}};
+      if (const auto* i = std::get_if<std::int64_t>(&f.value)) {
+        copy.value = *i;
+      } else if (const auto* d = std::get_if<double>(&f.value)) {
+        copy.value = *d;
+      } else {
+        copy.value = std::string(std::get<std::string_view>(f.value));
+      }
+      fields.push_back(std::move(copy));
+    }
+  }
 
-  /// Fluent attribute builders; `with("node", 3).with("reserved", 12.5)`.
-  Event& with(std::string_view key, std::int64_t v) {
-    fields.push_back({key, v});
-    return *this;
+  Field* find(std::string_view key) {
+    for (Field& f : fields)
+      if (f.key == key) return &f;
+    return nullptr;
   }
-  Event& with(std::string_view key, int v) { return with(key, static_cast<std::int64_t>(v)); }
-  Event& with(std::string_view key, std::size_t v) {
-    return with(key, static_cast<std::int64_t>(v));
-  }
-  Event& with(std::string_view key, bool v) { return with(key, static_cast<std::int64_t>(v)); }
-  Event& with(std::string_view key, double v) {
-    fields.push_back({key, v});
-    return *this;
-  }
-  Event& with(std::string_view key, std::string v) {
-    fields.push_back({key, std::move(v)});
-    return *this;
-  }
-  Event& with(std::string_view key, std::string_view v) { return with(key, std::string(v)); }
-  Event& with(std::string_view key, const char* v) { return with(key, std::string(v)); }
-
-  /// Value of a field, or nullptr if absent (test/diagnostic helper).
   const Field* find(std::string_view key) const {
     for (const Field& f : fields)
       if (f.key == key) return &f;
     return nullptr;
+  }
+
+  Event view() const {
+    Event e(t, type);
+    for (const Field& f : fields) {
+      if (const auto* i = std::get_if<std::int64_t>(&f.value)) {
+        e.with(f.key, *i);
+      } else if (const auto* d = std::get_if<double>(&f.value)) {
+        e.with(f.key, *d);
+      } else {
+        e.with(f.key, std::string_view(std::get<std::string>(f.value)));
+      }
+    }
+    return e;
   }
 };
 

@@ -2,6 +2,9 @@
 
 #include <charconv>
 #include <cmath>
+#include <cstring>
+
+#include "obs/async_writer.h"
 
 namespace smoe::obs {
 
@@ -27,8 +30,7 @@ std::string_view to_string(EventType type) {
 
 namespace detail {
 
-void append_json_string(std::string& out, std::string_view s) {
-  out += '"';
+void append_json_escaped(std::string& out, std::string_view s) {
   for (const char c : s) {
     switch (c) {
       case '"': out += "\\\""; break;
@@ -47,6 +49,11 @@ void append_json_string(std::string& out, std::string_view s) {
         }
     }
   }
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  append_json_escaped(out, s);
   out += '"';
 }
 
@@ -66,6 +73,93 @@ void append_json_number(std::string& out, std::int64_t v) {
   out.append(buf, res.ptr);
 }
 
+char* write_json_escaped(char* p, std::string_view s) {
+  const char* q = s.data();
+  std::size_t n = s.size();
+  // Bulk path: copy 8 bytes speculatively and keep them whenever the word is
+  // free of bytes needing escape (quote, backslash, < 0x20), detected with
+  // branch-free SWAR tests. Almost every key and value is clean, so the
+  // per-character loop below only runs on the rare dirty tail.
+  constexpr std::uint64_t kOnes = 0x0101010101010101ull;
+  constexpr std::uint64_t kHighs = 0x8080808080808080ull;
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, q, 8);
+    std::memcpy(p, q, 8);
+    const std::uint64_t ctrl = (w - 0x2020202020202020ull) & ~w & kHighs;
+    const std::uint64_t xq = w ^ 0x2222222222222222ull;  // '"' == 0x22
+    const std::uint64_t quote = (xq - kOnes) & ~xq & kHighs;
+    const std::uint64_t xb = w ^ 0x5c5c5c5c5c5c5c5cull;  // '\\' == 0x5c
+    const std::uint64_t bslash = (xb - kOnes) & ~xb & kHighs;
+    if ((ctrl | quote | bslash) != 0) break;
+    p += 8;
+    q += 8;
+    n -= 8;
+  }
+  for (; n > 0; --n, ++q) {
+    const char c = *q;
+    switch (c) {
+      case '"': p = static_cast<char*>(std::memcpy(p, "\\\"", 2)) + 2; break;
+      case '\\': p = static_cast<char*>(std::memcpy(p, "\\\\", 2)) + 2; break;
+      case '\n': p = static_cast<char*>(std::memcpy(p, "\\n", 2)) + 2; break;
+      case '\r': p = static_cast<char*>(std::memcpy(p, "\\r", 2)) + 2; break;
+      case '\t': p = static_cast<char*>(std::memcpy(p, "\\t", 2)) + 2; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          p = static_cast<char*>(std::memcpy(p, "\\u00", 4)) + 4;
+          *p++ = kHex[(c >> 4) & 0xf];
+          *p++ = kHex[c & 0xf];
+        } else {
+          *p++ = c;
+        }
+    }
+  }
+  return p;
+}
+
+char* write_json_int(char* p, std::int64_t v) {
+  // Trace ints are mostly ids, counts and bools: ~87% fit in two digits.
+  // Same bytes as to_chars, minus its general-case division loop.
+  if (v >= 0 && v < 10) {
+    *p++ = static_cast<char>('0' + v);
+    return p;
+  }
+  if (v >= 10 && v < 100) {
+    *p++ = static_cast<char>('0' + v / 10);
+    *p++ = static_cast<char>('0' + v % 10);
+    return p;
+  }
+  return std::to_chars(p, p + 24, v).ptr;
+}
+
+char* write_json_double(char* p, double v) {
+  if (!std::isfinite(v)) {
+    std::memcpy(p, "null", 4);
+    return p + 4;
+  }
+  return std::to_chars(p, p + 24, v).ptr;
+}
+
+char* write_json_double(char* p, double v, DoubleMemo& memo) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  DoubleMemo::Entry& e =
+      memo.slots[(bits * 0x9e3779b97f4a7c15ull) >> (64 - 11)];  // kSlots == 2^11
+  static_assert(DoubleMemo::kSlots == std::size_t{1} << 11);
+  if (e.bits == bits && e.len != 0) {
+    // Fixed-size copy (the real length is in e.len): three unconditional
+    // 8-byte moves beat a variable-length memcpy.
+    std::memcpy(p, e.text, 24);
+    return p + e.len;
+  }
+  char* const end = write_json_double(p, v);
+  e.bits = bits;
+  e.len = static_cast<std::uint8_t>(end - p);
+  std::memcpy(e.text, p, 24);
+  return end;
+}
+
 namespace {
 
 void append_field_value(std::string& out, const Event::Field& f) {
@@ -74,7 +168,7 @@ void append_field_value(std::string& out, const Event::Field& f) {
   } else if (const auto* d = std::get_if<double>(&f.value)) {
     append_json_number(out, *d);
   } else {
-    append_json_string(out, std::get<std::string>(f.value));
+    append_json_string(out, std::get<std::string_view>(f.value));
   }
 }
 
@@ -98,28 +192,189 @@ std::size_t CountingSink::distinct_types() const {
   return n;
 }
 
+JsonlSink::JsonlSink(std::ostream& os, SinkOptions opts) : os_(os), opts_(opts) {
+  buf_.reserve(opts_.buffer_bytes);
+  if (opts_.async_io) writer_ = std::make_unique<AsyncWriter>(os_, opts_.buffer_bytes);
+}
+
+JsonlSink::~JsonlSink() { close(); }
+
+namespace {
+
+/// Stack scratch for one formatted record. Re-used every emit, so it stays
+/// L1-resident (a larger batching area measured slower: it rotates stores
+/// across cold lines). Records that might not fit (only pathologically long
+/// keys or values) take the string-append slow path.
+constexpr std::size_t kScratchBytes = 4096;
+
+inline char* write_raw(char* p, std::string_view s) {
+  std::memcpy(p, s.data(), s.size());
+  return p + s.size();
+}
+
+/// Pre-formatted `,"type":"<name>"` for every event type, so the JSONL hot
+/// path replaces a runtime-length name copy with one fixed-size copy. Built
+/// without heap allocation (emission must stay allocation-free even for the
+/// first traced event); a namespace-scope constant so emit() pays no
+/// thread-safe-static guard.
+struct TypePrefix {
+  char text[32];
+  std::uint8_t len = 0;
+};
+
+const std::array<TypePrefix, kEventTypeCount> kTypePrefixes = [] {
+  std::array<TypePrefix, kEventTypeCount> t{};
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    char* p = t[i].text;
+    p = write_raw(p, ",\"type\":\"");
+    const std::string_view name = to_string(static_cast<EventType>(i));
+    std::memcpy(p, name.data(), name.size());
+    p += name.size();
+    *p++ = '"';
+    t[i].len = static_cast<std::uint8_t>(p - t[i].text);
+  }
+  return t;
+}();
+
+/// Copy for runtime-length short strings (keys, type names). A variable-size
+/// memcpy is an out-of-line libc call at -O2; fixed 8-byte chunks plus a byte
+/// tail inline to a few moves. Never reads past `s` (unlike an over-copying
+/// trick, which would trip ASan on string literals in .rodata).
+inline char* write_short(char* p, std::string_view s) {
+  const char* q = s.data();
+  const std::size_t n = s.size();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) std::memcpy(p + i, q + i, 8);
+  for (; i < n; ++i) p[i] = q[i];
+  return p + n;
+}
+
+/// `"key":value` (no leading comma). Returns nullptr when the field might
+/// not fit the headroom [p, end) — including the memos' fixed-size copies
+/// and trailing record punctuation — in which case nothing is committed and
+/// the caller must fall back to the whole-record slow path.
+///
+/// Keys are escape-free literals by contract (see Event::Field), so they are
+/// copied verbatim; a key that did need escaping would be escaped by the
+/// slow path too, keeping both paths byte-identical for every key the
+/// contract admits. Numeric fields go through the field memo (miss: doubles
+/// still hit the value-keyed double memo, which has a higher hit rate);
+/// string values are escaped inline.
+inline char* write_field(char* p, const char* end, const Event::Field& f,
+                         detail::FieldMemo& memo, detail::DoubleMemo& dmemo) {
+  std::uint64_t bits;
+  std::uint8_t tag;
+  double dv = 0;
+  if (const auto* i = std::get_if<std::int64_t>(&f.value)) {
+    bits = static_cast<std::uint64_t>(*i);
+    tag = 1;
+  } else if (const auto* d = std::get_if<double>(&f.value)) {
+    dv = *d;
+    std::memcpy(&bits, d, sizeof bits);
+    tag = 2;
+  } else {
+    const std::string_view s = std::get<std::string_view>(f.value);
+    if (static_cast<std::size_t>(end - p) < f.key.size() + 6 * s.size() + 16) return nullptr;
+    *p++ = '"';
+    p = write_short(p, f.key);
+    p = write_raw(p, "\":\"");
+    p = detail::write_json_escaped(p, s);
+    *p++ = '"';
+    return p;
+  }
+  if (static_cast<std::size_t>(end - p) < f.key.size() + 80) return nullptr;
+
+  const char* const kp = f.key.data();
+  detail::FieldMemo::Entry& e =
+      memo.slots[((bits ^ reinterpret_cast<std::uintptr_t>(kp)) * 0x9e3779b97f4a7c15ull) >>
+                 (64 - 11)];  // kSlots == 2^11
+  static_assert(detail::FieldMemo::kSlots == std::size_t{1} << 11);
+  if (e.key == kp && e.bits == bits && e.tag == tag) {
+    std::memcpy(p, e.text, sizeof e.text);  // fixed-size copy; real length in e.len
+    return p + e.len;
+  }
+  char* const start = p;
+  *p++ = '"';
+  p = write_short(p, f.key);
+  *p++ = '"';
+  *p++ = ':';
+  p = tag == 1 ? detail::write_json_int(p, static_cast<std::int64_t>(bits))
+               : detail::write_json_double(p, dv, dmemo);
+  const std::size_t len = static_cast<std::size_t>(p - start);
+  if (len <= sizeof e.text) {
+    e.key = kp;
+    e.bits = bits;
+    e.tag = tag;
+    e.len = static_cast<std::uint8_t>(len);
+    std::memcpy(e.text, start, sizeof e.text);
+  }
+  return p;
+}
+
+}  // namespace
+
 void JsonlSink::emit(const Event& event) {
+  char scratch[kScratchBytes];
+  char* const end = scratch + kScratchBytes;
+  char* p = write_raw(scratch, "{\"t\":");
+  p = detail::write_json_double(p, event.t, memo_);
+  const TypePrefix& tp = kTypePrefixes[static_cast<std::size_t>(event.type)];
+  std::memcpy(p, tp.text, sizeof tp.text);  // fixed-size copy; real length in tp.len
+  p += tp.len;
+  for (const Event::Field& f : event) {
+    *p++ = ',';
+    p = write_field(p, end, f, field_memo_, memo_);
+    if (p == nullptr) {
+      emit_slow(event);  // nothing from scratch was committed yet
+      return;
+    }
+  }
+  *p++ = '}';
+  *p++ = '\n';
+  buf_.append(scratch, static_cast<std::size_t>(p - scratch));
+  // kRunEnd drains so the trace is complete at end-of-run, not end-of-sink:
+  // the fuzz harness and tests read the stream while the sink is still live.
+  if (buf_.size() >= opts_.buffer_bytes || event.type == EventType::kRunEnd) flush();
+}
+
+void JsonlSink::emit_slow(const Event& event) {
   buf_ += "{\"t\":";
   detail::append_json_number(buf_, event.t);
   buf_ += ",\"type\":";
   detail::append_json_string(buf_, to_string(event.type));
-  for (const Event::Field& f : event.fields) {
+  for (const Event::Field& f : event) {
     buf_ += ',';
     detail::append_json_string(buf_, f.key);
     buf_ += ':';
     detail::append_field_value(buf_, f);
   }
   buf_ += "}\n";
-  // kRunEnd drains so the trace is complete at end-of-run, not end-of-sink:
-  // the fuzz harness and tests read the stream while the sink is still live.
-  if (buf_.size() >= kSinkBufferBytes || event.type == EventType::kRunEnd) flush();
+  if (buf_.size() >= opts_.buffer_bytes || event.type == EventType::kRunEnd) flush();
 }
 
 void JsonlSink::flush() {
   if (buf_.empty()) return;
-  os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
-  buf_.clear();
+  if (writer_) {
+    buf_ = writer_->submit(std::move(buf_));
+  } else {
+    os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+  }
 }
+
+void JsonlSink::close() {
+  flush();
+  if (writer_) writer_->drain();
+  os_.flush();
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream& os, SinkOptions opts) : os_(os), opts_(opts) {
+  buf_.reserve(opts_.buffer_bytes);
+  buf_ += "[\n";
+  if (opts_.async_io) writer_ = std::make_unique<AsyncWriter>(os_, opts_.buffer_bytes);
+}
+
+ChromeTraceSink::~ChromeTraceSink() { close(); }
 
 void ChromeTraceSink::begin_record() {
   if (!first_) buf_ += ",\n";
@@ -128,8 +383,12 @@ void ChromeTraceSink::begin_record() {
 
 void ChromeTraceSink::flush() {
   if (buf_.empty()) return;
-  os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
-  buf_.clear();
+  if (writer_) {
+    buf_ = writer_->submit(std::move(buf_));
+  } else {
+    os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+    buf_.clear();
+  }
 }
 
 void ChromeTraceSink::emit(const Event& event) {
@@ -149,34 +408,94 @@ void ChromeTraceSink::emit(const Event& event) {
 
   // Slice begin/end names must match for the viewer to pair them, so the
   // executor lifecycle events all share the "executor:<benchmark>" name.
-  std::string name(ph[0] == 'i' ? to_string(event.type) : std::string_view("executor"));
-  if (const Event::Field* bench = event.find("benchmark"))
-    if (const auto* s = std::get_if<std::string>(&bench->value)) name += ":" + *s;
+  const Event::Field* bench = event.find("benchmark");
+  const std::string_view* bench_name =
+      bench != nullptr ? std::get_if<std::string_view>(&bench->value) : nullptr;
 
-  std::string rec;
-  rec += "{\"name\":";
-  detail::append_json_string(rec, name);
-  rec += ",\"ph\":\"";
-  rec += ph;
-  rec += "\",\"ts\":";
-  detail::append_json_number(rec, event.t * 1e6);  // trace_event ts is in us
-  rec += ",\"pid\":0,\"tid\":";
-  detail::append_json_number(rec, tid);
-  if (ph[0] == 'i') rec += ",\"s\":\"p\"";
-  rec += ",\"args\":{";
-  bool first_arg = true;
-  for (const Event::Field& f : event.fields) {
-    if (!first_arg) rec += ',';
-    first_arg = false;
-    detail::append_json_string(rec, f.key);
-    rec += ':';
-    detail::append_field_value(rec, f);
+  // The record header needs ~160 bytes plus the escaped name; the per-field
+  // headroom is checked by write_field. The `,\n` separator is formatted
+  // into scratch too (not buf_), so bailing to the slow path commits nothing
+  // and emit_slow's own begin_record() emits the separator exactly once.
+  char scratch[kScratchBytes];
+  char* const end = scratch + kScratchBytes;
+  if (160 + 6 * (bench_name != nullptr ? bench_name->size() : 0) > kScratchBytes) {
+    emit_slow(event);
+    return;
   }
-  rec += "}}";
+  char* p = scratch;
+  if (!first_) p = write_raw(p, ",\n");
+  p = write_raw(p, "{\"name\":\"");
+  p = detail::write_json_escaped(p, ph[0] == 'i' ? to_string(event.type)
+                                                 : std::string_view("executor"));
+  if (bench_name != nullptr) {
+    *p++ = ':';
+    p = detail::write_json_escaped(p, *bench_name);
+  }
+  p = write_raw(p, "\",\"ph\":\"");
+  *p++ = ph[0];
+  p = write_raw(p, "\",\"ts\":");
+  p = detail::write_json_double(p, event.t * 1e6, memo_);  // trace_event ts is in us
+  p = write_raw(p, ",\"pid\":0,\"tid\":");
+  p = detail::write_json_int(p, tid);
+  if (ph[0] == 'i') p = write_raw(p, ",\"s\":\"p\"");
+  p = write_raw(p, ",\"args\":{");
+  bool first_arg = true;
+  for (const Event::Field& f : event) {
+    if (!first_arg) *p++ = ',';
+    first_arg = false;
+    p = write_field(p, end, f, field_memo_, memo_);
+    if (p == nullptr) {
+      emit_slow(event);
+      return;
+    }
+  }
+  *p++ = '}';
+  *p++ = '}';
+  first_ = false;
+  buf_.append(scratch, static_cast<std::size_t>(p - scratch));
+  if (buf_.size() >= opts_.buffer_bytes) flush();
+}
+
+void ChromeTraceSink::emit_slow(const Event& event) {
+  const char* ph = "i";
+  switch (event.type) {
+    case EventType::kExecutorSpawn: ph = "B"; break;
+    case EventType::kExecutorFinish:
+    case EventType::kExecutorOom: ph = "E"; break;
+    default: break;
+  }
+
+  std::int64_t tid = -1;
+  if (const Event::Field* node = event.find("node"))
+    if (const auto* i = std::get_if<std::int64_t>(&node->value)) tid = *i;
 
   begin_record();
-  buf_ += rec;
-  if (buf_.size() >= kSinkBufferBytes) flush();
+  buf_ += "{\"name\":\"";
+  detail::append_json_escaped(buf_, ph[0] == 'i' ? to_string(event.type)
+                                                 : std::string_view("executor"));
+  if (const Event::Field* bench = event.find("benchmark"))
+    if (const auto* s = std::get_if<std::string_view>(&bench->value)) {
+      buf_ += ':';
+      detail::append_json_escaped(buf_, *s);
+    }
+  buf_ += "\",\"ph\":\"";
+  buf_ += ph;
+  buf_ += "\",\"ts\":";
+  detail::append_json_number(buf_, event.t * 1e6);
+  buf_ += ",\"pid\":0,\"tid\":";
+  detail::append_json_number(buf_, tid);
+  if (ph[0] == 'i') buf_ += ",\"s\":\"p\"";
+  buf_ += ",\"args\":{";
+  bool first_arg = true;
+  for (const Event::Field& f : event) {
+    if (!first_arg) buf_ += ',';
+    first_arg = false;
+    detail::append_json_string(buf_, f.key);
+    buf_ += ':';
+    detail::append_field_value(buf_, f);
+  }
+  buf_ += "}}";
+  if (buf_.size() >= opts_.buffer_bytes) flush();
 }
 
 void ChromeTraceSink::close() {
@@ -184,6 +503,7 @@ void ChromeTraceSink::close() {
   closed_ = true;
   buf_ += "\n]\n";
   flush();
+  if (writer_) writer_->drain();
   os_.flush();
 }
 

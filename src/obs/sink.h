@@ -11,17 +11,23 @@
 //   TeeSink         — fan out to two sinks (e.g. count and write a file).
 //
 // Sinks are passive observers: emitting to any sink (including none) must not
-// change simulation results.
+// change simulation results. Writing sinks format events directly into their
+// output buffer (record now, format later — the Event itself never owns
+// strings) and may optionally hand full buffers to a background AsyncWriter
+// thread; the byte stream is identical either way.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
 
 #include "obs/event.h"
 
 namespace smoe::obs {
+
+class AsyncWriter;
 
 class EventSink {
  public:
@@ -70,6 +76,70 @@ class CountingSink final : public EventSink {
 /// formatted insertion per event, which dominates traced-run overhead.
 inline constexpr std::size_t kSinkBufferBytes = 1 << 20;
 
+/// Tuning knobs shared by the writing sinks.
+struct SinkOptions {
+  /// Output buffer capacity before the stream is touched. Tests shrink this
+  /// to force mid-run drains.
+  std::size_t buffer_bytes = kSinkBufferBytes;
+  /// Hand full buffers to a background writer thread so file I/O overlaps
+  /// simulation. Drain order is FIFO, bytes identical to synchronous mode;
+  /// close() blocks until everything is on the stream.
+  bool async_io = false;
+};
+
+namespace detail {
+/// Append the JSON escaping of `s` without the surrounding quotes (used to
+/// compose quoted names out of several pieces without a temporary string).
+void append_json_escaped(std::string& out, std::string_view s);
+/// Append a JSON-escaped string (including the surrounding quotes).
+void append_json_string(std::string& out, std::string_view s);
+/// Append a double with shortest round-trip formatting ("1e+300" style kept
+/// valid JSON; NaN/Inf — which valid events never carry — become null).
+void append_json_number(std::string& out, double v);
+void append_json_number(std::string& out, std::int64_t v);
+
+/// Cursor-style formatters for the sink hot path: write at `p`, return the
+/// new cursor. The caller guarantees capacity (see the scratch-bound logic in
+/// sink.cpp). Byte output is identical to the append_json_* helpers above —
+/// tests/test_obs.cpp pins that equivalence on random values.
+char* write_json_escaped(char* p, std::string_view s);
+char* write_json_double(char* p, double v);
+char* write_json_int(char* p, std::int64_t v);
+
+/// Memo of recently formatted doubles, keyed on the exact bit pattern.
+/// Simulator traces repeat values heavily (timestamps shared by co-located
+/// events, per-node gauges, config constants): a small direct-mapped table
+/// turns ~90% of shortest-round-trip conversions into a fixed-size copy.
+/// One memo per sink — sinks are single-threaded by contract.
+struct DoubleMemo {
+  static constexpr std::size_t kSlots = 2048;  // power of two
+  struct Entry {
+    std::uint64_t bits = 0;
+    std::uint8_t len = 0;  // 0 = empty slot ("" is never a formatted number)
+    char text[24];         // longest to_chars double is 24 chars
+  };
+  std::array<Entry, kSlots> slots{};
+};
+char* write_json_double(char* p, double v, DoubleMemo& memo);
+
+/// Memo of whole formatted numeric fields: `"key":value` bytes keyed on
+/// (key pointer, value bits, variant tag). Event keys are string literals by
+/// contract, so pointer identity implies content identity and a hit replaces
+/// key copy + number formatting with one fixed-size copy. String-valued
+/// fields are never memoized (their data pointers are not stable).
+struct FieldMemo {
+  static constexpr std::size_t kSlots = 2048;  // power of two
+  struct Entry {  // 64 bytes: one cache line per lookup
+    const char* key = nullptr;
+    std::uint64_t bits = 0;
+    std::uint8_t len = 0;  // 0 = empty slot
+    std::uint8_t tag = 0;  // variant index + 1
+    char text[46];         // '"' + key + '":' + number; longer fields skip the memo
+  };
+  std::array<Entry, kSlots> slots{};
+};
+}  // namespace detail
+
 /// One JSON object per line: {"t":12.5,"type":"executor_spawn","node":3,...}.
 /// Numbers are formatted with std::to_chars (shortest round-trip), strings
 /// are JSON-escaped; output is byte-deterministic for a deterministic run.
@@ -79,20 +149,24 @@ inline constexpr std::size_t kSinkBufferBytes = 1 << 20;
 /// complete trace of a finished run without having to destroy the sink.
 class JsonlSink final : public EventSink {
  public:
-  explicit JsonlSink(std::ostream& os) : os_(os) { buf_.reserve(kSinkBufferBytes); }
-  ~JsonlSink() override { close(); }
+  explicit JsonlSink(std::ostream& os, SinkOptions opts = {});
+  ~JsonlSink() override;
 
   void emit(const Event& event) override;
-  void close() override {
-    flush();
-    os_.flush();
-  }
+  void close() override;
 
  private:
   void flush();
+  /// String-append fallback for records too large for the stack scratch
+  /// buffer (pathologically long keys or string values). Same bytes.
+  void emit_slow(const Event& event);
 
   std::ostream& os_;
+  SinkOptions opts_;
   std::string buf_;
+  std::unique_ptr<AsyncWriter> writer_;
+  detail::DoubleMemo memo_;
+  detail::FieldMemo field_memo_;
 };
 
 /// Chrome trace_event format: a JSON array of {"name","ph","ts","pid","tid"}
@@ -103,23 +177,27 @@ class JsonlSink final : public EventSink {
 /// only overflow and close() drain the buffer here).
 class ChromeTraceSink final : public EventSink {
  public:
-  explicit ChromeTraceSink(std::ostream& os) : os_(os) {
-    buf_.reserve(kSinkBufferBytes);
-    buf_ += "[\n";
-  }
-  ~ChromeTraceSink() override { close(); }
+  explicit ChromeTraceSink(std::ostream& os, SinkOptions opts = {});
+  ~ChromeTraceSink() override;
 
   void emit(const Event& event) override;
   void close() override;
 
  private:
   std::ostream& os_;
+  SinkOptions opts_;
   std::string buf_;
+  std::unique_ptr<AsyncWriter> writer_;
+  detail::DoubleMemo memo_;
+  detail::FieldMemo field_memo_;
   bool first_ = true;
   bool closed_ = false;
 
   void begin_record();
   void flush();
+  /// String-append fallback for records too large for the stack scratch
+  /// buffer. Same bytes.
+  void emit_slow(const Event& event);
 };
 
 /// Forwards every event to both sinks. Enabled if either is.
@@ -141,14 +219,5 @@ class TeeSink final : public EventSink {
   EventSink& a_;
   EventSink& b_;
 };
-
-namespace detail {
-/// Append a JSON-escaped string (including the surrounding quotes).
-void append_json_string(std::string& out, std::string_view s);
-/// Append a double with shortest round-trip formatting ("1e+300" style kept
-/// valid JSON; NaN/Inf — which valid events never carry — become null).
-void append_json_number(std::string& out, double v);
-void append_json_number(std::string& out, std::int64_t v);
-}  // namespace detail
 
 }  // namespace smoe::obs

@@ -1,0 +1,71 @@
+#include "obs/sink_factory.h"
+
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+namespace smoe::obs {
+
+namespace {
+
+/// An EventSink that owns its output file: the wrapped formatting sink is
+/// destroyed (and therefore flushed) before the stream.
+class OwningFileSink final : public EventSink {
+ public:
+  OwningFileSink(const std::filesystem::path& path, bool chrome, SinkOptions opts)
+      : os_(path, std::ios::binary) {
+    if (!os_) throw std::runtime_error("FileSinkFactory: cannot open " + path.string());
+    if (chrome)
+      inner_ = std::make_unique<ChromeTraceSink>(os_, opts);
+    else
+      inner_ = std::make_unique<JsonlSink>(os_, opts);
+  }
+  ~OwningFileSink() override { close(); }
+
+  void emit(const Event& event) override { inner_->emit(event); }
+  void close() override { inner_->close(); }
+
+ private:
+  std::ofstream os_;
+  std::unique_ptr<EventSink> inner_;
+};
+
+}  // namespace
+
+FileSinkFactory::FileSinkFactory(std::filesystem::path dir, Options opts)
+    : dir_(std::move(dir)), opts_(opts) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string FileSinkFactory::sanitize(std::string_view label) {
+  std::string out(label);
+  for (char& c : out) {
+    const bool ok = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::vector<std::filesystem::path> FileSinkFactory::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+std::unique_ptr<EventSink> FileSinkFactory::make(std::string_view label) {
+  std::string stem = sanitize(label);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t n = ++uses_[stem];
+    if (n > 1) stem += "." + std::to_string(n);
+  }
+  std::filesystem::path path = dir_ / (stem + (opts_.chrome ? ".trace.json" : ".jsonl"));
+  auto sink = std::make_unique<OwningFileSink>(path, opts_.chrome, opts_.sink);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    created_.push_back(std::move(path));
+  }
+  return sink;
+}
+
+}  // namespace smoe::obs

@@ -1,0 +1,70 @@
+// Per-unit sink creation: lets traced sweeps parallelize.
+//
+// A shared EventSink serializes every run that emits into it (event order in
+// one buffer must match sim-time order), which is why ExperimentRunner falls
+// back to sequential execution when SimConfig::sink is live. A SinkFactory
+// instead hands each unit of work (one (policy, mix) cell) its *own* sink —
+// its own buffer/file — so cells can trace concurrently while each per-cell
+// byte stream stays deterministic regardless of thread count.
+#pragma once
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/sink.h"
+
+namespace smoe::obs {
+
+class SinkFactory {
+ public:
+  virtual ~SinkFactory() = default;
+
+  /// Create a fresh sink for the unit of work named `label` (e.g.
+  /// "moe/mix3"). The caller owns the sink, emits a single deterministic
+  /// run into it, and close()s it when the unit finishes. Must be safe to
+  /// call concurrently from worker threads.
+  virtual std::unique_ptr<EventSink> make(std::string_view label) = 0;
+};
+
+struct FileSinkOptions {
+  bool chrome = false;  ///< ChromeTraceSink instead of JsonlSink
+  SinkOptions sink;     ///< buffer size / async I/O for each created sink
+};
+
+/// Writes each unit's trace to `<dir>/<sanitized label>.jsonl` (or
+/// `.trace.json` in Chrome mode). The returned sink owns its file stream.
+class FileSinkFactory final : public SinkFactory {
+ public:
+  using Options = FileSinkOptions;
+
+  /// Creates `dir` (and parents) if missing.
+  explicit FileSinkFactory(std::filesystem::path dir, Options opts = {});
+
+  std::unique_ptr<EventSink> make(std::string_view label) override;
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Paths created so far, in creation order (test/diagnostic helper).
+  std::vector<std::filesystem::path> created() const;
+
+  /// Label characters outside [A-Za-z0-9._-] become '_' so any policy/mix
+  /// label is a safe filename ("moe/mix3" -> "moe_mix3").
+  static std::string sanitize(std::string_view label);
+
+ private:
+  std::filesystem::path dir_;
+  Options opts_;
+  mutable std::mutex mu_;
+  std::vector<std::filesystem::path> created_;
+  /// Times each sanitized label was requested: a repeated label (e.g. the
+  /// same policy evaluated across several sweeps) gets a ".2", ".3", ...
+  /// suffix instead of silently overwriting the earlier trace.
+  std::map<std::string, std::size_t> uses_;
+};
+
+}  // namespace smoe::obs

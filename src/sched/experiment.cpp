@@ -99,10 +99,12 @@ std::vector<SchemeScenarioResult> ExperimentRunner::run_scenario(
   // Pre-warm the isolated-time cache so the fan-out below only reads it.
   iso_.warm(mixes, pool_);
 
-  // With a live trace sink everything stays on this thread: events from
-  // concurrent runs would interleave in the sink. Results are identical
-  // either way; only the wall clock differs.
-  const bool parallel = pool_.size() > 1 && !tracing();
+  // With a single shared trace sink everything stays on this thread: events
+  // from concurrent runs would interleave in the sink. A sink *factory*
+  // lifts that restriction — every cell traces into its own sink, so the
+  // sweep fans out even when traced. Results are identical either way; only
+  // the wall clock differs.
+  const bool parallel = pool_.size() > 1 && (sink_factory_ != nullptr || !tracing());
 
   // Baseline metrics once per mix, shared by every scheme. Each job uses a
   // local baseline policy instance so metrics bindings never cross threads.
@@ -129,7 +131,17 @@ std::vector<SchemeScenarioResult> ExperimentRunner::run_scenario(
   };
   std::vector<Cell> cells(policies.size() * mixes.size());
   auto run_cell = [&](std::size_t p, std::size_t m, sim::SchedulingPolicy& policy) {
-    const sim::SimResult result = sim_.run(mixes[m], policy);
+    sim::SimResult result;
+    if (sink_factory_ != nullptr) {
+      // Each cell's sink sees exactly one deterministic run, so the per-cell
+      // byte stream is independent of which worker ran it or when.
+      const std::unique_ptr<obs::EventSink> cell_sink = sink_factory_->make(
+          scenario.label + "/" + policies[p]->name() + "/mix" + std::to_string(m));
+      result = sim_.run(mixes[m], policy, cell_sink.get());
+      cell_sink->close();
+    } else {
+      result = sim_.run(mixes[m], policy);
+    }
     Cell& cell = cells[p * mixes.size() + m];
     cell.norm = normalize(compute_metrics(result, iso_), baselines[m]);
     cell.makespan = result.makespan;

@@ -12,8 +12,11 @@
 // the same order as a sequential run, so the output is byte-identical at any
 // thread count. Policies are cloned per job (SchedulingPolicy::clone shares
 // trained caches); a policy that cannot be cloned simply runs its cells on
-// the calling thread. When an event sink is attached the runner also stays
-// sequential, so traces remain well-ordered.
+// the calling thread. When a single shared event sink is attached the runner
+// stays sequential, so traces remain well-ordered; attach an
+// obs::SinkFactory instead (set_sink_factory) and every (policy, mix) cell
+// traces into its own sink, which keeps the sweep parallel and each per-cell
+// trace byte-identical at any thread count.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +24,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/report.h"
+#include "obs/sink_factory.h"
 #include "sched/metrics.h"
 #include "sched/policies_basic.h"
 #include "sparksim/engine.h"
@@ -93,6 +97,13 @@ class ExperimentRunner {
   /// evaluated policy's own schedule reaches SimConfig::sink, so a captured
   /// trace is exactly one schedule per run_mix call.
 
+  /// Per-cell tracing for run_scenario: each (policy, mix) cell gets its own
+  /// sink from `factory->make("<scenario>/<policy>/mix<m>")`, closed when
+  /// the cell finishes. Takes precedence over SimConfig::sink for scenario cells and
+  /// keeps the sweep parallel (a shared sink forces sequential execution).
+  /// Borrowed; pass nullptr to detach.
+  void set_sink_factory(obs::SinkFactory* factory) { sink_factory_ = factory; }
+
  private:
   bool tracing() const;
 
@@ -103,6 +114,7 @@ class ExperimentRunner {
   std::size_t n_mixes_;
   std::uint64_t mix_seed_;
   ThreadPool pool_;
+  obs::SinkFactory* sink_factory_ = nullptr;
 };
 
 /// Post-run reporting: headline rows (makespan, STP, ANTT, executor and

@@ -52,7 +52,7 @@ std::int64_t InvariantAuditor::i64(const obs::Event& event, std::string_view key
 std::string InvariantAuditor::str(const obs::Event& event, std::string_view key) const {
   const obs::Event::Field* f = event.find(key);
   if (f == nullptr) fail("missing field '" + std::string(key) + "'", event);
-  if (const auto* s = std::get_if<std::string>(&f->value)) return *s;
+  if (const auto* s = std::get_if<std::string_view>(&f->value)) return std::string(*s);
   fail("field '" + std::string(key) + "' is not a string", event);
 }
 

@@ -204,9 +204,12 @@ struct Sim {
   // ---- setup ---------------------------------------------------------
   void submit(const wl::TaskMix& mix) {
     SMOE_REQUIRE(!mix.empty(), "sim: empty task mix");
+    // Bound to a local because Event stores string *views*: the view must
+    // outlive the emit() call, which a temporary argument would not.
+    const std::string policy_name = policy.name();
     if (tracing)
       sink.emit(obs::Event(now, obs::EventType::kRunStart)
-                    .with("policy", policy.name())
+                    .with("policy", policy_name)
                     .with("mode", mode_name(policy.mode()))
                     .with("n_apps", mix.size())
                     .with("n_nodes", cfg.cluster.n_nodes)

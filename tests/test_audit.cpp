@@ -38,15 +38,17 @@ const wl::TaskMix& busy_mix() {
 }
 
 /// Captures the full event stream so tests can tamper with it and replay it
-/// into an auditor (the corrupted-stream harness).
+/// into an auditor (the corrupted-stream harness). Deep-copies each event
+/// (obs::OwnedEvent): an Event's string fields are views that are only valid
+/// during emit(), so retention requires owning copies.
 struct RecordingSink final : obs::EventSink {
-  std::vector<obs::Event> events;
-  void emit(const obs::Event& event) override { events.push_back(event); }
+  std::vector<obs::OwnedEvent> events;
+  void emit(const obs::Event& event) override { events.emplace_back(event); }
 };
 
 struct RecordedRun {
   std::uint64_t seed = 0;
-  std::vector<obs::Event> events;
+  std::vector<obs::OwnedEvent> events;
 };
 
 /// A recorded MoE trace that contains at least one OOM (scans seeds until one
@@ -87,20 +89,20 @@ const RecordedRun& recorded_oomy_run() {
   return run;
 }
 
-std::vector<obs::Event> record_moe_run() { return recorded_oomy_run().events; }
+std::vector<obs::OwnedEvent> record_moe_run() { return recorded_oomy_run().events; }
 
-void replay(const std::vector<obs::Event>& events, sim::audit::InvariantAuditor& auditor) {
-  for (const obs::Event& e : events) auditor.emit(e);
+void replay(const std::vector<obs::OwnedEvent>& events, sim::audit::InvariantAuditor& auditor) {
+  for (const obs::OwnedEvent& e : events) auditor.emit(e.view());
 }
 
-obs::Event::Field& field(obs::Event& event, std::string_view key) {
-  for (obs::Event::Field& f : event.fields)
+obs::OwnedEvent::Field& field(obs::OwnedEvent& event, std::string_view key) {
+  for (obs::OwnedEvent::Field& f : event.fields)
     if (f.key == key) return f;
   throw std::runtime_error("tamper: no field " + std::string(key));
 }
 
 /// Index of the n-th (0-based) event of `type`, or npos.
-std::size_t nth_of(const std::vector<obs::Event>& events, obs::EventType type,
+std::size_t nth_of(const std::vector<obs::OwnedEvent>& events, obs::EventType type,
                    std::size_t n = 0) {
   for (std::size_t i = 0; i < events.size(); ++i)
     if (events[i].type == type && n-- == 0) return i;
@@ -202,12 +204,12 @@ TEST(Audit, DetectsReleaseClampAccountingBug) {
   // node's positive reserved-memory counter that the live executors still
   // account for. The tampered stream says "reserved is 0 now" while the
   // shadow model knows an executor still holds memory there.
-  std::vector<obs::Event> events = record_moe_run();
+  std::vector<obs::OwnedEvent> events = record_moe_run();
   bool tampered = false;
-  for (obs::Event& e : events) {
+  for (obs::OwnedEvent& e : events) {
     if (e.type != obs::EventType::kExecutorFinish && e.type != obs::EventType::kExecutorOom)
       continue;
-    obs::Event::Field& f = field(e, "node_reserved_after");
+    obs::OwnedEvent::Field& f = field(e, "node_reserved_after");
     if (std::get<double>(f.value) > 1e-3) {
       f.value = 0.0;  // the old clamp: positive load erased to zero
       tampered = true;
@@ -229,7 +231,7 @@ TEST(Audit, DetectsReleaseClampAccountingBug) {
 }
 
 TEST(Audit, DetectsDoubleRelease) {
-  std::vector<obs::Event> events = record_moe_run();
+  std::vector<obs::OwnedEvent> events = record_moe_run();
   const std::size_t i = nth_of(events, obs::EventType::kExecutorFinish);
   ASSERT_NE(i, std::string::npos);
   events.insert(events.begin() + static_cast<std::ptrdiff_t>(i) + 1, events[i]);
@@ -240,7 +242,7 @@ TEST(Audit, DetectsDoubleRelease) {
 TEST(Audit, DetectsDroppedRelease) {
   // Losing a finish leaves a phantom executor in the shadow model; the stream
   // becomes inconsistent at the latest by that app's finish event.
-  std::vector<obs::Event> events = record_moe_run();
+  std::vector<obs::OwnedEvent> events = record_moe_run();
   const std::size_t i = nth_of(events, obs::EventType::kExecutorFinish);
   ASSERT_NE(i, std::string::npos);
   events.erase(events.begin() + static_cast<std::ptrdiff_t>(i));
@@ -252,7 +254,7 @@ TEST(Audit, DetectsOverCommittedReservation) {
   // Inflate one executor's reservation past node RAM in both the dispatch
   // decision and the spawn (a consistent lie, as a buggy dispatcher would
   // tell it).
-  std::vector<obs::Event> events = record_moe_run();
+  std::vector<obs::OwnedEvent> events = record_moe_run();
   const std::size_t d = nth_of(events, obs::EventType::kDispatch);
   const std::size_t s = nth_of(events, obs::EventType::kExecutorSpawn);
   ASSERT_NE(d, std::string::npos);
@@ -266,17 +268,17 @@ TEST(Audit, DetectsOverCommittedReservation) {
 TEST(Audit, DetectsItemsConservationViolation) {
   // Shrink the declared input: the engine then appears to dispatch more
   // items than the application ever had.
-  std::vector<obs::Event> events = record_moe_run();
+  std::vector<obs::OwnedEvent> events = record_moe_run();
   const std::size_t i = nth_of(events, obs::EventType::kAppSubmit);
   ASSERT_NE(i, std::string::npos);
-  obs::Event::Field& f = field(events[i], "input_items");
+  obs::OwnedEvent::Field& f = field(events[i], "input_items");
   f.value = std::get<double>(f.value) * 0.5;
   sim::audit::InvariantAuditor auditor;
   EXPECT_THROW(replay(events, auditor), InvariantError);
 }
 
 TEST(Audit, DetectsTimeGoingBackwards) {
-  std::vector<obs::Event> events = record_moe_run();
+  std::vector<obs::OwnedEvent> events = record_moe_run();
   const std::size_t i = nth_of(events, obs::EventType::kMonitorReport);
   ASSERT_NE(i, std::string::npos);
   events[static_cast<std::size_t>(i)].t = -1.0;
@@ -287,7 +289,7 @@ TEST(Audit, DetectsTimeGoingBackwards) {
 // ---- failure diagnostics ----
 
 TEST(Audit, FailureEmbedsCallerContextAndRunParameters) {
-  std::vector<obs::Event> events = record_moe_run();
+  std::vector<obs::OwnedEvent> events = record_moe_run();
   const std::size_t i = nth_of(events, obs::EventType::kExecutorFinish);
   ASSERT_NE(i, std::string::npos);
   events.insert(events.begin() + static_cast<std::ptrdiff_t>(i) + 1, events[i]);
@@ -309,8 +311,8 @@ TEST(Audit, FailureEmbedsCallerContextAndRunParameters) {
 }
 
 TEST(Audit, ResetAfterFailureAllowsReuse) {
-  std::vector<obs::Event> events = record_moe_run();
-  std::vector<obs::Event> bad = events;
+  std::vector<obs::OwnedEvent> events = record_moe_run();
+  std::vector<obs::OwnedEvent> bad = events;
   const std::size_t i = nth_of(bad, obs::EventType::kExecutorFinish);
   ASSERT_NE(i, std::string::npos);
   bad.insert(bad.begin() + static_cast<std::ptrdiff_t>(i) + 1, bad[i]);

@@ -1,0 +1,127 @@
+// Emission microbenchmark-as-test: recording + formatting one hot-path event
+// must not touch the heap. The global operator new/delete are replaced with
+// counting wrappers, a batch of the widest engine event (kExecutorSpawn, 15
+// fields) is emitted into every sink kind, and the allocation counter must
+// not move. This pins down the zero-allocation contract of the event
+// pipeline: fields live inline in the Event, string values are views, and
+// sinks format straight into their pre-reserved buffers.
+//
+// The counting hook is disabled under ASan/TSan (the sanitizer runtimes own
+// the allocator there); scripts/check.sh keeps the EmissionAlloc suite out of
+// the sanitizer test regexes and the test skips itself as a second guard.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+
+#include "obs/event.h"
+#include "obs/sink.h"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define SMOE_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define SMOE_SANITIZED 1
+#endif
+#endif
+
+#ifndef SMOE_SANITIZED
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#endif  // !SMOE_SANITIZED
+
+namespace {
+
+using namespace smoe;
+
+/// The widest event the engine emits (kExecutorSpawn with its 15 fields),
+/// mirroring src/sparksim/engine.cpp's spawn() site.
+void emit_spawn_batch(obs::EventSink& sink, const std::string& benchmark, int n) {
+  for (int i = 0; i < n; ++i) {
+    sink.emit(obs::Event(0.5 * i, obs::EventType::kExecutorSpawn)
+                  .with("exec", i)
+                  .with("app", 3)
+                  .with("benchmark", benchmark)
+                  .with("node", i % 7)
+                  .with("chunk_items", 8192.0)
+                  .with("reserved_gib", 1.5)
+                  .with("resident_gib", 1.25)
+                  .with("degrade", 0.0)
+                  .with("predictive", true)
+                  .with("isolated_rerun", false)
+                  .with("planned_cpu", 0.4)
+                  .with("cpu_load_iso", 0.35)
+                  .with("node_reserved_after", 3.5)
+                  .with("node_planned_cpu_after", 0.9)
+                  .with("node_cpu_iso_after", 0.8));
+  }
+}
+
+TEST(EmissionAlloc, HotPathEmissionIsAllocationFree) {
+#ifdef SMOE_SANITIZED
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#else
+  // Construction allocates (1 MiB buffer reserves, stream internals) —
+  // everything before the measured window is allowed to.
+  obs::CountingSink counting;
+  std::ostringstream jsonl_out, chrome_out;
+  obs::JsonlSink jsonl(jsonl_out);
+  obs::ChromeTraceSink chrome(chrome_out);
+  const std::string benchmark = "HB.TeraSort";
+
+  // ~1000 events x ~350 formatted bytes stays far below the 1 MiB buffer, so
+  // no flush (and no ostream write) happens inside the window.
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  emit_spawn_batch(counting, benchmark, 1000);
+  emit_spawn_batch(jsonl, benchmark, 1000);
+  emit_spawn_batch(chrome, benchmark, 1000);
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u) << "event emission allocated on the hot path";
+
+  // The events actually went through — this is not a no-op measurement.
+  EXPECT_EQ(counting.total(), 1000u);
+  jsonl.close();
+  chrome.close();
+  EXPECT_GT(jsonl_out.str().size(), 100000u);
+  EXPECT_GT(chrome_out.str().size(), 100000u);
+#endif
+}
+
+TEST(EmissionAlloc, EventLookupAndOverflowAreAllocationFree) {
+#ifdef SMOE_SANITIZED
+  GTEST_SKIP() << "allocation counting disabled under sanitizers";
+#else
+  const std::string benchmark = "SP.Gmm";
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  obs::Event e(1.0, obs::EventType::kDispatch);
+  for (std::size_t i = 0; i < obs::Event::kMaxFields + 4; ++i)
+    e.with("benchmark", benchmark);  // past capacity: silently dropped
+  const obs::Event::Field* f = e.find("benchmark");
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after - before, 0u);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(std::get<std::string_view>(f->value), benchmark);
+  EXPECT_EQ(e.size(), obs::Event::kMaxFields);
+#endif
+}
+
+}  // namespace

@@ -163,9 +163,11 @@ class UnderPredictingPolicy final : public sim::SchedulingPolicy {
 /// free nodes the fallback must pick the *first* (strict `>`, matching the
 /// predictive loop) — the old `>=` comparison drifted to the last node.
 TEST(DispatchTieBreak, DistrustedFallbackPicksFirstFreeNodeOnTies) {
+  // Events are retained past emit(), so they must be deep-copied: the
+  // Event's own string fields are views that die with the emitting call.
   struct NodeRecorder final : obs::EventSink {
-    std::vector<obs::Event> events;
-    void emit(const obs::Event& event) override { events.push_back(event); }
+    std::vector<obs::OwnedEvent> events;
+    void emit(const obs::Event& event) override { events.emplace_back(event); }
   };
   NodeRecorder rec;
   sim::SimConfig cfg;
@@ -181,7 +183,7 @@ TEST(DispatchTieBreak, DistrustedFallbackPicksFirstFreeNodeOnTies) {
   // choosing among all-idle (equally free) nodes: must be node 0.
   bool seen_oom = false;
   std::int64_t fallback_node = -1;
-  for (const obs::Event& e : rec.events) {
+  for (const obs::OwnedEvent& e : rec.events) {
     if (e.type == obs::EventType::kExecutorOom) seen_oom = true;
     if (!seen_oom || e.type != obs::EventType::kDispatch) continue;
     const auto rerun = std::get<std::int64_t>(e.find("isolated_rerun")->value);

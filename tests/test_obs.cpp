@@ -4,6 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -13,6 +19,7 @@
 #include "obs/registry.h"
 #include "obs/report.h"
 #include "obs/sink.h"
+#include "obs/sink_factory.h"
 #include "sched/experiment.h"
 #include "sched/policies_basic.h"
 #include "sched/policies_learned.h"
@@ -118,6 +125,94 @@ TEST(Sinks, JsonlNonFiniteBecomesNull) {
   sink.emit(obs::Event(0.0, obs::EventType::kRunEnd)
                 .with("bad", std::numeric_limits<double>::infinity()));
   EXPECT_NE(os.str().find("\"bad\":null"), std::string::npos);
+}
+
+// The hot emit path formats with the cursor writers + memo tables in
+// sink.cpp; this reference (and the sink's own slow path) uses the
+// append_json_* helpers. Differential test: random and adversarial events
+// must produce byte-identical JSONL either way. Values repeat (drawn from
+// small pools) so memo hits are exercised alongside misses; occasional huge
+// strings overflow the stack scratch and force the emit_slow fallback; a
+// tiny buffer forces frequent mid-run drains.
+TEST(Sinks, CursorFormattersMatchAppendHelpers) {
+  std::mt19937 rng(20260807);
+  static constexpr const char* kKeys[] = {"node", "reserved", "frac",   "benchmark",
+                                          "items", "mode",    "heap_gb", "chunk"};
+  std::vector<double> dbl_pool = {0.0,
+                                  -0.0,
+                                  0.25,
+                                  0.1,
+                                  1.0 / 3.0,
+                                  1e-9,
+                                  1e300,
+                                  -1e300,
+                                  std::numeric_limits<double>::quiet_NaN(),
+                                  std::numeric_limits<double>::infinity(),
+                                  -std::numeric_limits<double>::infinity(),
+                                  std::numeric_limits<double>::denorm_min()};
+  for (int i = 0; i < 32; ++i)
+    dbl_pool.push_back(std::uniform_real_distribution<double>(-1e6, 1e6)(rng));
+  std::vector<std::int64_t> int_pool = {0,     1,     -1,
+                                        7,     42,    -99,
+                                        12345, std::numeric_limits<std::int64_t>::min(),
+                                        std::numeric_limits<std::int64_t>::max()};
+  for (int i = 0; i < 16; ++i)
+    int_pool.push_back(std::uniform_int_distribution<std::int64_t>(-1000000, 1000000)(rng));
+  auto random_string = [&](bool huge) {
+    const std::size_t len =
+        huge ? 6000 : std::uniform_int_distribution<std::size_t>(0, 40)(rng);
+    std::string s;
+    s.reserve(len);
+    for (std::size_t i = 0; i < len; ++i)
+      s.push_back(static_cast<char>(std::uniform_int_distribution<int>(0, 127)(rng)));
+    return s;
+  };
+
+  std::ostringstream os;
+  obs::JsonlSink sink(os, {.buffer_bytes = 256});
+  std::string want;
+  for (int iter = 0; iter < 500; ++iter) {
+    const double t = dbl_pool[rng() % dbl_pool.size()];
+    const auto type = static_cast<obs::EventType>(rng() % obs::kEventTypeCount);
+    obs::Event e(t, type);
+    want += "{\"t\":";
+    obs::detail::append_json_number(want, t);
+    want += ",\"type\":\"";
+    want += obs::to_string(type);
+    want += '"';
+    const int n_fields = static_cast<int>(rng() % 8);
+    std::vector<std::string> string_values(n_fields);  // outlive emit() below
+    for (int f = 0; f < n_fields; ++f) {
+      const char* key = kKeys[rng() % (sizeof kKeys / sizeof *kKeys)];
+      want += ",\"";
+      want += key;
+      want += "\":";
+      switch (rng() % 3) {
+        case 0: {
+          const std::int64_t v = int_pool[rng() % int_pool.size()];
+          e.with(key, v);
+          obs::detail::append_json_number(want, v);
+          break;
+        }
+        case 1: {
+          const double v = dbl_pool[rng() % dbl_pool.size()];
+          e.with(key, v);
+          obs::detail::append_json_number(want, v);
+          break;
+        }
+        default: {
+          string_values[f] = random_string(rng() % 50 == 0);
+          e.with(key, std::string_view(string_values[f]));
+          obs::detail::append_json_string(want, string_values[f]);
+          break;
+        }
+      }
+    }
+    want += "}\n";
+    sink.emit(e);
+  }
+  sink.close();
+  EXPECT_EQ(os.str(), want);
 }
 
 /// Minimal structural JSON check: quotes, braces and brackets balance
@@ -275,6 +370,65 @@ TEST(EngineObs, IdenticalSeedsProduceByteIdenticalTraces) {
   EXPECT_NE(t1, run_trace(2018));
 }
 
+std::string run_trace_with(obs::SinkOptions opts, bool chrome) {
+  const wl::FeatureModel features(1);
+  std::ostringstream os;
+  std::unique_ptr<obs::EventSink> sink;
+  if (chrome)
+    sink = std::make_unique<obs::ChromeTraceSink>(os, opts);
+  else
+    sink = std::make_unique<obs::JsonlSink>(os, opts);
+  sim::SimConfig cfg = small_config();
+  cfg.sink = sink.get();
+  sim::ClusterSim sim(cfg, features);
+  sched::MoePolicy moe(features, cfg.seed);
+  sim.run(oomy_mix(), moe);
+  sink->close();
+  return os.str();
+}
+
+TEST(Sinks, AsyncWriterByteIdenticalToSync) {
+  // A tiny buffer forces many mid-run drains, so the async writer's queue
+  // actually carries multiple buffers whose write order must be FIFO.
+  obs::SinkOptions sync;
+  sync.buffer_bytes = 1024;
+  obs::SinkOptions async = sync;
+  async.async_io = true;
+  for (const bool chrome : {false, true}) {
+    const std::string sync_out = run_trace_with(sync, chrome);
+    const std::string async_out = run_trace_with(async, chrome);
+    EXPECT_FALSE(sync_out.empty());
+    EXPECT_EQ(sync_out, async_out) << (chrome ? "chrome" : "jsonl");
+  }
+  // Buffer capacity is not observable in the output either.
+  EXPECT_EQ(run_trace_with(obs::SinkOptions{}, false), run_trace_with(async, false));
+}
+
+TEST(SinkFactory, WritesPerLabelFilesAndSanitizesNames) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "smoe_sink_factory_test";
+  std::filesystem::remove_all(dir);
+  obs::FileSinkFactory factory(dir);
+  {
+    const std::unique_ptr<obs::EventSink> sink = factory.make("Ours (MoE)/mix0");
+    sink->emit(obs::Event(0.0, obs::EventType::kRunStart).with("policy", "p"));
+    sink->close();
+  }
+  factory.make("Ours (MoE)/mix0")->close();  // repeated label must not overwrite
+
+  const auto files = factory.created();
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0].filename().string(), "Ours__MoE__mix0.jsonl");
+  EXPECT_EQ(files[1].filename().string(), "Ours__MoE__mix0.2.jsonl");
+  for (const auto& f : files) EXPECT_TRUE(std::filesystem::exists(f)) << f;
+
+  std::ifstream in(files[0]);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_NE(line.find("\"run_start\""), std::string::npos) << line;
+  std::filesystem::remove_all(dir);
+}
+
 TEST(EngineObs, SinksAreZeroCost) {
   // Acceptance criterion: enabling any sink changes SimResult by exactly
   // nothing (sinks are passive observers).
@@ -381,6 +535,26 @@ TEST(TraceCli, MissingFileIsPreconditionError) {
   char* argv[] = {a0.data(), a1.data()};
   int argc = 2;
   EXPECT_THROW(obs::TraceCli(argc, argv), PreconditionError);
+}
+
+TEST(TraceCli, TraceDirMakesAFactoryAndAsyncIsStripped) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "smoe_trace_cli_dir";
+  std::filesystem::remove_all(dir);
+  const std::string dir_flag = "--trace-dir=" + dir.string();
+  std::string a0 = "prog", a1 = "L5", a2 = dir_flag, a3 = "--trace-async";
+  char* argv[] = {a0.data(), a1.data(), a2.data(), a3.data()};
+  int argc = 4;
+  obs::TraceCli cli(argc, argv);
+  EXPECT_TRUE(cli.active());
+  // --trace-dir routes through sink_factory(), not the shared sink.
+  EXPECT_FALSE(cli.sink().enabled());
+  ASSERT_NE(cli.sink_factory(), nullptr);
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "L5");
+  cli.sink_factory()->make("cell")->close();
+  EXPECT_TRUE(std::filesystem::exists(dir / "cell.jsonl"));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

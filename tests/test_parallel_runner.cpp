@@ -3,10 +3,20 @@
 // replication outcomes, and engine metrics snapshots alike.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/registry.h"
+#include "obs/sink.h"
+#include "obs/sink_factory.h"
 #include "sched/experiment.h"
 #include "sched/policies_basic.h"
 #include "sched/policies_learned.h"
@@ -118,6 +128,107 @@ TEST(ParallelRunner, NonCloneablePolicyStillRunsAndMatchesSequential) {
     return runner.run_scenario(wl::scenario_by_label("L2"), {&noclone, &oracle});
   };
   expect_identical(run(1), run(4));
+}
+
+// A SinkFactory that keeps every per-cell trace in memory and, when asked,
+// gates make() on a second distinct thread arriving. The gate turns "traced
+// sweeps execute on the pool" into a deterministic assertion: in the parallel
+// path the caller claims one cell and at least one pool worker claims
+// another, so two threads reach make(); a sequential fallback would only
+// ever present one thread and the gate times out.
+class MemorySinkFactory final : public obs::SinkFactory {
+ public:
+  explicit MemorySinkFactory(std::size_t min_threads) : min_threads_(min_threads) {}
+
+  std::unique_ptr<obs::EventSink> make(std::string_view label) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    threads_.insert(std::this_thread::get_id());
+    cv_.notify_all();
+    if (!cv_.wait_for(lock, std::chrono::seconds(60),
+                      [&] { return threads_.size() >= min_threads_; }))
+      gate_ok_ = false;
+    return std::make_unique<CaptureSink>(*this, std::string(label));
+  }
+
+  std::map<std::string, std::string> traces() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return traces_;
+  }
+  bool gate_ok() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return gate_ok_;
+  }
+
+ private:
+  class CaptureSink final : public obs::EventSink {
+   public:
+    CaptureSink(MemorySinkFactory& parent, std::string label)
+        : parent_(parent), label_(std::move(label)), inner_(os_) {}
+    ~CaptureSink() override { close(); }
+    void emit(const obs::Event& event) override { inner_.emit(event); }
+    void close() override {
+      if (closed_) return;
+      closed_ = true;
+      inner_.close();
+      parent_.record(label_, os_.str());
+    }
+
+   private:
+    MemorySinkFactory& parent_;
+    std::string label_;
+    std::ostringstream os_;
+    obs::JsonlSink inner_;
+    bool closed_ = false;
+  };
+
+  void record(const std::string& label, std::string bytes) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    traces_[label] = std::move(bytes);
+  }
+
+  std::size_t min_threads_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<std::thread::id> threads_;
+  std::map<std::string, std::string> traces_;
+  bool gate_ok_ = true;
+};
+
+TEST(ParallelRunner, TracedSweepFansOutAndTracesAreThreadCountInvariant) {
+  auto run = [&](std::size_t n_threads, MemorySinkFactory& factory) {
+    const wl::FeatureModel features(kSeed);
+    sim::SimConfig cfg;
+    cfg.seed = kSeed;
+    sched::ExperimentRunner runner(cfg, features, 3, 11, n_threads);
+    runner.set_sink_factory(&factory);
+    sched::PairwisePolicy pairwise;
+    sched::MoePolicy moe(features, kSeed);
+    return runner.run_scenario(wl::scenario_by_label("L5"), {&pairwise, &moe});
+  };
+
+  MemorySinkFactory seq_factory(1), par_factory(2);
+  const auto seq = run(1, seq_factory);
+  const auto par = run(4, par_factory);
+
+  // Aggregate results: same contract as the untraced sweeps above.
+  expect_identical(seq, par);
+  // The 4-thread sweep really ran cells on the pool: two distinct threads
+  // reached the factory before the gate's timeout.
+  EXPECT_TRUE(par_factory.gate_ok()) << "traced sweep fell back to one thread";
+
+  // Per-cell traces: one per (policy, mix), byte-identical across thread
+  // counts, and labelled so a cell's file can be found after a sweep.
+  const auto seq_traces = seq_factory.traces();
+  const auto par_traces = par_factory.traces();
+  ASSERT_EQ(seq_traces.size(), 2u * 3u);
+  ASSERT_EQ(par_traces.size(), seq_traces.size());
+  EXPECT_EQ(seq_traces.count("L5/Ours (MoE)/mix0"), 1u);
+  for (const auto& [label, bytes] : seq_traces) {
+    const auto it = par_traces.find(label);
+    ASSERT_NE(it, par_traces.end()) << label;
+    EXPECT_FALSE(bytes.empty()) << label;
+    EXPECT_TRUE(bytes == it->second) << "trace bytes diverged for " << label;
+  }
 }
 
 TEST(ParallelRunner, CloneSharesMoeDiagnostics) {
