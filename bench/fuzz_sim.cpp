@@ -36,6 +36,7 @@
 #include "common/bench_cli.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/flight_recorder.h"
 #include "obs/sink.h"
 #include "sched/experiment.h"
 #include "sched/policies_basic.h"
@@ -162,13 +163,26 @@ struct Oracle {
   std::string detail;
 };
 
+/// When a flight recorder rode along (the auditor path), dump its last-K
+/// events next to the repro line. Auditor failures already embed their own
+/// dump line in `what`; this covers the harness's metamorphic oracles, which
+/// fail outside the auditor.
 [[noreturn]] void report_failure(const FuzzOptions& opts, std::size_t iter,
                                  const std::string& policy, const std::string& cell,
-                                 const std::string& what) {
+                                 const std::string& what,
+                                 const obs::FlightRecorder* flight = nullptr,
+                                 const std::string& dump_path = {}) {
   std::cerr << "\nFUZZ FAILURE at iteration " << iter << " policy=" << policy << "\n"
             << "  cell: " << cell << "\n"
-            << "  " << what << "\n"
-            << "  repro: fuzz_sim --seed " << opts.seed << " --one " << iter << "\n";
+            << "  " << what << "\n";
+  if (flight != nullptr && what.find("flight recorder:") == std::string::npos) {
+    if (flight->dump_to_file(dump_path))
+      std::cerr << "  flight recorder: last " << flight->size() << " event(s) dumped to "
+                << dump_path << "\n";
+    else
+      std::cerr << "  flight recorder: dump to " << dump_path << " failed\n";
+  }
+  std::cerr << "  repro: fuzz_sim --seed " << opts.seed << " --one " << iter << "\n";
   std::exit(1);
 }
 
@@ -251,9 +265,15 @@ int main(int argc, char** argv) {
     double isolated_makespan = -1;
     for (std::size_t p = 0; p < policies.size(); ++p) {
       NamedPolicy& np = policies[p];
+      obs::FlightRecorder flight;
+      const std::string dump_path = "fuzz_flight_seed" + std::to_string(opts.seed) +
+                                    "_iter" + std::to_string(iter) + "_" + np.name +
+                                    ".jsonl";
       sim::audit::InvariantAuditor::Options audit_opts;
       audit_opts.context =
           "fuzz_sim --seed " + std::to_string(opts.seed) + " --one " + std::to_string(iter);
+      audit_opts.flight = &flight;
+      audit_opts.flight_dump_path = dump_path;
       sim::audit::InvariantAuditor auditor(audit_opts);
       sim::SimConfig audited = cfg;
       audited.sink = &auditor;
@@ -262,7 +282,7 @@ int main(int argc, char** argv) {
       try {
         result = sim.run(mix, *np.policy);
       } catch (const std::exception& e) {
-        report_failure(opts, iter, np.name, cell, e.what());
+        report_failure(opts, iter, np.name, cell, e.what(), &flight, dump_path);
       }
 
       // Work-conservation bound, sound for every policy.
@@ -272,10 +292,12 @@ int main(int argc, char** argv) {
           report_failure(opts, iter, np.name, cell,
                          "work-conservation violated: makespan " +
                              std::to_string(result.makespan) + " < bound " +
-                             std::to_string(bound) + " for " + app.benchmark);
+                             std::to_string(bound) + " for " + app.benchmark,
+                         &flight, dump_path);
         if (!approx_ge(app.finish, app.profile_end, kSimRelEps))
           report_failure(opts, iter, np.name, cell,
-                         "app finished before its profiling ended: " + app.benchmark);
+                         "app finished before its profiling ended: " + app.benchmark,
+                         &flight, dump_path);
       }
 
       if (np.name == "isolated") {
@@ -286,7 +308,8 @@ int main(int argc, char** argv) {
         if (!approx_ge(result.makespan, sum_bound, kSimRelEps))
           report_failure(opts, iter, np.name, cell,
                          "isolated makespan " + std::to_string(result.makespan) +
-                             " beat the serial work bound " + std::to_string(sum_bound));
+                             " beat the serial work bound " + std::to_string(sum_bound),
+                         &flight, dump_path);
       }
 
       // Same-seed byte-identity of the full trace (rotates through policies;

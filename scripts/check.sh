@@ -31,6 +31,30 @@ cmake --build build -j"${JOBS}"
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
+echo "== tier-1: trace tools (byte-determinism over the golden corpus) =="
+TRACE_BIN=./build/tools/smoe-trace
+GOLDENS=(tests/golden/trace_*.jsonl)
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+"$TRACE_BIN" summarize "${GOLDENS[@]}" > "$scratch/sum1.txt"
+"$TRACE_BIN" summarize "${GOLDENS[@]}" > "$scratch/sum2.txt"
+"$TRACE_BIN" summarize --threads 4 "${GOLDENS[@]}" > "$scratch/sum4.txt"
+cmp -s "$scratch/sum1.txt" "$scratch/sum2.txt" \
+  || { echo "FAIL: smoe-trace summarize differs across identical runs"; exit 1; }
+cmp -s "$scratch/sum1.txt" "$scratch/sum4.txt" \
+  || { echo "FAIL: smoe-trace summarize output depends on --threads"; exit 1; }
+"$TRACE_BIN" diff tests/golden/trace_isolated.jsonl tests/golden/trace_moe.jsonl \
+  > "$scratch/diff1.txt"
+"$TRACE_BIN" diff tests/golden/trace_isolated.jsonl tests/golden/trace_moe.jsonl \
+  > "$scratch/diff2.txt"
+cmp -s "$scratch/diff1.txt" "$scratch/diff2.txt" \
+  || { echo "FAIL: smoe-trace diff differs across identical runs"; exit 1; }
+"$TRACE_BIN" timeline tests/golden/trace_moe.jsonl --csv > "$scratch/tl1.csv"
+"$TRACE_BIN" timeline tests/golden/trace_moe.jsonl --csv > "$scratch/tl2.csv"
+cmp -s "$scratch/tl1.csv" "$scratch/tl2.csv" \
+  || { echo "FAIL: smoe-trace timeline differs across identical runs"; exit 1; }
+echo "trace tools: deterministic ($(wc -l < "$scratch/sum1.txt") summary lines over ${#GOLDENS[@]} traces)"
+
 if [[ "${1:-}" == "--asan" ]]; then
   echo "== sanitizers: ASan/UBSan build (-DSMOE_SANITIZE=ON) =="
   cmake -B build-asan -S . -DSMOE_SANITIZE=ON \

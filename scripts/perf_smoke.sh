@@ -82,3 +82,12 @@ if sys.argv[4] != "none":
         print(f"::warning::perf-smoke: traced overhead rose to {overhead:.1f}% "
               f"(baseline {base_overhead:.1f}%) — tracing hot path regressed")
 EOF
+
+# Trace-analysis throughput (events/sec parsed and analyzed by smoe-trace),
+# recorded for the log. The golden corpus is only a few hundred events, so
+# concatenate it a couple hundred times to get a measurable rate — JSONL is
+# line-oriented, so concatenated runs parse like one long trace.
+cmake --build build -j"$(nproc)" --target smoe-trace >/dev/null
+big="$tmp/trace_big.jsonl"
+for _ in $(seq 1 200); do cat tests/golden/trace_*.jsonl; done > "$big"
+./build/tools/smoe-trace bench "$big" --repeat 3

@@ -1,0 +1,155 @@
+#include "obs/analysis/comparator.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <map>
+
+namespace smoe::obs {
+
+std::string format_number(double v) {
+  if (!std::isfinite(v)) return "nan";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+namespace {
+
+double mean_utilization(const TimelineResult& r) {
+  if (r.nodes.empty()) return 0;
+  const double t_end = r.end_time();
+  double sum = 0;
+  for (const NodeSeries& n : r.nodes) sum += n.utilization.time_weighted_mean(t_end);
+  return sum / static_cast<double>(r.nodes.size());
+}
+
+double peak_reserved(const TimelineResult& r) {
+  double p = 0;
+  for (const NodeSeries& n : r.nodes) p = std::max(p, n.reserved_gib.peak());
+  return p;
+}
+
+double mean_queue_wait(const TimelineResult& r) {
+  if (r.apps.empty()) return 0;
+  double sum = 0;
+  std::int64_t n = 0;
+  for (const AppRecord& a : r.apps) {
+    if (a.first_dispatch_t < 0) continue;
+    sum += a.queue_wait;
+    ++n;
+  }
+  return n == 0 ? 0 : sum / static_cast<double>(n);
+}
+
+double total_lost_items(const TimelineResult& r) {
+  double sum = 0;
+  for (const AppRecord& a : r.apps) sum += a.lost_items;
+  return sum;
+}
+
+double total_rerun_time(const TimelineResult& r) {
+  double sum = 0;
+  for (const AppRecord& a : r.apps) sum += a.rerun_time;
+  return sum;
+}
+
+}  // namespace
+
+RunDiff compare_runs(const TimelineResult& a, const TimelineResult& b) {
+  RunDiff d;
+  d.label_a = a.run.policy.empty() ? "A" : a.run.policy;
+  d.label_b = b.run.policy.empty() ? "B" : b.run.policy;
+
+  const auto row = [&d](std::string name, double va, double vb) {
+    d.metrics.push_back({std::move(name), va, vb});
+  };
+  row("makespan_s", a.end_time(), b.end_time());
+  row("sojourn_p50_s", a.sojourn_quantile(0.5), b.sojourn_quantile(0.5));
+  row("sojourn_p99_s", a.sojourn_quantile(0.99), b.sojourn_quantile(0.99));
+  row("mean_queue_wait_s", mean_queue_wait(a), mean_queue_wait(b));
+  row("mean_queue_depth", a.queue_depth.time_weighted_mean(a.end_time()),
+      b.queue_depth.time_weighted_mean(b.end_time()));
+  row("peak_queue_depth", a.queue_depth.peak(), b.queue_depth.peak());
+  row("executors_spawned", static_cast<double>(a.run.executors_spawned),
+      static_cast<double>(b.run.executors_spawned));
+  row("executors_degraded", static_cast<double>(a.run.executors_degraded),
+      static_cast<double>(b.run.executors_degraded));
+  row("oom_total", static_cast<double>(a.run.oom_total),
+      static_cast<double>(b.run.oom_total));
+  row("lost_items", total_lost_items(a), total_lost_items(b));
+  row("rerun_time_s", total_rerun_time(a), total_rerun_time(b));
+  row("mean_utilization", mean_utilization(a), mean_utilization(b));
+  row("peak_reserved_gib", peak_reserved(a), peak_reserved(b));
+  row("reserved_gib_hours", a.run.reserved_gib_hours, b.run.reserved_gib_hours);
+  row("used_gib_hours", a.run.used_gib_hours, b.run.used_gib_hours);
+
+  std::map<std::int64_t, RunDiff::AppRow> apps;
+  for (const AppRecord& ar : a.apps) {
+    RunDiff::AppRow& r = apps[ar.app];
+    r.app = ar.app;
+    r.benchmark = ar.benchmark;
+    r.in_a = true;
+    r.turnaround_a = ar.turnaround;
+    r.queue_wait_a = ar.queue_wait;
+  }
+  for (const AppRecord& br : b.apps) {
+    RunDiff::AppRow& r = apps[br.app];
+    r.app = br.app;
+    if (r.benchmark.empty()) r.benchmark = br.benchmark;
+    r.in_b = true;
+    r.turnaround_b = br.turnaround;
+    r.queue_wait_b = br.queue_wait;
+  }
+  d.apps.reserve(apps.size());
+  for (auto& [id, r] : apps) d.apps.push_back(std::move(r));
+  return d;
+}
+
+namespace {
+
+void pad_to(std::string& line, std::size_t col) {
+  if (line.size() >= col) {
+    line += "  ";  // keep at least one gap when a value overflows its column
+    return;
+  }
+  line.append(col - line.size(), ' ');
+}
+
+}  // namespace
+
+std::string render_text(const RunDiff& diff) {
+  std::string out;
+  out += "run diff: A=" + diff.label_a + "  B=" + diff.label_b + "\n";
+  out += "metric                 A                      B                      delta (B-A)        pct\n";
+  for (const RunDiff::MetricRow& m : diff.metrics) {
+    std::string line = "  " + m.name;
+    pad_to(line, 23);
+    line += format_number(m.a);
+    pad_to(line, 46);
+    line += format_number(m.b);
+    pad_to(line, 69);
+    line += format_number(m.delta());
+    pad_to(line, 88);
+    line += format_number(m.pct()) + "%";
+    out += line + "\n";
+  }
+  out += "per-app turnaround_s (A -> B):\n";
+  for (const RunDiff::AppRow& a : diff.apps) {
+    std::string line = "  app " + std::to_string(a.app) + " " + a.benchmark;
+    pad_to(line, 28);
+    line += a.in_a ? format_number(a.turnaround_a) : "-";
+    line += " -> ";
+    line += a.in_b ? format_number(a.turnaround_b) : "-";
+    if (a.in_a && a.in_b) {
+      line += "  (";
+      const double delta = a.turnaround_b - a.turnaround_a;
+      if (delta >= 0) line += "+";
+      line += format_number(delta) + " s)";
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace smoe::obs

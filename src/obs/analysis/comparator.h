@@ -1,0 +1,62 @@
+// RunComparator: diff two runs' derived series — the A/B answer to "what did
+// switching dispatch policy buy us?".
+//
+// Input is two TimelineResults (same workload, different policy/seed/config);
+// output is a flat table of headline metrics plus per-app turnaround rows
+// matched by application id. Rendering is fully deterministic: metrics appear
+// in a fixed order and numbers use shortest round-trip formatting, so
+// `smoe-trace diff` over the golden corpus is byte-stable (scripts/check.sh
+// pins this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/timeline.h"
+
+namespace smoe::obs {
+
+struct RunDiff {
+  struct MetricRow {
+    std::string name;
+    double a = 0;
+    double b = 0;
+    double delta() const { return b - a; }
+    /// Relative change in percent; 0 when the baseline is 0.
+    double pct() const { return a == 0 ? 0 : 100.0 * (b - a) / a; }
+  };
+  struct AppRow {
+    std::int64_t app = -1;
+    std::string benchmark;
+    bool in_a = false;
+    bool in_b = false;
+    double turnaround_a = 0;
+    double turnaround_b = 0;
+    double queue_wait_a = 0;
+    double queue_wait_b = 0;
+  };
+
+  std::string label_a;  ///< run A's policy name (or caller-supplied label)
+  std::string label_b;
+  std::vector<MetricRow> metrics;  ///< fixed order, see compare_runs
+  std::vector<AppRow> apps;        ///< sorted by app id
+};
+
+/// Derive the diff table. Metric order is part of the output contract:
+/// makespan_s, sojourn_p50_s, sojourn_p99_s, mean_queue_wait_s,
+/// mean_queue_depth, peak_queue_depth, executors_spawned,
+/// executors_degraded, oom_total, lost_items, rerun_time_s,
+/// mean_utilization, peak_reserved_gib, reserved_gib_hours, used_gib_hours.
+RunDiff compare_runs(const TimelineResult& a, const TimelineResult& b);
+
+/// Deterministic plain-text rendering of the diff (aligned columns, shortest
+/// round-trip numbers).
+std::string render_text(const RunDiff& diff);
+
+/// Shortest round-trip decimal rendering shared by the diff/summary/CSV
+/// renderers ("5" for 5.0, std::to_chars otherwise; "nan"/"inf" collapse to
+/// "nan").
+std::string format_number(double v);
+
+}  // namespace smoe::obs

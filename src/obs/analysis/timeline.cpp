@@ -1,0 +1,259 @@
+#include "obs/analysis/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smoe::obs {
+
+namespace {
+
+/// Numeric field, accepting either arm of the int64/double variant (trace
+/// round-tripping reclassifies integer-valued doubles as int64).
+double num(const Event& e, std::string_view key, double def = 0) {
+  const Event::Field* f = e.find(key);
+  if (f == nullptr) return def;
+  if (const auto* i = std::get_if<std::int64_t>(&f->value)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&f->value)) return *d;
+  return def;
+}
+
+std::int64_t num_i(const Event& e, std::string_view key, std::int64_t def = 0) {
+  const Event::Field* f = e.find(key);
+  if (f == nullptr) return def;
+  if (const auto* i = std::get_if<std::int64_t>(&f->value)) return *i;
+  if (const auto* d = std::get_if<double>(&f->value)) return static_cast<std::int64_t>(*d);
+  return def;
+}
+
+std::string str(const Event& e, std::string_view key) {
+  const Event::Field* f = e.find(key);
+  if (f == nullptr) return {};
+  if (const auto* s = std::get_if<std::string_view>(&f->value)) return std::string(*s);
+  return {};
+}
+
+}  // namespace
+
+void StepSeries::record(double t, double v) {
+  if (!points.empty() && points.back().t == t) {
+    // Several transitions at one instant: the last value wins.
+    points.back().v = v;
+    if (points.size() >= 2 && points[points.size() - 2].v == v) points.pop_back();
+    return;
+  }
+  if (points.empty() || points.back().v != v) points.push_back({t, v});
+}
+
+double StepSeries::peak() const {
+  double p = 0;
+  for (const Point& pt : points) p = std::max(p, pt.v);
+  return p;
+}
+
+double StepSeries::time_weighted_mean(double t_end) const {
+  if (t_end <= 0 || points.empty()) return 0;
+  double area = 0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double t0 = points[i].t;
+    const double t1 = i + 1 < points.size() ? points[i + 1].t : t_end;
+    if (t1 <= t0) continue;
+    area += points[i].v * (std::min(t1, t_end) - t0);
+    if (t1 >= t_end) break;
+  }
+  return area / t_end;
+}
+
+double TimelineResult::sojourn_quantile(double prob) const {
+  std::vector<double> turns;
+  for (const AppRecord& a : apps)
+    if (a.finished) turns.push_back(a.turnaround);
+  if (turns.empty()) return 0;
+  std::sort(turns.begin(), turns.end());
+  const double h = std::clamp(prob, 0.0, 1.0) * static_cast<double>(turns.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= turns.size()) return turns.back();
+  return turns[lo] + (h - static_cast<double>(lo)) * (turns[lo + 1] - turns[lo]);
+}
+
+AppRecord& Timeline::app_record(std::int64_t id) {
+  AppRecord& a = apps_[id];
+  if (a.app < 0) a.app = id;
+  return a;
+}
+
+NodeSeries& Timeline::node_series(std::int64_t id, double /*t*/) {
+  if (id < 0) id = 0;
+  if (static_cast<std::size_t>(id) >= r_.nodes.size())
+    r_.nodes.resize(static_cast<std::size_t>(id) + 1);
+  return r_.nodes[static_cast<std::size_t>(id)];
+}
+
+void Timeline::record_cluster(double t) {
+  std::int64_t queued = 0;
+  for (const auto& [id, a] : apps_) {
+    if (!a.ready || a.finished) continue;
+    const auto it = live_per_app_.find(id);
+    if (it == live_per_app_.end() || it->second == 0) ++queued;
+  }
+  r_.queue_depth.record(t, static_cast<double>(queued));
+  r_.apps_in_system.record(t, static_cast<double>(in_system_));
+  r_.live_executors.record(t, static_cast<double>(live_.size()));
+}
+
+void Timeline::on_exec_end(const Event& e, bool oom) {
+  const double t = e.t;
+  const std::int64_t exec = num_i(e, "exec", -1);
+  const double lifetime = num(e, "lifetime_s");
+  bool rerun = false;
+  std::int64_t app_id = num_i(e, "app", -1);
+  std::int64_t node_id = num_i(e, "node", -1);
+  if (const auto it = live_.find(exec); it != live_.end()) {
+    rerun = it->second.rerun;
+    if (app_id < 0) app_id = it->second.app;
+    if (node_id < 0) node_id = it->second.node;
+    live_.erase(it);
+  }
+  if (app_id >= 0) {
+    AppRecord& a = app_record(app_id);
+    a.exec_time += lifetime;
+    if (rerun) a.rerun_time += lifetime;
+    if (oom) {
+      ++a.ooms;
+      a.lost_items += num(e, "chunk_items");
+    }
+    auto& live_n = live_per_app_[app_id];
+    if (live_n > 0) --live_n;
+  }
+  NodeSeries& n = node_series(node_id, t);
+  n.reserved_gib.record(t, num(e, "node_reserved_after"));
+  if (r_.run.node_ram_gib > 0)
+    n.utilization.record(t, num(e, "node_reserved_after") / r_.run.node_ram_gib);
+  n.cpu_load.record(t, num(e, "node_cpu_iso_after"));
+  n.occupancy.record(t, std::max(0.0, n.occupancy.last() - 1));
+  record_cluster(t);
+}
+
+void Timeline::emit(const Event& e) {
+  ++r_.events;
+  r_.last_t = std::max(r_.last_t, static_cast<double>(e.t));
+  const double t = e.t;
+  switch (e.type) {
+    case EventType::kRunStart: {
+      r_.run.policy = str(e, "policy");
+      r_.run.mode = str(e, "mode");
+      r_.run.n_apps = num_i(e, "n_apps");
+      r_.run.n_nodes = num_i(e, "n_nodes");
+      r_.run.node_ram_gib = num(e, "node_ram_gib");
+      r_.run.seed = num_i(e, "seed");
+      if (r_.run.n_nodes > 0 && r_.nodes.size() < static_cast<std::size_t>(r_.run.n_nodes))
+        r_.nodes.resize(static_cast<std::size_t>(r_.run.n_nodes));
+      break;
+    }
+    case EventType::kAppSubmit: {
+      AppRecord& a = app_record(num_i(e, "app", -1));
+      a.benchmark = str(e, "benchmark");
+      a.submit_t = t;
+      a.input_items = num_i(e, "input_items");
+      a.profile_end = num(e, "profile_end");
+      // No profiling phase (isolated/default-heap policies) means the app is
+      // dispatchable from submission.
+      if (a.profile_end <= t) a.ready = true;
+      ++in_system_;
+      record_cluster(t);
+      break;
+    }
+    case EventType::kProfilingStart:
+      break;
+    case EventType::kProfilingEnd: {
+      AppRecord& a = app_record(num_i(e, "app", -1));
+      a.profiling_end_t = t;
+      a.ready = true;
+      record_cluster(t);
+      break;
+    }
+    case EventType::kDispatch: {
+      AppRecord& a = app_record(num_i(e, "app", -1));
+      ++a.dispatches;
+      a.ready = true;  // a dispatched app is definitionally past profiling
+      if (a.first_dispatch_t < 0) {
+        a.first_dispatch_t = t;
+        a.queue_wait = t - std::max(a.profiling_end_t, a.profile_end);
+      }
+      break;
+    }
+    case EventType::kExecutorSpawn: {
+      const std::int64_t exec = num_i(e, "exec", -1);
+      const std::int64_t app_id = num_i(e, "app", -1);
+      const std::int64_t node_id = num_i(e, "node", -1);
+      const bool rerun = num_i(e, "isolated_rerun") != 0;
+      live_[exec] = LiveExec{app_id, node_id, rerun, t};
+      ++live_per_app_[app_id];
+      AppRecord& a = app_record(app_id);
+      ++a.executors;
+      if (rerun) ++a.rerun_executors;
+      NodeSeries& n = node_series(node_id, t);
+      n.reserved_gib.record(t, num(e, "node_reserved_after"));
+      if (r_.run.node_ram_gib > 0)
+        n.utilization.record(t, num(e, "node_reserved_after") / r_.run.node_ram_gib);
+      n.cpu_load.record(t, num(e, "node_cpu_iso_after"));
+      n.occupancy.record(t, n.occupancy.last() + 1);
+      record_cluster(t);
+      break;
+    }
+    case EventType::kExecutorSpill:
+      ++app_record(num_i(e, "app", -1)).spills;
+      break;
+    case EventType::kExecutorThrash:
+      ++app_record(num_i(e, "app", -1)).thrashes;
+      break;
+    case EventType::kExecutorOom:
+      on_exec_end(e, /*oom=*/true);
+      break;
+    case EventType::kExecutorFinish:
+      on_exec_end(e, /*oom=*/false);
+      break;
+    case EventType::kIsolatedRerun:
+      // The rerun's dispatch/spawn events carry isolated_rerun=1; attribution
+      // happens there.
+      break;
+    case EventType::kMonitorReport:
+      break;
+    case EventType::kAppFinish: {
+      AppRecord& a = app_record(num_i(e, "app", -1));
+      a.finished = true;
+      a.finish_t = t;
+      a.turnaround = num(e, "turnaround_s");
+      --in_system_;
+      record_cluster(t);
+      break;
+    }
+    case EventType::kRunEnd: {
+      r_.run.ended = true;
+      r_.run.makespan = num(e, "makespan_s");
+      r_.run.executors_spawned = num_i(e, "executors_spawned");
+      r_.run.executors_degraded = num_i(e, "executors_degraded");
+      r_.run.oom_total = num_i(e, "oom_total");
+      r_.run.peak_node_occupancy = num_i(e, "peak_node_occupancy");
+      r_.run.reserved_gib_hours = num(e, "reserved_gib_hours");
+      r_.run.used_gib_hours = num(e, "used_gib_hours");
+      record_cluster(t);
+      break;
+    }
+  }
+}
+
+TimelineResult Timeline::result() const {
+  TimelineResult out = r_;
+  out.apps.clear();
+  out.apps.reserve(apps_.size());
+  for (const auto& [id, a] : apps_) out.apps.push_back(a);
+  return out;
+}
+
+TimelineResult Timeline::analyze(const std::vector<OwnedEvent>& events) {
+  Timeline tl;
+  for (const OwnedEvent& e : events) tl.emit(e.view());
+  return tl.result();
+}
+
+}  // namespace smoe::obs

@@ -1,0 +1,165 @@
+// Timeline: replay an event stream into derived time series and per-app
+// lifecycle records — the "what actually happened" layer over a raw trace.
+//
+// A Timeline is an EventSink, so the same analyzer runs in two modes:
+//   * live  — attached to the engine next to the JSONL sink (a TeeSink leg);
+//   * replay — fed parsed events from TraceReader::read_file.
+// tests/test_timeline.cpp pins that both modes produce identical results for
+// identically-seeded runs; everything here is a pure function of the event
+// stream.
+//
+// Derived series (all step functions, sampled only when the value changes):
+//   * per node: reserved GiB, utilization (reserved / node_ram_gib), planned
+//     isolated-CPU load, and executor occupancy;
+//   * cluster-wide: dispatch queue depth (profiled, unfinished apps with no
+//     live executor), apps in system, and total live executors.
+//
+// Per-app records attribute queue wait (first dispatch minus profiling end),
+// OOM kills, thrash events, isolated-rerun executors/time, and lost work
+// (chunk items discarded by OOMs) to each application, and the finalized
+// result carries exact interpolated sojourn percentiles over turnarounds.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/sink.h"
+
+namespace smoe::obs {
+
+/// A piecewise-constant series: value v holds from point i's t until point
+/// i+1's t. record() collapses repeats so the vector stays minimal.
+struct StepSeries {
+  struct Point {
+    double t = 0;
+    double v = 0;
+    bool operator==(const Point&) const = default;
+  };
+  std::vector<Point> points;
+
+  void record(double t, double v);
+  double last() const { return points.empty() ? 0.0 : points.back().v; }
+  double peak() const;
+  /// Integral of the series divided by t_end (series start is t = 0; the
+  /// value before the first point is 0).
+  double time_weighted_mean(double t_end) const;
+
+  bool operator==(const StepSeries&) const = default;
+};
+
+/// One application's lifecycle, assembled from submit/profiling/dispatch/
+/// executor/finish events.
+struct AppRecord {
+  std::int64_t app = -1;
+  std::string benchmark;
+  double submit_t = 0;
+  std::int64_t input_items = 0;
+  double profile_end = 0;      ///< planned, from app_submit
+  double profiling_end_t = 0;  ///< observed profiling_end event time
+  bool ready = false;          ///< past profiling; eligible for dispatch
+  double first_dispatch_t = -1;
+  double queue_wait = 0;  ///< first_dispatch_t - profiling_end_t
+  std::int64_t dispatches = 0;
+  std::int64_t executors = 0;  ///< spawns, including isolated reruns
+  std::int64_t ooms = 0;
+  std::int64_t thrashes = 0;
+  std::int64_t spills = 0;
+  std::int64_t rerun_executors = 0;
+  double rerun_time = 0;     ///< summed lifetime_s of isolated-rerun executors
+  double lost_items = 0;     ///< chunk items discarded by OOM kills
+  double exec_time = 0;      ///< summed executor lifetime_s
+  bool finished = false;
+  double finish_t = 0;
+  double turnaround = 0;     ///< sojourn, from app_finish turnaround_s
+
+  bool operator==(const AppRecord&) const = default;
+};
+
+/// run_start / run_end envelope.
+struct RunInfo {
+  std::string policy;
+  std::string mode;
+  std::int64_t n_apps = 0;
+  std::int64_t n_nodes = 0;
+  double node_ram_gib = 0;
+  std::int64_t seed = 0;
+  bool ended = false;
+  double makespan = 0;
+  std::int64_t executors_spawned = 0;
+  std::int64_t executors_degraded = 0;
+  std::int64_t oom_total = 0;
+  std::int64_t peak_node_occupancy = 0;
+  double reserved_gib_hours = 0;
+  double used_gib_hours = 0;
+
+  bool operator==(const RunInfo&) const = default;
+};
+
+struct NodeSeries {
+  StepSeries reserved_gib;
+  StepSeries utilization;
+  StepSeries cpu_load;
+  StepSeries occupancy;
+
+  bool operator==(const NodeSeries&) const = default;
+};
+
+struct TimelineResult {
+  RunInfo run;
+  std::vector<NodeSeries> nodes;
+  StepSeries queue_depth;
+  StepSeries apps_in_system;
+  StepSeries live_executors;
+  std::vector<AppRecord> apps;  ///< sorted by app id
+  std::int64_t events = 0;      ///< events consumed
+  double last_t = 0;
+
+  /// Exact interpolated quantile over finished apps' turnarounds (the
+  /// reference the streaming P² estimator is tested against). Returns 0 when
+  /// no app finished.
+  double sojourn_quantile(double prob) const;
+  double end_time() const { return run.ended ? run.makespan : last_t; }
+
+  bool operator==(const TimelineResult&) const = default;
+};
+
+/// EventSink that incrementally builds a TimelineResult. Events must arrive
+/// in nondecreasing time order (the engine guarantees it; TraceReader
+/// preserves file order).
+class Timeline final : public EventSink {
+ public:
+  void emit(const Event& e) override;
+  void close() override {}
+
+  /// Finalize and return the result. The Timeline remains usable (more
+  /// events extend the same run).
+  TimelineResult result() const;
+
+  /// Replay convenience: analyze an already-parsed trace.
+  static TimelineResult analyze(const std::vector<OwnedEvent>& events);
+
+ private:
+  struct LiveExec {
+    std::int64_t app = -1;
+    std::int64_t node = -1;
+    bool rerun = false;
+    double spawn_t = 0;
+  };
+
+  AppRecord& app_record(std::int64_t id);
+  NodeSeries& node_series(std::int64_t id, double t);
+  void record_cluster(double t);
+  void on_exec_end(const Event& e, bool oom);
+
+  TimelineResult r_;
+  std::map<std::int64_t, AppRecord> apps_;
+  std::map<std::int64_t, LiveExec> live_;       ///< keyed by exec id
+  std::map<std::int64_t, std::int64_t> live_per_app_;
+  std::int64_t in_system_ = 0;
+};
+
+}  // namespace smoe::obs

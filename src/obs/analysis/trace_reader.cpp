@@ -1,0 +1,228 @@
+#include "obs/analysis/trace_reader.h"
+
+#include <charconv>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/sink.h"
+
+namespace smoe::obs {
+
+namespace {
+
+/// Strict scalar-JSON cursor over one line. JsonlSink emits no whitespace,
+/// but the cursor tolerates spaces/tabs between tokens so hand-edited traces
+/// still parse (re-emission then canonicalizes them).
+struct Cursor {
+  const char* p;
+  const char* begin;
+  const char* end;
+  std::size_t line_no;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw TraceParseError("trace parse error at line " + std::to_string(line_no) + ", col " +
+                          std::to_string(static_cast<std::size_t>(p - begin) + 1) + ": " +
+                          what);
+  }
+
+  void skip_ws() {
+    while (p != end && (*p == ' ' || *p == '\t')) ++p;
+  }
+
+  bool at_end() {
+    skip_ws();
+    return p == end;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (p == end || *p != c) return false;
+    ++p;
+    return true;
+  }
+
+  void expect(char c) {
+    if (!eat(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    if (p == end || *p != '"') fail("expected string");
+    ++p;
+    std::string out;
+    while (true) {
+      if (p == end) fail("unterminated string");
+      const char c = *p++;
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (p == end) fail("unterminated escape");
+      const char esc = *p++;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (end - p < 4) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = *p++;
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad hex digit in \\u escape");
+            }
+          }
+          if (cp >= 0xd800 && cp <= 0xdfff) fail("surrogate \\u escape unsupported");
+          // UTF-8 encode (JsonlSink only ever emits \u00xx, but accept the
+          // whole basic plane).
+          if (cp < 0x80) {
+            out += static_cast<char>(cp);
+          } else if (cp < 0x800) {
+            out += static_cast<char>(0xc0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (cp & 0x3f));
+          }
+          break;
+        }
+        default: fail(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+  }
+
+  static bool number_char(char c) {
+    return (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E';
+  }
+
+  /// A JSON number. Integer-looking tokens become int64 so re-emission uses
+  /// the integer formatter; everything else (including the token "-0", which
+  /// only a negative-zero double produces) stays a double. `null` — the
+  /// sink's rendering of non-finite doubles — becomes a quiet NaN.
+  std::variant<std::int64_t, double, std::string> parse_value() {
+    skip_ws();
+    if (p == end) fail("expected value");
+    if (*p == '"') return parse_string();
+    if (end - p >= 4 && std::string_view(p, 4) == "null") {
+      p += 4;
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    if (end - p >= 4 && std::string_view(p, 4) == "true") {
+      p += 4;
+      return std::int64_t{1};
+    }
+    if (end - p >= 5 && std::string_view(p, 5) == "false") {
+      p += 5;
+      return std::int64_t{0};
+    }
+    const char* start = p;
+    while (p != end && number_char(*p)) ++p;
+    const std::string_view tok(start, static_cast<std::size_t>(p - start));
+    if (tok.empty()) fail("expected value");
+    const bool fractional = tok.find_first_of(".eE") != std::string_view::npos || tok == "-0";
+    if (!fractional) {
+      std::int64_t i = 0;
+      const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+      if (res.ec == std::errc{} && res.ptr == tok.data() + tok.size()) return i;
+      // Integer-looking but out of int64 range: fall through to double.
+    }
+    double d = 0;
+    const auto res = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (res.ec != std::errc{} || res.ptr != tok.data() + tok.size())
+      fail("bad number '" + std::string(tok) + "'");
+    return d;
+  }
+
+  double parse_double() {
+    const auto v = parse_value();
+    if (const auto* d = std::get_if<double>(&v)) return *d;
+    if (const auto* i = std::get_if<std::int64_t>(&v)) return static_cast<double>(*i);
+    fail("expected a number");
+  }
+};
+
+}  // namespace
+
+OwnedEvent TraceReader::parse_line(std::string_view line, std::size_t line_no) {
+  Cursor c{line.data(), line.data(), line.data() + line.size(), line_no};
+  c.expect('{');
+
+  // JsonlSink's fixed layout: "t" then "type" lead every record.
+  std::string key = c.parse_string();
+  if (key != "t") c.fail("first member must be \"t\", got \"" + key + "\"");
+  c.expect(':');
+  OwnedEvent event;
+  event.t = c.parse_double();
+
+  c.expect(',');
+  key = c.parse_string();
+  if (key != "type") c.fail("second member must be \"type\", got \"" + key + "\"");
+  c.expect(':');
+  const std::string type_name = c.parse_string();
+  if (!event_type_from_string(type_name, event.type))
+    c.fail("unknown event type \"" + type_name + "\"");
+
+  while (!c.eat('}')) {
+    c.expect(',');
+    OwnedEvent::Field field;
+    field.key = c.parse_string();
+    c.expect(':');
+    field.value = c.parse_value();
+    event.fields.push_back(std::move(field));
+  }
+  if (!c.at_end()) c.fail("trailing characters after event object");
+  return event;
+}
+
+std::optional<OwnedEvent> TraceReader::next() {
+  std::string& line = buf_;
+  while (std::getline(*in_, line)) {
+    ++line_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    ++events_read_;
+    return parse_line(line, line_);
+  }
+  return std::nullopt;
+}
+
+std::vector<OwnedEvent> TraceReader::read_all(std::istream& in) {
+  TraceReader reader(in);
+  std::vector<OwnedEvent> events;
+  while (auto e = reader.next()) events.push_back(std::move(*e));
+  return events;
+}
+
+std::vector<OwnedEvent> TraceReader::read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open())
+    throw PreconditionError("trace reader: cannot open " + path.string());
+  return read_all(in);
+}
+
+std::string render_jsonl(const std::vector<OwnedEvent>& events) {
+  std::ostringstream os;
+  {
+    JsonlSink sink(os);
+    for (const OwnedEvent& e : events) sink.emit(e.view());
+    sink.close();
+  }
+  return os.str();
+}
+
+}  // namespace smoe::obs

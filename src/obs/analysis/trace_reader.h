@@ -1,0 +1,80 @@
+// TraceReader: parse a JSONL event trace back into typed obs events —
+// the inverse of JsonlSink, closing the emit -> analyze loop.
+//
+// Round-trip contract (pinned by tests/test_trace_reader.cpp):
+//   * For any trace produced by JsonlSink — fast path, memo hits, and the
+//     string-append slow path alike — parsing every line and re-emitting the
+//     parsed events through a fresh JsonlSink reproduces the input
+//     byte-for-byte.
+//   * Field order, keys, and values survive parsing exactly. Numeric tokens
+//     without '.', 'e'/'E' or a sign-exponent parse as std::int64_t; all
+//     others parse as double. JsonlSink formats both with shortest
+//     round-trip std::to_chars, so this classification is byte-preserving
+//     even where it is not type-preserving (the double 5.0 is emitted as
+//     "5", parses as int64 5, and re-emits as "5").
+//   * JSON `null` (JsonlSink's rendering of non-finite doubles) parses as a
+//     quiet NaN double and re-emits as `null`. The original NaN/±inf payload
+//     is not recoverable — the sink already collapsed it.
+//
+// The reader is strict about structure (every line must be one JSON object
+// with leading "t" and "type" members, the layout JsonlSink writes) but
+// tolerant about content: unknown field keys are preserved verbatim, so
+// traces from newer emitters keep parsing. Malformed input throws
+// TraceParseError with the 1-based line number.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "obs/event.h"
+
+namespace smoe::obs {
+
+/// Malformed trace input (bad JSON, missing t/type, unknown event type).
+class TraceParseError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+};
+
+class TraceReader {
+ public:
+  /// The stream must outlive the reader. Reads line by line; blank lines are
+  /// skipped (JsonlSink never writes them, but a concatenated or truncated-
+  /// then-appended trace may contain one).
+  explicit TraceReader(std::istream& in) : in_(&in) {}
+
+  /// Next event, or nullopt at end of stream. Throws TraceParseError on a
+  /// malformed line.
+  std::optional<OwnedEvent> next();
+
+  /// 1-based line number of the last line returned by next().
+  std::size_t line() const { return line_; }
+  std::size_t events_read() const { return events_read_; }
+
+  /// Parse one JSONL line (no trailing newline required). `line_no` is used
+  /// in error messages only.
+  static OwnedEvent parse_line(std::string_view line, std::size_t line_no = 0);
+
+  /// Whole-stream / whole-file convenience wrappers.
+  static std::vector<OwnedEvent> read_all(std::istream& in);
+  static std::vector<OwnedEvent> read_file(const std::filesystem::path& path);
+
+ private:
+  std::istream* in_;
+  std::string buf_;
+  std::size_t line_ = 0;
+  std::size_t events_read_ = 0;
+};
+
+/// Re-emit parsed events through a JsonlSink (the byte-exact inverse of
+/// parsing; see the round-trip contract above). The events must stay alive
+/// for the duration of the call — they do, being the container itself.
+std::string render_jsonl(const std::vector<OwnedEvent>& events);
+
+}  // namespace smoe::obs

@@ -55,6 +55,10 @@ inline constexpr std::size_t kEventTypeCount = 14;
 /// Stable lower-snake-case name used in JSONL/Chrome traces.
 std::string_view to_string(EventType type);
 
+/// Inverse of to_string (trace parsing). Returns false when `name` is not a
+/// known event-type name; `out` is untouched in that case.
+bool event_type_from_string(std::string_view name, EventType& out);
+
 struct Event {
   /// One typed key/value attribute. Keys MUST be string literals (or other
   /// storage whose address and content outlive the sink): sinks write them

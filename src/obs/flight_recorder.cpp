@@ -1,0 +1,56 @@
+#include "obs/flight_recorder.h"
+
+#include <fstream>
+
+#include "common/error.h"
+
+namespace smoe::obs {
+
+FlightRecorder::FlightRecorder(std::size_t capacity) : cap_(capacity) {
+  SMOE_REQUIRE(capacity > 0, "FlightRecorder: capacity must be positive");
+  ring_.reserve(capacity);
+}
+
+void FlightRecorder::emit(const Event& event) {
+  ++seen_;
+  if (ring_.size() < cap_) {
+    ring_.emplace_back(event);
+    return;
+  }
+  ring_[next_] = OwnedEvent(event);
+  next_ = (next_ + 1) % cap_;
+}
+
+void FlightRecorder::clear() {
+  // Forgets the retained events only; total_seen() keeps counting across
+  // clears so postmortems can report how much stream preceded the dump.
+  ring_.clear();
+  next_ = 0;
+}
+
+std::vector<const OwnedEvent*> FlightRecorder::events() const {
+  std::vector<const OwnedEvent*> out;
+  out.reserve(ring_.size());
+  // Once the ring wrapped, next_ is the oldest retained event.
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(&ring_[(next_ + i) % ring_.size()]);
+  return out;
+}
+
+void FlightRecorder::dump_jsonl(std::ostream& os) const {
+  // Re-emitting the owned events through a JsonlSink reproduces the exact
+  // trace formatting (memo tables included); the OwnedEvents outlive the
+  // sink, satisfying the Event string-view lifetime contract.
+  JsonlSink sink(os);
+  for (const OwnedEvent* e : events()) sink.emit(e->view());
+  sink.close();
+}
+
+bool FlightRecorder::dump_to_file(const std::filesystem::path& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os.is_open()) return false;
+  dump_jsonl(os);
+  return os.good();
+}
+
+}  // namespace smoe::obs

@@ -1,0 +1,62 @@
+// FlightRecorder: a ring-buffer EventSink holding the last K events.
+//
+// Attach it (usually teed with, or fed by, another consumer) and forget it;
+// when something goes wrong — an InvariantError from the auditor, a fuzz
+// oracle failure — dump_jsonl() writes the retained tail of the event stream
+// in exactly the JsonlSink format, so every failure ships with a
+// self-contained postmortem that TraceReader (and smoe-trace) can analyze
+// like any other trace.
+//
+// Events are deep-copied on emit (OwnedEvent), so the recorder is safe to
+// read long after the emitting run ended. Cost is one small heap-backed copy
+// per event; attach it to diagnostic runs (fuzz, audit, repro), not to
+// perf-measured hot paths.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <ostream>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/sink.h"
+
+namespace smoe::obs {
+
+class FlightRecorder final : public EventSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  void emit(const Event& event) override;
+
+  /// Forget everything recorded so far (capacity unchanged).
+  void clear();
+
+  std::size_t capacity() const { return cap_; }
+  /// Events currently retained (<= capacity()).
+  std::size_t size() const { return ring_.size(); }
+  /// Events ever emitted into the recorder (>= size()).
+  std::uint64_t total_seen() const { return seen_; }
+
+  /// Retained events, oldest first.
+  std::vector<const OwnedEvent*> events() const;
+
+  /// Write the retained events as JSONL, byte-compatible with JsonlSink
+  /// output (a dump is a valid trace tail for TraceReader).
+  void dump_jsonl(std::ostream& os) const;
+
+  /// dump_jsonl() to `path`. Returns false instead of throwing on I/O
+  /// failure — dumps run inside failure handlers that must not lose the
+  /// original error.
+  bool dump_to_file(const std::filesystem::path& path) const;
+
+ private:
+  std::size_t cap_;
+  std::vector<OwnedEvent> ring_;  ///< grows to cap_, then overwrites at next_
+  std::size_t next_ = 0;          ///< slot the next event lands in once full
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace smoe::obs

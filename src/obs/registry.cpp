@@ -1,6 +1,7 @@
 #include "obs/registry.h"
 
 #include <algorithm>
+#include <charconv>
 
 #include "common/error.h"
 
@@ -37,14 +38,61 @@ Gauge& Registry::gauge(std::string_view name) {
   return gauges_.emplace(std::string(name), Gauge{}).first->second;
 }
 
+namespace {
+
+std::string layout(const std::vector<double>& v) {
+  std::string s = "{";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) s += ", ";
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v[i]);
+    s.append(buf, res.ptr);
+  }
+  return s + "}";
+}
+
+}  // namespace
+
 Histogram& Registry::histogram(std::string_view name, std::vector<double> bounds) {
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) {
     SMOE_REQUIRE(it->second.bounds() == bounds,
-                 "histogram re-registered with different buckets: " + std::string(name));
+                 "histogram '" + std::string(name) +
+                     "' re-registered with a different bucket layout: existing " +
+                     layout(it->second.bounds()) + " vs requested " + layout(bounds));
     return it->second;
   }
   return histograms_.emplace(std::string(name), Histogram(std::move(bounds))).first->second;
+}
+
+QuantileEstimator& Registry::quantile(std::string_view name, std::vector<double> probs) {
+  const auto it = quantiles_.find(name);
+  if (it != quantiles_.end()) {
+    SMOE_REQUIRE(it->second.probs() == probs,
+                 "quantile estimator '" + std::string(name) +
+                     "' re-registered with different probs: existing " +
+                     layout(it->second.probs()) + " vs requested " + layout(probs));
+    return it->second;
+  }
+  return quantiles_.emplace(std::string(name), QuantileEstimator(std::move(probs)))
+      .first->second;
+}
+
+WindowedRate& Registry::windowed_rate(std::string_view name, double window_seconds,
+                                      std::size_t n_buckets) {
+  const auto it = windows_.find(name);
+  if (it != windows_.end()) {
+    SMOE_REQUIRE(it->second.window_seconds() == window_seconds &&
+                     it->second.n_buckets() == n_buckets,
+                 "windowed rate '" + std::string(name) +
+                     "' re-registered with a different window: existing " +
+                     std::to_string(it->second.window_seconds()) + "s/" +
+                     std::to_string(it->second.n_buckets()) + " buckets vs requested " +
+                     std::to_string(window_seconds) + "s/" + std::to_string(n_buckets));
+    return it->second;
+  }
+  return windows_.emplace(std::string(name), WindowedRate(window_seconds, n_buckets))
+      .first->second;
 }
 
 MetricsSnapshot Registry::snapshot() const {
@@ -60,6 +108,27 @@ MetricsSnapshot Registry::snapshot() const {
     data.min = h.min();
     data.max = h.max();
     snap.histograms.emplace(name, std::move(data));
+  }
+  for (const auto& [name, q] : quantiles_) {
+    MetricsSnapshot::QuantileData data;
+    data.probs = q.probs();
+    data.estimates = q.estimates();
+    data.count = q.count();
+    data.sum = q.sum();
+    data.min = q.min();
+    data.max = q.max();
+    snap.quantiles.emplace(name, std::move(data));
+  }
+  for (const auto& [name, w] : windows_) {
+    MetricsSnapshot::WindowData data;
+    data.window_seconds = w.window_seconds();
+    data.window_count = w.window_count();
+    data.window_sum = w.window_sum();
+    data.rate_per_sec = w.rate_per_sec();
+    data.last_t = w.last_t();
+    data.total_count = w.total_count();
+    data.total_sum = w.total_sum();
+    snap.windows.emplace(name, std::move(data));
   }
   return snap;
 }

@@ -16,6 +16,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/window.h"
+
 namespace smoe::obs {
 
 /// Monotonically increasing event count.
@@ -83,21 +85,58 @@ struct MetricsSnapshot {
     bool operator==(const HistogramData&) const = default;
   };
 
+  /// Streaming P² quantile estimates (obs::QuantileEstimator).
+  struct QuantileData {
+    std::vector<double> probs;
+    std::vector<double> estimates;  ///< aligned with probs
+    std::uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+
+    bool operator==(const QuantileData&) const = default;
+  };
+
+  /// Sliding-window rate state (obs::WindowedRate) at snapshot time.
+  struct WindowData {
+    double window_seconds = 0;
+    std::uint64_t window_count = 0;
+    double window_sum = 0;
+    double rate_per_sec = 0;
+    double last_t = 0;
+    std::uint64_t total_count = 0;
+    double total_sum = 0;
+
+    bool operator==(const WindowData&) const = default;
+  };
+
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramData> histograms;
+  std::map<std::string, QuantileData> quantiles;
+  std::map<std::string, WindowData> windows;
 
-  bool empty() const { return counters.empty() && gauges.empty() && histograms.empty(); }
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty() && quantiles.empty() &&
+           windows.empty();
+  }
   bool operator==(const MetricsSnapshot&) const = default;
 };
 
 class Registry {
  public:
-  /// Find-or-create by name. For histograms, `bounds` applies on first
-  /// creation only (later calls must not disagree on the bucket layout).
+  /// Find-or-create by name. For configured instruments (histograms,
+  /// quantile estimators, windowed rates) the configuration applies on first
+  /// creation only; a later call whose configuration disagrees with the
+  /// existing instrument throws smoe::PreconditionError — two call sites
+  /// silently observing into differently-shaped instruments would corrupt
+  /// the metric (tests/test_obs.cpp and tests/test_window.cpp pin this).
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  QuantileEstimator& quantile(std::string_view name, std::vector<double> probs);
+  WindowedRate& windowed_rate(std::string_view name, double window_seconds,
+                              std::size_t n_buckets = 32);
 
   MetricsSnapshot snapshot() const;
 
@@ -107,6 +146,8 @@ class Registry {
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, QuantileEstimator, std::less<>> quantiles_;
+  std::map<std::string, WindowedRate, std::less<>> windows_;
 };
 
 }  // namespace smoe::obs

@@ -37,6 +37,18 @@ void render_text(const RunReport& report, std::ostream& os) {
     }
     table.render(os);
   }
+  for (const auto& [name, q] : m.quantiles) {
+    os << "\n" << name << ": count " << q.count;
+    for (std::size_t i = 0; i < q.probs.size(); ++i)
+      os << ", p" << TextTable::num(100 * q.probs[i], 0) << " "
+         << TextTable::num(q.estimates[i], 3);
+    os << ", min " << TextTable::num(q.min, 3) << ", max " << TextTable::num(q.max, 3) << "\n";
+  }
+  for (const auto& [name, w] : m.windows) {
+    os << "\n" << name << ": window " << TextTable::num(w.window_seconds, 0) << "s, in-window "
+       << w.window_count << " (" << TextTable::num(w.rate_per_sec, 4) << "/s), total "
+       << w.total_count << "\n";
+  }
 }
 
 void render_json(const RunReport& report, std::ostream& os) {
@@ -96,6 +108,46 @@ void render_json(const RunReport& report, std::ostream& os) {
     append_json_number(out, h.min);
     out += ",\"max\":";
     append_json_number(out, h.max);
+    out += '}';
+  }
+  out += "},\"quantiles\":{";
+  first = true;
+  for (const auto& [name, q] : report.metrics.quantiles) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"probs\":[";
+    for (std::size_t i = 0; i < q.probs.size(); ++i) {
+      if (i) out += ',';
+      append_json_number(out, q.probs[i]);
+    }
+    out += "],\"estimates\":[";
+    for (std::size_t i = 0; i < q.estimates.size(); ++i) {
+      if (i) out += ',';
+      append_json_number(out, q.estimates[i]);
+    }
+    out += "],\"count\":";
+    append_json_number(out, static_cast<std::int64_t>(q.count));
+    out += ",\"min\":";
+    append_json_number(out, q.min);
+    out += ",\"max\":";
+    append_json_number(out, q.max);
+    out += '}';
+  }
+  out += "},\"windows\":{";
+  first = true;
+  for (const auto& [name, w] : report.metrics.windows) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"window_seconds\":";
+    append_json_number(out, w.window_seconds);
+    out += ",\"window_count\":";
+    append_json_number(out, static_cast<std::int64_t>(w.window_count));
+    out += ",\"rate_per_sec\":";
+    append_json_number(out, w.rate_per_sec);
+    out += ",\"total_count\":";
+    append_json_number(out, static_cast<std::int64_t>(w.total_count));
     out += '}';
   }
   out += "}}\n";

@@ -28,6 +28,17 @@ std::string_view to_string(EventType type) {
   return "unknown";
 }
 
+bool event_type_from_string(std::string_view name, EventType& out) {
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    const auto type = static_cast<EventType>(i);
+    if (to_string(type) == name) {
+      out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace detail {
 
 void append_json_escaped(std::string& out, std::string_view s) {

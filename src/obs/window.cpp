@@ -1,0 +1,182 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace smoe::obs {
+
+// ---- P2Quantile -----------------------------------------------------------
+
+P2Quantile::P2Quantile(double prob) : prob_(prob) {
+  SMOE_REQUIRE(prob > 0.0 && prob < 1.0, "P2Quantile: prob must lie in (0, 1)");
+}
+
+void P2Quantile::observe(double x) {
+  if (n_ < 5) {
+    q_[n_++] = x;
+    if (n_ == 5) {
+      std::sort(q_, q_ + 5);
+      // Desired positions after the initial five observations and their
+      // per-observation increments (Jain & Chlamtac, Table I).
+      des_[0] = 1;
+      des_[1] = 1 + 2 * prob_;
+      des_[2] = 1 + 4 * prob_;
+      des_[3] = 3 + 2 * prob_;
+      des_[4] = 5;
+      inc_[0] = 0;
+      inc_[1] = prob_ / 2;
+      inc_[2] = prob_;
+      inc_[3] = (1 + prob_) / 2;
+      inc_[4] = 1;
+    }
+    return;
+  }
+
+  // Cell k such that q_[k] <= x < q_[k+1]; the extremes absorb outliers.
+  std::size_t k;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = std::max(q_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && q_[k + 1] <= x) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) pos_[i] += 1;
+  for (std::size_t i = 0; i < 5; ++i) des_[i] += inc_[i];
+  ++n_;
+
+  // Adjust the three interior markers toward their desired positions with
+  // the piecewise-parabolic (P²) prediction, falling back to linear when the
+  // parabola would leave the bracketing heights.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = des_[i] - pos_[i];
+    if ((d >= 1 && pos_[i + 1] - pos_[i] > 1) || (d <= -1 && pos_[i - 1] - pos_[i] < -1)) {
+      const double s = d >= 1 ? 1.0 : -1.0;
+      const double qp =
+          q_[i] + s / (pos_[i + 1] - pos_[i - 1]) *
+                      ((pos_[i] - pos_[i - 1] + s) * (q_[i + 1] - q_[i]) /
+                           (pos_[i + 1] - pos_[i]) +
+                       (pos_[i + 1] - pos_[i] - s) * (q_[i] - q_[i - 1]) /
+                           (pos_[i] - pos_[i - 1]));
+      if (q_[i - 1] < qp && qp < q_[i + 1]) {
+        q_[i] = qp;
+      } else {
+        const std::size_t j = static_cast<std::size_t>(static_cast<double>(i) + s);
+        q_[i] = q_[i] + s * (q_[j] - q_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ <= 5) {
+    // At n_ == 5 the markers are exactly the sorted sample, so the
+    // interpolated sample quantile below is still exact.
+    // Exact linear-interpolated sample quantile over the buffered values.
+    double sorted[5];
+    std::copy(q_, q_ + n_, sorted);
+    std::sort(sorted, sorted + n_);
+    const double rank = prob_ * static_cast<double>(n_ - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, static_cast<std::size_t>(n_ - 1));
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  return q_[2];
+}
+
+// ---- QuantileEstimator ----------------------------------------------------
+
+QuantileEstimator::QuantileEstimator(std::vector<double> probs) : probs_(std::move(probs)) {
+  SMOE_REQUIRE(!probs_.empty(), "QuantileEstimator: needs at least one prob");
+  SMOE_REQUIRE(std::is_sorted(probs_.begin(), probs_.end()) &&
+                   std::adjacent_find(probs_.begin(), probs_.end()) == probs_.end(),
+               "QuantileEstimator: probs must be strictly increasing");
+  estimators_.reserve(probs_.size());
+  for (const double p : probs_) estimators_.emplace_back(p);
+}
+
+void QuantileEstimator::observe(double v) {
+  for (P2Quantile& e : estimators_) e.observe(v);
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+std::vector<double> QuantileEstimator::estimates() const {
+  std::vector<double> out;
+  out.reserve(estimators_.size());
+  for (const P2Quantile& e : estimators_) out.push_back(e.value());
+  return out;
+}
+
+// ---- WindowedRate ---------------------------------------------------------
+
+WindowedRate::WindowedRate(double window_seconds, std::size_t n_buckets)
+    : window_(window_seconds),
+      bucket_width_(window_seconds / static_cast<double>(n_buckets)),
+      buckets_(n_buckets) {
+  SMOE_REQUIRE(window_seconds > 0 && std::isfinite(window_seconds),
+               "WindowedRate: window must be positive and finite");
+  SMOE_REQUIRE(n_buckets >= 2, "WindowedRate: needs at least two buckets");
+}
+
+void WindowedRate::advance_to(std::int64_t bucket) {
+  if (cur_bucket_ < 0) {
+    cur_bucket_ = bucket;
+    return;
+  }
+  // Clear every bucket the clock passed over; a jump past a whole window
+  // clears the ring once rather than iterating bucket-by-bucket.
+  const std::int64_t steps = bucket - cur_bucket_;
+  if (steps >= static_cast<std::int64_t>(buckets_.size())) {
+    for (Bucket& b : buckets_) b = Bucket{};
+  } else {
+    for (std::int64_t s = 1; s <= steps; ++s) {
+      const std::size_t idx =
+          static_cast<std::size_t>((cur_bucket_ + s) % static_cast<std::int64_t>(buckets_.size()));
+      buckets_[idx] = Bucket{};
+    }
+  }
+  cur_bucket_ = bucket;
+}
+
+void WindowedRate::add(double t, double value) {
+  SMOE_REQUIRE(std::isfinite(t) && t >= 0, "WindowedRate: time must be finite and >= 0");
+  t = std::max(t, last_t_);  // simulated clocks are non-decreasing
+  last_t_ = t;
+  advance_to(static_cast<std::int64_t>(t / bucket_width_));
+  Bucket& b = buckets_[static_cast<std::size_t>(cur_bucket_ %
+                                                static_cast<std::int64_t>(buckets_.size()))];
+  b.count += 1;
+  b.sum += value;
+  ++total_count_;
+  total_sum_ += value;
+}
+
+std::uint64_t WindowedRate::window_count() const {
+  std::uint64_t n = 0;
+  for (const Bucket& b : buckets_) n += b.count;
+  return n;
+}
+
+double WindowedRate::window_sum() const {
+  double s = 0;
+  for (const Bucket& b : buckets_) s += b.sum;
+  return s;
+}
+
+}  // namespace smoe::obs

@@ -1,0 +1,128 @@
+// Windowed online telemetry: the streaming building blocks that turn the
+// batch-oriented metrics registry into something an always-on service can
+// export — the ROADMAP's "windowed online metrics" prerequisite for the
+// open-loop serving mode.
+//
+//   P2Quantile        — streaming quantile estimate via the P² algorithm
+//                       (Jain & Chlamtac, CACM 1985): five markers, O(1)
+//                       memory, no sample buffer. Exact for the first five
+//                       observations; see DESIGN.md §12 for the accuracy
+//                       contract beyond that.
+//   QuantileEstimator — a fixed set of P² quantiles (e.g. p50/p90/p99) over
+//                       one stream, plus count/sum/min/max.
+//   WindowedRate      — sliding-window counter over *simulated* time: a ring
+//                       of fixed-width buckets covering the last
+//                       `window_seconds`; old buckets expire as time
+//                       advances. Reports the in-window count/sum and
+//                       per-second rates.
+//
+// Everything here is deterministic (a pure function of the observation
+// sequence) and single-threaded, like the rest of the registry: a run owns
+// its instruments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace smoe::obs {
+
+/// Streaming estimate of one quantile via the P² algorithm. O(1) space and
+/// per-observation time; never buffers the stream.
+class P2Quantile {
+ public:
+  /// `prob` must lie in (0, 1) — e.g. 0.5 for the median, 0.99 for p99.
+  explicit P2Quantile(double prob);
+
+  void observe(double x);
+
+  /// Current estimate. Exact (linear-interpolated sample quantile) while
+  /// count() <= 5; the P² marker estimate afterwards. 0 before the first
+  /// observation.
+  double value() const;
+
+  double prob() const { return prob_; }
+  std::uint64_t count() const { return n_; }
+
+ private:
+  double prob_;
+  std::uint64_t n_ = 0;
+  double q_[5] = {0, 0, 0, 0, 0};    ///< marker heights
+  double pos_[5] = {1, 2, 3, 4, 5};  ///< marker positions (1-based)
+  double des_[5] = {0, 0, 0, 0, 0};  ///< desired marker positions
+  double inc_[5] = {0, 0, 0, 0, 0};  ///< desired-position increments
+};
+
+/// A bundle of P² estimators over one observation stream (one instrument in
+/// the registry), plus the exact count/sum/min/max summary.
+class QuantileEstimator {
+ public:
+  /// `probs` must be non-empty, strictly increasing, each in (0, 1).
+  explicit QuantileEstimator(std::vector<double> probs);
+
+  void observe(double v);
+
+  const std::vector<double>& probs() const { return probs_; }
+  /// Estimate for probs()[i].
+  double estimate(std::size_t i) const { return estimators_[i].value(); }
+  /// All estimates, aligned with probs().
+  std::vector<double> estimates() const;
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::vector<double> probs_;
+  std::vector<P2Quantile> estimators_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Sliding-window counter over simulated time. The window is a ring of
+/// `n_buckets` fixed-width buckets; add(t, v) drops the observation in
+/// bucket floor(t / width) and expires buckets older than the window. Time
+/// must be non-decreasing (simulated clocks are); a slightly-regressing t is
+/// clamped to the latest time seen.
+class WindowedRate {
+ public:
+  explicit WindowedRate(double window_seconds, std::size_t n_buckets = 32);
+
+  void add(double t, double value = 1.0);
+
+  double window_seconds() const { return window_; }
+  std::size_t n_buckets() const { return buckets_.size(); }
+
+  /// Observations / value-sum inside the window ending at the latest add().
+  std::uint64_t window_count() const;
+  double window_sum() const;
+  /// window_count() / window_seconds (and the value-sum analogue).
+  double rate_per_sec() const { return static_cast<double>(window_count()) / window_; }
+  double value_rate_per_sec() const { return window_sum() / window_; }
+
+  std::uint64_t total_count() const { return total_count_; }
+  double total_sum() const { return total_sum_; }
+  double last_t() const { return last_t_; }
+
+ private:
+  struct Bucket {
+    std::uint64_t count = 0;
+    double sum = 0;
+  };
+
+  /// Zero every bucket the clock passed over since the last add().
+  void advance_to(std::int64_t bucket);
+
+  double window_;
+  double bucket_width_;
+  std::vector<Bucket> buckets_;
+  std::int64_t cur_bucket_ = -1;  ///< -1 until the first add()
+  double last_t_ = 0;
+  std::uint64_t total_count_ = 0;
+  double total_sum_ = 0;
+};
+
+}  // namespace smoe::obs

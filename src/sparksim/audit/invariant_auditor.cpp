@@ -6,6 +6,7 @@
 #include "common/approx.h"
 #include "common/error.h"
 #include "obs/event.h"
+#include "obs/flight_recorder.h"
 
 namespace smoe::sim::audit {
 
@@ -30,6 +31,17 @@ void InvariantAuditor::fail(const std::string& what, const obs::Event& event) co
   msg << " | repro: ";
   if (!opts_.context.empty()) msg << opts_.context << " ";
   msg << (repro_.empty() ? "(before run_start)" : repro_);
+  // Postmortem: the flight recorder (fed before auditing, so it holds the
+  // violating event) dumps its last-K tail as JSONL next to the repro line.
+  if (opts_.flight != nullptr) {
+    if (opts_.flight->dump_to_file(opts_.flight_dump_path)) {
+      msg << "\n  flight recorder: last " << opts_.flight->size() << " event(s) dumped to "
+          << opts_.flight_dump_path;
+    } else {
+      msg << "\n  flight recorder: dump to " << opts_.flight_dump_path
+          << " failed (events retained in memory: " << opts_.flight->size() << ")";
+    }
+  }
   throw InvariantError(msg.str());
 }
 
@@ -115,6 +127,9 @@ void InvariantAuditor::check_node_sums(const obs::Event& event, std::int64_t nod
 // ---- event dispatch -------------------------------------------------------
 
 void InvariantAuditor::emit(const obs::Event& event) {
+  // Feed the flight recorder before any check can throw, so a dump always
+  // ends with the event that violated the invariant.
+  if (opts_.flight != nullptr) opts_.flight->emit(event);
   ++events_seen_;
   if (!std::isfinite(event.t) || event.t < 0)
     fail("non-finite or negative timestamp", event);

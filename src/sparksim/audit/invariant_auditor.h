@@ -43,6 +43,10 @@
 
 #include "obs/sink.h"
 
+namespace smoe::obs {
+class FlightRecorder;
+}
+
 namespace smoe::sim::audit {
 
 class InvariantAuditor final : public obs::EventSink {
@@ -58,6 +62,15 @@ class InvariantAuditor final : public obs::EventSink {
     /// fuzz harness passes its own command line here so a violation is
     /// reproducible outside the harness too.
     std::string context;
+    /// Optional flight recorder (non-owning). When set, every event is
+    /// forwarded into it *before* auditing — so the ring always contains the
+    /// violating event — and fail() dumps the retained last-K events as
+    /// JSONL to `flight_dump_path`, appending the dump location to the
+    /// failure message right after the repro line.
+    obs::FlightRecorder* flight = nullptr;
+    /// Where fail() writes the flight-recorder dump (JSONL, readable by
+    /// obs::TraceReader / smoe-trace).
+    std::string flight_dump_path = "audit_flight_dump.jsonl";
   };
 
   InvariantAuditor() = default;

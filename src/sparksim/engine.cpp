@@ -190,6 +190,18 @@ struct Sim {
   obs::Histogram& h_chunk = metrics.histogram(
       "executor_chunk_items", {256, 1024, 4096, 16384, 65536, 262144});
 
+  // Windowed online telemetry (DESIGN.md §12): streaming P² quantiles over
+  // the same streams the histograms above bucket — so percentiles survive
+  // coarse buckets — plus sliding-window spawn/OOM rates over simulated
+  // time, the steady-state signals an always-on serving mode exports.
+  static constexpr double kTelemetryWindow = 600.0;  ///< seconds of sim-time
+  obs::QuantileEstimator& q_queue_wait =
+      metrics.quantile("dispatch_queue_wait_seconds", {0.5, 0.9, 0.99});
+  obs::QuantileEstimator& q_sojourn =
+      metrics.quantile("app_sojourn_seconds", {0.5, 0.9, 0.99});
+  obs::WindowedRate& w_spawn = metrics.windowed_rate("executor_spawn_rate", kTelemetryWindow);
+  obs::WindowedRate& w_oom = metrics.windowed_rate("oom_rate", kTelemetryWindow);
+
   Sim(const SimConfig& c, const wl::FeatureModel& f, SchedulingPolicy& p, obs::EventSink& s)
       : cfg(c),
         features(f),
@@ -454,10 +466,12 @@ struct Sim {
     ++app.executors;
     if (app.res.start < 0) {
       h_queue_wait.observe(now - app.res.profile_end);
+      q_queue_wait.observe(now - app.res.profile_end);
       app.res.start = now;
     }
 
     m_spawned.inc();
+    w_spawn.add(now);
     h_chunk.observe(chunk);
     if (predicted >= 0) h_pred_err.observe(std::abs(predicted - truth));
     if (e.degrade < 1.0) (predictive ? m_thrashes : m_spills).inc();
@@ -846,6 +860,7 @@ struct Sim {
         // OOM: the chunk is lost and must re-run in isolation (Section 2.3).
         AppState& app = apps[static_cast<std::size_t>(e.app)];
         m_oom.inc();
+        w_oom.add(now);
         h_lifetime.observe(now - e.spawned_at);
         app.rerun_chunks.push_back(e.chunk);
         app.model_distrusted = true;
@@ -910,6 +925,7 @@ struct Sim {
         app.phase = Phase::kDone;
         ++apps_done;
         m_apps_done.inc();
+        q_sojourn.observe(app.res.turnaround());
         if (tracing)
           sink.emit(obs::Event(now, obs::EventType::kAppFinish)
                         .with("app", a)

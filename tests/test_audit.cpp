@@ -4,6 +4,7 @@
 // release() clamp bug — are rejected with a copy-pasteable repro.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -11,6 +12,8 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "obs/analysis/trace_reader.h"
+#include "obs/flight_recorder.h"
 #include "obs/sink.h"
 #include "sched/policies_basic.h"
 #include "sched/policies_learned.h"
@@ -237,6 +240,41 @@ TEST(Audit, DetectsDoubleRelease) {
   events.insert(events.begin() + static_cast<std::ptrdiff_t>(i) + 1, events[i]);
   sim::audit::InvariantAuditor auditor;
   EXPECT_THROW(replay(events, auditor), InvariantError);
+}
+
+TEST(Audit, FailureDumpsFlightRecorderPostmortem) {
+  // The same double-release corruption, but with a flight recorder wired in:
+  // the thrown error must point at a JSONL dump whose tail is the violating
+  // event, and the dump must parse like any other trace.
+  std::vector<obs::OwnedEvent> events = record_moe_run();
+  const std::size_t i = nth_of(events, obs::EventType::kExecutorFinish);
+  ASSERT_NE(i, std::string::npos);
+  events.insert(events.begin() + static_cast<std::ptrdiff_t>(i) + 1, events[i]);
+
+  const std::filesystem::path dump =
+      std::filesystem::path(::testing::TempDir()) / "audit_flight_dump.jsonl";
+  std::filesystem::remove(dump);
+  obs::FlightRecorder flight(64);
+  sim::audit::InvariantAuditor::Options opts;
+  opts.flight = &flight;
+  opts.flight_dump_path = dump.string();
+  sim::audit::InvariantAuditor auditor(opts);
+  try {
+    replay(events, auditor);
+    FAIL() << "auditor accepted a double release";
+  } catch (const InvariantError& err) {
+    const std::string msg = err.what();
+    EXPECT_NE(msg.find("flight recorder: last"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(dump.string()), std::string::npos) << msg;
+  }
+  ASSERT_TRUE(std::filesystem::exists(dump));
+  const std::vector<obs::OwnedEvent> dumped = obs::TraceReader::read_file(dump);
+  ASSERT_FALSE(dumped.empty());
+  EXPECT_EQ(dumped.size(), flight.size());
+  EXPECT_LE(dumped.size(), flight.capacity());
+  EXPECT_EQ(dumped.back().type, obs::EventType::kExecutorFinish)
+      << "dump must end with the violating event";
+  std::filesystem::remove(dump);
 }
 
 TEST(Audit, DetectsDroppedRelease) {

@@ -16,6 +16,7 @@
 
 #include "common/error.h"
 #include "obs/cli.h"
+#include "obs/flight_recorder.h"
 #include "obs/registry.h"
 #include "obs/report.h"
 #include "obs/sink.h"
@@ -72,6 +73,25 @@ TEST(Registry, HistogramBucketsAndStats) {
   // Unsorted bounds and conflicting re-registration are precondition errors.
   EXPECT_THROW(reg.histogram("bad", {5.0, 1.0}), PreconditionError);
   EXPECT_THROW(reg.histogram("lat", {2.0}), PreconditionError);
+}
+
+TEST(Registry, HistogramLayoutMismatchReportsBothLayouts) {
+  obs::Registry reg;
+  reg.histogram("lat", {1.0, 10.0});
+  // Regression: a mismatched re-registration must throw (never hand back the
+  // old instrument as if the new layout applied) and name both layouts.
+  try {
+    reg.histogram("lat", {2.0, 20.0});
+    FAIL() << "mismatched bucket layout must throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lat"), std::string::npos) << what;
+    EXPECT_NE(what.find("{1, 10}"), std::string::npos) << what;
+    EXPECT_NE(what.find("{2, 20}"), std::string::npos) << what;
+  }
+  // The original instrument survives a rejected re-registration intact.
+  obs::Histogram& h = reg.histogram("lat", {1.0, 10.0});
+  EXPECT_EQ(h.bounds(), (std::vector<double>{1.0, 10.0}));
 }
 
 TEST(Registry, SnapshotIsDeepAndComparable) {
@@ -555,6 +575,61 @@ TEST(TraceCli, TraceDirMakesAFactoryAndAsyncIsStripped) {
   cli.sink_factory()->make("cell")->close();
   EXPECT_TRUE(std::filesystem::exists(dir / "cell.jsonl"));
   std::filesystem::remove_all(dir);
+}
+
+// ---- flight recorder ----
+
+obs::Event flight_event(double t, int i) {
+  return obs::Event(t, obs::EventType::kMonitorReport).with("report", i);
+}
+
+TEST(FlightRecorder, RetainsOnlyTheLastKEventsOldestFirst) {
+  obs::FlightRecorder rec(4);
+  EXPECT_EQ(rec.size(), 0u);
+  for (int i = 0; i < 10; ++i) rec.emit(flight_event(i, i));
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total_seen(), 10u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(events[i]->t, 6.0 + static_cast<double>(i)) << i;
+    EXPECT_EQ(std::get<std::int64_t>(events[i]->find("report")->value),
+              static_cast<std::int64_t>(6 + i));
+  }
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.total_seen(), 10u) << "clear() forgets events, not history";
+}
+
+TEST(FlightRecorder, DumpIsByteCompatibleWithJsonlSink) {
+  obs::FlightRecorder rec(8);
+  std::ostringstream direct_os;
+  obs::JsonlSink direct(direct_os);
+  for (int i = 0; i < 5; ++i) {
+    const std::string label = "payload \"" + std::to_string(i) + "\"";
+    obs::Event e(0.5 * i, obs::EventType::kDispatch);
+    e.with("app", i).with("ratio", 0.1 * i).with("label", label);
+    rec.emit(e);
+    direct.emit(e);
+  }
+  direct.close();
+  std::ostringstream dump_os;
+  rec.dump_jsonl(dump_os);
+  EXPECT_EQ(dump_os.str(), direct_os.str());
+}
+
+TEST(FlightRecorder, DumpToFileFailsSoftly) {
+  obs::FlightRecorder rec(2);
+  rec.emit(flight_event(1, 1));
+  EXPECT_FALSE(rec.dump_to_file("/nonexistent-dir/flight.jsonl"))
+      << "I/O failure must report false, never throw from a failure handler";
+  const std::filesystem::path path =
+      std::filesystem::path(::testing::TempDir()) / "smoe_flight_dump.jsonl";
+  std::filesystem::remove(path);
+  EXPECT_TRUE(rec.dump_to_file(path));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  std::filesystem::remove(path);
 }
 
 }  // namespace

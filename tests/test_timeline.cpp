@@ -1,0 +1,240 @@
+// Timeline analyzer tests: live (engine-attached sink) and replay (parsed
+// trace) modes produce identical results; derived series obey conservation
+// invariants on the golden corpus; StepSeries/quantile math is exact on hand
+// computations; RunComparator diffs are consistent and deterministic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/comparator.h"
+#include "obs/analysis/timeline.h"
+#include "obs/analysis/trace_reader.h"
+#include "obs/sink.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sparksim/engine.h"
+#include "workloads/features.h"
+#include "workloads/mixes.h"
+
+#ifndef SMOE_GOLDEN_DIR
+#error "SMOE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+using namespace smoe;
+using namespace smoe::obs;
+
+constexpr std::uint64_t kSeed = 424242;
+
+wl::TaskMix golden_mix() {
+  return {{"HB.TeraSort", 131072.0}, {"SP.Gmm", 30720.0},  {"SB.SVM", 30720.0},
+          {"BDB.Grep", 4096.0},      {"HB.Scan", 61440.0}, {"HB.PageRank", 30720.0}};
+}
+
+TimelineResult analyze_golden(const std::string& policy) {
+  const std::string path = std::string(SMOE_GOLDEN_DIR) + "/trace_" + policy + ".jsonl";
+  return Timeline::analyze(TraceReader::read_file(path));
+}
+
+// ---- StepSeries ----
+
+TEST(StepSeries, RecordCollapsesRepeatsAndSameInstant) {
+  StepSeries s;
+  s.record(0, 1);
+  s.record(1, 1);  // unchanged value: no new point
+  EXPECT_EQ(s.points.size(), 1u);
+  s.record(2, 3);
+  s.record(2, 5);  // same instant: last value wins
+  ASSERT_EQ(s.points.size(), 2u);
+  EXPECT_EQ(s.points[1].v, 5);
+  s.record(3, 7);
+  s.record(3, 5);  // same instant back to prior value: point vanishes
+  ASSERT_EQ(s.points.size(), 2u);
+  EXPECT_EQ(s.last(), 5);
+  EXPECT_EQ(s.peak(), 5);
+}
+
+TEST(StepSeries, TimeWeightedMeanIsTheStepIntegral) {
+  StepSeries s;
+  s.record(0, 2);   // 2 for t in [0,4)
+  s.record(4, 6);   // 6 for t in [4,10)
+  EXPECT_DOUBLE_EQ(s.time_weighted_mean(10), (2 * 4 + 6 * 6) / 10.0);
+  // Series starting after 0: implicit 0 before the first point.
+  StepSeries late;
+  late.record(5, 4);
+  EXPECT_DOUBLE_EQ(late.time_weighted_mean(10), 2.0);
+  EXPECT_DOUBLE_EQ(StepSeries{}.time_weighted_mean(10), 0.0);
+}
+
+TEST(TimelineResult, SojournQuantileInterpolates) {
+  TimelineResult r;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) {
+    AppRecord a;
+    a.app = static_cast<std::int64_t>(v);
+    a.finished = true;
+    a.turnaround = v;
+    r.apps.push_back(a);
+  }
+  EXPECT_DOUBLE_EQ(r.sojourn_quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(r.sojourn_quantile(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(r.sojourn_quantile(0.5), 25.0);
+  EXPECT_DOUBLE_EQ(r.sojourn_quantile(1.0 / 3.0), 20.0);
+}
+
+// ---- live == replay ----
+
+TEST(Timeline, LiveAndReplayResultsAreIdentical) {
+  struct Case {
+    std::string name;
+    std::unique_ptr<sim::SchedulingPolicy> policy;
+  };
+  const wl::FeatureModel features(1);
+  std::vector<Case> cases;
+  cases.push_back({"isolated", std::make_unique<sched::IsolatedPolicy>()});
+  cases.push_back({"moe", std::make_unique<sched::MoePolicy>(features, kSeed)});
+  for (auto& c : cases) {
+    std::ostringstream os;
+    JsonlSink jsonl(os);
+    Timeline live;
+    TeeSink tee(jsonl, live);
+    sim::SimConfig cfg;
+    cfg.seed = kSeed;
+    cfg.cluster.n_nodes = 6;
+    cfg.sink = &tee;
+    sim::ClusterSim sim(cfg, features);
+    (void)sim.run(golden_mix(), *c.policy);
+    jsonl.close();
+
+    std::istringstream in(os.str());
+    const TimelineResult replayed = Timeline::analyze(TraceReader::read_all(in));
+    EXPECT_EQ(live.result(), replayed) << c.name;
+  }
+}
+
+// ---- golden corpus invariants ----
+
+const std::vector<std::string>& golden_policies() {
+  static const std::vector<std::string> p = {"isolated", "pairwise", "oracle",
+                                             "online",   "moe",      "quasar"};
+  return p;
+}
+
+TEST(Timeline, GoldenCorpusConservationInvariants) {
+  for (const std::string& policy : golden_policies()) {
+    const TimelineResult r = analyze_golden(policy);
+    SCOPED_TRACE(policy);
+    ASSERT_TRUE(r.run.ended);
+    EXPECT_GT(r.run.makespan, 0);
+    EXPECT_EQ(r.run.n_apps, static_cast<std::int64_t>(r.apps.size()));
+    EXPECT_EQ(static_cast<std::size_t>(r.run.n_nodes), r.nodes.size());
+
+    // The run drained: nothing live, nothing queued, nothing in-system.
+    EXPECT_EQ(r.live_executors.last(), 0);
+    EXPECT_EQ(r.queue_depth.last(), 0);
+    EXPECT_EQ(r.apps_in_system.last(), 0);
+
+    std::int64_t execs = 0, ooms = 0;
+    for (const AppRecord& a : r.apps) {
+      EXPECT_TRUE(a.finished) << "app " << a.app;
+      EXPECT_FALSE(a.benchmark.empty());
+      EXPECT_GE(a.queue_wait, -1e-9) << "app " << a.app;
+      EXPECT_GE(a.first_dispatch_t, 0) << "app " << a.app;
+      EXPECT_NEAR(a.turnaround, a.finish_t - a.submit_t, 1e-9) << "app " << a.app;
+      EXPECT_GT(a.exec_time, 0) << "app " << a.app;
+      execs += a.executors;
+      ooms += a.ooms;
+      if (a.ooms > 0) {
+        EXPECT_GT(a.lost_items, 0) << "app " << a.app;
+        EXPECT_GT(a.rerun_executors, 0) << "app " << a.app;
+        EXPECT_GT(a.rerun_time, 0) << "app " << a.app;
+      }
+    }
+    EXPECT_EQ(execs, r.run.executors_spawned);
+    EXPECT_EQ(ooms, r.run.oom_total);
+
+    double max_occupancy = 0;
+    for (std::size_t n = 0; n < r.nodes.size(); ++n) {
+      const NodeSeries& node = r.nodes[n];
+      // Executors end with their node share released (up to float dust the
+      // engine itself leaves behind).
+      EXPECT_NEAR(node.reserved_gib.last(), 0, 1e-9) << "node " << n;
+      EXPECT_EQ(node.occupancy.last(), 0) << "node " << n;
+      EXPECT_LE(node.reserved_gib.peak(), r.run.node_ram_gib + 1e-9) << "node " << n;
+      EXPECT_LE(node.utilization.peak(), 1.0 + 1e-9) << "node " << n;
+      max_occupancy = std::max(max_occupancy, node.occupancy.peak());
+    }
+    EXPECT_EQ(static_cast<std::int64_t>(max_occupancy), r.run.peak_node_occupancy);
+
+    // makespan is the last app finish.
+    double last_finish = 0;
+    for (const AppRecord& a : r.apps) last_finish = std::max(last_finish, a.finish_t);
+    EXPECT_DOUBLE_EQ(last_finish, r.run.makespan);
+  }
+}
+
+TEST(Timeline, GoldenOomTracesAttributeLostWork) {
+  bool saw_oom = false;
+  for (const std::string& policy : golden_policies()) {
+    const TimelineResult r = analyze_golden(policy);
+    if (r.run.oom_total == 0) continue;
+    saw_oom = true;
+    double lost = 0;
+    std::int64_t reruns = 0;
+    for (const AppRecord& a : r.apps) {
+      lost += a.lost_items;
+      reruns += a.rerun_executors;
+    }
+    EXPECT_GT(lost, 0) << policy;
+    EXPECT_GE(reruns, r.run.oom_total) << policy;
+  }
+  ASSERT_TRUE(saw_oom) << "golden corpus lost its OOM coverage — pick a mix "
+                          "that still exercises executor_oom";
+}
+
+// ---- comparator ----
+
+TEST(Comparator, SelfDiffIsAllZeros) {
+  const TimelineResult r = analyze_golden("moe");
+  const RunDiff d = compare_runs(r, r);
+  ASSERT_FALSE(d.metrics.empty());
+  for (const RunDiff::MetricRow& m : d.metrics) {
+    EXPECT_EQ(m.delta(), 0) << m.name;
+    EXPECT_EQ(m.pct(), 0) << m.name;
+  }
+  for (const RunDiff::AppRow& a : d.apps) {
+    EXPECT_TRUE(a.in_a && a.in_b);
+    EXPECT_EQ(a.turnaround_a, a.turnaround_b);
+  }
+}
+
+TEST(Comparator, DiffMatchesTimelineMetrics) {
+  const TimelineResult a = analyze_golden("isolated");
+  const TimelineResult b = analyze_golden("moe");
+  const RunDiff d = compare_runs(a, b);
+  ASSERT_FALSE(d.metrics.empty());
+  EXPECT_EQ(d.label_a, a.run.policy);
+  EXPECT_EQ(d.label_b, b.run.policy);
+  EXPECT_EQ(d.metrics[0].name, "makespan_s");
+  EXPECT_DOUBLE_EQ(d.metrics[0].a, a.run.makespan);
+  EXPECT_DOUBLE_EQ(d.metrics[0].b, b.run.makespan);
+  EXPECT_EQ(d.apps.size(), a.apps.size());
+
+  const std::string text = render_text(d);
+  EXPECT_NE(text.find("makespan_s"), std::string::npos);
+  EXPECT_NE(text.find(a.run.policy), std::string::npos);
+  EXPECT_EQ(text, render_text(compare_runs(a, b))) << "render must be deterministic";
+}
+
+TEST(Comparator, FormatNumberIsShortestRoundTrip) {
+  EXPECT_EQ(format_number(5.0), "5");
+  EXPECT_EQ(format_number(0.5), "0.5");
+  EXPECT_EQ(format_number(-0.0), "-0");
+  EXPECT_EQ(format_number(std::nan("")), "nan");
+}
+
+}  // namespace

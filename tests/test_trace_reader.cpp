@@ -1,0 +1,344 @@
+// TraceReader round-trip pinning: every trace JsonlSink can emit — fast
+// path, memo hits, and the string-append slow path; random and adversarial
+// values — parses back field-for-field and re-emits byte-identically. Plus
+// the golden corpus as the "real traces" anchor, and malformed-input errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis/trace_reader.h"
+#include "obs/sink.h"
+
+#ifndef SMOE_GOLDEN_DIR
+#error "SMOE_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+using namespace smoe;
+using namespace smoe::obs;
+
+// ---- event-type name round trip ----
+
+TEST(TraceReader, EventTypeNamesRoundTrip) {
+  for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+    const auto type = static_cast<EventType>(i);
+    EventType parsed = EventType::kRunEnd;
+    ASSERT_TRUE(event_type_from_string(to_string(type), parsed)) << to_string(type);
+    EXPECT_EQ(parsed, type);
+  }
+  EventType out = EventType::kRunStart;
+  EXPECT_FALSE(event_type_from_string("no_such_event", out));
+  EXPECT_FALSE(event_type_from_string("", out));
+  EXPECT_EQ(out, EventType::kRunStart) << "out must be untouched on failure";
+}
+
+// ---- golden corpus: parse + re-emit is the identity ----
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(TraceReader, GoldenCorpusReEmitsByteIdentically) {
+  const std::vector<std::string> policies = {"isolated", "pairwise", "oracle",
+                                             "online",   "moe",      "quasar"};
+  for (const std::string& p : policies) {
+    const std::string path = std::string(SMOE_GOLDEN_DIR) + "/trace_" + p + ".jsonl";
+    const std::string original = read_file(path);
+    ASSERT_FALSE(original.empty()) << path;
+    const std::vector<OwnedEvent> events = TraceReader::read_file(path);
+    ASSERT_FALSE(events.empty()) << path;
+    EXPECT_EQ(events.front().type, EventType::kRunStart) << path;
+    EXPECT_EQ(events.back().type, EventType::kRunEnd) << path;
+    EXPECT_EQ(render_jsonl(events), original) << path << ": round trip not byte-exact";
+  }
+}
+
+// ---- differential round trip over generated events ----
+
+// Keys must be literals with stable addresses: JsonlSink memoizes formatted
+// fields by key *pointer*.
+constexpr const char* kKeys[] = {"alpha", "beta",  "gamma", "delta", "items",
+                                 "node",  "ratio", "label", "x",     "y"};
+
+const std::vector<double>& double_pool() {
+  static const std::vector<double> pool = {
+      0.0,
+      -0.0,
+      1.0,
+      -1.0,
+      0.5,
+      1.0 / 3.0,
+      5.0,  // emits as "5": reclassified int64 on parse, same bytes out
+      123456789012345.0,
+      1e-300,
+      -1e300,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::epsilon(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+  };
+  return pool;
+}
+
+const std::vector<std::int64_t>& int_pool() {
+  static const std::vector<std::int64_t> pool = {
+      0,  1,  -1, 42, -42, 1000000007,
+      std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max(),
+  };
+  return pool;
+}
+
+std::string random_string(std::mt19937_64& rng, bool huge) {
+  // Adversarial content: quotes, backslashes, control chars, multi-byte
+  // UTF-8, and (huge) strings far past the sink's stack scratch so the
+  // slow path runs.
+  static const std::string alphabet =
+      "abc \"\\\n\r\t\x01\x1f/{}:,\xc3\xa9\xe2\x82\xac";
+  std::uniform_int_distribution<std::size_t> len(0, huge ? 6000 : 24);
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::string s;
+  const std::size_t n = len(rng);
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s += alphabet[pick(rng)];
+  return s;
+}
+
+/// Canonical rendering of a parsed value, for field-for-field comparison
+/// against the bytes the sink wrote for the original.
+std::string render_value(const OwnedEvent::Field& f) {
+  std::string out;
+  if (const auto* i = std::get_if<std::int64_t>(&f.value)) {
+    obs::detail::append_json_number(out, *i);
+  } else if (const auto* d = std::get_if<double>(&f.value)) {
+    obs::detail::append_json_number(out, *d);
+  } else {
+    obs::detail::append_json_string(out, std::get<std::string>(f.value));
+  }
+  return out;
+}
+
+TEST(TraceReader, DifferentialRandomRoundTrip) {
+  std::mt19937_64 rng(20260808);
+  std::uniform_int_distribution<int> n_fields(0, Event::kMaxFields - 2);
+  std::uniform_int_distribution<int> kind(0, 3);
+  std::uniform_int_distribution<std::size_t> key_pick(0, std::size(kKeys) - 1);
+  std::uniform_real_distribution<double> uniform(-1e6, 1e6);
+  std::uniform_int_distribution<std::int64_t> uniform_i(-1'000'000'000'000,
+                                                        1'000'000'000'000);
+
+  // Storage for generated values so the Event string_views stay valid until
+  // emit() — and for the expected-value comparison afterwards.
+  struct Expected {
+    double t;
+    EventType type;
+    std::vector<std::string> keys;
+    std::vector<std::variant<std::int64_t, double, std::string>> values;
+  };
+
+  for (const std::size_t buffer_bytes : {std::size_t{256}, kSinkBufferBytes}) {
+    std::ostringstream os;
+    SinkOptions opts;
+    opts.buffer_bytes = buffer_bytes;
+    JsonlSink sink(os, opts);
+    std::vector<Expected> expected;
+    std::vector<std::string> string_arena;  // outlives each emit
+    string_arena.reserve(4096);
+
+    for (int iter = 0; iter < 400; ++iter) {
+      Expected exp;
+      exp.t = kind(rng) == 0 ? static_cast<double>(iter)
+                             : uniform(rng) * (kind(rng) == 1 ? 1e-7 : 1.0);
+      exp.type = static_cast<EventType>(iter % kEventTypeCount);
+      Event e(exp.t, exp.type);
+      const int nf = n_fields(rng);
+      for (int f = 0; f < nf; ++f) {
+        const char* key = kKeys[key_pick(rng)];
+        exp.keys.emplace_back(key);
+        switch (kind(rng)) {
+          case 0: {
+            const auto& pool = int_pool();
+            const std::int64_t v =
+                iter % 3 == 0 ? pool[static_cast<std::size_t>(iter / 3) % pool.size()]
+                              : uniform_i(rng);
+            e.with(key, v);
+            exp.values.emplace_back(v);
+            break;
+          }
+          case 1: {
+            const auto& pool = double_pool();
+            const double v =
+                iter % 2 == 0 ? pool[static_cast<std::size_t>(iter) % pool.size()]
+                              : uniform(rng);
+            e.with(key, v);
+            exp.values.emplace_back(v);
+            break;
+          }
+          default: {
+            string_arena.push_back(random_string(rng, iter % 37 == 0));
+            e.with(key, std::string_view(string_arena.back()));
+            exp.values.emplace_back(string_arena.back());
+            break;
+          }
+        }
+      }
+      sink.emit(e);
+      expected.push_back(std::move(exp));
+    }
+    sink.close();
+
+    const std::string emitted = os.str();
+    std::istringstream in(emitted);
+    const std::vector<OwnedEvent> parsed = TraceReader::read_all(in);
+    ASSERT_EQ(parsed.size(), expected.size());
+
+    // Byte-level: re-emission is the identity.
+    EXPECT_EQ(render_jsonl(parsed), emitted)
+        << "buffer_bytes=" << buffer_bytes << ": re-emission not byte-exact";
+
+    // Field-for-field: every key survives verbatim; every value renders to
+    // the same bytes the sink wrote and coerces to the same number.
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+      const OwnedEvent& got = parsed[i];
+      const Expected& want = expected[i];
+      EXPECT_EQ(got.type, want.type) << "event " << i;
+      ASSERT_EQ(got.fields.size(), want.keys.size()) << "event " << i;
+      for (std::size_t f = 0; f < got.fields.size(); ++f) {
+        EXPECT_EQ(got.fields[f].key, want.keys[f]) << "event " << i << " field " << f;
+        const auto& wv = want.values[f];
+        const auto& gv = got.fields[f].value;
+        std::string want_bytes;
+        if (const auto* s = std::get_if<std::string>(&wv)) {
+          obs::detail::append_json_string(want_bytes, *s);
+          ASSERT_TRUE(std::holds_alternative<std::string>(gv))
+              << "event " << i << " field " << f;
+          EXPECT_EQ(std::get<std::string>(gv), *s) << "event " << i << " field " << f;
+        } else if (const auto* d = std::get_if<double>(&wv)) {
+          obs::detail::append_json_number(want_bytes, *d);
+          if (std::isnan(*d) || std::isinf(*d)) {
+            // Non-finite collapses to null -> NaN; payload unrecoverable.
+            ASSERT_TRUE(std::holds_alternative<double>(gv));
+            EXPECT_TRUE(std::isnan(std::get<double>(gv)));
+          } else if (const auto* gi = std::get_if<std::int64_t>(&gv)) {
+            // Integer-valued double, reclassified; numerically identical.
+            EXPECT_EQ(static_cast<double>(*gi), *d) << "event " << i << " field " << f;
+          } else {
+            EXPECT_EQ(std::get<double>(gv), *d) << "event " << i << " field " << f;
+          }
+        } else {
+          const std::int64_t iv = std::get<std::int64_t>(wv);
+          obs::detail::append_json_number(want_bytes, iv);
+          ASSERT_TRUE(std::holds_alternative<std::int64_t>(gv))
+              << "event " << i << " field " << f;
+          EXPECT_EQ(std::get<std::int64_t>(gv), iv) << "event " << i << " field " << f;
+        }
+        EXPECT_EQ(render_value(got.fields[f]), want_bytes)
+            << "event " << i << " field " << f << ": value bytes drifted";
+      }
+    }
+  }
+}
+
+// ---- scalar semantics ----
+
+TEST(TraceReader, NullParsesAsNaNAndReEmitsAsNull) {
+  const OwnedEvent e = TraceReader::parse_line(R"({"t":1.5,"type":"run_end","x":null})");
+  ASSERT_EQ(e.fields.size(), 1u);
+  const auto* d = std::get_if<double>(&e.fields[0].value);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(std::isnan(*d));
+  EXPECT_EQ(render_jsonl({e}), "{\"t\":1.5,\"type\":\"run_end\",\"x\":null}\n");
+}
+
+TEST(TraceReader, NegativeZeroStaysDouble) {
+  const OwnedEvent e = TraceReader::parse_line(R"({"t":0,"type":"run_end","x":-0})");
+  ASSERT_TRUE(std::holds_alternative<double>(e.fields[0].value));
+  EXPECT_EQ(render_jsonl({e}), "{\"t\":0,\"type\":\"run_end\",\"x\":-0}\n");
+}
+
+TEST(TraceReader, IntegerTokensParseAsInt64) {
+  const OwnedEvent e = TraceReader::parse_line(
+      R"({"t":0,"type":"dispatch","a":9223372036854775807,"b":-9223372036854775808,"c":1.0,"d":1e3})");
+  EXPECT_EQ(std::get<std::int64_t>(e.fields[0].value),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(std::get<std::int64_t>(e.fields[1].value),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(std::holds_alternative<double>(e.fields[2].value));
+  EXPECT_TRUE(std::holds_alternative<double>(e.fields[3].value));
+}
+
+TEST(TraceReader, EscapedStringsUnescape) {
+  const OwnedEvent e = TraceReader::parse_line(
+      "{\"t\":0,\"type\":\"run_start\",\"s\":\"a\\\"b\\\\c\\n\\t\\u0001\\u00e9\"}");
+  EXPECT_EQ(std::get<std::string>(e.fields[0].value),
+            std::string("a\"b\\c\n\t\x01\xc3\xa9"));
+}
+
+// ---- streaming interface ----
+
+TEST(TraceReader, NextSkipsBlankLinesAndTracksLineNumbers) {
+  std::istringstream in(
+      "{\"t\":0,\"type\":\"run_start\"}\r\n"
+      "\n"
+      "{\"t\":1,\"type\":\"run_end\"}\n");
+  TraceReader reader(in);
+  auto e1 = reader.next();
+  ASSERT_TRUE(e1.has_value());
+  EXPECT_EQ(e1->type, EventType::kRunStart);
+  EXPECT_EQ(reader.line(), 1u);
+  auto e2 = reader.next();
+  ASSERT_TRUE(e2.has_value());
+  EXPECT_EQ(e2->type, EventType::kRunEnd);
+  EXPECT_EQ(reader.line(), 3u) << "blank line must count toward line numbers";
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_EQ(reader.events_read(), 2u);
+}
+
+// ---- malformed input ----
+
+TEST(TraceReader, MalformedLinesThrowWithLineNumber) {
+  const std::vector<std::string> bad = {
+      "",                                          // empty (via parse_line)
+      "not json",                                  //
+      "{\"type\":\"run_end\",\"t\":0}",            // t must come first
+      "{\"t\":0}",                                 // missing type
+      "{\"t\":0,\"type\":\"bogus_event\"}",        // unknown type
+      "{\"t\":0,\"type\":\"run_end\"} trailing",   // trailing garbage
+      "{\"t\":0,\"type\":\"run_end\",\"x\":}",     // missing value
+      "{\"t\":0,\"type\":\"run_end\",\"x\":1e}",   // bad number
+      "{\"t\":0,\"type\":\"run_end\",\"x\":\"a",   // unterminated string
+      "{\"t\":0,\"type\":\"run_end\",\"x\":\"\\q\"}",    // unknown escape
+      "{\"t\":0,\"type\":\"run_end\",\"x\":\"\\u12\"}",  // truncated \u
+      "{\"t\":0,\"type\":\"run_end\",\"x\":\"\\ud800\"}",  // surrogate
+      "{\"t\":0,\"type\":\"run_end\"",             // unterminated object
+  };
+  for (const std::string& line : bad) {
+    EXPECT_THROW(TraceReader::parse_line(line, 7), TraceParseError) << line;
+    try {
+      TraceReader::parse_line(line, 7);
+    } catch (const TraceParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("line 7"), std::string::npos) << line;
+    }
+  }
+}
+
+TEST(TraceReader, MissingFileThrows) {
+  EXPECT_THROW(TraceReader::read_file("/nonexistent/trace.jsonl"), PreconditionError);
+}
+
+}  // namespace

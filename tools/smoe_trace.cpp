@@ -1,0 +1,268 @@
+// smoe-trace: offline analytics over JSONL simulator traces.
+//
+//   smoe-trace summarize FILE... [--threads N]   headline metrics per trace
+//   smoe-trace diff A B                          A/B metric + per-app table
+//   smoe-trace timeline FILE --csv [--series S]  derived step series as CSV
+//   smoe-trace apps FILE [--top N]               per-app lifecycle table
+//   smoe-trace bench FILE [--repeat N]           parse/analyze throughput
+//
+// Every subcommand except `bench` is byte-deterministic: output depends only
+// on the input bytes (scripts/check.sh runs summarize/diff twice and across
+// --threads values and fails on any drift). With --threads N, files are
+// parsed and analyzed in parallel but results print in argument order.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/analysis/comparator.h"
+#include "obs/analysis/timeline.h"
+#include "obs/analysis/trace_reader.h"
+
+namespace {
+
+using namespace smoe;
+using namespace smoe::obs;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0 << " <summarize|diff|timeline|apps|bench> ...\n"
+            << "  summarize FILE... [--threads N]\n"
+            << "  diff A B\n"
+            << "  timeline FILE [--csv] [--series SUBSTR]\n"
+            << "  apps FILE [--top N]\n"
+            << "  bench FILE [--repeat N]\n";
+  return 2;
+}
+
+std::string fmt(double v) { return format_number(v); }
+
+std::string render_summary(const std::string& label, const TimelineResult& r) {
+  std::int64_t finished = 0;
+  double lost = 0, rerun_t = 0;
+  std::int64_t reruns = 0, thrashes = 0, spills = 0;
+  double wait_sum = 0;
+  std::int64_t wait_n = 0;
+  for (const AppRecord& a : r.apps) {
+    if (a.finished) ++finished;
+    lost += a.lost_items;
+    rerun_t += a.rerun_time;
+    reruns += a.rerun_executors;
+    thrashes += a.thrashes;
+    spills += a.spills;
+    if (a.first_dispatch_t >= 0) {
+      wait_sum += a.queue_wait;
+      ++wait_n;
+    }
+  }
+  const double t_end = r.end_time();
+  double util_sum = 0, peak_res = 0;
+  for (const NodeSeries& n : r.nodes) {
+    util_sum += n.utilization.time_weighted_mean(t_end);
+    peak_res = std::max(peak_res, n.reserved_gib.peak());
+  }
+  const double util =
+      r.nodes.empty() ? 0 : util_sum / static_cast<double>(r.nodes.size());
+
+  std::string out;
+  out += "== " + label + "\n";
+  out += "run: policy \"" + r.run.policy + "\", mode " + r.run.mode + ", " +
+         std::to_string(r.run.n_apps) + " apps, " + std::to_string(r.run.n_nodes) +
+         " nodes, " + fmt(r.run.node_ram_gib) + " GiB/node, seed " +
+         std::to_string(r.run.seed) + "\n";
+  out += "events: " + std::to_string(r.events) + ", makespan_s " + fmt(t_end) +
+         (r.run.ended ? "" : " (no run_end; trace truncated)") + "\n";
+  out += "apps: " + std::to_string(finished) + "/" + std::to_string(r.apps.size()) +
+         " finished, sojourn_s p50 " + fmt(r.sojourn_quantile(0.5)) + ", p90 " +
+         fmt(r.sojourn_quantile(0.9)) + ", p99 " + fmt(r.sojourn_quantile(0.99)) +
+         ", mean queue_wait_s " +
+         fmt(wait_n == 0 ? 0 : wait_sum / static_cast<double>(wait_n)) + "\n";
+  out += "queue: depth mean " + fmt(r.queue_depth.time_weighted_mean(t_end)) +
+         ", peak " + fmt(r.queue_depth.peak()) + "; live executors peak " +
+         fmt(r.live_executors.peak()) + "\n";
+  out += "executors: spawned " + std::to_string(r.run.executors_spawned) +
+         ", degraded " + std::to_string(r.run.executors_degraded) + ", thrash " +
+         std::to_string(thrashes) + ", spill " + std::to_string(spills) + ", oom " +
+         std::to_string(r.run.oom_total) + ", isolated reruns " +
+         std::to_string(reruns) + " (" + fmt(rerun_t) + " s), lost_items " +
+         fmt(lost) + "\n";
+  out += "memory: mean utilization " + fmt(util) + ", peak reserved_gib " +
+         fmt(peak_res) + ", reserved_gib_hours " + fmt(r.run.reserved_gib_hours) +
+         ", used_gib_hours " + fmt(r.run.used_gib_hours) + "\n";
+  return out;
+}
+
+void append_series_csv(std::string& out, const std::string& name, const StepSeries& s,
+                       const std::string& filter) {
+  if (!filter.empty() && name.find(filter) == std::string::npos) return;
+  for (const StepSeries::Point& p : s.points)
+    out += name + "," + fmt(p.t) + "," + fmt(p.v) + "\n";
+}
+
+int cmd_summarize(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  std::size_t threads = 1;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threads") {
+      if (i + 1 >= args.size()) return 2;
+      threads = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "summarize: no trace files given\n";
+    return 2;
+  }
+  std::vector<std::string> outputs(files.size());
+  const auto analyze_one = [&](std::size_t i) {
+    const TimelineResult r = Timeline::analyze(TraceReader::read_file(files[i]));
+    outputs[i] = render_summary(files[i], r);
+  };
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    pool.parallel_for_each(files.size(), analyze_one);
+  } else {
+    for (std::size_t i = 0; i < files.size(); ++i) analyze_one(i);
+  }
+  for (const std::string& s : outputs) std::cout << s;
+  return 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    std::cerr << "diff: expected exactly two trace files\n";
+    return 2;
+  }
+  const TimelineResult a = Timeline::analyze(TraceReader::read_file(args[0]));
+  const TimelineResult b = Timeline::analyze(TraceReader::read_file(args[1]));
+  std::cout << render_text(compare_runs(a, b));
+  return 0;
+}
+
+int cmd_timeline(const std::vector<std::string>& args) {
+  std::string file, filter;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--csv") continue;  // CSV is the only output format
+    if (args[i] == "--series") {
+      if (i + 1 >= args.size()) return 2;
+      filter = args[++i];
+    } else {
+      file = args[i];
+    }
+  }
+  if (file.empty()) {
+    std::cerr << "timeline: no trace file given\n";
+    return 2;
+  }
+  const TimelineResult r = Timeline::analyze(TraceReader::read_file(file));
+  std::string out = "series,t,value\n";
+  append_series_csv(out, "cluster.queue_depth", r.queue_depth, filter);
+  append_series_csv(out, "cluster.apps_in_system", r.apps_in_system, filter);
+  append_series_csv(out, "cluster.live_executors", r.live_executors, filter);
+  for (std::size_t n = 0; n < r.nodes.size(); ++n) {
+    const std::string prefix = "node" + std::to_string(n) + ".";
+    append_series_csv(out, prefix + "reserved_gib", r.nodes[n].reserved_gib, filter);
+    append_series_csv(out, prefix + "utilization", r.nodes[n].utilization, filter);
+    append_series_csv(out, prefix + "cpu_load", r.nodes[n].cpu_load, filter);
+    append_series_csv(out, prefix + "occupancy", r.nodes[n].occupancy, filter);
+  }
+  std::cout << out;
+  return 0;
+}
+
+int cmd_apps(const std::vector<std::string>& args) {
+  std::string file;
+  std::size_t top = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--top") {
+      if (i + 1 >= args.size()) return 2;
+      top = static_cast<std::size_t>(std::stoul(args[++i]));
+    } else {
+      file = args[i];
+    }
+  }
+  if (file.empty()) {
+    std::cerr << "apps: no trace file given\n";
+    return 2;
+  }
+  const TimelineResult r = Timeline::analyze(TraceReader::read_file(file));
+  std::vector<AppRecord> apps = r.apps;
+  // Slowest first; ties (and unfinished apps, turnaround 0) break by app id
+  // so the listing stays deterministic.
+  std::stable_sort(apps.begin(), apps.end(), [](const AppRecord& x, const AppRecord& y) {
+    return x.turnaround > y.turnaround;
+  });
+  if (top > 0 && apps.size() > top) apps.resize(top);
+  std::cout << "app,benchmark,turnaround_s,queue_wait_s,exec_time_s,executors,"
+               "ooms,thrashes,reruns,rerun_time_s,lost_items,finished\n";
+  for (const AppRecord& a : apps) {
+    std::cout << a.app << "," << a.benchmark << "," << fmt(a.turnaround) << ","
+              << fmt(a.queue_wait) << "," << fmt(a.exec_time) << "," << a.executors
+              << "," << a.ooms << "," << a.thrashes << "," << a.rerun_executors << ","
+              << fmt(a.rerun_time) << "," << fmt(a.lost_items) << ","
+              << (a.finished ? 1 : 0) << "\n";
+  }
+  return 0;
+}
+
+int cmd_bench(const std::vector<std::string>& args) {
+  std::string file;
+  int repeat = 5;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--repeat") {
+      if (i + 1 >= args.size()) return 2;
+      repeat = std::stoi(args[++i]);
+    } else {
+      file = args[i];
+    }
+  }
+  if (file.empty()) {
+    std::cerr << "bench: no trace file given\n";
+    return 2;
+  }
+  // Warm the page cache so we time parsing, not disk.
+  std::vector<OwnedEvent> events = TraceReader::read_file(file);
+  double best_parse = 0, best_analyze = 0;
+  for (int i = 0; i < repeat; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    events = TraceReader::read_file(file);
+    const auto t1 = std::chrono::steady_clock::now();
+    const TimelineResult r = Timeline::analyze(events);
+    const auto t2 = std::chrono::steady_clock::now();
+    if (r.events != static_cast<std::int64_t>(events.size())) return 1;
+    const double parse_s = std::chrono::duration<double>(t1 - t0).count();
+    const double analyze_s = std::chrono::duration<double>(t2 - t1).count();
+    const double n = static_cast<double>(events.size());
+    best_parse = std::max(best_parse, n / parse_s);
+    best_analyze = std::max(best_analyze, n / analyze_s);
+  }
+  std::printf("trace_bench file=%s events=%zu parse_events_per_sec=%.0f "
+              "analyze_events_per_sec=%.0f\n",
+              file.c_str(), events.size(), best_parse, best_analyze);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string cmd = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "summarize") return cmd_summarize(args);
+    if (cmd == "diff") return cmd_diff(args);
+    if (cmd == "timeline") return cmd_timeline(args);
+    if (cmd == "apps") return cmd_apps(args);
+    if (cmd == "bench") return cmd_bench(args);
+  } catch (const std::exception& e) {
+    std::cerr << "smoe-trace " << cmd << ": " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "smoe-trace: unknown subcommand '" << cmd << "'\n";
+  return usage(argv[0]);
+}
