@@ -1,15 +1,16 @@
-// Throughput scaling of the parallel experiment runner: simulations per
-// second for a Figure-6-style policy panel at 1/2/4/N worker threads, plus a
-// byte-identity check that the parallel results match the sequential run.
+// Throughput scaling of the parallel experiment runner and of the engine
+// itself: simulations per second for a Figure-6-style policy panel across a
+// worker-thread ladder, a byte-identity check that the parallel results match
+// the sequential run, and an engine scaling curve up to 10k-node clusters.
 // Emits BENCH_throughput.json next to the text report.
 //
-//   ./build/bench/bench_throughput_scaling [n_mixes] [--threads N]
+//   ./build/bench/bench_throughput_scaling [n_mixes] [--threads N] [--oversubscribe]
 //
-// `--threads N` adds N to the sweep (useful to probe a specific count); the
-// sweep always contains 1, 2, 4 and the hardware thread count. Points that
-// request more workers than the machine has hardware threads are flagged in
-// the table and the JSON — their "speedup" measures oversubscription, not
-// scaling.
+// The thread ladder contains 1, 2, 4, the hardware thread count and any
+// `--threads N` — clamped to the hardware thread count by default, because a
+// point with more workers than the machine has threads measures
+// oversubscription, not scaling. Pass `--oversubscribe` to keep such points
+// (they are flagged in the table and the JSON).
 //
 // Every timed section reports the minimum of kTimingReps back-to-back runs:
 // interference (scheduler preemption, frequency drift, other tenants) only
@@ -18,12 +19,17 @@
 // of percentage points on shared machines.
 //
 // Besides wall-clock sims/sec the bench reports events/sec: the number of
-// engine trace events in the measured panel (a deterministic, machine- and
+// engine trace events in the measured work (a deterministic, machine- and
 // mix-size-independent work measure) divided by the measured seconds. That is
-// the number the CI perf-smoke job compares across machines. A large-cluster
-// point (256 nodes, scenario L10) exercises the regime where the event
-// calendar's O(log n) scheduling beats the legacy per-event rescans
-// asymptotically, and a traced pass measures the sink overhead.
+// the number the CI perf-smoke job compares across machines. The large and
+// scaling points time *exactly* the counted work — bare ClusterSim::run panel
+// cells, no baseline runs and no metric aggregation — so events/sec there is
+// the engine's own event rate:
+//   - large_cluster: 256 nodes on the heavy L10 mix,
+//   - scaling: a 1k/4k/10k-node curve (per-event cost must stay near-flat —
+//     that is the indexed-dispatch + bucketed-calendar contract),
+//   - mega_queue: 10k nodes with a 100k-application queue in one mix,
+//   - partitioned: the same mega mix under PartitionedClusterSim shards.
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -39,6 +45,7 @@
 #include "sched/experiment.h"
 #include "sched/policies_basic.h"
 #include "sched/policies_learned.h"
+#include "sparksim/partition.h"
 
 using namespace smoe;
 
@@ -124,9 +131,10 @@ double min_seconds(F&& run) {
   return min_seconds(kTimingReps, run);
 }
 
-/// Total engine trace events for one panel pass. The policies must already be
-/// trained (warmed up) so the counted schedules are the ones the timed passes
-/// replay; the count is deterministic, so one pass per scenario suffices.
+/// Total engine trace events for one panel pass through the experiment
+/// runner. The policies must already be trained (warmed up) so the counted
+/// schedules are the ones the timed passes replay; the count is
+/// deterministic, so one pass per scenario suffices.
 std::uint64_t count_events(sim::SimConfig cfg, const wl::FeatureModel& features,
                            const wl::Scenario& scenario, std::size_t n_mixes,
                            std::uint64_t mix_seed, Panel& panel) {
@@ -137,18 +145,93 @@ std::uint64_t count_events(sim::SimConfig cfg, const wl::FeatureModel& features,
   return counter.total();
 }
 
+/// An engine-rate point: bare ClusterSim::run over (policy x mix) cells, no
+/// baseline runs and no aggregation, so the timed region is exactly the work
+/// whose events are counted.
+struct EnginePoint {
+  std::size_t n_nodes = 0;
+  std::size_t n_mixes = 0;
+  std::size_t n_apps = 0;  ///< total applications across all timed cells
+  std::uint64_t events = 0;
+  double seconds = 0;
+  double events_per_sec = 0;
+  double sims_per_sec = 0;
+};
+
+EnginePoint measure_engine_cells(const wl::FeatureModel& features, sim::SimConfig cfg,
+                                 const std::vector<wl::TaskMix>& mixes,
+                                 const std::vector<sim::SchedulingPolicy*>& policies,
+                                 int reps) {
+  EnginePoint pt;
+  pt.n_nodes = cfg.cluster.n_nodes;
+  pt.n_mixes = mixes.size();
+  for (const auto& m : mixes) pt.n_apps += m.size() * policies.size();
+
+  const auto run_cells = [&](sim::ClusterSim& sim) {
+    for (auto* p : policies)
+      for (const auto& m : mixes) (void)sim.run(m, *p);
+  };
+  // Warmup: trains the learned policies' models so the timed pass measures
+  // steady-state simulation throughput, not one-off training cost.
+  {
+    sim::ClusterSim warm(cfg, features);
+    run_cells(warm);
+  }
+  // Deterministic event count of exactly the cells timed below.
+  {
+    sim::SimConfig ccfg = cfg;
+    obs::CountingSink counter;
+    ccfg.sink = &counter;
+    sim::ClusterSim counting(ccfg, features);
+    run_cells(counting);
+    pt.events = counter.total();
+  }
+  sim::ClusterSim sim(cfg, features);
+  pt.seconds = min_seconds(reps, [&] { run_cells(sim); });
+  pt.events_per_sec = static_cast<double>(pt.events) / pt.seconds;
+  pt.sims_per_sec =
+      static_cast<double>(policies.size() * mixes.size()) / pt.seconds;
+  return pt;
+}
+
+void print_engine_point(const char* label, const EnginePoint& pt) {
+  std::cout << label << " (" << pt.n_nodes << " nodes, " << pt.n_mixes << " mixes, "
+            << pt.n_apps << " app-sims, 1 thread): " << TextTable::num(pt.seconds, 3)
+            << " s, " << TextTable::num(pt.sims_per_sec, 1) << " sims/sec, "
+            << TextTable::num(pt.events_per_sec, 0) << " events/sec\n";
+}
+
+void json_engine_point(std::ofstream& json, const EnginePoint& pt) {
+  json << "{\"n_nodes\": " << pt.n_nodes << ", \"n_mixes\": " << pt.n_mixes
+       << ", \"n_apps\": " << pt.n_apps << ", \"events_total\": " << pt.events
+       << ", \"seconds\": " << pt.seconds << ", \"sims_per_sec\": " << pt.sims_per_sec
+       << ", \"events_per_sec\": " << pt.events_per_sec << "}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const BenchOptions opt = parse_bench_options(argc, argv, 10);
   const std::size_t n_mixes = opt.n_mixes;
 
-  std::vector<std::size_t> sweep = {1, 2, 4};
   const std::size_t hw = std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  sweep.push_back(hw);
+  std::vector<std::size_t> sweep = {1, 2, 4, hw};
   if (opt.threads > 0) sweep.push_back(opt.threads);
   std::sort(sweep.begin(), sweep.end());
   sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+  if (!opt.oversubscribe) {
+    // Oversubscribed points measure scheduler thrash, not scaling; keep the
+    // default ladder honest and put them behind an explicit flag.
+    const auto first_over =
+        std::find_if(sweep.begin(), sweep.end(), [&](std::size_t n) { return n > hw; });
+    if (first_over != sweep.end()) {
+      std::cout << "note: dropping thread counts above the " << hw
+                << " hardware thread(s):";
+      for (auto it = first_over; it != sweep.end(); ++it) std::cout << " " << *it;
+      std::cout << " (pass --oversubscribe to keep them)\n";
+      sweep.erase(first_over, sweep.end());
+    }
+  }
 
   const wl::FeatureModel features(kSeed);
   const wl::Scenario& scenario = wl::scenario_by_label("L8");
@@ -314,37 +397,88 @@ int main(int argc, char** argv) {
               << TextTable::num(traced_parallel_speedup, 2) << "x vs traced 1 thread\n";
   }
 
-  // Large-cluster point: 256 nodes on the heavy L10 mix, single-threaded.
-  // Per-event cost is where the legacy engine's O(nodes + executors + apps)
-  // rescans dominated, so this point shows the calendar's asymptotic win —
-  // events/sec here should be the same order as the small-cluster panel,
-  // not hundreds of times smaller.
-  constexpr std::size_t kBigNodes = 256;
+  // ---- Engine-rate points: bare ClusterSim::run cells ----------------------
+  // From here down the timed region is exactly the counted work, so
+  // events/sec is the engine's own event rate (no baseline runs, no STP
+  // aggregation riding along in the denominator).
+  std::cout << "\n";
+
+  // Large-cluster point: 256 nodes on the heavy L10 mix. Per-event cost is
+  // where the legacy engine's O(nodes + executors + apps) rescans dominated;
+  // events/sec here should be the same order as the small-cluster panel, not
+  // hundreds of times smaller.
   const wl::Scenario& heavy = wl::scenario_by_label("L10");
   const std::size_t n_big = std::max<std::size_t>(2, n_mixes / 5);
   const std::uint64_t big_seed = Rng::derive(kSeed, "throughput-large");
-  double big_seconds = 0;
-  double big_sims_per_sec = 0;
-  double big_events_per_sec = 0;
-  std::uint64_t big_events = 0;
+  EnginePoint big;
   {
     sim::SimConfig cfg;
     cfg.seed = kSeed;
-    cfg.cluster.n_nodes = kBigNodes;
+    cfg.cluster.n_nodes = 256;
     Panel panel(features);
-    sched::ExperimentRunner runner(cfg, features, n_big, big_seed, 1);
-    const auto policies = panel.all();
-    (void)runner.run_scenario(heavy, policies);
-    big_events = count_events(cfg, features, heavy, n_big, big_seed, panel);
+    const auto mixes = wl::scenario_mixes(heavy, n_big, big_seed);
+    big = measure_engine_cells(features, cfg, mixes, panel.all(), kTimingReps);
+    print_engine_point("large cluster", big);
+  }
 
-    big_seconds = min_seconds([&] { (void)runner.run_scenario(heavy, policies); });
-    const double sims = static_cast<double>(policies.size() * n_big + n_big);
-    big_sims_per_sec = sims / big_seconds;
-    big_events_per_sec = static_cast<double>(big_events) / big_seconds;
-    std::cout << "large cluster (" << kBigNodes << " nodes, " << heavy.label << ", " << n_big
-              << " mixes, 1 thread): " << TextTable::num(big_seconds, 3) << " s, "
-              << TextTable::num(big_sims_per_sec, 1) << " sims/sec, "
-              << TextTable::num(big_events_per_sec, 0) << " events/sec\n";
+  // Scaling curve: the same heavy panel at 1k/4k/10k nodes. The contract
+  // under test is that per-event cost stays near-flat as the cluster grows —
+  // indexed dispatch is O(log n) and the calendar O(log live), so a 40x node
+  // count must not translate into a 40x event cost.
+  std::vector<EnginePoint> scaling;
+  for (const std::size_t n_nodes : {std::size_t{1000}, std::size_t{4000}, std::size_t{10000}}) {
+    sim::SimConfig cfg;
+    cfg.seed = kSeed;
+    cfg.cluster.n_nodes = n_nodes;
+    Panel panel(features);
+    const auto mixes = wl::scenario_mixes(
+        heavy, n_big, Rng::derive(kSeed, "throughput-scale:" + std::to_string(n_nodes)));
+    const int reps = n_nodes >= 10000 ? 1 : 2;
+    scaling.push_back(measure_engine_cells(features, cfg, mixes, panel.all(), reps));
+    print_engine_point("scaling", scaling.back());
+  }
+
+  // Mega-queue point: a single 100k-application mix on 10k nodes, the
+  // first-class "deep backlog" regime. The dispatcher's rank-ordered work set
+  // keeps per-decision cost independent of queue depth; a coarse trace bin
+  // keeps the utilization trace from dominating memory. Two policies bound
+  // the runtime: the cheapest heuristic and the full mixture-of-experts path.
+  EnginePoint mega_pairwise, mega_moe;
+  double partitioned_seconds = 0;
+  double partitioned_speedup = 0;
+  const std::size_t kPartitions = 8;
+  {
+    sim::SimConfig cfg;
+    cfg.seed = kSeed;
+    cfg.cluster.n_nodes = 10000;
+    cfg.trace_bin = 3600.0;
+    Rng mix_rng(Rng::derive(kSeed, "throughput-mega"));
+    const std::vector<wl::TaskMix> mega = {wl::random_mix(100000, mix_rng)};
+    {
+      sched::PairwisePolicy pairwise;
+      mega_pairwise = measure_engine_cells(features, cfg, mega, {&pairwise}, 1);
+      print_engine_point("mega queue (pairwise)", mega_pairwise);
+    }
+    {
+      sched::MoePolicy ours(features, kSeed);
+      mega_moe = measure_engine_cells(features, cfg, mega, {&ours}, 1);
+      print_engine_point("mega queue (moe)", mega_moe);
+    }
+    // Partitioned mode: the same mega mix dealt round-robin across shards,
+    // each shard a slice of the node pool on its own worker. Speedup is
+    // against the single-sim pairwise run above; on a 1-thread machine this
+    // measures sharding overhead instead.
+    {
+      sched::PairwisePolicy pairwise;
+      sim::PartitionedClusterSim part(cfg, features, kPartitions, hw);
+      (void)part.run(mega[0], pairwise);  // warm
+      partitioned_seconds = min_seconds(1, [&] { (void)part.run(mega[0], pairwise); });
+      partitioned_speedup = mega_pairwise.seconds / partitioned_seconds;
+      std::cout << "partitioned (" << kPartitions << " shards, " << hw
+                << " threads, pairwise): " << TextTable::num(partitioned_seconds, 3)
+                << " s, " << TextTable::num(partitioned_speedup, 2)
+                << "x vs single sim\n";
+    }
   }
 
   std::ofstream json("BENCH_throughput.json");
@@ -364,11 +498,21 @@ int main(int argc, char** argv) {
        << ", \"overhead_pct\": " << traced_overhead_pct << "},\n  \"traced_parallel\": {"
        << "\"threads\": " << traced_threads << ", \"seconds\": " << traced_parallel_seconds
        << ", \"speedup_vs_traced_1t\": " << traced_parallel_speedup
-       << "},\n  \"large_cluster\": {"
-       << "\"scenario\": \"" << heavy.label << "\", \"n_nodes\": " << kBigNodes
-       << ", \"n_mixes\": " << n_big << ", \"seconds\": " << big_seconds
-       << ", \"sims_per_sec\": " << big_sims_per_sec << ", \"events_total\": " << big_events
-       << ", \"events_per_sec\": " << big_events_per_sec << "}\n}\n";
+       << "},\n  \"engine_rate_timing\": \"panel_cells_only\",\n  \"large_cluster\": ";
+  json_engine_point(json, big);
+  json << ",\n  \"scaling\": [\n";
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    json << "    ";
+    json_engine_point(json, scaling[i]);
+    json << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"mega_queue\": {\"pairwise\": ";
+  json_engine_point(json, mega_pairwise);
+  json << ", \"moe\": ";
+  json_engine_point(json, mega_moe);
+  json << "},\n  \"partitioned\": {\"n_partitions\": " << kPartitions
+       << ", \"threads\": " << hw << ", \"seconds\": " << partitioned_seconds
+       << ", \"speedup_vs_single\": " << partitioned_speedup << "}\n}\n";
   std::cout << "\nwrote BENCH_throughput.json\n";
   return 0;
 }

@@ -120,6 +120,9 @@ sim::SimConfig random_config(Rng& rng, std::uint64_t sim_seed) {
       rng.chance(0.5) ? sim::QueueOrder::kFcfs : sim::QueueOrder::kShortestJobFirst;
   const double interference[] = {0.5, 1.0, 2.0};
   cfg.contention.interference_scale = interference[rng.uniform_int(0, 2)];
+  // Exercise both dispatch paths under the auditor; the rotation oracle in
+  // the main loop additionally byte-compares one against the other.
+  cfg.indexed_dispatch = rng.chance(0.5);
   return cfg;
 }
 
@@ -134,6 +137,7 @@ std::string describe(const sim::SimConfig& cfg, std::size_t n_apps) {
      << " profiling_slots=" << cfg.spark.profiling_slots
      << " queue=" << (cfg.spark.queue_order == sim::QueueOrder::kFcfs ? "fcfs" : "sjf")
      << " interference=" << cfg.contention.interference_scale
+     << " dispatch=" << (cfg.indexed_dispatch ? "indexed" : "scan")
      << " sim_seed=" << cfg.seed;
   return os.str();
 }
@@ -312,14 +316,24 @@ int main(int argc, char** argv) {
                          &flight, dump_path);
       }
 
-      // Same-seed byte-identity of the full trace (rotates through policies;
-      // two extra runs per iteration).
+      // Same-seed byte-identity of the full trace, and the indexed-dispatch
+      // differential oracle: the per-policy node index must reproduce the
+      // legacy scan's decisions exactly, so the scan-path trace must match
+      // byte for byte too (rotates through policies; three extra runs per
+      // iteration).
       if (p == iter % policies.size()) {
         const std::string t1 = jsonl_trace(cfg, features, mix, *np.policy);
         const std::string t2 = jsonl_trace(cfg, features, mix, *np.policy);
         if (t1 != t2)
           report_failure(opts, iter, np.name, cell,
                          "same-seed traces differ (determinism broken)");
+        sim::SimConfig scan_cfg = cfg;
+        scan_cfg.indexed_dispatch = !cfg.indexed_dispatch;
+        const std::string t3 = jsonl_trace(scan_cfg, features, mix, *np.policy);
+        if (t1 != t3)
+          report_failure(opts, iter, np.name, cell,
+                         "indexed dispatch and legacy scan traces differ "
+                         "(index/scan equivalence broken)");
       }
     }
 

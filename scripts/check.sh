@@ -11,6 +11,11 @@
 #   scripts/check.sh --fuzz   # additionally run the randomized differential
 #                             # fuzz harness (bench/fuzz_sim) on a
 #                             # FUZZ_SECONDS wall-clock budget (default 30 s)
+#   scripts/check.sh --scale  # additionally run the scaling differential
+#                             # suite (indexed dispatch vs legacy scan across
+#                             # all policies, calendar model checks, partition
+#                             # determinism) plus a short fuzz pass with the
+#                             # index/scan oracle enabled
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -66,6 +71,14 @@ fi
 
 if [[ "${1:-}" == "--fuzz" ]]; then
   echo "== fuzz: invariant auditor + metamorphic oracles (${FUZZ_SECONDS}s budget) =="
+  ./build/bench/fuzz_sim --iters 0 --seconds "${FUZZ_SECONDS}"
+fi
+
+if [[ "${1:-}" == "--scale" ]]; then
+  echo "== scale: indexed dispatch vs legacy scan, calendar + partition determinism =="
+  ctest --test-dir build --output-on-failure -j"${JOBS}" \
+    -R '^DispatchIndex|^NodeIndex|^Calendar|^Partition|^GoldenTrace'
+  echo "== scale: fuzz with index/scan oracle (${FUZZ_SECONDS}s budget) =="
   ./build/bench/fuzz_sim --iters 0 --seconds "${FUZZ_SECONDS}"
 fi
 

@@ -83,6 +83,46 @@ if sys.argv[4] != "none":
               f"(baseline {base_overhead:.1f}%) — tracing hot path regressed")
 EOF
 
+# Scale smoke (warn-only, like the panel comparison above): the big-cluster
+# points must still complete, and their per-event cost must not collapse.
+# Covers the 256-node large-cluster cell and the 1k/4k/10k scaling curve;
+# missing points (a hang or crash at scale would leave them out) are warned
+# on explicitly, since that is precisely the regression this step exists to
+# catch.
+python3 - "$tmp/BENCH_throughput.json" "$BASELINE" "$THRESHOLD_PCT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    cur = json.load(f)
+with open(sys.argv[2]) as f:
+    base = json.load(f)
+threshold = float(sys.argv[3])
+
+def points(doc):
+    out = {}
+    lc = doc.get("large_cluster")
+    if lc:
+        out[f"large_cluster/{lc['n_nodes']}n"] = lc.get("events_per_sec", 0)
+    for p in doc.get("scaling", []):
+        out[f"scaling/{p['n_nodes']}n"] = p.get("events_per_sec", 0)
+    return out
+
+base_pts, cur_pts = points(base), points(cur)
+for name, base_eps in sorted(base_pts.items()):
+    if not base_eps:
+        continue
+    cur_eps = cur_pts.get(name)
+    if cur_eps is None:
+        print(f"::warning::scale-smoke: point {name} missing from this run "
+              f"— did the large-cluster sweep fail to complete?")
+        continue
+    pct = 100.0 * cur_eps / base_eps
+    print(f"scale-smoke: {name}: {cur_eps:,.0f} events/sec vs baseline "
+          f"{base_eps:,.0f} ({pct:.0f}% of baseline, warn threshold {threshold:.0f}%)")
+    if pct < threshold:
+        print(f"::warning::scale-smoke: {name} fell to {pct:.0f}% of the "
+              f"committed baseline — possible at-scale regression")
+EOF
+
 # Trace-analysis throughput (events/sec parsed and analyzed by smoe-trace),
 # recorded for the log. The golden corpus is only a few hundred events, so
 # concatenate it a couple hundred times to get a measurable rate — JSONL is

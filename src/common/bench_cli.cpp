@@ -20,10 +20,12 @@ namespace {
 
 [[noreturn]] void usage(const char* prog, std::size_t default_mixes, int status) {
   std::fprintf(stderr,
-               "usage: %s [n_mixes] [--threads N]\n"
-               "  n_mixes      mixes per scenario (positive integer, default %zu)\n"
-               "  --threads N  worker threads for the experiment runner\n"
-               "               (default: SMOE_THREADS env, else all hardware threads)\n",
+               "usage: %s [n_mixes] [--threads N] [--oversubscribe]\n"
+               "  n_mixes         mixes per scenario (positive integer, default %zu)\n"
+               "  --threads N     worker threads for the experiment runner\n"
+               "                  (default: SMOE_THREADS env, else all hardware threads)\n"
+               "  --oversubscribe keep sweep points above the hardware thread count\n"
+               "                  (they measure oversubscription, not scaling)\n",
                prog, default_mixes);
   std::exit(status);
 }
@@ -50,6 +52,10 @@ BenchOptions parse_bench_options(int argc, char** argv, std::size_t default_mixe
         usage(prog, default_mixes, 2);
       }
       opt.threads = *threads;
+      continue;
+    }
+    if (arg == "--oversubscribe") {
+      opt.oversubscribe = true;
       continue;
     }
     if (!saw_mixes) {

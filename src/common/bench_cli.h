@@ -13,14 +13,18 @@ namespace smoe {
 /// digits (no signs, spaces, or trailing junk). nullopt on anything else.
 std::optional<std::size_t> parse_size(std::string_view text);
 
-/// Options shared by the experiment benches: an optional positional mix count
-/// and `--threads N` for the parallel experiment runner.
+/// Options shared by the experiment benches: an optional positional mix count,
+/// `--threads N` for the parallel experiment runner, and `--oversubscribe` to
+/// keep sweep points above the hardware thread count (they measure
+/// oversubscription, not scaling, so benches drop them by default).
 struct BenchOptions {
   std::size_t n_mixes = 0;
   std::size_t threads = 0;  ///< 0 = auto (SMOE_THREADS env, else hardware).
+  bool oversubscribe = false;
 };
 
-/// Parse `[n_mixes] [--threads N]` from argv (argv[0] is the program name).
+/// Parse `[n_mixes] [--threads N] [--oversubscribe]` from argv (argv[0] is the
+/// program name).
 /// Prints usage and calls std::exit: status 0 for --help, 2 for junk input —
 /// callers never see a malformed option. Run after any TraceCli stripping.
 BenchOptions parse_bench_options(int argc, char** argv, std::size_t default_mixes);

@@ -10,9 +10,14 @@
 #include <string_view>
 #include <vector>
 
+#include "common/mt64.h"
+
 namespace smoe {
 
-/// Thin wrapper over std::mt19937_64 with convenience draws.
+/// Thin wrapper over an mt19937_64-compatible engine with convenience draws.
+/// Mt64 emits exactly std::mt19937_64's sequence but materializes the first
+/// state block lazily, so the many short-lived derived streams (per-app
+/// noise, probe jitter) stop paying the full 624-word construction cost.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
@@ -45,10 +50,10 @@ class Rng {
     }
   }
 
-  std::mt19937_64& engine() { return engine_; }
+  Mt64& engine() { return engine_; }
 
  private:
-  std::mt19937_64 engine_;
+  Mt64 engine_;
 };
 
 }  // namespace smoe

@@ -18,6 +18,7 @@ NeuralNet::NeuralNet(std::size_t n_in, std::vector<std::size_t> hidden, std::siz
   sizes_.push_back(n_out);
 
   Rng rng(seed);
+  layers_.reserve(sizes_.size() - 1);
   for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
     Layer layer;
     layer.w = Matrix(sizes_[l + 1], sizes_[l]);

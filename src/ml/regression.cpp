@@ -67,44 +67,6 @@ std::string to_string(CurveKind kind) {
   return "?";
 }
 
-double curve_eval(CurveKind kind, CurveParams p, double x) {
-  switch (kind) {
-    case CurveKind::kPowerLaw:
-      SMOE_REQUIRE(x >= 0.0, "power law needs x >= 0");
-      return p.m * std::pow(x, p.b);
-    case CurveKind::kExponential:
-      return p.m * (1.0 - std::exp(-p.b * x));
-    case CurveKind::kNapierianLog:
-      SMOE_REQUIRE(x > 0.0, "log curve needs x > 0");
-      return p.m + p.b * std::log(x);
-  }
-  SMOE_CHECK(false, "unreachable curve kind");
-  return 0.0;
-}
-
-double curve_inverse(CurveKind kind, CurveParams p, double y) {
-  constexpr double kInf = std::numeric_limits<double>::infinity();
-  switch (kind) {
-    case CurveKind::kPowerLaw: {
-      if (p.m <= 0.0 || p.b <= 0.0) return y > 0.0 ? kInf : 0.0;
-      if (y <= 0.0) return 0.0;
-      return std::pow(y / p.m, 1.0 / p.b);
-    }
-    case CurveKind::kExponential: {
-      if (p.m <= 0.0 || p.b <= 0.0) return y > 0.0 ? kInf : 0.0;
-      if (y <= 0.0) return 0.0;
-      if (y >= p.m) return kInf;  // curve saturates below the budget
-      return -std::log(1.0 - y / p.m) / p.b;
-    }
-    case CurveKind::kNapierianLog: {
-      if (p.b <= 0.0) return y >= p.m ? kInf : 0.0;
-      return std::exp((y - p.m) / p.b);
-    }
-  }
-  SMOE_CHECK(false, "unreachable curve kind");
-  return 0.0;
-}
-
 LinearFit ols(std::span<const double> xs, std::span<const double> ys) {
   SMOE_REQUIRE(xs.size() == ys.size(), "ols: size mismatch");
   SMOE_REQUIRE(xs.size() >= 2, "ols: need >= 2 points");
@@ -137,22 +99,36 @@ CurveFit fit_curve(CurveKind kind, std::span<const double> xs, std::span<const d
       }
       SMOE_REQUIRE(lx.size() >= 2, "power fit: need >= 2 positive ys");
       const LinearFit lf = ols(lx, ly);
+      // One pow per point per candidate exponent: the basis values x^b feed
+      // both the closed-form amplitude and the SSE, so cache them instead of
+      // recomputing through curve_eval (bit-identical — m * x^b is the same
+      // product either way).
+      std::vector<double> g(xs.size());
       auto best_m = [&](double b) {
         double num = 0, den = 0;
         for (std::size_t i = 0; i < xs.size(); ++i) {
-          const double g = std::pow(xs[i], b);
-          num += ys[i] * g;
-          den += g * g;
+          g[i] = std::pow(xs[i], b);
+          num += ys[i] * g[i];
+          den += g[i] * g[i];
         }
         return den > 0.0 ? num / den : 0.0;
+      };
+      auto sse_at = [&](double b) {
+        const double m = best_m(b);
+        double s = 0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          const double d = m * g[i] - ys[i];
+          s += d * d;
+        }
+        return s;
       };
       double lo = lf.slope - 0.25, hi = lf.slope + 0.25;
       constexpr double kPhi = 0.6180339887498949;
       for (int it = 0; it < 60; ++it) {
         const double x1 = hi - kPhi * (hi - lo);
         const double x2 = lo + kPhi * (hi - lo);
-        const double f1 = sse_for(kind, {best_m(x1), x1}, xs, ys);
-        const double f2 = sse_for(kind, {best_m(x2), x2}, xs, ys);
+        const double f1 = sse_at(x1);
+        const double f2 = sse_at(x2);
         if (f1 < f2)
           hi = x2;
         else
@@ -173,12 +149,30 @@ CurveFit fit_curve(CurveKind kind, std::span<const double> xs, std::span<const d
       const double xmax = *std::max_element(xs.begin(), xs.end());
       const double xmin = *std::min_element(xs.begin(), xs.end());
       const double blo = 1e-4 / xmax, bhi = 50.0 / std::max(xmin, 1e-12);
+      // As in the power-law branch, cache g = 1 - e^(-b*x) per point so each
+      // candidate rate pays one exp per point instead of two (amplitude and
+      // SSE share the basis; the products are bit-identical).
+      std::vector<double> g(xs.size());
+      auto sse_at = [&](double b) {
+        double num = 0, den = 0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          g[i] = 1.0 - std::exp(-b * xs[i]);
+          num += ys[i] * g[i];
+          den += g[i] * g[i];
+        }
+        const double m = den > 0.0 ? num / den : 0.0;
+        double s = 0;
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+          const double d = m * g[i] - ys[i];
+          s += d * d;
+        }
+        return s;
+      };
       double best_b = blo, best_sse = std::numeric_limits<double>::infinity();
       constexpr int kGrid = 200;
       for (int i = 0; i <= kGrid; ++i) {
         const double b = blo * std::pow(bhi / blo, static_cast<double>(i) / kGrid);
-        const double m = best_exp_amplitude(b, xs, ys);
-        const double sse = sse_for(kind, {m, b}, xs, ys);
+        const double sse = sse_at(b);
         if (sse < best_sse) {
           best_sse = sse;
           best_b = b;
@@ -192,8 +186,8 @@ CurveFit fit_curve(CurveKind kind, std::span<const double> xs, std::span<const d
         const double la = std::log(lo), lb = std::log(hi);
         const double x1 = std::exp(lb - kPhi * (lb - la));
         const double x2 = std::exp(la + kPhi * (lb - la));
-        const double f1 = sse_for(kind, {best_exp_amplitude(x1, xs, ys), x1}, xs, ys);
-        const double f2 = sse_for(kind, {best_exp_amplitude(x2, xs, ys), x2}, xs, ys);
+        const double f1 = sse_at(x1);
+        const double f2 = sse_at(x2);
         if (f1 < f2)
           hi = x2;
         else

@@ -9,9 +9,12 @@
 // profiling runs) and inversion (items that fit in a memory budget).
 #pragma once
 
+#include <cmath>
 #include <limits>
 #include <span>
 #include <string>
+
+#include "common/error.h"
 
 namespace smoe::ml {
 
@@ -24,13 +27,52 @@ struct CurveParams {
   double b = 0.0;
 };
 
+// curve_eval and curve_inverse are header-inline: the dispatcher evaluates
+// them for every placement decision (predicted footprints and budget
+// inversions), and the out-of-line call overhead was visible in
+// large-cluster profiles.
+
 /// Evaluate y = f(x) for the family. Requires x > 0 for the log family.
-double curve_eval(CurveKind kind, CurveParams p, double x);
+inline double curve_eval(CurveKind kind, CurveParams p, double x) {
+  switch (kind) {
+    case CurveKind::kPowerLaw:
+      SMOE_REQUIRE(x >= 0.0, "power law needs x >= 0");
+      return p.m * std::pow(x, p.b);
+    case CurveKind::kExponential:
+      return p.m * (1.0 - std::exp(-p.b * x));
+    case CurveKind::kNapierianLog:
+      SMOE_REQUIRE(x > 0.0, "log curve needs x > 0");
+      return p.m + p.b * std::log(x);
+  }
+  SMOE_CHECK(false, "unreachable curve kind");
+  return 0.0;
+}
 
 /// Invert the curve: the largest x with f(x) <= y. Returns +inf when the
 /// curve saturates below y (exponential with y >= m), and 0 when even x -> 0
 /// exceeds the budget.
-double curve_inverse(CurveKind kind, CurveParams p, double y);
+inline double curve_inverse(CurveKind kind, CurveParams p, double y) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  switch (kind) {
+    case CurveKind::kPowerLaw: {
+      if (p.m <= 0.0 || p.b <= 0.0) return y > 0.0 ? kInf : 0.0;
+      if (y <= 0.0) return 0.0;
+      return std::pow(y / p.m, 1.0 / p.b);
+    }
+    case CurveKind::kExponential: {
+      if (p.m <= 0.0 || p.b <= 0.0) return y > 0.0 ? kInf : 0.0;
+      if (y <= 0.0) return 0.0;
+      if (y >= p.m) return kInf;  // curve saturates below the budget
+      return -std::log(1.0 - y / p.m) / p.b;
+    }
+    case CurveKind::kNapierianLog: {
+      if (p.b <= 0.0) return y >= p.m ? kInf : 0.0;
+      return std::exp((y - p.m) / p.b);
+    }
+  }
+  SMOE_CHECK(false, "unreachable curve kind");
+  return 0.0;
+}
 
 struct CurveFit {
   CurveKind kind = CurveKind::kPowerLaw;

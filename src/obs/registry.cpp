@@ -13,19 +13,6 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   buckets_.assign(bounds_.size() + 1, 0);
 }
 
-void Histogram::observe(double v) {
-  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
-  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
-  if (count_ == 0) {
-    min_ = max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
-  }
-  ++count_;
-  sum_ += v;
-}
-
 Counter& Registry::counter(std::string_view name) {
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;

@@ -10,6 +10,7 @@
 //   * No locking — the simulator is single-threaded; a run owns its registry.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -50,7 +51,20 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
 
-  void observe(double v);
+  // Inline: observed once per executor lifetime event; the call overhead was
+  // visible in large-cluster profiles.
+  void observe(double v) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+  }
 
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }

@@ -1,21 +1,41 @@
-// The engine's event calendar: a min-heap of absolute executor event times
-// (finish or OOM) with lazy invalidation.
+// The engine's event calendar: a two-level bucketed timing wheel over
+// absolute executor event times (finish or OOM) with lazy invalidation and
+// amortized compaction.
 //
-// Entries are never removed from the middle of the heap. Instead, every
-// executor slot carries a monotonically increasing version counter; pushing a
-// new wake-up for a slot bumps the version, and releasing a slot bumps it
-// again, so any older entry still sitting in the heap is recognised as stale
-// when it surfaces and is discarded in O(log n). This keeps every calendar
-// operation O(log n) in the number of *pending* entries with no indexed
-// decrease-key machinery, at the cost of a heap that can transiently hold one
-// stale entry per rate change — bounded by the number of pushes, i.e. by the
-// event count.
+// Layout. Time is split into fixed-width buckets. Entries land in one of
+// three places:
+//   * `cur_` — an exact (t, slot)-ordered binary min-heap holding everything
+//     at or before the current bucket (including "past" pushes);
+//   * `near_` — a ring of kBuckets unsorted vectors for the near future,
+//     one bucket wide each (O(1) insertion — no comparisons at all);
+//   * `far_`  — an exact min-heap for everything beyond the ring's horizon.
+// Pops are always served from `cur_`; when it drains, the ring is advanced
+// bucket by bucket (each bucket is heapified exactly once, when it becomes
+// current), and when the whole ring drains the calendar re-anchors: the far
+// heap is scanned once, the bucket width is re-fitted to the far entries'
+// span, and every far entry is re-filed into the ring. With an empty far
+// heap and all pushes inside the window this degrades gracefully to the
+// plain versioned min-heap semantics the engine always had.
 //
-// Ties are broken by ascending slot id so the pop order (and therefore the
-// engine's completion order) is fully deterministic.
+// Ordering contract (unchanged from the single-heap calendar): entries pop
+// in ascending (t, slot) order. Structures partition time disjointly —
+// everything in `cur_` is strictly earlier than any ring bucket, and the
+// ring strictly earlier than `far_` — so the exact heap order inside `cur_`
+// is the global order, ties included.
+//
+// Invalidation contract (unchanged): entries are never removed from the
+// middle. Every executor slot carries a monotonically increasing version
+// counter; pushing a new wake-up bumps the version, releasing the slot
+// bumps it again, and older entries self-identify as stale when they
+// surface. Under heavy invalidation churn (OOM storms, rate refreshes)
+// stale entries would otherwise accumulate without bound, so `compact()`
+// removes them in place — dropping stale entries never changes the pop
+// order of the live ones — and the engine triggers it whenever the stale
+// fraction exceeds a threshold, keeping the footprint O(live entries).
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -32,25 +52,68 @@ struct CalendarEntry {
 
 class EventCalendar {
  public:
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  EventCalendar() : near_(kBuckets) {}
 
-  const CalendarEntry& top() const { return heap_.front(); }
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// The earliest entry in (t, slot) order. Must not be called when empty.
+  /// Advances the ring / re-anchors lazily, hence non-const.
+  const CalendarEntry& top() {
+    ensure_current();
+    return cur_.front();
+  }
 
   void push(Seconds t, Seconds tol, int slot, std::uint64_t version) {
-    heap_.push_back({t, tol, slot, version});
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
+    file({t, tol, slot, version});
+    ++size_;
   }
 
   /// Discard the top entry (stale or consumed).
   void discard_top() {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+    ensure_current();
+    std::pop_heap(cur_.begin(), cur_.end(), Later{});
+    cur_.pop_back();
+    --size_;
   }
 
-  void clear() { heap_.clear(); }
+  void clear() {
+    cur_.clear();
+    far_.clear();
+    for (auto& b : near_) b.clear();
+    near_count_ = 0;
+    size_ = 0;
+    cur_idx_ = 0;
+    width_ = kInitWidth;
+  }
+
+  /// Remove every entry `stale(entry)` says is dead, in place, preserving
+  /// the pop order of the survivors. Returns the number removed. O(size).
+  template <class Stale>
+  std::size_t remove_stale(Stale&& stale) {
+    const std::size_t before = size_;
+    auto prune_heap = [&](std::vector<CalendarEntry>& h) {
+      const auto it = std::remove_if(h.begin(), h.end(), stale);
+      if (it == h.end()) return;
+      h.erase(it, h.end());
+      std::make_heap(h.begin(), h.end(), Later{});
+    };
+    prune_heap(cur_);
+    prune_heap(far_);
+    for (auto& bucket : near_) {
+      const auto it = std::remove_if(bucket.begin(), bucket.end(), stale);
+      near_count_ -= static_cast<std::size_t>(bucket.end() - it);
+      bucket.erase(it, bucket.end());
+    }
+    size_ = cur_.size() + far_.size() + near_count_;
+    return before - size_;
+  }
 
  private:
+  static constexpr std::size_t kBuckets = 512;  ///< ring size (power of two)
+  static constexpr double kInitWidth = 1.0;     ///< seconds, until re-anchored
+  static constexpr double kMinWidth = 1e-6;     ///< degenerate-span floor
+
   /// Max-heap comparator inverted into a min-heap on (t, slot).
   struct Later {
     bool operator()(const CalendarEntry& a, const CalendarEntry& b) const {
@@ -58,7 +121,91 @@ class EventCalendar {
       return a.slot > b.slot;
     }
   };
-  std::vector<CalendarEntry> heap_;
+
+  /// Route one entry to cur_/near_/far_ by its bucket index. Thresholds are
+  /// compared in double space so non-finite or huge times safely land in
+  /// `far_` instead of overflowing the integer bucket index.
+  void file(CalendarEntry e) {
+    const double bidx = std::floor(e.t / width_);
+    if (!(bidx > static_cast<double>(cur_idx_))) {  // past or current bucket
+      cur_.push_back(e);
+      std::push_heap(cur_.begin(), cur_.end(), Later{});
+    } else if (bidx < static_cast<double>(cur_idx_) + static_cast<double>(kBuckets)) {
+      near_[static_cast<std::size_t>(static_cast<std::int64_t>(bidx)) % kBuckets]
+          .push_back(e);
+      ++near_count_;
+    } else {
+      far_.push_back(e);
+      std::push_heap(far_.begin(), far_.end(), Later{});
+    }
+  }
+
+  /// Make cur_ non-empty (assuming size_ > 0): advance through the ring one
+  /// bucket at a time, heapifying each bucket as it becomes current; when
+  /// the ring is exhausted, re-anchor on the far heap.
+  void ensure_current() {
+    while (cur_.empty()) {
+      // The ring's horizon slides forward as the window advances, so entries
+      // filed to `far_` under an older horizon may now belong inside the
+      // window — and a later push could land in a ring bucket *behind* them.
+      // Re-file every far entry whose bucket has come inside the window
+      // before advancing, restoring the invariant that everything in `far_`
+      // is strictly later than everything in the ring. `far_` is a min-heap
+      // and the bucket index is monotone in t, so once the front is beyond
+      // the horizon all remaining entries are too. (Non-finite times compare
+      // false and stay in `far_` for the re-anchor path below.)
+      while (!far_.empty() &&
+             std::floor(far_.front().t / width_) <
+                 static_cast<double>(cur_idx_) + static_cast<double>(kBuckets)) {
+        const CalendarEntry e = far_.front();
+        std::pop_heap(far_.begin(), far_.end(), Later{});
+        far_.pop_back();
+        file(e);
+      }
+      if (!cur_.empty()) return;
+      if (near_count_ > 0) {
+        // Advance to the next non-empty ring bucket. Each bucket is visited
+        // at most once per window pass, so the scan is amortized O(1).
+        do {
+          ++cur_idx_;
+        } while (near_[static_cast<std::size_t>(cur_idx_) % kBuckets].empty());
+        auto& bucket = near_[static_cast<std::size_t>(cur_idx_) % kBuckets];
+        near_count_ -= bucket.size();
+        cur_.swap(bucket);
+        std::make_heap(cur_.begin(), cur_.end(), Later{});
+        return;
+      }
+      // Ring empty: re-anchor the window on the far entries and re-file them
+      // all. Each far entry migrates exactly once per re-anchor, and the new
+      // width is fitted so the whole far span lands inside the ring, so the
+      // far heap is completely drained (future pushes get O(1) filing again).
+      double lo = far_.front().t, hi = lo;
+      for (const CalendarEntry& e : far_) {
+        lo = std::min(lo, e.t);
+        hi = std::max(hi, e.t);
+      }
+      if (!std::isfinite(lo) || !std::isfinite(hi)) {
+        // Degenerate (non-finite) times: serve the whole far heap as the
+        // current heap — exact order, no bucketing.
+        cur_.swap(far_);
+        return;
+      }
+      const double span = hi - lo;
+      width_ = std::max(kMinWidth, span / static_cast<double>(kBuckets - 2));
+      cur_idx_ = static_cast<std::int64_t>(std::floor(lo / width_));
+      std::vector<CalendarEntry> pending;
+      pending.swap(far_);
+      for (const CalendarEntry& e : pending) file(e);
+    }
+  }
+
+  std::vector<CalendarEntry> cur_;                ///< exact heap, <= current bucket
+  std::vector<std::vector<CalendarEntry>> near_;  ///< unsorted ring buckets
+  std::vector<CalendarEntry> far_;                ///< exact heap beyond the ring
+  std::size_t near_count_ = 0;                    ///< entries across the ring
+  std::size_t size_ = 0;
+  std::int64_t cur_idx_ = 0;  ///< absolute bucket index of the current bucket
+  double width_ = kInitWidth; ///< bucket width in seconds
 };
 
 }  // namespace smoe::sim

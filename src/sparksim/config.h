@@ -75,6 +75,18 @@ struct SimConfig {
   SparkConfig spark;
   /// Master seed for measurement noise in this simulation run.
   std::uint64_t seed = 42;
+  /// Use the per-policy node indexes (free-memory max-heap + empty-node
+  /// heap, node_index.h) for dispatch decisions instead of the legacy
+  /// all-nodes scan. Decisions, traces and results are identical either way
+  /// (pinned by the differential suite in tests/test_dispatch_index.cpp);
+  /// the index makes each decision O(log n) instead of O(n_nodes) and is
+  /// what makes 10k-node clusters tractable. The scan is retained as the
+  /// differential oracle.
+  bool indexed_dispatch = true;
+  /// Bin width of the per-node utilization trace (SimResult::trace).
+  /// 60 s matches the paper's Figure-7 resolution; large-cluster/long-mix
+  /// benches widen it so the trace stays O(nodes x bins) small.
+  Seconds trace_bin = 60.0;
   /// Structured-event sink (src/obs) the engine emits into; non-owning,
   /// null means off. Sinks are passive: any sink (or none) yields the same
   /// SimResult. Events carry sim-time, so traces are byte-identical across

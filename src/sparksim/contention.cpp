@@ -6,16 +6,6 @@
 
 namespace smoe::sim {
 
-double cpu_factor(double total_cpu_demand) {
-  SMOE_REQUIRE(total_cpu_demand >= 0.0, "negative CPU demand");
-  return total_cpu_demand <= 1.0 ? 1.0 : 1.0 / total_cpu_demand;
-}
-
-double interference_factor(double sensitivity, double corunner_cpu, double scale) {
-  SMOE_REQUIRE(sensitivity >= 0.0 && corunner_cpu >= 0.0, "negative load");
-  return 1.0 / (1.0 + scale * sensitivity * corunner_cpu);
-}
-
 double paging_factor(GiB resident, GiB ram, double penalty) {
   SMOE_REQUIRE(ram > 0.0, "ram must be positive");
   const double overflow = std::max(0.0, resident - ram);

@@ -14,17 +14,28 @@
 
 #include <span>
 
+#include "common/error.h"
 #include "common/units.h"
 #include "sparksim/config.h"
 
 namespace smoe::sim {
 
+// cpu_factor and interference_factor are header-inline: the engine evaluates
+// them once per executor per rate refresh, and at large-cluster event rates
+// the out-of-line call overhead was measurable in profiles.
+
 /// Aggregate-CPU speed factor in (0, 1].
-double cpu_factor(double total_cpu_demand);
+inline double cpu_factor(double total_cpu_demand) {
+  SMOE_REQUIRE(total_cpu_demand >= 0.0, "negative CPU demand");
+  return total_cpu_demand <= 1.0 ? 1.0 : 1.0 / total_cpu_demand;
+}
 
 /// Interference speed factor in (0, 1] for a task with `sensitivity`, given
 /// the summed CPU demand of its co-runners on the node.
-double interference_factor(double sensitivity, double corunner_cpu, double scale = 1.0);
+inline double interference_factor(double sensitivity, double corunner_cpu, double scale = 1.0) {
+  SMOE_REQUIRE(sensitivity >= 0.0 && corunner_cpu >= 0.0, "negative load");
+  return 1.0 / (1.0 + scale * sensitivity * corunner_cpu);
+}
 
 /// Paging speed factor in (0, 1]; 1.0 while resident memory fits in RAM.
 double paging_factor(GiB resident, GiB ram, double penalty);

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <functional>
+#include <string_view>
 #include <limits>
 #include <memory>
+#include <set>
 #include <utility>
 
 #include "common/approx.h"
@@ -14,6 +17,7 @@
 #include "sparksim/calendar.h"
 #include "sparksim/contention.h"
 #include "sparksim/monitor.h"
+#include "sparksim/node_index.h"
 #include "workloads/suites.h"
 
 namespace smoe::sim {
@@ -71,27 +75,6 @@ struct AppState {
   AppResult res;
 };
 
-struct NodeState {
-  GiB reserved = 0;
-  double planned_cpu = 0;
-  /// Sum of cpu_load_iso over resident executors, maintained incrementally on
-  /// spawn/release so refresh_rates/node_utilization need no per-event rescan.
-  double cpu_iso_sum = 0;
-  /// Sum of resident memory over resident executors, maintained incrementally
-  /// so monitor reports need no per-executor rescan.
-  GiB sum_resident = 0;
-  /// The utilization trace is folded up to this sim-time; between executor
-  /// arrivals/departures the node's utilization is constant, so the trace is
-  /// only touched when the executor set changes (and once at run end).
-  Seconds trace_from = 0;
-  /// Executor set (and therefore every executor rate on this node) changed
-  /// since the last rate refresh.
-  bool dirty = false;
-  std::vector<int> execs;
-
-  bool empty() const { return execs.empty(); }
-};
-
 class NullIsolatedPolicy final : public SchedulingPolicy {
  public:
   std::string name() const override { return "internal-isolated"; }
@@ -127,23 +110,54 @@ struct Sim {
   /// Cached sink.enabled(): emitters skip building Event objects entirely
   /// when tracing is off, keeping the no-sink path allocation-free.
   const bool tracing;
+  /// Indexed dispatch (node_index.h) vs the legacy all-nodes scan. Same
+  /// decisions either way; the scan stays as the differential oracle.
+  const bool use_index;
 
   Seconds now = 0;
   std::vector<AppState> apps;
   std::vector<std::size_t> queue;  ///< dispatch order (Section 5.2's policy)
-  std::vector<NodeState> nodes;
+
+  // ---- node state, struct-of-arrays ----------------------------------
+  // The hot per-node fields live in parallel contiguous arrays instead of a
+  // node struct: refresh_rates, the dispatch scans/index maintenance and the
+  // monitor report stream through cache lines instead of pointer-chasing,
+  // which is what keeps per-event cost flat at 10k nodes.
+  std::size_t n_nodes;
+  std::vector<GiB> node_reserved;
+  std::vector<double> node_planned_cpu;
+  /// Sum of cpu_load_iso over resident executors, maintained incrementally
+  /// on spawn/release so refresh_rates/node_utilization need no rescan.
+  std::vector<double> node_cpu_iso;
+  /// Sum of resident memory over resident executors, maintained
+  /// incrementally so monitor reports need no per-executor rescan.
+  std::vector<GiB> node_resident;
+  /// The utilization trace is folded up to this sim-time per node; between
+  /// executor arrivals/departures a node's utilization is constant, so the
+  /// trace is only touched when the executor set changes (and at run end).
+  std::vector<Seconds> node_trace_from;
+  /// Executor set (and therefore every executor rate on the node) changed
+  /// since the last rate refresh.
+  std::vector<std::uint8_t> node_dirty_flag;
+  std::vector<std::vector<int>> node_execs;
+
+  /// Per-policy node index (free-memory max-heap + empty-node min-heap with
+  /// lazy invalidation) replacing the per-decision all-nodes scans.
+  NodeIndex index;
+
   std::vector<ExecState> execs;
   /// Free executor slots as a min-heap, so alloc_exec_slot picks the lowest
   /// free index in O(log n) — the same slot the old linear scan returned, so
   /// slot ids in traces are unchanged.
   std::vector<int> free_slots;
-  /// Active slots in ascending order, for completion snapshots and run-end
-  /// sanity; the per-event hot path never iterates it.
-  std::vector<int> active_slots;
+  /// Number of currently-active executor slots. Nothing ever iterates the
+  /// active set, so a bare count is all the engine needs.
+  std::size_t n_active = 0;
   /// Calendar entry validity, one counter per slot: bumped on every reschedule
   /// and on release, so stale heap entries self-identify when popped.
   std::vector<std::uint64_t> versions;
-  /// Absolute executor finish/OOM times, lazily invalidated via `versions`.
+  /// Absolute executor finish/OOM times, lazily invalidated via `versions`
+  /// (two-level bucketed calendar; compacted when stale entries pile up).
   EventCalendar calendar;
   /// Nodes whose executor set changed since the last rate refresh.
   std::vector<int> dirty_nodes;
@@ -152,6 +166,28 @@ struct Sim {
   std::vector<std::pair<Seconds, std::size_t>> profile_pending;
   std::size_t profile_cursor = 0;
   std::size_t apps_done = 0;
+
+  // ---- dispatch work list --------------------------------------------
+  /// Rank (position in `queue`) of every application the dispatcher must
+  /// still consider: phase Ready with unassigned work or pending re-runs.
+  /// Apps enter on profiling promotion (or at submit when unprofiled),
+  /// leave when their work is fully dispatched, and re-enter on an OOM
+  /// re-run enqueue. Iterating this set in rank order visits exactly the
+  /// applications on which the legacy full-queue sweep acted, so decisions
+  /// are unchanged — but a million-app queue no longer costs O(apps) per
+  /// event.
+  std::set<std::uint32_t> ready_ranks;
+  std::vector<std::uint32_t> rank_of;  ///< app id -> rank in `queue`
+  /// First rank whose app is not Done — the isolated dispatcher's
+  /// head-of-queue. Done-ness is permanent, so the cursor only advances.
+  std::size_t head_cursor = 0;
+  /// Dispatch decisions depend only on node state, monitor reports, app
+  /// phases and per-app work (dispatch() runs to exhaustion and is
+  /// idempotent between changes), so it is skipped until one of those
+  /// actually changed: a release, a profiling promotion, or a monitor
+  /// report.
+  bool needs_dispatch = true;
+
   /// Cluster-wide incremental aggregates: advance() folds the memory-time
   /// integrals in O(1) instead of walking every active executor.
   GiB sum_reserved_all = 0;
@@ -161,6 +197,7 @@ struct Sim {
   std::vector<int> due_slots;
   std::vector<std::size_t> touched_apps;
   std::vector<std::size_t> promo_scratch;
+  std::vector<double> report_cpu, report_mem;  ///< maybe_report scratch
   ResourceMonitor monitor;
   UtilizationTrace trace;
   Seconds next_report;
@@ -208,10 +245,24 @@ struct Sim {
         policy(p),
         sink(s),
         tracing(s.enabled()),
-        nodes(c.cluster.n_nodes),
+        use_index(c.indexed_dispatch),
+        n_nodes(c.cluster.n_nodes),
+        node_reserved(n_nodes, 0.0),
+        node_planned_cpu(n_nodes, 0.0),
+        node_cpu_iso(n_nodes, 0.0),
+        node_resident(n_nodes, 0.0),
+        node_trace_from(n_nodes, 0.0),
+        node_dirty_flag(n_nodes, 0),
+        node_execs(n_nodes),
         monitor(c.cluster.n_nodes, c.spark.monitor_window),
-        trace(c.cluster.n_nodes),
-        next_report(c.spark.monitor_period) {}
+        trace(c.cluster.n_nodes, c.trace_bin),
+        next_report(c.spark.monitor_period) {
+    if (use_index)
+      index.reset(n_nodes, cfg.cluster.node_ram,
+                  policy.mode() == DispatchMode::kPairwise
+                      ? 2
+                      : std::numeric_limits<std::size_t>::max());
+  }
 
   // ---- setup ---------------------------------------------------------
   void submit(const wl::TaskMix& mix) {
@@ -236,8 +287,16 @@ struct Sim {
       app.spec = &wl::find_benchmark(inst.benchmark);
       SMOE_REQUIRE(inst.input_items >= 2.0 * cfg.spark.min_chunk,
                    "sim: input too small: " + inst.benchmark);
+      // Same bytes as "app:" + std::to_string(i) + ":" + benchmark, without
+      // the three heap strings per application (visible at mega-queue scale).
+      char seed_name[128];
+      const int seed_len = std::snprintf(seed_name, sizeof seed_name, "app:%zu:%s", i,
+                                         inst.benchmark.c_str());
       const std::uint64_t seed =
-          Rng::derive(cfg.seed, "app:" + std::to_string(i) + ":" + inst.benchmark);
+          seed_len > 0 && static_cast<std::size_t>(seed_len) < sizeof seed_name
+              ? Rng::derive(cfg.seed, std::string_view(seed_name,
+                                                       static_cast<std::size_t>(seed_len)))
+              : Rng::derive(cfg.seed, "app:" + std::to_string(i) + ":" + inst.benchmark);
       app.probe = std::make_unique<AppProbe>(*app.spec, features, inst.input_items, seed);
 
       const ProfilingCost cost = policy.profile(*app.probe, app.est);
@@ -300,22 +359,34 @@ struct Sim {
     queue.resize(apps.size());
     for (std::size_t i = 0; i < queue.size(); ++i) queue[i] = i;
     if (cfg.spark.queue_order == QueueOrder::kShortestJobFirst) {
-      std::stable_sort(queue.begin(), queue.end(), [&](std::size_t a, std::size_t b) {
-        return apps[a].res.input_items < apps[b].res.input_items;
+      // (input_items, index) is a strict total order, so plain sort produces
+      // exactly the stable-sort-by-input_items permutation (queue starts as
+      // 0..n-1) without the merge buffer.
+      std::sort(queue.begin(), queue.end(), [&](std::size_t a, std::size_t b) {
+        const auto ia = apps[a].res.input_items, ib = apps[b].res.input_items;
+        return ia != ib ? ia < ib : a < b;
       });
+    }
+    rank_of.resize(queue.size());
+    for (std::size_t r = 0; r < queue.size(); ++r) {
+      rank_of[queue[r]] = static_cast<std::uint32_t>(r);
+      if (apps[queue[r]].phase == Phase::kReady)
+        ready_ranks.insert(static_cast<std::uint32_t>(r));
     }
   }
 
   // ---- helpers -------------------------------------------------------
-  GiB free_mem(const NodeState& n) const { return cfg.cluster.node_ram - n.reserved; }
+  GiB free_mem(NodeId n) const {
+    return cfg.cluster.node_ram - node_reserved[static_cast<std::size_t>(n)];
+  }
 
   double effective_cpu(NodeId node) const {
-    return std::max(nodes[static_cast<std::size_t>(node)].planned_cpu,
+    return std::max(node_planned_cpu[static_cast<std::size_t>(node)],
                     monitor.reported_cpu(node));
   }
 
-  bool app_on_node(int app, const NodeState& n) const {
-    for (const int e : n.execs)
+  bool app_on_node(int app, NodeId node) const {
+    for (const int e : node_execs[static_cast<std::size_t>(node)])
       if (execs[static_cast<std::size_t>(e)].app == app) return true;
     return false;
   }
@@ -332,32 +403,29 @@ struct Sim {
     return slot;
   }
 
-  void mark_active(int slot) {
-    active_slots.insert(
-        std::lower_bound(active_slots.begin(), active_slots.end(), slot), slot);
-  }
+  void mark_active(int) { ++n_active; }
 
   void mark_inactive(int slot) {
-    active_slots.erase(std::lower_bound(active_slots.begin(), active_slots.end(), slot));
+    --n_active;
     free_slots.push_back(slot);
     std::push_heap(free_slots.begin(), free_slots.end(), std::greater<int>());
   }
 
   void mark_dirty(NodeId node_id) {
-    NodeState& node = nodes[static_cast<std::size_t>(node_id)];
-    if (!node.dirty) {
-      node.dirty = true;
+    const auto n = static_cast<std::size_t>(node_id);
+    if (!node_dirty_flag[n]) {
+      node_dirty_flag[n] = 1;
       dirty_nodes.push_back(node_id);
     }
   }
 
   /// Fold the node's constant utilization into the trace up to `now`. Must be
-  /// called before the node's executor set (and thus cpu_iso_sum) changes.
+  /// called before the node's executor set (and thus cpu_iso sum) changes.
   void flush_node_trace(NodeId node_id) {
-    NodeState& node = nodes[static_cast<std::size_t>(node_id)];
-    if (now > node.trace_from)
-      trace.accumulate(node_id, node.trace_from, now, node_utilization(node));
-    node.trace_from = now;
+    const auto n = static_cast<std::size_t>(node_id);
+    if (now > node_trace_from[n])
+      trace.accumulate(node_id, node_trace_from[n], now, node_utilization(node_id));
+    node_trace_from[n] = now;
   }
 
   /// Bring an executor's lazily-folded progress up to `now` at its current
@@ -404,12 +472,12 @@ struct Sim {
   void spawn(int app_idx, NodeId node_id, Items chunk, GiB reserved, bool predictive,
              bool isolated_rerun, GiB predicted = -1.0) {
     AppState& app = apps[static_cast<std::size_t>(app_idx)];
-    NodeState& node = nodes[static_cast<std::size_t>(node_id)];
+    const auto n = static_cast<std::size_t>(node_id);
     SMOE_CHECK(chunk > 0, "spawn: empty chunk");
     SMOE_CHECK(reserved > 0 &&
-                   approx_le(node.reserved + reserved, cfg.cluster.node_ram, kRelEps),
+                   approx_le(node_reserved[n] + reserved, cfg.cluster.node_ram, kRelEps),
                "spawn: reservation over-commits node");
-    const GiB free_before = free_mem(node);
+    const GiB free_before = free_mem(node_id);
 
     const int slot = alloc_exec_slot();
     ExecState& e = execs[static_cast<std::size_t>(slot)];
@@ -442,19 +510,20 @@ struct Sim {
         policy.spawn_search_overhead() * chunk / app.spec->items_per_second;
 
     flush_node_trace(node_id);  // utilization changes from `now` on
-    node.reserved += reserved;
+    node_reserved[n] += reserved;
     e.planned_cpu = predictive ? app.est.cpu_load : app.spec->cpu_load_iso;
-    node.planned_cpu += e.planned_cpu;
-    node.cpu_iso_sum += app.spec->cpu_load_iso;
-    node.sum_resident += e.resident;
+    node_planned_cpu[n] += e.planned_cpu;
+    node_cpu_iso[n] += app.spec->cpu_load_iso;
+    node_resident[n] += e.resident;
     sum_reserved_all += reserved;
     sum_resident_all += e.resident;
-    node.execs.push_back(slot);
+    node_execs[n].push_back(slot);
+    if (use_index) index.touch(node_id, free_mem(node_id), node_execs[n].size());
     mark_active(slot);
     mark_dirty(node_id);
     ++executors_spawned;
     ++app.res.executors_used;
-    peak_node_occupancy = std::max(peak_node_occupancy, node.execs.size());
+    peak_node_occupancy = std::max(peak_node_occupancy, node_execs[n].size());
     if (e.degrade < 1.0) ++executors_degraded;
 
     if (!isolated_rerun) {
@@ -510,9 +579,9 @@ struct Sim {
                     .with("isolated_rerun", isolated_rerun)
                     .with("planned_cpu", e.planned_cpu)
                     .with("cpu_load_iso", app.spec->cpu_load_iso)
-                    .with("node_reserved_after", node.reserved)
-                    .with("node_planned_cpu_after", node.planned_cpu)
-                    .with("node_cpu_iso_after", node.cpu_iso_sum));
+                    .with("node_reserved_after", node_reserved[n])
+                    .with("node_planned_cpu_after", node_planned_cpu[n])
+                    .with("node_cpu_iso_after", node_cpu_iso[n]));
       if (isolated_rerun)
         sink.emit(obs::Event(now, obs::EventType::kIsolatedRerun)
                       .with("exec", slot)
@@ -535,31 +604,35 @@ struct Sim {
 
   void release(int slot) {
     ExecState& e = execs[static_cast<std::size_t>(slot)];
-    NodeState& node = nodes[static_cast<std::size_t>(e.node)];
+    const auto n = static_cast<std::size_t>(e.node);
     AppState& app = apps[static_cast<std::size_t>(e.app)];
     flush_node_trace(e.node);  // utilization changes from `now` on
     // Floating-point residue after the final release is clamped to exactly 0.
     // Only *negative* values are clamped: zeroing anything below an epsilon
     // (the old behaviour) also erased legitimately small positive loads and
     // masked accounting drift the auditor is meant to flag.
-    node.reserved -= e.reserved;
-    if (node.reserved < 0) node.reserved = 0;
-    node.planned_cpu -= e.planned_cpu;
-    if (node.planned_cpu < 0) node.planned_cpu = 0;
-    node.cpu_iso_sum -= app.spec->cpu_load_iso;
-    if (node.cpu_iso_sum < 0) node.cpu_iso_sum = 0;
-    node.sum_resident -= e.resident;
-    if (node.sum_resident < 0) node.sum_resident = 0;
+    node_reserved[n] -= e.reserved;
+    if (node_reserved[n] < 0) node_reserved[n] = 0;
+    node_planned_cpu[n] -= e.planned_cpu;
+    if (node_planned_cpu[n] < 0) node_planned_cpu[n] = 0;
+    node_cpu_iso[n] -= app.spec->cpu_load_iso;
+    if (node_cpu_iso[n] < 0) node_cpu_iso[n] = 0;
+    node_resident[n] -= e.resident;
+    if (node_resident[n] < 0) node_resident[n] = 0;
     sum_reserved_all -= e.reserved;
     if (sum_reserved_all < 0) sum_reserved_all = 0;
     sum_resident_all -= e.resident;
     if (sum_resident_all < 0) sum_resident_all = 0;
-    std::erase(node.execs, slot);
+    std::erase(node_execs[n], slot);
     // An emptied node snaps its incremental resident sum to exactly zero so
     // monitor reports match a from-scratch recomputation.
-    if (node.execs.empty()) node.sum_resident = 0;
+    if (node_execs[n].empty()) node_resident[n] = 0;
+    if (use_index) {
+      index.touch(e.node, free_mem(e.node), node_execs[n].size());
+      if (node_execs[n].empty()) index.node_emptied(e.node);
+    }
     mark_inactive(slot);
-    if (active_slots.empty()) {
+    if (n_active == 0) {
       sum_reserved_all = 0;
       sum_resident_all = 0;
     }
@@ -568,6 +641,7 @@ struct Sim {
     ++versions[static_cast<std::size_t>(slot)];  // orphan any calendar entry
     --app.executors;
     e.active = false;
+    needs_dispatch = true;  // freed memory/CPU/a node — placements may open up
   }
 
   bool app_done(const AppState& app) const {
@@ -577,6 +651,9 @@ struct Sim {
 
   // ---- dispatch ------------------------------------------------------
   void dispatch() {
+    if (!needs_dispatch) return;
+    needs_dispatch = false;
+    if (use_index) index.compact_if_bloated();
     switch (policy.mode()) {
       case DispatchMode::kIsolated: dispatch_isolated(); return;
       case DispatchMode::kPairwise: dispatch_pairwise(); return;
@@ -584,59 +661,86 @@ struct Sim {
     }
   }
 
-  int find_empty_node() const {
-    for (std::size_t n = 0; n < nodes.size(); ++n)
-      if (nodes[n].empty() && nodes[n].reserved <= kEps) return static_cast<int>(n);
+  int find_empty_node() {
+    if (use_index)
+      return index.first_empty([&](int n) {
+        const auto i = static_cast<std::size_t>(n);
+        return node_execs[i].empty() && node_reserved[i] <= kEps;
+      });
+    for (std::size_t n = 0; n < n_nodes; ++n)
+      if (node_execs[n].empty() && node_reserved[n] <= kEps) return static_cast<int>(n);
     return kNoId;
+  }
+
+  /// Park or keep one ready-set element after the dispatcher finished with
+  /// it: an app with no unassigned work and no pending re-runs cannot spawn
+  /// anything until an OOM re-enqueues it, so it leaves the work list.
+  std::set<std::uint32_t>::iterator advance_ready(std::set<std::uint32_t>::iterator it,
+                                                  const AppState& app) {
+    if (app.unassigned <= 0 && app.rerun_chunks.empty()) return ready_ranks.erase(it);
+    return std::next(it);
   }
 
   // One application at a time, whole-node reservations — the paper's
   // baseline ("each application exclusively using all the memory of each
   // allocated computing node", Section 6).
   void dispatch_isolated() {
-    for (const std::size_t idx : queue) {
-      AppState& app = apps[idx];
-      if (app.phase == Phase::kDone) continue;
-      if (app.phase != Phase::kReady) return;  // strictly one by one
-      while (app.unassigned > 0 && app.executors < app.dyn_alloc) {
-        const NodeId node = find_empty_node();
-        if (node == kNoId) return;
-        const Items chunk = std::min(app.unassigned, app.default_chunk);
-        spawn(static_cast<int>(idx), node, chunk, cfg.cluster.node_ram,
-              /*predictive=*/false, /*isolated_rerun=*/false);
-      }
-      return;  // only the head-of-queue application runs
+    while (head_cursor < queue.size() &&
+           apps[queue[head_cursor]].phase == Phase::kDone)
+      ++head_cursor;
+    if (head_cursor >= queue.size()) return;
+    AppState& app = apps[queue[head_cursor]];
+    if (app.phase != Phase::kReady) return;  // strictly one by one
+    while (app.unassigned > 0 && app.executors < app.dyn_alloc) {
+      const NodeId node = find_empty_node();
+      if (node == kNoId) return;
+      const Items chunk = std::min(app.unassigned, app.default_chunk);
+      spawn(static_cast<int>(queue[head_cursor]), node, chunk, cfg.cluster.node_ram,
+            /*predictive=*/false, /*isolated_rerun=*/false);
     }
   }
 
   // FCFS; at most two executors per node; a co-located executor's heap is
   // set to all free memory (Section 5.4's Pairwise comparator).
   void dispatch_pairwise() {
-    for (const std::size_t a : queue) {
+    for (auto it = ready_ranks.begin(); it != ready_ranks.end();) {
+      // Saturation early-exit: with no empty node and at most 1 GiB free on
+      // every co-locatable node, *no* application can place an executor
+      // (per-app filters only shrink the candidate set further), so the
+      // legacy sweep over the remaining apps would be a pure no-op.
+      if (use_index && index.max_free() <= 1.0 && find_empty_node() == kNoId) return;
+      const std::size_t a = queue[*it];
       AppState& app = apps[a];
-      if (app.phase != Phase::kReady || app.unassigned <= 0) continue;
       while (app.unassigned > 0 && app.executors < app.dyn_alloc) {
         // Prefer an empty node; otherwise co-locate on the singly-occupied
         // node with the most free memory.
         NodeId target = find_empty_node();
         GiB reserve = cfg.cluster.node_ram * cfg.spark.default_heap_fraction;
         if (target == kNoId) {
-          GiB best_free = 1.0;  // require at least 1 GiB to co-locate
-          for (std::size_t n = 0; n < nodes.size(); ++n) {
-            if (nodes[n].execs.size() >= 2 || app_on_node(static_cast<int>(a), nodes[n]))
-              continue;
-            if (free_mem(nodes[n]) > best_free) {
-              best_free = free_mem(nodes[n]);
-              target = static_cast<int>(n);
+          if (use_index) {
+            // require at least 1 GiB to co-locate
+            target = index.best(1.0, /*inclusive=*/false,
+                                [&](int n) { return !app_on_node(static_cast<int>(a), n); });
+          } else {
+            GiB best_free = 1.0;  // require at least 1 GiB to co-locate
+            for (std::size_t n = 0; n < n_nodes; ++n) {
+              if (node_execs[n].size() >= 2 ||
+                  app_on_node(static_cast<int>(a), static_cast<int>(n)))
+                continue;
+              if (free_mem(static_cast<int>(n)) > best_free) {
+                best_free = free_mem(static_cast<int>(n));
+                target = static_cast<int>(n);
+              }
             }
           }
           if (target == kNoId) break;
-          reserve = free_mem(nodes[static_cast<std::size_t>(target)]);
+          reserve = free_mem(target);
         }
         const Items chunk = std::min(app.unassigned, app.default_chunk);
         spawn(static_cast<int>(a), target, chunk, reserve, /*predictive=*/false,
               /*isolated_rerun=*/false);
       }
+      it = advance_ready(it, app);
     }
   }
 
@@ -644,9 +748,19 @@ struct Sim {
   // footprint fits and the aggregate CPU stays under 100%; chunk sizes come
   // from the inverse memory function under the node's spare-memory budget.
   void dispatch_predictive() {
-    for (const std::size_t a : queue) {
+    const GiB default_heap = cfg.cluster.node_ram * cfg.spark.default_heap_fraction;
+    for (auto it = ready_ranks.begin(); it != ready_ranks.end();) {
+      // Saturation early-exit: no empty node (blocks OOM re-runs and the
+      // idle-node fallback), max free at most 2 GiB (blocks the predictive
+      // packing loop, which needs a strictly larger budget) and strictly
+      // below the default heap (blocks the distrusted fallback) — nothing
+      // can spawn for any app, so the remaining sweep is a pure no-op.
+      if (use_index) {
+        const GiB mf = index.max_free();
+        if (mf <= 2.0 && mf < default_heap && find_empty_node() == kNoId) return;
+      }
+      const std::size_t a = queue[*it];
       AppState& app = apps[a];
-      if (app.phase != Phase::kReady) continue;
 
       // OOM fallback: re-run failed chunks alone on a whole node.
       while (!app.rerun_chunks.empty()) {
@@ -657,49 +771,70 @@ struct Sim {
         app.rerun_chunks.pop_back();
       }
 
-      if (!app.est.footprint || !app.est.items_for_budget) continue;
+      if (!app.est.footprint || !app.est.items_for_budget) {
+        it = std::next(it);
+        continue;
+      }
 
       if (app.model_distrusted) {
         // Conservative fallback after an OOM: default heaps, default chunks,
         // spill-safe executors, Spark-default parallelism.
         while (app.unassigned > 0 && app.executors < app.dyn_alloc) {
-          const GiB heap = cfg.cluster.node_ram * cfg.spark.default_heap_fraction;
+          const GiB heap = default_heap;
           // Most free memory among nodes with room for a full default heap.
           // Strict `>` picks the *first* node on ties, matching the
           // predictive loop below (the old `>=` picked the last).
           NodeId target = kNoId;
-          GiB best = 0;
-          for (std::size_t n = 0; n < nodes.size(); ++n) {
-            if (app_on_node(static_cast<int>(a), nodes[n])) continue;
-            const GiB free = free_mem(nodes[n]);
-            if (free < heap) continue;
-            if (free > best) {
-              best = free;
-              target = static_cast<int>(n);
+          if (use_index) {
+            target = index.best(heap, /*inclusive=*/true,
+                                [&](int n) { return !app_on_node(static_cast<int>(a), n); });
+          } else {
+            GiB best = 0;
+            for (std::size_t n = 0; n < n_nodes; ++n) {
+              if (app_on_node(static_cast<int>(a), static_cast<int>(n))) continue;
+              const GiB free = free_mem(static_cast<int>(n));
+              if (free < heap) continue;
+              if (free > best) {
+                best = free;
+                target = static_cast<int>(n);
+              }
             }
           }
           if (target == kNoId) break;
           spawn(static_cast<int>(a), target, std::min(app.unassigned, app.default_chunk),
                 heap, /*predictive=*/false, /*isolated_rerun=*/false);
         }
+        it = advance_ready(it, app);
         continue;
       }
 
       while (app.unassigned > 0 && app.executors < app.max_pred_executors) {
         // Best node: most free memory among those passing the CPU check.
         NodeId target = kNoId;
-        GiB best_free = 2.0;  // minimum useful budget
-        for (std::size_t n = 0; n < nodes.size(); ++n) {
-          if (app_on_node(static_cast<int>(a), nodes[n])) continue;
-          if (policy.cpu_check() &&
-              effective_cpu(static_cast<int>(n)) + app.est.cpu_load > 1.0 + kEps)
-            continue;
-          if (free_mem(nodes[n]) > best_free) {
-            best_free = free_mem(nodes[n]);
-            target = static_cast<int>(n);
+        if (use_index) {
+          // minimum useful budget: strictly more than 2 GiB free
+          target = index.best(2.0, /*inclusive=*/false, [&](int n) {
+            if (app_on_node(static_cast<int>(a), n)) return false;
+            if (policy.cpu_check() &&
+                effective_cpu(n) + app.est.cpu_load > 1.0 + kEps)
+              return false;
+            return true;
+          });
+        } else {
+          GiB best_free = 2.0;  // minimum useful budget
+          for (std::size_t n = 0; n < n_nodes; ++n) {
+            if (app_on_node(static_cast<int>(a), static_cast<int>(n))) continue;
+            if (policy.cpu_check() &&
+                effective_cpu(static_cast<int>(n)) + app.est.cpu_load > 1.0 + kEps)
+              continue;
+            if (free_mem(static_cast<int>(n)) > best_free) {
+              best_free = free_mem(static_cast<int>(n));
+              target = static_cast<int>(n);
+            }
           }
         }
         if (target == kNoId) break;
+        const GiB best_free = free_mem(target);
 
         const GiB budget = best_free / (1.0 + cfg.spark.reservation_headroom);
         Items chunk = app.est.items_for_budget(budget);
@@ -727,6 +862,7 @@ struct Sim {
         spawn(static_cast<int>(a), target, chunk, reserve, /*predictive=*/true,
               /*isolated_rerun=*/false, predicted);
       }
+      it = advance_ready(it, app);
     }
   }
 
@@ -739,10 +875,10 @@ struct Sim {
     if (dirty_nodes.empty()) return;
     std::sort(dirty_nodes.begin(), dirty_nodes.end());
     for (const int n : dirty_nodes) {
-      NodeState& node = nodes[static_cast<std::size_t>(n)];
-      node.dirty = false;
-      const double total_cpu = node.cpu_iso_sum;
-      for (const int ei : node.execs) {
+      const auto i = static_cast<std::size_t>(n);
+      node_dirty_flag[i] = 0;
+      const double total_cpu = node_cpu_iso[i];
+      for (const int ei : node_execs[i]) {
         ExecState& e = execs[static_cast<std::size_t>(ei)];
         fold(e);
         const auto& spec = *apps[static_cast<std::size_t>(e.app)].spec;
@@ -759,8 +895,8 @@ struct Sim {
     dirty_nodes.clear();
   }
 
-  double node_utilization(const NodeState& node) const {
-    return std::min(1.0, node.cpu_iso_sum);
+  double node_utilization(NodeId node) const {
+    return std::min(1.0, node_cpu_iso[static_cast<std::size_t>(node)]);
   }
 
   /// True when a calendar entry is the live wake-up for its slot (not an
@@ -772,14 +908,20 @@ struct Sim {
 
   /// Absolute time of the next event: the earliest live executor wake-up,
   /// profiling-window end, or monitor report. Stale calendar entries
-  /// encountered on the way are discarded. O(log n) amortized.
+  /// encountered on the way are discarded, and under invalidation churn the
+  /// calendar is compacted in place so its footprint stays O(live entries).
+  /// O(log n) amortized.
   Seconds next_event_time() {
+    // Every active executor has exactly one live calendar entry; when stale
+    // entries outnumber live ones (heavy OOM/rate churn), sweep them out.
+    if (calendar.size() > 64 && calendar.size() > 2 * n_active)
+      calendar.remove_stale([&](const CalendarEntry& e) { return !entry_live(e); });
     // Time to the next *work* event (profiling promotion, executor finish or
     // OOM), kept separate from the monitor-report timer: when work remains it
     // must be a finite, strictly positive step, or the schedule is stuck and
     // the main loop would spin forever — fail loudly instead.
     double t_work = kInf;
-    bool has_work = !active_slots.empty();
+    bool has_work = n_active > 0;
     if (profile_cursor < profile_pending.size()) {
       has_work = true;
       t_work = profile_pending[profile_cursor].first;
@@ -825,6 +967,8 @@ struct Sim {
     for (const std::size_t a : promo_scratch) {
       AppState& app = apps[a];
       app.phase = Phase::kReady;
+      ready_ranks.insert(rank_of[a]);
+      needs_dispatch = true;
       if (tracing)
         sink.emit(obs::Event(now, obs::EventType::kProfilingEnd)
                       .with("app", a)
@@ -866,12 +1010,14 @@ struct Sim {
         app.model_distrusted = true;
         ++app.res.oom_events;
         ++oom_total;
+        // The app has dispatchable work again (the re-run chunk).
+        ready_ranks.insert(rank_of[static_cast<std::size_t>(e.app)]);
         release(static_cast<int>(i));
         // Emitted after release so the event carries the node's post-release
         // incremental sums for shadow-model cross-checks; rerun_queue already
         // includes the chunk just enqueued.
         if (tracing) {
-          const NodeState& node = nodes[static_cast<std::size_t>(e.node)];
+          const auto n = static_cast<std::size_t>(e.node);
           sink.emit(obs::Event(now, obs::EventType::kExecutorOom)
                         .with("exec", i)
                         .with("app", e.app)
@@ -883,9 +1029,9 @@ struct Sim {
                         .with("reserved_gib", e.reserved)
                         .with("rerun_queue", app.rerun_chunks.size())
                         .with("lifetime_s", now - e.spawned_at)
-                        .with("node_reserved_after", node.reserved)
-                        .with("node_planned_cpu_after", node.planned_cpu)
-                        .with("node_cpu_iso_after", node.cpu_iso_sum));
+                        .with("node_reserved_after", node_reserved[n])
+                        .with("node_planned_cpu_after", node_planned_cpu[n])
+                        .with("node_cpu_iso_after", node_cpu_iso[n]));
         }
         continue;
       }
@@ -893,7 +1039,7 @@ struct Sim {
         h_lifetime.observe(now - e.spawned_at);
         release(static_cast<int>(i));
         if (tracing) {
-          const NodeState& node = nodes[static_cast<std::size_t>(e.node)];
+          const auto n = static_cast<std::size_t>(e.node);
           sink.emit(obs::Event(now, obs::EventType::kExecutorFinish)
                         .with("exec", i)
                         .with("app", e.app)
@@ -901,9 +1047,9 @@ struct Sim {
                         .with("node", e.node)
                         .with("chunk_items", e.chunk)
                         .with("lifetime_s", now - e.spawned_at)
-                        .with("node_reserved_after", node.reserved)
-                        .with("node_planned_cpu_after", node.planned_cpu)
-                        .with("node_cpu_iso_after", node.cpu_iso_sum));
+                        .with("node_reserved_after", node_reserved[n])
+                        .with("node_planned_cpu_after", node_planned_cpu[n])
+                        .with("node_cpu_iso_after", node_cpu_iso[n]));
         }
         continue;
       }
@@ -923,6 +1069,7 @@ struct Sim {
       if (app.phase == Phase::kReady && app_done(app) && app.res.finish < 0) {
         app.res.finish = now;
         app.phase = Phase::kDone;
+        ready_ranks.erase(rank_of[a]);
         ++apps_done;
         m_apps_done.inc();
         q_sojourn.observe(app.res.turnaround());
@@ -941,16 +1088,18 @@ struct Sim {
 
   void maybe_report() {
     if (now + kEps < next_report) return;
-    std::vector<double> cpu(nodes.size()), mem(nodes.size());
-    for (std::size_t n = 0; n < nodes.size(); ++n) {
-      cpu[n] = node_utilization(nodes[n]);
-      mem[n] = nodes[n].sum_resident;
-    }
-    monitor.record(cpu, mem);
+    report_cpu.resize(n_nodes);
+    report_mem.resize(n_nodes);
+    for (std::size_t n = 0; n < n_nodes; ++n)
+      report_cpu[n] = std::min(1.0, node_cpu_iso[n]);
+    std::copy(node_resident.begin(), node_resident.end(), report_mem.begin());
+    monitor.record(report_cpu, report_mem);
     next_report += cfg.spark.monitor_period;
     m_reports.inc();
+    // Fresh smoothed CPU views can open placements the stale ones blocked.
+    needs_dispatch = true;
     if (tracing) {
-      const std::size_t active = active_slots.size();
+      const std::size_t active = n_active;
       sink.emit(obs::Event(now, obs::EventType::kMonitorReport)
                     .with("report", monitor.reports_seen())
                     .with("mean_cpu", monitor.last_mean_cpu())
@@ -963,6 +1112,10 @@ struct Sim {
     const MetricsBinding binding(policy, &metrics);
     submit(mix);
     std::size_t guard = 0;
+    // The event budget scales with the queue: a million-app mix legitimately
+    // produces tens of millions of events; the guard only has to catch
+    // non-advancing schedules.
+    const std::size_t guard_limit = 5'000'000 + 512 * mix.size();
     while (true) {
       promote_profiling();
       if (apps_done == apps.size()) break;
@@ -978,12 +1131,12 @@ struct Sim {
       handle_completions();
       maybe_report();
 
-      SMOE_CHECK(++guard < 5'000'000, "simulation exceeded event budget");
+      SMOE_CHECK(++guard < guard_limit, "simulation exceeded event budget");
     }
     // Close out the lazily-folded utilization spans (idle nodes included: a
     // node that never hosted an executor records zero utilization for the
     // whole run, exactly as the legacy per-step accumulation did).
-    for (std::size_t n = 0; n < nodes.size(); ++n)
+    for (std::size_t n = 0; n < n_nodes; ++n)
       flush_node_trace(static_cast<int>(n));
 
     SimResult result;

@@ -6,60 +6,62 @@
 
 namespace smoe::sim {
 
-ResourceMonitor::ResourceMonitor(std::size_t n_nodes, std::size_t window) : window_(window) {
+ResourceMonitor::ResourceMonitor(std::size_t n_nodes, std::size_t window)
+    : n_nodes_(n_nodes), window_(window) {
   SMOE_REQUIRE(n_nodes > 0, "monitor: no nodes");
   SMOE_REQUIRE(window > 0, "monitor: window must be >= 1");
-  cpu_ring_.assign(window, std::vector<double>(n_nodes, 0.0));
-  mem_ring_.assign(window, std::vector<double>(n_nodes, 0.0));
+  cpu_ring_.assign(window * n_nodes, 0.0);
+  mem_ring_.assign(window * n_nodes, 0.0);
+  avg_cpu_.assign(n_nodes, 0.0);
+  avg_mem_.assign(n_nodes, 0.0);
+  stamp_.assign(n_nodes, 0);  // matches reports_ == 0: averages are 0
 }
 
 void ResourceMonitor::record(std::span<const double> cpu_now, std::span<const double> mem_now) {
-  SMOE_REQUIRE(cpu_now.size() == cpu_ring_.front().size(), "monitor: node count mismatch");
+  SMOE_REQUIRE(cpu_now.size() == n_nodes_, "monitor: node count mismatch");
   SMOE_REQUIRE(mem_now.size() == cpu_now.size(), "monitor: node count mismatch");
   const std::size_t slot = reports_ % window_;
-  std::copy(cpu_now.begin(), cpu_now.end(), cpu_ring_[slot].begin());
-  std::copy(mem_now.begin(), mem_now.end(), mem_ring_[slot].begin());
-  ++reports_;
+  std::copy(cpu_now.begin(), cpu_now.end(), cpu_ring_.begin() + slot * n_nodes_);
+  std::copy(mem_now.begin(), mem_now.end(), mem_ring_.begin() + slot * n_nodes_);
+  ++reports_;  // implicitly invalidates every per-node cache stamp
 }
 
-double ResourceMonitor::reported_cpu(NodeId node) const {
+std::size_t ResourceMonitor::checked(NodeId node) const {
   const auto n = static_cast<std::size_t>(node);
-  SMOE_REQUIRE(n < cpu_ring_.front().size(), "monitor: bad node id");
-  const std::size_t filled = std::min(reports_, window_);
-  if (filled == 0) return 0.0;
-  double s = 0;
-  for (std::size_t i = 0; i < filled; ++i) s += cpu_ring_[i][n];
-  return s / static_cast<double>(filled);
+  SMOE_REQUIRE(n < n_nodes_, "monitor: bad node id");
+  return n;
 }
 
-GiB ResourceMonitor::reported_mem(NodeId node) const {
-  const auto n = static_cast<std::size_t>(node);
-  SMOE_REQUIRE(n < mem_ring_.front().size(), "monitor: bad node id");
+void ResourceMonitor::refresh(std::size_t n) const {
   const std::size_t filled = std::min(reports_, window_);
-  if (filled == 0) return 0.0;
-  double s = 0;
-  for (std::size_t i = 0; i < filled; ++i) s += mem_ring_[i][n];
-  return s / static_cast<double>(filled);
+  double sc = 0, sm = 0;
+  for (std::size_t i = 0; i < filled; ++i) {
+    sc += cpu_ring_[i * n_nodes_ + n];
+    sm += mem_ring_[i * n_nodes_ + n];
+  }
+  avg_cpu_[n] = sc / static_cast<double>(filled);
+  avg_mem_[n] = sm / static_cast<double>(filled);
+  stamp_[n] = reports_;
 }
 
 namespace {
 
-double mean_of(const std::vector<double>& v) {
+double mean_of(const double* row, std::size_t n) {
   double s = 0;
-  for (const double x : v) s += x;
-  return v.empty() ? 0.0 : s / static_cast<double>(v.size());
+  for (std::size_t i = 0; i < n; ++i) s += row[i];
+  return n == 0 ? 0.0 : s / static_cast<double>(n);
 }
 
 }  // namespace
 
 double ResourceMonitor::last_mean_cpu() const {
   if (reports_ == 0) return 0.0;
-  return mean_of(cpu_ring_[(reports_ - 1) % window_]);
+  return mean_of(cpu_ring_.data() + ((reports_ - 1) % window_) * n_nodes_, n_nodes_);
 }
 
 GiB ResourceMonitor::last_mean_mem() const {
   if (reports_ == 0) return 0.0;
-  return mean_of(mem_ring_[(reports_ - 1) % window_]);
+  return mean_of(mem_ring_.data() + ((reports_ - 1) % window_) * n_nodes_, n_nodes_);
 }
 
 }  // namespace smoe::sim

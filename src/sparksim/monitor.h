@@ -2,6 +2,12 @@
 // its CPU load and memory usage periodically; the job dispatcher consumes a
 // windowed average (the paper uses a 5-minute window), so scheduling sees
 // slightly stale, smoothed values — exactly like the real system.
+//
+// Dispatch queries the windowed averages orders of magnitude more often than
+// nodes report (every candidate node of every decision vs. once per monitor
+// period), so each node's average is computed once per report generation —
+// on first query, then cached until the next record() — instead of on every
+// query. Rings are stored flat (slot-major) for contiguous traversal.
 #pragma once
 
 #include <cstddef>
@@ -21,9 +27,17 @@ class ResourceMonitor {
   void record(std::span<const double> cpu_now, std::span<const double> mem_now);
 
   /// Windowed average CPU utilization of a node; 0 before the first report.
-  double reported_cpu(NodeId node) const;
+  double reported_cpu(NodeId node) const {
+    const auto n = checked(node);
+    if (stamp_[n] != reports_) refresh(n);
+    return avg_cpu_[n];
+  }
   /// Windowed average memory usage of a node; 0 before the first report.
-  GiB reported_mem(NodeId node) const;
+  GiB reported_mem(NodeId node) const {
+    const auto n = checked(node);
+    if (stamp_[n] != reports_) refresh(n);
+    return avg_mem_[n];
+  }
 
   /// The dispatcher-visible (stale, smoothed) view of one node, bundled so
   /// observability events can record exactly what a decision was based on.
@@ -44,10 +58,21 @@ class ResourceMonitor {
   GiB last_mean_mem() const;
 
  private:
+  std::size_t checked(NodeId node) const;
+  /// Recompute node `n`'s cached averages: sum over the filled slots in slot
+  /// order (0..filled-1), then divide — exactly the summation an uncached
+  /// query performs, so the cache is bit-identical to computing on demand.
+  void refresh(std::size_t n) const;
+
+  std::size_t n_nodes_;
   std::size_t window_;
   std::size_t reports_ = 0;
-  // Ring buffers, one row per report slot.
-  std::vector<std::vector<double>> cpu_ring_, mem_ring_;
+  // Flat ring buffers, slot-major: slot i's row is [i * n_nodes_, i * n_nodes_ + n_nodes_).
+  std::vector<double> cpu_ring_, mem_ring_;
+  // Per-node windowed averages, valid while stamp_[n] == reports_. Caching is
+  // a pure memoization of the query, hence mutable behind const reads.
+  mutable std::vector<double> avg_cpu_, avg_mem_;
+  mutable std::vector<std::size_t> stamp_;
 };
 
 }  // namespace smoe::sim

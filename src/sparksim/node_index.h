@@ -1,0 +1,191 @@
+// Per-policy node indexes for O(log n) dispatch decisions on large clusters.
+//
+// The legacy dispatcher answered "which node should host the next executor?"
+// with a linear scan over every node (max free memory, strict-`>` first-wins
+// tie-break; or lowest-id empty node). At 10k nodes that scan — once per
+// candidate application per event — dominates the whole simulation. The
+// NodeIndex replaces both scans with lazily-invalidated heaps, mirroring the
+// EventCalendar's version-counter trick:
+//
+//   * a free-memory max-heap ordered by (free desc, node asc). Every node
+//     mutation (spawn/release) bumps the node's version and pushes a fresh
+//     entry; stale entries self-identify when popped. The (free desc, node
+//     asc) order means popping live entries yields exactly the node the
+//     legacy scan would pick: the *first* (lowest-id) node among those with
+//     maximal free memory — the strict-`>` first-wins tie-break, preserved
+//     bit for bit because entries store the same `node_ram - reserved`
+//     doubles the scan compares.
+//   * an empty-node min-heap of node ids. Nodes are (re-)inserted when their
+//     executor set empties; entries are validated against the live predicate
+//     at peek time, so the top is always the lowest-id currently-empty node —
+//     exactly what the legacy `find_empty_node` scan returned.
+//
+// Per-policy eligibility is folded into maintenance: Pairwise only ever
+// co-locates on nodes with fewer than two executors, so with
+// `colocate_cap = 2` nodes at the cap simply get no entry until an executor
+// leaves. Per-*application* filters (an app never co-locates with itself;
+// the predictive CPU check depends on the app's own load) cannot be folded
+// into the index, so `best()` takes an accept predicate: rejected live
+// entries are stashed and re-pushed after the decision, preserving the
+// index invariant that every eligible node always has a live entry.
+//
+// Differential guarantee: for every lookup the index returns the same node
+// id as the scan it replaces (tests/test_dispatch_index.cpp runs both paths
+// over the golden corpus and randomized fuzz cells and byte-compares traces).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "common/units.h"
+
+namespace smoe::sim {
+
+class NodeIndex {
+ public:
+  /// Rebuild for a cluster of `n_nodes` identical nodes with `node_ram` free
+  /// and zero executors each. Nodes with >= `colocate_cap` executors are
+  /// ineligible for the free-memory heap (SIZE_MAX = no cap).
+  void reset(std::size_t n_nodes, GiB node_ram, std::size_t colocate_cap) {
+    cap_ = colocate_cap;
+    ver_.assign(n_nodes, 0);
+    in_empty_.assign(n_nodes, 1);
+    heap_.clear();
+    heap_.reserve(n_nodes);
+    empty_heap_.resize(n_nodes);
+    for (std::size_t n = 0; n < n_nodes; ++n) {
+      heap_.push_back({node_ram, static_cast<int>(n), 0});
+      empty_heap_[n] = static_cast<int>(n);
+    }
+    std::make_heap(heap_.begin(), heap_.end(), Less{});
+    // Ascending ids already satisfy the min-heap property.
+  }
+
+  /// Record a node mutation: orphan any previous entry and, if the node is
+  /// still eligible, push a fresh one with its current free memory.
+  void touch(NodeId node, GiB free, std::size_t exec_count) {
+    const auto n = static_cast<std::size_t>(node);
+    ++ver_[n];
+    if (exec_count < cap_) {
+      heap_.push_back({free, node, ver_[n]});
+      std::push_heap(heap_.begin(), heap_.end(), Less{});
+    }
+  }
+
+  /// The node's executor set just became empty: make it findable again.
+  /// (Validity — including the reserved-residue check — is re-evaluated
+  /// against the live predicate at peek time.)
+  void node_emptied(NodeId node) {
+    const auto n = static_cast<std::size_t>(node);
+    if (in_empty_[n]) return;
+    in_empty_[n] = 1;
+    empty_heap_.push_back(node);
+    std::push_heap(empty_heap_.begin(), empty_heap_.end(), std::greater<int>());
+  }
+
+  /// Free memory of the best eligible node (stale tops are discarded on the
+  /// way); -inf when no node is eligible. The saturation early-exit: when
+  /// this is at or below every policy threshold and there is no empty node,
+  /// *no* application can place an executor, whatever its per-app filters.
+  GiB max_free() {
+    while (!heap_.empty() && heap_.front().ver != ver_[static_cast<std::size_t>(
+                                 heap_.front().node)]) {
+      std::pop_heap(heap_.begin(), heap_.end(), Less{});
+      heap_.pop_back();
+    }
+    return heap_.empty() ? -std::numeric_limits<GiB>::infinity() : heap_.front().free;
+  }
+
+  /// The node the legacy max-free scan would pick: the first live entry in
+  /// (free desc, node asc) order whose free memory clears `min_free`
+  /// (strictly when `inclusive` is false, mirroring the scan's `>` against
+  /// its initial best; `>=` for the distrusted-fallback heap-size gate) and
+  /// that `accept` does not filter out. The winner is *peeked*, not popped —
+  /// its entry stays valid whether or not the caller spawns, and in the
+  /// common accepted-at-top case the lookup does no heap sifts at all. Only
+  /// rejected live entries are popped (stashed and re-pushed afterwards).
+  /// kNoId when nothing qualifies. The result is a pure function of the live
+  /// entry set — stale entries are transparent and heap layout never leaks.
+  template <class Accept>
+  NodeId best(GiB min_free, bool inclusive, Accept&& accept) {
+    NodeId found = kNoId;
+    stash_.clear();
+    while (!heap_.empty()) {
+      const Entry top = heap_.front();
+      if (top.ver != ver_[static_cast<std::size_t>(top.node)]) {
+        std::pop_heap(heap_.begin(), heap_.end(), Less{});
+        heap_.pop_back();
+        continue;
+      }
+      if (inclusive ? top.free < min_free : !(top.free > min_free)) break;
+      if (accept(top.node)) {
+        found = top.node;
+        break;
+      }
+      std::pop_heap(heap_.begin(), heap_.end(), Less{});
+      heap_.pop_back();
+      stash_.push_back(top);
+    }
+    for (const Entry& e : stash_) {
+      heap_.push_back(e);
+      std::push_heap(heap_.begin(), heap_.end(), Less{});
+    }
+    return found;
+  }
+
+  /// The lowest-id node satisfying the live emptiness predicate (the same
+  /// one the legacy scan tested); entries failing it are discarded — they
+  /// re-enter via node_emptied() on their next empty transition. kNoId when
+  /// no node is empty. Peek semantics: the winner stays in the heap.
+  template <class Valid>
+  NodeId first_empty(Valid&& valid) {
+    while (!empty_heap_.empty()) {
+      const int n = empty_heap_.front();
+      if (valid(n)) return n;
+      std::pop_heap(empty_heap_.begin(), empty_heap_.end(), std::greater<int>());
+      empty_heap_.pop_back();
+      in_empty_[static_cast<std::size_t>(n)] = 0;
+    }
+    return kNoId;
+  }
+
+  /// Free-heap entries currently held (live + stale), for footprint tests.
+  std::size_t heap_size() const { return heap_.size(); }
+
+  /// Drop stale free-heap entries in place when they outnumber the live
+  /// ones. Same amortized-compaction idea as EventCalendar::remove_stale.
+  void compact_if_bloated() {
+    if (heap_.size() < 64 || heap_.size() < 2 * ver_.size()) return;
+    const auto it = std::remove_if(heap_.begin(), heap_.end(), [&](const Entry& e) {
+      return e.ver != ver_[static_cast<std::size_t>(e.node)];
+    });
+    heap_.erase(it, heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), Less{});
+  }
+
+ private:
+  struct Entry {
+    GiB free = 0;
+    int node = -1;
+    std::uint64_t ver = 0;
+  };
+  /// Heap comparator: max on free, ties broken toward the *lowest* node id.
+  struct Less {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.free != b.free) return a.free < b.free;
+      return a.node > b.node;
+    }
+  };
+
+  std::size_t cap_ = std::numeric_limits<std::size_t>::max();
+  std::vector<Entry> heap_;        ///< (free desc, node asc) with lazy staleness
+  std::vector<std::uint64_t> ver_; ///< current version per node
+  std::vector<int> empty_heap_;    ///< min-heap of (possibly stale) empty nodes
+  std::vector<std::uint8_t> in_empty_;
+  std::vector<Entry> stash_;       ///< rejected live entries, re-pushed per lookup
+};
+
+}  // namespace smoe::sim

@@ -1,0 +1,121 @@
+#include "sparksim/partition.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace smoe::sim {
+
+namespace {
+
+/// Merge shard metrics into `into`, in shard order. Only exactly-mergeable
+/// instruments survive: counters add, gauges keep the max (every engine gauge
+/// is a running maximum), histograms with identical bounds add bucket-wise.
+void merge_metrics(obs::MetricsSnapshot& into, const obs::MetricsSnapshot& shard) {
+  for (const auto& [name, v] : shard.counters) into.counters[name] += v;
+  for (const auto& [name, v] : shard.gauges) {
+    auto [it, inserted] = into.gauges.emplace(name, v);
+    if (!inserted) it->second = std::max(it->second, v);
+  }
+  for (const auto& [name, h] : shard.histograms) {
+    auto [it, inserted] = into.histograms.emplace(name, h);
+    if (inserted) continue;
+    auto& dst = it->second;
+    SMOE_REQUIRE(dst.bounds == h.bounds, "partition: histogram shape mismatch: " + name);
+    for (std::size_t b = 0; b < dst.buckets.size(); ++b) dst.buckets[b] += h.buckets[b];
+    if (h.count > 0) {
+      dst.min = dst.count == 0 ? h.min : std::min(dst.min, h.min);
+      dst.max = dst.count == 0 ? h.max : std::max(dst.max, h.max);
+    }
+    dst.count += h.count;
+    dst.sum += h.sum;
+  }
+  // Windowed rates and P^2 quantile sketches are intentionally dropped — see
+  // the header's merge-semantics note.
+}
+
+}  // namespace
+
+PartitionedClusterSim::PartitionedClusterSim(SimConfig config, const wl::FeatureModel& features,
+                                             std::size_t n_partitions, std::size_t n_threads)
+    : cfg_(std::move(config)),
+      features_(features),
+      n_partitions_(n_partitions),
+      n_threads_(n_threads) {
+  SMOE_REQUIRE(n_partitions_ >= 1, "partition: need at least one partition");
+  SMOE_REQUIRE(n_partitions_ <= cfg_.cluster.n_nodes,
+               "partition: more partitions than nodes");
+}
+
+SimResult PartitionedClusterSim::run(const wl::TaskMix& mix, SchedulingPolicy& policy) {
+  if (n_partitions_ == 1) return ClusterSim(cfg_, features_).run(mix, policy);
+
+  const std::size_t P = n_partitions_;
+  const std::size_t n_nodes = cfg_.cluster.n_nodes;
+
+  // Even node split: the first (n_nodes % P) shards get one extra node.
+  std::vector<std::size_t> shard_nodes(P, n_nodes / P);
+  for (std::size_t s = 0; s < n_nodes % P; ++s) ++shard_nodes[s];
+  std::vector<std::size_t> node_offset(P, 0);
+  for (std::size_t s = 1; s < P; ++s) node_offset[s] = node_offset[s - 1] + shard_nodes[s - 1];
+
+  // Round-robin deal preserves each shard's FCFS arrival order.
+  std::vector<wl::TaskMix> shard_mix(P);
+  for (std::size_t i = 0; i < mix.size(); ++i)
+    shard_mix[shard_of(i, P)].push_back(mix[i]);
+
+  std::vector<SimResult> shard_result(P);
+  auto run_shard = [&](std::size_t s, SchedulingPolicy& shard_policy) {
+    SimConfig cfg = cfg_;
+    cfg.cluster.n_nodes = shard_nodes[s];
+    cfg.seed = Rng::derive(cfg_.seed, "partition:" + std::to_string(s));
+    cfg.sink = nullptr;  // partitioned runs are untraced (header contract)
+    shard_result[s] = ClusterSim(cfg, features_).run(shard_mix[s], shard_policy);
+  };
+
+  // Clone per shard when the policy supports it; fall back to a sequential
+  // sweep with the borrowed instance otherwise. Either path yields the same
+  // shard results — shards only share internally-synchronized caches whose
+  // lookups are pure functions of the trained state.
+  std::vector<std::unique_ptr<SchedulingPolicy>> clones(P);
+  bool cloneable = true;
+  for (std::size_t s = 0; s < P; ++s) {
+    clones[s] = policy.clone();
+    if (!clones[s]) {
+      cloneable = false;
+      break;
+    }
+  }
+  if (cloneable) {
+    ThreadPool pool(n_threads_);
+    pool.parallel_for_each(P, [&](std::size_t s) { run_shard(s, *clones[s]); });
+  } else {
+    for (std::size_t s = 0; s < P; ++s) run_shard(s, policy);
+  }
+
+  // Deterministic merge, shard order throughout.
+  SimResult merged;
+  merged.trace = UtilizationTrace(n_nodes, cfg_.trace_bin);
+  merged.apps.resize(mix.size());
+  for (std::size_t i = 0; i < mix.size(); ++i)
+    merged.apps[i] = shard_result[shard_of(i, P)].apps[i / P];
+  for (std::size_t s = 0; s < P; ++s) {
+    const SimResult& r = shard_result[s];
+    merged.makespan = std::max(merged.makespan, r.makespan);
+    merged.oom_total += r.oom_total;
+    merged.executors_spawned += r.executors_spawned;
+    merged.executors_degraded += r.executors_degraded;
+    merged.peak_node_occupancy = std::max(merged.peak_node_occupancy, r.peak_node_occupancy);
+    merged.reserved_gib_hours += r.reserved_gib_hours;
+    merged.used_gib_hours += r.used_gib_hours;
+    merged.trace.merge_shard(r.trace, node_offset[s]);
+    merge_metrics(merged.metrics, r.metrics);
+  }
+  return merged;
+}
+
+}  // namespace smoe::sim

@@ -1,0 +1,72 @@
+// Partitioned-cluster mode: shard a large cluster into independent node
+// groups, simulate each shard on its own ThreadPool worker, and merge the
+// shard results deterministically.
+//
+// Spark deployments at the 10k-node scale are operated as independent
+// resource pools (queues / sub-clusters) far more often than as one flat
+// scheduling domain, and the simulator mirrors that: a partitioned run
+// splits the nodes evenly across `n_partitions` shards, deals the task mix
+// round-robin (app i -> shard i % P, so every shard sees the same FCFS
+// arrival order it would see as a standalone cluster), and runs each shard
+// as a full ClusterSim with its own derived seed. Shards share nothing but
+// the policy's immutable / internally-synchronized training caches
+// (SchedulingPolicy::clone contract), so the fan-out is embarrassingly
+// parallel.
+//
+// Determinism contract:
+//   * P == 1 is *byte-identical* to a plain ClusterSim::run — same seed,
+//     same everything (tests/test_partition.cpp pins this).
+//   * For P > 1, every shard is seed-deterministic in isolation and the
+//     merge is performed in fixed shard order, so the merged SimResult is
+//     byte-identical at any thread count, including fully sequential
+//     execution for policies that cannot clone.
+//
+// Merge semantics (shard order s = 0..P-1 throughout):
+//   * apps     — re-interleaved to the original mix order (app i comes from
+//                shard i % P, position i / P);
+//   * makespan — max over shards (the batch ends when the last shard does);
+//   * trace    — shard traces spliced at their node offsets;
+//   * counts and GiB-hour integrals — summed;
+//   * peak_node_occupancy — max;
+//   * metrics  — counters summed and same-shape histograms merged, in shard
+//                order; windowed rates and P^2 quantile sketches are dropped
+//                (they cannot be merged exactly and a wrong number is worse
+//                than none).
+// Partitioned runs are untraced: per-event sinks would interleave
+// nondeterministically across shards.
+#pragma once
+
+#include <cstddef>
+
+#include "sparksim/engine.h"
+
+namespace smoe::sim {
+
+class PartitionedClusterSim {
+ public:
+  /// Requires 1 <= n_partitions <= config.cluster.n_nodes. `n_threads` sizes
+  /// the worker pool (0 = SMOE_THREADS env, else hardware); any thread count
+  /// produces byte-identical results.
+  PartitionedClusterSim(SimConfig config, const wl::FeatureModel& features,
+                        std::size_t n_partitions, std::size_t n_threads = 0);
+
+  /// Which shard an app at `app_index` in the mix is dealt to.
+  static std::size_t shard_of(std::size_t app_index, std::size_t n_partitions) {
+    return app_index % n_partitions;
+  }
+
+  std::size_t n_partitions() const { return n_partitions_; }
+
+  /// Simulate the mix across the shards and merge. The policy is cloned per
+  /// shard (clone() contract); a non-cloneable policy runs every shard
+  /// sequentially on the calling thread with the borrowed instance.
+  SimResult run(const wl::TaskMix& mix, SchedulingPolicy& policy);
+
+ private:
+  SimConfig cfg_;
+  const wl::FeatureModel& features_;
+  std::size_t n_partitions_;
+  std::size_t n_threads_;
+};
+
+}  // namespace smoe::sim

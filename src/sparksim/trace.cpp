@@ -11,52 +11,62 @@ UtilizationTrace::UtilizationTrace(std::size_t n_nodes, Seconds bin_width)
     : n_nodes_(n_nodes), bin_width_(bin_width) {
   SMOE_REQUIRE(n_nodes > 0, "trace: no nodes");
   SMOE_REQUIRE(bin_width > 0, "trace: bin width must be positive");
-  weighted_.resize(n_nodes);
-  duration_.resize(n_nodes);
-}
-
-void UtilizationTrace::ensure_bins(std::size_t bins) {
-  if (weighted_.front().size() >= bins) return;
-  for (std::size_t n = 0; n < n_nodes_; ++n) {
-    weighted_[n].resize(bins, 0.0);
-    duration_[n].resize(bins, 0.0);
-  }
+  nodes_.resize(n_nodes);
 }
 
 void UtilizationTrace::accumulate(NodeId node, Seconds t0, Seconds t1, double util01) {
   SMOE_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < n_nodes_, "trace: bad node");
   SMOE_REQUIRE(t1 >= t0 && t0 >= 0.0, "trace: bad interval");
   if (t1 == t0) return;
-  const auto n = static_cast<std::size_t>(node);
+  auto& pn = nodes_[static_cast<std::size_t>(node)];
   // An interval ending exactly on a bin boundary must not open the next bin.
   const auto last_bin = static_cast<std::size_t>((t1 - 1e-12 * bin_width_) / bin_width_);
-  ensure_bins(last_bin + 1);
+  n_bins_ = std::max(n_bins_, last_bin + 1);
+  pn.covered_to = std::max(pn.covered_to, t1);
+  if (util01 == 0.0) return;  // duration is implied by covered_to
+  auto& w = pn.weighted;
+  if (w.size() < last_bin + 1) {
+    // Grow geometrically with zero fill. Trailing zero bins beyond last_bin
+    // are observably invisible — value() clamps durations via covered_to,
+    // overall_mean() only ever adds exact zeros, and n_bins_ is tracked
+    // separately — while the amortization removes a per-span resize from the
+    // engine's hottest flush path (one growth per doubling, not per bin).
+    w.resize(std::max(last_bin + 1, 2 * w.size()), 0.0);
+  }
   for (auto b = static_cast<std::size_t>(t0 / bin_width_); b <= last_bin; ++b) {
     const double lo = std::max(t0, static_cast<double>(b) * bin_width_);
     const double hi = std::min(t1, static_cast<double>(b + 1) * bin_width_);
     if (hi <= lo) continue;
-    weighted_[n][b] += util01 * (hi - lo);
-    duration_[n][b] += hi - lo;
+    w[b] += util01 * (hi - lo);
   }
 }
 
-std::size_t UtilizationTrace::n_bins() const { return weighted_.front().size(); }
-
 double UtilizationTrace::value(NodeId node, std::size_t bin) const {
   SMOE_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < n_nodes_, "trace: bad node");
-  const auto n = static_cast<std::size_t>(node);
-  if (bin >= weighted_[n].size() || duration_[n][bin] <= 0.0) return 0.0;
-  return weighted_[n][bin] / duration_[n][bin];
+  if (bin >= n_bins_) return 0.0;
+  const auto& pn = nodes_[static_cast<std::size_t>(node)];
+  const double lo = static_cast<double>(bin) * bin_width_;
+  const double dur = std::min(pn.covered_to, static_cast<double>(bin + 1) * bin_width_) - lo;
+  if (dur <= 0.0) return 0.0;
+  const double w = bin < pn.weighted.size() ? pn.weighted[bin] : 0.0;
+  return w / dur;
 }
 
 double UtilizationTrace::overall_mean() const {
   double w = 0, d = 0;
-  for (std::size_t n = 0; n < n_nodes_; ++n)
-    for (std::size_t b = 0; b < weighted_[n].size(); ++b) {
-      w += weighted_[n][b];
-      d += duration_[n][b];
-    }
+  for (const auto& pn : nodes_) {
+    for (const double x : pn.weighted) w += x;
+    d += pn.covered_to;
+  }
   return d > 0.0 ? w / d : 0.0;
+}
+
+void UtilizationTrace::merge_shard(const UtilizationTrace& shard, std::size_t node_offset) {
+  SMOE_REQUIRE(shard.bin_width_ == bin_width_, "trace merge: bin width mismatch");
+  SMOE_REQUIRE(node_offset + shard.n_nodes_ <= n_nodes_,
+               "trace merge: node range out of bounds");
+  n_bins_ = std::max(n_bins_, shard.n_bins_);
+  for (std::size_t n = 0; n < shard.n_nodes_; ++n) nodes_[node_offset + n] = shard.nodes_[n];
 }
 
 }  // namespace smoe::sim

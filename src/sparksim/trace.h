@@ -1,5 +1,16 @@
 // Time-binned per-node utilization traces: the data behind the paper's
 // Figure 7 heatmaps.
+//
+// Storage is optimized for the engine's access pattern: each node's spans
+// arrive contiguously from t=0 (the engine folds a node's constant
+// utilization into the trace whenever its executor set changes, and once at
+// run end), so per-bin *durations* are implied by a single per-node
+// "covered up to" scalar instead of a second bin array, and the weighted
+// sums are allocated per node only when a non-zero-utilization span first
+// touches it. An idle node costs O(1) total instead of O(bins) — at 10k
+// nodes the run-end flush used to dominate whole simulations. The per-node
+// scalar lives next to its bin vector so the accumulate hot path touches one
+// cache line for both.
 #pragma once
 
 #include <cstddef>
@@ -14,25 +25,40 @@ class UtilizationTrace {
   explicit UtilizationTrace(std::size_t n_nodes, Seconds bin_width = 60.0);
 
   /// Accumulate a constant utilization `util01` on `node` over [t0, t1).
+  /// Per node, spans must be contiguous from 0 (each span starts where the
+  /// previous one ended) — the engine's flush discipline.
   void accumulate(NodeId node, Seconds t0, Seconds t1, double util01);
 
   std::size_t n_nodes() const { return n_nodes_; }
   Seconds bin_width() const { return bin_width_; }
   /// Number of bins with any recorded time.
-  std::size_t n_bins() const;
+  std::size_t n_bins() const { return n_bins_; }
 
   /// Mean utilization of `node` during bin `b` (0 when nothing recorded).
   double value(NodeId node, std::size_t bin) const;
   /// Mean utilization across all nodes and the trace duration.
   double overall_mean() const;
 
+  /// Splice `shard`'s nodes into this trace as nodes
+  /// [node_offset, node_offset + shard.n_nodes()), for reassembling a
+  /// partitioned run. Bin widths must match.
+  void merge_shard(const UtilizationTrace& shard, std::size_t node_offset);
+
  private:
+  struct PerNode {
+    // Spans tile [0, covered_to), so the time recorded into bin b is
+    // overlap([0, covered_to), bin b) — no per-bin duration array needed.
+    Seconds covered_to = 0.0;
+    // Sum of util*dt per bin, allocated lazily on the first
+    // non-zero-utilization span (empty vector == all-zero bins). May carry
+    // trailing zero bins from amortized growth; n_bins_ is authoritative.
+    std::vector<double> weighted;
+  };
+
   std::size_t n_nodes_;
   Seconds bin_width_;
-  // Per node: sum of util*dt and sum of dt per bin.
-  std::vector<std::vector<double>> weighted_, duration_;
-
-  void ensure_bins(std::size_t bins);
+  std::size_t n_bins_ = 0;
+  std::vector<PerNode> nodes_;
 };
 
 }  // namespace smoe::sim

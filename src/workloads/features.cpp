@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "workloads/suites.h"
 
 namespace smoe::wl {
 
@@ -69,9 +70,11 @@ FeatureModel::FeatureModel(std::uint64_t seed) : seed_(seed) {
     mix_[r][3] = 0.38 * std::exp(-std::abs(fr - 15.0) / 4.5);
     mix_[r][4] = 0.36 * std::exp(-std::abs(fr - 20.0) / 4.5);
   }
+  for (const auto& bench : all_spark_benchmarks())
+    trait_cache_.emplace(bench.name, compute_latent(bench));
 }
 
-std::array<double, kNumLatents> FeatureModel::latent(const BenchmarkSpec& bench) const {
+std::array<double, kNumLatents> FeatureModel::compute_latent(const BenchmarkSpec& bench) const {
   std::array<double, kNumLatents> z{};
   z[0] = bench.latent1;
   z[1] = bench.latent2;
@@ -79,6 +82,19 @@ std::array<double, kNumLatents> FeatureModel::latent(const BenchmarkSpec& bench)
   Rng trait_rng(Rng::derive(seed_, "traits:" + bench.name));
   for (std::size_t d = 2; d < kNumLatents; ++d) z[d] = trait_rng.normal(0.0, kLatentSigma[d]);
   return z;
+}
+
+std::array<double, kNumLatents> FeatureModel::latent(const BenchmarkSpec& bench) const {
+  const auto it = trait_cache_.find(bench.name);
+  if (it != trait_cache_.end()) {
+    auto z = it->second;
+    // Latent1/latent2 come from the spec itself, so a caller-modified copy of
+    // a registered benchmark still sees its own cluster coordinates.
+    z[0] = bench.latent1;
+    z[1] = bench.latent2;
+    return z;
+  }
+  return compute_latent(bench);
 }
 
 ml::Vector FeatureModel::sample(const BenchmarkSpec& bench, Rng& run_rng,

@@ -1,0 +1,184 @@
+// Unit and differential tests of the two-level bucketed event calendar
+// (sparksim/calendar.h): exact (t, slot) pop order including ties, window
+// advancement, far-heap re-anchoring, the window-overtake regression, stale
+// compaction, and a randomized differential against a plain sorted model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "sparksim/calendar.h"
+
+namespace {
+
+using namespace smoe;
+using sim::CalendarEntry;
+using sim::EventCalendar;
+
+/// Drain the calendar, returning (t, slot) in pop order.
+std::vector<std::pair<double, int>> drain(EventCalendar& cal) {
+  std::vector<std::pair<double, int>> out;
+  while (!cal.empty()) {
+    const CalendarEntry& e = cal.top();
+    out.emplace_back(e.t, e.slot);
+    cal.discard_top();
+  }
+  return out;
+}
+
+TEST(Calendar, PopsInTimeOrderWithSlotTieBreak) {
+  EventCalendar cal;
+  // Two ties at t=3 (slots 7 and 2 — slot ascending must win) and a "past"
+  // push after pops started.
+  cal.push(3.0, 0, 7, 1);
+  cal.push(10.0, 0, 1, 1);
+  cal.push(3.0, 0, 2, 1);
+  cal.push(0.5, 0, 9, 1);
+  EXPECT_EQ(cal.size(), 4u);
+  EXPECT_EQ(cal.top().slot, 9);
+  cal.discard_top();
+  cal.push(0.25, 0, 4, 1);  // earlier than everything still queued
+  const auto order = drain(cal);
+  const std::vector<std::pair<double, int>> want = {
+      {0.25, 4}, {3.0, 2}, {3.0, 7}, {10.0, 1}};
+  EXPECT_EQ(order, want);
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(Calendar, ReanchorsAcrossWideTimeSpans) {
+  EventCalendar cal;
+  // Spans ~9 orders of magnitude: entries land in cur_, the ring and far_,
+  // and popping forces at least one re-anchor.
+  std::vector<double> times = {1e-3, 0.7, 3.0, 511.0, 513.0, 1e4, 5e6, 5e6, 1e9};
+  int slot = 0;
+  for (const double t : times) cal.push(t, 0, slot++, 1);
+  const auto order = drain(cal);
+  ASSERT_EQ(order.size(), times.size());
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(order[i - 1].first, order[i].first);
+    if (order[i - 1].first == order[i].first) {
+      EXPECT_LT(order[i - 1].second, order[i].second);
+    }
+  }
+}
+
+// Regression for the window-overtake hazard: an entry filed to the far heap
+// under an old horizon must be re-filed once the window slides past its
+// bucket — otherwise a later-time push that lands inside the ring would pop
+// *before* it. Sequence engineered against kBuckets=512, initial width 1.0.
+TEST(Calendar, FarEntryIsNotOvertakenByLaterRingPush) {
+  EventCalendar cal;
+  cal.push(5.0, 0, 0, 1);    // ring bucket 5
+  cal.push(600.0, 0, 1, 1);  // beyond the initial horizon -> far heap
+  EXPECT_EQ(cal.top().t, 5.0);
+  cal.discard_top();  // window advances to bucket 5; horizon now 517
+  cal.push(516.5, 0, 2, 1);  // ring bucket 516, inside the new horizon
+  EXPECT_EQ(cal.top().t, 516.5);
+  cal.discard_top();  // window at bucket 516; horizon now 1028 — 600 is inside
+  cal.push(1000.0, 0, 3, 1);  // ring bucket 1000; must NOT pop before 600
+  EXPECT_EQ(cal.top().t, 600.0);
+  cal.discard_top();
+  EXPECT_EQ(cal.top().t, 1000.0);
+  cal.discard_top();
+  EXPECT_TRUE(cal.empty());
+}
+
+TEST(Calendar, RemoveStaleKeepsSurvivorOrderAndBoundsSize) {
+  EventCalendar cal;
+  // Simulate reschedule churn: slot s is re-armed 64 times; only the last
+  // version is live. Entries spread across cur_/ring/far_.
+  std::vector<std::uint64_t> live_version(8, 0);
+  Rng rng(7);
+  for (int round = 0; round < 64; ++round) {
+    for (int s = 0; s < 8; ++s) {
+      const double t = rng.uniform(0.0, 1e6);
+      cal.push(t, 0, s, ++live_version[static_cast<std::uint64_t>(s)]);
+    }
+  }
+  EXPECT_EQ(cal.size(), 512u);
+  const std::size_t removed = cal.remove_stale([&](const CalendarEntry& e) {
+    return e.version != live_version[static_cast<std::size_t>(e.slot)];
+  });
+  // One live entry per slot survives: footprint is O(live), not O(pushes).
+  EXPECT_EQ(removed, 512u - 8u);
+  EXPECT_EQ(cal.size(), 8u);
+  const auto order = drain(cal);
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(order[i - 1].first, order[i].first);
+}
+
+// Randomized differential against a plain sorted model: interleaved pushes
+// (across 12 orders of magnitude), pops, and stale sweeps must match the
+// model's (t, slot)-ascending order exactly.
+TEST(Calendar, RandomizedDifferentialAgainstSortedModel) {
+  Rng rng(20170828);
+  for (int round = 0; round < 50; ++round) {
+    EventCalendar cal;
+    std::vector<CalendarEntry> model;  // live entries only
+    auto model_pop_min = [&]() {
+      auto it = std::min_element(model.begin(), model.end(),
+                                 [](const CalendarEntry& a, const CalendarEntry& b) {
+                                   if (a.t != b.t) return a.t < b.t;
+                                   return a.slot < b.slot;
+                                 });
+      const CalendarEntry e = *it;
+      model.erase(it);
+      return e;
+    };
+    int next_slot = 0;
+    double now = 0;  // pops only move forward; pushes may be past or future
+    for (int op = 0; op < 400; ++op) {
+      const double r = rng.uniform(0.0, 1.0);
+      if (r < 0.55 || model.empty()) {
+        const double scale = std::pow(10.0, rng.uniform(-3.0, 9.0));
+        const double t = now + rng.uniform(0.0, scale);
+        const int slot = next_slot++;
+        cal.push(t, 0, slot, 1);
+        model.push_back({t, 0, slot, 1});
+      } else if (r < 0.9) {
+        ASSERT_FALSE(cal.empty());
+        const CalendarEntry got = cal.top();
+        cal.discard_top();
+        const CalendarEntry want = model_pop_min();
+        ASSERT_EQ(got.t, want.t) << "round " << round << " op " << op;
+        ASSERT_EQ(got.slot, want.slot) << "round " << round << " op " << op;
+        now = got.t;
+      } else {
+        // Sweep a random time band as "stale" from both structures.
+        const double cut = rng.uniform(0.0, 2.0 * now + 1.0);
+        const auto stale = [&](const CalendarEntry& e) {
+          return e.t < cut && (e.slot % 3 == round % 3);
+        };
+        cal.remove_stale(stale);
+        model.erase(std::remove_if(model.begin(), model.end(), stale), model.end());
+      }
+      ASSERT_EQ(cal.size(), model.size());
+    }
+    // Drain and compare the tail.
+    while (!model.empty()) {
+      const CalendarEntry got = cal.top();
+      cal.discard_top();
+      const CalendarEntry want = model_pop_min();
+      ASSERT_EQ(got.t, want.t);
+      ASSERT_EQ(got.slot, want.slot);
+    }
+    EXPECT_TRUE(cal.empty());
+  }
+}
+
+TEST(Calendar, ClearResetsEverything) {
+  EventCalendar cal;
+  for (int i = 0; i < 100; ++i) cal.push(i * 37.0, 0, i, 1);
+  cal.clear();
+  EXPECT_TRUE(cal.empty());
+  EXPECT_EQ(cal.size(), 0u);
+  cal.push(1.0, 0, 0, 1);
+  EXPECT_EQ(cal.top().t, 1.0);
+}
+
+}  // namespace

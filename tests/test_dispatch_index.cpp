@@ -1,0 +1,218 @@
+// Differential pinning of indexed dispatch (sparksim/node_index.h): for
+// every scheduling policy, a run with the per-policy node index enabled must
+// be indistinguishable from the legacy all-nodes scan — byte-identical JSONL
+// event stream (every decision shows up there) and an identical SimResult
+// down to the metrics snapshot. Covers the golden-corpus cell, a paper-scale
+// 40-node cell, and randomized larger clusters, plus unit tests of the
+// NodeIndex structure itself.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "obs/sink.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sparksim/engine.h"
+#include "sparksim/node_index.h"
+#include "workloads/features.h"
+#include "workloads/mixes.h"
+
+namespace {
+
+using namespace smoe;
+
+constexpr std::uint64_t kSeed = 424242;
+
+struct PolicyCell {
+  std::string name;
+  std::unique_ptr<sim::SchedulingPolicy> policy;
+};
+
+std::vector<PolicyCell> all_policies(const wl::FeatureModel& features) {
+  std::vector<PolicyCell> cells;
+  cells.push_back({"isolated", std::make_unique<sched::IsolatedPolicy>()});
+  cells.push_back({"pairwise", std::make_unique<sched::PairwisePolicy>()});
+  cells.push_back({"oracle", std::make_unique<sched::OraclePolicy>()});
+  cells.push_back({"online", std::make_unique<sched::OnlineSearchPolicy>()});
+  cells.push_back({"moe", std::make_unique<sched::MoePolicy>(features, kSeed)});
+  cells.push_back({"quasar", std::make_unique<sched::QuasarPolicy>(features, kSeed)});
+  return cells;
+}
+
+struct Traced {
+  std::string trace;
+  sim::SimResult result;
+};
+
+Traced run_traced(sim::SimConfig cfg, const wl::FeatureModel& features,
+                  const wl::TaskMix& mix, sim::SchedulingPolicy& policy) {
+  Traced out;
+  std::ostringstream os;
+  obs::JsonlSink sink(os);
+  cfg.sink = &sink;
+  sim::ClusterSim sim(cfg, features);
+  out.result = sim.run(mix, policy);
+  sink.close();
+  out.trace = os.str();
+  return out;
+}
+
+void expect_equal_results(const sim::SimResult& a, const sim::SimResult& b,
+                          const std::string& label) {
+  EXPECT_EQ(a.makespan, b.makespan) << label;
+  EXPECT_EQ(a.oom_total, b.oom_total) << label;
+  EXPECT_EQ(a.executors_spawned, b.executors_spawned) << label;
+  EXPECT_EQ(a.executors_degraded, b.executors_degraded) << label;
+  EXPECT_EQ(a.peak_node_occupancy, b.peak_node_occupancy) << label;
+  EXPECT_EQ(a.reserved_gib_hours, b.reserved_gib_hours) << label;
+  EXPECT_EQ(a.used_gib_hours, b.used_gib_hours) << label;
+  EXPECT_TRUE(a.metrics == b.metrics) << label << ": metrics snapshots differ";
+  ASSERT_EQ(a.apps.size(), b.apps.size()) << label;
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_EQ(a.apps[i].start, b.apps[i].start) << label << " app " << i;
+    EXPECT_EQ(a.apps[i].finish, b.apps[i].finish) << label << " app " << i;
+    EXPECT_EQ(a.apps[i].oom_events, b.apps[i].oom_events) << label << " app " << i;
+    EXPECT_EQ(a.apps[i].executors_used, b.apps[i].executors_used) << label << " app " << i;
+  }
+  ASSERT_EQ(a.trace.n_bins(), b.trace.n_bins()) << label;
+  for (std::size_t n = 0; n < a.trace.n_nodes(); ++n)
+    for (std::size_t bin = 0; bin < a.trace.n_bins(); ++bin)
+      ASSERT_EQ(a.trace.value(static_cast<int>(n), bin),
+                b.trace.value(static_cast<int>(n), bin))
+          << label << " node " << n << " bin " << bin;
+}
+
+void expect_index_matches_scan(sim::SimConfig cfg, const wl::FeatureModel& features,
+                               const wl::TaskMix& mix, const std::string& cell_label) {
+  for (auto& cell : all_policies(features)) {
+    cfg.indexed_dispatch = true;
+    const Traced indexed = run_traced(cfg, features, mix, *cell.policy);
+    cfg.indexed_dispatch = false;
+    const Traced scanned = run_traced(cfg, features, mix, *cell.policy);
+    const std::string label = cell_label + "/" + cell.name;
+    ASSERT_FALSE(indexed.trace.empty()) << label;
+    // Byte-identical traces: any divergent placement decision surfaces here
+    // with the first differing line.
+    if (indexed.trace != scanned.trace) {
+      std::istringstream got(indexed.trace), want(scanned.trace);
+      std::string g, w;
+      std::size_t line = 0;
+      while (std::getline(got, g) && std::getline(want, w)) {
+        ++line;
+        ASSERT_EQ(g, w) << label << ": index/scan divergence at trace line " << line;
+      }
+      FAIL() << label << ": traces differ in length";
+    }
+    expect_equal_results(indexed.result, scanned.result, label);
+  }
+}
+
+TEST(DispatchIndex, MatchesScanOnGoldenCorpusCell) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  cfg.cluster.n_nodes = 6;
+  const wl::TaskMix mix = {{"HB.TeraSort", 131072.0}, {"SP.Gmm", 30720.0},
+                           {"SB.SVM", 30720.0},       {"BDB.Grep", 4096.0},
+                           {"HB.Scan", 61440.0},      {"HB.PageRank", 30720.0}};
+  expect_index_matches_scan(cfg, features, mix, "golden-6n");
+}
+
+TEST(DispatchIndex, MatchesScanAtPaperScale) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  cfg.cluster.n_nodes = 40;  // the paper's testbed size
+  Rng rng(Rng::derive(kSeed, "dispatch-index-40"));
+  const wl::TaskMix mix = wl::random_mix(10, rng);
+  expect_index_matches_scan(cfg, features, mix, "paper-40n");
+}
+
+TEST(DispatchIndex, MatchesScanOnRandomizedLargerClusters) {
+  const wl::FeatureModel features(1);
+  for (int round = 0; round < 4; ++round) {
+    Rng rng(Rng::derive(kSeed, "dispatch-index-fuzz:" + std::to_string(round)));
+    sim::SimConfig cfg;
+    cfg.seed = Rng::derive(kSeed, "dispatch-index-sim:" + std::to_string(round));
+    cfg.cluster.n_nodes = static_cast<std::size_t>(rng.uniform_int(48, 160));
+    const double rams[] = {32.0, 64.0, 128.0};
+    cfg.cluster.node_ram = rams[rng.uniform_int(0, 2)];
+    cfg.spark.executor_boost = rng.chance(0.5) ? 2.0 : 3.0;
+    if (rng.chance(0.3)) cfg.spark.queue_order = sim::QueueOrder::kShortestJobFirst;
+    const wl::TaskMix mix =
+        wl::random_mix(static_cast<std::size_t>(rng.uniform_int(6, 14)), rng);
+    expect_index_matches_scan(cfg, features, mix,
+                              "fuzz-" + std::to_string(cfg.cluster.n_nodes) + "n");
+  }
+}
+
+// ---- NodeIndex unit behaviour ------------------------------------------
+
+TEST(NodeIndex, BestHonorsFreeOrderWithLowestIdTieBreak) {
+  sim::NodeIndex idx;
+  idx.reset(5, 64.0, SIZE_MAX);
+  // All five start at 64 GiB free; the scan's strict-> first-wins tie-break
+  // means node 0 must win.
+  EXPECT_EQ(idx.best(1.0, false, [](int) { return true; }), 0);
+  // Shrink node 0 and 1; best flips to the lowest-id node still at 64.
+  idx.touch(0, 10.0, 1);
+  idx.touch(1, 20.0, 1);
+  EXPECT_EQ(idx.best(1.0, false, [](int) { return true; }), 2);
+  // Rejecting 2 and 3 yields 4; rejected entries must be re-pushed (ask again).
+  EXPECT_EQ(idx.best(1.0, false, [](int n) { return n == 4; }), 4);
+  EXPECT_EQ(idx.best(1.0, false, [](int) { return true; }), 2);
+}
+
+TEST(NodeIndex, ThresholdSemanticsStrictAndInclusive) {
+  sim::NodeIndex idx;
+  idx.reset(2, 8.0, SIZE_MAX);
+  idx.touch(0, 4.0, 1);
+  idx.touch(1, 4.0, 1);
+  // Strict: 4.0 free does not clear min_free=4.0.
+  EXPECT_EQ(idx.best(4.0, false, [](int) { return true; }), kNoId);
+  // Inclusive: it does.
+  EXPECT_EQ(idx.best(4.0, true, [](int) { return true; }), 0);
+}
+
+TEST(NodeIndex, ColocateCapHidesFullNodes) {
+  sim::NodeIndex idx;
+  idx.reset(3, 64.0, 2);  // pairwise: at most 2 executors per node
+  idx.touch(0, 50.0, 2);  // at cap -> no entry
+  idx.touch(1, 40.0, 1);
+  EXPECT_EQ(idx.best(1.0, false, [](int) { return true; }), 2);  // still 64 free
+  idx.touch(2, 30.0, 2);  // at cap too
+  EXPECT_EQ(idx.best(1.0, false, [](int) { return true; }), 1);
+}
+
+TEST(NodeIndex, CompactionBoundsHeapFootprint) {
+  sim::NodeIndex idx;
+  idx.reset(8, 64.0, SIZE_MAX);
+  // Churn one node hard: every touch orphans the previous entry.
+  for (int i = 0; i < 4096; ++i) idx.touch(3, 64.0 - (i % 7), 1);
+  EXPECT_GT(idx.heap_size(), 4000u);
+  idx.compact_if_bloated();
+  // One live entry per touched node + the untouched originals.
+  EXPECT_LE(idx.heap_size(), 8u);
+  EXPECT_EQ(idx.best(1.0, false, [](int) { return true; }), 0);  // 64.0 free, lowest id
+}
+
+TEST(NodeIndex, EmptyHeapTracksLowestEmptyNode) {
+  sim::NodeIndex idx;
+  idx.reset(4, 64.0, SIZE_MAX);
+  std::vector<bool> empty = {true, true, true, true};
+  auto valid = [&](int n) { return empty[static_cast<std::size_t>(n)]; };
+  EXPECT_EQ(idx.first_empty(valid), 0);
+  empty[0] = empty[1] = false;
+  EXPECT_EQ(idx.first_empty(valid), 2);
+  empty[1] = true;
+  idx.node_emptied(1);  // re-announce
+  EXPECT_EQ(idx.first_empty(valid), 1);
+  empty = {false, false, false, false};
+  EXPECT_EQ(idx.first_empty(valid), kNoId);
+}
+
+}  // namespace

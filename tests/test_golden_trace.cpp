@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "obs/sink.h"
 #include "sched/policies_basic.h"
 #include "sched/policies_learned.h"
@@ -112,7 +113,8 @@ void write_file(const std::string& path, const std::string& content) {
   out << content;
 }
 
-TEST(GoldenTrace, AllPoliciesByteIdentical) {
+void run_golden_cell(const sim::SimConfig& base_cfg, const wl::TaskMix& mix,
+                     const std::string& prefix) {
   const wl::FeatureModel features(1);
   auto cells = golden_policies(features);
   for (auto& cell : cells) {
@@ -123,18 +125,18 @@ TEST(GoldenTrace, AllPoliciesByteIdentical) {
     obs::JsonlSink jsonl(os);
     obs::TeeSink tee(jsonl, auditor);
 
-    sim::SimConfig cfg = golden_config();
+    sim::SimConfig cfg = base_cfg;
     cfg.sink = &tee;
     sim::ClusterSim sim(cfg, features);
-    const sim::SimResult result = sim.run(golden_mix(), *cell.policy);
+    const sim::SimResult result = sim.run(mix, *cell.policy);
     jsonl.close();
 
     const std::string trace = os.str();
     const std::string rendered = render_result(result);
     ASSERT_FALSE(trace.empty()) << cell.name;
 
-    const std::string trace_file = golden_path("trace_" + cell.name + ".jsonl");
-    const std::string result_file = golden_path("result_" + cell.name + ".txt");
+    const std::string trace_file = golden_path(prefix + "trace_" + cell.name + ".jsonl");
+    const std::string result_file = golden_path(prefix + "result_" + cell.name + ".txt");
     if (regen()) {
       write_file(trace_file, trace);
       write_file(result_file, rendered);
@@ -158,6 +160,23 @@ TEST(GoldenTrace, AllPoliciesByteIdentical) {
     }
     EXPECT_EQ(rendered, want_result) << cell.name << ": SimResult drifted";
   }
+}
+
+TEST(GoldenTrace, AllPoliciesByteIdentical) {
+  run_golden_cell(golden_config(), golden_mix(), "");
+}
+
+// Paper-scale cell: 40 nodes (the Middleware '17 testbed size) under a wider
+// mix, recorded as trace40_<policy>.jsonl / result40_<policy>.txt. Pins the
+// indexed-dispatch path at a size where the node index actually reorders its
+// heap, not just the 6-node toy cell.
+TEST(GoldenTrace, PaperScaleAllPoliciesByteIdentical) {
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  cfg.cluster.n_nodes = 40;
+  Rng rng(Rng::derive(kSeed, "golden-40"));
+  const wl::TaskMix mix = wl::random_mix(12, rng);
+  run_golden_cell(cfg, mix, "40_");
 }
 
 }  // namespace

@@ -1,0 +1,144 @@
+// Partitioned-cluster mode (sparksim/partition.h): P == 1 byte-equality with
+// the plain simulator, thread-count determinism of the merged result, the
+// round-robin deal / even node split, and merge conservation laws.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sparksim/engine.h"
+#include "sparksim/partition.h"
+#include "workloads/features.h"
+#include "workloads/mixes.h"
+
+namespace {
+
+using namespace smoe;
+
+constexpr std::uint64_t kSeed = 515151;
+
+wl::TaskMix test_mix(std::size_t n_apps, const std::string& tag) {
+  Rng rng(Rng::derive(kSeed, "partition-mix:" + tag));
+  return wl::random_mix(n_apps, rng);
+}
+
+void expect_identical(const sim::SimResult& a, const sim::SimResult& b,
+                      const std::string& label) {
+  EXPECT_EQ(a.makespan, b.makespan) << label;
+  EXPECT_EQ(a.oom_total, b.oom_total) << label;
+  EXPECT_EQ(a.executors_spawned, b.executors_spawned) << label;
+  EXPECT_EQ(a.executors_degraded, b.executors_degraded) << label;
+  EXPECT_EQ(a.peak_node_occupancy, b.peak_node_occupancy) << label;
+  EXPECT_EQ(a.reserved_gib_hours, b.reserved_gib_hours) << label;
+  EXPECT_EQ(a.used_gib_hours, b.used_gib_hours) << label;
+  EXPECT_TRUE(a.metrics == b.metrics) << label << ": metrics differ";
+  ASSERT_EQ(a.apps.size(), b.apps.size()) << label;
+  for (std::size_t i = 0; i < a.apps.size(); ++i) {
+    EXPECT_EQ(a.apps[i].benchmark, b.apps[i].benchmark) << label << " app " << i;
+    EXPECT_EQ(a.apps[i].start, b.apps[i].start) << label << " app " << i;
+    EXPECT_EQ(a.apps[i].finish, b.apps[i].finish) << label << " app " << i;
+    EXPECT_EQ(a.apps[i].executors_used, b.apps[i].executors_used) << label << " app " << i;
+  }
+  ASSERT_EQ(a.trace.n_bins(), b.trace.n_bins()) << label;
+  ASSERT_EQ(a.trace.n_nodes(), b.trace.n_nodes()) << label;
+  for (std::size_t n = 0; n < a.trace.n_nodes(); ++n)
+    for (std::size_t bin = 0; bin < a.trace.n_bins(); ++bin)
+      ASSERT_EQ(a.trace.value(static_cast<int>(n), bin),
+                b.trace.value(static_cast<int>(n), bin))
+          << label << " node " << n << " bin " << bin;
+}
+
+TEST(Partition, SinglePartitionIsByteIdenticalToPlainSim) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  cfg.cluster.n_nodes = 8;
+  const wl::TaskMix mix = test_mix(6, "p1");
+  sched::MoePolicy policy(features, kSeed);
+
+  sim::PartitionedClusterSim part(cfg, features, /*n_partitions=*/1);
+  const sim::SimResult a = part.run(mix, policy);
+  const sim::SimResult b = sim::ClusterSim(cfg, features).run(mix, policy);
+  expect_identical(a, b, "P1-vs-plain");
+}
+
+TEST(Partition, MergedResultIsIdenticalAtAnyThreadCount) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  cfg.cluster.n_nodes = 13;  // uneven split: shards of 4, 3, 3, 3
+  const wl::TaskMix mix = test_mix(9, "threads");
+  sched::MoePolicy policy(features, kSeed);
+
+  sim::PartitionedClusterSim seq(cfg, features, /*n_partitions=*/4, /*n_threads=*/1);
+  sim::PartitionedClusterSim par(cfg, features, /*n_partitions=*/4, /*n_threads=*/3);
+  const sim::SimResult a = seq.run(mix, policy);
+  const sim::SimResult b = par.run(mix, policy);
+  expect_identical(a, b, "threads-1-vs-3");
+}
+
+TEST(Partition, MergeConservesShardAggregates) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  cfg.cluster.n_nodes = 12;
+  const std::size_t P = 3;
+  const wl::TaskMix mix = test_mix(8, "conserve");
+  sched::PairwisePolicy policy;
+
+  sim::PartitionedClusterSim part(cfg, features, P, 1);
+  const sim::SimResult merged = part.run(mix, policy);
+  ASSERT_EQ(merged.apps.size(), mix.size());
+
+  // Replay each shard standalone: the merged result must be the deterministic
+  // composition of the standalone shard runs.
+  std::vector<sim::SimResult> shard(P);
+  Seconds max_makespan = 0;
+  std::size_t ooms = 0, execs = 0;
+  for (std::size_t s = 0; s < P; ++s) {
+    sim::SimConfig scfg = cfg;
+    scfg.cluster.n_nodes = cfg.cluster.n_nodes / P;
+    scfg.seed = Rng::derive(cfg.seed, "partition:" + std::to_string(s));
+    wl::TaskMix sub;
+    for (std::size_t i = s; i < mix.size(); i += P) sub.push_back(mix[i]);
+    shard[s] = sim::ClusterSim(scfg, features).run(sub, policy);
+    max_makespan = std::max(max_makespan, shard[s].makespan);
+    ooms += shard[s].oom_total;
+    execs += shard[s].executors_spawned;
+  }
+  EXPECT_EQ(merged.makespan, max_makespan);
+  EXPECT_EQ(merged.oom_total, ooms);
+  EXPECT_EQ(merged.executors_spawned, execs);
+  // App i in the merged result is app i/P of shard i%P, and the shard trace
+  // occupies the node range at its offset.
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    EXPECT_EQ(merged.apps[i].benchmark, mix[i].benchmark) << i;
+    EXPECT_EQ(merged.apps[i].finish, shard[i % P].apps[i / P].finish) << i;
+  }
+  for (std::size_t s = 0; s < P; ++s) {
+    const std::size_t per = cfg.cluster.n_nodes / P;
+    for (std::size_t n = 0; n < per; ++n)
+      for (std::size_t bin = 0; bin < shard[s].trace.n_bins(); ++bin)
+        ASSERT_EQ(merged.trace.value(static_cast<int>(s * per + n), bin),
+                  shard[s].trace.value(static_cast<int>(n), bin))
+            << "shard " << s << " node " << n << " bin " << bin;
+  }
+}
+
+TEST(Partition, RoundRobinDealAndValidation) {
+  EXPECT_EQ(sim::PartitionedClusterSim::shard_of(0, 4), 0u);
+  EXPECT_EQ(sim::PartitionedClusterSim::shard_of(5, 4), 1u);
+  EXPECT_EQ(sim::PartitionedClusterSim::shard_of(7, 4), 3u);
+
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg;
+  cfg.cluster.n_nodes = 4;
+  EXPECT_THROW(sim::PartitionedClusterSim(cfg, features, 5), std::exception);
+  EXPECT_THROW(sim::PartitionedClusterSim(cfg, features, 0), std::exception);
+}
+
+}  // namespace
