@@ -1,0 +1,247 @@
+// Open-loop serving load sweep (DESIGN.md §14): the same Poisson application
+// stream played against the admission gate at arrival rates from well under
+// to well past cluster saturation, once per admission policy. Emits the
+// knee/saturation curve to BENCH_serving.json next to the text report.
+//
+//   ./build/bench/bench_serving_load_sweep [n_arrivals]
+//
+// The offered *work* is identical at every rate (poisson_load keys the app
+// sequence off the seed alone), so each column of the table is the same jobs
+// arriving faster. Every serving run executes under the InvariantAuditor, so
+// a violated engine invariant fails the bench, not just a test.
+//
+// The sweep is anchored on a measured capacity estimate: the batch makespan
+// of the same applications gives the cluster's drain rate mu (apps/s), and
+// the ladder sweeps lambda/mu from 0.25 to 3.0. The saturation knee of a
+// policy is the first ladder point where delivered throughput falls below
+// 85% of the offered rate — past it, the open-loop baseline's sojourn
+// diverges while drop/defer policies trade loss or queueing delay for a
+// bounded system.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bench_cli.h"
+#include "common/table.h"
+#include "sched/policies_learned.h"
+#include "sparksim/admission.h"
+#include "sparksim/audit/invariant_auditor.h"
+#include "sparksim/engine.h"
+#include "workloads/features.h"
+
+using namespace smoe;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2017;
+
+sim::SimConfig sweep_config() {
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  // A small cluster saturates at rates the bench can sweep quickly; the
+  // admission dynamics are the same ones a 40-node cluster shows, scaled.
+  cfg.cluster.n_nodes = 8;
+  return cfg;
+}
+
+struct SweepPoint {
+  std::string admission;
+  double rate = 0;             ///< offered arrival rate lambda (apps/s)
+  double rate_over_mu = 0;     ///< lambda / estimated capacity
+  std::size_t offered = 0;
+  std::size_t admitted = 0;
+  std::size_t dropped = 0;
+  std::size_t deferrals = 0;
+  double throughput = 0;       ///< finished apps/s over the run
+  double delivered_frac = 0;   ///< throughput / offered rate
+  double antt = 0;
+  double sojourn_p50 = 0;
+  double sojourn_p99 = 0;
+  double finish_rate_window = 0;  ///< closing steady-state window (apps/s)
+};
+
+void json_point(std::ofstream& json, const SweepPoint& pt) {
+  json << "{\"admission\": \"" << pt.admission << "\", \"rate\": " << pt.rate
+       << ", \"rate_over_mu\": " << pt.rate_over_mu << ", \"offered\": " << pt.offered
+       << ", \"admitted\": " << pt.admitted << ", \"dropped\": " << pt.dropped
+       << ", \"deferrals\": " << pt.deferrals << ", \"throughput\": " << pt.throughput
+       << ", \"delivered_frac\": " << pt.delivered_frac << ", \"antt\": " << pt.antt
+       << ", \"sojourn_p50\": " << pt.sojourn_p50 << ", \"sojourn_p99\": " << pt.sojourn_p99
+       << ", \"finish_rate_window\": " << pt.finish_rate_window << "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_bench_options(argc, argv, 48);
+  const std::size_t n_arrivals = std::max<std::size_t>(8, opt.n_mixes);
+
+  const wl::FeatureModel features(kSeed);
+  const sim::SimConfig cfg = sweep_config();
+
+  // The application sequence is rate-independent: take it once, attach the
+  // isolated execution baseline each app needs for normalized turnaround.
+  const auto proto = sim::poisson_load(n_arrivals, 1.0, kSeed);
+  std::map<std::pair<std::string, double>, Seconds> isolated_cache;
+  {
+    sim::ClusterSim probe(cfg, features);
+    for (const auto& arrival : proto) {
+      const auto key = std::make_pair(arrival.app.benchmark, arrival.app.input_items);
+      if (isolated_cache.find(key) == isolated_cache.end())
+        isolated_cache[key] = probe.isolated_exec_time(arrival.app);
+    }
+  }
+
+  // Capacity estimate mu: the batch drain rate of the same applications.
+  double mu = 0;
+  {
+    wl::TaskMix mix;
+    mix.reserve(proto.size());
+    for (const auto& arrival : proto) mix.push_back(arrival.app);
+    sim::ClusterSim cluster(cfg, features);
+    sched::MoePolicy policy(features, kSeed);
+    const sim::SimResult batch = cluster.run(mix, policy);
+    mu = static_cast<double>(mix.size()) / batch.makespan;
+  }
+
+  std::cout << "Serving load sweep: " << n_arrivals << " arrivals, "
+            << cfg.cluster.n_nodes << " nodes, seed " << kSeed
+            << ", estimated capacity mu = " << TextTable::num(mu * 3600.0, 2)
+            << " apps/hour\n\n";
+
+  const double ladder[] = {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0};
+  const std::size_t cap = 2 * cfg.cluster.n_nodes;
+
+  struct GateSpec {
+    std::string name;
+    std::unique_ptr<sim::AdmissionPolicy> gate;
+  };
+  std::vector<GateSpec> gates;
+  gates.push_back({"unbounded", std::make_unique<sim::UnboundedAdmission>()});
+  gates.push_back({"bounded-drop", std::make_unique<sim::BoundedDropAdmission>(cap)});
+  gates.push_back({"bounded-defer", std::make_unique<sim::BoundedDeferAdmission>(cap)});
+  gates.push_back({"murs-gate", std::make_unique<sim::MursGateAdmission>(0.5)});
+  // Token refill at the measured capacity: the bucket passes sub-capacity
+  // load untouched and sheds exactly the overload.
+  gates.push_back({"token-bucket", std::make_unique<sim::TokenBucketAdmission>(
+                                       mu, static_cast<double>(cap))});
+  gates.push_back({"hybrid", std::make_unique<sim::HybridAdmission>(4 * cap, 0.5)});
+
+  std::vector<SweepPoint> points;
+  std::map<std::string, double> knee;  // admission -> first saturated lambda/mu
+
+  for (const auto& spec : gates) {
+    TextTable table({"lambda/mu", "rate/hr", "admitted", "dropped", "deferred",
+                     "tput/hr", "delivered", "ANTT", "sojourn p50", "sojourn p99"});
+    for (const double x : ladder) {
+      const double rate = x * mu;
+      auto load = sim::poisson_load(n_arrivals, rate, kSeed);
+      for (auto& arrival : load)
+        arrival.isolated_s =
+            isolated_cache.at({arrival.app.benchmark, arrival.app.input_items});
+
+      sim::audit::InvariantAuditor auditor;
+      sim::ClusterSim cluster(cfg, features);
+      sched::MoePolicy policy(features, kSeed);
+      const sim::ServingResult r = cluster.serve(load, policy, *spec.gate, &auditor);
+
+      SweepPoint pt;
+      pt.admission = spec.name;
+      pt.rate = rate;
+      pt.rate_over_mu = x;
+      pt.offered = r.offered;
+      pt.admitted = r.admitted;
+      pt.dropped = r.dropped;
+      pt.deferrals = r.deferrals;
+      pt.throughput = r.throughput;
+      pt.delivered_frac = rate > 0 ? r.throughput / rate : 0;
+      pt.antt = r.antt;
+      const auto it = r.metrics.quantiles.find("app_sojourn_seconds");
+      if (it != r.metrics.quantiles.end() && it->second.count > 0) {
+        pt.sojourn_p50 = it->second.estimates[0];
+        pt.sojourn_p99 = it->second.estimates[2];
+      }
+      const auto wf = r.metrics.windows.find("serving_finish_rate");
+      if (wf != r.metrics.windows.end()) pt.finish_rate_window = wf->second.rate_per_sec;
+      points.push_back(pt);
+
+      if (knee.find(spec.name) == knee.end() && pt.delivered_frac < 0.85)
+        knee[spec.name] = x;
+
+      table.add_row({TextTable::num(x, 2), TextTable::num(rate * 3600.0, 2),
+                     std::to_string(pt.admitted), std::to_string(pt.dropped),
+                     std::to_string(pt.deferrals),
+                     TextTable::num(pt.throughput * 3600.0, 2),
+                     TextTable::num(pt.delivered_frac, 2), TextTable::num(pt.antt, 2),
+                     TextTable::num(pt.sojourn_p50, 0), TextTable::num(pt.sojourn_p99, 0)});
+    }
+    std::cout << "admission policy: " << spec.name << "\n";
+    table.render(std::cout);
+    if (knee.count(spec.name))
+      std::cout << "  saturation knee at lambda/mu = " << TextTable::num(knee[spec.name], 2)
+                << "\n";
+    else
+      std::cout << "  no saturation within the swept ladder\n";
+    std::cout << "\n";
+  }
+
+  // ---- sanity assertions the CI smoke job relies on ------------------------
+  // (1) The open-loop baseline must saturate inside the ladder: offered load
+  //     3x over capacity cannot be delivered at nominal rate.
+  if (knee.find("unbounded") == knee.end()) {
+    std::cerr << "FAIL: unbounded admission never saturated across the ladder\n";
+    return 1;
+  }
+  // (2) Past the knee, unbounded sojourn must degrade vs the light-load
+  //     point (queueing delay diverges in an open loop).
+  double unbounded_low = 0, unbounded_high = 0;
+  for (const auto& pt : points) {
+    if (pt.admission != "unbounded") continue;
+    if (pt.rate_over_mu == ladder[0]) unbounded_low = pt.sojourn_p99;
+    if (pt.rate_over_mu == ladder[std::size(ladder) - 1]) unbounded_high = pt.sojourn_p99;
+  }
+  if (!(unbounded_high > 1.5 * unbounded_low)) {
+    std::cerr << "FAIL: unbounded p99 sojourn did not degrade past the knee ("
+              << unbounded_low << " -> " << unbounded_high << ")\n";
+    return 1;
+  }
+  // (3) Loss/backpressure invariants: bounded-drop keeps at most `cap` in
+  //     flight (so admitted+dropped = offered with real drops at overload),
+  //     bounded-defer never drops.
+  for (const auto& pt : points) {
+    if (pt.admitted + pt.dropped != pt.offered) {
+      std::cerr << "FAIL: unresolved arrivals for " << pt.admission << "\n";
+      return 1;
+    }
+    if (pt.admission == "bounded-defer" && pt.dropped != 0) {
+      std::cerr << "FAIL: bounded-defer dropped arrivals\n";
+      return 1;
+    }
+  }
+
+  std::ofstream json("BENCH_serving.json");
+  json << "{\n  \"seed\": " << kSeed << ",\n  \"n_arrivals\": " << n_arrivals
+       << ",\n  \"n_nodes\": " << cfg.cluster.n_nodes
+       << ",\n  \"capacity_mu_apps_per_sec\": " << mu << ",\n  \"ladder\": [";
+  for (std::size_t i = 0; i < std::size(ladder); ++i)
+    json << ladder[i] << (i + 1 < std::size(ladder) ? ", " : "");
+  json << "],\n  \"knees\": {";
+  bool first = true;
+  for (const auto& [name, x] : knee) {
+    json << (first ? "" : ", ") << "\"" << name << "\": " << x;
+    first = false;
+  }
+  json << "},\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    json << "    ";
+    json_point(json, points[i]);
+    json << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "wrote BENCH_serving.json\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Open-loop serving: a Poisson stream of Spark applications arrives at a
+// live cluster, and an admission policy decides at the gate whether each one
+// enters, waits, or is shed. Contrasts the unbounded open-loop baseline with
+// MURS-style memory-pressure backpressure at the same offered load.
+//
+//   ./build/examples/serving_mode [--trace out.jsonl]
+#include <iostream>
+
+#include "common/table.h"
+#include "obs/cli.h"
+#include "sched/policies_learned.h"
+#include "sparksim/admission.h"
+#include "sparksim/engine.h"
+#include "workloads/features.h"
+
+using namespace smoe;
+
+int main(int argc, char** argv) {
+  obs::TraceCli trace_cli(argc, argv);
+
+  constexpr std::uint64_t kSeed = 7;
+  const wl::FeatureModel features(kSeed);
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  cfg.cluster.n_nodes = 8;
+  cfg.sink = &trace_cli.sink();
+
+  // 40 applications arriving at ~2.4 apps/hour — past this small cluster's
+  // drain rate, so the gate has real work to do. The same seed produces the
+  // same application sequence for both policies.
+  const double rate = 2.4 / 3600.0;
+  auto load = sim::poisson_load(40, rate, kSeed);
+  {
+    // Attach the isolated-execution baseline so normalized turnaround (the
+    // paper's ANTT, Section 5.3) is reported.
+    sim::ClusterSim probe(cfg, features);
+    for (auto& arrival : load) arrival.isolated_s = probe.isolated_exec_time(arrival.app);
+  }
+
+  sim::UnboundedAdmission unbounded;
+  sim::MursGateAdmission murs(0.5);
+  sim::AdmissionPolicy* gates[] = {&unbounded, &murs};
+
+  TextTable table({"admission", "admitted", "dropped", "deferred", "tput apps/hr",
+                   "ANTT", "makespan h"});
+  for (sim::AdmissionPolicy* gate : gates) {
+    sim::ClusterSim cluster(cfg, features);
+    sched::MoePolicy policy(features, kSeed);
+    const sim::ServingResult r = cluster.serve(load, policy, *gate);
+    table.add_row({gate->name(), std::to_string(r.admitted), std::to_string(r.dropped),
+                   std::to_string(r.deferrals), TextTable::num(r.throughput * 3600.0, 2),
+                   TextTable::num(r.antt, 2), TextTable::num(r.makespan / 3600.0, 1)});
+  }
+  table.render(std::cout);
+  std::cout << "\nThe MURS-style gate holds arrivals while the monitor's smoothed\n"
+               "memory view shows pressure: same offered work, same throughput,\n"
+               "but co-location happens on the gate's terms, not the burst's.\n";
+  return 0;
+}

@@ -16,6 +16,11 @@
 #                             # all policies, calendar model checks, partition
 #                             # determinism) plus a short fuzz pass with the
 #                             # index/scan oracle enabled
+#   scripts/check.sh --serving # additionally run the serving-mode suite
+#                              # (admission policies, batch-equivalence anchor,
+#                              # auditor-clean traces) and a short audited
+#                              # load sweep that must show the open-loop
+#                              # saturation knee
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -80,6 +85,17 @@ if [[ "${1:-}" == "--scale" ]]; then
     -R '^DispatchIndex|^NodeIndex|^Calendar|^Partition|^GoldenTrace'
   echo "== scale: fuzz with index/scan oracle (${FUZZ_SECONDS}s budget) =="
   ./build/bench/fuzz_sim --iters 0 --seconds "${FUZZ_SECONDS}"
+fi
+
+if [[ "${1:-}" == "--serving" ]]; then
+  echo "== serving: admission suite + monitor/auditor checks =="
+  ctest --test-dir build --output-on-failure -j"${JOBS}" \
+    -R '^Serving|^Monitor|^Audit|^GoldenTrace'
+  echo "== serving: audited load sweep (must find the saturation knee) =="
+  # Small offered load keeps the job fast; the bench exits non-zero if any
+  # invariant trips, the open-loop baseline never saturates, or its p99
+  # sojourn fails to degrade past the knee.
+  (cd "$scratch" && "$OLDPWD/build/bench/bench_serving_load_sweep" 24)
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then

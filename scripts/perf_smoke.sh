@@ -15,6 +15,10 @@
 # exceeds the committed baseline by more than OVERHEAD_SLACK_PP percentage
 # points.
 #
+# Also re-runs the serving load sweep and warns if its saturation knees or
+# delivered fractions drift from the committed BENCH_serving.json — those
+# are simulated-time quantities, so any drift means semantics changed.
+#
 #   scripts/perf_smoke.sh [threshold_pct] [overhead_slack_pp]
 #   (defaults: warn below 30% of baseline events/sec, or when traced
 #    overhead grows by > 30 percentage points)
@@ -122,6 +126,67 @@ for name, base_eps in sorted(base_pts.items()):
         print(f"::warning::scale-smoke: {name} fell to {pct:.0f}% of the "
               f"committed baseline — possible at-scale regression")
 EOF
+
+# Serving smoke (warn-only): re-run the open-loop load sweep and compare the
+# saturation knees and per-policy delivered throughput against the committed
+# BENCH_serving.json. Unlike events/sec this is *simulated* time — fully
+# deterministic and machine-independent — so a knee that moves or a delivered
+# fraction that shifts means the serving semantics changed, not that the
+# runner is slow. Still warn-only: an intentional admission-policy change
+# legitimately moves these numbers, and the committed baseline should be
+# regenerated alongside it.
+SERVING_BASELINE="BENCH_serving.json"
+if [[ -f "$SERVING_BASELINE" ]]; then
+  serving_arrivals=$(python3 -c \
+    "import json; print(json.load(open('$SERVING_BASELINE'))['n_arrivals'])")
+  cmake --build build -j"$(nproc)" --target bench_serving_load_sweep >/dev/null
+  # The sweep binary asserts its own invariants (the hard-gated version runs
+  # in the serving CI job); here even a bench failure is only warned on so
+  # this job keeps its warn-only contract.
+  if (cd "$tmp" && "$OLDPWD/build/bench/bench_serving_load_sweep" "$serving_arrivals" \
+      > /dev/null); then
+    python3 - "$tmp/BENCH_serving.json" "$SERVING_BASELINE" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    cur = json.load(f)
+with open(sys.argv[2]) as f:
+    base = json.load(f)
+
+for policy, base_knee in sorted(base.get("knees", {}).items()):
+    cur_knee = cur.get("knees", {}).get(policy)
+    if cur_knee != base_knee:
+        print(f"::warning::serving-smoke: {policy} saturation knee moved "
+              f"{base_knee} -> {cur_knee} (simulated time is deterministic; "
+              f"serving semantics changed)")
+    else:
+        print(f"serving-smoke: {policy} knee at lambda/mu={cur_knee} (unchanged)")
+
+def keyed(doc):
+    return {(p["admission"], p["rate_over_mu"]): p for p in doc.get("points", [])}
+
+base_pts, cur_pts = keyed(base), keyed(cur)
+drifted = 0
+for key, bp in sorted(base_pts.items()):
+    cp = cur_pts.get(key)
+    if cp is None:
+        print(f"::warning::serving-smoke: point {key} missing from this run")
+        continue
+    for field in ("admitted", "dropped", "delivered_frac"):
+        bv, cv = bp[field], cp[field]
+        if abs(cv - bv) > 1e-6 * max(1.0, abs(bv)):
+            print(f"::warning::serving-smoke: {key[0]} @ lambda/mu={key[1]}: "
+                  f"{field} drifted {bv} -> {cv}")
+            drifted += 1
+if not drifted:
+    print(f"serving-smoke: all {len(base_pts)} sweep points match the "
+          f"committed baseline")
+EOF
+  else
+    echo "::warning::serving-smoke: bench_serving_load_sweep failed; see serving CI job"
+  fi
+else
+  echo "perf-smoke: no committed $SERVING_BASELINE; skipping serving smoke" >&2
+fi
 
 # Trace-analysis throughput (events/sec parsed and analyzed by smoe-trace),
 # recorded for the log. The golden corpus is only a few hundred events, so

@@ -1,5 +1,7 @@
 #include "common/bench_cli.h"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -13,6 +15,19 @@ std::optional<std::size_t> parse_size(std::string_view text) {
     if (c < '0' || c > '9') return std::nullopt;
     value = value * 10 + static_cast<std::size_t>(c - '0');
   }
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty() || text.size() > 64) return std::nullopt;
+  // from_chars rejects leading '+'/whitespace and hex floats; a leading '-'
+  // parses, so negatives fall to the value check below. "1e999" reports
+  // result_out_of_range and "inf"/"nan" fail the finiteness check.
+  double value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  if (!std::isfinite(value) || value < 0) return std::nullopt;
   return value;
 }
 

@@ -10,8 +10,15 @@
 namespace smoe {
 
 /// Strict base-10 parse of a non-negative integer: the *whole* string must be
-/// digits (no signs, spaces, or trailing junk). nullopt on anything else.
+/// digits (no signs, spaces, or trailing junk). nullopt on anything else —
+/// including values that would overflow (the 18-digit cap keeps every
+/// accepted value below 2^60, so `1e99`-sized inputs can never wrap).
 std::optional<std::size_t> parse_size(std::string_view text);
+
+/// Strict parse of a non-negative finite double: the *whole* string must be a
+/// decimal number (scientific notation allowed; no signs, hex, inf/nan,
+/// spaces, or trailing junk like `5s`). nullopt on anything else.
+std::optional<double> parse_double(std::string_view text);
 
 /// Options shared by the experiment benches: an optional positional mix count,
 /// `--threads N` for the parallel experiment runner, and `--oversubscribe` to

@@ -239,6 +239,12 @@ void Timeline::emit(const Event& e) {
       record_cluster(t);
       break;
     }
+    case EventType::kAppArrival:
+    case EventType::kAdmission:
+      // Open-loop serving gate events: apps enter the timeline's ledger at
+      // admission (their app_submit event), so the gate traffic itself only
+      // advances the clock.
+      break;
   }
 }
 

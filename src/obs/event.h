@@ -48,9 +48,11 @@ enum class EventType : std::uint8_t {
   kMonitorReport,   ///< periodic resource-monitor tick (Section 4.2)
   kAppFinish,       ///< last item of an application processed
   kRunEnd,          ///< simulation drained; totals attached
+  kAppArrival,      ///< open-loop serving: an application arrives at the gate
+  kAdmission,       ///< open-loop serving: admission verdict (admit/defer/drop)
 };
 
-inline constexpr std::size_t kEventTypeCount = 14;
+inline constexpr std::size_t kEventTypeCount = 16;
 
 /// Stable lower-snake-case name used in JSONL/Chrome traces.
 std::string_view to_string(EventType type);

@@ -24,6 +24,8 @@ std::string_view to_string(EventType type) {
     case EventType::kMonitorReport: return "monitor_report";
     case EventType::kAppFinish: return "app_finish";
     case EventType::kRunEnd: return "run_end";
+    case EventType::kAppArrival: return "app_arrival";
+    case EventType::kAdmission: return "admission";
   }
   return "unknown";
 }

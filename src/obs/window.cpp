@@ -14,6 +14,7 @@ P2Quantile::P2Quantile(double prob) : prob_(prob) {
 }
 
 void P2Quantile::observe(double x) {
+  if (!std::isfinite(x)) return;  // see header: NaN would poison the markers
   if (n_ < 5) {
     q_[n_++] = x;
     if (n_ == 5) {
@@ -105,6 +106,7 @@ QuantileEstimator::QuantileEstimator(std::vector<double> probs) : probs_(std::mo
 }
 
 void QuantileEstimator::observe(double v) {
+  if (!std::isfinite(v)) return;  // see header: would pin min/max, poison sum
   for (P2Quantile& e : estimators_) e.observe(v);
   if (count_ == 0) {
     min_ = max_ = v;
@@ -154,11 +156,40 @@ void WindowedRate::advance_to(std::int64_t bucket) {
   cur_bucket_ = bucket;
 }
 
+std::int64_t WindowedRate::bucket_index(double t) {
+  double rel = (t - origin_) / bucket_width_;
+  // Far beyond the ring span *and* beyond what int64 bucket arithmetic can
+  // express: rebase the origin at t. The ring would be fully cleared by any
+  // jump past the window anyway, so rebasing loses nothing — and the cast
+  // below stays in range instead of being undefined behavior.
+  constexpr double kMaxBucket = 4.0e18;  // < 2^62, leaves headroom for +size
+  if (rel > kMaxBucket) {
+    origin_ = t;
+    for (Bucket& b : buckets_) b = Bucket{};
+    cur_bucket_ = -1;
+    rel = 0;
+  }
+  return static_cast<std::int64_t>(rel);
+}
+
+void WindowedRate::advance_time(double t) {
+  SMOE_REQUIRE(std::isfinite(t) && t >= 0, "WindowedRate: time must be finite and >= 0");
+  t = std::max(t, last_t_);  // simulated clocks are non-decreasing
+  last_t_ = t;
+  const std::int64_t bucket = bucket_index(t);
+  if (cur_bucket_ < 0) {
+    // No observation yet (or just rebased): nothing to expire, and leaving
+    // cur_bucket_ unset keeps the next add()'s first-bucket behavior.
+    return;
+  }
+  advance_to(bucket);
+}
+
 void WindowedRate::add(double t, double value) {
   SMOE_REQUIRE(std::isfinite(t) && t >= 0, "WindowedRate: time must be finite and >= 0");
   t = std::max(t, last_t_);  // simulated clocks are non-decreasing
   last_t_ = t;
-  advance_to(static_cast<std::int64_t>(t / bucket_width_));
+  advance_to(bucket_index(t));
   Bucket& b = buckets_[static_cast<std::size_t>(cur_bucket_ %
                                                 static_cast<std::int64_t>(buckets_.size()))];
   b.count += 1;

@@ -33,6 +33,10 @@ class P2Quantile {
   /// `prob` must lie in (0, 1) — e.g. 0.5 for the median, 0.99 for p99.
   explicit P2Quantile(double prob);
 
+  /// Non-finite observations (NaN, ±inf) are dropped: one NaN in the first
+  /// five samples would otherwise poison the sorted marker seed, and a NaN
+  /// later corrupts every marker comparison silently. Dropped values do not
+  /// advance count().
   void observe(double x);
 
   /// Current estimate. Exact (linear-interpolated sample quantile) while
@@ -59,6 +63,8 @@ class QuantileEstimator {
   /// `probs` must be non-empty, strictly increasing, each in (0, 1).
   explicit QuantileEstimator(std::vector<double> probs);
 
+  /// Non-finite observations are dropped (they would pin min/max and poison
+  /// sum/mean forever); count()/sum() only reflect finite values.
   void observe(double v);
 
   const std::vector<double>& probs() const { return probs_; }
@@ -93,6 +99,13 @@ class WindowedRate {
 
   void add(double t, double value = 1.0);
 
+  /// Advance the window clock to `t` without recording an observation,
+  /// expiring buckets the clock passed over. A forever-running service calls
+  /// this before reading window_count()/rate_per_sec() so a stream that went
+  /// quiet decays to zero instead of reporting the stale last-window counts
+  /// forever. Like add(), a slightly-regressing t is clamped to last_t().
+  void advance_time(double t);
+
   double window_seconds() const { return window_; }
   std::size_t n_buckets() const { return buckets_.size(); }
 
@@ -115,10 +128,20 @@ class WindowedRate {
 
   /// Zero every bucket the clock passed over since the last add().
   void advance_to(std::int64_t bucket);
+  /// Bucket index of time `t`, relative to `origin_`. Rebases the origin
+  /// (clearing the ring — correct, since a rebase only happens on a jump
+  /// far past the whole window) when the raw index would overflow the
+  /// int64 bucket arithmetic, so astronomically large simulated times are
+  /// safe instead of undefined behavior in the float->int cast.
+  std::int64_t bucket_index(double t);
 
   double window_;
   double bucket_width_;
   std::vector<Bucket> buckets_;
+  /// Time subtracted before bucket arithmetic; 0 until a rebase. Only moved
+  /// when t is so far past the ring that the raw index would overflow, so
+  /// ordinary streams never see a rebase and keep exact legacy behavior.
+  double origin_ = 0;
   std::int64_t cur_bucket_ = -1;  ///< -1 until the first add()
   double last_t_ = 0;
   std::uint64_t total_count_ = 0;

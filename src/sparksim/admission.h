@@ -1,0 +1,180 @@
+// Admission control for the open-loop serving mode (DESIGN.md §14).
+//
+// In batch runs every application is submitted at t = 0 and the dispatcher
+// drains the queue. Serving mode instead plays an *arrival process* against a
+// long-lived dispatcher: applications arrive over simulated time, and an
+// AdmissionPolicy decides at the gate whether each arrival is admitted into
+// the cluster queue, deferred (parked FIFO at the gate until the cluster
+// drains), or dropped (rejected outright, never simulated). The decision sees
+// only what a real gatekeeper would: the count of admitted-but-unfinished
+// applications, the gate queue, and the resource monitor's *stale, smoothed*
+// cluster view (Section 4.2) — never instantaneous engine state.
+//
+// Six built-in policies cover the design space the serving bench sweeps:
+//   * Unbounded      — admit everything (the open-loop baseline; sojourn
+//                      diverges past the saturation knee)
+//   * BoundedDrop    — hard cap on apps in system; overflow is dropped
+//   * BoundedDefer   — same cap, but overflow parks at the gate (backpressure)
+//   * MursGate       — MURS-style memory-pressure gate: defer while the
+//                      monitor's mean memory usage exceeds a fraction of node
+//                      RAM (memory-aware throttling, after the paper's
+//                      co-location principle)
+//   * TokenBucket    — classic rate limiter: admit while tokens last, drop
+//                      the burst overflow
+//   * Hybrid         — MursGate backpressure plus a BoundedDrop overload cap
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+#include "workloads/mixes.h"
+
+namespace smoe::sim {
+
+enum class AdmissionVerdict { kAdmit, kDefer, kDrop };
+
+std::string_view to_string(AdmissionVerdict verdict);
+
+/// What the gate sees when an application arrives (or a deferred arrival is
+/// re-evaluated). Monitor fields are the dispatcher-visible stale view: means
+/// of the *latest* periodic report, zero before the first report.
+struct AdmissionContext {
+  Seconds now = 0;
+  std::size_t in_system = 0;      ///< admitted and not yet finished
+  std::size_t waiting = 0;        ///< deferred arrivals parked at the gate
+  double monitor_mean_cpu = 0;    ///< cluster mean CPU load (0..1), stale
+  GiB monitor_mean_mem = 0;       ///< cluster mean memory in use, stale
+  GiB node_ram = 0;
+  std::size_t n_nodes = 0;
+  bool retry = false;             ///< re-evaluation of a deferred arrival
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual AdmissionVerdict admit(const AdmissionContext& ctx) = 0;
+  /// Called at the start of every serving run so one stateful instance (e.g.
+  /// a token bucket) can be reused across runs.
+  virtual void reset() {}
+};
+
+/// Admit everything, immediately.
+class UnboundedAdmission final : public AdmissionPolicy {
+ public:
+  std::string name() const override { return "unbounded"; }
+  AdmissionVerdict admit(const AdmissionContext&) override {
+    return AdmissionVerdict::kAdmit;
+  }
+};
+
+/// At most `cap` applications in the system; overflow is dropped.
+class BoundedDropAdmission final : public AdmissionPolicy {
+ public:
+  explicit BoundedDropAdmission(std::size_t cap) : cap_(cap) {}
+  std::string name() const override { return "bounded-drop"; }
+  AdmissionVerdict admit(const AdmissionContext& ctx) override {
+    return ctx.in_system < cap_ ? AdmissionVerdict::kAdmit : AdmissionVerdict::kDrop;
+  }
+
+ private:
+  std::size_t cap_;
+};
+
+/// At most `cap` applications in the system; overflow parks at the gate and
+/// re-enters FIFO as the cluster drains (closed-queue backpressure).
+class BoundedDeferAdmission final : public AdmissionPolicy {
+ public:
+  explicit BoundedDeferAdmission(std::size_t cap) : cap_(cap) {}
+  std::string name() const override { return "bounded-defer"; }
+  AdmissionVerdict admit(const AdmissionContext& ctx) override {
+    return ctx.in_system < cap_ ? AdmissionVerdict::kAdmit : AdmissionVerdict::kDefer;
+  }
+
+ private:
+  std::size_t cap_;
+};
+
+/// MURS-style memory-pressure gate: defer while the monitor's (stale) mean
+/// memory usage exceeds `mem_fraction` of node RAM. Memory-aware throttling
+/// in the spirit of the paper's co-location rule: keep admitting while the
+/// cluster has spare memory, hold the queue at the gate once it doesn't.
+class MursGateAdmission final : public AdmissionPolicy {
+ public:
+  explicit MursGateAdmission(double mem_fraction) : mem_fraction_(mem_fraction) {}
+  std::string name() const override { return "murs-gate"; }
+  AdmissionVerdict admit(const AdmissionContext& ctx) override {
+    if (ctx.monitor_mean_mem > mem_fraction_ * ctx.node_ram)
+      return AdmissionVerdict::kDefer;
+    return AdmissionVerdict::kAdmit;
+  }
+
+ private:
+  double mem_fraction_;
+};
+
+/// Deterministic token bucket over simulated time: `rate` tokens/s refill up
+/// to `burst`; an arrival with no token is dropped (rate limiting, not
+/// backpressure — deferred retries are rejected the same way).
+class TokenBucketAdmission final : public AdmissionPolicy {
+ public:
+  TokenBucketAdmission(double rate, double burst)
+      : rate_(rate), burst_(burst), tokens_(burst) {}
+  std::string name() const override { return "token-bucket"; }
+  AdmissionVerdict admit(const AdmissionContext& ctx) override {
+    tokens_ = std::min(burst_, tokens_ + rate_ * (ctx.now - last_t_));
+    last_t_ = ctx.now;
+    if (tokens_ < 1.0) return AdmissionVerdict::kDrop;
+    tokens_ -= 1.0;
+    return AdmissionVerdict::kAdmit;
+  }
+  void reset() override {
+    tokens_ = burst_;
+    last_t_ = 0;
+  }
+
+ private:
+  double rate_, burst_;
+  double tokens_;
+  Seconds last_t_ = 0;
+};
+
+/// MursGate backpressure plus a hard overload cap: drop once the system plus
+/// gate queue exceeds `overload_cap`, defer on memory pressure, else admit.
+class HybridAdmission final : public AdmissionPolicy {
+ public:
+  HybridAdmission(std::size_t overload_cap, double mem_fraction)
+      : overload_cap_(overload_cap), mem_fraction_(mem_fraction) {}
+  std::string name() const override { return "hybrid"; }
+  AdmissionVerdict admit(const AdmissionContext& ctx) override {
+    if (!ctx.retry && ctx.in_system + ctx.waiting >= overload_cap_)
+      return AdmissionVerdict::kDrop;
+    if (ctx.monitor_mean_mem > mem_fraction_ * ctx.node_ram)
+      return AdmissionVerdict::kDefer;
+    return AdmissionVerdict::kAdmit;
+  }
+
+ private:
+  std::size_t overload_cap_;
+  double mem_fraction_;
+};
+
+/// One offered application in a serving run.
+struct ServingArrival {
+  Seconds t = 0;            ///< arrival time (non-decreasing across the load)
+  wl::AppInstance app;
+  /// Optional isolated execution time C^iso (Section 5.3) for normalized
+  /// turnaround (ANTT) accounting; 0 = unknown, excluded from ANTT.
+  Seconds isolated_s = 0;
+};
+
+/// Deterministic open-loop Poisson load: `n` arrivals with exponential
+/// inter-arrival times at `rate` (apps/s) and applications drawn like
+/// wl::random_mix. Same (seed, n) → the same application sequence at every
+/// rate, so sweeps compare policies on identical offered work.
+std::vector<ServingArrival> poisson_load(std::size_t n, double rate, std::uint64_t seed);
+
+}  // namespace smoe::sim

@@ -157,6 +157,8 @@ void InvariantAuditor::emit(const obs::Event& event) {
     case obs::EventType::kExecutorOom: on_release(event, /*oom=*/true); return;
     case obs::EventType::kExecutorFinish: on_release(event, /*oom=*/false); return;
     case obs::EventType::kMonitorReport: on_monitor_report(event); return;
+    case obs::EventType::kAppArrival: on_arrival(event); return;
+    case obs::EventType::kAdmission: on_admission(event); return;
     case obs::EventType::kAppFinish: on_app_finish(event); return;
     case obs::EventType::kRunEnd: on_run_end(event); return;
   }
@@ -165,6 +167,7 @@ void InvariantAuditor::emit(const obs::Event& event) {
 
 void InvariantAuditor::reset() {
   in_run_ = false;
+  open_loop_ = false;
   policy_.clear();
   mode_.clear();
   n_apps_ = n_nodes_ = 0;
@@ -174,6 +177,7 @@ void InvariantAuditor::reset() {
   pending_ = {};
   last_report_ = 0;
   spawn_count_ = oom_count_ = degraded_count_ = finished_apps_ = peak_occupancy_ = 0;
+  submitted_apps_ = arrivals_seen_ = admitted_ = dropped_ = 0;
   max_finish_t_ = 0;
 }
 
@@ -188,9 +192,14 @@ void InvariantAuditor::on_run_start(const obs::Event& event) {
   n_nodes_ = i64(event, "n_nodes");
   node_ram_ = f64(event, "node_ram_gib");
   const std::int64_t seed = i64(event, "seed");
+  // Batch runs don't carry the field; serving runs set open_loop=1. In an
+  // open-loop run n_apps is the *offered* load: apps submit over time at
+  // admission, and fewer than n_apps may ever exist.
+  open_loop_ = event.find("open_loop") != nullptr && i64(event, "open_loop") != 0;
   repro_ = "seed=" + std::to_string(seed) + " n_apps=" + std::to_string(n_apps_) +
            " policy=" + policy_ + " n_nodes=" + std::to_string(n_nodes_) +
            " node_ram_gib=" + num(node_ram_);
+  if (open_loop_) repro_ += " open_loop admission=" + str(event, "admission");
   if (n_apps_ <= 0) fail("run with no applications", event);
   if (n_nodes_ <= 0 || node_ram_ <= 0) fail("degenerate cluster shape", event);
   apps_.assign(static_cast<std::size_t>(n_apps_), ShadowApp{});
@@ -203,7 +212,13 @@ void InvariantAuditor::on_app_submit(const obs::Event& event) {
   if (id < 0 || id >= n_apps_) fail("submitted app id out of range", event);
   ShadowApp& app = apps_[static_cast<std::size_t>(id)];
   if (app.submitted) fail("app " + std::to_string(id) + " submitted twice", event);
+  if (open_loop_ && static_cast<std::size_t>(id) != submitted_apps_)
+    fail("serving app ids must be dense admission order: got " + std::to_string(id) +
+             ", expected " + std::to_string(submitted_apps_),
+         event);
   app.submitted = true;
+  ++submitted_apps_;
+  app.submit_t = event.t;
   app.input = f64(event, "input_items");
   app.consumed = f64(event, "profile_consumed_items");
   app.profile_end = f64(event, "profile_end");
@@ -439,6 +454,43 @@ void InvariantAuditor::on_monitor_report(const obs::Event& event) {
     fail("monitor active-executor count disagrees with the shadow ledger", event);
 }
 
+void InvariantAuditor::on_arrival(const obs::Event& event) {
+  if (!open_loop_) fail("app_arrival in a batch (closed-loop) run", event);
+  const std::int64_t idx = i64(event, "arrival");
+  if (idx < 0 || idx >= n_apps_) fail("arrival index out of range", event);
+  // The engine delivers arrivals strictly in load order (one sentinel at a
+  // time), so the stream index is dense.
+  if (static_cast<std::size_t>(idx) != arrivals_seen_)
+    fail("arrival " + std::to_string(idx) + " out of order (expected " +
+             std::to_string(arrivals_seen_) + ")",
+         event);
+  ++arrivals_seen_;
+}
+
+void InvariantAuditor::on_admission(const obs::Event& event) {
+  if (!open_loop_) fail("admission verdict in a batch (closed-loop) run", event);
+  const std::int64_t idx = i64(event, "arrival");
+  if (idx < 0 || idx >= n_apps_) fail("admission arrival index out of range", event);
+  if (static_cast<std::size_t>(idx) >= arrivals_seen_)
+    fail("admission verdict for an arrival that never arrived", event);
+  const std::string verdict = str(event, "verdict");
+  if (verdict == "admit") {
+    ++admitted_;
+    // The engine emits the admission verdict right after the app_submit it
+    // caused, so the shadow app must already exist and be submitted.
+    if (admitted_ != submitted_apps_)
+      fail("admit verdict count " + std::to_string(admitted_) +
+               " disagrees with submitted apps " + std::to_string(submitted_apps_),
+           event);
+  } else if (verdict == "drop") {
+    ++dropped_;
+  } else if (verdict != "defer") {
+    fail("unknown admission verdict '" + verdict + "'", event);
+  }
+  if (admitted_ + dropped_ > arrivals_seen_)
+    fail("more final verdicts than arrivals", event);
+}
+
 void InvariantAuditor::on_app_finish(const obs::Event& event) {
   const std::int64_t id = i64(event, "app");
   ShadowApp& app = app_at(event, id);
@@ -468,9 +520,9 @@ void InvariantAuditor::on_app_finish(const obs::Event& event) {
              " != dispatched - lost (reruns accounted)",
          event);
   const double turnaround = f64(event, "turnaround_s");
-  if (!approx_eq(turnaround, event.t, kSimRelEps))
-    fail("turnaround " + num(turnaround) + " disagrees with finish time " +
-             num(event.t) + " (all apps submit at t=0)",
+  if (!approx_eq(turnaround, event.t - app.submit_t, kSimRelEps))
+    fail("turnaround " + num(turnaround) + " disagrees with finish " + num(event.t) +
+             " minus submit " + num(app.submit_t),
          event);
   if (i64(event, "oom_events") != static_cast<std::int64_t>(app.ooms))
     fail("app OOM count disagrees with observed OOM events", event);
@@ -480,10 +532,31 @@ void InvariantAuditor::on_app_finish(const obs::Event& event) {
 }
 
 void InvariantAuditor::on_run_end(const obs::Event& event) {
-  if (finished_apps_ != static_cast<std::size_t>(n_apps_))
+  // Closed loop: every offered app was submitted at t=0 and must finish.
+  // Open loop: every *admitted* (= submitted) app must finish, and every
+  // arrival must have a final verdict — offered = admitted + dropped.
+  if (finished_apps_ != submitted_apps_)
     fail("run ended with " + std::to_string(finished_apps_) + " of " +
-             std::to_string(n_apps_) + " apps finished",
+             std::to_string(submitted_apps_) + " submitted apps finished",
          event);
+  if (!open_loop_ && submitted_apps_ != static_cast<std::size_t>(n_apps_))
+    fail("batch run ended with " + std::to_string(submitted_apps_) + " of " +
+             std::to_string(n_apps_) + " apps submitted",
+         event);
+  if (open_loop_) {
+    if (arrivals_seen_ != static_cast<std::size_t>(n_apps_))
+      fail("serving run ended with " + std::to_string(arrivals_seen_) + " of " +
+               std::to_string(n_apps_) + " arrivals delivered",
+           event);
+    if (admitted_ + dropped_ != arrivals_seen_)
+      fail("serving run ended with unresolved arrivals: admitted " +
+               std::to_string(admitted_) + " + dropped " + std::to_string(dropped_) +
+               " != offered " + std::to_string(arrivals_seen_),
+           event);
+    if (i64(event, "admitted") != static_cast<std::int64_t>(admitted_) ||
+        i64(event, "dropped") != static_cast<std::int64_t>(dropped_))
+      fail("run-end admitted/dropped disagree with observed verdicts", event);
+  }
   if (!live_.empty())
     fail("run ended with " + std::to_string(live_.size()) + " executors still live",
          event);

@@ -111,6 +111,7 @@ class InvariantAuditor final : public obs::EventSink {
     bool submitted = false;
     bool started = false;   ///< first executor spawned
     bool finished = false;
+    double submit_t = 0;    ///< submission time (0 in batch, admission time serving)
     double input = 0;
     double consumed = 0;     ///< items eaten by profiling
     double profile_end = 0;
@@ -150,6 +151,8 @@ class InvariantAuditor final : public obs::EventSink {
   void on_isolated_rerun(const obs::Event& event);
   void on_release(const obs::Event& event, bool oom);
   void on_monitor_report(const obs::Event& event);
+  void on_arrival(const obs::Event& event);
+  void on_admission(const obs::Event& event);
   void on_app_finish(const obs::Event& event);
   void on_run_end(const obs::Event& event);
 
@@ -163,6 +166,10 @@ class InvariantAuditor final : public obs::EventSink {
 
   // --- shadow state for the run in progress -------------------------------
   bool in_run_ = false;
+  /// Open-loop serving run (run_start carried `open_loop`): n_apps_ is the
+  /// *offered* load, apps submit over time at admission, and run_end balances
+  /// offered = admitted + dropped instead of requiring every app to finish.
+  bool open_loop_ = false;
   std::string policy_;
   std::string mode_;  ///< "isolated" / "pairwise" / "predictive"
   std::int64_t n_apps_ = 0;
@@ -176,6 +183,10 @@ class InvariantAuditor final : public obs::EventSink {
   std::size_t spawn_count_ = 0;
   std::size_t oom_count_ = 0;
   std::size_t degraded_count_ = 0;
+  std::size_t submitted_apps_ = 0;
+  std::size_t arrivals_seen_ = 0;
+  std::size_t admitted_ = 0;
+  std::size_t dropped_ = 0;
   std::size_t finished_apps_ = 0;
   std::size_t peak_occupancy_ = 0;
   double max_finish_t_ = 0;

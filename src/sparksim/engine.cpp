@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <functional>
 #include <string_view>
 #include <limits>
@@ -26,6 +27,10 @@ namespace {
 
 constexpr double kEps = 1e-6;
 constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Calendar slot sentinel for open-loop arrival events. Negative slots sort
+/// before any executor slot at the same timestamp, so an arrival is always
+/// processed before completions due at the same instant.
+constexpr int kArrivalSlot = -2;
 /// A predictive executor survives overshooting its heap by up to 25%
 /// (GC-thrashing); beyond that it dies with an OOM.
 constexpr double kOomOvershoot = 1.25;
@@ -161,11 +166,46 @@ struct Sim {
   EventCalendar calendar;
   /// Nodes whose executor set changed since the last rate refresh.
   std::vector<int> dirty_nodes;
+  /// Nodes whose load changed since the last *monitor report* — a longer
+  /// horizon than dirty_nodes (rates refresh every step, reports every
+  /// monitor_period), so it is tracked separately. maybe_report() feeds only
+  /// these to the monitor: the O(n_nodes)-per-tick dense report was the
+  /// 10k-node throughput droop.
+  std::vector<int> monitor_dirty;
+  std::vector<std::uint8_t> monitor_dirty_flag;
   /// Profiling windows as (profile_end, app), sorted ascending; promotion
   /// consumes a prefix via `profile_cursor` instead of rescanning all apps.
   std::vector<std::pair<Seconds, std::size_t>> profile_pending;
   std::size_t profile_cursor = 0;
   std::size_t apps_done = 0;
+  /// Profiling runs share the coordinating node's limited slots, FIFO. A
+  /// member (not a submit() local) so serving-mode admissions, which trickle
+  /// in over the whole run, share the same slot schedule.
+  std::vector<Seconds> slot_free;
+
+  // ---- open-loop serving state (inert in batch runs) ------------------
+  bool serving = false;
+  const std::vector<ServingArrival>* arrivals = nullptr;
+  AdmissionPolicy* admission = nullptr;
+  std::size_t arrival_pushed = 0;     ///< next arrival index to file in the calendar
+  std::size_t arrivals_resolved = 0;  ///< arrivals with a final admit/drop verdict
+  std::deque<std::size_t> gate_queue; ///< deferred arrival indices, FIFO
+  std::size_t admitted = 0;
+  std::size_t dropped = 0;
+  std::size_t deferrals = 0;          ///< arrivals deferred at least once
+  std::vector<Seconds> app_isolated_s;  ///< per admitted app: C^iso (0 unknown)
+  double norm_turnaround_sum = 0;
+  std::size_t norm_turnaround_n = 0;
+  // Serving-only instruments, created in run_serving(): batch runs must not
+  // create them — batch MetricsSnapshots are byte-compared against goldens.
+  obs::Counter* s_admit = nullptr;
+  obs::Counter* s_drop = nullptr;
+  obs::Counter* s_defer = nullptr;
+  obs::Gauge* g_in_system = nullptr;
+  obs::Gauge* g_gate = nullptr;
+  obs::WindowedRate* w_arrive = nullptr;
+  obs::WindowedRate* w_finish = nullptr;
+  obs::QuantileEstimator* q_norm = nullptr;
 
   // ---- dispatch work list --------------------------------------------
   /// Rank (position in `queue`) of every application the dispatcher must
@@ -197,7 +237,7 @@ struct Sim {
   std::vector<int> due_slots;
   std::vector<std::size_t> touched_apps;
   std::vector<std::size_t> promo_scratch;
-  std::vector<double> report_cpu, report_mem;  ///< maybe_report scratch
+  std::vector<ResourceMonitor::NodeSample> report_scratch;  ///< maybe_report
   ResourceMonitor monitor;
   UtilizationTrace trace;
   Seconds next_report;
@@ -254,6 +294,8 @@ struct Sim {
         node_trace_from(n_nodes, 0.0),
         node_dirty_flag(n_nodes, 0),
         node_execs(n_nodes),
+        monitor_dirty_flag(n_nodes, 0),
+        slot_free(std::max<std::size_t>(1, c.spark.profiling_slots), 0.0),
         monitor(c.cluster.n_nodes, c.spark.monitor_window),
         trace(c.cluster.n_nodes, c.trace_bin),
         next_report(c.spark.monitor_period) {
@@ -265,6 +307,88 @@ struct Sim {
   }
 
   // ---- setup ---------------------------------------------------------
+  /// Create application `i` from one mix entry and append it to `apps`:
+  /// profiling cost, dynamic-allocation shape, profiling-slot booking (slots
+  /// are busy from max(slot free, now) — in batch runs now == 0, so this is
+  /// exactly the legacy schedule), and the app_submit/profiling_start events.
+  /// Shared by the batch submit() and the serving-mode gate; the caller owns
+  /// queue/rank registration and profile_pending ordering.
+  void submit_one(const wl::AppInstance& inst, std::size_t i) {
+    AppState app;
+    app.spec = &wl::find_benchmark(inst.benchmark);
+    SMOE_REQUIRE(inst.input_items >= 2.0 * cfg.spark.min_chunk,
+                 "sim: input too small: " + inst.benchmark);
+    // Same bytes as "app:" + std::to_string(i) + ":" + benchmark, without
+    // the three heap strings per application (visible at mega-queue scale).
+    char seed_name[128];
+    const int seed_len = std::snprintf(seed_name, sizeof seed_name, "app:%zu:%s", i,
+                                       inst.benchmark.c_str());
+    const std::uint64_t seed =
+        seed_len > 0 && static_cast<std::size_t>(seed_len) < sizeof seed_name
+            ? Rng::derive(cfg.seed, std::string_view(seed_name,
+                                                     static_cast<std::size_t>(seed_len)))
+            : Rng::derive(cfg.seed, "app:" + std::to_string(i) + ":" + inst.benchmark);
+    app.probe = std::make_unique<AppProbe>(*app.spec, features, inst.input_items, seed);
+
+    const ProfilingCost cost = policy.profile(*app.probe, app.est);
+    Items consumed = cost.feature_items + cost.calibration_items;
+    consumed = std::min(consumed, inst.input_items * 0.5);
+    app.unassigned = inst.input_items - consumed;
+
+    app.dyn_alloc = static_cast<std::size_t>(std::clamp<double>(
+        std::ceil(inst.input_items / cfg.spark.dyn_alloc_items_per_executor), 1.0,
+        static_cast<double>(cfg.spark.dyn_alloc_max_executors)));
+    app.default_chunk = std::ceil(inst.input_items / static_cast<double>(app.dyn_alloc));
+    // The paper's dispatcher spawns executors beyond the (imperfect) Spark
+    // dynamic allocation when spare resources exist (Section 4.3), bounded
+    // by the cluster size.
+    app.max_pred_executors = std::min<std::size_t>(
+        static_cast<std::size_t>(std::ceil(cfg.spark.executor_boost *
+                                           static_cast<double>(app.dyn_alloc))),
+        cfg.cluster.n_nodes);
+    app.max_pred_executors = std::max<std::size_t>(app.max_pred_executors, 1);
+    app.pred_chunk_cap = std::max<Items>(
+        cfg.spark.min_chunk,
+        std::ceil(inst.input_items / static_cast<double>(app.max_pred_executors)));
+
+    app.res.benchmark = inst.benchmark;
+    app.res.input_items = inst.input_items;
+    app.res.submit = now;
+    app.res.feature_time = cost.feature_items / app.spec->items_per_second;
+    app.res.calibration_time = cost.calibration_items / app.spec->items_per_second;
+    const Seconds duration = app.res.feature_time + app.res.calibration_time;
+    if (duration > 0) {
+      auto slot = std::min_element(slot_free.begin(), slot_free.end());
+      const Seconds slot_start = std::max(*slot, now);
+      app.res.profile_end = slot_start + duration;
+      *slot = app.res.profile_end;
+      app.phase = Phase::kProfiling;
+      profile_pending.emplace_back(app.res.profile_end, i);
+    } else {
+      app.res.profile_end = now;
+      app.phase = Phase::kReady;
+    }
+    if (tracing) {
+      sink.emit(obs::Event(now, obs::EventType::kAppSubmit)
+                    .with("app", i)
+                    .with("benchmark", inst.benchmark)
+                    .with("input_items", inst.input_items)
+                    .with("profile_consumed_items", consumed)
+                    .with("profile_end", app.res.profile_end)
+                    .with("dyn_alloc", app.dyn_alloc)
+                    .with("max_pred_executors", app.max_pred_executors));
+      if (duration > 0)
+        sink.emit(obs::Event(now, obs::EventType::kProfilingStart)
+                      .with("app", i)
+                      .with("benchmark", inst.benchmark)
+                      .with("slot_start", app.res.profile_end - duration)
+                      .with("planned_end", app.res.profile_end)
+                      .with("feature_items", cost.feature_items)
+                      .with("calibration_items", cost.calibration_items));
+    }
+    apps.push_back(std::move(app));
+  }
+
   void submit(const wl::TaskMix& mix) {
     SMOE_REQUIRE(!mix.empty(), "sim: empty task mix");
     // Bound to a local because Event stores string *views*: the view must
@@ -279,82 +403,7 @@ struct Sim {
                     .with("node_ram_gib", cfg.cluster.node_ram)
                     .with("seed", static_cast<std::int64_t>(cfg.seed)));
     apps.reserve(mix.size());
-    // Profiling runs share the coordinating node's limited slots, FIFO.
-    std::vector<Seconds> slot_free(std::max<std::size_t>(1, cfg.spark.profiling_slots), 0.0);
-    for (std::size_t i = 0; i < mix.size(); ++i) {
-      const auto& inst = mix[i];
-      AppState app;
-      app.spec = &wl::find_benchmark(inst.benchmark);
-      SMOE_REQUIRE(inst.input_items >= 2.0 * cfg.spark.min_chunk,
-                   "sim: input too small: " + inst.benchmark);
-      // Same bytes as "app:" + std::to_string(i) + ":" + benchmark, without
-      // the three heap strings per application (visible at mega-queue scale).
-      char seed_name[128];
-      const int seed_len = std::snprintf(seed_name, sizeof seed_name, "app:%zu:%s", i,
-                                         inst.benchmark.c_str());
-      const std::uint64_t seed =
-          seed_len > 0 && static_cast<std::size_t>(seed_len) < sizeof seed_name
-              ? Rng::derive(cfg.seed, std::string_view(seed_name,
-                                                       static_cast<std::size_t>(seed_len)))
-              : Rng::derive(cfg.seed, "app:" + std::to_string(i) + ":" + inst.benchmark);
-      app.probe = std::make_unique<AppProbe>(*app.spec, features, inst.input_items, seed);
-
-      const ProfilingCost cost = policy.profile(*app.probe, app.est);
-      Items consumed = cost.feature_items + cost.calibration_items;
-      consumed = std::min(consumed, inst.input_items * 0.5);
-      app.unassigned = inst.input_items - consumed;
-
-      app.dyn_alloc = static_cast<std::size_t>(std::clamp<double>(
-          std::ceil(inst.input_items / cfg.spark.dyn_alloc_items_per_executor), 1.0,
-          static_cast<double>(cfg.spark.dyn_alloc_max_executors)));
-      app.default_chunk = std::ceil(inst.input_items / static_cast<double>(app.dyn_alloc));
-      // The paper's dispatcher spawns executors beyond the (imperfect) Spark
-      // dynamic allocation when spare resources exist (Section 4.3), bounded
-      // by the cluster size.
-      app.max_pred_executors = std::min<std::size_t>(
-          static_cast<std::size_t>(std::ceil(cfg.spark.executor_boost *
-                                             static_cast<double>(app.dyn_alloc))),
-          cfg.cluster.n_nodes);
-      app.max_pred_executors = std::max<std::size_t>(app.max_pred_executors, 1);
-      app.pred_chunk_cap = std::max<Items>(
-          cfg.spark.min_chunk,
-          std::ceil(inst.input_items / static_cast<double>(app.max_pred_executors)));
-
-      app.res.benchmark = inst.benchmark;
-      app.res.input_items = inst.input_items;
-      app.res.feature_time = cost.feature_items / app.spec->items_per_second;
-      app.res.calibration_time = cost.calibration_items / app.spec->items_per_second;
-      const Seconds duration = app.res.feature_time + app.res.calibration_time;
-      if (duration > 0) {
-        auto slot = std::min_element(slot_free.begin(), slot_free.end());
-        app.res.profile_end = *slot + duration;
-        *slot = app.res.profile_end;
-        app.phase = Phase::kProfiling;
-        profile_pending.emplace_back(app.res.profile_end, i);
-      } else {
-        app.res.profile_end = 0;
-        app.phase = Phase::kReady;
-      }
-      if (tracing) {
-        sink.emit(obs::Event(now, obs::EventType::kAppSubmit)
-                      .with("app", i)
-                      .with("benchmark", inst.benchmark)
-                      .with("input_items", inst.input_items)
-                      .with("profile_consumed_items", consumed)
-                      .with("profile_end", app.res.profile_end)
-                      .with("dyn_alloc", app.dyn_alloc)
-                      .with("max_pred_executors", app.max_pred_executors));
-        if (duration > 0)
-          sink.emit(obs::Event(now, obs::EventType::kProfilingStart)
-                        .with("app", i)
-                        .with("benchmark", inst.benchmark)
-                        .with("slot_start", app.res.profile_end - duration)
-                        .with("planned_end", app.res.profile_end)
-                        .with("feature_items", cost.feature_items)
-                        .with("calibration_items", cost.calibration_items));
-      }
-      apps.push_back(std::move(app));
-    }
+    for (std::size_t i = 0; i < mix.size(); ++i) submit_one(mix[i], i);
     std::sort(profile_pending.begin(), profile_pending.end());
     queue.resize(apps.size());
     for (std::size_t i = 0; i < queue.size(); ++i) queue[i] = i;
@@ -416,6 +465,10 @@ struct Sim {
     if (!node_dirty_flag[n]) {
       node_dirty_flag[n] = 1;
       dirty_nodes.push_back(node_id);
+    }
+    if (!monitor_dirty_flag[n]) {
+      monitor_dirty_flag[n] = 1;
+      monitor_dirty.push_back(node_id);
     }
   }
 
@@ -902,6 +955,9 @@ struct Sim {
   /// True when a calendar entry is the live wake-up for its slot (not an
   /// orphan from a rate change or a release).
   bool entry_live(const CalendarEntry& entry) const {
+    // Negative slots are control events (arrival sentinel): consumed exactly
+    // once when they pop, never invalidated.
+    if (entry.slot < 0) return true;
     return execs[static_cast<std::size_t>(entry.slot)].active &&
            versions[static_cast<std::size_t>(entry.slot)] == entry.version;
   }
@@ -991,6 +1047,10 @@ struct Sim {
         continue;
       }
       if (top.t > now + top.tol) break;
+      // Arrival sentinels are handled by handle_arrivals() before the clock
+      // advances past them; one due at `now` just means the serving loop will
+      // consume it on the next iteration — it is not an executor wake-up.
+      if (top.slot < 0) break;
       due_slots.push_back(top.slot);
       calendar.discard_top();
     }
@@ -1073,6 +1133,17 @@ struct Sim {
         ++apps_done;
         m_apps_done.inc();
         q_sojourn.observe(app.res.turnaround());
+        if (serving) {
+          w_finish->add(now);
+          g_in_system->set(static_cast<double>(in_system()));
+          const Seconds iso = app_isolated_s[a];
+          if (iso > 0) {
+            const double norm = app.res.turnaround() / iso;
+            q_norm->observe(norm);
+            norm_turnaround_sum += norm;
+            ++norm_turnaround_n;
+          }
+        }
         if (tracing)
           sink.emit(obs::Event(now, obs::EventType::kAppFinish)
                         .with("app", a)
@@ -1088,12 +1159,20 @@ struct Sim {
 
   void maybe_report() {
     if (now + kEps < next_report) return;
-    report_cpu.resize(n_nodes);
-    report_mem.resize(n_nodes);
-    for (std::size_t n = 0; n < n_nodes; ++n)
-      report_cpu[n] = std::min(1.0, node_cpu_iso[n]);
-    std::copy(node_resident.begin(), node_resident.end(), report_mem.begin());
-    monitor.record(report_cpu, report_mem);
+    // Only nodes whose executor set changed since the last tick can report a
+    // new value; the monitor re-reports the sticky previous value for the
+    // rest. Sorting keeps the sample list canonical (decisions don't depend
+    // on it — samples write independent rows — but determinism should be
+    // evident, not incidental).
+    report_scratch.clear();
+    std::sort(monitor_dirty.begin(), monitor_dirty.end());
+    for (const int node : monitor_dirty) {
+      const auto n = static_cast<std::size_t>(node);
+      monitor_dirty_flag[n] = 0;
+      report_scratch.push_back({node, std::min(1.0, node_cpu_iso[n]), node_resident[n]});
+    }
+    monitor_dirty.clear();
+    monitor.record_sparse(report_scratch);
     next_report += cfg.spark.monitor_period;
     m_reports.inc();
     // Fresh smoothed CPU views can open placements the stale ones blocked.
@@ -1106,6 +1185,258 @@ struct Sim {
                     .with("mean_mem_gib", monitor.last_mean_mem())
                     .with("active_executors", active));
     }
+  }
+
+  // ---- open-loop serving (DESIGN.md §14) -----------------------------
+  std::size_t in_system() const { return apps.size() - apps_done; }
+
+  /// Keep exactly one arrival sentinel in the calendar: the next undelivered
+  /// arrival. Pushing them one at a time (instead of all n up front) keeps
+  /// the calendar footprint O(live executors) in long loads.
+  void push_next_arrival() {
+    if (arrival_pushed < arrivals->size()) {
+      calendar.push((*arrivals)[arrival_pushed].t, 0.0, kArrivalSlot,
+                    static_cast<std::uint64_t>(arrival_pushed));
+      ++arrival_pushed;
+    }
+  }
+
+  /// Consume every arrival sentinel due at `now` (the clock never advances
+  /// past an unconsumed arrival: next_event_time sees the sentinel). Each
+  /// consumed arrival immediately faces the admission gate.
+  void handle_arrivals() {
+    while (!calendar.empty()) {
+      const CalendarEntry& top = calendar.top();
+      if (top.slot != kArrivalSlot) {
+        if (entry_live(top)) break;
+        calendar.discard_top();
+        continue;
+      }
+      if (top.t > now + kEps) break;
+      const auto idx = static_cast<std::size_t>(top.version);
+      calendar.discard_top();
+      push_next_arrival();
+      arrive(idx);
+    }
+  }
+
+  void arrive(std::size_t idx) {
+    w_arrive->add(now);
+    if (tracing) {
+      const ServingArrival& a = (*arrivals)[idx];
+      sink.emit(obs::Event(now, obs::EventType::kAppArrival)
+                    .with("arrival", idx)
+                    .with("benchmark", a.app.benchmark)
+                    .with("input_items", a.app.input_items)
+                    .with("in_system", in_system())
+                    .with("gate_queue", gate_queue.size()));
+    }
+    decide(idx, /*retry=*/false);
+  }
+
+  /// Put arrival `idx` in front of the admission gate and act on the verdict.
+  /// A first-time defer parks it at the gate; a retry defer leaves the caller
+  /// (process_deferred) to keep it at the head of the gate queue.
+  AdmissionVerdict decide(std::size_t idx, bool retry) {
+    AdmissionContext ctx;
+    ctx.now = now;
+    ctx.in_system = in_system();
+    ctx.waiting = gate_queue.size();
+    ctx.monitor_mean_cpu = monitor.last_mean_cpu();
+    ctx.monitor_mean_mem = monitor.last_mean_mem();
+    ctx.node_ram = cfg.cluster.node_ram;
+    ctx.n_nodes = n_nodes;
+    ctx.retry = retry;
+    const AdmissionVerdict verdict = admission->admit(ctx);
+    switch (verdict) {
+      case AdmissionVerdict::kAdmit:
+        admit_arrival(idx);
+        break;
+      case AdmissionVerdict::kDrop:
+        ++dropped;
+        ++arrivals_resolved;
+        s_drop->inc();
+        break;
+      case AdmissionVerdict::kDefer:
+        if (!retry) {
+          ++deferrals;
+          s_defer->inc();
+          gate_queue.push_back(idx);
+          g_gate->set(static_cast<double>(gate_queue.size()));
+        }
+        break;
+    }
+    if (tracing) {
+      const std::string_view verdict_name = to_string(verdict);
+      sink.emit(obs::Event(now, obs::EventType::kAdmission)
+                    .with("arrival", idx)
+                    .with("verdict", verdict_name)
+                    .with("retry", retry)
+                    .with("in_system", in_system())
+                    .with("gate_queue", gate_queue.size())
+                    .with("monitor_mean_mem", ctx.monitor_mean_mem));
+    }
+    return verdict;
+  }
+
+  /// Admit arrival `idx` into the cluster queue. Under FCFS the application
+  /// id, its queue position, and its rank all coincide, so admission is an
+  /// O(1) append (plus the sorted-suffix insert for its profiling window).
+  void admit_arrival(std::size_t idx) {
+    const ServingArrival& arr = (*arrivals)[idx];
+    const std::size_t app_id = apps.size();
+    submit_one(arr.app, app_id);
+    app_isolated_s.push_back(arr.isolated_s);
+    queue.push_back(app_id);
+    rank_of.push_back(static_cast<std::uint32_t>(queue.size() - 1));
+    if (apps[app_id].phase == Phase::kReady) {
+      ready_ranks.insert(rank_of[app_id]);
+    } else {
+      // submit_one appended (profile_end, app_id); restore the sorted-suffix
+      // invariant promote_profiling relies on without touching the already
+      // consumed prefix before profile_cursor.
+      const auto first =
+          profile_pending.begin() + static_cast<std::ptrdiff_t>(profile_cursor);
+      const auto last = profile_pending.end() - 1;
+      const auto pos = std::upper_bound(first, last, profile_pending.back());
+      std::rotate(pos, last, profile_pending.end());
+    }
+    ++admitted;
+    ++arrivals_resolved;
+    s_admit->inc();
+    g_in_system->set(static_cast<double>(in_system()));
+    needs_dispatch = true;
+  }
+
+  /// Re-evaluate the gate queue head-of-line: deferred arrivals re-enter
+  /// FIFO, and a head the gate still defers blocks everything behind it (the
+  /// gate is a queue, not a pool).
+  void process_deferred() {
+    if (gate_queue.empty()) return;
+    while (!gate_queue.empty()) {
+      const std::size_t idx = gate_queue.front();
+      gate_queue.pop_front();
+      if (decide(idx, /*retry=*/true) == AdmissionVerdict::kDefer) {
+        gate_queue.push_front(idx);
+        break;
+      }
+    }
+    g_gate->set(static_cast<double>(gate_queue.size()));
+  }
+
+  ServingResult run_serving(const std::vector<ServingArrival>& arr,
+                            AdmissionPolicy& adm) {
+    SMOE_REQUIRE(!arr.empty(), "serving: empty arrival list");
+    SMOE_REQUIRE(cfg.spark.queue_order == QueueOrder::kFcfs,
+                 "serving: open-loop mode requires FCFS queue order");
+    SMOE_REQUIRE(arr.front().t >= 0, "serving: negative arrival time");
+    for (std::size_t i = 1; i < arr.size(); ++i)
+      SMOE_REQUIRE(arr[i].t >= arr[i - 1].t, "serving: arrivals must be sorted by time");
+
+    serving = true;
+    arrivals = &arr;
+    admission = &adm;
+    adm.reset();
+    // Serving instruments are created here, never in the constructor: batch
+    // runs must keep byte-identical metrics snapshots (the golden corpus pins
+    // them), so the registry only ever sees these names in serving runs.
+    // Windowed rates use a multi-report horizon so "steady state" means the
+    // same smoothed timescale the dispatcher's monitor view uses.
+    const double horizon =
+        cfg.spark.monitor_period * static_cast<double>(std::max<std::size_t>(
+                                       std::size_t{8}, 2 * cfg.spark.monitor_window));
+    s_admit = &metrics.counter("serving_admitted_total");
+    s_drop = &metrics.counter("serving_dropped_total");
+    s_defer = &metrics.counter("serving_deferred_total");
+    g_in_system = &metrics.gauge("serving_in_system");
+    g_gate = &metrics.gauge("serving_gate_queue");
+    w_arrive = &metrics.windowed_rate("serving_arrival_rate", horizon);
+    w_finish = &metrics.windowed_rate("serving_finish_rate", horizon);
+    q_norm = &metrics.quantile("app_norm_turnaround", {0.5, 0.9, 0.99});
+
+    const MetricsBinding binding(policy, &metrics);
+    const std::string policy_name = policy.name();
+    const std::string admission_name = adm.name();
+    if (tracing)
+      sink.emit(obs::Event(now, obs::EventType::kRunStart)
+                    .with("policy", policy_name)
+                    .with("mode", mode_name(policy.mode()))
+                    .with("n_apps", arr.size())
+                    .with("n_nodes", cfg.cluster.n_nodes)
+                    .with("node_ram_gib", cfg.cluster.node_ram)
+                    .with("seed", static_cast<std::int64_t>(cfg.seed))
+                    .with("open_loop", 1)
+                    .with("admission", admission_name));
+    apps.reserve(arr.size());
+    push_next_arrival();
+
+    std::size_t guard = 0;
+    const std::size_t guard_limit = 5'000'000 + 512 * arr.size();
+    while (true) {
+      handle_arrivals();
+      promote_profiling();
+      process_deferred();
+      if (arrivals_resolved == arr.size() && apps_done == apps.size()) break;
+
+      dispatch();
+      refresh_rates();
+
+      const Seconds t = next_event_time();
+      if (!std::isfinite(t)) {
+        SMOE_CHECK(false, "serving stalled: arrivals pending but no next event");
+      }
+      advance_to(t);
+      handle_arrivals();
+      handle_completions();
+      maybe_report();
+
+      // Catches both non-advancing schedules and pathological gates that
+      // never admit while the monitor view never changes.
+      SMOE_CHECK(++guard < guard_limit, "serving run exceeded event budget");
+    }
+
+    ServingResult result;
+    result.offered = arr.size();
+    result.admitted = admitted;
+    result.dropped = dropped;
+    result.deferrals = deferrals;
+    result.oom_total = oom_total;
+    result.executors_spawned = executors_spawned;
+    result.executors_degraded = executors_degraded;
+    result.apps.reserve(apps.size());
+    for (auto& app : apps) {
+      result.makespan = std::max(result.makespan, app.res.finish);
+      result.apps.push_back(app.res);
+    }
+    result.antt =
+        norm_turnaround_n > 0 ? norm_turnaround_sum / static_cast<double>(norm_turnaround_n)
+                              : 0.0;
+    result.throughput =
+        result.makespan > 0 ? static_cast<double>(apps_done) / result.makespan : 0.0;
+
+    // Roll the windowed rates forward to the end of the run so the snapshot
+    // reports the closing steady-state window, not the last-event one.
+    w_arrive->advance_time(now);
+    w_finish->advance_time(now);
+    metrics.gauge("makespan_seconds").set(result.makespan);
+    metrics.gauge("peak_node_occupancy").set(static_cast<double>(peak_node_occupancy));
+    metrics.gauge("reserved_gib_hours").set(reserved_gib_seconds / 3600.0);
+    metrics.gauge("used_gib_hours").set(used_gib_seconds / 3600.0);
+    result.metrics = metrics.snapshot();
+    if (tracing)
+      sink.emit(obs::Event(now, obs::EventType::kRunEnd)
+                    .with("makespan_s", result.makespan)
+                    .with("executors_spawned", executors_spawned)
+                    .with("executors_degraded", executors_degraded)
+                    .with("oom_total", oom_total)
+                    .with("peak_node_occupancy", peak_node_occupancy)
+                    .with("reserved_gib_hours", reserved_gib_seconds / 3600.0)
+                    .with("used_gib_hours", used_gib_seconds / 3600.0)
+                    .with("offered", result.offered)
+                    .with("admitted", admitted)
+                    .with("dropped", dropped)
+                    .with("deferred", deferrals));
+    return result;
   }
 
   SimResult run(const wl::TaskMix& mix) {
@@ -1185,6 +1516,15 @@ SimResult ClusterSim::run(const wl::TaskMix& mix, SchedulingPolicy& policy,
                           obs::EventSink* sink) {
   Sim sim(cfg_, features_, policy, sink != nullptr ? *sink : obs::null_sink());
   return sim.run(mix);
+}
+
+ServingResult ClusterSim::serve(const std::vector<ServingArrival>& arrivals,
+                                SchedulingPolicy& policy, AdmissionPolicy& admission,
+                                obs::EventSink* sink) {
+  obs::EventSink* effective = sink != nullptr ? sink : cfg_.sink;
+  Sim sim(cfg_, features_, policy,
+          effective != nullptr ? *effective : obs::null_sink());
+  return sim.run_serving(arrivals, admission);
 }
 
 Seconds ClusterSim::isolated_exec_time(const wl::AppInstance& app) {

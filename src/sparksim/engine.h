@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "obs/registry.h"
+#include "sparksim/admission.h"
 #include "sparksim/config.h"
 #include "sparksim/policy.h"
 #include "sparksim/trace.h"
@@ -37,7 +38,8 @@ namespace smoe::sim {
 struct AppResult {
   std::string benchmark;
   Items input_items = 0;
-  Seconds submit = 0;            ///< All apps are submitted at t = 0.
+  Seconds submit = 0;            ///< Submission time: 0 in batch runs, the
+                                 ///< admission time in serving runs.
   Seconds profile_end = 0;       ///< When profiling finished (== submit if none).
   Seconds start = -1;            ///< First executor spawn.
   Seconds finish = -1;           ///< Last item processed.
@@ -66,6 +68,32 @@ struct SimResult {
   obs::MetricsSnapshot metrics;
 };
 
+/// Result of one open-loop serving run (DESIGN.md §14). `apps` holds the
+/// *admitted* applications in admission order; dropped arrivals are counted
+/// but never simulated.
+struct ServingResult {
+  std::vector<AppResult> apps;
+  std::size_t offered = 0;     ///< arrivals played against the gate
+  std::size_t admitted = 0;
+  std::size_t dropped = 0;
+  std::size_t deferrals = 0;   ///< arrivals that were deferred at least once
+  Seconds makespan = 0;        ///< last application finish time
+  /// Mean normalized turnaround (ANTT, Section 5.3) over finished apps whose
+  /// arrival carried an isolated time; 0 when none did.
+  double antt = 0;
+  /// Finished applications per second over the whole run (offered-load STP
+  /// proxy; the windowed steady-state rate lives in `metrics`).
+  double throughput = 0;
+  std::size_t oom_total = 0;
+  std::size_t executors_spawned = 0;
+  std::size_t executors_degraded = 0;
+  /// End-of-run metrics snapshot. On top of the batch instruments it carries
+  /// the serving-only windowed instruments: admission counters, gate/system
+  /// gauges, arrival/finish windowed rates, and sojourn / normalized-
+  /// turnaround quantiles (p50/p90/p99).
+  obs::MetricsSnapshot metrics;
+};
+
 class ClusterSim {
  public:
   ClusterSim(SimConfig config, const wl::FeatureModel& features);
@@ -79,6 +107,17 @@ class ClusterSim {
   /// — pass nullptr to silence internal/baseline measurement runs without
   /// touching the config.
   SimResult run(const wl::TaskMix& mix, SchedulingPolicy& policy, obs::EventSink* sink);
+
+  /// Open-loop serving: play `arrivals` (ascending by time) against a
+  /// long-lived dispatcher. Each arrival is a first-class calendar event; the
+  /// admission policy decides at the gate whether it enters the cluster
+  /// queue, parks (FIFO) at the gate, or is dropped. The run drains when
+  /// every arrival has a final verdict and every admitted application
+  /// finished. Requires QueueOrder::kFcfs (arrival order *is* the queue
+  /// order). Deterministic given the arrival list and SimConfig::seed.
+  ServingResult serve(const std::vector<ServingArrival>& arrivals,
+                      SchedulingPolicy& policy, AdmissionPolicy& admission,
+                      obs::EventSink* sink = nullptr);
 
   /// Execution time of one application run alone on the idle cluster with
   /// exclusive memory — the C^is_i term of the STP/ANTT metrics (Section 5.3).

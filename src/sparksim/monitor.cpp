@@ -12,18 +12,55 @@ ResourceMonitor::ResourceMonitor(std::size_t n_nodes, std::size_t window)
   SMOE_REQUIRE(window > 0, "monitor: window must be >= 1");
   cpu_ring_.assign(window * n_nodes, 0.0);
   mem_ring_.assign(window * n_nodes, 0.0);
+  filled_to_.assign(n_nodes, 0);
+  cur_cpu_.assign(n_nodes, 0.0);
+  cur_mem_.assign(n_nodes, 0.0);
   avg_cpu_.assign(n_nodes, 0.0);
   avg_mem_.assign(n_nodes, 0.0);
   stamp_.assign(n_nodes, 0);  // matches reports_ == 0: averages are 0
 }
 
-void ResourceMonitor::record(std::span<const double> cpu_now, std::span<const double> mem_now) {
+void ResourceMonitor::fill_node(std::size_t n) const {
+  std::size_t from = filled_to_[n];
+  if (from >= reports_) return;
+  // Rows older than the window were overwritten anyway; cap the back-fill.
+  if (reports_ > window_) from = std::max(from, reports_ - window_);
+  double* cpu_row = cpu_ring_.data() + n * window_;
+  double* mem_row = mem_ring_.data() + n * window_;
+  for (std::size_t r = from; r < reports_; ++r) {
+    cpu_row[r % window_] = cur_cpu_[n];
+    mem_row[r % window_] = cur_mem_[n];
+  }
+  filled_to_[n] = reports_;
+}
+
+void ResourceMonitor::record_sparse(std::span<const NodeSample> changed) {
+  for (const NodeSample& s : changed) {
+    const std::size_t n = checked(s.node);
+    // Back-fill the reports this node sat out with its previous value, then
+    // write the new value into this tick's row.
+    fill_node(n);
+    cur_cpu_[n] = s.cpu;
+    cur_mem_[n] = s.mem;
+    cpu_ring_[n * window_ + reports_ % window_] = s.cpu;
+    mem_ring_[n * window_ + reports_ % window_] = s.mem;
+    filled_to_[n] = reports_ + 1;
+  }
+  ++reports_;  // implicitly invalidates every per-node cache stamp
+}
+
+void ResourceMonitor::record(std::span<const double> cpu_now,
+                             std::span<const double> mem_now) {
   SMOE_REQUIRE(cpu_now.size() == n_nodes_, "monitor: node count mismatch");
   SMOE_REQUIRE(mem_now.size() == cpu_now.size(), "monitor: node count mismatch");
-  const std::size_t slot = reports_ % window_;
-  std::copy(cpu_now.begin(), cpu_now.end(), cpu_ring_.begin() + slot * n_nodes_);
-  std::copy(mem_now.begin(), mem_now.end(), mem_ring_.begin() + slot * n_nodes_);
-  ++reports_;  // implicitly invalidates every per-node cache stamp
+  for (std::size_t n = 0; n < n_nodes_; ++n) {
+    cur_cpu_[n] = cpu_now[n];
+    cur_mem_[n] = mem_now[n];
+    cpu_ring_[n * window_ + reports_ % window_] = cpu_now[n];
+    mem_ring_[n * window_ + reports_ % window_] = mem_now[n];
+    filled_to_[n] = reports_ + 1;
+  }
+  ++reports_;
 }
 
 std::size_t ResourceMonitor::checked(NodeId node) const {
@@ -33,35 +70,34 @@ std::size_t ResourceMonitor::checked(NodeId node) const {
 }
 
 void ResourceMonitor::refresh(std::size_t n) const {
+  fill_node(n);
   const std::size_t filled = std::min(reports_, window_);
+  const double* cpu_row = cpu_ring_.data() + n * window_;
+  const double* mem_row = mem_ring_.data() + n * window_;
   double sc = 0, sm = 0;
   for (std::size_t i = 0; i < filled; ++i) {
-    sc += cpu_ring_[i * n_nodes_ + n];
-    sm += mem_ring_[i * n_nodes_ + n];
+    sc += cpu_row[i];
+    sm += mem_row[i];
   }
   avg_cpu_[n] = sc / static_cast<double>(filled);
   avg_mem_[n] = sm / static_cast<double>(filled);
   stamp_[n] = reports_;
 }
 
-namespace {
-
-double mean_of(const double* row, std::size_t n) {
-  double s = 0;
-  for (std::size_t i = 0; i < n; ++i) s += row[i];
-  return n == 0 ? 0.0 : s / static_cast<double>(n);
-}
-
-}  // namespace
-
 double ResourceMonitor::last_mean_cpu() const {
   if (reports_ == 0) return 0.0;
-  return mean_of(cpu_ring_.data() + ((reports_ - 1) % window_) * n_nodes_, n_nodes_);
+  // cur_cpu_[n] is by construction the value node n carried in the latest
+  // report; summing in node order matches the legacy latest-row mean bitwise.
+  double s = 0;
+  for (std::size_t n = 0; n < n_nodes_; ++n) s += cur_cpu_[n];
+  return s / static_cast<double>(n_nodes_);
 }
 
 GiB ResourceMonitor::last_mean_mem() const {
   if (reports_ == 0) return 0.0;
-  return mean_of(mem_ring_.data() + ((reports_ - 1) % window_) * n_nodes_, n_nodes_);
+  double s = 0;
+  for (std::size_t n = 0; n < n_nodes_; ++n) s += cur_mem_[n];
+  return s / static_cast<double>(n_nodes_);
 }
 
 }  // namespace smoe::sim

@@ -3,11 +3,23 @@
 // windowed average (the paper uses a 5-minute window), so scheduling sees
 // slightly stale, smoothed values — exactly like the real system.
 //
+// Report generation is *incremental*: a node's instantaneous load only
+// changes when its executor set changes, so the engine hands record_sparse()
+// just the nodes dirtied since the last tick instead of materializing all
+// n_nodes values — the O(nodes)-per-tick report was the 10k-node throughput
+// droop. Internally each node owns a node-major ring of its last `window`
+// reported values, filled lazily: a node untouched for k reports has its
+// ring rows materialized from its sticky current value on the next write or
+// query, at most `window` rows per node. Every materialized row holds
+// exactly the value a dense per-tick record() would have written (an
+// unchanged node reports an unchanged value), and the windowed average sums
+// the filled slots in slot order 0..filled-1 — the identical FP summation —
+// so queries are bit-identical to the dense recompute, not just close
+// (tests/test_monitor.cpp pins this differentially and under fuzz).
+//
 // Dispatch queries the windowed averages orders of magnitude more often than
-// nodes report (every candidate node of every decision vs. once per monitor
-// period), so each node's average is computed once per report generation —
-// on first query, then cached until the next record() — instead of on every
-// query. Rings are stored flat (slot-major) for contiguous traversal.
+// nodes report, so each node's average is cached after the first query and
+// invalidated by the next record.
 #pragma once
 
 #include <cstddef>
@@ -22,9 +34,23 @@ class ResourceMonitor {
  public:
   ResourceMonitor(std::size_t n_nodes, std::size_t window);
 
+  /// One node's instantaneous sample inside a sparse reporting tick.
+  struct NodeSample {
+    NodeId node = 0;
+    double cpu = 0;  ///< instantaneous CPU utilization (0..1)
+    GiB mem = 0;     ///< memory in use
+  };
+
   /// Ingest one reporting tick: instantaneous CPU utilization (0..1) and
-  /// memory in use (GiB) per node.
+  /// memory in use (GiB) per node. Dense convenience wrapper over
+  /// record_sparse() — every node is treated as changed.
   void record(std::span<const double> cpu_now, std::span<const double> mem_now);
+
+  /// Ingest one reporting tick given only the nodes whose load *changed*
+  /// since the previous tick; every other node implicitly reports its
+  /// previous value again (0 before its first sample). O(changed x window)
+  /// instead of O(n_nodes).
+  void record_sparse(std::span<const NodeSample> changed);
 
   /// Windowed average CPU utilization of a node; 0 before the first report.
   double reported_cpu(NodeId node) const {
@@ -51,24 +77,37 @@ class ResourceMonitor {
   }
 
   std::size_t reports_seen() const { return reports_; }
+  std::size_t n_nodes() const { return n_nodes_; }
 
   /// Cluster-wide means of the *latest* report (not the window) — what a
   /// monitoring dashboard would chart per tick; 0 before the first report.
+  /// O(n_nodes): only the traced monitor_report event consumes these.
   double last_mean_cpu() const;
   GiB last_mean_mem() const;
 
  private:
   std::size_t checked(NodeId node) const;
+  /// Materialize node n's ring rows for every report since its last write
+  /// (all equal to its sticky current value), capped at `window` rows.
+  void fill_node(std::size_t n) const;
   /// Recompute node `n`'s cached averages: sum over the filled slots in slot
-  /// order (0..filled-1), then divide — exactly the summation an uncached
-  /// query performs, so the cache is bit-identical to computing on demand.
+  /// order (0..filled-1), then divide — exactly the summation the legacy
+  /// dense monitor performed, so incremental ingestion is bit-identical.
   void refresh(std::size_t n) const;
 
   std::size_t n_nodes_;
   std::size_t window_;
   std::size_t reports_ = 0;
-  // Flat ring buffers, slot-major: slot i's row is [i * n_nodes_, i * n_nodes_ + n_nodes_).
-  std::vector<double> cpu_ring_, mem_ring_;
+  // Node-major rings: node n's rows are [n * window_, (n + 1) * window_),
+  // indexed by report % window_. Rows are materialized lazily (fill_node),
+  // hence mutable behind const reads, like the average cache below.
+  mutable std::vector<double> cpu_ring_, mem_ring_;
+  /// Number of reports whose ring rows are materialized for each node:
+  /// rows for reports < filled_to_[n] are valid, later ones pending.
+  mutable std::vector<std::size_t> filled_to_;
+  // Sticky per-node current values: what the node reports while unchanged.
+  std::vector<double> cur_cpu_;
+  std::vector<GiB> cur_mem_;
   // Per-node windowed averages, valid while stamp_[n] == reports_. Caching is
   // a pure memoization of the query, hence mutable behind const reads.
   mutable std::vector<double> avg_cpu_, avg_mem_;

@@ -1,0 +1,122 @@
+// Hardened-parser regression tests: every malformed numeric a user can type
+// (`--threads -1`, `--iters 1e99`, `--seconds 5s`, overflow-length digit
+// strings) must be rejected — parse_* return nullopt, and the bench option
+// parser exits 2 with usage instead of letting junk through or throwing.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/bench_cli.h"
+
+namespace {
+
+using smoe::parse_bench_options;
+using smoe::parse_double;
+using smoe::parse_size;
+
+TEST(ParseSize, AcceptsPlainDigits) {
+  EXPECT_EQ(parse_size("0"), 0u);
+  EXPECT_EQ(parse_size("7"), 7u);
+  EXPECT_EQ(parse_size("128"), 128u);
+  EXPECT_EQ(parse_size("000042"), 42u);
+  EXPECT_EQ(parse_size("999999999999999999"), 999999999999999999ull);  // 18 digits
+}
+
+TEST(ParseSize, RejectsSignsJunkAndOverflow) {
+  EXPECT_FALSE(parse_size(""));
+  EXPECT_FALSE(parse_size("-1"));
+  EXPECT_FALSE(parse_size("+1"));
+  EXPECT_FALSE(parse_size(" 1"));
+  EXPECT_FALSE(parse_size("1 "));
+  EXPECT_FALSE(parse_size("5s"));       // trailing junk
+  EXPECT_FALSE(parse_size("1e99"));     // scientific notation is not an integer
+  EXPECT_FALSE(parse_size("0x10"));
+  EXPECT_FALSE(parse_size("1.5"));
+  EXPECT_FALSE(parse_size("1234567890123456789"));  // 19 digits: over the cap
+  EXPECT_FALSE(parse_size("99999999999999999999999999"));
+}
+
+TEST(ParseDouble, AcceptsDecimalAndScientific) {
+  EXPECT_DOUBLE_EQ(*parse_double("0"), 0.0);
+  EXPECT_DOUBLE_EQ(*parse_double("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(*parse_double("1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(*parse_double("1e99"), 1e99);  // finite, so a valid *double*
+  EXPECT_DOUBLE_EQ(*parse_double("0.125"), 0.125);
+}
+
+TEST(ParseDouble, RejectsSignsJunkAndNonFinite) {
+  EXPECT_FALSE(parse_double(""));
+  EXPECT_FALSE(parse_double("-1"));
+  EXPECT_FALSE(parse_double("-0.5"));
+  EXPECT_FALSE(parse_double("+1"));
+  EXPECT_FALSE(parse_double("5s"));
+  EXPECT_FALSE(parse_double("1.2.3"));
+  EXPECT_FALSE(parse_double(" 1"));
+  EXPECT_FALSE(parse_double("1 "));
+  EXPECT_FALSE(parse_double("inf"));
+  EXPECT_FALSE(parse_double("nan"));
+  EXPECT_FALSE(parse_double("1e999"));  // overflows to inf
+  EXPECT_FALSE(parse_double("0x1p4"));  // hex floats stay rejected
+}
+
+/// Builds a mutable argv for parse_bench_options.
+struct Argv {
+  explicit Argv(std::vector<std::string> words) : storage(std::move(words)) {
+    for (std::string& w : storage) ptrs.push_back(w.data());
+  }
+  int argc() const { return static_cast<int>(ptrs.size()); }
+  char** argv() { return ptrs.data(); }
+  std::vector<std::string> storage;
+  std::vector<char*> ptrs;
+};
+
+TEST(ParseBenchOptions, ParsesWellFormedArguments) {
+  Argv a({"bench", "12", "--threads", "4", "--oversubscribe"});
+  const auto opt = parse_bench_options(a.argc(), a.argv(), 30);
+  EXPECT_EQ(opt.n_mixes, 12u);
+  EXPECT_EQ(opt.threads, 4u);
+  EXPECT_TRUE(opt.oversubscribe);
+}
+
+TEST(ParseBenchOptions, DefaultsApplyWithNoArguments) {
+  Argv a({"bench"});
+  const auto opt = parse_bench_options(a.argc(), a.argv(), 30);
+  EXPECT_EQ(opt.n_mixes, 30u);
+  EXPECT_EQ(opt.threads, 0u);
+  EXPECT_FALSE(opt.oversubscribe);
+}
+
+using ParseBenchOptionsDeath = ::testing::Test;
+
+TEST(ParseBenchOptionsDeath, ExitsWithStatus2OnMalformedNumerics) {
+  const auto run = [](std::vector<std::string> words) {
+    Argv a(std::move(words));
+    (void)parse_bench_options(a.argc(), a.argv(), 30);
+  };
+  EXPECT_EXIT(run({"bench", "--threads", "-1"}), ::testing::ExitedWithCode(2),
+              "bad --threads");
+  EXPECT_EXIT(run({"bench", "--threads", "1e99"}), ::testing::ExitedWithCode(2),
+              "bad --threads");
+  EXPECT_EXIT(run({"bench", "--threads", "5s"}), ::testing::ExitedWithCode(2),
+              "bad --threads");
+  EXPECT_EXIT(run({"bench", "--threads", "0"}), ::testing::ExitedWithCode(2),
+              "bad --threads");
+  EXPECT_EXIT(run({"bench", "--threads"}), ::testing::ExitedWithCode(2),
+              "--threads needs a value");
+  EXPECT_EXIT(run({"bench", "-5"}), ::testing::ExitedWithCode(2), "bad mix count");
+  EXPECT_EXIT(run({"bench", "99999999999999999999"}), ::testing::ExitedWithCode(2),
+              "bad mix count");
+  EXPECT_EXIT(run({"bench", "10", "extra"}), ::testing::ExitedWithCode(2),
+              "unexpected argument");
+}
+
+TEST(ParseBenchOptionsDeath, HelpExitsWithStatusZeroAndUsage) {
+  const auto run = [] {
+    Argv a({"bench", "--help"});
+    (void)parse_bench_options(a.argc(), a.argv(), 30);
+  };
+  EXPECT_EXIT(run(), ::testing::ExitedWithCode(0), "usage:");
+}
+
+}  // namespace

@@ -1,0 +1,254 @@
+// Open-loop serving mode: arrival delivery, the admission gate, steady-state
+// accounting, and the closed-batch equivalence anchor (DESIGN.md §14).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "sched/policies_basic.h"
+#include "sparksim/admission.h"
+#include "sparksim/audit/invariant_auditor.h"
+#include "sparksim/engine.h"
+#include "workloads/features.h"
+#include "workloads/mixes.h"
+
+namespace {
+
+using namespace smoe;
+
+sim::SimConfig serving_config() {
+  sim::SimConfig cfg;
+  cfg.seed = 77;
+  cfg.cluster.n_nodes = 8;  // small cluster: contention (and the gate) matter
+  return cfg;
+}
+
+wl::TaskMix small_mix(std::size_t n) {
+  Rng rng(20170815);
+  return wl::random_mix(n, rng);
+}
+
+std::vector<sim::ServingArrival> arrivals_at(const wl::TaskMix& mix, Seconds t,
+                                             Seconds isolated_s = 0) {
+  std::vector<sim::ServingArrival> out;
+  out.reserve(mix.size());
+  for (const auto& app : mix) out.push_back({t, app, isolated_s});
+  return out;
+}
+
+// ---- equivalence anchor ----------------------------------------------------
+
+// The serving engine with every arrival at t = 0 and an unbounded gate is the
+// batch engine: same per-app schedule to the last bit. This pins the serving
+// refactor (submit_one, member profiling slots, the arrival sentinel) to the
+// golden-tested batch path.
+TEST(Serving, UnboundedAllAtTimeZeroMatchesBatchRun) {
+  const wl::FeatureModel features(1);
+  const wl::TaskMix mix = small_mix(8);
+
+  sim::ClusterSim batch_sim(serving_config(), features);
+  sched::OraclePolicy batch_policy;
+  const sim::SimResult batch = batch_sim.run(mix, batch_policy);
+
+  sim::ClusterSim serve_sim(serving_config(), features);
+  sched::OraclePolicy serve_policy;
+  sim::UnboundedAdmission gate;
+  const sim::ServingResult served =
+      serve_sim.serve(arrivals_at(mix, 0.0), serve_policy, gate);
+
+  EXPECT_EQ(served.offered, mix.size());
+  EXPECT_EQ(served.admitted, mix.size());
+  EXPECT_EQ(served.dropped, 0u);
+  EXPECT_EQ(served.deferrals, 0u);
+  ASSERT_EQ(served.apps.size(), batch.apps.size());
+  for (std::size_t i = 0; i < batch.apps.size(); ++i) {
+    EXPECT_EQ(served.apps[i].benchmark, batch.apps[i].benchmark);
+    EXPECT_DOUBLE_EQ(served.apps[i].profile_end, batch.apps[i].profile_end);
+    EXPECT_DOUBLE_EQ(served.apps[i].start, batch.apps[i].start);
+    EXPECT_DOUBLE_EQ(served.apps[i].finish, batch.apps[i].finish);
+  }
+  EXPECT_DOUBLE_EQ(served.makespan, batch.makespan);
+  EXPECT_EQ(served.oom_total, batch.oom_total);
+  EXPECT_EQ(served.executors_spawned, batch.executors_spawned);
+}
+
+// ---- determinism -----------------------------------------------------------
+
+TEST(Serving, PoissonLoadIsDeterministicAndRateIndependent) {
+  const auto a = sim::poisson_load(20, 0.01, 42);
+  const auto b = sim::poisson_load(20, 0.01, 42);
+  const auto fast = sim::poisson_load(20, 1.0, 42);
+  ASSERT_EQ(a.size(), 20u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].t, b[i].t);
+    EXPECT_EQ(a[i].app.benchmark, b[i].app.benchmark);
+    // Same seed → the same application sequence at every rate, so sweeps
+    // compare admission policies on identical offered work.
+    EXPECT_EQ(a[i].app.benchmark, fast[i].app.benchmark);
+    EXPECT_DOUBLE_EQ(a[i].app.input_items, fast[i].app.input_items);
+    if (i > 0) EXPECT_GE(a[i].t, a[i - 1].t);
+  }
+  // ~100x the arrival rate compresses the timeline by ~100x.
+  EXPECT_GT(a.back().t, 50.0 * fast.back().t);
+}
+
+TEST(Serving, ServingRunIsDeterministic) {
+  const wl::FeatureModel features(1);
+  const auto load = sim::poisson_load(12, 1.0 / 400.0, 7);
+  sim::ServingResult results[2];
+  for (auto& result : results) {
+    sim::ClusterSim cluster(serving_config(), features);
+    sched::OraclePolicy policy;
+    sim::BoundedDeferAdmission gate(3);
+    result = cluster.serve(load, policy, gate);
+  }
+  EXPECT_DOUBLE_EQ(results[0].makespan, results[1].makespan);
+  EXPECT_EQ(results[0].admitted, results[1].admitted);
+  EXPECT_EQ(results[0].deferrals, results[1].deferrals);
+  ASSERT_EQ(results[0].apps.size(), results[1].apps.size());
+  for (std::size_t i = 0; i < results[0].apps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[0].apps[i].submit, results[1].apps[i].submit);
+    EXPECT_DOUBLE_EQ(results[0].apps[i].finish, results[1].apps[i].finish);
+  }
+}
+
+// ---- admission policies ----------------------------------------------------
+
+TEST(Serving, BoundedDropShedsOverflowAndBalancesCounts) {
+  const wl::FeatureModel features(1);
+  // A burst: everything arrives before anything can finish.
+  const auto load = arrivals_at(small_mix(10), 0.0);
+  sim::ClusterSim cluster(serving_config(), features);
+  sched::OraclePolicy policy;
+  sim::BoundedDropAdmission gate(3);
+  const sim::ServingResult r = cluster.serve(load, policy, gate);
+  EXPECT_EQ(r.admitted, 3u);
+  EXPECT_EQ(r.dropped, 7u);
+  EXPECT_EQ(r.admitted + r.dropped, r.offered);
+  EXPECT_EQ(r.apps.size(), r.admitted);
+  EXPECT_EQ(r.metrics.counters.at("serving_admitted_total"), 3u);
+  EXPECT_EQ(r.metrics.counters.at("serving_dropped_total"), 7u);
+}
+
+TEST(Serving, BoundedDeferBackpressuresButLosesNothing) {
+  const wl::FeatureModel features(1);
+  const auto load = arrivals_at(small_mix(10), 0.0);
+  sim::ClusterSim cluster(serving_config(), features);
+  sched::OraclePolicy policy;
+  sim::BoundedDeferAdmission gate(3);
+  const sim::ServingResult r = cluster.serve(load, policy, gate);
+  EXPECT_EQ(r.admitted, 10u);
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_GE(r.deferrals, 7u);  // at least the burst overflow parked once
+  ASSERT_EQ(r.apps.size(), 10u);
+  // Deferred apps were admitted later: some submit times are strictly
+  // positive, and admission order is FCFS (submit times non-decreasing).
+  EXPECT_GT(r.apps.back().submit, 0.0);
+  for (std::size_t i = 1; i < r.apps.size(); ++i)
+    EXPECT_GE(r.apps[i].submit, r.apps[i - 1].submit);
+}
+
+TEST(Serving, TokenBucketCapsBurstAdmission) {
+  const wl::FeatureModel features(1);
+  const auto load = arrivals_at(small_mix(10), 0.0);
+  sim::ClusterSim cluster(serving_config(), features);
+  sched::OraclePolicy policy;
+  // Refill is negligible over the burst: only the burst allowance admits.
+  sim::TokenBucketAdmission gate(1e-9, 4.0);
+  const sim::ServingResult r = cluster.serve(load, policy, gate);
+  EXPECT_EQ(r.admitted, 4u);
+  EXPECT_EQ(r.dropped, 6u);
+  EXPECT_EQ(r.deferrals, 0u);
+}
+
+TEST(Serving, MursGateDefersUnderMemoryPressureThenDrains) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg = serving_config();
+  cfg.cluster.n_nodes = 4;  // tiny cluster: the monitor view saturates fast
+  // Spread arrivals across a few monitor periods so the gate sees a stale
+  // view with real memory pressure on it.
+  auto load = sim::poisson_load(10, 1.0 / 90.0, 11);
+  sim::ClusterSim cluster(cfg, features);
+  sched::OraclePolicy policy;
+  sim::MursGateAdmission gate(0.05);  // very low threshold → gate must close
+  const sim::ServingResult r = cluster.serve(load, policy, gate);
+  // Nothing is ever dropped, everything eventually runs and finishes.
+  EXPECT_EQ(r.admitted, 10u);
+  EXPECT_EQ(r.dropped, 0u);
+  EXPECT_GT(r.deferrals, 0u);
+  for (const auto& app : r.apps) EXPECT_GE(app.finish, 0.0);
+}
+
+// ---- steady-state accounting ----------------------------------------------
+
+TEST(Serving, NormalizedTurnaroundUsesIsolatedBaseline) {
+  const wl::FeatureModel features(1);
+  const auto load = arrivals_at(small_mix(6), 0.0, /*isolated_s=*/100.0);
+  sim::ClusterSim cluster(serving_config(), features);
+  sched::OraclePolicy policy;
+  sim::UnboundedAdmission gate;
+  const sim::ServingResult r = cluster.serve(load, policy, gate);
+  EXPECT_GT(r.antt, 0.0);
+  EXPECT_GT(r.throughput, 0.0);
+  const auto& q = r.metrics.quantiles.at("app_norm_turnaround");
+  EXPECT_EQ(q.count, 6u);
+  // ANTT is the mean of the same normalized samples the quantile sketch saw.
+  EXPECT_NEAR(r.antt, q.sum / static_cast<double>(q.count), 1e-12);
+  const auto& arrive = r.metrics.windows.at("serving_arrival_rate");
+  const auto& finish = r.metrics.windows.at("serving_finish_rate");
+  EXPECT_EQ(arrive.total_count, 6u);
+  EXPECT_EQ(finish.total_count, 6u);
+}
+
+// ---- invariant audit -------------------------------------------------------
+
+TEST(Serving, AllPoliciesProduceAuditCleanTraces) {
+  const wl::FeatureModel features(1);
+  const auto load = sim::poisson_load(8, 1.0 / 150.0, 5);
+  sim::UnboundedAdmission unbounded;
+  sim::BoundedDropAdmission drop(3);
+  sim::BoundedDeferAdmission defer(3);
+  sim::MursGateAdmission murs(0.3);
+  sim::TokenBucketAdmission bucket(1.0 / 300.0, 3.0);
+  sim::HybridAdmission hybrid(6, 0.3);
+  sim::AdmissionPolicy* gates[] = {&unbounded, &drop, &defer, &murs, &bucket, &hybrid};
+  for (sim::AdmissionPolicy* gate : gates) {
+    SCOPED_TRACE(gate->name());
+    sim::audit::InvariantAuditor auditor;
+    sim::ClusterSim cluster(serving_config(), features);
+    sched::OraclePolicy policy;
+    const sim::ServingResult r = cluster.serve(load, policy, *gate, &auditor);
+    EXPECT_EQ(auditor.runs_completed(), 1u);
+    EXPECT_EQ(r.admitted + r.dropped, r.offered);
+    EXPECT_EQ(r.apps.size(), r.admitted);
+  }
+}
+
+// ---- preconditions ---------------------------------------------------------
+
+TEST(Serving, RejectsNonFcfsQueueOrder) {
+  const wl::FeatureModel features(1);
+  sim::SimConfig cfg = serving_config();
+  cfg.spark.queue_order = sim::QueueOrder::kShortestJobFirst;
+  sim::ClusterSim cluster(cfg, features);
+  sched::OraclePolicy policy;
+  sim::UnboundedAdmission gate;
+  const auto load = arrivals_at(small_mix(2), 0.0);
+  EXPECT_THROW(cluster.serve(load, policy, gate), PreconditionError);
+}
+
+TEST(Serving, RejectsEmptyAndUnsortedLoads) {
+  const wl::FeatureModel features(1);
+  sim::ClusterSim cluster(serving_config(), features);
+  sched::OraclePolicy policy;
+  sim::UnboundedAdmission gate;
+  EXPECT_THROW(cluster.serve({}, policy, gate), PreconditionError);
+  auto load = arrivals_at(small_mix(2), 10.0);
+  load[1].t = 5.0;  // goes backwards
+  EXPECT_THROW(cluster.serve(load, policy, gate), PreconditionError);
+  EXPECT_THROW(sim::poisson_load(0, 1.0, 1), PreconditionError);
+  EXPECT_THROW(sim::poisson_load(3, 0.0, 1), PreconditionError);
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -153,6 +154,68 @@ TEST(P2Quantile, GoldenTraceReplayWithinBounds) {
       << "p99 must never exceed the observed maximum";
 }
 
+TEST(P2Quantile, DropsNonFiniteObservations) {
+  // A NaN among the first five would feed std::sort a value with no total
+  // order; a NaN later silently corrupts every marker comparison. Both are
+  // dropped without advancing the count.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  P2Quantile q(0.5);
+  q.observe(1.0);
+  q.observe(nan);
+  q.observe(3.0);
+  q.observe(inf);
+  q.observe(-inf);
+  EXPECT_EQ(q.count(), 2u);
+  EXPECT_DOUBLE_EQ(q.value(), 2.0) << "median of {1, 3}";
+
+  // Same stream with and without interleaved NaNs must agree bitwise.
+  std::mt19937_64 rng(99);
+  std::normal_distribution<double> n(10.0, 2.0);
+  P2Quantile clean(0.9), noisy(0.9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = n(rng);
+    clean.observe(x);
+    noisy.observe(x);
+    if (i % 7 == 0) noisy.observe(nan);
+    if (i % 11 == 0) noisy.observe(inf);
+  }
+  EXPECT_EQ(clean.value(), noisy.value());
+  EXPECT_EQ(clean.count(), noisy.count());
+}
+
+TEST(P2Quantile, SmallSamplesWithNegativesMatchExactQuantiles) {
+  // ISSUE regression: small samples (the first minutes of a serving run)
+  // must be exact, including all-negative and mixed-sign streams.
+  const std::vector<std::vector<double>> streams = {
+      {-5.0}, {-5.0, -1.0}, {-5.0, -1.0, -3.0}, {0.0, -2.0, 7.0, -9.0},
+      {2.0, 2.0, 2.0, 2.0, 2.0}};
+  for (const auto& s : streams) {
+    for (double p : {0.25, 0.5, 0.75, 0.99}) {
+      P2Quantile q(p);
+      for (double x : s) q.observe(x);
+      EXPECT_DOUBLE_EQ(q.value(), exact_quantile(s, p))
+          << "n=" << s.size() << " p=" << p;
+    }
+  }
+}
+
+TEST(P2Quantile, HeavyDuplicatesStayWithinSampleRange) {
+  // Streams that are almost entirely one value starve the interior markers;
+  // the estimate must stay inside [min, max] and near the duplicated value.
+  P2Quantile p50(0.5), p99(0.99);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = (i % 100 == 0) ? 50.0 : 1.0;
+    p50.observe(x);
+    p99.observe(x);
+  }
+  EXPECT_GE(p50.value(), 1.0);
+  EXPECT_LE(p50.value(), 50.0);
+  EXPECT_NEAR(p50.value(), 1.0, 1e-3) << "99% of the stream is exactly 1.0";
+  EXPECT_GE(p99.value(), 1.0);
+  EXPECT_LE(p99.value(), 50.0);
+}
+
 TEST(P2Quantile, RejectsDegenerateProbabilities) {
   EXPECT_THROW(P2Quantile(0.0), PreconditionError);
   EXPECT_THROW(P2Quantile(1.0), PreconditionError);
@@ -179,6 +242,22 @@ TEST(QuantileEstimator, TracksSummaryAndAllQuantiles) {
   EXPECT_NEAR(e[2], 99.01, 3.0);
   EXPECT_LT(e[0], e[1]);
   EXPECT_LE(e[1], e[2]);
+}
+
+TEST(QuantileEstimator, DropsNonFiniteObservations) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  QuantileEstimator est({0.5});
+  est.observe(nan);  // before any finite value: min/max must not be pinned
+  est.observe(2.0);
+  est.observe(inf);
+  est.observe(4.0);
+  est.observe(-inf);
+  EXPECT_EQ(est.count(), 2u);
+  EXPECT_EQ(est.sum(), 6.0);
+  EXPECT_EQ(est.mean(), 3.0);
+  EXPECT_EQ(est.min(), 2.0);
+  EXPECT_EQ(est.max(), 4.0);
 }
 
 TEST(QuantileEstimator, RejectsBadProbVectors) {
@@ -224,6 +303,63 @@ TEST(WindowedRate, SlightlyRegressingTimeIsClamped) {
   w.add(4.9);  // simulated clocks don't regress; clamp, don't crash
   EXPECT_EQ(w.window_count(), 2u);
   EXPECT_DOUBLE_EQ(w.last_t(), 5.0);
+}
+
+TEST(WindowedRate, AdvanceTimeExpiresStaleWindows) {
+  // A forever-running service that went quiet must decay to a zero rate
+  // instead of reporting the last busy window forever.
+  WindowedRate w(10.0, 10);
+  for (int i = 0; i < 5; ++i) w.add(static_cast<double>(i));
+  EXPECT_EQ(w.window_count(), 5u);
+  w.advance_time(7.0);  // still inside the window: nothing expires
+  EXPECT_EQ(w.window_count(), 5u);
+  w.advance_time(12.5);  // window is now buckets [3,12]: t=0,1,2 expired
+  EXPECT_EQ(w.window_count(), 2u);
+  w.advance_time(1000.0);  // far past the ring: everything expires
+  EXPECT_EQ(w.window_count(), 0u);
+  EXPECT_EQ(w.window_sum(), 0.0);
+  EXPECT_DOUBLE_EQ(w.rate_per_sec(), 0.0);
+  EXPECT_EQ(w.total_count(), 5u) << "totals never expire";
+  EXPECT_DOUBLE_EQ(w.last_t(), 1000.0);
+  // Slightly regressing advance clamps like add() does.
+  w.advance_time(999.0);
+  EXPECT_DOUBLE_EQ(w.last_t(), 1000.0);
+  // The stream resumes cleanly after the quiet spell.
+  w.add(1001.0);
+  EXPECT_EQ(w.window_count(), 1u);
+}
+
+TEST(WindowedRate, AdvanceTimeBeforeFirstAddIsHarmless) {
+  WindowedRate w(10.0, 10);
+  w.advance_time(500.0);
+  EXPECT_EQ(w.window_count(), 0u);
+  w.add(500.5);
+  w.add(501.5);
+  EXPECT_EQ(w.window_count(), 2u);
+}
+
+TEST(WindowedRate, SurvivesAstronomicalTimes) {
+  // t far past what int64 bucket arithmetic can express: the raw cast in the
+  // old code was UB. The ring rebases (a jump that large clears it anyway)
+  // and keeps exact in-window semantics at the new epoch.
+  WindowedRate w(10.0, 10);
+  w.add(1.0);
+  w.add(2.0);
+  const double huge = 1e300;
+  w.add(huge);
+  EXPECT_EQ(w.window_count(), 1u) << "pre-jump events expired";
+  EXPECT_EQ(w.total_count(), 3u);
+  w.add(huge + 1.0);  // rounds to the same instant: same bucket, no re-clear
+  EXPECT_EQ(w.window_count(), 2u);
+  w.advance_time(huge * 2);  // another overflow-scale jump: rebase + expire
+  EXPECT_EQ(w.window_count(), 0u);
+  // And advance_time alone at a huge t (no add first) must also be safe.
+  WindowedRate v(10.0, 10);
+  v.add(3.0);
+  v.advance_time(1e280);
+  EXPECT_EQ(v.window_count(), 0u);
+  v.add(1e280 + 0.5);
+  EXPECT_EQ(v.window_count(), 1u);
 }
 
 TEST(WindowedRate, RejectsDegenerateConfig) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bench_cli.h"
 #include "common/thread_pool.h"
 #include "obs/analysis/comparator.h"
 #include "obs/analysis/timeline.h"
@@ -109,7 +110,13 @@ int cmd_summarize(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--threads") {
       if (i + 1 >= args.size()) return 2;
-      threads = static_cast<std::size_t>(std::stoul(args[++i]));
+      const auto v = parse_size(args[++i]);
+      if (!v || *v == 0) {
+        std::cerr << "summarize: bad --threads value '" << args[i]
+                  << "' (want a positive integer)\n";
+        return 2;
+      }
+      threads = *v;
     } else {
       files.push_back(args[i]);
     }
@@ -181,7 +188,13 @@ int cmd_apps(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--top") {
       if (i + 1 >= args.size()) return 2;
-      top = static_cast<std::size_t>(std::stoul(args[++i]));
+      const auto v = parse_size(args[++i]);
+      if (!v) {
+        std::cerr << "apps: bad --top value '" << args[i]
+                  << "' (want a non-negative integer; 0 lists all)\n";
+        return 2;
+      }
+      top = *v;
     } else {
       file = args[i];
     }
@@ -216,7 +229,13 @@ int cmd_bench(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--repeat") {
       if (i + 1 >= args.size()) return 2;
-      repeat = std::stoi(args[++i]);
+      const auto v = parse_size(args[++i]);
+      if (!v || *v == 0 || *v > 1000) {
+        std::cerr << "bench: bad --repeat value '" << args[i]
+                  << "' (want an integer in [1, 1000])\n";
+        return 2;
+      }
+      repeat = static_cast<int>(*v);
     } else {
       file = args[i];
     }
