@@ -19,6 +19,7 @@
 // bounded system.
 #include <algorithm>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -27,7 +28,9 @@
 
 #include "common/bench_cli.h"
 #include "common/table.h"
+#include "common/thread_pool.h"
 #include "sched/policies_learned.h"
+#include "sched/race.h"
 #include "sparksim/admission.h"
 #include "sparksim/audit/invariant_auditor.h"
 #include "sparksim/engine.h"
@@ -116,25 +119,33 @@ int main(int argc, char** argv) {
   const double ladder[] = {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0};
   const std::size_t cap = 2 * cfg.cluster.n_nodes;
 
+  // Gate *factories*: the main sweep reuses one instance per gate (serve()
+  // resets it each run), while the racing replays below construct a fresh
+  // instance per sample so stateful gates never cross threads.
   struct GateSpec {
     std::string name;
-    std::unique_ptr<sim::AdmissionPolicy> gate;
+    std::function<std::unique_ptr<sim::AdmissionPolicy>()> make;
   };
   std::vector<GateSpec> gates;
-  gates.push_back({"unbounded", std::make_unique<sim::UnboundedAdmission>()});
-  gates.push_back({"bounded-drop", std::make_unique<sim::BoundedDropAdmission>(cap)});
-  gates.push_back({"bounded-defer", std::make_unique<sim::BoundedDeferAdmission>(cap)});
-  gates.push_back({"murs-gate", std::make_unique<sim::MursGateAdmission>(0.5)});
+  gates.push_back({"unbounded", [] { return std::make_unique<sim::UnboundedAdmission>(); }});
+  gates.push_back(
+      {"bounded-drop", [cap] { return std::make_unique<sim::BoundedDropAdmission>(cap); }});
+  gates.push_back(
+      {"bounded-defer", [cap] { return std::make_unique<sim::BoundedDeferAdmission>(cap); }});
+  gates.push_back({"murs-gate", [] { return std::make_unique<sim::MursGateAdmission>(0.5); }});
   // Token refill at the measured capacity: the bucket passes sub-capacity
   // load untouched and sheds exactly the overload.
-  gates.push_back({"token-bucket", std::make_unique<sim::TokenBucketAdmission>(
-                                       mu, static_cast<double>(cap))});
-  gates.push_back({"hybrid", std::make_unique<sim::HybridAdmission>(4 * cap, 0.5)});
+  gates.push_back({"token-bucket", [mu, cap] {
+                     return std::make_unique<sim::TokenBucketAdmission>(
+                         mu, static_cast<double>(cap));
+                   }});
+  gates.push_back({"hybrid", [cap] { return std::make_unique<sim::HybridAdmission>(4 * cap, 0.5); }});
 
   std::vector<SweepPoint> points;
   std::map<std::string, double> knee;  // admission -> first saturated lambda/mu
 
   for (const auto& spec : gates) {
+    const std::unique_ptr<sim::AdmissionPolicy> gate = spec.make();
     TextTable table({"lambda/mu", "rate/hr", "admitted", "dropped", "deferred",
                      "tput/hr", "delivered", "ANTT", "sojourn p50", "sojourn p99"});
     for (const double x : ladder) {
@@ -147,7 +158,7 @@ int main(int argc, char** argv) {
       sim::audit::InvariantAuditor auditor;
       sim::ClusterSim cluster(cfg, features);
       sched::MoePolicy policy(features, kSeed);
-      const sim::ServingResult r = cluster.serve(load, policy, *spec.gate, &auditor);
+      const sim::ServingResult r = cluster.serve(load, policy, *gate, &auditor);
 
       SweepPoint pt;
       pt.admission = spec.name;
@@ -223,6 +234,81 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- adaptive replication: race the gates at every ladder point ----------
+  // Best-arm racing on delivered throughput (DESIGN.md §15): the gates at one
+  // ladder point form a race group, each replay re-serves the *same* arrival
+  // sequence under a fresh measurement-noise seed, and a gate stops replaying
+  // once its CI separates from the point's best gate. The un-raced sweep
+  // above (single run per point, seed kSeed) is what the table, the knees and
+  // the sanity assertions are computed from — racing only adds the
+  // replicated comparison, so those stay identical whether racing runs.
+  const bool race_on = opt.race.value_or(true);
+  sched::RaceOptions ropt;
+  ropt.max_replays = opt.max_replays != 0 ? opt.max_replays : 6;
+  ropt.budget_seconds = opt.budget_seconds;
+  std::vector<sched::CellOutcome> race_cells;
+  std::size_t race_total = 0, race_budget = 0;
+  const std::size_t n_gates = gates.size();
+  const std::size_t n_ladder = std::size(ladder);
+  if (race_on) {
+    ThreadPool pool(opt.threads);
+    sched::RacingReplicator racer(ropt, pool);
+    sched::MoePolicy proto_policy(features, kSeed);
+
+    // Ladder-major cells: cells at one load point are contiguous -> one race
+    // group per ladder point.
+    std::vector<std::size_t> group_of(n_ladder * n_gates);
+    for (std::size_t xi = 0; xi < n_ladder; ++xi)
+      for (std::size_t g = 0; g < n_gates; ++g) group_of[xi * n_gates + g] = xi;
+    std::vector<std::vector<sim::ServingArrival>> loads(n_ladder);
+    for (std::size_t xi = 0; xi < n_ladder; ++xi) {
+      loads[xi] = sim::poisson_load(n_arrivals, ladder[xi] * mu, kSeed);
+      for (auto& arrival : loads[xi])
+        arrival.isolated_s =
+            isolated_cache.at({arrival.app.benchmark, arrival.app.input_items});
+    }
+
+    race_cells = racer.race(
+        n_ladder * n_gates,
+        [&](std::size_t cell, std::size_t replay) {
+          const std::size_t xi = cell / n_gates, g = cell % n_gates;
+          sim::SimConfig rcfg = cfg;
+          rcfg.seed = Rng::derive(kSeed, "serve-replay:" + std::to_string(replay));
+          sim::audit::InvariantAuditor auditor;
+          sim::ClusterSim cluster(rcfg, features);
+          const std::unique_ptr<sim::SchedulingPolicy> policy = proto_policy.clone();
+          const std::unique_ptr<sim::AdmissionPolicy> gate = gates[g].make();
+          const sim::ServingResult r = cluster.serve(loads[xi], *policy, *gate, &auditor);
+          return sched::RaceSample{r.throughput, r.antt, 0.0, 0};
+        },
+        group_of);
+
+    race_budget = race_cells.size() * ropt.max_replays;
+    for (const auto& cell : race_cells) race_total += cell.replays_used;
+
+    TextTable race_table({"lambda/mu", "best gate", "separated", "replays used"});
+    for (std::size_t xi = 0; xi < n_ladder; ++xi) {
+      std::size_t best = 0, separated = 0, used = 0;
+      for (std::size_t g = 0; g < n_gates; ++g) {
+        const auto& cell = race_cells[xi * n_gates + g];
+        if (cell.mean > race_cells[xi * n_gates + best].mean) best = g;
+        separated += cell.separated_from_best ? 1 : 0;
+        used += cell.replays_used;
+      }
+      race_table.add_row({TextTable::num(ladder[xi], 2), gates[best].name,
+                          std::to_string(separated) + "/" + std::to_string(n_gates - 1),
+                          std::to_string(used)});
+    }
+    std::cout << "gate race per load point (throughput, max " << ropt.max_replays
+              << " replays/cell):\n";
+    race_table.render(std::cout);
+    std::cout << "race simulations: " << race_total << " of " << race_budget
+              << " fixed-budget (saved "
+              << TextTable::num(100.0 * (1.0 - static_cast<double>(race_total) /
+                                                   static_cast<double>(race_budget)), 1)
+              << "%)\n\n";
+  }
+
   std::ofstream json("BENCH_serving.json");
   json << "{\n  \"seed\": " << kSeed << ",\n  \"n_arrivals\": " << n_arrivals
        << ",\n  \"n_nodes\": " << cfg.cluster.n_nodes
@@ -241,7 +327,31 @@ int main(int argc, char** argv) {
     json_point(json, points[i]);
     json << (i + 1 < points.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"race\": {\"enabled\": " << (race_on ? "true" : "false");
+  if (race_on) {
+    const double saved =
+        100.0 * (1.0 - static_cast<double>(race_total) / static_cast<double>(race_budget));
+    json << ", \"max_replays\": " << ropt.max_replays
+         << ", \"target_rel_ci\": " << ropt.target_rel_ci
+         << ", \"total_simulations\": " << race_total
+         << ", \"fixed_budget_simulations\": " << race_budget
+         << ", \"samples_saved_pct\": " << saved << ",\n    \"cells\": [\n";
+    for (std::size_t xi = 0; xi < n_ladder; ++xi) {
+      for (std::size_t g = 0; g < n_gates; ++g) {
+        const auto& cell = race_cells[xi * n_gates + g];
+        json << "      {\"admission\": \"" << gates[g].name
+             << "\", \"rate_over_mu\": " << ladder[xi]
+             << ", \"replays_used\": " << cell.replays_used
+             << ", \"mean_throughput\": " << cell.mean << ", \"ci_half\": " << cell.ci_half
+             << ", \"stop\": \"" << sched::to_string(cell.stop)
+             << "\", \"separated_from_best\": " << (cell.separated_from_best ? "true" : "false")
+             << "}" << (xi + 1 == n_ladder && g + 1 == n_gates ? "" : ",") << "\n";
+      }
+    }
+    json << "    ]\n  }\n}\n";
+  } else {
+    json << "}\n}\n";
+  }
   std::cout << "wrote BENCH_serving.json\n";
   return 0;
 }

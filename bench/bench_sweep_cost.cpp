@@ -1,0 +1,209 @@
+// Sweep-cost comparison for adaptive replication (DESIGN.md §15): a fig6-style
+// six-policy sweep over the ten runtime scenarios, replicated two ways —
+//
+//   raced:  best-arm racing (run_scenario_raced), cells stop as soon as their
+//           CI separates from the mix's best policy;
+//   fixed:  fixed-wave replication (run_scenario_replicated), the legacy cost
+//           model where every cell replays in waves with surplus replays of
+//           the final wave executed and discarded.
+//
+// Both arms see the same replay seeds, so the comparison is paired. The bench
+// *asserts* (exit 1) that racing reaches the same policy ranking — the
+// statistical conclusion of the sweep — from at least 3x fewer simulations,
+// and writes the on/off comparison to BENCH_sweep.json. Simulation totals are
+// deterministic at any --threads count (the fixed arm uses an explicit wave
+// of 8, not the pool size); only the wall-clock fields vary per machine.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/bench_cli.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "sched/experiment.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+
+using namespace smoe;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 2017;
+constexpr std::size_t kFixedWave = 8;  ///< machine-independent executed totals
+constexpr double kTargetRelCi = 0.05;
+
+/// Policy indices sorted by descending overall STP (ties: earlier policy).
+std::vector<std::size_t> ranking_of(const std::vector<double>& overall_stp) {
+  std::vector<std::size_t> order(overall_stp.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (overall_stp[a] != overall_stp[b]) return overall_stp[a] > overall_stp[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opt = parse_bench_options(argc, argv, 12);
+  const std::size_t n_mixes = opt.n_mixes;
+
+  const wl::FeatureModel features(kSeed);
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  sched::ExperimentRunner runner(cfg, features, n_mixes, Rng::derive(kSeed, "sweep-cost"),
+                                 opt.threads);
+
+  sched::IsolatedPolicy isolated;
+  sched::PairwisePolicy pairwise;
+  sched::OnlineSearchPolicy online;
+  sched::QuasarPolicy quasar(features, kSeed);
+  sched::MoePolicy moe(features, kSeed);
+  sched::OraclePolicy oracle;
+  const std::vector<sim::SchedulingPolicy*> policies = {&isolated, &pairwise, &online,
+                                                        &quasar,   &moe,      &oracle};
+
+  sched::RaceOptions race;
+  if (opt.max_replays != 0) race.max_replays = opt.max_replays;
+  race.target_rel_ci = kTargetRelCi;
+  race.budget_seconds = opt.budget_seconds;
+
+  const auto scenarios = wl::scenarios();
+  std::cout << "Sweep cost: racing vs fixed-wave replication (seed " << kSeed << ", "
+            << n_mixes << " mixes/scenario, " << policies.size() << " policies, max "
+            << race.max_replays << " replays, wave " << kFixedWave << ", "
+            << runner.threads() << " threads)\n\n";
+
+  // Warm every learned policy's training caches before the timed phases so
+  // neither arm pays the one-off training cost.
+  {
+    const auto warm_mix = wl::scenario_mixes(scenarios.front(), 1, kSeed).front();
+    for (sim::SchedulingPolicy* policy : policies) runner.run_mix(warm_mix, *policy);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<sched::ExperimentRunner::RacedScenarioResult> raced;
+  const auto t_raced0 = Clock::now();
+  for (const auto& scenario : scenarios)
+    raced.push_back(runner.run_scenario_raced(scenario, policies, race));
+  const double raced_wall_s = std::chrono::duration<double>(Clock::now() - t_raced0).count();
+
+  std::vector<sched::ExperimentRunner::ReplicatedScenarioResult> fixed;
+  const auto t_fixed0 = Clock::now();
+  for (const auto& scenario : scenarios)
+    fixed.push_back(runner.run_scenario_replicated(scenario, policies, race.max_replays,
+                                                   kTargetRelCi, kFixedWave));
+  const double fixed_wall_s = std::chrono::duration<double>(Clock::now() - t_fixed0).count();
+
+  // Per-scenario cost table + aggregates.
+  TextTable cost({"scenario", "raced sims", "fixed sims", "reduction", "separated cells"});
+  std::size_t raced_total = 0, fixed_total = 0, budget_total = 0;
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    std::size_t separated = 0;
+    for (const auto& cell : raced[s].cells) separated += cell.separated_from_best ? 1 : 0;
+    raced_total += raced[s].total_simulations;
+    fixed_total += fixed[s].total_simulations;
+    budget_total += raced[s].fixed_budget_simulations;
+    cost.add_row({scenarios[s].label, std::to_string(raced[s].total_simulations),
+                  std::to_string(fixed[s].total_simulations),
+                  TextTable::num(static_cast<double>(fixed[s].total_simulations) /
+                                     static_cast<double>(raced[s].total_simulations), 2) + "x",
+                  std::to_string(separated) + "/" + std::to_string(raced[s].cells.size())});
+  }
+  cost.render(std::cout);
+
+  std::vector<double> overall_raced(policies.size()), overall_fixed(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    std::vector<double> r_stps, f_stps;
+    for (std::size_t s = 0; s < scenarios.size(); ++s) {
+      r_stps.push_back(raced[s].schemes[p].stp_geomean);
+      f_stps.push_back(fixed[s].schemes[p].stp_geomean);
+    }
+    overall_raced[p] = geomean(r_stps);
+    overall_fixed[p] = geomean(f_stps);
+  }
+  const std::vector<std::size_t> rank_raced = ranking_of(overall_raced);
+  const std::vector<std::size_t> rank_fixed = ranking_of(overall_fixed);
+
+  const double reduction =
+      static_cast<double>(fixed_total) / static_cast<double>(raced_total);
+  const double saved_vs_budget =
+      100.0 * (1.0 - static_cast<double>(raced_total) / static_cast<double>(budget_total));
+  std::cout << "\ntotals: raced " << raced_total << " sims in " << TextTable::num(raced_wall_s, 1)
+            << "s, fixed-wave " << fixed_total << " sims in " << TextTable::num(fixed_wall_s, 1)
+            << "s\n"
+            << "reduction: " << TextTable::num(reduction, 2) << "x fewer simulations (saved "
+            << TextTable::num(saved_vs_budget, 1) << "% vs the " << budget_total
+            << "-sim fixed budget)\n";
+
+  std::cout << "\nranking by overall STP (raced vs fixed):\n";
+  for (std::size_t i = 0; i < policies.size(); ++i)
+    std::cout << "  " << i + 1 << ". " << policies[rank_raced[i]]->name() << " ("
+              << TextTable::num(overall_raced[rank_raced[i]], 2) << "x)  |  "
+              << policies[rank_fixed[i]]->name() << " ("
+              << TextTable::num(overall_fixed[rank_fixed[i]], 2) << "x)\n";
+
+  // ---- the two claims this bench exists to enforce --------------------------
+  if (rank_raced != rank_fixed) {
+    std::cerr << "FAIL: racing changed the policy ranking\n";
+    return 1;
+  }
+  if (reduction < 3.0) {
+    std::cerr << "FAIL: racing saved only " << TextTable::num(reduction, 2)
+              << "x simulations (need >= 3x)\n";
+    return 1;
+  }
+  std::cout << "\nPASS: same ranking from " << TextTable::num(reduction, 2)
+            << "x fewer simulations\n";
+
+  std::ofstream json("BENCH_sweep.json");
+  json << "{\n  \"seed\": " << kSeed << ",\n  \"n_mixes\": " << n_mixes
+       << ",\n  \"max_replays\": " << race.max_replays << ",\n  \"wave\": " << kFixedWave
+       << ",\n  \"target_rel_ci\": " << kTargetRelCi << ",\n  \"policies\": [";
+  for (std::size_t p = 0; p < policies.size(); ++p)
+    json << "\"" << policies[p]->name() << "\"" << (p + 1 < policies.size() ? ", " : "");
+  json << "],\n  \"ranking_raced\": [";
+  for (std::size_t i = 0; i < rank_raced.size(); ++i)
+    json << "\"" << policies[rank_raced[i]]->name() << "\""
+         << (i + 1 < rank_raced.size() ? ", " : "");
+  json << "],\n  \"ranking_fixed\": [";
+  for (std::size_t i = 0; i < rank_fixed.size(); ++i)
+    json << "\"" << policies[rank_fixed[i]]->name() << "\""
+         << (i + 1 < rank_fixed.size() ? ", " : "");
+  json << "],\n  \"scenarios\": [\n";
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    json << "    {\"scenario\": \"" << scenarios[s].label
+         << "\", \"raced_sims\": " << raced[s].total_simulations
+         << ", \"fixed_sims\": " << fixed[s].total_simulations
+         << ", \"samples_saved_pct\": " << raced[s].samples_saved_pct << ", \"schemes\": [\n";
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      std::size_t r_replays = 0, separated = 0;
+      std::size_t f_replays = 0;
+      for (std::size_t m = 0; m < n_mixes; ++m) {
+        r_replays += raced[s].cells[p * n_mixes + m].replays_used;
+        separated += raced[s].cells[p * n_mixes + m].separated_from_best ? 1 : 0;
+        f_replays += fixed[s].cells[p * n_mixes + m].replays;
+      }
+      json << "      {\"scheme\": \"" << policies[p]->name()
+           << "\", \"stp_raced\": " << raced[s].schemes[p].stp_geomean
+           << ", \"stp_fixed\": " << fixed[s].schemes[p].stp_geomean
+           << ", \"replays_raced\": " << r_replays << ", \"replays_fixed\": " << f_replays
+           << ", \"separated_cells\": " << separated << "}"
+           << (p + 1 < policies.size() ? "," : "") << "\n";
+    }
+    json << "    ]}" << (s + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"totals\": {\"raced_sims\": " << raced_total
+       << ", \"fixed_sims\": " << fixed_total
+       << ", \"fixed_budget_sims\": " << budget_total
+       << ", \"reduction_factor\": " << reduction
+       << ", \"samples_saved_pct\": " << saved_vs_budget
+       << ",\n    \"raced_wall_s\": " << raced_wall_s << ", \"fixed_wall_s\": " << fixed_wall_s
+       << ", \"wall_speedup\": " << fixed_wall_s / raced_wall_s << "}\n}\n";
+  std::cout << "wrote BENCH_sweep.json\n";
+  return 0;
+}

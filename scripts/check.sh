@@ -21,6 +21,12 @@
 #                              # auditor-clean traces) and a short audited
 #                              # load sweep that must show the open-loop
 #                              # saturation knee
+#   scripts/check.sh --race   # additionally run the adaptive-replication
+#                             # suite (racing determinism, Welford/Student-t
+#                             # bounds, replication semantics) and a small
+#                             # sweep-cost run, which itself asserts that
+#                             # racing reaches the same policy ranking from
+#                             # >= 3x fewer simulations
 #
 # Exits non-zero on the first failure.
 set -euo pipefail
@@ -31,7 +37,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # ctest regexes over gtest *suite* names (gtest_discover_tests registers
 # Suite.Case, not binary names).
 TESTS_ASAN="${TESTS_ASAN:-^Obs|^Trace|^Sink|^Registry|^Engine|^Sim|^Sparksim|^Contention|^Golden|^Audit}"
-TESTS_TSAN="${TESTS_TSAN:-^ThreadPool|^ParallelRunner|^Replication}"
+TESTS_TSAN="${TESTS_TSAN:-^ThreadPool|^ParallelRunner|^Replication|^Race}"
 FUZZ_SECONDS="${FUZZ_SECONDS:-30}"
 
 echo "== tier-1: configure + build =="
@@ -96,6 +102,17 @@ if [[ "${1:-}" == "--serving" ]]; then
   # invariant trips, the open-loop baseline never saturates, or its p99
   # sojourn fails to degrade past the knee.
   (cd "$scratch" && "$OLDPWD/build/bench/bench_serving_load_sweep" 24)
+fi
+
+if [[ "${1:-}" == "--race" ]]; then
+  echo "== race: adaptive-replication suite (racing, bounds, replication) =="
+  ctest --test-dir build --output-on-failure -j"${JOBS}" \
+    -R '^Race|^Welford|^TCritical|^Replication|^ParallelRunner'
+  echo "== race: sweep-cost bench (same ranking from >= 3x fewer sims) =="
+  # Small mix count keeps the job fast; the bench exits non-zero if the raced
+  # sweep ranks the six policies differently from the fixed-wave sweep or
+  # fails to cut the simulation count by at least 3x.
+  (cd "$scratch" && "$OLDPWD/build/bench/bench_sweep_cost" 4)
 fi
 
 if [[ "${1:-}" == "--tsan" ]]; then

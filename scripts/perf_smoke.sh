@@ -19,6 +19,12 @@
 # delivered fractions drift from the committed BENCH_serving.json — those
 # are simulated-time quantities, so any drift means semantics changed.
 #
+# Also re-runs the sweep-cost bench and warns if the racing engine's
+# simulation counts, reduction factor, or policy rankings drift from the
+# committed BENCH_sweep.json — all deterministic by construction (only the
+# wall-clock fields are machine-dependent), so any drift means the racing
+# semantics changed.
+#
 #   scripts/perf_smoke.sh [threshold_pct] [overhead_slack_pp]
 #   (defaults: warn below 30% of baseline events/sec, or when traced
 #    overhead grows by > 30 percentage points)
@@ -143,8 +149,10 @@ if [[ -f "$SERVING_BASELINE" ]]; then
   # The sweep binary asserts its own invariants (the hard-gated version runs
   # in the serving CI job); here even a bench failure is only warned on so
   # this job keeps its warn-only contract.
+  # --no-race: this smoke only compares knees/points, which the raced section
+  # never touches, so skip the extra replays and keep the job fast.
   if (cd "$tmp" && "$OLDPWD/build/bench/bench_serving_load_sweep" "$serving_arrivals" \
-      > /dev/null); then
+      --no-race > /dev/null); then
     python3 - "$tmp/BENCH_serving.json" "$SERVING_BASELINE" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
@@ -186,6 +194,68 @@ EOF
   fi
 else
   echo "perf-smoke: no committed $SERVING_BASELINE; skipping serving smoke" >&2
+fi
+
+# Sweep smoke (warn-only): re-run the sweep-cost bench at the committed mix
+# count and compare the racing engine's deterministic outputs — simulation
+# totals, reduction factor, and both policy rankings — against the committed
+# BENCH_sweep.json. These are thread-count- and machine-independent (the
+# fixed arm uses an explicit wave, and racing consumes replays in canonical
+# cell order), so any drift means the elimination/convergence semantics
+# changed, not that the runner is slow. The wall-clock speedup is printed
+# for the log but never warned on.
+SWEEP_BASELINE="BENCH_sweep.json"
+if [[ -f "$SWEEP_BASELINE" ]]; then
+  sweep_mixes=$(python3 -c \
+    "import json; print(json.load(open('$SWEEP_BASELINE'))['n_mixes'])")
+  sweep_replays=$(python3 -c \
+    "import json; print(json.load(open('$SWEEP_BASELINE'))['max_replays'])")
+  cmake --build build -j"$(nproc)" --target bench_sweep_cost >/dev/null
+  # The bench asserts its own acceptance gate (same ranking, >= 3x fewer
+  # sims; the hard-gated version runs in the race CI job); here even a bench
+  # failure is only warned on so this job keeps its warn-only contract.
+  if (cd "$tmp" && "$OLDPWD/build/bench/bench_sweep_cost" "$sweep_mixes" \
+      --max-replays "$sweep_replays" > /dev/null); then
+    python3 - "$tmp/BENCH_sweep.json" "$SWEEP_BASELINE" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    cur = json.load(f)
+with open(sys.argv[2]) as f:
+    base = json.load(f)
+
+drifted = 0
+for field in ("raced_sims", "fixed_sims", "fixed_budget_sims",
+              "reduction_factor", "samples_saved_pct"):
+    bv, cv = base["totals"][field], cur["totals"][field]
+    if abs(cv - bv) > 1e-6 * max(1.0, abs(bv)):
+        print(f"::warning::sweep-smoke: totals.{field} drifted {bv} -> {cv} "
+              f"(simulation counts are deterministic; racing semantics changed)")
+        drifted += 1
+for arm in ("ranking_raced", "ranking_fixed"):
+    if cur.get(arm) != base.get(arm):
+        print(f"::warning::sweep-smoke: {arm} changed "
+              f"{base.get(arm)} -> {cur.get(arm)}")
+        drifted += 1
+for bs, cs in zip(base.get("scenarios", []), cur.get("scenarios", [])):
+    for field in ("raced_sims", "fixed_sims"):
+        if bs[field] != cs[field]:
+            print(f"::warning::sweep-smoke: {bs['scenario']}.{field} drifted "
+                  f"{bs[field]} -> {cs[field]}")
+            drifted += 1
+if not drifted:
+    print(f"sweep-smoke: racing matches the committed baseline "
+          f"({base['totals']['raced_sims']} of "
+          f"{base['totals']['fixed_budget_sims']} fixed-budget sims, "
+          f"{base['totals']['reduction_factor']:.2f}x fewer than fixed-wave)")
+print(f"sweep-smoke: wall speedup this run "
+      f"{cur['totals']['wall_speedup']:.2f}x (baseline "
+      f"{base['totals']['wall_speedup']:.2f}x; machine-dependent, not gated)")
+EOF
+  else
+    echo "::warning::sweep-smoke: bench_sweep_cost failed; see race CI job"
+  fi
+else
+  echo "perf-smoke: no committed $SWEEP_BASELINE; skipping sweep smoke" >&2
 fi
 
 # Trace-analysis throughput (events/sec parsed and analyzed by smoe-trace),

@@ -35,12 +35,18 @@ namespace {
 
 [[noreturn]] void usage(const char* prog, std::size_t default_mixes, int status) {
   std::fprintf(stderr,
-               "usage: %s [n_mixes] [--threads N] [--oversubscribe]\n"
-               "  n_mixes         mixes per scenario (positive integer, default %zu)\n"
-               "  --threads N     worker threads for the experiment runner\n"
-               "                  (default: SMOE_THREADS env, else all hardware threads)\n"
-               "  --oversubscribe keep sweep points above the hardware thread count\n"
-               "                  (they measure oversubscription, not scaling)\n",
+               "usage: %s [n_mixes] [--threads N] [--oversubscribe] [--race|--no-race]\n"
+               "          [--max-replays N] [--budget-seconds S]\n"
+               "  n_mixes            mixes per scenario (positive integer, default %zu)\n"
+               "  --threads N        worker threads for the experiment runner\n"
+               "                     (default: SMOE_THREADS env, else all hardware threads)\n"
+               "  --oversubscribe    keep sweep points above the hardware thread count\n"
+               "                     (they measure oversubscription, not scaling)\n"
+               "  --race / --no-race force best-arm racing of replicated cells on or off\n"
+               "                     (default: the bench's own default)\n"
+               "  --max-replays N    per-cell replay ceiling for replication (integer >= 2)\n"
+               "  --budget-seconds S wall-clock cap for racing, decimal seconds (0 = off;\n"
+               "                     budgeted runs are not machine-reproducible)\n",
                prog, default_mixes);
   std::exit(status);
 }
@@ -71,6 +77,43 @@ BenchOptions parse_bench_options(int argc, char** argv, std::size_t default_mixe
     }
     if (arg == "--oversubscribe") {
       opt.oversubscribe = true;
+      continue;
+    }
+    if (arg == "--race") {
+      opt.race = true;
+      continue;
+    }
+    if (arg == "--no-race") {
+      opt.race = false;
+      continue;
+    }
+    if (arg == "--max-replays") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --max-replays needs a value\n", prog);
+        usage(prog, default_mixes, 2);
+      }
+      const auto replays = parse_size(argv[++i]);
+      if (!replays || *replays < 2) {
+        std::fprintf(stderr, "%s: bad --max-replays value '%s' (want an integer >= 2)\n",
+                     prog, argv[i]);
+        usage(prog, default_mixes, 2);
+      }
+      opt.max_replays = *replays;
+      continue;
+    }
+    if (arg == "--budget-seconds") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --budget-seconds needs a value\n", prog);
+        usage(prog, default_mixes, 2);
+      }
+      const auto budget = parse_double(argv[++i]);
+      if (!budget) {
+        std::fprintf(stderr,
+                     "%s: bad --budget-seconds value '%s' (want a non-negative decimal)\n",
+                     prog, argv[i]);
+        usage(prog, default_mixes, 2);
+      }
+      opt.budget_seconds = *budget;
       continue;
     }
     if (!saw_mixes) {

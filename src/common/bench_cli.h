@@ -21,17 +21,25 @@ std::optional<std::size_t> parse_size(std::string_view text);
 std::optional<double> parse_double(std::string_view text);
 
 /// Options shared by the experiment benches: an optional positional mix count,
-/// `--threads N` for the parallel experiment runner, and `--oversubscribe` to
+/// `--threads N` for the parallel experiment runner, `--oversubscribe` to
 /// keep sweep points above the hardware thread count (they measure
-/// oversubscription, not scaling, so benches drop them by default).
+/// oversubscription, not scaling, so benches drop them by default), and the
+/// adaptive-replication knobs `--race`/`--no-race`, `--max-replays N`,
+/// `--budget-seconds S` (DESIGN.md §15).
 struct BenchOptions {
   std::size_t n_mixes = 0;
   std::size_t threads = 0;  ///< 0 = auto (SMOE_THREADS env, else hardware).
   bool oversubscribe = false;
+  /// --race / --no-race; nullopt = the bench's own default (figure benches
+  /// race by default, golden/trace paths never do).
+  std::optional<bool> race;
+  std::size_t max_replays = 0;  ///< --max-replays; 0 = bench default, else >= 2.
+  double budget_seconds = 0;    ///< --budget-seconds wall-clock cap; 0 = unlimited.
 };
 
-/// Parse `[n_mixes] [--threads N] [--oversubscribe]` from argv (argv[0] is the
-/// program name).
+/// Parse `[n_mixes] [--threads N] [--oversubscribe] [--race|--no-race]
+/// [--max-replays N] [--budget-seconds S]` from argv (argv[0] is the program
+/// name).
 /// Prints usage and calls std::exit: status 0 for --help, 2 for junk input —
 /// callers never see a malformed option. Run after any TraceCli stripping.
 BenchOptions parse_bench_options(int argc, char** argv, std::size_t default_mixes);

@@ -87,17 +87,77 @@ double r_squared(std::span<const double> observed, std::span<const double> predi
   return 1.0 - ss_res / ss_tot;
 }
 
+double normal_critical(double confidence) {
+  SMOE_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence out of range");
+  if (confidence >= 0.995) return 2.807;
+  if (confidence >= 0.99) return 2.576;
+  if (confidence >= 0.95) return 1.96;
+  if (confidence >= 0.90) return 1.645;
+  return 1.282;
+}
+
+double t_critical(std::size_t dof, double confidence) {
+  SMOE_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence out of range");
+  SMOE_REQUIRE(dof >= 1, "t_critical needs >= 1 degree of freedom");
+  // Two-sided critical values for dof 1..29, one row per confidence bucket
+  // (same buckets as normal_critical). Computed from the t CDF via the
+  // regularized incomplete beta function; dof >= 30 falls back to normal.
+  static constexpr double kT80[29] = {
+      3.0777, 1.8856, 1.6377, 1.5332, 1.4759, 1.4398, 1.4149, 1.3968, 1.3830, 1.3722,
+      1.3634, 1.3562, 1.3502, 1.3450, 1.3406, 1.3368, 1.3334, 1.3304, 1.3277, 1.3253,
+      1.3232, 1.3212, 1.3195, 1.3178, 1.3163, 1.3150, 1.3137, 1.3125, 1.3114};
+  static constexpr double kT90[29] = {
+      6.3138, 2.9200, 2.3534, 2.1318, 2.0150, 1.9432, 1.8946, 1.8595, 1.8331, 1.8125,
+      1.7959, 1.7823, 1.7709, 1.7613, 1.7531, 1.7459, 1.7396, 1.7341, 1.7291, 1.7247,
+      1.7207, 1.7171, 1.7139, 1.7109, 1.7081, 1.7056, 1.7033, 1.7011, 1.6991};
+  static constexpr double kT95[29] = {
+      12.7062, 4.3027, 3.1824, 2.7764, 2.5706, 2.4469, 2.3646, 2.3060, 2.2622, 2.2281,
+      2.2010, 2.1788, 2.1604, 2.1448, 2.1314, 2.1199, 2.1098, 2.1009, 2.0930, 2.0860,
+      2.0796, 2.0739, 2.0687, 2.0639, 2.0595, 2.0555, 2.0518, 2.0484, 2.0452};
+  static constexpr double kT99[29] = {
+      63.6567, 9.9248, 5.8409, 4.6041, 4.0321, 3.7074, 3.4995, 3.3554, 3.2498, 3.1693,
+      3.1058, 3.0545, 3.0123, 2.9768, 2.9467, 2.9208, 2.8982, 2.8784, 2.8609, 2.8453,
+      2.8314, 2.8188, 2.8073, 2.7969, 2.7874, 2.7787, 2.7707, 2.7633, 2.7564};
+  static constexpr double kT995[29] = {
+      127.3213, 14.0890, 7.4533, 5.5976, 4.7733, 4.3168, 4.0293, 3.8325, 3.6897, 3.5814,
+      3.4966, 3.4284, 3.3725, 3.3257, 3.2860, 3.2520, 3.2224, 3.1966, 3.1737, 3.1534,
+      3.1352, 3.1188, 3.1040, 3.0905, 3.0782, 3.0669, 3.0565, 3.0469, 3.0380};
+  if (dof >= 30) return normal_critical(confidence);
+  const double* table = kT80;
+  if (confidence >= 0.995) table = kT995;
+  else if (confidence >= 0.99) table = kT99;
+  else if (confidence >= 0.95) table = kT95;
+  else if (confidence >= 0.90) table = kT90;
+  return table[dof - 1];
+}
+
 double ci_half_width(std::span<const double> xs, double confidence) {
   SMOE_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence out of range");
   if (xs.size() < 2) return 0.0;
-  // z-values for the common confidence levels; default normal approximation.
-  double z = 1.96;
-  if (confidence >= 0.995) z = 2.807;
-  else if (confidence >= 0.99) z = 2.576;
-  else if (confidence >= 0.95) z = 1.96;
-  else if (confidence >= 0.90) z = 1.645;
-  else z = 1.282;
-  return z * stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+  return normal_critical(confidence) * stddev(xs) /
+         std::sqrt(static_cast<double>(xs.size()));
+}
+
+double Welford::mean() const {
+  SMOE_REQUIRE(n_ >= 1, "Welford::mean of empty accumulator");
+  return mean_;
+}
+
+double Welford::variance() const {
+  SMOE_REQUIRE(n_ >= 2, "Welford::variance needs >= 2 samples");
+  // m2_ accumulates sum of squared deviations; tiny negative residue from
+  // rounding is clamped so stddev never goes NaN.
+  return std::max(0.0, m2_) / static_cast<double>(n_ - 1);
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+double Welford::ci_half_width(double confidence, bool use_t) const {
+  SMOE_REQUIRE(confidence > 0.0 && confidence < 1.0, "confidence out of range");
+  if (n_ < 2) return 0.0;
+  const double critical =
+      use_t ? t_critical(n_ - 1, confidence) : normal_critical(confidence);
+  return critical * stddev() / std::sqrt(static_cast<double>(n_));
 }
 
 ViolinSummary violin_summary(std::span<const double> xs) {

@@ -35,6 +35,50 @@ double r_squared(std::span<const double> observed, std::span<const double> predi
 /// below 5% of the mean).
 double ci_half_width(std::span<const double> xs, double confidence = 0.95);
 
+/// Two-sided normal critical value for the common confidence levels (the
+/// bucketing ci_half_width has always used: 0.995, 0.99, 0.95, 0.90, else
+/// 0.80).
+double normal_critical(double confidence);
+
+/// Two-sided Student-t critical value with `dof` degrees of freedom, for the
+/// same bucketed confidence levels as normal_critical. For dof >= 30 the
+/// table converges onto the normal value and that is what is returned. The
+/// normal approximation materially undercovers at the n = 3..10 replays the
+/// replication path actually runs (t_{0.975,2} = 4.30 vs z = 1.96), so the
+/// racing path uses this; legacy callers keep ci_half_width's normal value so
+/// previously committed bench JSON stays comparable.
+double t_critical(std::size_t dof, double confidence = 0.95);
+
+/// One-pass running mean/variance accumulator (Welford). Replaces the
+/// re-scan-the-whole-vector pattern in the replication hot loop: add() is
+/// O(1) and numerically stable, and the result matches the two-pass
+/// mean()/variance() functions to floating-point accuracy.
+class Welford {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const;       ///< Requires count() >= 1.
+  double variance() const;   ///< Sample (n-1) variance; requires count() >= 2.
+  double stddev() const;
+
+  /// CI half-width of the mean. `use_t` selects the Student-t critical value
+  /// (racing path); false keeps the normal approximation that the legacy
+  /// two-pass ci_half_width uses. Returns 0 for count() < 2, like
+  /// ci_half_width.
+  double ci_half_width(double confidence = 0.95, bool use_t = false) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
 /// Summary used to describe a slowdown distribution (the paper's violin
 /// plots): min, p25, median, p75, max and mean.
 struct ViolinSummary {

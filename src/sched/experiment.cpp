@@ -1,6 +1,7 @@
 #include "sched/experiment.h"
 
 #include <memory>
+#include <span>
 
 #include "common/error.h"
 #include "common/stats.h"
@@ -8,6 +9,28 @@
 #include "obs/sink.h"
 
 namespace smoe::sched {
+
+namespace {
+
+SchemeScenarioResult aggregate_scheme(std::string scheme, std::string scenario,
+                                      std::span<const double> stps,
+                                      std::span<const double> antt_reds,
+                                      std::span<const double> makespans, std::size_t oom) {
+  SchemeScenarioResult r;
+  r.scheme = std::move(scheme);
+  r.scenario = std::move(scenario);
+  r.stp_geomean = geomean(stps);
+  r.stp_min = min_of(stps);
+  r.stp_max = max_of(stps);
+  r.antt_red_mean = mean(antt_reds);
+  r.antt_red_min = min_of(antt_reds);
+  r.antt_red_max = max_of(antt_reds);
+  r.mean_makespan = mean(makespans);
+  r.oom_total = oom;
+  return r;
+}
+
+}  // namespace
 
 ExperimentRunner::ExperimentRunner(sim::SimConfig config, const wl::FeatureModel& features,
                                    std::size_t n_mixes, std::uint64_t mix_seed,
@@ -33,50 +56,38 @@ ReplicatedMetrics ExperimentRunner::run_mix_replicated(const wl::TaskMix& mix,
   const MixMetrics baseline =
       compute_metrics(sim_.run(mix, baseline_policy_, nullptr), iso_);
 
-  // All replay simulations up-front, in pool-sized waves. Each replay owns a
-  // ClusterSim and (when fanned out) a policy clone; replay r always uses the
-  // seed derived from r, so the sequence of results is the same at any wave
-  // size. A non-cloneable policy (or an attached trace sink) degrades to
-  // wave size 1 == the plain sequential loop.
-  const std::size_t wave =
-      tracing() ? 1 : std::min(std::max<std::size_t>(pool_.size(), 1), max_replays);
-  std::vector<NormalizedMetrics> replay(max_replays);
-  auto run_replay = [&](std::size_t r, sim::SchedulingPolicy& p) {
+  // A single-cell race: no elimination possible, so the racer degenerates to
+  // the plain Section 5.2 replicate-until-CI loop, one replay per round with
+  // the stop evaluated after each — no surplus replays to discard. Normal
+  // bounds keep the stop rule byte-comparable with the pre-racing waves.
+  RaceOptions opt;
+  opt.max_replays = max_replays;
+  opt.target_rel_ci = target_rel_ci;
+  opt.use_t_bounds = false;
+  RacingReplicator racer(opt, pool_);
+  // A shared trace sink or a non-cloneable policy keeps replays on this
+  // thread (ordered trace, un-clonable state); otherwise each replay runs a
+  // clone, like the old wave fan-out.
+  const bool inline_only = tracing() || policy.clone() == nullptr;
+  const auto sample = [&](std::size_t, std::size_t replay) -> RaceSample {
     sim::SimConfig cfg = sim_.config();
-    cfg.seed = Rng::derive(cfg.seed, "replay:" + std::to_string(r));
+    cfg.seed = Rng::derive(cfg.seed, "replay:" + std::to_string(replay));
     sim::ClusterSim replay_sim(cfg, features_);
-    replay[r] = normalize(compute_metrics(replay_sim.run(mix, p), iso_), baseline);
+    const std::unique_ptr<sim::SchedulingPolicy> local = inline_only ? nullptr : policy.clone();
+    sim::SchedulingPolicy& p = local ? *local : policy;
+    const NormalizedMetrics norm =
+        normalize(compute_metrics(replay_sim.run(mix, p), iso_), baseline);
+    return {norm.norm_stp, norm.antt_reduction, 0.0, 0};
   };
+  const CellOutcome cell =
+      racer.race(1, sample, {}, {static_cast<std::uint8_t>(inline_only ? 1 : 0)}).front();
 
-  std::vector<double> stps, antt_reds;
   ReplicatedMetrics out;
-  for (std::size_t start = 0; start < max_replays && !out.converged; start += wave) {
-    const std::size_t count = std::min(wave, max_replays - start);
-    if (count > 1 && policy.clone() != nullptr) {
-      pool_.parallel_for_each(count, [&](std::size_t i) {
-        const auto local = policy.clone();
-        run_replay(start + i, *local);
-      });
-    } else {
-      for (std::size_t i = 0; i < count; ++i) run_replay(start + i, policy);
-    }
-    // The Section 5.2 early stop, evaluated strictly in replay order; surplus
-    // replays computed by the wave are discarded, matching a sequential run.
-    for (std::size_t i = 0; i < count && !out.converged; ++i) {
-      const std::size_t r = start + i;
-      stps.push_back(replay[r].norm_stp);
-      antt_reds.push_back(replay[r].antt_reduction);
-      out.replays = r + 1;
-      if (stps.size() >= 2) {
-        out.stp_mean = mean(stps);
-        out.stp_ci_half = ci_half_width(stps);
-        if (2.0 * out.stp_ci_half < target_rel_ci * out.stp_mean) out.converged = true;
-      }
-    }
-  }
-  out.stp_mean = mean(stps);
-  out.stp_ci_half = ci_half_width(stps);
-  out.antt_reduction_mean = mean(antt_reds);
+  out.stp_mean = cell.mean;
+  out.stp_ci_half = cell.ci_half;
+  out.antt_reduction_mean = cell.secondary_mean;
+  out.replays = cell.replays_used;
+  out.converged = cell.stop == CellStop::kConverged;
   return out;
 }
 
@@ -106,20 +117,7 @@ std::vector<SchemeScenarioResult> ExperimentRunner::run_scenario(
   // the wall clock differs.
   const bool parallel = pool_.size() > 1 && (sink_factory_ != nullptr || !tracing());
 
-  // Baseline metrics once per mix, shared by every scheme. Each job uses a
-  // local baseline policy instance so metrics bindings never cross threads.
-  std::vector<MixMetrics> baselines(mixes.size());
-  auto run_baseline = [&](std::size_t m, sim::SchedulingPolicy& p) {
-    baselines[m] = compute_metrics(sim_.run(mixes[m], p, nullptr), iso_);
-  };
-  if (parallel) {
-    pool_.parallel_for_each(mixes.size(), [&](std::size_t m) {
-      IsolatedPolicy baseline;
-      run_baseline(m, baseline);
-    });
-  } else {
-    for (std::size_t m = 0; m < mixes.size(); ++m) run_baseline(m, baseline_policy_);
-  }
+  const std::vector<MixMetrics> baselines = mix_baselines(mixes, parallel);
 
   // One cell per (policy, mix), written into pre-sized slots so the
   // aggregation below consumes them in the exact sequential order no matter
@@ -187,18 +185,200 @@ std::vector<SchemeScenarioResult> ExperimentRunner::run_scenario(
       makespans.push_back(cell.makespan);
       oom += cell.oom;
     }
-    SchemeScenarioResult r;
-    r.scheme = policies[p]->name();
-    r.scenario = scenario.label;
-    r.stp_geomean = geomean(stps);
-    r.stp_min = min_of(stps);
-    r.stp_max = max_of(stps);
-    r.antt_red_mean = mean(antt_reds);
-    r.antt_red_min = min_of(antt_reds);
-    r.antt_red_max = max_of(antt_reds);
-    r.mean_makespan = mean(makespans);
-    r.oom_total = oom;
-    out.push_back(std::move(r));
+    out.push_back(
+        aggregate_scheme(policies[p]->name(), scenario.label, stps, antt_reds, makespans, oom));
+  }
+  return out;
+}
+
+std::vector<MixMetrics> ExperimentRunner::mix_baselines(const std::vector<wl::TaskMix>& mixes,
+                                                        bool parallel) {
+  // Baseline metrics once per mix, shared by every scheme; never traced.
+  // Each job uses a local baseline policy instance so metrics bindings never
+  // cross threads.
+  std::vector<MixMetrics> baselines(mixes.size());
+  auto run_baseline = [&](std::size_t m, sim::SchedulingPolicy& p) {
+    baselines[m] = compute_metrics(sim_.run(mixes[m], p, nullptr), iso_);
+  };
+  if (parallel && pool_.size() > 1) {
+    pool_.parallel_for_each(mixes.size(), [&](std::size_t m) {
+      IsolatedPolicy baseline;
+      run_baseline(m, baseline);
+    });
+  } else {
+    for (std::size_t m = 0; m < mixes.size(); ++m) run_baseline(m, baseline_policy_);
+  }
+  return baselines;
+}
+
+RaceSample ExperimentRunner::replay_cell(const std::vector<wl::TaskMix>& mixes,
+                                         const std::vector<MixMetrics>& baselines,
+                                         const std::vector<sim::SchedulingPolicy*>& policies,
+                                         const std::vector<std::uint8_t>& caller_only,
+                                         std::size_t p, std::size_t m, std::size_t replay) {
+  sim::SimConfig cfg = sim_.config();
+  cfg.seed = Rng::derive(cfg.seed, "replay:" + std::to_string(replay));
+  sim::ClusterSim replay_sim(cfg, features_);
+  const std::unique_ptr<sim::SchedulingPolicy> local =
+      caller_only[p] ? nullptr : policies[p]->clone();
+  sim::SchedulingPolicy& policy = local ? *local : *policies[p];
+  // Replays are statistical samples, never traced (explicit null sink).
+  const sim::SimResult result = replay_sim.run(mixes[m], policy, nullptr);
+  const NormalizedMetrics norm = normalize(compute_metrics(result, iso_), baselines[m]);
+  return {norm.norm_stp, norm.antt_reduction, result.makespan, result.oom_total};
+}
+
+ExperimentRunner::RacedScenarioResult ExperimentRunner::run_scenario_raced(
+    const wl::Scenario& scenario, const std::vector<sim::SchedulingPolicy*>& policies,
+    const RaceOptions& race) {
+  SMOE_REQUIRE(!policies.empty(), "no policies");
+  for (sim::SchedulingPolicy* policy : policies) SMOE_REQUIRE(policy != nullptr, "null policy");
+  const std::vector<wl::TaskMix> mixes = wl::scenario_mixes(scenario, n_mixes_, mix_seed_);
+  iso_.warm(mixes, pool_);
+  const std::vector<MixMetrics> baselines = mix_baselines(mixes, true);
+
+  const std::size_t n_policies = policies.size();
+  const std::size_t n_mixes = mixes.size();
+  std::vector<std::uint8_t> policy_caller_only(n_policies, 0);
+  for (std::size_t p = 0; p < n_policies; ++p)
+    policy_caller_only[p] = policies[p]->clone() == nullptr ? 1 : 0;
+
+  // Internal cell ids are mix-major so each race group (all the policies on
+  // one mix, replaying with paired noise seeds) is contiguous and mean ties
+  // break toward the earlier policy in the caller's list.
+  std::vector<std::size_t> group_of(n_policies * n_mixes);
+  std::vector<std::uint8_t> caller_only(n_policies * n_mixes);
+  for (std::size_t m = 0; m < n_mixes; ++m) {
+    for (std::size_t p = 0; p < n_policies; ++p) {
+      group_of[m * n_policies + p] = m;
+      caller_only[m * n_policies + p] = policy_caller_only[p];
+    }
+  }
+
+  RacingReplicator racer(race, pool_);
+  const std::vector<CellOutcome> raced = racer.race(
+      n_policies * n_mixes,
+      [&](std::size_t cell, std::size_t replay) {
+        return replay_cell(mixes, baselines, policies, policy_caller_only, cell % n_policies,
+                           cell / n_policies, replay);
+      },
+      group_of, caller_only);
+
+  RacedScenarioResult out;
+  out.cells.resize(n_policies * n_mixes);
+  out.fixed_budget_simulations = n_policies * n_mixes * race.max_replays;
+  for (std::size_t m = 0; m < n_mixes; ++m)
+    for (std::size_t p = 0; p < n_policies; ++p)
+      out.cells[p * n_mixes + m] = raced[m * n_policies + p];
+  for (const CellOutcome& cell : out.cells) out.total_simulations += cell.replays_used;
+  out.samples_saved_pct =
+      100.0 * (1.0 - static_cast<double>(out.total_simulations) /
+                         static_cast<double>(out.fixed_budget_simulations));
+
+  out.schemes.reserve(n_policies);
+  for (std::size_t p = 0; p < n_policies; ++p) {
+    std::vector<double> stps, antt_reds, makespans;
+    std::size_t oom = 0;
+    for (std::size_t m = 0; m < n_mixes; ++m) {
+      const CellOutcome& cell = out.cells[p * n_mixes + m];
+      stps.push_back(cell.mean);
+      antt_reds.push_back(cell.secondary_mean);
+      makespans.push_back(cell.makespan_mean);
+      oom += cell.oom_total;
+    }
+    out.schemes.push_back(
+        aggregate_scheme(policies[p]->name(), scenario.label, stps, antt_reds, makespans, oom));
+  }
+  return out;
+}
+
+ExperimentRunner::ReplicatedScenarioResult ExperimentRunner::run_scenario_replicated(
+    const wl::Scenario& scenario, const std::vector<sim::SchedulingPolicy*>& policies,
+    std::size_t max_replays, double target_rel_ci, std::size_t wave) {
+  SMOE_REQUIRE(!policies.empty(), "no policies");
+  for (sim::SchedulingPolicy* policy : policies) SMOE_REQUIRE(policy != nullptr, "null policy");
+  SMOE_REQUIRE(max_replays >= 2, "replication needs >= 2 replays");
+  SMOE_REQUIRE(target_rel_ci > 0.0, "replication: bad CI target");
+  const std::vector<wl::TaskMix> mixes = wl::scenario_mixes(scenario, n_mixes_, mix_seed_);
+  iso_.warm(mixes, pool_);
+  const std::vector<MixMetrics> baselines = mix_baselines(mixes, true);
+
+  const std::size_t n_policies = policies.size();
+  const std::size_t n_mixes = mixes.size();
+  const std::size_t wave_n =
+      std::min(wave == 0 ? std::max<std::size_t>(pool_.size(), 1) : wave, max_replays);
+  std::vector<std::uint8_t> policy_caller_only(n_policies, 0);
+  for (std::size_t p = 0; p < n_policies; ++p)
+    policy_caller_only[p] = policies[p]->clone() == nullptr ? 1 : 0;
+
+  ReplicatedScenarioResult out;
+  out.cells.resize(n_policies * n_mixes);
+  std::vector<std::size_t> executed(n_policies * n_mixes, 0);
+  std::vector<double> cell_makespan(n_policies * n_mixes, 0);
+  std::vector<std::size_t> cell_oom(n_policies * n_mixes, 0);
+
+  // One pool job per cell; replays inside a cell stay sequential (the legacy
+  // wave loop), so the executed-replay totals are a pure function of
+  // (wave_n, max_replays, seeds) and never of the thread count.
+  auto run_cell = [&](std::size_t p, std::size_t m) {
+    Welford stp, antt_red, makespan;
+    std::size_t oom = 0;
+    ReplicatedMetrics rm;
+    std::vector<RaceSample> samples(wave_n);
+    for (std::size_t start = 0; start < max_replays && !rm.converged; start += wave_n) {
+      const std::size_t count = std::min(wave_n, max_replays - start);
+      executed[p * n_mixes + m] += count;
+      for (std::size_t i = 0; i < count; ++i)
+        samples[i] = replay_cell(mixes, baselines, policies, policy_caller_only, p, m, start + i);
+      // The Section 5.2 early stop in replay order; the rest of the wave is
+      // executed-and-discarded, exactly like the old pool waves.
+      for (std::size_t i = 0; i < count && !rm.converged; ++i) {
+        stp.add(samples[i].value);
+        antt_red.add(samples[i].secondary);
+        makespan.add(samples[i].makespan);
+        oom += samples[i].oom;
+        rm.replays = start + i + 1;
+        if (stp.count() >= 2) {
+          rm.stp_mean = stp.mean();
+          rm.stp_ci_half = stp.ci_half_width();
+          if (2.0 * rm.stp_ci_half < target_rel_ci * rm.stp_mean) rm.converged = true;
+        }
+      }
+    }
+    rm.stp_mean = stp.mean();
+    rm.stp_ci_half = stp.ci_half_width();
+    rm.antt_reduction_mean = antt_red.mean();
+    out.cells[p * n_mixes + m] = rm;
+    cell_makespan[p * n_mixes + m] = makespan.mean();
+    cell_oom[p * n_mixes + m] = oom;
+  };
+
+  std::vector<std::pair<std::size_t, std::size_t>> jobs;
+  std::vector<std::size_t> sequential_policies;
+  for (std::size_t p = 0; p < n_policies; ++p) {
+    if (policy_caller_only[p]) {
+      sequential_policies.push_back(p);
+      continue;
+    }
+    for (std::size_t m = 0; m < n_mixes; ++m) jobs.emplace_back(p, m);
+  }
+  pool_.parallel_for_each(jobs.size(), [&](std::size_t j) { run_cell(jobs[j].first, jobs[j].second); });
+  for (const std::size_t p : sequential_policies)
+    for (std::size_t m = 0; m < n_mixes; ++m) run_cell(p, m);
+
+  for (const std::size_t n : executed) out.total_simulations += n;
+  out.schemes.reserve(n_policies);
+  for (std::size_t p = 0; p < n_policies; ++p) {
+    std::vector<double> stps, antt_reds, makespans;
+    std::size_t oom = 0;
+    for (std::size_t m = 0; m < n_mixes; ++m) {
+      stps.push_back(out.cells[p * n_mixes + m].stp_mean);
+      antt_reds.push_back(out.cells[p * n_mixes + m].antt_reduction_mean);
+      makespans.push_back(cell_makespan[p * n_mixes + m]);
+      oom += cell_oom[p * n_mixes + m];
+    }
+    out.schemes.push_back(
+        aggregate_scheme(policies[p]->name(), scenario.label, stps, antt_reds, makespans, oom));
   }
   return out;
 }

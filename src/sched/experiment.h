@@ -27,6 +27,7 @@
 #include "obs/sink_factory.h"
 #include "sched/metrics.h"
 #include "sched/policies_basic.h"
+#include "sched/race.h"
 #include "sparksim/engine.h"
 #include "workloads/mixes.h"
 
@@ -74,6 +75,43 @@ class ExperimentRunner {
   std::vector<SchemeScenarioResult> run_scenario(
       const wl::Scenario& scenario, const std::vector<sim::SchedulingPolicy*>& policies);
 
+  /// run_scenario with best-arm racing (DESIGN.md §15): for every mix the
+  /// policies race each other over replays of that mix with paired noise
+  /// seeds, and a (policy, mix) cell stops replaying as soon as its
+  /// confidence interval separates from the mix's best arm (or meets the
+  /// Section 5.2 width target). Scheme aggregates are computed from per-cell
+  /// replay means, so the ranking matches fixed-budget replication while
+  /// running several times fewer simulations. Cells never trace (racing is a
+  /// statistical sweep); byte-identical at any thread count.
+  struct RacedScenarioResult {
+    std::vector<SchemeScenarioResult> schemes;
+    /// Per-cell outcomes, policy-major: cells[p * n_mixes + m].
+    std::vector<CellOutcome> cells;
+    std::size_t total_simulations = 0;        ///< replays consumed across cells
+    std::size_t fixed_budget_simulations = 0; ///< n_cells * max_replays ceiling
+    double samples_saved_pct = 0;             ///< 100 * (1 - total / fixed_budget)
+  };
+  RacedScenarioResult run_scenario_raced(const wl::Scenario& scenario,
+                                         const std::vector<sim::SchedulingPolicy*>& policies,
+                                         const RaceOptions& race = {});
+
+  /// Fixed-wave replication of every (policy, mix) cell — the legacy cost
+  /// model and the baseline arm of bench_sweep_cost. Each cell replays in
+  /// waves of `wave` simulations (0 = pool size) with the Section 5.2
+  /// normal-approximation early stop evaluated in replay order; surplus
+  /// replays of the final wave are executed and discarded, exactly what the
+  /// pre-racing pool waves did. total_simulations counts executed replays,
+  /// including the discarded surplus, so pass an explicit `wave` when the
+  /// total must not depend on the machine's core count.
+  struct ReplicatedScenarioResult {
+    std::vector<SchemeScenarioResult> schemes;
+    std::vector<ReplicatedMetrics> cells;  ///< policy-major like RacedScenarioResult
+    std::size_t total_simulations = 0;     ///< executed replays incl. discarded surplus
+  };
+  ReplicatedScenarioResult run_scenario_replicated(
+      const wl::Scenario& scenario, const std::vector<sim::SchedulingPolicy*>& policies,
+      std::size_t max_replays = 12, double target_rel_ci = 0.05, std::size_t wave = 0);
+
   /// Normalized metrics of one specific mix under one policy (Fig. 7/8).
   struct SingleMix {
     MixMetrics metrics;
@@ -84,9 +122,11 @@ class ExperimentRunner {
 
   /// Replay one mix with fresh noise seeds until the 95% CI of the mean
   /// normalized STP is below `target_rel_ci` of the mean (Section 5.2), or
-  /// `max_replays` is reached. Replays fan out in pool-sized waves; the CI
-  /// early-stop is evaluated in replay order, so the outcome is identical to
-  /// a sequential run (surplus replays of the final wave are discarded).
+  /// `max_replays` is reached. Implemented as a single-cell race: the
+  /// round-based RacingReplicator replays one at a time with the early stop
+  /// evaluated in replay order (normal-approximation bounds, for continuity
+  /// with previously committed bench numbers), so the outcome is identical
+  /// at any thread count and no surplus replays are executed at all.
   ReplicatedMetrics run_mix_replicated(const wl::TaskMix& mix, sim::SchedulingPolicy& policy,
                                        std::size_t max_replays = 10,
                                        double target_rel_ci = 0.05);
@@ -106,6 +146,14 @@ class ExperimentRunner {
 
  private:
   bool tracing() const;
+  /// Baseline metrics once per mix (never traced), parallel when asked.
+  std::vector<MixMetrics> mix_baselines(const std::vector<wl::TaskMix>& mixes, bool parallel);
+  /// One raced/replicated replay of mixes[m] under policies[p]; never traced.
+  RaceSample replay_cell(const std::vector<wl::TaskMix>& mixes,
+                         const std::vector<MixMetrics>& baselines,
+                         const std::vector<sim::SchedulingPolicy*>& policies,
+                         const std::vector<std::uint8_t>& caller_only, std::size_t p,
+                         std::size_t m, std::size_t replay);
 
   const wl::FeatureModel& features_;
   sim::ClusterSim sim_;

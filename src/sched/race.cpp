@@ -1,0 +1,209 @@
+#include "sched/race.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/error.h"
+
+namespace smoe::sched {
+
+const char* to_string(CellStop stop) {
+  switch (stop) {
+    case CellStop::kSeparated: return "separated";
+    case CellStop::kConverged: return "converged";
+    case CellStop::kBudget: return "budget";
+  }
+  return "unknown";
+}
+
+void SampleScheduler::run_round(std::vector<Job> jobs,
+                                const std::function<void(const Job&)>& compute) {
+  // Caller-thread jobs run here, first: they share un-clonable state with the
+  // caller, so interleaving them with the fan-out would race.
+  std::vector<Job> pool_jobs;
+  pool_jobs.reserve(jobs.size());
+  for (const Job& job : jobs) {
+    if (job.caller_thread) compute(job);
+    else pool_jobs.push_back(job);
+  }
+  if (pool_jobs.empty()) return;
+  // Widest interval first: the most contested cells start earliest, so the
+  // round's tail is short. Execution order never affects results — samples
+  // land in per-cell slots and are consumed in canonical cell order.
+  std::sort(pool_jobs.begin(), pool_jobs.end(), [](const Job& a, const Job& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.cell < b.cell;
+  });
+  pool_.parallel_for_each(pool_jobs.size(),
+                          [&](std::size_t i) { compute(pool_jobs[i]); });
+}
+
+RacingReplicator::RacingReplicator(const RaceOptions& opt, ThreadPool& pool)
+    : opt_(opt), pool_(pool) {
+  SMOE_REQUIRE(opt_.min_replays >= 2, "race: min_replays must be >= 2");
+  SMOE_REQUIRE(opt_.max_replays >= opt_.min_replays, "race: max_replays < min_replays");
+  SMOE_REQUIRE(opt_.target_rel_ci > 0.0, "race: bad CI target");
+  SMOE_REQUIRE(opt_.confidence > 0.0 && opt_.confidence < 1.0, "race: bad confidence");
+  SMOE_REQUIRE(opt_.budget_seconds >= 0.0, "race: bad wall-clock budget");
+}
+
+std::vector<CellOutcome> RacingReplicator::race(std::size_t n_cells, const SampleFn& sample,
+                                                const std::vector<std::size_t>& group_of,
+                                                const std::vector<std::uint8_t>& caller_only) {
+  SMOE_REQUIRE(n_cells >= 1, "race: no cells");
+  SMOE_REQUIRE(group_of.empty() || group_of.size() == n_cells, "race: group_of size mismatch");
+  SMOE_REQUIRE(caller_only.empty() || caller_only.size() == n_cells,
+               "race: caller_only size mismatch");
+
+  struct CellState {
+    Welford value, secondary, makespan;
+    std::size_t oom = 0;
+    bool active = true;
+    bool eliminated = false;
+  };
+  std::vector<CellState> state(n_cells);
+  std::vector<CellOutcome> out(n_cells);
+
+  // Groups ordered by first member, members in ascending cell index — the
+  // canonical decision order. Ties on the mean favor the lowest cell index.
+  std::vector<std::vector<std::size_t>> groups;
+  {
+    std::unordered_map<std::size_t, std::size_t> slot_of;
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      const std::size_t id = group_of.empty() ? 0 : group_of[c];
+      const auto [it, inserted] = slot_of.emplace(id, groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(c);
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto budget_exceeded = [&] {
+    if (opt_.budget_seconds <= 0.0) return false;
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    return dt.count() > opt_.budget_seconds;
+  };
+  const auto half_width = [&](const CellState& s) {
+    return s.value.ci_half_width(opt_.confidence, opt_.use_t_bounds);
+  };
+  // Separation tests use an infinite half-width until a cell has enough
+  // samples for a variance estimate, so nothing separates on one sample.
+  const auto separation_half = [&](const CellState& s) {
+    if (s.value.count() < 2) return std::numeric_limits<double>::infinity();
+    return half_width(s);
+  };
+
+  SampleScheduler scheduler(pool_);
+  std::vector<RaceSample> slot(n_cells);
+
+  for (std::size_t r = 0; r < opt_.max_replays; ++r) {
+    std::vector<SampleScheduler::Job> jobs;
+    jobs.reserve(n_cells);
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      if (!state[c].active) continue;
+      SampleScheduler::Job job;
+      job.cell = c;
+      job.replay = r;
+      job.priority = state[c].value.count() >= 2 && state[c].value.mean() != 0.0
+                         ? half_width(state[c]) / std::abs(state[c].value.mean())
+                         : std::numeric_limits<double>::infinity();
+      job.caller_thread = !caller_only.empty() && caller_only[c] != 0;
+      jobs.push_back(job);
+    }
+    if (jobs.empty()) break;
+    if (budget_exceeded()) {
+      for (std::size_t c = 0; c < n_cells; ++c)
+        if (state[c].active) state[c].active = false;  // stop stays kBudget
+      break;
+    }
+
+    scheduler.run_round(std::move(jobs), [&](const SampleScheduler::Job& job) {
+      slot[job.cell] = sample(job.cell, job.replay);
+    });
+
+    // Consume the round in canonical cell order on this thread.
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      if (!state[c].active) continue;
+      const RaceSample& s = slot[c];
+      state[c].value.add(s.value);
+      state[c].secondary.add(s.secondary);
+      state[c].makespan.add(s.makespan);
+      state[c].oom += s.oom;
+      out[c].replays_used = r + 1;
+    }
+    if (r + 1 < opt_.min_replays) continue;
+
+    // Stop decisions per group: elimination against the current best arm
+    // first (the stronger statement), then the Section 5.2 convergence stop.
+    for (const std::vector<std::size_t>& members : groups) {
+      // Best arm among the non-eliminated members (active or converged).
+      std::size_t best = members.front();
+      bool have_best = false;
+      for (const std::size_t c : members) {
+        if (state[c].eliminated || state[c].value.count() == 0) continue;
+        if (!have_best || state[c].value.mean() > state[best].value.mean()) {
+          best = c;
+          have_best = true;
+        }
+      }
+      if (!have_best) continue;
+      const double best_lower = state[best].value.mean() - separation_half(state[best]);
+      for (const std::size_t c : members) {
+        if (!state[c].active || c == best) continue;
+        if (state[c].value.mean() + separation_half(state[c]) < best_lower) {
+          state[c].active = false;
+          state[c].eliminated = true;
+          out[c].stop = CellStop::kSeparated;
+        }
+      }
+      for (const std::size_t c : members) {
+        if (!state[c].active) continue;
+        const double mean = state[c].value.mean();
+        if (2.0 * half_width(state[c]) < opt_.target_rel_ci * std::abs(mean)) {
+          state[c].active = false;
+          out[c].stop = CellStop::kConverged;
+        }
+      }
+    }
+  }
+  // Anything still active ran out of replay budget undecided.
+  for (std::size_t c = 0; c < n_cells; ++c)
+    if (state[c].active) state[c].active = false;  // stop stays kBudget
+
+  // Final stats and the explicit separated-from-best verdict, from each
+  // cell's stats at its own stop time. The verdict's best arm is the highest
+  // final mean over the whole group (eliminated cells included, so an unsound
+  // elimination shows up as a non-separated verdict rather than hiding).
+  for (std::size_t c = 0; c < n_cells; ++c) {
+    const CellState& s = state[c];
+    out[c].mean = s.value.count() >= 1 ? s.value.mean() : 0.0;
+    out[c].ci_half = s.value.count() >= 2 ? half_width(s) : 0.0;
+    out[c].secondary_mean = s.secondary.count() >= 1 ? s.secondary.mean() : 0.0;
+    out[c].makespan_mean = s.makespan.count() >= 1 ? s.makespan.mean() : 0.0;
+    out[c].oom_total = s.oom;
+  }
+  for (const std::vector<std::size_t>& members : groups) {
+    std::size_t best = members.front();
+    bool have_best = false;
+    for (const std::size_t c : members) {
+      if (state[c].value.count() == 0) continue;
+      if (!have_best || state[c].value.mean() > state[best].value.mean()) {
+        best = c;
+        have_best = true;
+      }
+    }
+    if (!have_best) continue;
+    const double best_lower = state[best].value.mean() - separation_half(state[best]);
+    for (const std::size_t c : members) {
+      if (c == best || state[c].value.count() == 0) continue;
+      out[c].separated_from_best =
+          state[c].value.mean() + separation_half(state[c]) < best_lower;
+    }
+  }
+  return out;
+}
+
+}  // namespace smoe::sched

@@ -1,0 +1,131 @@
+// Best-arm-identification racing over replicated simulation cells
+// (DESIGN.md §15). Instead of replicating every (policy, mix) cell to the
+// same fixed budget, cells in a race *group* (the policies competing on one
+// mix, or the gates competing at one load point) are sampled round by round
+// and a cell stops as soon as its confidence interval separates from the
+// group's current best arm — samples are spent only where the ranking is
+// still uncertain, the successive-elimination idea MAGPIE's simmer/bai
+// machinery applies to move racing.
+//
+// Determinism contract: a sample is a pure function of its (cell, replay)
+// pair, and every statistical decision — accumulator updates, eliminations,
+// convergence stops, final verdicts — is evaluated on the calling thread in
+// canonical (replay round, cell index) order. The worker pool only
+// *computes* sample values into pre-sized slots, so any --threads N is
+// byte-identical to a sequential run. The one exception is an active
+// --budget-seconds wall-clock cutoff: the cut point depends on machine
+// speed, so budgeted runs are reproducible only in simulated time, not
+// across machines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/thread_pool.h"
+
+namespace smoe::sched {
+
+struct RaceOptions {
+  std::size_t min_replays = 2;   ///< Replays before any stop decision.
+  std::size_t max_replays = 12;  ///< Fixed-budget ceiling per cell.
+  /// Section 5.2 stop: a cell converges when its full CI width drops below
+  /// this fraction of its mean.
+  double target_rel_ci = 0.05;
+  double confidence = 0.95;
+  /// Student-t bounds for n < 30 (racing default — the normal approximation
+  /// materially undercovers at 3..10 replays, which would eliminate arms on
+  /// intervals that are too narrow). Legacy replication keeps normal bounds.
+  bool use_t_bounds = true;
+  /// Wall-clock budget in seconds; 0 = unlimited. When exceeded, cells that
+  /// are still running stop as CellStop::kBudget with their current stats.
+  double budget_seconds = 0;
+};
+
+enum class CellStop : std::uint8_t {
+  kSeparated,  ///< CI separated below the group's best arm; eliminated early.
+  kConverged,  ///< Own CI reached the Section 5.2 relative-width target.
+  kBudget,     ///< Hit max_replays (or the wall-clock budget) undecided.
+};
+
+const char* to_string(CellStop stop);
+
+/// One replay's worth of measurements for a cell. `value` is the racing
+/// metric (higher is better); the rest ride along for reporting.
+struct RaceSample {
+  double value = 0;      ///< e.g. normalized STP
+  double secondary = 0;  ///< e.g. ANTT reduction
+  double makespan = 0;
+  std::size_t oom = 0;
+};
+
+struct CellOutcome {
+  std::size_t replays_used = 0;  ///< Samples consumed by the decision logic.
+  double mean = 0;               ///< Mean racing metric over replays_used.
+  double ci_half = 0;            ///< CI half-width at stop time (0 if n < 2).
+  double secondary_mean = 0;
+  double makespan_mean = 0;
+  std::size_t oom_total = 0;  ///< Summed over consumed replays.
+  CellStop stop = CellStop::kBudget;
+  /// Final verdict: this cell's upper confidence bound lies strictly below
+  /// the group best arm's lower bound (always false for the best arm itself).
+  bool separated_from_best = false;
+};
+
+/// Feeds the worker pool one round of still-contested cells at a time,
+/// widest relative confidence interval first, so workers drain uncertainty
+/// instead of idling on converged cells. Purely an execution-order
+/// optimization: compute() writes into per-cell slots and the replicator
+/// consumes them in canonical order, so dispatch order never affects results.
+/// Jobs marked caller_thread (non-cloneable policies, shared trace sinks) run
+/// on the calling thread before the pool fan-out.
+class SampleScheduler {
+ public:
+  struct Job {
+    std::size_t cell = 0;
+    std::size_t replay = 0;
+    double priority = 0;  ///< Descending; ties broken by ascending cell index.
+    bool caller_thread = false;
+  };
+
+  explicit SampleScheduler(ThreadPool& pool) : pool_(pool) {}
+
+  /// Run every job exactly once (barrier on return). Pool-eligible jobs are
+  /// dispatched in priority order.
+  void run_round(std::vector<Job> jobs, const std::function<void(const Job&)>& compute);
+
+ private:
+  ThreadPool& pool_;
+};
+
+/// Races groups of cells with successive elimination under LUCB-style
+/// confidence bounds. A group of one degenerates to the plain Section 5.2
+/// replicate-until-CI loop (no elimination possible), which is how
+/// ExperimentRunner::run_mix_replicated is implemented on top of this.
+class RacingReplicator {
+ public:
+  /// Must return the same value for the same (cell, replay) on every call —
+  /// replay seeds derived from the replay index, never from wall clock or
+  /// call order. Called concurrently from pool workers unless the cell is
+  /// marked caller-thread-only.
+  using SampleFn = std::function<RaceSample(std::size_t cell, std::size_t replay)>;
+
+  RacingReplicator(const RaceOptions& opt, ThreadPool& pool);
+
+  /// Race `n_cells` cells; cells with equal `group_of` value race each other
+  /// (group_of empty = one global group). `caller_only[c]` nonzero forces
+  /// cell c's samples onto the calling thread. Returns one outcome per cell.
+  std::vector<CellOutcome> race(std::size_t n_cells, const SampleFn& sample,
+                                const std::vector<std::size_t>& group_of = {},
+                                const std::vector<std::uint8_t>& caller_only = {});
+
+  const RaceOptions& options() const { return opt_; }
+
+ private:
+  RaceOptions opt_;
+  ThreadPool& pool_;
+};
+
+}  // namespace smoe::sched

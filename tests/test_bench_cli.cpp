@@ -85,6 +85,25 @@ TEST(ParseBenchOptions, DefaultsApplyWithNoArguments) {
   EXPECT_EQ(opt.n_mixes, 30u);
   EXPECT_EQ(opt.threads, 0u);
   EXPECT_FALSE(opt.oversubscribe);
+  EXPECT_FALSE(opt.race.has_value());  // nullopt = the bench's own default
+  EXPECT_EQ(opt.max_replays, 0u);
+  EXPECT_DOUBLE_EQ(opt.budget_seconds, 0.0);
+}
+
+TEST(ParseBenchOptions, ParsesRacingFlags) {
+  Argv a({"bench", "--race", "--max-replays", "8", "--budget-seconds", "2.5"});
+  const auto opt = parse_bench_options(a.argc(), a.argv(), 30);
+  ASSERT_TRUE(opt.race.has_value());
+  EXPECT_TRUE(*opt.race);
+  EXPECT_EQ(opt.max_replays, 8u);
+  EXPECT_DOUBLE_EQ(opt.budget_seconds, 2.5);
+}
+
+TEST(ParseBenchOptions, NoRaceWinsAsAnExplicitOff) {
+  Argv a({"bench", "--no-race"});
+  const auto opt = parse_bench_options(a.argc(), a.argv(), 30);
+  ASSERT_TRUE(opt.race.has_value());
+  EXPECT_FALSE(*opt.race);
 }
 
 using ParseBenchOptionsDeath = ::testing::Test;
@@ -109,6 +128,22 @@ TEST(ParseBenchOptionsDeath, ExitsWithStatus2OnMalformedNumerics) {
               "bad mix count");
   EXPECT_EXIT(run({"bench", "10", "extra"}), ::testing::ExitedWithCode(2),
               "unexpected argument");
+  EXPECT_EXIT(run({"bench", "--max-replays", "junk"}), ::testing::ExitedWithCode(2),
+              "bad --max-replays");
+  EXPECT_EXIT(run({"bench", "--max-replays", "1"}), ::testing::ExitedWithCode(2),
+              "bad --max-replays");  // replication needs >= 2
+  EXPECT_EXIT(run({"bench", "--max-replays", "-4"}), ::testing::ExitedWithCode(2),
+              "bad --max-replays");
+  EXPECT_EXIT(run({"bench", "--max-replays"}), ::testing::ExitedWithCode(2),
+              "--max-replays needs a value");
+  EXPECT_EXIT(run({"bench", "--budget-seconds", "5s"}), ::testing::ExitedWithCode(2),
+              "bad --budget-seconds");
+  EXPECT_EXIT(run({"bench", "--budget-seconds", "-1"}), ::testing::ExitedWithCode(2),
+              "bad --budget-seconds");
+  EXPECT_EXIT(run({"bench", "--budget-seconds", "inf"}), ::testing::ExitedWithCode(2),
+              "bad --budget-seconds");
+  EXPECT_EXIT(run({"bench", "--budget-seconds"}), ::testing::ExitedWithCode(2),
+              "--budget-seconds needs a value");
 }
 
 TEST(ParseBenchOptionsDeath, HelpExitsWithStatusZeroAndUsage) {

@@ -1,0 +1,336 @@
+// Best-arm racing (DESIGN.md §15): determinism across thread counts,
+// elimination soundness, stop-rule semantics, and the sweep-cost accounting
+// of run_scenario_raced.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "sched/experiment.h"
+#include "sched/policies_basic.h"
+#include "sched/policies_learned.h"
+#include "sched/race.h"
+
+namespace {
+
+using namespace smoe;
+
+constexpr std::uint64_t kSeed = 404;
+
+/// Deterministic synthetic arm: base[cell] plus zero-mean noise that is a
+/// pure function of (cell, replay) — the same determinism contract real
+/// simulation samples satisfy.
+sched::RacingReplicator::SampleFn synthetic_arms(std::vector<double> base, double sigma) {
+  return [base = std::move(base), sigma](std::size_t cell, std::size_t replay) {
+    Rng rng(Rng::derive(Rng::derive(kSeed, "cell:" + std::to_string(cell)),
+                        "replay:" + std::to_string(replay)));
+    const double value = base[cell] + rng.normal(0.0, sigma);
+    return sched::RaceSample{value, value * 0.5, value * 2.0, replay % 2};
+  };
+}
+
+sim::SimConfig small_config() {
+  sim::SimConfig cfg;
+  cfg.seed = kSeed;
+  cfg.cluster.n_nodes = 4;
+  return cfg;
+}
+
+TEST(Race, RequiresSaneOptions) {
+  ThreadPool pool(1);
+  sched::RaceOptions opt;
+  opt.min_replays = 1;
+  EXPECT_THROW(sched::RacingReplicator(opt, pool), PreconditionError);
+  opt = {};
+  opt.max_replays = 1;
+  EXPECT_THROW(sched::RacingReplicator(opt, pool), PreconditionError);
+  opt = {};
+  opt.target_rel_ci = 0.0;
+  EXPECT_THROW(sched::RacingReplicator(opt, pool), PreconditionError);
+  opt = {};
+  opt.confidence = 1.0;
+  EXPECT_THROW(sched::RacingReplicator(opt, pool), PreconditionError);
+  opt = {};
+  sched::RacingReplicator racer(opt, pool);
+  EXPECT_THROW(racer.race(0, synthetic_arms({1.0}, 0.1)), PreconditionError);
+  EXPECT_THROW(racer.race(2, synthetic_arms({1.0, 2.0}, 0.1), {0}), PreconditionError);
+}
+
+TEST(Race, SeparatedArmsStopEarlyAndBestConverges) {
+  ThreadPool pool(1);
+  sched::RaceOptions opt;
+  opt.max_replays = 12;
+  sched::RacingReplicator racer(opt, pool);
+  // Widely separated means with tiny noise: the losers must be eliminated at
+  // the first decision point, the winner converges on its own CI.
+  const auto out = racer.race(3, synthetic_arms({1.0, 5.0, 2.0}, 0.01));
+  EXPECT_EQ(out[0].stop, sched::CellStop::kSeparated);
+  EXPECT_EQ(out[2].stop, sched::CellStop::kSeparated);
+  EXPECT_EQ(out[0].replays_used, opt.min_replays);
+  EXPECT_EQ(out[2].replays_used, opt.min_replays);
+  EXPECT_TRUE(out[0].separated_from_best);
+  EXPECT_TRUE(out[2].separated_from_best);
+  EXPECT_EQ(out[1].stop, sched::CellStop::kConverged);
+  EXPECT_FALSE(out[1].separated_from_best);
+  EXPECT_NEAR(out[1].mean, 5.0, 0.1);
+  EXPECT_NEAR(out[1].secondary_mean, out[1].mean * 0.5, 1e-9);
+  EXPECT_NEAR(out[1].makespan_mean, out[1].mean * 2.0, 1e-9);
+  EXPECT_EQ(out[1].oom_total, out[1].replays_used / 2);  // replay % 2 summed
+}
+
+TEST(Race, IndistinguishableArmsRunToTheBudget) {
+  ThreadPool pool(1);
+  sched::RaceOptions opt;
+  opt.max_replays = 6;
+  opt.target_rel_ci = 1e-6;  // unreachable, so convergence can't trigger
+  sched::RacingReplicator racer(opt, pool);
+  const auto out = racer.race(2, synthetic_arms({1.0, 1.0}, 0.5));
+  for (const auto& cell : out) {
+    EXPECT_EQ(cell.stop, sched::CellStop::kBudget);
+    EXPECT_EQ(cell.replays_used, opt.max_replays);
+    EXPECT_FALSE(cell.separated_from_best);
+  }
+}
+
+TEST(Race, GroupsRaceIndependently) {
+  ThreadPool pool(1);
+  sched::RaceOptions opt;
+  opt.max_replays = 10;
+  sched::RacingReplicator racer(opt, pool);
+  // Cells 0,1 form group A (separable); cells 2,3 form group B (identical
+  // means — nothing may separate even though group A's best dominates B).
+  const auto out = racer.race(4, synthetic_arms({1.0, 5.0, 2.0, 2.0}, 0.01),
+                              {7, 7, 9, 9});
+  EXPECT_EQ(out[0].stop, sched::CellStop::kSeparated);
+  EXPECT_FALSE(out[1].separated_from_best);
+  EXPECT_FALSE(out[2].separated_from_best);
+  EXPECT_FALSE(out[3].separated_from_best);
+  EXPECT_NE(out[2].stop, sched::CellStop::kSeparated);
+  EXPECT_NE(out[3].stop, sched::CellStop::kSeparated);
+}
+
+TEST(Race, EliminationIsSoundAgainstTheFullBudget) {
+  // Every eliminated arm, had it replayed to the full budget, must still sit
+  // below the full-budget best arm — racing may only cut samples that could
+  // not have changed the conclusion.
+  ThreadPool pool(2);
+  sched::RaceOptions opt;
+  opt.max_replays = 12;
+  sched::RacingReplicator racer(opt, pool);
+  const std::vector<double> base = {1.0, 1.8, 2.6, 3.4, 4.2, 5.0};
+  const auto sample = synthetic_arms(base, 0.15);
+  const auto out = racer.race(base.size(), sample);
+
+  // Full-budget stats per cell, computed directly from the pure sample fn.
+  std::vector<Welford> full(base.size());
+  for (std::size_t c = 0; c < base.size(); ++c)
+    for (std::size_t r = 0; r < opt.max_replays; ++r) full[c].add(sample(c, r).value);
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < base.size(); ++c)
+    if (full[c].mean() > full[best].mean()) best = c;
+
+  std::size_t eliminated = 0;
+  for (std::size_t c = 0; c < base.size(); ++c) {
+    if (out[c].stop != sched::CellStop::kSeparated) continue;
+    ++eliminated;
+    EXPECT_NE(c, best);
+    EXPECT_LT(full[c].mean() + full[c].ci_half_width(0.95, true),
+              full[best].mean() - full[best].ci_half_width(0.95, true))
+        << "eliminated cell " << c << " was not separated at full budget";
+    EXPECT_LT(out[c].replays_used, opt.max_replays);
+  }
+  EXPECT_GE(eliminated, 3u) << "well-separated arms should mostly be eliminated";
+}
+
+TEST(Race, ThreadCountDoesNotChangeOutcomes) {
+  // The tentpole determinism contract, at the replicator level: 16 cells in
+  // 4 groups, moderately noisy, raced on 1 vs 4 threads.
+  std::vector<double> base;
+  std::vector<std::size_t> group_of;
+  for (std::size_t c = 0; c < 16; ++c) {
+    base.push_back(1.0 + 0.35 * static_cast<double>(c % 4));
+    group_of.push_back(c / 4);
+  }
+  sched::RaceOptions opt;
+  opt.max_replays = 10;
+  const auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    sched::RacingReplicator racer(opt, pool);
+    return racer.race(base.size(), synthetic_arms(base, 0.2), group_of);
+  };
+  const auto seq = run(1);
+  const auto par = run(4);
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t c = 0; c < seq.size(); ++c) {
+    EXPECT_EQ(seq[c].replays_used, par[c].replays_used) << "cell " << c;
+    EXPECT_EQ(seq[c].mean, par[c].mean) << "cell " << c;  // bitwise
+    EXPECT_EQ(seq[c].ci_half, par[c].ci_half) << "cell " << c;
+    EXPECT_EQ(seq[c].secondary_mean, par[c].secondary_mean) << "cell " << c;
+    EXPECT_EQ(seq[c].makespan_mean, par[c].makespan_mean) << "cell " << c;
+    EXPECT_EQ(seq[c].oom_total, par[c].oom_total) << "cell " << c;
+    EXPECT_EQ(seq[c].stop, par[c].stop) << "cell " << c;
+    EXPECT_EQ(seq[c].separated_from_best, par[c].separated_from_best) << "cell " << c;
+  }
+}
+
+TEST(Race, CallerOnlyCellsRunOnTheCallingThread) {
+  ThreadPool pool(4);
+  sched::RaceOptions opt;
+  opt.max_replays = 4;
+  sched::RacingReplicator racer(opt, pool);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::uint8_t> on_caller(2, 1);
+  bool ok = true;
+  const auto out = racer.race(
+      2,
+      [&](std::size_t cell, std::size_t replay) {
+        if (std::this_thread::get_id() != caller) ok = false;
+        return synthetic_arms({1.0, 1.0}, 0.3)(cell, replay);
+      },
+      {}, on_caller);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Race, TinyWallClockBudgetStopsBeforeAnyRound) {
+  ThreadPool pool(1);
+  sched::RaceOptions opt;
+  opt.budget_seconds = 1e-12;  // elapses before the first round is dispatched
+  sched::RacingReplicator racer(opt, pool);
+  const auto out = racer.race(2, synthetic_arms({1.0, 2.0}, 0.1));
+  for (const auto& cell : out) {
+    EXPECT_EQ(cell.stop, sched::CellStop::kBudget);
+    EXPECT_EQ(cell.replays_used, 0u);
+    EXPECT_DOUBLE_EQ(cell.mean, 0.0);
+    EXPECT_FALSE(cell.separated_from_best);
+  }
+}
+
+TEST(Race, StopLabelsRoundTrip) {
+  EXPECT_STREQ(sched::to_string(sched::CellStop::kSeparated), "separated");
+  EXPECT_STREQ(sched::to_string(sched::CellStop::kConverged), "converged");
+  EXPECT_STREQ(sched::to_string(sched::CellStop::kBudget), "budget");
+}
+
+// ---- run_scenario_raced on real simulations --------------------------------
+
+TEST(Race, RacedScenarioIsThreadCountInvariant) {
+  // 4 policies x 4 mixes = 16 simulation cells, raced on 1 vs 4 threads:
+  // every per-cell outcome and every scheme aggregate must match bitwise.
+  const wl::FeatureModel features(kSeed);
+  const auto scenario = wl::scenarios().front();
+  sched::RaceOptions race;
+  race.max_replays = 6;
+  const auto run = [&](std::size_t threads) {
+    sched::ExperimentRunner runner(small_config(), features, 4, Rng::derive(kSeed, "race"),
+                                   threads);
+    sched::PairwisePolicy pairwise;
+    sched::QuasarPolicy quasar(features, kSeed);
+    sched::MoePolicy moe(features, kSeed);
+    sched::OraclePolicy oracle;
+    return runner.run_scenario_raced(scenario, {&pairwise, &quasar, &moe, &oracle}, race);
+  };
+  const auto seq = run(1);
+  const auto par = run(4);
+  EXPECT_EQ(seq.total_simulations, par.total_simulations);
+  EXPECT_EQ(seq.fixed_budget_simulations, par.fixed_budget_simulations);
+  ASSERT_EQ(seq.cells.size(), par.cells.size());
+  for (std::size_t c = 0; c < seq.cells.size(); ++c) {
+    EXPECT_EQ(seq.cells[c].replays_used, par.cells[c].replays_used) << "cell " << c;
+    EXPECT_EQ(seq.cells[c].mean, par.cells[c].mean) << "cell " << c;
+    EXPECT_EQ(seq.cells[c].ci_half, par.cells[c].ci_half) << "cell " << c;
+    EXPECT_EQ(seq.cells[c].stop, par.cells[c].stop) << "cell " << c;
+    EXPECT_EQ(seq.cells[c].separated_from_best, par.cells[c].separated_from_best)
+        << "cell " << c;
+  }
+  ASSERT_EQ(seq.schemes.size(), par.schemes.size());
+  for (std::size_t p = 0; p < seq.schemes.size(); ++p) {
+    EXPECT_EQ(seq.schemes[p].stp_geomean, par.schemes[p].stp_geomean);
+    EXPECT_EQ(seq.schemes[p].antt_red_mean, par.schemes[p].antt_red_mean);
+    EXPECT_EQ(seq.schemes[p].mean_makespan, par.schemes[p].mean_makespan);
+    EXPECT_EQ(seq.schemes[p].oom_total, par.schemes[p].oom_total);
+  }
+}
+
+TEST(Race, RacedScenarioSavesSamplesAndKeepsTheRanking) {
+  const wl::FeatureModel features(kSeed);
+  const auto scenario = wl::scenarios().front();
+  sched::ExperimentRunner runner(small_config(), features, 4, Rng::derive(kSeed, "save"), 2);
+  sched::IsolatedPolicy isolated;
+  sched::PairwisePolicy pairwise;
+  sched::OraclePolicy oracle;
+  const std::vector<sim::SchedulingPolicy*> policies = {&isolated, &pairwise, &oracle};
+
+  sched::RaceOptions race;
+  race.max_replays = 8;
+  const auto raced = runner.run_scenario_raced(scenario, policies, race);
+  const auto fixed =
+      runner.run_scenario_replicated(scenario, policies, race.max_replays, 0.05, 4);
+
+  // Accounting invariants.
+  std::size_t sum = 0;
+  for (const auto& cell : raced.cells) {
+    sum += cell.replays_used;
+    EXPECT_GE(cell.replays_used, race.min_replays);
+    EXPECT_LE(cell.replays_used, race.max_replays);
+  }
+  EXPECT_EQ(sum, raced.total_simulations);
+  EXPECT_EQ(raced.fixed_budget_simulations, raced.cells.size() * race.max_replays);
+  EXPECT_NEAR(raced.samples_saved_pct,
+              100.0 * (1.0 - static_cast<double>(sum) /
+                                 static_cast<double>(raced.fixed_budget_simulations)),
+              1e-9);
+
+  // Racing must not change the statistical conclusion: same ordering of
+  // schemes by stp_geomean as the fixed-wave baseline, from fewer sims.
+  EXPECT_LT(raced.total_simulations, fixed.total_simulations);
+  const auto order = [](const std::vector<sched::SchemeScenarioResult>& schemes) {
+    std::vector<std::size_t> idx(schemes.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+      return schemes[a].stp_geomean > schemes[b].stp_geomean;
+    });
+    return idx;
+  };
+  EXPECT_EQ(order(raced.schemes), order(fixed.schemes));
+  // Oracle dominates Isolated clearly enough that its cells should separate.
+  std::size_t isolated_separated = 0;
+  for (std::size_t m = 0; m < 4; ++m)
+    isolated_separated += raced.cells[0 * 4 + m].separated_from_best ? 1 : 0;
+  EXPECT_GE(isolated_separated, 3u);
+}
+
+TEST(Race, FixedWaveTotalsAreWaveDependentNotThreadDependent) {
+  const wl::FeatureModel features(kSeed);
+  const auto scenario = wl::scenarios().front();
+  sched::PairwisePolicy pairwise;
+  sched::OraclePolicy oracle;
+  const std::vector<sim::SchedulingPolicy*> policies = {&pairwise, &oracle};
+  const auto run = [&](std::size_t threads, std::size_t wave) {
+    sched::ExperimentRunner runner(small_config(), features, 3, Rng::derive(kSeed, "wave"),
+                                   threads);
+    return runner.run_scenario_replicated(scenario, policies, 8, 0.05, wave);
+  };
+  const auto a = run(1, 4);
+  const auto b = run(3, 4);
+  EXPECT_EQ(a.total_simulations, b.total_simulations);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    EXPECT_EQ(a.cells[c].replays, b.cells[c].replays);
+    EXPECT_EQ(a.cells[c].stp_mean, b.cells[c].stp_mean);
+    EXPECT_EQ(a.cells[c].converged, b.cells[c].converged);
+  }
+  // A wave of 1 never executes surplus replays, so its total can only be <=
+  // the wave-4 total (which rounds execution up to whole waves).
+  const auto c = run(2, 1);
+  EXPECT_LE(c.total_simulations, a.total_simulations);
+}
+
+}  // namespace

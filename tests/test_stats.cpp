@@ -101,6 +101,79 @@ TEST(Stats, CiHalfWidthOfSingletonIsZero) {
   EXPECT_DOUBLE_EQ(ci_half_width(xs), 0.0);
 }
 
+TEST(Welford, MatchesTwoPassOnRandomData) {
+  Rng rng(99);
+  std::vector<double> xs;
+  Welford w;
+  for (int i = 0; i < 257; ++i) {
+    const double x = rng.normal(3.0, 2.5);
+    xs.push_back(x);
+    w.add(x);
+  }
+  EXPECT_EQ(w.count(), xs.size());
+  EXPECT_NEAR(w.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(w.variance(), variance(xs), 1e-9);
+  EXPECT_NEAR(w.stddev(), stddev(xs), 1e-9);
+  EXPECT_NEAR(w.ci_half_width(), ci_half_width(xs), 1e-9);
+  EXPECT_NEAR(w.ci_half_width(0.99), ci_half_width(xs, 0.99), 1e-9);
+}
+
+TEST(Welford, EmptyAndSingletonContracts) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_THROW(w.mean(), PreconditionError);
+  EXPECT_DOUBLE_EQ(w.ci_half_width(), 0.0);  // like ci_half_width(span)
+  w.add(4.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 4.0);
+  EXPECT_THROW(w.variance(), PreconditionError);
+  EXPECT_DOUBLE_EQ(w.ci_half_width(), 0.0);
+}
+
+TEST(Welford, ConstantSeriesHasZeroVariance) {
+  // The catastrophic-cancellation case the one-pass recurrence must survive:
+  // identical large values must give exactly zero variance, not a negative
+  // residue turned NaN by sqrt.
+  Welford w;
+  for (int i = 0; i < 10; ++i) w.add(1.0e12 + 0.25);
+  EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+}
+
+TEST(TCritical, MatchesStandardTables) {
+  EXPECT_NEAR(t_critical(1, 0.95), 12.7062, 1e-3);
+  EXPECT_NEAR(t_critical(2, 0.95), 4.3027, 1e-3);
+  EXPECT_NEAR(t_critical(4, 0.95), 2.7764, 1e-3);
+  EXPECT_NEAR(t_critical(9, 0.95), 2.2622, 1e-3);
+  EXPECT_NEAR(t_critical(29, 0.95), 2.0452, 1e-3);
+  EXPECT_NEAR(t_critical(1, 0.99), 63.6567, 1e-3);
+  EXPECT_NEAR(t_critical(9, 0.90), 1.8331, 1e-3);
+}
+
+TEST(TCritical, DominatesNormalAndConvergesToIt) {
+  for (std::size_t dof = 1; dof < 30; ++dof) {
+    EXPECT_GT(t_critical(dof, 0.95), normal_critical(0.95)) << "dof " << dof;
+    if (dof > 1) EXPECT_LT(t_critical(dof, 0.95), t_critical(dof - 1, 0.95)) << "dof " << dof;
+  }
+  EXPECT_DOUBLE_EQ(t_critical(30, 0.95), normal_critical(0.95));
+  EXPECT_DOUBLE_EQ(t_critical(1000, 0.99), normal_critical(0.99));
+}
+
+TEST(TCritical, RejectsBadArguments) {
+  EXPECT_THROW(t_critical(0, 0.95), PreconditionError);
+  EXPECT_THROW(t_critical(5, 0.0), PreconditionError);
+  EXPECT_THROW(t_critical(5, 1.0), PreconditionError);
+}
+
+TEST(Welford, TBoundsAreWiderThanNormalAtSmallN) {
+  // The reason the racing path uses Student-t: at 3 replays the normal
+  // interval is ~2.2x too narrow, which would eliminate arms prematurely.
+  Welford w;
+  w.add(1.0);
+  w.add(2.0);
+  w.add(4.0);
+  EXPECT_GT(w.ci_half_width(0.95, true), 2.0 * w.ci_half_width(0.95, false));
+}
+
 TEST(Stats, ViolinSummaryOrdering) {
   Rng rng(2);
   std::vector<double> xs;
